@@ -1,0 +1,177 @@
+// Ablation: the same Dockerfile (Fig 2's CentOS + openssh) built under every
+// privilege model the paper discusses, reporting success, wall time, and
+// ownership fidelity. This is the §3.2/§6.1 decision table made executable:
+//
+//   model                         expected     ownership in image
+//   Type I   (real root)          OK           exact
+//   Type II  (helpers, overlay)   OK           exact (container IDs)
+//   Type II  (helpers, vfs)       OK           exact
+//   Type II  (unpriv + ignore)    OK*          squashed     (*client only)
+//   Type III (plain)              FAIL         —
+//   Type III (--force fakeroot)   OK           squashed (preservable via DB)
+//   Type III (embedded fakeroot)  OK           squashed (preservable via DB)
+//   Type III (§6.2.4 kernel maps) OK           exact
+#include <chrono>
+#include <iomanip>
+
+#include "build/dockerfile.hpp"
+#include "figure_common.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+
+using namespace minicon;
+
+namespace {
+
+struct Row {
+  std::string model;
+  bool built = false;
+  bool expected_ok = true;
+  double ms = 0;
+  std::string ownership;  // "exact", "squashed", "-"
+};
+
+// Does ssh-keysign show root:ssh_keys from inside the container?
+template <typename Builder>
+std::string ownership_of(Builder& b, const std::string& tag) {
+  Transcript t;
+  if (b.run_in_image(tag, {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"},
+                     t) != 0) {
+    return "-";
+  }
+  return t.contains("root ssh_keys") ? "exact" : "squashed";
+}
+
+template <typename Fn>
+Row timed(const std::string& model, bool expected_ok, Fn&& fn) {
+  Row r;
+  r.model = model;
+  r.expected_ok = expected_ok;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.ownership = "-";
+  r.built = fn(r);
+  r.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Checker c("Ablation");
+  c.banner("privilege models building the Fig 2 Dockerfile");
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::vector<Row> rows;
+
+  // --- Type I: real root, no namespaces (the sandboxed-VM baseline) ---------
+  rows.push_back(timed("Type I (root)", true, [&](Row& r) {
+    auto manifest = cluster.registry().get_manifest("centos:7", "x86_64");
+    if (!manifest) return false;
+    auto fs = std::make_shared<vfs::MemFs>(0755);
+    vfs::OpCtx ctx;
+    for (const auto& digest : manifest->layers) {
+      auto blob = cluster.registry().get_blob(digest);
+      auto entries = image::tar_parse(*blob);
+      if (!entries.ok() ||
+          !image::entries_to_tree(*entries, *fs, fs->root(), ctx).ok()) {
+        return false;
+      }
+    }
+    core::RootFs rootfs{fs, fs->root(), nullptr};
+    kernel::Process root = cluster.login().root_process();
+    auto container =
+        core::enter_type1(cluster.login(), root, rootfs, manifest->config.env);
+    if (!container.ok()) return false;
+    std::string out, err;
+    if (cluster.login().shell().run(*container, "echo hello", out, err) != 0 ||
+        cluster.login().shell().run(*container, "yum install -y openssh", out,
+                                    err) != 0) {
+      return false;
+    }
+    out.clear();
+    cluster.login().shell().run(
+        *container, "ls -l /usr/libexec/openssh/ssh-keysign", out, err);
+    r.ownership =
+        out.find("root ssh_keys") != std::string::npos ? "exact" : "squashed";
+    return true;
+  }));
+
+  // --- Type II variants -------------------------------------------------------
+  auto type2_row = [&](const std::string& name, core::PodmanOptions opts,
+                       bool expected) {
+    rows.push_back(timed(name, expected, [&](Row& r) {
+      core::Podman podman(cluster.login(), *alice, &cluster.registry(), opts);
+      Transcript t;
+      if (podman.build("abl", bench::kCentosDockerfile, t) != 0) return false;
+      r.ownership = ownership_of(podman, "abl");
+      return true;
+    }));
+  };
+  type2_row("Type II (helpers, overlay)", {}, true);
+  {
+    core::PodmanOptions o;
+    o.driver = core::PodmanOptions::Driver::kVfs;
+    type2_row("Type II (helpers, vfs)", o, true);
+  }
+  {
+    core::PodmanOptions o;
+    o.rootless_helpers = false;
+    o.ignore_chown_errors = true;
+    type2_row("Type II (unpriv, ignore-chown)", o, true);
+  }
+
+  // --- Type III variants -------------------------------------------------------
+  auto type3_row = [&](const std::string& name, core::ChImageOptions opts,
+                       bool expected) {
+    rows.push_back(timed(name, expected, [&](Row& r) {
+      core::ChImage ch(cluster.login(), *alice, &cluster.registry(), opts);
+      Transcript t;
+      if (ch.build("abl3", bench::kCentosDockerfile, t) != 0) return false;
+      r.ownership = ownership_of(ch, "abl3");
+      return true;
+    }));
+  };
+  type3_row("Type III (plain)", {}, false);
+  {
+    core::ChImageOptions o;
+    o.force = true;
+    type3_row("Type III (--force fakeroot)", o, true);
+  }
+  {
+    core::ChImageOptions o;
+    o.embedded_fakeroot = true;
+    type3_row("Type III (embedded fakeroot)", o, true);
+  }
+  {
+    cluster.login().kernel().unprivileged_auto_maps = true;
+    core::ChImageOptions o;
+    o.kernel_assisted_maps = true;
+    type3_row("Type III (kernel auto-maps, 6.2.4)", o, true);
+    cluster.login().kernel().unprivileged_auto_maps = false;
+  }
+
+  std::cout << "\n" << std::left << std::setw(36) << "model" << std::setw(8)
+            << "built" << std::setw(10) << "ms" << "ownership\n";
+  for (const auto& r : rows) {
+    std::cout << std::left << std::setw(36) << r.model << std::setw(8)
+              << (r.built ? "OK" : "FAIL") << std::setw(10) << std::fixed
+              << std::setprecision(2) << r.ms << r.ownership << "\n";
+    c.check(r.built == r.expected_ok, r.model + " outcome as expected");
+  }
+
+  // Ownership-fidelity expectations.
+  c.check(rows[0].ownership == "exact", "Type I keeps exact ownership");
+  c.check(rows[1].ownership == "exact", "Type II overlay keeps ownership");
+  c.check(rows[2].ownership == "exact", "Type II vfs keeps ownership");
+  c.check(rows[3].ownership == "squashed",
+          "unprivileged Type II squashes ownership");
+  c.check(rows[5].ownership == "squashed",
+          "--force fakeroot squashes real ownership (lies live in the DB)");
+  c.check(rows[7].ownership == "exact",
+          "kernel auto-maps keep exact ownership without any wrapper");
+  return c.finish();
+}

@@ -1,0 +1,66 @@
+// Figure 1: typical privileged UID map for a container run by Alice.
+//
+// /etc/subuid configures the user-space helper for host UIDs Alice and Bob
+// may use; /proc/self/uid_map is the subsequent kernel mapping.
+#include "figure_common.hpp"
+#include "kernel/helpers.hpp"
+#include "kernel/syscalls.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 1");
+  c.banner("privileged UID map for container run by Alice");
+
+  auto cluster = bench::make_x86_cluster();
+  core::Machine& login = cluster.login();
+  kernel::Process root = login.root_process();
+
+  // The Fig 1 /etc/subuid: alice gets 100000..165535, bob 165536..231071.
+  std::string out, err;
+  login.run(root,
+            "useradd -u 1001 bob && "
+            "echo 'alice:100000:65536' > /etc/subuid && "
+            "echo 'bob:165536:65536' >> /etc/subuid && "
+            "cp /etc/subuid /etc/subgid",
+            out, err);
+
+  std::cout << "$ cat /etc/subuid\n";
+  login.run(root, "cat /etc/subuid", out, err);
+  std::cout << out;
+
+  auto alice = cluster.user_on(login);
+  if (!alice.ok()) return 1;
+
+  // Unshare + privileged helpers install the Fig 1 map.
+  kernel::Process inside = alice->clone();
+  if (!inside.sys->unshare_userns(inside).ok()) return 1;
+  auto rc = kernel::newuidmap(login.kernel(), *alice, inside.userns,
+                              {{0, 1000, 1}, {1, 100000, 65536}});
+  c.check(rc.ok(), "newuidmap installs the alice map");
+
+  std::cout << "\n$ cat /proc/self/uid_map\n";
+  auto map_text = inside.sys->read_file(inside, "/proc/self/uid_map");
+  if (map_text.ok()) std::cout << *map_text;
+
+  // The semantic checks from §2.1.2.
+  c.check(inside.userns->uid_to_kernel(0) == 1000u,
+          "container root is Alice's host UID (1000)");
+  c.check(inside.userns->uid_to_kernel(1) == 100000u,
+          "container UID 1 is the first subordinate UID (100000)");
+  c.check(inside.userns->uid_to_kernel(65536) == 165535u,
+          "container UID 65536 is the last subordinate UID (165535)");
+  c.check(!inside.userns->uid_to_kernel(65537).has_value(),
+          "container UID 65537 has no mapping");
+
+  // The §2.1.2 misconfiguration warning: mapping host UID 1001 (Bob) would
+  // hand Alice all of Bob's files — the helper refuses.
+  kernel::Process inside2 = alice->clone();
+  (void)inside2.sys->unshare_userns(inside2);
+  auto bad = kernel::newuidmap(login.kernel(), *alice, inside2.userns,
+                               {{0, 1000, 1}, {65537, 1001, 1}});
+  c.check(!bad.ok(),
+          "mapping Bob's UID 1001 into Alice's namespace is refused");
+
+  return c.finish();
+}

@@ -1,0 +1,37 @@
+// Figure 2: simple CentOS 7 Dockerfile fails to build in a basic Type III
+// container because chown(2) failed ("cpio: chown").
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 2");
+  c.banner("CentOS 7 Dockerfile fails under plain ch-image (Type III)");
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ cat centos7.dockerfile\n" << bench::kCentosDockerfile;
+  std::cout << "$ ch-image build -t foo -f centos7.dockerfile .\n";
+
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", bench::kCentosDockerfile, t);
+
+  c.check(status == 1, "build fails with RUN exit status 1");
+  c.check(t.contains("2 RUN ['/bin/sh', '-c', 'echo hello']"),
+          "echo hello instruction runs normally");
+  c.check(t.contains("hello"), "echo output appears");
+  c.check(t.contains("Installing: openssh-7.4p1-21.el7.x86_64"),
+          "yum reaches the install phase (it believes it is root)");
+  c.check(t.contains("Error unpacking rpm package openssh-7.4p1-21.el7"),
+          "unpack of openssh fails");
+  c.check(t.contains("cpio: chown"),
+          "the failing operation is cpio's chown(2), as in the paper");
+  c.check(t.contains("error: build failed: RUN command exited with 1"),
+          "ch-image reports the RUN failure");
+  c.check(t.contains("--force"), "ch-image suggests --force (per §5.3.1)");
+  return c.finish();
+}

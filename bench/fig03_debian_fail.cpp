@@ -1,0 +1,34 @@
+// Figure 3: simple Debian 10 Dockerfile fails to build in a basic Type III
+// container — apt-get fails (ironically) while trying to drop privileges.
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 3");
+  c.banner("Debian 10 Dockerfile fails under plain ch-image (Type III)");
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ cat debian10.dockerfile\n" << bench::kDebianDockerfile;
+  std::cout << "$ ch-image build -t foo -f debian10.dockerfile .\n";
+
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", bench::kDebianDockerfile, t);
+
+  c.check(status == 100, "build fails with RUN exit status 100");
+  c.check(t.contains("E: setgroups 65534 failed - setgroups (1: Operation "
+                     "not permitted)"),
+          "setgroups(2) fails with EPERM (gated in unprivileged namespaces)");
+  c.check(t.contains("E: seteuid 100 failed - seteuid (22: Invalid argument)"),
+          "seteuid(_apt=100) fails with EINVAL (unmapped UID)");
+  c.check(t.count("E: seteuid 100 failed") == 2,
+          "the set*id failure is reported twice, as in the figure");
+  c.check(t.contains("error: build failed: RUN command exited with 100"),
+          "ch-image reports the RUN failure");
+  return c.finish();
+}

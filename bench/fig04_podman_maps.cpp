@@ -1,0 +1,48 @@
+// Figure 4: the /etc/subuid file and the resulting UID map used by rootless
+// Podman ("podman unshare cat /proc/self/uid_map").
+#include "figure_common.hpp"
+#include "kernel/syscalls.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 4");
+  c.banner("rootless Podman user-namespace mappings (privileged helpers)");
+
+  auto cluster = bench::make_x86_cluster();
+  core::Machine& login = cluster.login();
+  kernel::Process root = login.root_process();
+  std::string out, err;
+  // The Fig 4 allocation: alice can allocate 65535 UIDs starting at 200000.
+  login.run(root,
+            "echo 'alice:200000:65535' > /etc/subuid && "
+            "cp /etc/subuid /etc/subgid",
+            out, err);
+  std::cout << "$ cat /etc/subuid\n";
+  out.clear();
+  login.run(root, "cat /etc/subuid", out, err);
+  std::cout << out;
+
+  auto alice = cluster.user_on(login);
+  if (!alice.ok()) return 1;
+  core::Podman podman(login, *alice, &cluster.registry(), {});
+
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = podman.show_id_maps(t);
+  c.check(status == 0, "podman unshare succeeds");
+  c.check(t.contains("1000"), "container root maps to alice (host 1000)");
+  c.check(t.contains("200000"), "subordinate range starts at 200000");
+  c.check(t.contains("65535"), "subordinate range spans 65535 IDs");
+
+  // The mapping is honored by the kernel: translation checks.
+  c.check(podman.uid_to_container(1000) == 0,
+          "host 1000 (alice) appears as container root");
+  c.check(podman.uid_to_container(200000) == 1,
+          "host 200000 is container UID 1");
+  c.check(podman.uid_to_container(265534) == 65535,
+          "host 265534 is container UID 65535");
+  c.check(podman.uid_to_container(265535) == vfs::kOverflowUid,
+          "host 265535 is beyond the range (unmapped)");
+  return c.finish();
+}

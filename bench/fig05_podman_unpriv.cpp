@@ -1,0 +1,63 @@
+// Figure 5: Podman UID mapping in (experimental) unprivileged mode — no
+// privileged helpers, a single self-map, --ignore-chown-errors. Building
+// openssh works (ownership squashed), but openssh-server fails because
+// /proc is owned by "nobody" inside the namespace (§4.1.1).
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 5");
+  c.banner("Podman unprivileged mode: one UID mapping, host /proc");
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  core::PodmanOptions opts;
+  opts.rootless_helpers = false;
+  opts.ignore_chown_errors = true;
+  core::Podman podman(cluster.login(), *alice, &cluster.registry(), opts);
+
+  Transcript mt;
+  mt.echo_to(std::cout);
+  podman.show_id_maps(mt);
+  c.check(mt.contains("1000"), "single self-map to the invoking user");
+  c.check(!mt.contains("200000"), "no subordinate ranges in this mode");
+
+  c.section("podman build: yum install openssh (client) — succeeds");
+  Transcript t1;
+  t1.echo_to(std::cout);
+  const int s1 = podman.build(
+      "cli", "FROM centos:7\nRUN yum install -y openssh\n", t1);
+  c.check(s1 == 0, "openssh installs with --ignore-chown-errors");
+  Transcript lt;
+  podman.run_in_image("cli", {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"},
+                      lt);
+  c.check(!lt.contains("ssh_keys"),
+          "...but the ssh_keys group ownership was squashed away");
+
+  c.section("ls -l /proc/1/environ inside the container");
+  Transcript pt;
+  pt.echo_to(std::cout);
+  podman.run_in_image("cli", {"ls", "-l", "/proc/1/environ"}, pt);
+  c.check(pt.contains("nobody"),
+          "/proc files are owned by nobody (unmapped host root)");
+
+  c.section("podman build: yum install openssh-server — fails");
+  Transcript t2;
+  t2.echo_to(std::cout);
+  const int s2 = podman.build(
+      "srv", "FROM centos:7\nRUN yum install -y openssh-server\n", t2);
+  c.check(s2 != 0,
+          "openssh-server fails: its scriptlet cannot read nobody-owned "
+          "/proc/1/environ");
+
+  c.section("contrast: default rootless mode (privileged helpers)");
+  core::Podman full(cluster.login(), *alice, &cluster.registry(), {});
+  Transcript t3;
+  const int s3 = full.build(
+      "srv2", "FROM centos:7\nRUN yum install -y openssh-server\n", t3);
+  c.check(s3 == 0, "with helpers + fresh /proc the same build succeeds");
+  return c.finish();
+}

@@ -1,0 +1,60 @@
+// Figure 7: example of fakeroot(1) use — a script chowns a file and creates
+// a device node; inside the wrapper ls shows the expected results, the
+// subsequent unwrapped ls exposes the lies.
+#include "figure_common.hpp"
+#include "kernel/syscalls.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 7");
+  c.banner("fakeroot(1) demo: faked chown and mknod");
+
+  auto cluster = bench::make_x86_cluster();
+  core::Machine& login = cluster.login();
+  kernel::Process root = login.root_process();
+  std::string out, err;
+  // Install fakeroot on the host and write the fakeroot.sh script.
+  login.run(root,
+            "echo '#!minicon fakeroot' > /usr/bin/fakeroot && "
+            "chmod 755 /usr/bin/fakeroot",
+            out, err);
+  auto alice = cluster.user_on(login);
+  if (!alice.ok()) return 1;
+  login.run(*alice,
+            "echo '#!/bin/sh\nset -x\ntouch test.file\n"
+            "chown nobody test.file\nmknod test.dev c 1 1\n"
+            "ls -lh test.dev test.file' > /home/alice/fakeroot.sh && "
+            "chmod 755 /home/alice/fakeroot.sh",
+            out, err);
+
+  std::cout << "$ fakeroot ./fakeroot.sh\n";
+  out.clear();
+  err.clear();
+  const int status =
+      login.run(*alice, "cd /home/alice && fakeroot ./fakeroot.sh", out, err);
+  std::cout << err << out;
+  c.check(status == 0, "the wrapped script succeeds");
+  c.check(out.find("crw-r--r-- 1 root root 1, 1 Feb 10 18:09 test.dev") !=
+              std::string::npos,
+          "inside: test.dev appears as a char device owned by root");
+  c.check(out.find("nobody") != std::string::npos,
+          "inside: test.file appears owned by nobody");
+
+  std::cout << "$ ls -lh test.dev test.file\n";
+  out.clear();
+  login.run(*alice, "cd /home/alice && ls -lh test.dev test.file", out, err);
+  std::cout << out;
+  c.check(out.find("alice alice") != std::string::npos,
+          "outside: both files are really owned by alice");
+  c.check(out.find("crw") == std::string::npos,
+          "outside: test.dev is really a regular file");
+
+  // Sanity: without fakeroot both operations fail.
+  c.check(login.run(*alice, "chown nobody /home/alice/test.file", out, err) !=
+              0,
+          "unwrapped chown to nobody fails");
+  c.check(login.run(*alice, "mknod /home/alice/x.dev c 1 1", out, err) != 0,
+          "unwrapped mknod of a device fails");
+  return c.finish();
+}

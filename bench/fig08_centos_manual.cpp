@@ -1,0 +1,43 @@
+// Figure 8: the CentOS 7 Dockerfile from Figure 2, hand-modified to install
+// fakeroot from EPEL and wrap the offending yum install.
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 8");
+  c.banner("CentOS 7 with manual fakeroot modifications builds (Type III)");
+
+  const std::string dockerfile =
+      "FROM centos:7\n"
+      "RUN yum install -y epel-release\n"
+      "RUN yum install -y fakeroot\n"
+      "RUN echo hello\n"
+      "RUN fakeroot yum install -y openssh\n";
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ cat centos7-fr.dockerfile\n" << dockerfile;
+  std::cout << "$ ch-image build -t foo -f centos7-fr.dockerfile .\n";
+
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", dockerfile, t);
+
+  c.check(status == 0, "the modified Dockerfile builds successfully");
+  // "The first two install steps do use yum, but fortunately these
+  // invocations work without fakeroot" — epel-release and fakeroot contain
+  // only root:root files, so their chowns are no-ops.
+  c.check(t.count("Complete!") >= 3, "all three yum installs complete");
+  c.check(t.contains("grown in 5 instructions: foo"),
+          "image grows in 5 instructions");
+  // The image genuinely contains the client now.
+  Transcript rt;
+  c.check(ch.run_in_image("foo", {"ssh"}, rt) == 0 &&
+              rt.contains("OpenSSH_7.4p1 client"),
+          "the installed ssh client runs under ch-run");
+  return c.finish();
+}

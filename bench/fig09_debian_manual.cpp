@@ -1,0 +1,48 @@
+// Figure 9: the Debian 10 Dockerfile from Figure 3, hand-modified to disable
+// APT's privilege sandbox and install pseudo.
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 9");
+  c.banner("Debian 10 with manual modifications builds (Type III)");
+
+  const std::string dockerfile =
+      "FROM debian:buster\n"
+      "RUN echo 'APT::Sandbox::User \"root\";' > "
+      "/etc/apt/apt.conf.d/no-sandbox\n"
+      "RUN echo hello\n"
+      "RUN apt-get update\n"
+      "RUN apt-get install -y pseudo\n"
+      "RUN fakeroot apt-get install -y openssh-client\n";
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ cat debian10-fr.dockerfile\n" << dockerfile;
+  std::cout << "$ ch-image build -t foo -f debian10-fr.dockerfile .\n";
+
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", dockerfile, t);
+
+  c.check(status == 0, "the modified Dockerfile builds successfully");
+  c.check(t.contains("Fetched 8422 kB in 7s (1214 kB/s)"),
+          "apt-get update fetches indexes (sandbox disabled)");
+  c.check(t.contains("Setting up pseudo (1.9.0+git20180920-1)"),
+          "pseudo installs from the standard repositories");
+  c.check(t.contains("W: chown to root:adm of file /var/log/apt/term.log "
+                     "failed"),
+          "apt's log chown warns but does not fail the build (Fig 9 l.21)");
+  c.check(t.contains("Setting up openssh-client (1:7.9p1-10+deb10u2)"),
+          "openssh-client installs under fakeroot");
+  c.check(t.contains("Setting up libxext6 (2:1.3.3-1+b2)") &&
+              t.contains("Setting up xauth (1:1.0.10-1)"),
+          "dependencies libxext6 and xauth are set up");
+  c.check(t.contains("grown in 6 instructions: foo"),
+          "image grows in 6 instructions");
+  return c.finish();
+}

@@ -1,0 +1,47 @@
+// Figure 10: successful CentOS 7 build with UNMODIFIED Dockerfile —
+// ch-image --force auto-injects the Figure 8 workarounds.
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 10");
+  c.banner("ch-image --force auto-injection, CentOS 7");
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ ch-image build --force -t foo -f centos7.dockerfile .\n";
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry(), opts);
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", bench::kCentosDockerfile, t);
+
+  c.check(status == 0, "the unmodified Dockerfile builds with --force");
+  c.check(t.contains("will use --force: rhel7: CentOS/RHEL 7"),
+          "config rhel7 matched via /etc/redhat-release regex");
+  c.check(t.contains("workarounds: init step 1: checking: $ command -v "
+                     "fakeroot >/dev/null"),
+          "init step 1 check phase shown");
+  c.check(t.contains("grep -Eq '\\[epel\\]' /etc/yum.conf"),
+          "init step installs EPEL only if not configured");
+  c.check(t.contains("yum-config-manager --disable epel"),
+          "EPEL is disabled after install (avoids unexpected upgrades)");
+  c.check(t.contains("--enablerepo=epel install -y fakeroot"),
+          "fakeroot installed from EPEL explicitly enabled");
+  c.check(t.contains("workarounds: RUN: new command: ['fakeroot', '/bin/sh', "
+                     "'-c', 'yum install -y openssh']"),
+          "the RUN containing 'yum' is modified");
+  c.check(t.contains("--force: init OK & modified 1 RUN instructions"),
+          "exactly one RUN instruction was modified");
+  c.check(t.contains("grown in 3 instructions: foo"),
+          "image grows in 3 instructions");
+
+  // Idempotence: the first RUN (echo) was NOT modified.
+  c.check(t.count("workarounds: RUN: new command") == 1,
+          "the echo RUN is left untouched (minimize changes)");
+  return c.finish();
+}

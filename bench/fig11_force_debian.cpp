@@ -1,0 +1,47 @@
+// Figure 11: successful Debian 10 build with UNMODIFIED Dockerfile —
+// ch-image --force selects the debderiv config.
+#include "figure_common.hpp"
+
+using namespace minicon;
+
+int main() {
+  bench::Checker c("Figure 11");
+  c.banner("ch-image --force auto-injection, Debian 10");
+
+  auto cluster = bench::make_x86_cluster();
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return 1;
+
+  std::cout << "$ ch-image build --force -t foo -f debian10.dockerfile .\n";
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry(), opts);
+  Transcript t;
+  t.echo_to(std::cout);
+  const int status = ch.build("foo", bench::kDebianDockerfile, t);
+
+  c.check(status == 0, "the unmodified Dockerfile builds with --force");
+  c.check(t.contains("will use --force: debderiv: Debian (9, 10) or Ubuntu "
+                     "(16, 18, 20)"),
+          "config debderiv matched via /etc/os-release contents");
+  c.check(t.contains("workarounds: init step 1: checking: $ apt-config dump"),
+          "init step 1 checks whether the APT sandbox is disabled");
+  c.check(t.contains("echo 'APT::Sandbox::User \"root\";' > "
+                     "/etc/apt/apt.conf.d/no-sandbox"),
+          "init step 1 disables the APT sandbox");
+  c.check(t.contains("workarounds: init step 2: checking: $ command -v "
+                     "fakeroot >/dev/null"),
+          "init step 2 checks for fakeroot");
+  c.check(t.contains("apt-get update && apt-get install -y pseudo"),
+          "init step 2 updates indexes and installs pseudo");
+  c.check(t.contains("Setting up pseudo (1.9.0+git20180920-1)"),
+          "pseudo install output appears");
+  c.check(t.count("workarounds: RUN: new command") == 2,
+          "both apt-get RUNs are modified (including the now-redundant "
+          "update: 'ch-image is not smart enough to notice')");
+  c.check(t.contains("--force: init OK & modified 2 RUN instructions"),
+          "summary reports two modified RUNs");
+  c.check(t.contains("grown in 4 instructions: foo"),
+          "image grows in 4 instructions");
+  return c.finish();
+}

@@ -1,0 +1,66 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Each figXX binary regenerates one figure from the paper: it prints the
+// transcript and then verifies the load-bearing lines, exiting nonzero if
+// the reproduction no longer matches the paper's shape. EXPERIMENTS.md
+// records the mapping.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+
+namespace minicon::bench {
+
+class Checker {
+ public:
+  explicit Checker(std::string figure) : figure_(std::move(figure)) {}
+
+  void check(bool condition, const std::string& what) {
+    std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+    if (!condition) ++failures_;
+  }
+
+  void banner(const std::string& title) {
+    std::cout << "\n=== " << figure_ << ": " << title << " ===\n";
+  }
+
+  void section(const std::string& title) {
+    std::cout << "\n--- " << title << " ---\n";
+  }
+
+  int finish() {
+    std::cout << "\n" << figure_ << ": "
+              << (failures_ == 0 ? "REPRODUCED" : "MISMATCH (see [FAIL] lines)")
+              << "\n";
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::string figure_;
+  int failures_ = 0;
+};
+
+inline core::Cluster make_x86_cluster(int compute_nodes = 0) {
+  core::ClusterOptions opts;
+  opts.name = "bench";
+  opts.arch = "x86_64";
+  opts.compute_nodes = compute_nodes;
+  return core::Cluster(opts);
+}
+
+inline constexpr const char* kCentosDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+inline constexpr const char* kDebianDockerfile =
+    "FROM debian:buster\n"
+    "RUN echo hello\n"
+    "RUN apt-get update\n"
+    "RUN apt-get install -y openssh-client\n";
+
+}  // namespace minicon::bench

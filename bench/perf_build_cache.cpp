@@ -1,0 +1,88 @@
+// P2: per-instruction build caching "can greatly accelerate repetitive
+// builds, such as during iterative development" (§6.1-3) — a capability
+// Podman/Docker have and the paper's Charliecloud lacks. Shape: a warm
+// rebuild with cache is far cheaper than a cold one; ch-image without the
+// cache extension pays full price every time.
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+
+namespace {
+
+using namespace minicon;
+
+constexpr const char* kDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+struct World {
+  World() : cluster(make_opts()), alice(*cluster.user_on(cluster.login())) {}
+  static core::ClusterOptions make_opts() {
+    core::ClusterOptions o;
+    o.arch = "x86_64";
+    o.compute_nodes = 0;
+    return o;
+  }
+  core::Cluster cluster;
+  kernel::Process alice;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+void BM_PodmanRebuild(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  core::PodmanOptions opts;
+  opts.build_cache = cache;
+  core::Podman podman(world().cluster.login(), world().alice,
+                      &world().cluster.registry(), opts);
+  // Warm build outside the timed region.
+  Transcript warm;
+  if (podman.build("bench", kDockerfile, warm) != 0) {
+    state.SkipWithError("warm build failed");
+    return;
+  }
+  for (auto _ : state) {
+    Transcript t;
+    if (podman.build("bench", kDockerfile, t) != 0) {
+      state.SkipWithError("rebuild failed");
+      return;
+    }
+  }
+  state.counters["cache_hits"] = static_cast<double>(podman.cache_hits());
+  state.SetLabel(cache ? "podman+cache" : "podman-nocache");
+}
+BENCHMARK(BM_PodmanRebuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ChImageRebuild(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  core::ChImageOptions opts;
+  opts.force = true;
+  opts.build_cache = cache;  // the §6.2.2 extension
+  core::ChImage ch(world().cluster.login(), world().alice,
+                   &world().cluster.registry(), opts);
+  Transcript warm;
+  if (ch.build("bench-ch", kDockerfile, warm) != 0) {
+    state.SkipWithError("warm build failed");
+    return;
+  }
+  for (auto _ : state) {
+    Transcript t;
+    if (ch.build("bench-ch", kDockerfile, t) != 0) {
+      state.SkipWithError("rebuild failed");
+      return;
+    }
+  }
+  state.counters["cache_hits"] = static_cast<double>(ch.cache_hits());
+  state.SetLabel(cache ? "ch-image+cache(ext)" : "ch-image (paper)");
+}
+BENCHMARK(BM_ChImageRebuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

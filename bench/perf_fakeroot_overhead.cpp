@@ -1,0 +1,117 @@
+// P3: the fakeroot(1) wrapper "introduces another layer of indirection"
+// (§6.1-1). Shape: per-syscall overhead of interposition, and the end-to-end
+// cost of a wrapped package install vs an unwrapped one (Type II).
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace {
+
+using namespace minicon;
+
+struct World {
+  World() : cluster(make_opts()), alice(*cluster.user_on(cluster.login())) {
+    std::string out, err;
+    cluster.login().run(alice, "touch /home/alice/probe", out, err);
+  }
+  static core::ClusterOptions make_opts() {
+    core::ClusterOptions o;
+    o.arch = "x86_64";
+    o.compute_nodes = 0;
+    return o;
+  }
+  core::Cluster cluster;
+  kernel::Process alice;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+void BM_StatRaw(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatRaw);
+
+void BM_StatFakeroot(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatFakeroot);
+
+void BM_ChownFaked(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto rc = p.sys->chown(p, "/home/alice/probe", 0, 0, true);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_ChownFaked);
+
+void BM_WritePassthrough(benchmark::State& state) {
+  kernel::Process raw = world().alice;
+  kernel::Process wrapped = world().alice;
+  wrapped.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      raw.sys, nullptr, fakeroot::FakerootOptions{});
+  kernel::Process& p = state.range(0) != 0 ? wrapped : raw;
+  for (auto _ : state) {
+    auto rc = p.sys->write_file(p, "/home/alice/out", "data", false);
+    benchmark::DoNotOptimize(rc);
+  }
+  state.SetLabel(state.range(0) != 0 ? "wrapped" : "raw");
+}
+BENCHMARK(BM_WritePassthrough)->Arg(0)->Arg(1);
+
+// End-to-end: the same openssh install, Type III + fakeroot injection vs
+// Type II privileged maps (no wrapper needed).
+void BM_InstallOpenssh(benchmark::State& state) {
+  const bool type3 = state.range(0) != 0;
+  for (auto _ : state) {
+    if (type3) {
+      core::ChImageOptions opts;
+      opts.force = true;
+      core::ChImage ch(world().cluster.login(), world().alice,
+                       &world().cluster.registry(), opts);
+      Transcript t;
+      if (ch.build("fr-bench",
+                   "FROM centos:7\nRUN yum install -y openssh\n", t) != 0) {
+        state.SkipWithError("type3 build failed");
+        return;
+      }
+    } else {
+      core::PodmanOptions opts;
+      opts.build_cache = false;
+      core::Podman podman(world().cluster.login(), world().alice,
+                          &world().cluster.registry(), opts);
+      Transcript t;
+      if (podman.build("fr-bench",
+                       "FROM centos:7\nRUN yum install -y openssh\n",
+                       t) != 0) {
+        state.SkipWithError("type2 build failed");
+        return;
+      }
+    }
+  }
+  state.SetLabel(type3 ? "typeIII+fakeroot" : "typeII helpers");
+}
+BENCHMARK(BM_InstallOpenssh)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// P4: distributed container launch across compute nodes (Fig 6 final stage)
+// — pull-per-node vs a single shared-filesystem image tree, and daemonless
+// startup cost. Shape: shared-fs launch avoids the per-node registry
+// traffic; wall time grows slowly with node count (threads run
+// concurrently).
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace minicon;
+
+std::unique_ptr<core::Cluster> make_cluster(int nodes) {
+  core::ClusterOptions opts;
+  opts.arch = "aarch64";
+  opts.compute_nodes = nodes;
+  auto cluster = std::make_unique<core::Cluster>(opts);
+  auto alice = cluster->user_on(cluster->login());
+  core::ChImage ch(cluster->login(), *alice, &cluster->registry());
+  Transcript t;
+  ch.build("job", "FROM centos:7\nRUN echo built\n", t);
+  Transcript pt;
+  ch.push("job", "bench/job:1", pt);
+  return cluster;
+}
+
+void BM_ParallelLaunch(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  auto cluster = make_cluster(nodes);
+  for (auto _ : state) {
+    auto result =
+        cluster->parallel_launch("bench/job:1", {"hostname"}, shared);
+    if (result.nodes_ok != nodes) {
+      state.SkipWithError("launch failed");
+      return;
+    }
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["registry_pulls"] =
+      static_cast<double>(cluster->registry().pulls());
+  state.SetLabel(shared ? "shared-fs" : "pull-per-node");
+}
+BENCHMARK(BM_ParallelLaunch)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Container entry cost (the fork-exec, daemonless model the paper endorses
+// for HPC): how long does a single Type III enter + trivial command take?
+void BM_SingleContainerStart(benchmark::State& state) {
+  auto cluster = make_cluster(1);
+  auto alice = cluster->user_on(cluster->login());
+  core::ChImage ch(cluster->login(), *alice, &cluster->registry());
+  Transcript t;
+  ch.pull("bench/job:1", "local", t);
+  for (auto _ : state) {
+    Transcript rt;
+    if (ch.run_in_image("local", {"true"}, rt) != 0) {
+      state.SkipWithError("run failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_SingleContainerStart)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// P5: image distribution costs — tar serialization, SHA-256 digests,
+// single-layer flattened push (Charliecloud) vs multi-layer push (Podman),
+// and pull fan-out. Shape: flattening rewrites everything but pushes one
+// blob; multi-layer pushes reuse base blobs by digest.
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "distro/distro.hpp"
+#include "image/tar.hpp"
+#include "support/sha256.hpp"
+
+namespace {
+
+using namespace minicon;
+
+const std::vector<image::TarEntry>& base_entries() {
+  static const auto entries = [] {
+    auto tree = distro::make_centos7_tree("x86_64");
+    return *image::tree_to_entries(*tree, tree->root());
+  }();
+  return entries;
+}
+
+void BM_TarCreate(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string blob = image::tar_create(base_entries());
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_TarCreate);
+
+void BM_TarParse(benchmark::State& state) {
+  const std::string blob = image::tar_create(base_entries());
+  for (auto _ : state) {
+    auto entries = image::tar_parse(blob);
+    benchmark::DoNotOptimize(entries);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_TarParse);
+
+void BM_Sha256Digest(benchmark::State& state) {
+  const std::string blob(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = Sha256::hex_digest(blob);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Sha256Digest)->Arg(4096)->Arg(1 << 16)->Arg(1 << 20);
+
+struct World {
+  World() : cluster(make_opts()), alice(*cluster.user_on(cluster.login())) {}
+  static core::ClusterOptions make_opts() {
+    core::ClusterOptions o;
+    o.arch = "x86_64";
+    o.compute_nodes = 0;
+    return o;
+  }
+  core::Cluster cluster;
+  kernel::Process alice;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+constexpr const char* kDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+void BM_PushFlattened(benchmark::State& state) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(world().cluster.login(), world().alice,
+                   &world().cluster.registry(), opts);
+  Transcript bt;
+  if (ch.build("push-bench", kDockerfile, bt) != 0) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  int i = 0;
+  for (auto _ : state) {
+    Transcript t;
+    if (ch.push("push-bench", "bench/flat:" + std::to_string(i++), t) != 0) {
+      state.SkipWithError("push failed");
+      return;
+    }
+  }
+  state.SetLabel("ch-image single flattened layer");
+}
+BENCHMARK(BM_PushFlattened)->Unit(benchmark::kMillisecond);
+
+void BM_PushMultiLayer(benchmark::State& state) {
+  core::Podman podman(world().cluster.login(), world().alice,
+                      &world().cluster.registry(), {});
+  Transcript bt;
+  if (podman.build("push-bench-p", kDockerfile, bt) != 0) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  int i = 0;
+  for (auto _ : state) {
+    Transcript t;
+    if (podman.push("push-bench-p", "bench/layered:" + std::to_string(i++),
+                    t) != 0) {
+      state.SkipWithError("push failed");
+      return;
+    }
+  }
+  state.SetLabel("podman multi-layer (base reused by digest)");
+}
+BENCHMARK(BM_PushMultiLayer)->Unit(benchmark::kMillisecond);
+
+void BM_PullAndExtract(benchmark::State& state) {
+  core::ChImage seed(world().cluster.login(), world().alice,
+                     &world().cluster.registry(), {});
+  Transcript st;
+  // Ensure a pushed reference exists.
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage builder(world().cluster.login(), world().alice,
+                        &world().cluster.registry(), opts);
+  Transcript bt;
+  if (builder.build("pull-bench", kDockerfile, bt) != 0 ||
+      builder.push("pull-bench", "bench/pull:1", st) != 0) {
+    state.SkipWithError("seed failed");
+    return;
+  }
+  for (auto _ : state) {
+    core::ChImage ch(world().cluster.login(), world().alice,
+                     &world().cluster.registry(), {});
+    Transcript t;
+    if (ch.pull("bench/pull:1", "scratch", t) != 0) {
+      state.SkipWithError("pull failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_PullAndExtract)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

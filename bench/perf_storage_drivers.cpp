@@ -1,0 +1,94 @@
+// P1: storage driver comparison — the paper calls the VFS driver "much
+// slower and has significant storage overhead" vs fuse-overlayfs (§4.1).
+// Shape to reproduce: per-layer creation cost and cumulative storage grow
+// O(image size) for vfs, O(delta) for overlay.
+#include <benchmark/benchmark.h>
+
+#include "core/storage.hpp"
+#include "distro/distro.hpp"
+#include "image/tar.hpp"
+#include "vfs/memfs.hpp"
+
+namespace {
+
+using namespace minicon;
+
+// Base image entries, reused across iterations.
+const std::vector<image::TarEntry>& base_entries() {
+  static const auto entries = [] {
+    auto tree = distro::make_centos7_tree("x86_64");
+    auto e = image::tree_to_entries(*tree, tree->root());
+    return *e;
+  }();
+  return entries;
+}
+
+std::unique_ptr<core::StorageDriver> make_driver(bool vfs) {
+  auto backing = std::make_shared<vfs::MemFs>(0755);
+  if (vfs) {
+    return std::make_unique<core::VfsDriver>(backing, "storage", 1000, 1000);
+  }
+  return std::make_unique<core::OverlayDriver>(backing);
+}
+
+void BM_LayerCreate(benchmark::State& state) {
+  const bool vfs = state.range(0) != 0;
+  const int depth = static_cast<int>(state.range(1));
+  std::uint64_t total_bytes = 0;
+  for (auto _ : state) {
+    auto driver = make_driver(vfs);
+    auto base = driver->base_layer({base_entries()});
+    if (!base.ok()) state.SkipWithError("base layer failed");
+    core::Layer current = *base;
+    for (int i = 0; i < depth; ++i) {
+      auto layer = driver->create_layer(current);
+      if (!layer.ok()) state.SkipWithError("layer failed");
+      current = *layer;
+    }
+    total_bytes = driver->total_bytes();
+    benchmark::DoNotOptimize(current.fs.get());
+  }
+  state.counters["storage_bytes"] =
+      static_cast<double>(total_bytes);
+  state.SetLabel(vfs ? "vfs" : "overlay");
+}
+BENCHMARK(BM_LayerCreate)
+    ->ArgsProduct({{0, 1}, {1, 4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Storage overhead after a small write into each of N layers: overlay pays
+// only the copy-up delta, vfs duplicates the whole image per layer.
+void BM_StorageOverheadPerWrite(benchmark::State& state) {
+  const bool vfs = state.range(0) != 0;
+  for (auto _ : state) {
+    auto driver = make_driver(vfs);
+    auto base = driver->base_layer({base_entries()});
+    core::Layer current = *base;
+    vfs::OpCtx ctx;
+    for (int i = 0; i < 8; ++i) {
+      auto layer = driver->create_layer(current);
+      // One small file written into the layer.
+      vfs::CreateArgs args;
+      auto f = layer->fs->create(ctx, layer->root,
+                                 "marker" + std::to_string(i), args);
+      if (f.ok()) (void)layer->fs->write(ctx, *f, "delta", false);
+      current = *layer;
+    }
+    state.counters["storage_bytes"] =
+        static_cast<double>(driver->total_bytes());
+    state.counters["image_bytes"] = static_cast<double>([&] {
+      std::uint64_t sum = 0;
+      for (const auto& e : base_entries()) sum += e.content.size();
+      return sum;
+    }());
+  }
+  state.SetLabel(vfs ? "vfs" : "overlay");
+}
+BENCHMARK(BM_StorageOverheadPerWrite)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

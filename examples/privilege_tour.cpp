@@ -1,0 +1,125 @@
+// A guided tour of the paper's §2: user namespaces, ID maps, and why
+// unprivileged build is hard — demonstrated with raw syscalls rather than
+// the builders. Useful for understanding what the builders automate.
+#include <iostream>
+
+#include "core/cluster.hpp"
+#include "core/machine.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/helpers.hpp"
+#include "kernel/syscalls.hpp"
+
+using namespace minicon;
+
+namespace {
+
+void show(const std::string& title) { std::cout << "\n== " << title << " ==\n"; }
+
+void result(const std::string& what, const VoidResult& rc) {
+  std::cout << "  " << what << " -> "
+            << (rc.ok() ? "OK"
+                        : std::string(err_name(rc.error())) + " (" +
+                              std::string(err_message(rc.error())) + ")")
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  auto universe = std::make_shared<pkg::RepoUniverse>();
+  auto registry = core::make_full_registry(universe);
+  core::MachineOptions mo;
+  mo.hostname = "tour";
+  mo.registry = registry;
+  core::Machine m(mo);
+  auto alice_r = m.add_user("alice", 1000);
+  if (!alice_r.ok()) return 1;
+  kernel::Process alice = *alice_r;
+  std::string out, err;
+
+  show("1. an unprivileged user cannot chown (the classic rule)");
+  m.run(alice, "touch /home/alice/f", out, err);
+  result("chown(f, 0, 0) as alice",
+         alice.sys->chown(alice, "/home/alice/f", 0, 0, true));
+
+  show("2. unprivileged user namespace: root inside, alice outside (§2.1.3)");
+  kernel::Process inside = alice.clone();
+  (void)inside.sys->unshare_userns(inside);
+  (void)inside.sys->write_setgroups(
+      inside, inside.userns, kernel::UserNamespace::SetgroupsPolicy::kDeny);
+  (void)inside.sys->write_uid_map(inside, inside.userns,
+                                  kernel::IdMap::single(0, 1000));
+  (void)inside.sys->write_gid_map(inside, inside.userns,
+                                  kernel::IdMap::single(0, 1000));
+  std::cout << "  getuid() inside: " << inside.sys->getuid(inside)
+            << "   (kernel credential is still "
+            << inside.cred.euid << ")\n";
+  std::cout << "  /proc/self/uid_map:\n"
+            << *inside.sys->read_file(inside, "/proc/self/uid_map");
+
+  show("3. ...but the map has exactly one entry, so package IDs fail (§2.3)");
+  result("chown(f, 0, 998 /* ssh_keys */) as in-namespace root",
+         inside.sys->chown(inside, "/home/alice/f", 0, 998, true));
+  result("setgroups({65534}) (apt's sandbox drop)",
+         inside.sys->setgroups(inside, {65534}));
+  result("seteuid(100 /* _apt */)", inside.sys->seteuid(inside, 100));
+
+  show("4. privileged helpers install a many-ID map (§2.1.2, Type II)");
+  kernel::Process root = m.root_process();
+  m.run(root, "usermod --add-subuids 200000-265535 alice && "
+              "usermod --add-subgids 200000-265535 alice", out, err);
+  kernel::Process type2 = alice.clone();
+  (void)type2.sys->unshare_userns(type2);
+  auto uid_rc = kernel::newuidmap(m.kernel(), alice, type2.userns,
+                                  {{0, 1000, 1}, {1, 200000, 65536}});
+  auto gid_rc = kernel::newgidmap(m.kernel(), alice, type2.userns,
+                                  {{0, 1000, 1}, {1, 200000, 65536}});
+  std::cout << "  newuidmap -> " << (uid_rc.ok() ? "OK" : "refused")
+            << ", newgidmap -> " << (gid_rc.ok() ? "OK" : "refused") << "\n";
+  result("chown(f, 0, 998) with the privileged map",
+         type2.sys->chown(type2, "/home/alice/f", 0, 998, true));
+  std::cout << "  on the host the file's group is now kernel GID "
+            << [&] {
+                 auto loc = root.sys->resolve(root, "/home/alice/f", true);
+                 return loc.ok() ? loc->mnt->fs->getattr(loc->ino)->gid : 0u;
+               }()
+            << " (200000 + 998 - 1)\n";
+
+  show("5. helpers enforce the sysadmin's boundaries");
+  kernel::Process greedy = alice.clone();
+  (void)greedy.sys->unshare_userns(greedy);
+  auto stolen = kernel::newuidmap(m.kernel(), alice, greedy.userns,
+                                  {{0, 0, 1}});  // try to map host root
+  std::cout << "  mapping host root into alice's namespace -> "
+            << (stolen.ok() ? "ALLOWED (bug!)" : "refused") << "\n";
+
+  show("6. fakeroot(1): user-space lies instead of kernel maps (§5.1)");
+  kernel::Process faked = inside.clone();
+  faked.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      faked.sys, nullptr, fakeroot::FakerootOptions{});
+  result("chown(f, 0, 998) under fakeroot",
+         faked.sys->chown(faked, "/home/alice/f", 0, 998, true));
+  auto lied = faked.sys->stat(faked, "/home/alice/f");
+  auto truth = alice.sys->stat(alice, "/home/alice/f");
+  std::cout << "  stat inside fakeroot: uid=" << lied->uid
+            << " gid=" << lied->gid << "; real: uid=" << truth->uid
+            << " gid=" << truth->gid << "\n";
+
+  show("7. the setgroups trap (§2.1.4)");
+  m.run(root,
+        "groupadd -g 500 managers && touch /bin/reboot && "
+        "chmod 705 /bin/reboot && chown root:managers /bin/reboot",
+        out, err);
+  kernel::Process manager = alice.clone();
+  manager.cred.groups = {500};
+  std::cout << "  manager (in group 500) may run /bin/reboot: "
+            << (manager.sys->access(manager, "/bin/reboot",
+                                    kernel::kExecOk).ok()
+                    ? "yes"
+                    : "no (denied by the group entry)")
+            << "\n";
+  std::cout << "  if setgroups() were allowed in their namespace they could "
+               "drop the group and pass the 'other' bits — which is why "
+               "unprivileged namespaces deny it.\n";
+  return 0;
+}

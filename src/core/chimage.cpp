@@ -1,0 +1,690 @@
+#include "core/chimage.hpp"
+
+#include <regex>
+
+#include "build/dockerfile.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "support/path.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+#include "vfs/treeops.hpp"
+
+namespace minicon::core {
+
+const std::vector<ForceConfig>& builtin_force_configs() {
+  static const std::vector<ForceConfig> configs = {
+      {
+          "rhel7",
+          "CentOS/RHEL 7",
+          "/etc/redhat-release",
+          "release 7\\.",
+          {{
+              "command -v fakeroot >/dev/null",
+              "set -ex; "
+              "if ! grep -Eq '\\[epel\\]' /etc/yum.conf /etc/yum.repos.d/*; "
+              "then yum install -y epel-release; "
+              "yum-config-manager --disable epel; fi; "
+              "yum --enablerepo=epel install -y fakeroot;",
+          }},
+          {"dnf", "rpm", "yum"},
+      },
+      {
+          "debderiv",
+          "Debian (9, 10) or Ubuntu (16, 18, 20)",
+          "/etc/os-release",
+          "buster|stretch|xenial|bionic|focal",
+          {{
+               "apt-config dump | fgrep -q 'APT::Sandbox::User \"root\"' || "
+               "! fgrep -q _apt /etc/passwd",
+               "echo 'APT::Sandbox::User \"root\";' > "
+               "/etc/apt/apt.conf.d/no-sandbox",
+           },
+           {
+               "command -v fakeroot >/dev/null",
+               "apt-get update && apt-get install -y pseudo",
+           }},
+          {"apt", "apt-get", "dpkg"},
+      },
+  };
+  return configs;
+}
+
+std::string format_argv(const std::vector<std::string>& argv) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "'" + argv[i] + "'";
+  }
+  out += "]";
+  return out;
+}
+
+ChImage::ChImage(Machine& m, kernel::Process invoker,
+                 image::Registry* registry, ChImageOptions options)
+    : m_(m),
+      invoker_(std::move(invoker)),
+      registry_(registry),
+      options_(std::move(options)),
+      embedded_db_(std::make_shared<fakeroot::FakeDb>()) {
+  if (options_.storage_dir.empty()) {
+    options_.storage_dir = invoker_.env_get("HOME") + "/.local/share/ch-image";
+  }
+}
+
+std::string ChImage::storage_path(const std::string& tag) const {
+  std::string safe = tag;
+  for (auto& c : safe) {
+    if (c == '/' || c == ':') c = '+';
+  }
+  return options_.storage_dir + "/img/" + safe;
+}
+
+VoidResult ChImage::ensure_dir(const std::string& path) {
+  std::string cur = "/";
+  for (const auto& comp : path_components(path)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (invoker_.sys->stat(invoker_, cur).ok()) continue;
+    MINICON_TRY(invoker_.sys->mkdir(invoker_, cur, 0755));
+  }
+  return {};
+}
+
+VoidResult ChImage::extract_as_user(
+    const std::vector<image::TarEntry>& entries, const std::string& dest,
+    std::size_t* skipped_devices) {
+  for (const auto& e : entries) {
+    const std::string path = path_join(dest, e.name);
+    switch (e.type) {
+      case vfs::FileType::Directory:
+        if (!invoker_.sys->stat(invoker_, path).ok()) {
+          MINICON_TRY(invoker_.sys->mkdir(invoker_, path, e.mode | 0700));
+        }
+        break;
+      case vfs::FileType::Symlink:
+        (void)invoker_.sys->unlink(invoker_, path);
+        MINICON_TRY(invoker_.sys->symlink(invoker_, e.linkname, path));
+        break;
+      case vfs::FileType::Regular:
+        (void)invoker_.sys->unlink(invoker_, path);
+        MINICON_TRY(
+            invoker_.sys->write_file(invoker_, path, e.content, false, e.mode));
+        break;
+      case vfs::FileType::CharDev:
+      case vfs::FileType::BlockDev:
+        // An unprivileged pull cannot create device nodes; skip like
+        // ch-image does.
+        if (skipped_devices != nullptr) ++*skipped_devices;
+        break;
+      default:
+        break;
+    }
+  }
+  return {};
+}
+
+const ForceConfig* ChImage::detect_config(const std::string& image_dir) {
+  for (const auto& cfg : builtin_force_configs()) {
+    // match_file is container-absolute; resolve it inside the image dir.
+    auto text = invoker_.sys->read_file(invoker_, image_dir + cfg.match_file);
+    if (!text.ok()) continue;
+    try {
+      if (std::regex_search(*text, std::regex(cfg.match_regex))) {
+        return &cfg;
+      }
+    } catch (const std::regex_error&) {
+      continue;
+    }
+  }
+  return nullptr;
+}
+
+Result<kernel::Process> ChImage::enter(const std::string& image_dir,
+                                       const image::ImageConfig& cfg) {
+  MINICON_TRY_ASSIGN(loc, invoker_.sys->resolve(invoker_, image_dir, true));
+  RootFs rootfs;
+  rootfs.fs = loc.mnt->fs;
+  rootfs.root = loc.ino;
+  rootfs.owner_ns = loc.mnt->owner_ns;  // host storage: init-owned
+  TypeIIIOptions opts;
+  opts.env = cfg.env;
+  opts.kernel_auto_maps = options_.kernel_assisted_maps;
+  MINICON_TRY_ASSIGN(container, enter_type3(m_, invoker_, rootfs, opts));
+  if (options_.embedded_fakeroot) {
+    // §6.2.2-3: the wrapper lives in the builder, not the image.
+    container.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+        container.sys, embedded_db_, fakeroot::FakerootOptions{});
+  }
+  container.cwd = cfg.workdir.empty() ? "/" : cfg.workdir;
+  return container;
+}
+
+int ChImage::run_in_container(const std::string& image_dir,
+                              const image::ImageConfig& cfg,
+                              const std::vector<std::string>& argv,
+                              std::string& out, std::string& err) {
+  auto container = enter(image_dir, cfg);
+  if (!container.ok()) {
+    err += "ch-run: cannot enter container: " +
+           std::string(err_message(container.error())) + "\n";
+    return 1;
+  }
+  return m_.shell().run_argv(*container, argv, out, err);
+}
+
+VoidResult ChImage::snapshot_to_cache(const std::string& key,
+                                      const std::string& image_dir,
+                                      const image::ImageConfig& cfg) {
+  MINICON_TRY_ASSIGN(loc, invoker_.sys->resolve(invoker_, image_dir, true));
+  auto snapshot = std::make_shared<vfs::MemFs>(0755);
+  vfs::OpCtx ctx;
+  MINICON_TRY(vfs::copy_tree(*loc.mnt->fs, loc.ino, *snapshot,
+                             snapshot->root(), ctx));
+  cache_[key] = {std::move(snapshot), cfg};
+  return {};
+}
+
+bool ChImage::restore_from_cache(const std::string& key,
+                                 const std::string& image_dir,
+                                 image::ImageConfig& cfg) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
+  if (!loc.ok()) return false;
+  vfs::OpCtx ctx;
+  ctx.host_uid = invoker_.cred.euid;
+  ctx.host_gid = invoker_.cred.egid;
+  ctx.host_privileged = invoker_.cred.euid == 0;
+  if (!vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx).ok()) {
+    return false;
+  }
+  if (!vfs::copy_tree(*it->second.snapshot, it->second.snapshot->root(),
+                      *loc->mnt->fs, loc->ino, ctx)
+           .ok()) {
+    return false;
+  }
+  cfg = it->second.config;
+  return true;
+}
+
+int ChImage::pull(const std::string& ref, const std::string& tag,
+                  Transcript& t) {
+  auto manifest = registry_->get_manifest(ref, m_.arch());
+  if (!manifest) {
+    manifest = registry_->get_manifest(ref);
+    if (!manifest) {
+      t.line("error: pull failed: manifest for " + ref + " not found");
+      return 1;
+    }
+    t.line("warning: no " + m_.arch() + " manifest for " + ref + "; using " +
+           manifest->config.arch);
+  }
+  const std::string dir = storage_path(tag);
+  if (auto rc = ensure_dir(dir); !rc.ok()) {
+    t.line("error: cannot create storage directory " + dir);
+    return 1;
+  }
+  std::size_t skipped_devices = 0;
+  for (const auto& digest : manifest->layers) {
+    auto blob = registry_->get_blob(digest);
+    if (!blob) {
+      t.line("error: pull failed: missing blob " + digest);
+      return 1;
+    }
+    auto entries = image::tar_parse(*blob);
+    if (!entries.ok()) {
+      t.line("error: pull failed: corrupt layer " + digest);
+      return 1;
+    }
+    if (auto rc = extract_as_user(*entries, dir, &skipped_devices); !rc.ok()) {
+      t.line("error: pull failed while extracting: " +
+             std::string(err_message(rc.error())));
+      return 1;
+    }
+  }
+  if (skipped_devices > 0) {
+    t.line("warning: ignored " + std::to_string(skipped_devices) +
+           " device file(s) in " + ref);
+  }
+  configs_[tag] = manifest->config;
+  t.line("pulled image: " + ref + " -> " + tag);
+  return 0;
+}
+
+int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
+                   Transcript& t) {
+  auto parsed = build::parse_dockerfile(dockerfile_text);
+  if (const auto* err = std::get_if<build::DockerfileError>(&parsed)) {
+    t.line("error: Dockerfile line " + std::to_string(err->line) + ": " +
+           err->message);
+    return 1;
+  }
+  const auto& df = std::get<build::Dockerfile>(parsed);
+  const std::string image_dir = storage_path(tag);
+
+  const ForceConfig* force_cfg = nullptr;
+  bool fakeroot_inited = false;
+  int modified_runs = 0;
+  bool any_keyword_match = false;
+  // Multi-stage builds: completed stages are snapshotted by name/index so a
+  // later FROM or COPY --from can reference them.
+  std::map<std::string, std::shared_ptr<vfs::MemFs>> stages;
+  int stage_index = -1;
+  std::string stage_aliases_current;
+  auto snapshot_stage = [&](const std::string& name) {
+    auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
+    if (!loc.ok()) return;
+    auto snap = std::make_shared<vfs::MemFs>(0755);
+    vfs::OpCtx ctx;
+    if (vfs::copy_tree(*loc->mnt->fs, loc->ino, *snap, snap->root(), ctx)
+            .ok()) {
+      stages[name] = snap;
+    }
+  };
+  image::ImageConfig cfg;
+  // ARG values exist only during the build (Docker semantics); they overlay
+  // the environment for RUN instructions.
+  std::map<std::string, std::string> build_args;
+  std::string cache_key = "ch-image";
+  int idx = 0;
+
+  for (const auto& ins : df.instructions) {
+    ++idx;
+    const std::string idx_str = std::to_string(idx);
+    switch (ins.kind) {
+      case build::InstrKind::kFrom: {
+        t.line(idx_str + " FROM " + ins.text);
+        const auto fields = split_ws(ins.text);
+        if (fields.empty()) {
+          t.line("error: FROM requires an image reference");
+          return 1;
+        }
+        // Multi-stage: snapshot the finished previous stage before starting
+        // a new one; FROM may name an earlier stage instead of a registry
+        // reference.
+        if (stage_index >= 0) {
+          snapshot_stage("stage-" + std::to_string(stage_index));
+          if (!stage_aliases_current.empty()) {
+            snapshot_stage(stage_aliases_current);
+          }
+        }
+        ++stage_index;
+        std::string stage_name;
+        if (fields.size() >= 3 && (fields[1] == "AS" || fields[1] == "as")) {
+          stage_name = fields[2];
+        }
+        // Start from a clean image directory.
+        if (auto rc = ensure_dir(image_dir); !rc.ok()) {
+          t.line("error: cannot create storage directory " + image_dir);
+          return 1;
+        }
+        if (auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
+            loc.ok()) {
+          vfs::OpCtx ctx;
+          ctx.host_uid = invoker_.cred.euid;
+          ctx.host_gid = invoker_.cred.egid;
+          (void)vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx);
+        }
+        if (auto stage_it = stages.find(fields[0]); stage_it != stages.end()) {
+          // Base is an earlier stage's tree.
+          auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
+          vfs::OpCtx ctx;
+          if (!loc.ok() ||
+              !vfs::copy_tree(*stage_it->second, stage_it->second->root(),
+                              *loc->mnt->fs, loc->ino, ctx)
+                   .ok()) {
+            t.line("error: cannot materialize stage " + fields[0]);
+            return 1;
+          }
+        } else {
+          Transcript pull_t;
+          if (pull(fields[0], tag, pull_t) != 0) {
+            for (const auto& l : pull_t.lines()) t.line(l);
+            return 1;
+          }
+        }
+        // The AS name takes effect when this stage completes (next FROM);
+        // record it for the snapshot.
+        stage_aliases_current = stage_name;
+        cfg = configs_[tag];
+        cache_key = Sha256::hex_digest(cache_key + "|FROM|" + ins.text + "|" +
+                                       cfg.arch);
+        force_cfg = detect_config(image_dir);
+        if (options_.force) {
+          if (force_cfg != nullptr) {
+            t.line("will use --force: " + force_cfg->name + ": " +
+                   force_cfg->description);
+          } else {
+            t.line("warning: --force requested but no config matched");
+          }
+        }
+        break;
+      }
+      case build::InstrKind::kRun: {
+        std::vector<std::string> argv =
+            ins.is_exec_form()
+                ? ins.exec_form
+                : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        t.line(idx_str + " RUN " + format_argv(argv));
+
+        cache_key =
+            Sha256::hex_digest(cache_key + "|RUN|" + join(argv, "\x1f"));
+        if (options_.build_cache &&
+            restore_from_cache(cache_key, image_dir, cfg)) {
+          ++cache_hits_;
+          t.line("cached: using existing layer for step " + idx_str);
+          break;
+        }
+        if (options_.build_cache) ++cache_misses_;
+
+        const bool keyword_hit = [&] {
+          if (force_cfg == nullptr) return false;
+          const std::string& cmd = ins.is_exec_form() ? argv.back() : ins.text;
+          for (const auto& kw : force_cfg->run_keywords) {
+            if (contains(cmd, kw)) return true;
+          }
+          return false;
+        }();
+        any_keyword_match = any_keyword_match || keyword_hit;
+
+        if (keyword_hit && options_.force && !options_.embedded_fakeroot &&
+            !options_.kernel_assisted_maps) {
+          if (!fakeroot_inited) {
+            int step_no = 0;
+            for (const auto& step : force_cfg->init_steps) {
+              ++step_no;
+              t.line("workarounds: init step " + std::to_string(step_no) +
+                     ": checking: $ " + step.check_cmd);
+              std::string out, err;
+              auto container = enter(image_dir, cfg);
+              if (!container.ok()) {
+                t.line("error: cannot enter container");
+                return 1;
+              }
+              const int check =
+                  m_.shell().run(*container, step.check_cmd, out, err);
+              if (check == 0) continue;  // step already satisfied
+              t.line("workarounds: init step " + std::to_string(step_no) +
+                     ": $ " + step.apply_cmd);
+              out.clear();
+              err.clear();
+              auto apply_container = enter(image_dir, cfg);
+              if (!apply_container.ok()) {
+                t.line("error: cannot enter container");
+                return 1;
+              }
+              const int applied =
+                  m_.shell().run(*apply_container, step.apply_cmd, out, err);
+              t.block(out);
+              t.block(err);
+              if (applied != 0) {
+                t.line("error: --force init step " + std::to_string(step_no) +
+                       " failed with exit status " + std::to_string(applied));
+                return applied;
+              }
+            }
+            fakeroot_inited = true;
+          }
+          argv.insert(argv.begin(), "fakeroot");
+          t.line("workarounds: RUN: new command: " + format_argv(argv));
+          ++modified_runs;
+        }
+
+        std::string out, err;
+        image::ImageConfig run_cfg = cfg;
+        for (const auto& [k, v] : build_args) run_cfg.env[k] = v;
+        const int status = run_in_container(image_dir, run_cfg, argv, out, err);
+        t.block(out);
+        t.block(err);
+        if (status != 0) {
+          if (!options_.force && force_cfg != nullptr && keyword_hit) {
+            t.line("hint: build failed; --force might fix it (config " +
+                   force_cfg->name + ": " + force_cfg->description + ")");
+          }
+          t.line("error: build failed: RUN command exited with " +
+                 std::to_string(status));
+          return status;
+        }
+        if (options_.build_cache) {
+          (void)snapshot_to_cache(cache_key, image_dir, cfg);
+        }
+        break;
+      }
+      case build::InstrKind::kEnv: {
+        t.line(idx_str + " ENV " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) cfg.env[k] = v;
+        cache_key = Sha256::hex_digest(cache_key + "|ENV|" + ins.text);
+        break;
+      }
+      case build::InstrKind::kArg: {
+        t.line(idx_str + " ARG " + ins.text);
+        const auto eq = ins.text.find('=');
+        if (eq != std::string::npos) {
+          build_args[ins.text.substr(0, eq)] = ins.text.substr(eq + 1);
+        } else {
+          build_args[ins.text];  // declared, empty default
+        }
+        cache_key = Sha256::hex_digest(cache_key + "|ARG|" + ins.text);
+        break;
+      }
+      case build::InstrKind::kLabel: {
+        t.line(idx_str + " LABEL " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) cfg.labels[k] = v;
+        break;
+      }
+      case build::InstrKind::kWorkdir: {
+        t.line(idx_str + " WORKDIR " + ins.text);
+        cfg.workdir = ins.text;
+        auto container = enter(image_dir, cfg);
+        if (container.ok()) {
+          std::string out, err;
+          (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
+        }
+        cache_key = Sha256::hex_digest(cache_key + "|WORKDIR|" + ins.text);
+        break;
+      }
+      case build::InstrKind::kCopy:
+      case build::InstrKind::kAdd: {
+        t.line(idx_str + " COPY " + ins.text);
+        auto fields = split_ws(ins.text);
+        std::shared_ptr<vfs::MemFs> from_stage;
+        if (!fields.empty() && fields[0].starts_with("--from=")) {
+          const std::string ref = fields[0].substr(7);
+          fields.erase(fields.begin());
+          auto it = stages.find(ref);
+          if (it == stages.end() || it->second == nullptr) {
+            t.line("error: COPY --from=" + ref + ": no such build stage");
+            return 1;
+          }
+          from_stage = it->second;
+        }
+        if (fields.size() < 2) {
+          t.line("error: COPY requires source and destination");
+          return 1;
+        }
+        const std::string& src = fields[0];
+        std::string dst = fields.back();
+        Result<std::string> data = Err::enoent;
+        if (from_stage != nullptr) {
+          // Resolve within the snapshotted stage tree.
+          vfs::InodeNum cur = from_stage->root();
+          bool found = true;
+          for (const auto& comp : path_components(src)) {
+            auto child = from_stage->lookup(cur, comp);
+            if (!child.ok()) {
+              found = false;
+              break;
+            }
+            cur = *child;
+          }
+          if (found) data = from_stage->read(cur);
+        } else {
+          data = invoker_.sys->read_file(invoker_, src);
+        }
+        if (!data.ok()) {
+          t.line("error: COPY: cannot read " + src + ": " +
+                 std::string(err_message(data.error())));
+          return 1;
+        }
+        if (dst.ends_with("/")) dst += path_basename(src);
+        const std::string target = image_dir + path_normalize("/" + dst);
+        (void)ensure_dir(path_dirname(target));
+        if (auto rc =
+                invoker_.sys->write_file(invoker_, target, *data, false, 0644);
+            !rc.ok()) {
+          t.line("error: COPY: cannot write " + dst);
+          return 1;
+        }
+        cache_key = Sha256::hex_digest(cache_key + "|COPY|" + ins.text + "|" +
+                                       Sha256::hex_digest(*data));
+        break;
+      }
+      case build::InstrKind::kCmd: {
+        t.line(idx_str + " CMD " + ins.text);
+        cfg.cmd = ins.is_exec_form()
+                      ? ins.exec_form
+                      : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        break;
+      }
+      case build::InstrKind::kEntrypoint: {
+        t.line(idx_str + " ENTRYPOINT " + ins.text);
+        cfg.entrypoint =
+            ins.is_exec_form()
+                ? ins.exec_form
+                : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        break;
+      }
+      case build::InstrKind::kUser: {
+        t.line(idx_str + " USER " + ins.text);
+        // A Type III image has exactly one user; like real ch-image, warn
+        // and continue (§2.1.1: multiple users are rarely needed for HPC).
+        t.line("warning: USER instruction ignored (Type III images are "
+               "single-user)");
+        break;
+      }
+      case build::InstrKind::kShell: {
+        t.line(idx_str + " SHELL " + ins.text);
+        break;
+      }
+    }
+  }
+  configs_[tag] = cfg;
+  if (options_.force) {
+    t.line("--force: init OK & modified " + std::to_string(modified_runs) +
+           " RUN instructions");
+  } else if (any_keyword_match && force_cfg != nullptr) {
+    t.line("hint: --force available (" + force_cfg->name + ": " +
+           force_cfg->description + ")");
+  }
+  t.line("grown in " + std::to_string(idx) + " instructions: " + tag);
+  return 0;
+}
+
+int ChImage::push(const std::string& tag, const std::string& dest_ref,
+                  Transcript& t, bool preserve_ownership) {
+  auto loc = invoker_.sys->resolve(invoker_, storage_path(tag), true);
+  if (!loc.ok()) {
+    t.line("error: no such image: " + tag);
+    return 1;
+  }
+  auto entries = image::tree_to_entries(*loc->mnt->fs, loc->ino);
+  if (!entries.ok()) {
+    t.line("error: cannot archive image " + tag);
+    return 1;
+  }
+  auto cfg_it = configs_.find(tag);
+  const image::ImageConfig push_cfg =
+      cfg_it != configs_.end() ? cfg_it->second : image::ImageConfig{};
+  // §6.2.5: an image marked "disallow" must not be ownership-flattened; the
+  // ownership-preserving path (fakeroot DB) is the only legal push.
+  if (!preserve_ownership && push_cfg.flatten_policy() == "disallow") {
+    t.line("error: image is marked " +
+           std::string(image::ImageConfig::kFlattenLabel) +
+           "=disallow; use an ownership-preserving push");
+    return 1;
+  }
+  std::vector<image::TarEntry> out_entries;
+  if (preserve_ownership) {
+    // §6.2.2-2: consult the fakeroot database instead of the filesystem so
+    // the pushed archive reflects the *intended* (container) ownership.
+    out_entries = *entries;
+    // Re-walk the tree to map names to inodes for DB lookups.
+    std::map<std::string, std::pair<const vfs::Filesystem*, vfs::InodeNum>>
+        inodes;
+    (void)vfs::walk_tree(*loc->mnt->fs, loc->ino,
+                         [&](const std::string& rel, const vfs::Stat& st) {
+                           inodes[rel] = {loc->mnt->fs.get(), st.ino};
+                           return true;
+                         });
+    for (auto& e : out_entries) {
+      e.uid = 0;
+      e.gid = 0;
+      auto it = inodes.find(e.name);
+      if (it == inodes.end()) continue;
+      const auto* lie =
+          embedded_db_->find(it->second.first, it->second.second);
+      if (lie != nullptr) {
+        if (lie->uid) e.uid = *lie->uid;
+        if (lie->gid) e.gid = *lie->gid;
+        if (lie->mode) e.mode = *lie->mode;
+        if (lie->type) {
+          e.type = *lie->type;
+          e.dev_major = lie->dev_major;
+          e.dev_minor = lie->dev_minor;
+        }
+      }
+    }
+  } else {
+    // Standard Charliecloud push: flatten to root:root, clear setuid/setgid
+    // bits, "to avoid leaking site IDs" (§6.1).
+    out_entries = image::flatten_ownership(std::move(*entries));
+  }
+  const std::string blob = image::tar_create(out_entries);
+  const std::string digest = registry_->put_blob(blob);
+  image::Manifest manifest;
+  manifest.reference = dest_ref;
+  manifest.config = push_cfg;
+  manifest.config.arch = m_.arch();
+  if (!preserve_ownership) {
+    // Mark what we produced, per the §6.2.5 proposal.
+    manifest.config.labels[image::ImageConfig::kFlattenLabel] = "flattened";
+  }
+  manifest.layers = {digest};  // single flattened layer
+  registry_->put_manifest(manifest);
+  t.line("pushing image: " + tag);
+  t.line("destination: " + registry_->name() + "/" + dest_ref);
+  t.line("layers: 1 (" + std::to_string(blob.size()) + " bytes, " + digest +
+         ")");
+  t.line("done");
+  return 0;
+}
+
+int ChImage::run_in_image(const std::string& tag,
+                          const std::vector<std::string>& argv,
+                          Transcript& t) {
+  auto it = configs_.find(tag);
+  const image::ImageConfig cfg =
+      it != configs_.end() ? it->second : image::ImageConfig{};
+  std::string out, err;
+  const int status = run_in_container(storage_path(tag), cfg, argv, out, err);
+  t.block(out);
+  t.block(err);
+  return status;
+}
+
+Result<RootFs> ChImage::image_rootfs(const std::string& tag) {
+  MINICON_TRY_ASSIGN(loc,
+                     invoker_.sys->resolve(invoker_, storage_path(tag), true));
+  RootFs rootfs;
+  rootfs.fs = loc.mnt->fs;
+  rootfs.root = loc.ino;
+  rootfs.owner_ns = loc.mnt->owner_ns;
+  return rootfs;
+}
+
+const image::ImageConfig* ChImage::config(const std::string& tag) const {
+  auto it = configs_.find(tag);
+  return it == configs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace minicon::core

@@ -1,0 +1,127 @@
+// ch-image: the fully-unprivileged (Type III) Dockerfile builder (§5).
+//
+// The centerpiece is the --force fakeroot(1) auto-injection engine (§5.3):
+// distro-sniffing configurations, each with init steps (a check command and
+// an apply command) and RUN keyword triggers. Design principles, from the
+// paper: (1) be clear and explicit about what is happening, (2) minimize
+// changes to the build, (3) modify only if the user requests it, otherwise
+// say what *could* be modified.
+//
+// §6.2.2 extensions are implemented behind options: a per-instruction build
+// cache, an embedded libfakeroot (no wrapper installed into the image), and
+// ownership-preserving push driven by the fakeroot lies database.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/machine.hpp"
+#include "core/runtime.hpp"
+#include "fakeroot/fakedb.hpp"
+#include "image/registry.hpp"
+#include "image/tar.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon::core {
+
+struct ForceInitStep {
+  std::string check_cmd;  // exit 0 = step already done
+  std::string apply_cmd;
+};
+
+struct ForceConfig {
+  std::string name;         // "rhel7"
+  std::string description;  // "CentOS/RHEL 7"
+  std::string match_file;   // file sniffed inside the image
+  std::string match_regex;  // ERE applied to its contents
+  std::vector<ForceInitStep> init_steps;
+  std::vector<std::string> run_keywords;  // substrings that trigger injection
+};
+
+// The configurations shipped with ch-image as of the paper (rhel7 and
+// debderiv, §5.3.1-2).
+const std::vector<ForceConfig>& builtin_force_configs();
+
+struct ChImageOptions {
+  bool force = false;
+  // §6.2.2 extensions (all off by default, matching the paper's ch-image):
+  bool build_cache = false;
+  bool embedded_fakeroot = false;
+  // §6.2.4 future work: rely on kernel-managed unprivileged maps instead of
+  // fakeroot entirely (requires the unprivileged_auto_maps sysctl).
+  bool kernel_assisted_maps = false;
+  std::string storage_dir;  // default $HOME/.local/share/ch-image
+};
+
+class ChImage {
+ public:
+  ChImage(Machine& m, kernel::Process invoker, image::Registry* registry,
+          ChImageOptions options = {});
+
+  // `ch-image build -t tag -f dockerfile .` — returns the exit status and
+  // writes a Fig 2/3/10/11-style transcript.
+  int build(const std::string& tag, const std::string& dockerfile_text,
+            Transcript& t);
+
+  // `ch-image push tag ref` — flattens ownership (root:root, setuid bits
+  // cleared, single layer). With preserve_ownership, the embedded fakeroot
+  // database supplies the recorded IDs instead (§6.2.2-2).
+  int push(const std::string& tag, const std::string& dest_ref, Transcript& t,
+           bool preserve_ownership = false);
+
+  // `ch-image pull ref tag`.
+  int pull(const std::string& ref, const std::string& tag, Transcript& t);
+
+  // `ch-run tag -- argv` — Type III execution of a built image.
+  int run_in_image(const std::string& tag,
+                   const std::vector<std::string>& argv, Transcript& t);
+
+  // Rootfs handle for a built image (for runtimes and tests).
+  Result<RootFs> image_rootfs(const std::string& tag);
+
+  const image::ImageConfig* config(const std::string& tag) const;
+
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+  const fakeroot::FakeDbPtr& embedded_db() const { return embedded_db_; }
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<vfs::MemFs> snapshot;
+    image::ImageConfig config;
+  };
+
+  std::string storage_path(const std::string& tag) const;
+  VoidResult ensure_dir(const std::string& path);
+  // Extracts layer entries into the image dir *as the invoker* — which is
+  // what squashes ownership to the single available ID (§5.2).
+  VoidResult extract_as_user(const std::vector<image::TarEntry>& entries,
+                             const std::string& dest, std::size_t* skipped_devices);
+  const ForceConfig* detect_config(const std::string& image_dir);
+  Result<kernel::Process> enter(const std::string& image_dir,
+                                const image::ImageConfig& cfg);
+  int run_in_container(const std::string& image_dir,
+                       const image::ImageConfig& cfg,
+                       const std::vector<std::string>& argv, std::string& out,
+                       std::string& err);
+  VoidResult snapshot_to_cache(const std::string& key,
+                               const std::string& image_dir,
+                               const image::ImageConfig& cfg);
+  bool restore_from_cache(const std::string& key, const std::string& image_dir,
+                          image::ImageConfig& cfg);
+
+  Machine& m_;
+  kernel::Process invoker_;
+  image::Registry* registry_;
+  ChImageOptions options_;
+  std::map<std::string, image::ImageConfig> configs_;
+  std::map<std::string, CacheEntry> cache_;
+  fakeroot::FakeDbPtr embedded_db_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+};
+
+// Renders ['a', 'b', 'c'] the way ch-image transcripts do.
+std::string format_argv(const std::vector<std::string>& argv);
+
+}  // namespace minicon::core

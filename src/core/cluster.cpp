@@ -1,0 +1,174 @@
+#include "core/cluster.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "core/chimage.hpp"
+#include "core/runtime.hpp"
+#include "distro/distro.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "pkg/managers.hpp"
+#include "support/path.hpp"
+
+namespace minicon::core {
+
+std::shared_ptr<shell::CommandRegistry> make_full_registry(
+    const pkg::RepoUniversePtr& universe) {
+  auto reg = std::make_shared<shell::CommandRegistry>();
+  shell::register_standard_commands(*reg);
+  fakeroot::register_fakeroot_commands(*reg);
+  pkg::register_pkg_commands(*reg, universe);
+  image::register_tar_command(*reg);
+  distro::register_toolchain_commands(*reg);
+  return reg;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      universe_(std::make_shared<pkg::RepoUniverse>()),
+      registry_("registry." + options_.name + ".example.com") {
+  distro::populate_repos(*universe_);
+  distro::publish_base_images(registry_, {"x86_64", "aarch64"});
+  command_registry_ = make_full_registry(universe_);
+  shared_fs_ = std::make_shared<vfs::SharedFs>(options_.shared_fs);
+
+  auto make_node = [&](const std::string& hostname) {
+    MachineOptions mo;
+    mo.hostname = hostname;
+    mo.arch = options_.arch;
+    mo.registry = command_registry_;
+    mo.shared_fs = shared_fs_;
+    mo.shared_mountpoint = "/lustre";
+    auto node = std::make_unique<Machine>(mo);
+    (void)node->add_user(options_.user, options_.user_uid);
+    return node;
+  };
+  login_ = make_node(options_.name + "-login1");
+  for (int i = 0; i < options_.compute_nodes; ++i) {
+    compute_.push_back(make_node(options_.name + "-cn" + std::to_string(i)));
+  }
+
+  // Shared home on the parallel filesystem.
+  vfs::OpCtx ctx;
+  ctx.host_privileged = true;
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Directory;
+  args.mode = 0755;
+  if (auto home = shared_fs_->create(ctx, shared_fs_->root(), "home", args);
+      home.ok()) {
+    // The server provisions the user's directory under the user's own
+    // authenticated identity (root squash would refuse anything else).
+    vfs::OpCtx user_ctx;
+    user_ctx.host_uid = options_.user_uid;
+    user_ctx.host_gid = options_.user_uid;
+    user_ctx.host_privileged = false;
+    vfs::CreateArgs user_args = args;
+    user_args.uid = options_.user_uid;
+    user_args.gid = options_.user_uid;
+    user_args.mode = 0700;
+    (void)shared_fs_->create(user_ctx, *home, options_.user, user_args);
+  }
+}
+
+Result<kernel::Process> Cluster::user_on(Machine& node) {
+  return node.login(options_.user);
+}
+
+Cluster::LaunchResult Cluster::parallel_launch(
+    const std::string& image_ref, const std::vector<std::string>& argv,
+    bool via_shared_fs) {
+  LaunchResult result;
+  result.outputs.resize(compute_.size());
+
+  // Shared-filesystem mode: extract the flat image once, every node enters
+  // the same tree (the ch-run model the paper recommends for launch).
+  std::string shared_image_dir;
+  if (via_shared_fs) {
+    auto manifest = registry_.get_manifest(image_ref, options_.arch);
+    if (!manifest) manifest = registry_.get_manifest(image_ref);
+    if (!manifest) {
+      result.nodes_failed = compute_count();
+      return result;
+    }
+    auto user = user_on(login());
+    if (!user.ok()) {
+      result.nodes_failed = compute_count();
+      return result;
+    }
+    shared_image_dir = "/lustre/home/" + options_.user + "/images/" +
+                       std::to_string(manifest->layers.size());
+    std::string cur = "/";
+    for (const auto& comp : path_components(shared_image_dir)) {
+      cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+      if (!user->sys->stat(*user, cur).ok()) {
+        (void)user->sys->mkdir(*user, cur, 0755);
+      }
+    }
+    ChImageOptions ch_opts;
+    ch_opts.storage_dir = "/lustre/home/" + options_.user + "/.chimage";
+    ChImage ch(login(), *user, &registry_, ch_opts);
+    Transcript t;
+    if (ch.pull(image_ref, "launch", t) != 0) {
+      result.nodes_failed = compute_count();
+      return result;
+    }
+    shared_image_dir =
+        "/lustre/home/" + options_.user + "/.chimage/img/launch";
+  }
+
+  std::mutex mu;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < compute_.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Machine& node = *compute_[i];
+      auto user = node.login(options_.user);
+      if (!user.ok()) {
+        std::lock_guard lock(mu);
+        ++result.nodes_failed;
+        return;
+      }
+      int status = 1;
+      std::string output;
+      if (via_shared_fs) {
+        // Every node sees the same image directory through /lustre.
+        auto loc = user->sys->resolve(*user, shared_image_dir, true);
+        if (loc.ok()) {
+          RootFs rootfs{loc->mnt->fs, loc->ino, loc->mnt->owner_ns};
+          auto container = enter_type3(node, *user, rootfs, {});
+          if (container.ok()) {
+            std::string err;
+            status = node.shell().run_argv(*container, argv, output, err);
+            output += err;
+          }
+        }
+      } else {
+        // Pull to node-local storage, then run (the registry round-trip).
+        ChImage ch(node, *user, &registry_, {});
+        Transcript t;
+        if (ch.pull(image_ref, "job", t) == 0) {
+          Transcript rt;
+          status = ch.run_in_image("job", argv, rt);
+          output = rt.text();
+        }
+      }
+      std::lock_guard lock(mu);
+      if (status == 0) {
+        ++result.nodes_ok;
+      } else {
+        ++result.nodes_failed;
+      }
+      result.outputs[i] = std::move(output);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace minicon::core

@@ -1,0 +1,74 @@
+// A simulated HPC machine: login node + compute nodes + shared parallel
+// filesystem + container registry (the Astra deployment, §4.2 / Fig 6).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "image/registry.hpp"
+#include "pkg/package.hpp"
+#include "vfs/sharedfs.hpp"
+
+namespace minicon::core {
+
+struct ClusterOptions {
+  std::string name = "astra";
+  std::string arch = "aarch64";  // Astra: first Arm Top-500 machine
+  int compute_nodes = 4;
+  // Shared filesystem options; the default (no xattrs, root squash) is the
+  // problematic configuration from §4.2/§6.1.
+  vfs::SharedFsOptions shared_fs;
+  std::string user = "alice";
+  vfs::Uid user_uid = 1000;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  Machine& login() { return *login_; }
+  Machine& compute(int i) { return *compute_[static_cast<std::size_t>(i)]; }
+  int compute_count() const { return static_cast<int>(compute_.size()); }
+  image::Registry& registry() { return registry_; }
+  const pkg::RepoUniversePtr& universe() const { return universe_; }
+  const std::shared_ptr<shell::CommandRegistry>& command_registry() const {
+    return command_registry_;
+  }
+  const vfs::FilesystemPtr& shared_fs() const { return shared_fs_; }
+  const ClusterOptions& options() const { return options_; }
+
+  // The cluster user's login process on a node.
+  Result<kernel::Process> user_on(Machine& node);
+
+  struct LaunchResult {
+    int nodes_ok = 0;
+    int nodes_failed = 0;
+    double wall_ms = 0;
+    std::vector<std::string> outputs;  // one per node
+  };
+
+  // Fig 6 final stage: pull `image_ref` from the registry on every compute
+  // node concurrently and run argv in a Type III container. With
+  // `via_shared_fs`, the image is extracted once to the shared filesystem
+  // and nodes enter it directly (the flat-directory ch-run model).
+  LaunchResult parallel_launch(const std::string& image_ref,
+                               const std::vector<std::string>& argv,
+                               bool via_shared_fs);
+
+ private:
+  ClusterOptions options_;
+  std::shared_ptr<shell::CommandRegistry> command_registry_;
+  pkg::RepoUniversePtr universe_;
+  image::Registry registry_;
+  vfs::FilesystemPtr shared_fs_;
+  std::unique_ptr<Machine> login_;
+  std::vector<std::unique_ptr<Machine>> compute_;
+};
+
+// Builds a command registry with everything installed: shell builtins,
+// fakeroot, package managers, tar, and the HPC toolchain.
+std::shared_ptr<shell::CommandRegistry> make_full_registry(
+    const pkg::RepoUniversePtr& universe);
+
+}  // namespace minicon::core

@@ -1,0 +1,220 @@
+#include "core/docker.hpp"
+
+#include "build/dockerfile.hpp"
+#include "core/chimage.hpp"  // format_argv
+#include "core/cluster.hpp"  // make_full_registry
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::core {
+
+Docker::Docker(Machine& m, kernel::Process invoker, image::Registry* registry)
+    : m_(m), invoker_(std::move(invoker)), registry_(registry) {}
+
+Result<kernel::Process> Docker::enter(const BuiltImage& img) {
+  RootFs rootfs;
+  rootfs.fs = img.fs;
+  rootfs.root = img.fs->root();
+  rootfs.owner_ns = m_.kernel().init_userns();
+  return enter_type1(m_, invoker_, rootfs, img.config.env);
+}
+
+int Docker::build(const std::string& tag, const std::string& dockerfile_text,
+                  Transcript& t) {
+  auto parsed = build::parse_dockerfile(dockerfile_text);
+  if (const auto* err = std::get_if<build::DockerfileError>(&parsed)) {
+    t.line("Error response from daemon: dockerfile parse error line " +
+           std::to_string(err->line) + ": " + err->message);
+    return 1;
+  }
+  if (invoker_.cred.euid != 0) {
+    // "Access to the docker command is equivalent to root": modeled as a
+    // socket only root may use.
+    t.line("Got permission denied while trying to connect to the Docker "
+           "daemon socket");
+    return 1;
+  }
+  const auto& df = std::get<build::Dockerfile>(parsed);
+  BuiltImage img;
+  int step = 0;
+  const std::size_t total = df.instructions.size();
+  for (const auto& ins : df.instructions) {
+    ++step;
+    const std::string prefix = "Step " + std::to_string(step) + "/" +
+                               std::to_string(total) + " : ";
+    switch (ins.kind) {
+      case build::InstrKind::kFrom: {
+        t.line(prefix + "FROM " + ins.text);
+        const auto fields = split_ws(ins.text);
+        auto manifest = registry_->get_manifest(fields[0], m_.arch());
+        if (!manifest) manifest = registry_->get_manifest(fields[0]);
+        if (!manifest) {
+          t.line("Error: manifest for " + fields[0] + " not found");
+          return 1;
+        }
+        img.fs = std::make_shared<vfs::MemFs>(0755);
+        img.config = manifest->config;
+        img.config.arch = m_.arch();
+        vfs::OpCtx ctx;
+        for (const auto& digest : manifest->layers) {
+          auto blob = registry_->get_blob(digest);
+          if (!blob) {
+            t.line("Error: missing blob " + digest);
+            return 1;
+          }
+          auto entries = image::tar_parse(*blob);
+          if (!entries.ok() ||
+              !image::entries_to_tree(*entries, *img.fs, img.fs->root(), ctx)
+                   .ok()) {
+            t.line("Error: corrupt base layer");
+            return 1;
+          }
+        }
+        break;
+      }
+      case build::InstrKind::kRun: {
+        const std::vector<std::string> argv =
+            ins.is_exec_form()
+                ? ins.exec_form
+                : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        t.line(prefix + "RUN " +
+               (ins.is_exec_form() ? format_argv(argv) : ins.text));
+        auto container = enter(img);
+        if (!container.ok()) {
+          t.line("Error: cannot start build container");
+          return 1;
+        }
+        std::string out, err;
+        const int status = m_.shell().run_argv(*container, argv, out, err);
+        t.block(out);
+        t.block(err);
+        if (status != 0) {
+          t.line("The command '" + join(argv, " ") +
+                 "' returned a non-zero code: " + std::to_string(status));
+          return status;
+        }
+        break;
+      }
+      case build::InstrKind::kEnv:
+        t.line(prefix + "ENV " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) {
+          img.config.env[k] = v;
+        }
+        break;
+      case build::InstrKind::kCmd:
+        t.line(prefix + "CMD " + ins.text);
+        img.config.cmd = ins.is_exec_form()
+                             ? ins.exec_form
+                             : std::vector<std::string>{"/bin/sh", "-c",
+                                                        ins.text};
+        break;
+      case build::InstrKind::kLabel:
+        t.line(prefix + "LABEL " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) {
+          img.config.labels[k] = v;
+        }
+        break;
+      case build::InstrKind::kWorkdir: {
+        t.line(prefix + "WORKDIR " + ins.text);
+        img.config.workdir = ins.text;
+        auto container = enter(img);
+        if (container.ok()) {
+          std::string out, err;
+          (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
+        }
+        break;
+      }
+      default:
+        t.line(prefix + build::instr_name(ins.kind) + " " + ins.text);
+        break;
+    }
+  }
+  images_[tag] = std::move(img);
+  t.line("Successfully tagged " + tag + ":latest");
+  return 0;
+}
+
+int Docker::push(const std::string& tag, const std::string& dest_ref,
+                 Transcript& t) {
+  auto it = images_.find(tag);
+  if (it == images_.end()) {
+    t.line("Error: no such image: " + tag);
+    return 1;
+  }
+  auto entries = image::tree_to_entries(*it->second.fs, it->second.fs->root());
+  if (!entries.ok()) {
+    t.line("Error: cannot export image");
+    return 1;
+  }
+  image::Manifest manifest;
+  manifest.reference = dest_ref;
+  manifest.config = it->second.config;
+  manifest.layers = {registry_->put_blob(image::tar_create(*entries))};
+  registry_->put_manifest(manifest);
+  t.line("The push refers to repository [" + registry_->name() + "/" +
+         dest_ref + "]");
+  t.line("latest: digest: " + manifest.digest());
+  return 0;
+}
+
+int Docker::run_in_image(const std::string& tag,
+                         const std::vector<std::string>& argv, Transcript& t) {
+  auto it = images_.find(tag);
+  if (it == images_.end()) {
+    t.line("Unable to find image '" + tag + "' locally");
+    return 125;
+  }
+  auto container = enter(it->second);
+  if (!container.ok()) {
+    t.line("docker: permission denied");
+    return 126;
+  }
+  std::string out, err;
+  const int status = m_.shell().run_argv(*container, argv, out, err);
+  t.block(out);
+  t.block(err);
+  return status;
+}
+
+const image::ImageConfig* Docker::config(const std::string& tag) const {
+  auto it = images_.find(tag);
+  return it == images_.end() ? nullptr : &it->second.config;
+}
+
+// --- SandboxedBuilder ---------------------------------------------------------
+
+SandboxedBuilder::SandboxedBuilder(pkg::RepoUniversePtr universe,
+                                   image::Registry* registry,
+                                   SandboxOptions options)
+    : universe_(std::move(universe)),
+      registry_(registry),
+      options_(std::move(options)) {}
+
+int SandboxedBuilder::build_and_push(const std::string& dest_ref,
+                                     const std::string& dockerfile_text,
+                                     Transcript& t) {
+  // Boot the ephemeral VM: generic x86-64, WAN only — "standalone and
+  // isolated resources (such as ephemeral virtual machines)" (§2). No
+  // shared filesystems, no site network, so no license servers.
+  MachineOptions mo;
+  mo.hostname = options_.hostname;
+  mo.arch = options_.arch;
+  mo.registry = make_full_registry(universe_);
+  mo.networks = {"wan"};
+  Machine vm(mo);
+  t.line("[sandbox] booted ephemeral VM " + mo.hostname + " (" + mo.arch +
+         ", networks: wan)");
+  kernel::Process root = vm.root_process();
+  Docker docker(vm, root, registry_);
+  const int status = docker.build("ci-build", dockerfile_text, t);
+  if (status != 0) {
+    t.line("[sandbox] build failed; VM destroyed");
+    return status;
+  }
+  const int pushed = docker.push("ci-build", dest_ref, t);
+  t.line("[sandbox] VM destroyed");
+  return pushed;
+}
+
+}  // namespace minicon::core

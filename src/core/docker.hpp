@@ -1,0 +1,73 @@
+// Type I builder and the §3.2 Option 1 baseline.
+//
+// Docker is the reference Type I implementation (§2.2, §3.1): no user
+// namespace, fully privileged — "even simply having access to the docker
+// command is equivalent to root". Builds trivially succeed because the
+// builder really is root; the paper's question is where such privilege is
+// acceptable.
+//
+// SandboxedBuilder is §3.2's Option 1: an ephemeral, isolated VM (its own
+// Machine with no shared filesystems and no site network) that runs Docker
+// as root and pushes the result to the site registry. It works — and hits
+// exactly the limitation the paper gives: "isolated build environments may
+// not be able to access needed resources, such as private code or licenses".
+#pragma once
+
+#include "core/machine.hpp"
+#include "core/runtime.hpp"
+#include "image/registry.hpp"
+#include "pkg/package.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon::core {
+
+class Docker {
+ public:
+  // The invoker must be root (or "in the docker group", which is the same
+  // thing): enter_type1 enforces it.
+  Docker(Machine& m, kernel::Process invoker, image::Registry* registry);
+
+  int build(const std::string& tag, const std::string& dockerfile_text,
+            Transcript& t);
+  int push(const std::string& tag, const std::string& dest_ref, Transcript& t);
+  int run_in_image(const std::string& tag,
+                   const std::vector<std::string>& argv, Transcript& t);
+
+  const image::ImageConfig* config(const std::string& tag) const;
+
+ private:
+  struct BuiltImage {
+    vfs::FilesystemPtr fs;
+    image::ImageConfig config;
+  };
+
+  Result<kernel::Process> enter(const BuiltImage& img);
+
+  Machine& m_;
+  kernel::Process invoker_;
+  image::Registry* registry_;
+  std::map<std::string, BuiltImage> images_;
+};
+
+struct SandboxOptions {
+  std::string arch = "x86_64";  // CI/CD clouds are generic x86-64 (§2)
+  std::string hostname = "ci-vm-1";
+};
+
+// §3.2 Option 1: build in a throwaway VM, push to the site registry.
+class SandboxedBuilder {
+ public:
+  SandboxedBuilder(pkg::RepoUniversePtr universe, image::Registry* registry,
+                   SandboxOptions options = {});
+
+  // Boots a fresh VM, builds as root, pushes, destroys the VM.
+  int build_and_push(const std::string& dest_ref,
+                     const std::string& dockerfile_text, Transcript& t);
+
+ private:
+  pkg::RepoUniversePtr universe_;
+  image::Registry* registry_;
+  SandboxOptions options_;
+};
+
+}  // namespace minicon::core

@@ -1,0 +1,142 @@
+#include "core/machine.hpp"
+
+#include "distro/distro.hpp"
+#include "support/strings.hpp"
+#include "distro/treebuilder.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/userdb.hpp"
+#include "support/path.hpp"
+
+namespace minicon::core {
+
+Machine::Machine(MachineOptions options) : options_(std::move(options)) {
+  // Hosts run a RHEL7-like tree (most HPC centers, §3.1).
+  host_fs_ = distro::make_centos7_tree(options_.arch);
+
+  // Host /proc: files owned by real (initial-namespace) root. /proc/1/environ
+  // is 0400 root:root like on a real system — the Fig 5 "owned by nobody"
+  // problem comes from bind-mounting this into a user namespace.
+  distro::TreeBuilder proc_builder;
+  proc_builder.file("/1/environ", std::string("HOME=/\0TERM=linux\0", 18),
+                    0400);
+  proc_builder.file("/1/status", "Name:\tinit\nPid:\t1\n", 0444);
+  proc_builder.file("/sys/crypto/fips_enabled", "0\n", 0444);
+  proc_builder.file("/sys/kernel/overflowuid", "65534\n", 0444);
+  proc_fs_ = proc_builder.fs();
+
+  kernel::Mount root_mount;
+  root_mount.mountpoint = "/";
+  root_mount.fs = host_fs_;
+  root_mount.root = host_fs_->root();
+  root_mount.owner_ns = kernel_.init_userns();
+  root_mount.source = "/dev/sda1";
+  host_mountns_ = kernel::MountNamespace::make(std::move(root_mount));
+
+  kernel::Mount proc_mount;
+  proc_mount.mountpoint = "/proc";
+  proc_mount.fs = proc_fs_;
+  proc_mount.root = proc_fs_->root();
+  proc_mount.owner_ns = kernel_.init_userns();
+  proc_mount.source = "proc";
+  host_mountns_->add(std::move(proc_mount));
+
+  if (options_.shared_fs != nullptr) {
+    // Create the mountpoint directory in the host tree.
+    kernel::Mount shared;
+    shared.mountpoint = options_.shared_mountpoint;
+    shared.fs = options_.shared_fs;
+    shared.root = options_.shared_fs->root();
+    shared.owner_ns = kernel_.init_userns();
+    shared.source = options_.shared_fs->fs_type() + "-server:/export";
+    // Ensure the mountpoint exists.
+    vfs::OpCtx ctx;
+    ctx.now = kernel_.tick();
+    vfs::InodeNum cur = host_fs_->root();
+    for (const auto& comp : path_components(options_.shared_mountpoint)) {
+      auto child = host_fs_->lookup(cur, comp);
+      if (child.ok()) {
+        cur = *child;
+        continue;
+      }
+      vfs::CreateArgs args;
+      args.type = vfs::FileType::Directory;
+      args.mode = 0755;
+      auto created = host_fs_->create(ctx, cur, comp, args);
+      if (!created.ok()) break;
+      cur = *created;
+    }
+    host_mountns_->add(std::move(shared));
+  }
+
+  shell_ = std::make_shared<shell::Shell>(options_.registry);
+}
+
+kernel::Process Machine::root_process() {
+  kernel::Process p;
+  p.cred = kernel::Credentials::root();
+  p.userns = kernel_.init_userns();
+  p.mountns = host_mountns_;
+  p.cwd = "/root";
+  p.env["PATH"] = distro::kDefaultPath;
+  p.env["HOME"] = "/root";
+  p.env["USER"] = "root";
+  p.env["HOSTNAME"] = options_.hostname;
+  p.env["MINICON_ARCH"] = options_.arch;
+  p.env["MINICON_NETWORKS"] = join(options_.networks, ",");
+  p.sys = kernel_.syscalls();
+  return p;
+}
+
+Result<kernel::Process> Machine::add_user(const std::string& name,
+                                          vfs::Uid uid) {
+  kernel::Process root = root_process();
+  std::string out, err;
+  const int status = run(
+      root, "useradd -u " + std::to_string(uid) + " " + name + " && mkdir -p "
+            "/home/" + name + " && chown " + name + ":" + name + " /home/" +
+            name, out, err);
+  if (status != 0) return Err::einval;
+  return login(name);
+}
+
+Result<kernel::Process> Machine::login(const std::string& name) {
+  kernel::Process root = root_process();
+  MINICON_TRY_ASSIGN(passwd_text, root.sys->read_file(root, "/etc/passwd"));
+  auto entry = kernel::PasswdDb::parse(passwd_text).by_name(name);
+  if (!entry) return Err::enoent;
+
+  // Supplementary groups from /etc/group membership.
+  std::vector<vfs::Gid> groups;
+  if (auto group_text = root.sys->read_file(root, "/etc/group");
+      group_text.ok()) {
+    // Materialize the database: entries() of a temporary would dangle.
+    const kernel::GroupDb group_db = kernel::GroupDb::parse(*group_text);
+    for (const auto& g : group_db.entries()) {
+      for (const auto& member : g.members) {
+        if (member == name) groups.push_back(g.gid);
+      }
+    }
+  }
+
+  kernel::Process p;
+  p.cred = kernel::Credentials::user(entry->uid, entry->gid, groups);
+  p.userns = kernel_.init_userns();
+  p.mountns = host_mountns_;
+  p.cwd = entry->home.empty() ? "/" : entry->home;
+  p.env["PATH"] = distro::kDefaultPath;
+  p.env["HOME"] = p.cwd;
+  p.env["USER"] = name;
+  p.env["HOSTNAME"] = options_.hostname;
+  p.env["MINICON_ARCH"] = options_.arch;
+  p.env["MINICON_NETWORKS"] = join(options_.networks, ",");
+  p.sys = kernel_.syscalls();
+  if (!root.sys->stat(root, p.cwd).ok()) p.cwd = "/";
+  return p;
+}
+
+int Machine::run(kernel::Process& p, const std::string& script,
+                 std::string& out, std::string& err) {
+  return shell_->run(p, script, out, err);
+}
+
+}  // namespace minicon::core

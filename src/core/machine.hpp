@@ -1,0 +1,70 @@
+// A simulated host: kernel + root filesystem + /proc + users + shell.
+//
+// A Machine is one node (laptop, login node, compute node). Machines in a
+// cluster share a command registry, a package universe, a registry service,
+// and optionally a shared parallel filesystem — but each has its own kernel
+// and mount table, like real nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "kernel/process.hpp"
+#include "shell/shell.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::core {
+
+struct MachineOptions {
+  std::string hostname = "localhost";
+  std::string arch = "x86_64";
+  // Shared across machines; must outlive the Machine.
+  std::shared_ptr<shell::CommandRegistry> registry;
+  // Optional shared parallel filesystem and where to mount it.
+  vfs::FilesystemPtr shared_fs;
+  std::string shared_mountpoint = "/lustre";
+  // Which networks this machine can reach. Site resources (license servers,
+  // private registries) live on "site"; ephemeral CI VMs only see "wan" —
+  // the §2 motivation for building on HPC resources directly.
+  std::vector<std::string> networks = {"wan", "site"};
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineOptions options);
+
+  const std::string& hostname() const { return options_.hostname; }
+  const std::string& arch() const { return options_.arch; }
+  kernel::Kernel& kernel() { return kernel_; }
+  shell::Shell& shell() { return *shell_; }
+  const std::shared_ptr<shell::CommandRegistry>& registry() const {
+    return options_.registry;
+  }
+  const vfs::FilesystemPtr& host_fs() const { return host_fs_; }
+  const kernel::MountNsPtr& host_mountns() const { return host_mountns_; }
+
+  // A root shell process on this machine.
+  kernel::Process root_process();
+
+  // Creates an account (+ home dir + subordinate ID ranges) and returns a
+  // login process for it.
+  Result<kernel::Process> add_user(const std::string& name, vfs::Uid uid);
+  Result<kernel::Process> login(const std::string& name);
+
+  // Runs a shell command as `p`; returns its exit status.
+  int run(kernel::Process& p, const std::string& script, std::string& out,
+          std::string& err);
+
+ private:
+  void populate_host_proc();
+
+  MachineOptions options_;
+  kernel::Kernel kernel_;
+  vfs::FilesystemPtr host_fs_;
+  vfs::FilesystemPtr proc_fs_;
+  kernel::MountNsPtr host_mountns_;
+  std::shared_ptr<shell::Shell> shell_;
+};
+
+}  // namespace minicon::core

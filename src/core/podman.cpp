@@ -1,0 +1,449 @@
+#include "core/podman.hpp"
+
+#include "build/dockerfile.hpp"
+#include "core/chimage.hpp"  // format_argv
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/userdb.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+#include "vfs/overlayfs.hpp"
+
+namespace minicon::core {
+
+Podman::Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
+               PodmanOptions options)
+    : m_(m),
+      invoker_(std::move(invoker)),
+      registry_(registry),
+      options_(std::move(options)) {
+  if (options_.graphroot_backing == nullptr) {
+    // "/tmp or local disk can be used for container storage" (§4.2).
+    options_.graphroot_backing = std::make_shared<vfs::MemFs>(0755);
+  }
+  if (options_.driver == PodmanOptions::Driver::kVfs) {
+    driver_ = std::make_unique<VfsDriver>(
+        options_.graphroot_backing, "containers/storage/vfs",
+        invoker_.cred.euid, invoker_.cred.egid);
+  } else {
+    driver_ = std::make_unique<OverlayDriver>(options_.graphroot_backing);
+  }
+  load_id_maps();
+}
+
+void Podman::load_id_maps() {
+  // The same subuid/subgid view the helpers enforce; used for the id maps
+  // shown by `podman unshare` and for push-time translation.
+  std::vector<kernel::IdMapEntry> uids{{0, invoker_.cred.euid, 1}};
+  std::vector<kernel::IdMapEntry> gids{{0, invoker_.cred.egid, 1}};
+  if (options_.rootless_helpers) {
+    kernel::Process reader = invoker_.clone();
+    reader.sys = m_.kernel().syscalls();
+    const std::string user = invoker_.env_get("USER");
+    auto read_db = [&](const std::string& path) {
+      auto text = reader.sys->read_file(reader, path);
+      return kernel::SubidDb::parse(text.ok() ? *text : "");
+    };
+    for (const auto& r : read_db(options_.helper_config.subuid_path)
+                             .ranges_for(user, invoker_.cred.ruid)) {
+      uids.push_back({1, r.start, r.count});
+      break;
+    }
+    for (const auto& r : read_db(options_.helper_config.subgid_path)
+                             .ranges_for(user, invoker_.cred.ruid)) {
+      gids.push_back({1, r.start, r.count});
+      break;
+    }
+  }
+  uid_map_ = kernel::IdMap{uids};
+  gid_map_ = kernel::IdMap{gids};
+}
+
+vfs::Uid Podman::uid_to_container(vfs::Uid kuid) const {
+  return uid_map_.to_inside(kuid).value_or(vfs::kOverflowUid);
+}
+
+vfs::Gid Podman::gid_to_container(vfs::Gid kgid) const {
+  return gid_map_.to_inside(kgid).value_or(vfs::kOverflowGid);
+}
+
+Result<kernel::Process> Podman::enter(const Layer& layer,
+                                      const image::ImageConfig& cfg) {
+  RootFs rootfs;
+  rootfs.fs = layer.fs;
+  rootfs.root = layer.root;
+  rootfs.owner_ns = nullptr;
+  TypeIIOptions opts;
+  opts.use_helpers = options_.rootless_helpers;
+  opts.ignore_chown_errors = options_.ignore_chown_errors;
+  opts.helper_config = options_.helper_config;
+  // fuse-overlayfs mounts belong to the container namespace; plain vfs
+  // directories remain part of the host mount.
+  opts.container_owned_storage =
+      options_.driver == PodmanOptions::Driver::kOverlay;
+  opts.env = cfg.env;
+  MINICON_TRY_ASSIGN(c, enter_type2(m_, invoker_, rootfs, opts));
+  c.cwd = cfg.workdir.empty() ? "/" : cfg.workdir;
+  // USER instruction: switch to the image-defined user — possible in a
+  // Type II container because the image's users are all mapped (§2.1.2).
+  if (!cfg.user.empty() && cfg.user != "root") {
+    vfs::Uid uid = 0;
+    vfs::Gid gid = 0;
+    if (parse_u32(cfg.user, uid)) {
+      gid = uid;
+    } else if (auto passwd = c.sys->read_file(c, "/etc/passwd"); passwd.ok()) {
+      if (auto entry = kernel::PasswdDb::parse(*passwd).by_name(cfg.user)) {
+        uid = entry->uid;
+        gid = entry->gid;
+      } else {
+        return Err::enoent;  // unknown USER
+      }
+    }
+    MINICON_TRY(c.sys->setgid(c, gid));
+    MINICON_TRY(c.sys->setuid(c, uid));
+  }
+  return c;
+}
+
+int Podman::build(const std::string& tag, const std::string& dockerfile_text,
+                  Transcript& t) {
+  auto parsed = build::parse_dockerfile(dockerfile_text);
+  if (const auto* err = std::get_if<build::DockerfileError>(&parsed)) {
+    t.line("Error: dockerfile line " + std::to_string(err->line) + ": " +
+           err->message);
+    return 125;
+  }
+  const auto& df = std::get<build::Dockerfile>(parsed);
+  const std::size_t total = df.instructions.size();
+
+  BuiltImage img;
+  Layer current;
+  std::map<std::string, std::string> build_args;
+  std::string cache_key = "podman|" + std::string(driver_->name());
+  int step = 0;
+  for (const auto& ins : df.instructions) {
+    ++step;
+    const std::string prefix =
+        "STEP " + std::to_string(step) + "/" + std::to_string(total) + ": ";
+    switch (ins.kind) {
+      case build::InstrKind::kFrom: {
+        t.line(prefix + "FROM " + ins.text);
+        const auto fields = split_ws(ins.text);
+        auto manifest = registry_->get_manifest(fields[0], m_.arch());
+        if (!manifest) manifest = registry_->get_manifest(fields[0]);
+        if (!manifest) {
+          t.line("Error: initializing source: " + fields[0] + ": not found");
+          return 125;
+        }
+        std::vector<std::vector<image::TarEntry>> layer_entries;
+        for (const auto& digest : manifest->layers) {
+          auto blob = registry_->get_blob(digest);
+          if (!blob) {
+            t.line("Error: missing blob " + digest);
+            return 125;
+          }
+          auto entries = image::tar_parse(*blob);
+          if (!entries.ok()) {
+            t.line("Error: corrupt layer " + digest);
+            return 125;
+          }
+          // Storage keeps *host-side* IDs: the archive's container IDs are
+          // translated through the user-namespace map (what fuse-overlayfs
+          // and podman's storage layer do on pull). Unmapped IDs fail the
+          // pull unless --ignore-chown-errors squashes them (§4.1.1).
+          for (auto& e : *entries) {
+            auto kuid = uid_map_.to_outside(e.uid);
+            auto kgid = gid_map_.to_outside(e.gid);
+            if ((!kuid || !kgid) && !options_.ignore_chown_errors) {
+              t.line("Error: payload contains unmapped IDs (uid " +
+                     std::to_string(e.uid) + "); consider "
+                     "--ignore-chown-errors or wider subuid ranges");
+              return 125;
+            }
+            e.uid = kuid.value_or(invoker_.cred.euid);
+            e.gid = kgid.value_or(invoker_.cred.egid);
+          }
+          layer_entries.push_back(std::move(*entries));
+        }
+        auto base = driver_->base_layer(layer_entries);
+        if (!base.ok()) {
+          t.line("Error: storage driver " + driver_->name() +
+                 ": " + std::string(err_message(base.error())) +
+                 " (is the graphroot on a shared filesystem without user "
+                 "xattrs?)");
+          return 125;
+        }
+        current = *base;
+        // The image's root directory itself is container-root-owned too.
+        {
+          vfs::OpCtx ctx;
+          ctx.host_uid = invoker_.cred.euid;
+          ctx.host_gid = invoker_.cred.egid;
+          (void)current.fs->set_owner(ctx, current.root,
+                                      uid_map_.to_outside(0).value_or(
+                                          invoker_.cred.euid),
+                                      gid_map_.to_outside(0).value_or(
+                                          invoker_.cred.egid));
+        }
+        img.base_digests = manifest->layers;
+        img.config = manifest->config;
+        img.config.arch = m_.arch();
+        cache_key = Sha256::hex_digest(cache_key + "|FROM|" + ins.text);
+        break;
+      }
+      case build::InstrKind::kRun: {
+        std::vector<std::string> argv =
+            ins.is_exec_form()
+                ? ins.exec_form
+                : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        t.line(prefix + "RUN " + (ins.is_exec_form() ? format_argv(argv)
+                                                     : ins.text));
+        cache_key =
+            Sha256::hex_digest(cache_key + "|RUN|" + join(argv, "\x1f"));
+        if (options_.build_cache) {
+          auto it = cache_.find(cache_key);
+          if (it != cache_.end()) {
+            ++cache_hits_;
+            t.line("--> Using cache " +
+                   Sha256::hex_digest(cache_key).substr(0, 12));
+            current = it->second.layer;
+            img.config = it->second.config;
+            img.run_layers.push_back(current);
+            break;
+          }
+          ++cache_misses_;
+        }
+        auto layer = driver_->create_layer(current);
+        if (!layer.ok()) {
+          t.line("Error: storage driver " + driver_->name() + ": " +
+                 std::string(err_message(layer.error())));
+          return 125;
+        }
+        image::ImageConfig run_cfg = img.config;
+        for (const auto& [k, v] : build_args) run_cfg.env[k] = v;
+        auto container = enter(*layer, run_cfg);
+        if (!container.ok()) {
+          t.line("Error: cannot configure rootless user namespace: " +
+                 std::string(err_message(container.error())) +
+                 " (are subuid/subgid ranges configured?)");
+          return 125;
+        }
+        std::string out, err;
+        const int status = m_.shell().run_argv(*container, argv, out, err);
+        t.block(out);
+        t.block(err);
+        if (status != 0) {
+          t.line("Error: building at " + prefix.substr(0, prefix.size() - 2) +
+                 ": while running runtime: exit status " +
+                 std::to_string(status));
+          return status;
+        }
+        current = *layer;
+        img.run_layers.push_back(current);
+        if (options_.build_cache) cache_[cache_key] = {current, img.config};
+        break;
+      }
+      case build::InstrKind::kEnv: {
+        t.line(prefix + "ENV " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) {
+          img.config.env[k] = v;
+        }
+        cache_key = Sha256::hex_digest(cache_key + "|ENV|" + ins.text);
+        break;
+      }
+      case build::InstrKind::kWorkdir: {
+        t.line(prefix + "WORKDIR " + ins.text);
+        img.config.workdir = ins.text;
+        if (auto container = enter(current, img.config); container.ok()) {
+          std::string out, err;
+          (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
+        }
+        break;
+      }
+      case build::InstrKind::kCopy:
+      case build::InstrKind::kAdd: {
+        t.line(prefix + "COPY " + ins.text);
+        const auto fields = split_ws(ins.text);
+        if (fields.size() < 2) {
+          t.line("Error: COPY requires source and destination");
+          return 125;
+        }
+        auto data = invoker_.sys->read_file(invoker_, fields[0]);
+        if (!data.ok()) {
+          t.line("Error: COPY: " + fields[0] + ": no such file");
+          return 125;
+        }
+        auto layer = driver_->create_layer(current);
+        if (!layer.ok()) return 125;
+        auto container = enter(*layer, img.config);
+        if (!container.ok()) return 125;
+        std::string dst = fields.back();
+        if (dst.ends_with("/")) dst += fields[0];
+        if (auto rc = container->sys->write_file(*container, dst, *data,
+                                                 false, 0644);
+            !rc.ok()) {
+          t.line("Error: COPY: cannot write " + dst);
+          return 125;
+        }
+        current = *layer;
+        img.run_layers.push_back(current);
+        cache_key = Sha256::hex_digest(cache_key + "|COPY|" + ins.text + "|" +
+                                       Sha256::hex_digest(*data));
+        break;
+      }
+      case build::InstrKind::kCmd:
+        t.line(prefix + "CMD " + ins.text);
+        img.config.cmd = ins.is_exec_form()
+                             ? ins.exec_form
+                             : std::vector<std::string>{"/bin/sh", "-c",
+                                                        ins.text};
+        break;
+      case build::InstrKind::kEntrypoint:
+        t.line(prefix + "ENTRYPOINT " + ins.text);
+        img.config.entrypoint =
+            ins.is_exec_form()
+                ? ins.exec_form
+                : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        break;
+      case build::InstrKind::kLabel:
+        t.line(prefix + "LABEL " + ins.text);
+        for (const auto& [k, v] : build::parse_kv(ins.text)) {
+          img.config.labels[k] = v;
+        }
+        break;
+      case build::InstrKind::kArg: {
+        t.line(prefix + "ARG " + ins.text);
+        const auto eq = ins.text.find('=');
+        if (eq != std::string::npos) {
+          build_args[ins.text.substr(0, eq)] = ins.text.substr(eq + 1);
+        }
+        break;
+      }
+      case build::InstrKind::kUser:
+        t.line(prefix + "USER " + ins.text);
+        // Type II has real multiple users: record it for later RUNs/runs.
+        img.config.user = ins.text;
+        break;
+      default:
+        t.line(prefix + build::instr_name(ins.kind) + " " + ins.text);
+        break;
+    }
+  }
+  img.top = current;
+  images_[tag] = std::move(img);
+  t.line("COMMIT " + tag);
+  return 0;
+}
+
+Result<std::vector<image::TarEntry>> Podman::layer_diff(const Layer& layer) {
+  if (auto* ovl = dynamic_cast<vfs::OverlayFs*>(layer.fs.get())) {
+    return image::tree_to_entries(ovl->upper_fs(), ovl->upper_fs().root());
+  }
+  return image::tree_to_entries(*layer.fs, layer.root);
+}
+
+int Podman::push(const std::string& tag, const std::string& dest_ref,
+                 Transcript& t) {
+  auto it = images_.find(tag);
+  if (it == images_.end()) {
+    t.line("Error: " + tag + ": image not known");
+    return 125;
+  }
+  const BuiltImage& img = it->second;
+  image::Manifest manifest;
+  manifest.reference = dest_ref;
+  manifest.config = img.config;
+  manifest.layers = img.base_digests;  // base blobs are shared by digest
+
+  // §6.2.5: images may be marked to require ownership flattening.
+  const bool must_flatten = img.config.flatten_policy() == "require";
+  for (const auto& layer : img.run_layers) {
+    auto entries = layer_diff(layer);
+    if (!entries.ok()) {
+      t.line("Error: cannot export layer");
+      return 125;
+    }
+    // "Provided image archives are also created within the container", the
+    // image keeps correct ownership (§6.1): record container-namespace IDs.
+    for (auto& e : *entries) {
+      e.uid = uid_to_container(e.uid);
+      e.gid = gid_to_container(e.gid);
+    }
+    if (must_flatten) *entries = image::flatten_ownership(std::move(*entries));
+    manifest.layers.push_back(registry_->put_blob(image::tar_create(*entries)));
+  }
+  if (must_flatten) {
+    t.line("Note: image marked " +
+           std::string(image::ImageConfig::kFlattenLabel) +
+           "=require; layers pushed ownership-flattened");
+  }
+  registry_->put_manifest(manifest);
+  t.line("Copying " + std::to_string(manifest.layers.size()) + " layers to " +
+         registry_->name() + "/" + dest_ref);
+  t.line("Writing manifest " + manifest.digest());
+  return 0;
+}
+
+int Podman::run_in_image(const std::string& tag,
+                         const std::vector<std::string>& argv, Transcript& t) {
+  auto it = images_.find(tag);
+  if (it == images_.end()) {
+    t.line("Error: " + tag + ": image not known");
+    return 125;
+  }
+  auto container = enter(it->second.top, it->second.config);
+  if (!container.ok()) {
+    t.line("Error: cannot start container: " +
+           std::string(err_message(container.error())));
+    return 125;
+  }
+  std::string out, err;
+  const int status = m_.shell().run_argv(*container, argv, out, err);
+  t.block(out);
+  t.block(err);
+  return status;
+}
+
+int Podman::show_id_maps(Transcript& t) {
+  // `podman unshare cat /proc/self/uid_map`
+  kernel::Process c = invoker_.clone();
+  c.sys = m_.kernel().syscalls();
+  if (auto rc = c.sys->unshare_userns(c); !rc.ok()) {
+    t.line("Error: cannot create user namespace");
+    return 125;
+  }
+  if (options_.rootless_helpers) {
+    kernel::Process helper_invoker = invoker_.clone();
+    helper_invoker.sys = m_.kernel().syscalls();
+    std::vector<kernel::IdMapEntry> uids(uid_map_.entries());
+    std::vector<kernel::IdMapEntry> gids(gid_map_.entries());
+    if (uids.size() < 2 ||
+        !kernel::newuidmap(m_.kernel(), helper_invoker, c.userns, uids,
+                           options_.helper_config)
+             .ok() ||
+        !kernel::newgidmap(m_.kernel(), helper_invoker, c.userns, gids,
+                           options_.helper_config)
+             .ok()) {
+      t.line("Error: helpers could not install the requested ID maps");
+      return 125;
+    }
+  } else {
+    (void)c.sys->write_setgroups(
+        c, c.userns, kernel::UserNamespace::SetgroupsPolicy::kDeny);
+    (void)c.sys->write_uid_map(c, c.userns,
+                               kernel::IdMap::single(0, invoker_.cred.euid));
+    (void)c.sys->write_gid_map(c, c.userns,
+                               kernel::IdMap::single(0, invoker_.cred.egid));
+  }
+  auto uid_map = c.sys->read_file(c, "/proc/self/uid_map");
+  t.line("$ podman unshare cat /proc/self/uid_map");
+  if (uid_map.ok()) t.block(*uid_map);
+  return 0;
+}
+
+const image::ImageConfig* Podman::config(const std::string& tag) const {
+  auto it = images_.find(tag);
+  return it == images_.end() ? nullptr : &it->second.config;
+}
+
+}  // namespace minicon::core

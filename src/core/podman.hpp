@@ -1,0 +1,102 @@
+// Rootless Podman: the Type II builder (§4).
+//
+// Privileged helpers (newuidmap/newgidmap driven by /etc/subuid and
+// /etc/subgid) give the build a rich ID space, so unmodified distro tooling
+// works. Features modeled from the paper:
+//   * storage drivers: overlay (fuse-overlayfs; needs user xattrs) and vfs
+//     (full copies; what RHEL7-era Astra used) — §4.1/§4.2;
+//   * per-instruction build cache (a capability Charliecloud lacks, §6.1-3);
+//   * multi-layer ownership-preserving push (archives are created "within
+//     the container", §2.1.2 / §6.1);
+//   * experimental unprivileged mode: single self-map +
+//     --ignore-chown-errors, whose openssh-server failure is Fig 5;
+//   * shared-filesystem graphroot clash (xattrs / server-side IDs, §4.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/machine.hpp"
+#include "core/runtime.hpp"
+#include "core/storage.hpp"
+#include "image/registry.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon::core {
+
+struct PodmanOptions {
+  enum class Driver { kOverlay, kVfs };
+  Driver driver = Driver::kOverlay;
+  // Default rootless configuration with privileged helpers; false selects
+  // the experimental unprivileged mode (§4.1.1 / Fig 5).
+  bool rootless_helpers = true;
+  bool ignore_chown_errors = false;
+  bool build_cache = true;
+  // Where image storage lives. Defaults to a fresh local filesystem
+  // ("/tmp or local disk", §4.2); pass a SharedFs to model an NFS graphroot.
+  vfs::FilesystemPtr graphroot_backing;
+  kernel::HelperConfig helper_config;
+};
+
+class Podman {
+ public:
+  Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
+         PodmanOptions options = {});
+
+  // `podman build -t tag .`
+  int build(const std::string& tag, const std::string& dockerfile_text,
+            Transcript& t);
+
+  // `podman push tag ref` — base layers by digest plus one diff layer per
+  // built layer, ownership preserved in container-namespace IDs.
+  int push(const std::string& tag, const std::string& dest_ref, Transcript& t);
+
+  // `podman run tag -- argv`
+  int run_in_image(const std::string& tag,
+                   const std::vector<std::string>& argv, Transcript& t);
+
+  // `podman unshare cat /proc/self/uid_map` (Figs 4 and 5).
+  int show_id_maps(Transcript& t);
+
+  const image::ImageConfig* config(const std::string& tag) const;
+  StorageDriver& driver() { return *driver_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
+  // The container-side view of a kernel ID under this Podman's map
+  // (overflow ID when unmapped).
+  vfs::Uid uid_to_container(vfs::Uid kuid) const;
+  vfs::Gid gid_to_container(vfs::Gid kgid) const;
+
+ private:
+  struct BuiltImage {
+    std::vector<std::string> base_digests;
+    std::vector<Layer> run_layers;  // one per layer-creating instruction
+    Layer top;
+    image::ImageConfig config;
+  };
+
+  Result<kernel::Process> enter(const Layer& layer,
+                                const image::ImageConfig& cfg);
+  Result<std::vector<image::TarEntry>> layer_diff(const Layer& layer);
+  void load_id_maps();
+
+  Machine& m_;
+  kernel::Process invoker_;
+  image::Registry* registry_;
+  PodmanOptions options_;
+  std::unique_ptr<StorageDriver> driver_;
+  std::map<std::string, BuiltImage> images_;
+  struct CacheEntry {
+    Layer layer;
+    image::ImageConfig config;
+  };
+  std::map<std::string, CacheEntry> cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  kernel::IdMap uid_map_;
+  kernel::IdMap gid_map_;
+};
+
+}  // namespace minicon::core

@@ -1,0 +1,245 @@
+#include "core/runtime.hpp"
+
+#include "distro/distro.hpp"
+#include "kernel/userdb.hpp"
+#include "distro/treebuilder.hpp"
+
+namespace minicon::core {
+
+namespace {
+
+// Builds the container's mount namespace: rootfs at /, plus /proc.
+kernel::MountNsPtr container_mounts(Machine& m, const RootFs& rootfs,
+                                    const kernel::UserNsPtr& container_ns,
+                                    bool fresh_proc,
+                                    vfs::Uid container_root_kuid) {
+  kernel::Mount root;
+  root.mountpoint = "/";
+  root.fs = rootfs.fs;
+  root.root = rootfs.root != 0 ? rootfs.root : rootfs.fs->root();
+  root.owner_ns =
+      rootfs.owner_ns != nullptr ? rootfs.owner_ns : m.kernel().init_userns();
+  root.source = "rootfs";
+  auto ns = kernel::MountNamespace::make(std::move(root));
+
+  kernel::Mount proc;
+  proc.mountpoint = "/proc";
+  if (fresh_proc) {
+    // A fresh procfs inside the namespace: pid 1 is the containerized
+    // process, so its entries belong to the container's root (mapped and
+    // readable). This is why rootless Podman with helpers behaves like a
+    // real root system.
+    distro::TreeBuilder pb;
+    pb.file("/1/environ", std::string("container=podman\0", 17), 0400,
+            container_root_kuid, container_root_kuid);
+    pb.file("/1/status", "Name:\tsh\nPid:\t1\n", 0444, container_root_kuid,
+            container_root_kuid);
+    pb.file("/sys/crypto/fips_enabled", "0\n", 0444);
+    pb.file("/sys/kernel/overflowuid", "65534\n", 0444);
+    proc.fs = pb.fs();
+    proc.root = proc.fs->root();
+    proc.owner_ns = container_ns;
+    proc.source = "proc";
+  } else {
+    // Bind the host's /proc: files stay owned by (unmapped) host root, which
+    // a single-map namespace displays as nobody — the Fig 5 limitation.
+    const kernel::Mount* host_proc = m.host_mountns()->find_exact("/proc");
+    if (host_proc != nullptr) {
+      proc = *host_proc;
+      proc.mountpoint = "/proc";
+    }
+  }
+  if (proc.fs != nullptr) ns->add(std::move(proc));
+  return ns;
+}
+
+void apply_env(kernel::Process& p, Machine& m,
+               const std::map<std::string, std::string>& extra) {
+  // Containers share the host's network view (no network namespace here);
+  // preserve it across the env reset.
+  const std::string networks = p.env_get("MINICON_NETWORKS");
+  p.env.clear();
+  p.env["PATH"] = distro::kDefaultPath;
+  p.env["HOSTNAME"] = m.hostname();
+  p.env["MINICON_ARCH"] = m.arch();
+  p.env["MINICON_NETWORKS"] = networks;
+  p.env["HOME"] = "/root";
+  for (const auto& [k, v] : extra) p.env[k] = v;
+}
+
+}  // namespace
+
+Result<kernel::Process> enter_type3(Machine& m, const kernel::Process& invoker,
+                                    const RootFs& rootfs,
+                                    const TypeIIIOptions& options) {
+  kernel::Process c = invoker.clone();
+  c.sys = m.kernel().syscalls();  // runtimes are separate, unwrapped binaries
+  MINICON_TRY(c.sys->unshare_userns(c));
+
+  if (options.kernel_auto_maps) {
+    // §6.2.4: the kernel supplies a guaranteed-unique full map, no helpers.
+    MINICON_TRY(c.sys->userns_auto_map(c));
+  } else {
+    // Unprivileged setup: setgroups must be denied before the gid self-map.
+    MINICON_TRY(c.sys->write_setgroups(
+        c, c.userns, kernel::UserNamespace::SetgroupsPolicy::kDeny));
+    const vfs::Uid inside_uid = options.map_to_root ? 0 : invoker.cred.euid;
+    const vfs::Gid inside_gid = options.map_to_root ? 0 : invoker.cred.egid;
+    MINICON_TRY(c.sys->write_uid_map(
+        c, c.userns, kernel::IdMap::single(inside_uid, invoker.cred.euid)));
+    MINICON_TRY(c.sys->write_gid_map(
+        c, c.userns, kernel::IdMap::single(inside_gid, invoker.cred.egid)));
+  }
+
+  c.mountns = container_mounts(m, rootfs, c.userns,
+                               /*fresh_proc=*/!options.bind_host_proc,
+                               invoker.cred.euid);
+  // --bind mounts: resolved in the *host* namespace, attached in the
+  // container's. Bind semantics keep the source superblock's owner, so the
+  // container's fake root has no extra power over them.
+  for (const auto& [src, dst] : options.binds) {
+    kernel::Process host = invoker.clone();
+    host.sys = m.kernel().syscalls();
+    auto sloc = host.sys->resolve(host, src, /*follow_last=*/true);
+    if (!sloc.ok()) return sloc.error();
+    kernel::Process probe = c;
+    auto dloc = probe.sys->resolve(probe, dst, /*follow_last=*/true);
+    if (!dloc.ok()) return dloc.error();  // ch-run requires the target dir
+    kernel::Mount bind;
+    bind.mountpoint = dloc->abs_path;
+    bind.fs = sloc->mnt->fs;
+    bind.root = sloc->ino;
+    bind.owner_ns = sloc->mnt->owner_ns;
+    bind.source = sloc->abs_path;
+    c.mountns->add(std::move(bind));
+  }
+  c.cwd = "/";
+  apply_env(c, m, options.env);
+  return c;
+}
+
+Result<kernel::Process> enter_type2(Machine& m, const kernel::Process& invoker,
+                                    const RootFs& rootfs,
+                                    const TypeIIOptions& options) {
+  kernel::Process c = invoker.clone();
+  c.sys = m.kernel().syscalls();
+  MINICON_TRY(c.sys->unshare_userns(c));
+
+  if (options.use_helpers) {
+    // Read the administrator's subordinate ID grants the way Podman does,
+    // then have the privileged helpers install the full maps (Fig 4):
+    // container root = invoker, container 1..n = the subuid range.
+    kernel::Process reader = invoker.clone();
+    reader.sys = m.kernel().syscalls();
+    auto read_ranges = [&](const std::string& path) {
+      auto text = reader.sys->read_file(reader, path);
+      return kernel::SubidDb::parse(text.ok() ? *text : "");
+    };
+    const auto subuid = read_ranges(options.helper_config.subuid_path);
+    const auto subgid = read_ranges(options.helper_config.subgid_path);
+    const std::string user = invoker.env_get("USER");
+
+    std::vector<kernel::IdMapEntry> uid_entries{{0, invoker.cred.euid, 1}};
+    for (const auto& r : subuid.ranges_for(user, invoker.cred.ruid)) {
+      uid_entries.push_back(kernel::IdMapEntry{1, r.start, r.count});
+      break;  // first range, like the default Podman configuration
+    }
+    std::vector<kernel::IdMapEntry> gid_entries{{0, invoker.cred.egid, 1}};
+    for (const auto& r : subgid.ranges_for(user, invoker.cred.ruid)) {
+      gid_entries.push_back(kernel::IdMapEntry{1, r.start, r.count});
+      break;
+    }
+    if (uid_entries.size() < 2 || gid_entries.size() < 2) {
+      return Err::eperm;  // no subordinate IDs granted: helpers refuse
+    }
+    kernel::Process helper_invoker = invoker.clone();
+    helper_invoker.sys = m.kernel().syscalls();
+    MINICON_TRY(kernel::newuidmap(m.kernel(), helper_invoker, c.userns,
+                                  uid_entries, options.helper_config));
+    MINICON_TRY(kernel::newgidmap(m.kernel(), helper_invoker, c.userns,
+                                  gid_entries, options.helper_config));
+    RootFs effective = rootfs;
+    if (options.container_owned_storage && effective.owner_ns == nullptr) {
+      effective.owner_ns = c.userns;
+    }
+    c.mountns = container_mounts(m, effective, c.userns, /*fresh_proc=*/true,
+                                 invoker.cred.euid);
+  } else {
+    // Fig 5: no helpers. Single self-map to container root, host /proc.
+    MINICON_TRY(c.sys->write_setgroups(
+        c, c.userns, kernel::UserNamespace::SetgroupsPolicy::kDeny));
+    MINICON_TRY(c.sys->write_uid_map(
+        c, c.userns, kernel::IdMap::single(0, invoker.cred.euid)));
+    MINICON_TRY(c.sys->write_gid_map(
+        c, c.userns, kernel::IdMap::single(0, invoker.cred.egid)));
+    c.mountns = container_mounts(m, rootfs, c.userns, /*fresh_proc=*/false,
+                                 invoker.cred.euid);
+  }
+  if (options.ignore_chown_errors) {
+    c.sys = std::make_shared<IgnoreChownSyscalls>(c.sys);
+  }
+  c.cwd = "/";
+  apply_env(c, m, options.env);
+  return c;
+}
+
+Result<kernel::Process> enter_type1(
+    Machine& m, const kernel::Process& invoker, const RootFs& rootfs,
+    const std::map<std::string, std::string>& env) {
+  if (invoker.cred.euid != 0 || !invoker.userns->is_init()) {
+    return Err::eperm;  // "access to the docker command is equivalent to root"
+  }
+  kernel::Process c = invoker.clone();
+  c.sys = m.kernel().syscalls();
+  c.cred = kernel::Credentials::root();
+  c.mountns = container_mounts(m, rootfs, c.userns, /*fresh_proc=*/true, 0);
+  c.cwd = "/";
+  apply_env(c, m, env);
+  return c;
+}
+
+// --- IgnoreChownSyscalls -------------------------------------------------------
+
+IgnoreChownSyscalls::IgnoreChownSyscalls(
+    std::shared_ptr<kernel::Syscalls> inner)
+    : FakerootSyscalls(std::move(inner), nullptr,
+                       fakeroot::FakerootOptions{
+                           fakeroot::Approach::kPreload, "ignore-chown",
+                           false}) {}
+
+Result<vfs::Stat> IgnoreChownSyscalls::stat(kernel::Process& p,
+                                            const std::string& path) {
+  return interposer_inner()->stat(p, path);
+}
+
+Result<vfs::Stat> IgnoreChownSyscalls::lstat(kernel::Process& p,
+                                             const std::string& path) {
+  return interposer_inner()->lstat(p, path);
+}
+
+VoidResult IgnoreChownSyscalls::chown(kernel::Process& p,
+                                      const std::string& path, vfs::Uid uid,
+                                      vfs::Gid gid, bool follow) {
+  auto rc = interposer_inner()->chown(p, path, uid, gid, follow);
+  if (!rc.ok() && (rc.error() == Err::eperm || rc.error() == Err::einval)) {
+    return {};  // squashed: the file keeps the single available ID
+  }
+  return rc;
+}
+
+VoidResult IgnoreChownSyscalls::mknod(kernel::Process& p,
+                                      const std::string& path,
+                                      vfs::FileType type, std::uint32_t mode,
+                                      std::uint32_t dev_major,
+                                      std::uint32_t dev_minor) {
+  return interposer_inner()->mknod(p, path, type, mode, dev_major, dev_minor);
+}
+
+VoidResult IgnoreChownSyscalls::set_xattr(kernel::Process& p,
+                                          const std::string& path,
+                                          const std::string& name,
+                                          const std::string& value) {
+  return interposer_inner()->set_xattr(p, path, name, value);
+}
+
+}  // namespace minicon::core

@@ -1,0 +1,96 @@
+// Container runtimes: Type I / II / III process entry (§2.2).
+//
+// Each function turns a host process into a containerized process with the
+// right namespaces, ID maps, and mount table. The crucial difference between
+// the flavours is *who owns what*:
+//   * Type I   (docker-ish): no user namespace — container root IS host root.
+//   * Type II  (rootless Podman): privileged helpers install subuid/subgid
+//     maps; many IDs are available; storage mounts are owned by the
+//     container's namespace.
+//   * Type III (ch-run): unprivileged self-map only; exactly one UID/GID.
+#pragma once
+
+#include "core/machine.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/helpers.hpp"
+
+namespace minicon::core {
+
+// A container root filesystem: possibly a subtree of a larger filesystem
+// (ch-image storage dirs, vfs-driver layer dirs).
+struct RootFs {
+  vfs::FilesystemPtr fs;
+  vfs::InodeNum root = 0;  // 0 = fs->root()
+  // Namespace owning the superblock. Host-backed storage stays owned by the
+  // initial namespace even when entered from a container (bind semantics);
+  // driver mounts made inside the container namespace are owned by it.
+  kernel::UserNsPtr owner_ns;  // nullptr = machine's initial namespace
+};
+
+struct TypeIIIOptions {
+  bool map_to_root = true;  // invoker appears as UID 0 inside
+  bool bind_host_proc = true;
+  // ch-run --bind SRC:DST — host directories bound into the container
+  // (read-write, host-owned: the container gains no privilege over them).
+  std::vector<std::pair<std::string, std::string>> binds;
+  // §6.2.4 future work: ask the kernel for a helper-free full map instead of
+  // the single self-map. Requires the unprivileged_auto_maps sysctl.
+  bool kernel_auto_maps = false;
+  std::map<std::string, std::string> env;
+};
+
+// ch-run style fully-unprivileged entry. Fails only if user namespaces are
+// administratively disabled.
+Result<kernel::Process> enter_type3(Machine& m, const kernel::Process& invoker,
+                                    const RootFs& rootfs,
+                                    const TypeIIIOptions& options = {});
+
+struct TypeIIOptions {
+  // Installed via newuidmap/newgidmap against /etc/subuid + /etc/subgid.
+  bool use_helpers = true;
+  // Overlay storage is mounted by fuse-overlayfs *inside* the namespace, so
+  // the superblock belongs to the container (enables mknod-free privileged
+  // behavior like namespaced file capabilities). Plain-directory storage
+  // (vfs driver) stays owned by the host mount.
+  bool container_owned_storage = true;
+  // Fig 5 mode: single self-map, host /proc bound, chown errors squashed by
+  // the storage configuration.
+  bool ignore_chown_errors = false;
+  kernel::HelperConfig helper_config;
+  std::map<std::string, std::string> env;
+};
+
+Result<kernel::Process> enter_type2(Machine& m, const kernel::Process& invoker,
+                                    const RootFs& rootfs,
+                                    const TypeIIOptions& options = {});
+
+// Type I: privileged entry (requires real root) — the Docker model, used by
+// the "sandboxed build system" baseline (§3.2 option 1).
+Result<kernel::Process> enter_type1(Machine& m, const kernel::Process& invoker,
+                                    const RootFs& rootfs,
+                                    const std::map<std::string, std::string>&
+                                        env = {});
+
+// Syscall wrapper for Podman's --ignore-chown-errors storage option: failed
+// ownership changes are silently dropped (IDs get squashed to the single
+// available one) instead of failing the operation.
+class IgnoreChownSyscalls : public fakeroot::FakerootSyscalls {
+ public:
+  explicit IgnoreChownSyscalls(std::shared_ptr<kernel::Syscalls> inner);
+
+  // Unlike fakeroot we do not lie about identity or later stats; we only
+  // squash chown failures.
+  Result<vfs::Stat> stat(kernel::Process& p, const std::string& path) override;
+  Result<vfs::Stat> lstat(kernel::Process& p,
+                          const std::string& path) override;
+  VoidResult chown(kernel::Process& p, const std::string& path, vfs::Uid uid,
+                   vfs::Gid gid, bool follow) override;
+  VoidResult mknod(kernel::Process& p, const std::string& path,
+                   vfs::FileType type, std::uint32_t mode,
+                   std::uint32_t dev_major, std::uint32_t dev_minor) override;
+  VoidResult set_xattr(kernel::Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override;
+};
+
+}  // namespace minicon::core

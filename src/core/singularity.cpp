@@ -1,0 +1,305 @@
+#include "core/singularity.hpp"
+
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::core {
+
+namespace {
+
+// Extracts registry layers into a fresh MemFs with kernel-ID translation
+// through `map_uid`/`map_gid` (identity for Type I, userns map for Type II,
+// squash-to-invoker for Type III imports).
+template <typename MapUid, typename MapGid>
+Result<vfs::FilesystemPtr> materialize(image::Registry& registry,
+                                       const image::Manifest& manifest,
+                                       MapUid&& map_uid, MapGid&& map_gid) {
+  auto fs = std::make_shared<vfs::MemFs>(0755);
+  vfs::OpCtx ctx;
+  for (const auto& digest : manifest.layers) {
+    auto blob = registry.get_blob(digest);
+    if (!blob) return Err::enoent;
+    auto entries = image::tar_parse(*blob);
+    if (!entries.ok()) return entries.error();
+    for (auto& e : *entries) {
+      e.uid = map_uid(e.uid);
+      e.gid = map_gid(e.gid);
+      if (e.type == vfs::FileType::CharDev ||
+          e.type == vfs::FileType::BlockDev) {
+        e.type = vfs::FileType::Regular;  // flattened formats drop devices
+        e.content.clear();
+      }
+    }
+    MINICON_TRY(image::entries_to_tree(*entries, *fs, fs->root(), ctx));
+  }
+  return vfs::FilesystemPtr(fs);
+}
+
+// Writes a flattened single-file image (SIF / enroot squash) to the host
+// filesystem as the invoker.
+VoidResult write_flat_file(kernel::Process& invoker, const std::string& path,
+                           vfs::Filesystem& fs,
+                           const image::ImageConfig& config) {
+  MINICON_TRY_ASSIGN(entries, image::tree_to_entries(fs, fs.root()));
+  auto flat = image::flatten_ownership(std::move(entries));
+  std::string blob = "MINICON-SIF\n" + config.serialize() + "\x1d";
+  blob += image::tar_create(flat);
+  return invoker.sys->write_file(invoker, path, std::move(blob), false, 0644);
+}
+
+struct FlatFile {
+  image::ImageConfig config;
+  std::vector<image::TarEntry> entries;
+};
+
+Result<FlatFile> read_flat_file(kernel::Process& invoker,
+                                const std::string& path) {
+  MINICON_TRY_ASSIGN(blob, invoker.sys->read_file(invoker, path));
+  if (!blob.starts_with("MINICON-SIF\n")) return Err::einval;
+  const std::size_t sep = blob.find('\x1d');
+  if (sep == std::string::npos) return Err::einval;
+  FlatFile out;
+  // Config: only env/arch/cmd matter for running.
+  for (const auto& line : split(blob.substr(12, sep - 12), '\n')) {
+    if (starts_with(line, "env:")) {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        out.config.env[line.substr(4, eq - 4)] = line.substr(eq + 1);
+      }
+    } else if (starts_with(line, "arch=")) {
+      out.config.arch = line.substr(5);
+    } else if (starts_with(line, "cmd:")) {
+      out.config.cmd.push_back(line.substr(4));
+    }
+  }
+  MINICON_TRY_ASSIGN(entries, image::tar_parse(blob.substr(sep + 1)));
+  out.entries = std::move(entries);
+  return out;
+}
+
+}  // namespace
+
+Result<SingularityDef> parse_definition(const std::string& text) {
+  // A Dockerfile is not a definition file: reject it up front, as the real
+  // tool does ("only from Singularity definition files").
+  const std::string first(trim(split(text, '\n').front()));
+  if (starts_with(first, "FROM ") || starts_with(first, "FROM\t")) {
+    return Err::einval;
+  }
+  SingularityDef def;
+  std::string section;
+  for (const auto& raw : split(text, '\n')) {
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    if (starts_with(line, "Bootstrap:")) {
+      def.bootstrap = std::string(trim(line.substr(10)));
+      continue;
+    }
+    if (starts_with(line, "From:")) {
+      def.from = std::string(trim(line.substr(5)));
+      continue;
+    }
+    if (line[0] == '%') {
+      section = line.substr(1);
+      continue;
+    }
+    if (section == "post") {
+      def.post.push_back(line);
+    } else if (section == "environment") {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        std::string key(trim(line.substr(0, eq)));
+        if (starts_with(key, "export ")) key = key.substr(7);
+        def.environment[key] = std::string(trim(line.substr(eq + 1)));
+      }
+    } else if (section == "runscript") {
+      def.runscript.push_back(line);
+    }
+  }
+  if (def.from.empty()) return Err::einval;
+  if (def.bootstrap.empty()) def.bootstrap = "docker";
+  return def;
+}
+
+Singularity::Singularity(Machine& m, kernel::Process invoker,
+                         image::Registry* registry)
+    : m_(m), invoker_(std::move(invoker)), registry_(registry) {}
+
+int Singularity::build(const std::string& sif_path,
+                       const std::string& definition_text, Transcript& t) {
+  auto def = parse_definition(definition_text);
+  if (!def.ok()) {
+    t.line("FATAL: Unable to build from " + sif_path +
+           ": this does not appear to be a Singularity definition file "
+           "(Dockerfiles require a separate builder)");
+    return 255;
+  }
+  t.line("INFO:    Starting build... (--fakeroot: Type II user namespace)");
+  auto manifest = registry_->get_manifest(def->from, m_.arch());
+  if (!manifest) manifest = registry_->get_manifest(def->from);
+  if (!manifest) {
+    t.line("FATAL: Unable to pull " + def->from + ": not found");
+    return 255;
+  }
+
+  // Type II container: helpers install the subuid maps, like rootless
+  // Podman ("branded fakeroot", §3.1).
+  RootFs probe_rootfs;  // materialized below
+  auto fs = materialize(
+      *registry_, *manifest, [](vfs::Uid u) { return u; },
+      [](vfs::Gid g) { return g; });
+  if (!fs.ok()) {
+    t.line("FATAL: corrupt base image");
+    return 255;
+  }
+  // Translate to host IDs through a Type II namespace by entering one.
+  probe_rootfs.fs = *fs;
+  probe_rootfs.root = (*fs)->root();
+  auto container = enter_type2(m_, invoker_, probe_rootfs, {});
+  if (!container.ok()) {
+    t.line("FATAL: --fakeroot requires subuid/subgid configuration (" +
+           std::string(err_message(container.error())) + ")");
+    return 255;
+  }
+  // The base tree was materialized with container-view IDs; rewrite them to
+  // host IDs using the namespace map so permission checks behave.
+  {
+    vfs::OpCtx ctx;
+    auto entries = image::tree_to_entries(**fs, (*fs)->root());
+    if (entries.ok()) {
+      auto scratch = std::make_shared<vfs::MemFs>(0755);
+      for (auto& e : *entries) {
+        e.uid = container->userns->uid_to_kernel(e.uid).value_or(
+            invoker_.cred.euid);
+        e.gid = container->userns->gid_to_kernel(e.gid).value_or(
+            invoker_.cred.egid);
+      }
+      (void)image::entries_to_tree(*entries, *scratch, scratch->root(), ctx);
+      (void)scratch->set_owner(ctx, scratch->root(),
+                               container->userns->uid_to_kernel(0).value_or(
+                                   invoker_.cred.euid),
+                               container->userns->gid_to_kernel(0).value_or(
+                                   invoker_.cred.egid));
+      probe_rootfs.fs = scratch;
+      probe_rootfs.root = scratch->root();
+      container = enter_type2(m_, invoker_, probe_rootfs, {});
+      if (!container.ok()) return 255;
+    }
+  }
+
+  image::ImageConfig config = manifest->config;
+  config.arch = m_.arch();
+  for (const auto& [k, v] : def->environment) config.env[k] = v;
+  if (!def->runscript.empty()) {
+    config.cmd = {"/bin/sh", "-c", join(def->runscript, "\n")};
+  }
+  container->env.insert(config.env.begin(), config.env.end());
+
+  t.line("INFO:    Running post scriptlet");
+  for (const auto& cmd : def->post) {
+    t.line("+ " + cmd);
+    std::string out, err;
+    const int status = m_.shell().run(*container, cmd, out, err);
+    t.block(out);
+    t.block(err);
+    if (status != 0) {
+      t.line("FATAL: While performing build: while running post scriptlet: "
+             "exit status " + std::to_string(status));
+      return status;
+    }
+  }
+
+  // Flatten into the SIF: one file, all ownership squashed — "a flattened
+  // file tree where all users have equivalent access, like that produced by
+  // Charliecloud or Singularity's SIF" (§6.2.5).
+  if (auto rc = write_flat_file(invoker_, sif_path, *probe_rootfs.fs, config);
+      !rc.ok()) {
+    t.line("FATAL: cannot write " + sif_path + ": " +
+           std::string(err_message(rc.error())));
+    return 255;
+  }
+  t.line("INFO:    Creating SIF file...");
+  t.line("INFO:    Build complete: " + sif_path);
+  return 0;
+}
+
+int Singularity::run(const std::string& sif_path,
+                     const std::vector<std::string>& argv, Transcript& t) {
+  auto flat = read_flat_file(invoker_, sif_path);
+  if (!flat.ok()) {
+    t.line("FATAL: could not open image " + sif_path);
+    return 255;
+  }
+  // Extract as the invoker (all files become theirs: flattened tree).
+  auto fs = std::make_shared<vfs::MemFs>(0755);
+  vfs::OpCtx ctx;
+  ctx.host_uid = invoker_.cred.euid;
+  ctx.host_gid = invoker_.cred.egid;
+  for (auto& e : flat->entries) {
+    e.uid = invoker_.cred.euid;
+    e.gid = invoker_.cred.egid;
+  }
+  if (!image::entries_to_tree(flat->entries, *fs, fs->root(), ctx).ok()) {
+    t.line("FATAL: corrupt SIF");
+    return 255;
+  }
+  RootFs rootfs{fs, fs->root(), nullptr};
+  TypeIIIOptions opts;
+  opts.env = flat->config.env;
+  auto container = enter_type3(m_, invoker_, rootfs, opts);
+  if (!container.ok()) {
+    t.line("FATAL: cannot create container");
+    return 255;
+  }
+  std::string out, err;
+  const int status =
+      argv.empty() && !flat->config.cmd.empty()
+          ? m_.shell().run_argv(*container, flat->config.cmd, out, err)
+          : m_.shell().run_argv(*container, argv, out, err);
+  t.block(out);
+  t.block(err);
+  return status;
+}
+
+// --- Enroot ---------------------------------------------------------------------
+
+Enroot::Enroot(Machine& m, kernel::Process invoker, image::Registry* registry)
+    : m_(m), invoker_(std::move(invoker)), registry_(registry) {}
+
+int Enroot::import(const std::string& ref, const std::string& local_path,
+                   Transcript& t) {
+  auto manifest = registry_->get_manifest(ref, m_.arch());
+  if (!manifest) manifest = registry_->get_manifest(ref);
+  if (!manifest) {
+    t.line("[ERROR] URL docker://" + ref + " not found");
+    return 1;
+  }
+  // Fully unprivileged conversion: ownership squashes to the invoker.
+  auto fs = materialize(
+      *registry_, *manifest,
+      [&](vfs::Uid) { return invoker_.cred.euid; },
+      [&](vfs::Gid) { return invoker_.cred.egid; });
+  if (!fs.ok()) {
+    t.line("[ERROR] corrupt image");
+    return 1;
+  }
+  if (auto rc =
+          write_flat_file(invoker_, local_path, **fs, manifest->config);
+      !rc.ok()) {
+    t.line("[ERROR] cannot write " + local_path);
+    return 1;
+  }
+  t.line("[INFO] Fetched image docker://" + ref);
+  t.line("[INFO] Created squashfs image " + local_path);
+  return 0;
+}
+
+int Enroot::run(const std::string& local_path,
+                const std::vector<std::string>& argv, Transcript& t) {
+  Singularity compat(m_, invoker_, registry_);
+  return compat.run(local_path, argv, t);
+}
+
+}  // namespace minicon::core

@@ -1,0 +1,73 @@
+// Singularity and Enroot models (§3.1's survey of HPC implementations).
+//
+// Singularity: "the most popular HPC container implementation", runs Type I
+// or Type II (branded "fakeroot"); as of 3.7 it "can build in Type II mode,
+// but only from Singularity definition files. Building from standard
+// Dockerfiles requires a separate builder ... which is a limiting factor for
+// interoperability." Its SIF format is a single flattened file — the §6.2.5
+// argument that a flattened tree "is sufficient and in fact advantageous".
+//
+// Enroot: advertises itself as fully unprivileged (Type III) but "does not
+// have a build capability, relying on conversion of existing images" — so it
+// only imports.
+#pragma once
+
+#include "core/machine.hpp"
+#include "core/runtime.hpp"
+#include "image/registry.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon::core {
+
+// Parsed Singularity definition file.
+struct SingularityDef {
+  std::string bootstrap;  // "docker" (registry) — the only supported agent
+  std::string from;       // image reference
+  std::vector<std::string> post;         // %post commands
+  std::map<std::string, std::string> environment;  // %environment K=V
+  std::vector<std::string> runscript;    // %runscript lines
+};
+
+// Parses a definition file; rejects Dockerfiles (the interoperability
+// limitation the paper calls out).
+Result<SingularityDef> parse_definition(const std::string& text);
+
+class Singularity {
+ public:
+  Singularity(Machine& m, kernel::Process invoker, image::Registry* registry);
+
+  // `singularity build --fakeroot app.sif app.def` — Type II build from a
+  // definition file, producing a SIF: ONE flattened file on the host
+  // filesystem at `sif_path`.
+  int build(const std::string& sif_path, const std::string& definition_text,
+            Transcript& t);
+
+  // `singularity run app.sif -- argv` — Type III execution (run never needs
+  // the privileged helpers).
+  int run(const std::string& sif_path, const std::vector<std::string>& argv,
+          Transcript& t);
+
+ private:
+  Machine& m_;
+  kernel::Process invoker_;
+  image::Registry* registry_;
+};
+
+// Enroot: `enroot import docker://ref` converts a registry image into a
+// flattened local squashfs-like file; running is Type III. No build.
+class Enroot {
+ public:
+  Enroot(Machine& m, kernel::Process invoker, image::Registry* registry);
+
+  int import(const std::string& ref, const std::string& local_path,
+             Transcript& t);
+  int run(const std::string& local_path,
+          const std::vector<std::string>& argv, Transcript& t);
+
+ private:
+  Machine& m_;
+  kernel::Process invoker_;
+  image::Registry* registry_;
+};
+
+}  // namespace minicon::core

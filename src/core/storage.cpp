@@ -1,0 +1,145 @@
+#include "core/storage.hpp"
+
+#include "support/path.hpp"
+#include "vfs/treeops.hpp"
+
+namespace minicon::core {
+
+// --- VfsDriver ----------------------------------------------------------------
+
+VfsDriver::VfsDriver(vfs::FilesystemPtr backing, std::string graphroot,
+                     vfs::Uid acting_uid, vfs::Gid acting_gid)
+    : backing_(std::move(backing)),
+      graphroot_(std::move(graphroot)),
+      uid_(acting_uid),
+      gid_(acting_gid) {}
+
+vfs::OpCtx VfsDriver::ctx() const {
+  vfs::OpCtx c;
+  c.host_uid = uid_;
+  c.host_gid = gid_;
+  // The driver runs as the (unprivileged) invoking user — which is exactly
+  // why a shared-filesystem backing refuses to store other IDs (§4.2).
+  c.host_privileged = uid_ == 0;
+  c.now = const_cast<VfsDriver*>(this)->clock_++;
+  return c;
+}
+
+Result<vfs::InodeNum> VfsDriver::new_layer_dir() {
+  // Ensure the graphroot path exists, then create layer-N inside it.
+  vfs::InodeNum cur = backing_->root();
+  for (const auto& comp : path_components(graphroot_)) {
+    auto child = backing_->lookup(cur, comp);
+    if (child.ok()) {
+      cur = *child;
+      continue;
+    }
+    vfs::CreateArgs args;
+    args.type = vfs::FileType::Directory;
+    args.mode = 0755;
+    args.uid = uid_;
+    args.gid = gid_;
+    MINICON_TRY_ASSIGN(created, backing_->create(ctx(), cur, comp, args));
+    cur = created;
+  }
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Directory;
+  args.mode = 0755;
+  args.uid = uid_;
+  args.gid = gid_;
+  MINICON_TRY_ASSIGN(layer, backing_->create(
+                                ctx(), cur,
+                                "layer-" + std::to_string(next_layer_++), args));
+  return layer;
+}
+
+Result<Layer> VfsDriver::base_layer(
+    const std::vector<std::vector<image::TarEntry>>& layer_entries) {
+  MINICON_TRY_ASSIGN(dir, new_layer_dir());
+  Layer out;
+  out.fs = backing_;
+  out.root = dir;
+  for (const auto& entries : layer_entries) {
+    MINICON_TRY(image::entries_to_tree(entries, *backing_, dir, ctx()));
+    for (const auto& e : entries) out.marginal_bytes += e.content.size();
+  }
+  total_bytes_ += out.marginal_bytes;
+  return out;
+}
+
+Result<Layer> VfsDriver::create_layer(const Layer& parent) {
+  MINICON_TRY_ASSIGN(dir, new_layer_dir());
+  Layer out;
+  out.fs = backing_;
+  out.root = dir;
+  // The defining cost of the vfs driver: a full copy of the parent tree.
+  MINICON_TRY_ASSIGN(stats,
+                     vfs::copy_tree(*parent.fs, parent.root, *backing_, dir,
+                                    ctx()));
+  out.marginal_bytes = stats.bytes;
+  total_bytes_ += stats.bytes;
+  return out;
+}
+
+std::uint64_t VfsDriver::layer_bytes(const Layer& layer) const {
+  auto bytes = vfs::tree_bytes(*layer.fs, layer.root);
+  return bytes.ok() ? *bytes : 0;
+}
+
+// --- OverlayDriver --------------------------------------------------------------
+
+OverlayDriver::OverlayDriver(vfs::FilesystemPtr backing)
+    : backing_(std::move(backing)) {}
+
+Result<Layer> OverlayDriver::base_layer(
+    const std::vector<std::vector<image::TarEntry>>& layer_entries) {
+  if (backing_ != nullptr && !backing_->supports_user_xattrs()) {
+    // fuse-overlayfs cannot stash its ID mappings: "user extended attributes
+    // (xattrs) Podman uses for its ID mappings" clash with shared
+    // filesystems (§6.1).
+    return Err::enotsup;
+  }
+  auto base = std::make_shared<vfs::MemFs>(0755);
+  vfs::OpCtx ctx;
+  std::uint64_t bytes = 0;
+  for (const auto& entries : layer_entries) {
+    MINICON_TRY(image::entries_to_tree(entries, *base, base->root(), ctx));
+    for (const auto& e : entries) bytes += e.content.size();
+  }
+  bases_.push_back(base);
+  Layer out;
+  out.fs = base;
+  out.root = base->root();
+  out.marginal_bytes = bytes;
+  return out;
+}
+
+Result<Layer> OverlayDriver::create_layer(const Layer& parent) {
+  if (backing_ != nullptr && !backing_->supports_user_xattrs()) {
+    return Err::enotsup;
+  }
+  auto overlay = std::make_shared<vfs::OverlayFs>(parent.fs);
+  overlays_.push_back(overlay);
+  Layer out;
+  out.fs = overlay;
+  out.root = overlay->root();
+  out.marginal_bytes = 0;  // copy-up happens lazily
+  return out;
+}
+
+std::uint64_t OverlayDriver::layer_bytes(const Layer& layer) const {
+  if (auto* ovl = dynamic_cast<vfs::OverlayFs*>(layer.fs.get())) {
+    return ovl->upper_bytes();
+  }
+  auto bytes = vfs::tree_bytes(*layer.fs, layer.root);
+  return bytes.ok() ? *bytes : 0;
+}
+
+std::uint64_t OverlayDriver::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bases_) total += b->total_bytes();
+  for (const auto& o : overlays_) total += o->upper_bytes();
+  return total;
+}
+
+}  // namespace minicon::core

@@ -1,0 +1,97 @@
+// Container storage drivers (§4.1): "overlay" (fuse-overlayfs) vs "vfs".
+//
+// The two drivers differ exactly as the paper describes:
+//   * overlay — each layer is a copy-up union over its parent. Creating a
+//     layer is O(1); storage cost is the delta. Requires user xattrs on the
+//     backing filesystem (fuse-overlayfs stashes container IDs there), which
+//     default-configured NFS/Lustre/GPFS lack (§6.1).
+//   * vfs — each layer is a full copy of its parent in a plain directory:
+//     "much slower and has significant storage overhead", but no xattrs
+//     needed (what RHEL7-era Podman used on Astra, §4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "image/tar.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/memfs.hpp"
+#include "vfs/overlayfs.hpp"
+
+namespace minicon::core {
+
+struct Layer {
+  vfs::FilesystemPtr fs;
+  vfs::InodeNum root = 0;
+  // Marginal bytes attributable to this layer (for the storage bench).
+  std::uint64_t marginal_bytes = 0;
+};
+
+class StorageDriver {
+ public:
+  virtual ~StorageDriver() = default;
+  virtual std::string name() const = 0;
+
+  // Materializes a base image (already-parsed layer tars, base first).
+  virtual Result<Layer> base_layer(
+      const std::vector<std::vector<image::TarEntry>>& layer_entries) = 0;
+
+  // Creates a new writable layer on top of parent.
+  virtual Result<Layer> create_layer(const Layer& parent) = 0;
+
+  // Current bytes attributable to a layer.
+  virtual std::uint64_t layer_bytes(const Layer& layer) const = 0;
+
+  // Total bytes the driver has materialized (storage overhead metric).
+  virtual std::uint64_t total_bytes() const = 0;
+};
+
+// Full-copy driver. Layers are directories inside `backing` under
+// `graphroot`; the acting identity matters because a shared backing
+// filesystem enforces ownership server-side (§4.2).
+class VfsDriver : public StorageDriver {
+ public:
+  VfsDriver(vfs::FilesystemPtr backing, std::string graphroot,
+            vfs::Uid acting_uid, vfs::Gid acting_gid);
+
+  std::string name() const override { return "vfs"; }
+  Result<Layer> base_layer(
+      const std::vector<std::vector<image::TarEntry>>& layer_entries) override;
+  Result<Layer> create_layer(const Layer& parent) override;
+  std::uint64_t layer_bytes(const Layer& layer) const override;
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+
+ private:
+  Result<vfs::InodeNum> new_layer_dir();
+  vfs::OpCtx ctx() const;
+
+  vfs::FilesystemPtr backing_;
+  std::string graphroot_;
+  vfs::Uid uid_;
+  vfs::Gid gid_;
+  int next_layer_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t clock_ = 1;
+};
+
+// Copy-up union driver.
+class OverlayDriver : public StorageDriver {
+ public:
+  // `backing` is probed for user-xattr support (the fuse-overlayfs ID stash);
+  // pass the filesystem that would hold the graphroot.
+  explicit OverlayDriver(vfs::FilesystemPtr backing);
+
+  std::string name() const override { return "overlay"; }
+  Result<Layer> base_layer(
+      const std::vector<std::vector<image::TarEntry>>& layer_entries) override;
+  Result<Layer> create_layer(const Layer& parent) override;
+  std::uint64_t layer_bytes(const Layer& layer) const override;
+  std::uint64_t total_bytes() const override;
+
+ private:
+  vfs::FilesystemPtr backing_;
+  std::vector<std::shared_ptr<vfs::OverlayFs>> overlays_;
+  std::vector<std::shared_ptr<vfs::MemFs>> bases_;
+};
+
+}  // namespace minicon::core

@@ -1,0 +1,537 @@
+#include "distro/distro.hpp"
+
+#include "distro/treebuilder.hpp"
+#include "kernel/syscalls.hpp"
+#include "support/strings.hpp"
+#include "image/tar.hpp"
+#include "shell/shell.hpp"
+
+namespace minicon::distro {
+
+namespace {
+
+// Compiled userland commands present in every base image. Each is a binary
+// tagged with the image architecture.
+const char* const kCoreutils[] = {
+    "cat",  "touch", "mkdir",    "rmdir",  "rm",    "cp",    "mv",
+    "ln",   "chown", "chgrp",    "chmod",  "mknod", "ls",    "grep",
+    "head", "tail",  "wc",       "id",     "whoami", "stat", "readlink",
+    "env",  "uname", "hostname", "sleep",  "date",  "tar",
+};
+
+void add_common(TreeBuilder& t, const std::string& arch) {
+  t.dir("/tmp", 01777);
+  t.dir("/root", 0700);
+  t.dir("/home");
+  t.dir("/proc");
+  t.dir("/sys");
+  t.dir("/opt");
+  t.dir("/etc");
+  t.dir("/usr/bin");
+  t.dir("/usr/sbin");
+  t.dir("/usr/libexec");
+  t.dir("/var/log");
+  t.dir("/var/tmp", 01777);
+  t.dir("/var/cache");
+  t.device("/dev/null", vfs::FileType::CharDev, 1, 3);
+  t.device("/dev/zero", vfs::FileType::CharDev, 1, 5);
+  t.device("/dev/urandom", vfs::FileType::CharDev, 1, 9, 0444);
+
+  const std::map<std::string, std::string> attrs{{"arch", arch}};
+  t.binary("/usr/bin/sh", "sh", attrs);
+  t.binary("/bin/sh", "sh", attrs);
+  for (const char* name : kCoreutils) {
+    t.binary(std::string("/usr/bin/") + name, name, attrs);
+  }
+  t.binary("/usr/bin/egrep", "egrep", attrs);
+  t.binary("/usr/bin/fgrep", "fgrep", attrs);
+  t.binary("/usr/sbin/useradd", "useradd", attrs);
+  t.binary("/usr/sbin/usermod", "usermod", attrs);
+  t.binary("/usr/sbin/groupadd", "groupadd", attrs);
+}
+
+}  // namespace
+
+std::shared_ptr<vfs::MemFs> make_centos7_tree(const std::string& arch) {
+  TreeBuilder t;
+  add_common(t, arch);
+  const std::map<std::string, std::string> attrs{{"arch", arch}};
+  t.binary("/usr/bin/yum", "yum", attrs);
+  t.binary("/usr/bin/rpm", "rpm", attrs);
+  t.binary("/usr/bin/yum-config-manager", "yum-config-manager", attrs);
+
+  t.file("/etc/redhat-release", "CentOS Linux release 7.9.2009 (Core)\n");
+  t.file("/etc/os-release",
+         "NAME=\"CentOS Linux\"\nVERSION=\"7 (Core)\"\nID=\"centos\"\n"
+         "VERSION_ID=\"7\"\nPRETTY_NAME=\"CentOS Linux 7 (Core)\"\n");
+  t.file("/etc/passwd",
+         "root:x:0:0:root:/root:/bin/sh\n"
+         "bin:x:1:1:bin:/bin:/sbin/nologin\n"
+         "daemon:x:2:2:daemon:/sbin:/sbin/nologin\n"
+         "nobody:x:65534:65534:Kernel Overflow User:/:/sbin/nologin\n");
+  t.file("/etc/group",
+         "root:x:0:\n"
+         "bin:x:1:\n"
+         "daemon:x:2:\n"
+         "adm:x:4:\n"
+         "wheel:x:10:\n"
+         "nogroup:x:65534:\n");
+  t.file("/etc/shadow", "root:*:18000:0:99999:7:::\n", 0000);
+  t.file("/etc/yum.conf", "[main]\ninstallonly_limit=5\nkeepcache=0\n");
+  t.dir("/etc/yum.repos.d");
+  t.file("/etc/yum.repos.d/CentOS-Base.repo",
+         "[base]\nname=CentOS-7 - Base\nbaseurl=repo://centos7-base\n"
+         "enabled=1\n"
+         "[hpc]\nname=CentOS-7 - HPC\nbaseurl=repo://centos7-hpc\n"
+         "enabled=1\n");
+  t.file("/var/lib/rpm/installed",
+         "bash 4.2.46-34.el7 x86_64\n"
+         "coreutils 8.22-24.el7 x86_64\n"
+         "yum 3.4.3-168.el7.centos noarch\n"
+         "centos-release 7-9.2009.1.el7.centos x86_64\n");
+  return t.fs();
+}
+
+std::shared_ptr<vfs::MemFs> make_debian10_tree(const std::string& arch) {
+  TreeBuilder t;
+  add_common(t, arch);
+  const std::map<std::string, std::string> attrs{{"arch", arch}};
+  t.binary("/usr/bin/apt-get", "apt-get", attrs);
+  t.binary("/usr/bin/apt", "apt", attrs);
+  t.binary("/usr/bin/apt-config", "apt-config", attrs);
+  t.binary("/usr/bin/dpkg", "dpkg", attrs);
+
+  t.file("/etc/os-release",
+         "PRETTY_NAME=\"Debian GNU/Linux 10 (buster)\"\nNAME=\"Debian "
+         "GNU/Linux\"\nVERSION_ID=\"10\"\nVERSION=\"10 (buster)\"\n"
+         "VERSION_CODENAME=buster\nID=debian\n");
+  t.file("/etc/debian_version", "10.8\n");
+  t.file("/etc/passwd",
+         "root:x:0:0:root:/root:/bin/sh\n"
+         "daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin\n"
+         "bin:x:2:2:bin:/bin:/usr/sbin/nologin\n"
+         "_apt:x:100:65534::/nonexistent:/usr/sbin/nologin\n"
+         "nobody:x:65534:65534:nobody:/nonexistent:/usr/sbin/nologin\n");
+  t.file("/etc/group",
+         "root:x:0:\n"
+         "daemon:x:1:\n"
+         "bin:x:2:\n"
+         "adm:x:4:\n"
+         "staff:x:50:\n"
+         "nogroup:x:65534:\n");
+  t.file("/etc/shadow", "root:*:18000:0:99999:7:::\n", 0000);
+  t.file("/etc/apt/sources.list", "deb repo://debian10-main buster main\n");
+  t.dir("/etc/apt/apt.conf.d");
+  t.dir("/var/lib/apt/lists/partial");
+  t.dir("/var/cache/apt/archives");
+  t.file("/var/lib/dpkg/status",
+         "Package: dash\nVersion: 0.5.10.2-5\nStatus: install ok installed\n\n"
+         "Package: coreutils\nVersion: 8.30-3\nStatus: install ok installed\n\n"
+         "Package: apt\nVersion: 1.8.2.2\nStatus: install ok installed\n\n"
+         "Package: libc-bin\nVersion: 2.28-10\nStatus: install ok "
+         "installed\n\n");
+  return t.fs();
+}
+
+namespace {
+
+std::string script(const std::string& body) {
+  return "#!/bin/sh\n" + body + "\n";
+}
+
+void populate_centos_repos(pkg::RepoUniverse& universe) {
+  pkg::Repository& base = universe.create("centos7-base");
+  {
+    pkg::Package p;
+    p.name = "fipscheck";
+    p.version = "1.4.1-6.el7";
+    p.arch = "x86_64";
+    p.files = {
+        {"/usr/bin/fipscheck", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo fips mode: disabled")},
+        {"/usr/lib64/libfipscheck.so.1", vfs::FileType::Regular, 0755, "root",
+         "root", "\177ELF fipscheck library"},
+    };
+    base.add(std::move(p));
+  }
+  {
+    // The Fig 2 package: ssh-keysign is setgid root:ssh_keys, so cpio's
+    // chown(2) fails in a basic Type III container.
+    pkg::Package p;
+    p.name = "openssh";
+    p.version = "7.4p1-21.el7";
+    p.arch = "x86_64";
+    p.depends = {"fipscheck"};
+    p.pre_install = "groupadd -r ssh_keys";
+    p.files = {
+        {"/etc/ssh/ssh_config", vfs::FileType::Regular, 0644, "root", "root",
+         "Host *\n    GSSAPIAuthentication yes\n"},
+        {"/usr/bin/ssh", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo OpenSSH_7.4p1 client")},
+        {"/usr/bin/ssh-keygen", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo Generating public/private rsa key pair.")},
+        {"/usr/libexec/openssh/ssh-keysign", vfs::FileType::Regular, 02555,
+         "root", "ssh_keys", script("echo ssh-keysign")},
+    };
+    base.add(std::move(p));
+  }
+  {
+    // Fig 5: the %pre scriptlet reads /proc/1/environ (really 0400
+    // root-owned); with host /proc bind-mounted into a single-map
+    // namespace, that file belongs to "nobody" and the read fails.
+    pkg::Package p;
+    p.name = "openssh-server";
+    p.version = "7.4p1-21.el7";
+    p.arch = "x86_64";
+    p.depends = {"openssh"};
+    p.pre_install = "cat /proc/1/environ >/dev/null";
+    p.files = {
+        {"/usr/sbin/sshd", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo sshd: no hostkeys available")},
+        {"/etc/ssh/sshd_config", vfs::FileType::Regular, 0600, "root", "root",
+         "PermitRootLogin no\n"},
+    };
+    base.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "epel-release";
+    p.version = "7-11";
+    p.arch = "noarch";
+    p.files = {
+        {"/etc/yum.repos.d/epel.repo", vfs::FileType::Regular, 0644, "root",
+         "root", "[epel]\nname=Extra Packages for Enterprise Linux 7\n"
+                 "baseurl=repo://epel\nenabled=1\n"},
+    };
+    base.add(std::move(p));
+  }
+  {
+    // File capabilities via setcap(8): classic fakeroot cannot fake the
+    // security.capability xattr (Table 1).
+    pkg::Package p;
+    p.name = "iputils";
+    p.version = "20160308-10.el7";
+    p.arch = "x86_64";
+    pkg::PackageFile ping{"/usr/bin/ping", vfs::FileType::Regular, 0755,
+                          "root", "root", script("echo PING 127.0.0.1"),
+                          0,    0,        "cap_net_raw+ep"};
+    p.files = {ping};
+    base.add(std::move(p));
+  }
+
+  pkg::Repository& epel = universe.create("epel");
+  {
+    pkg::Package p;
+    p.name = "fakeroot";
+    p.version = "1.25.3-1.el7";
+    p.arch = "x86_64";
+    p.files = {
+        {"/usr/bin/fakeroot", vfs::FileType::Regular, 0755, "root", "root",
+         shell::make_binary("fakeroot")},
+    };
+    epel.add(std::move(p));
+  }
+
+  // The ATSE-like HPC stack (Fig 6): compilers, MPI, and Spack stand-ins.
+  pkg::Repository& hpc = universe.create("centos7-hpc");
+  {
+    pkg::Package p;
+    p.name = "gcc";
+    p.version = "4.8.5-44.el7";
+    p.arch = "x86_64";
+    p.files = {{"/usr/bin/gcc", vfs::FileType::Regular, 0755, "root", "root",
+                shell::make_binary("gcc")},
+               {"/usr/bin/cc", vfs::FileType::Regular, 0755, "root", "root",
+                shell::make_binary("gcc")}};
+    hpc.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "make";
+    p.version = "3.82-24.el7";
+    p.arch = "x86_64";
+    p.files = {{"/usr/bin/make", vfs::FileType::Regular, 0755, "root", "root",
+                script("echo make: nothing to be done")}};
+    hpc.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "openmpi-devel";
+    p.version = "1.10.7-5.el7";
+    p.arch = "x86_64";
+    p.depends = {"gcc"};
+    p.files = {{"/usr/bin/mpicc", vfs::FileType::Regular, 0755, "root", "root",
+                shell::make_binary("gcc")},
+               {"/usr/bin/mpirun", vfs::FileType::Regular, 0755, "root",
+                "root", shell::make_binary("mpirun")},
+               {"/usr/include/mpi.h", vfs::FileType::Regular, 0644, "root",
+                "root", "/* Message Passing Interface */\n"}};
+    hpc.add(std::move(p));
+  }
+  {
+    // Site-licensed compiler: installing is fine anywhere, *running* it
+    // requires the license server on the site network.
+    pkg::Package p;
+    p.name = "intel-compiler";
+    p.version = "19.1.3-2020.4";
+    p.arch = "x86_64";
+    p.files = {{"/usr/bin/icc", vfs::FileType::Regular, 0755, "root", "root",
+                shell::make_binary("icc")},
+               {"/opt/intel/license.conf", vfs::FileType::Regular, 0644,
+                "root", "root", "SERVER license.site.example.com 27000\n"}};
+    hpc.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "spack";
+    p.version = "0.16.1-1.el7";
+    p.arch = "noarch";
+    p.depends = {"gcc", "make"};
+    p.files = {{"/usr/bin/spack", vfs::FileType::Regular, 0755, "root", "root",
+                script("echo spack: environment ready")}};
+    hpc.add(std::move(p));
+  }
+}
+
+void populate_debian_repos(pkg::RepoUniverse& universe) {
+  pkg::Repository& main = universe.create("debian10-main");
+  {
+    pkg::Package p;
+    p.name = "libxext6";
+    p.version = "2:1.3.3-1+b2";
+    p.arch = "amd64";
+    p.files = {{"/usr/lib/x86_64-linux-gnu/libXext.so.6",
+                vfs::FileType::Regular, 0644, "root", "root",
+                "\177ELF libXext"}};
+    main.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "xauth";
+    p.version = "1:1.0.10-1";
+    p.arch = "amd64";
+    p.files = {{"/usr/bin/xauth", vfs::FileType::Regular, 0755, "root", "root",
+                script("echo xauth: creating new authority file")}};
+    main.add(std::move(p));
+  }
+  {
+    // The Fig 3 package: ssh-agent is setgid root:ssh.
+    pkg::Package p;
+    p.name = "openssh-client";
+    p.version = "1:7.9p1-10+deb10u2";
+    p.arch = "amd64";
+    p.depends = {"libxext6", "xauth"};
+    p.pre_install = "groupadd -r ssh";
+    p.files = {
+        {"/usr/bin/ssh", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo OpenSSH_7.9p1 client")},
+        {"/usr/bin/scp", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo scp")},
+        {"/usr/bin/ssh-agent", vfs::FileType::Regular, 02755, "root", "ssh",
+         script("echo ssh-agent")},
+        {"/etc/ssh/ssh_config", vfs::FileType::Regular, 0644, "root", "root",
+         "Host *\n    SendEnv LANG LC_*\n"},
+    };
+    main.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "pseudo";
+    p.version = "1.9.0+git20180920-1";
+    p.arch = "amd64";
+    p.files = {
+        {"/usr/bin/pseudo", vfs::FileType::Regular, 0755, "root", "root",
+         shell::make_binary("fakeroot",
+                            {{"flavor", "pseudo"}, {"xattrs", "1"}})},
+        // Debian's pseudo provides a fakeroot(1)-compatible entry point.
+        {"/usr/bin/fakeroot", vfs::FileType::Regular, 0755, "root", "root",
+         shell::make_binary("fakeroot",
+                            {{"flavor", "pseudo"}, {"xattrs", "1"}})},
+    };
+    main.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "fakeroot";
+    p.version = "1.23-1";
+    p.arch = "amd64";
+    p.files = {{"/usr/bin/fakeroot", vfs::FileType::Regular, 0755, "root",
+                "root", shell::make_binary("fakeroot")}};
+    main.add(std::move(p));
+  }
+  {
+    // ptrace-based wrapper: handles statics but the binary only exists for
+    // a few architectures (Table 1).
+    pkg::Package p;
+    p.name = "fakeroot-ng";
+    p.version = "0.18-4";
+    p.arch = "amd64";
+    p.files = {{"/usr/bin/fakeroot-ng", vfs::FileType::Regular, 0755, "root",
+                "root",
+                shell::make_binary("fakeroot", {{"flavor", "fakeroot-ng"},
+                                                {"approach", "ptrace"},
+                                                {"arch", "x86_64"}})}};
+    main.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "iputils-ping";
+    p.version = "3:20180629-2+deb10u2";
+    p.arch = "amd64";
+    pkg::PackageFile ping{"/bin/ping", vfs::FileType::Regular, 0755,
+                          "root", "root", script("echo PING 127.0.0.1"),
+                          0,    0,        "cap_net_raw+ep"};
+    p.files = {ping};
+    main.add(std::move(p));
+  }
+  {
+    // Post-install runs a statically-linked helper: LD_PRELOAD wrappers
+    // cannot intercept it, the ptrace flavour can (Table 1 / §5.1 quirks).
+    pkg::Package p;
+    p.name = "initscripts-static";
+    p.version = "2.96-1";
+    p.arch = "amd64";
+    p.post_install = "/usr/sbin/chown.static bin:bin /usr/sbin/chown.static";
+    p.files = {{"/usr/sbin/chown.static", vfs::FileType::Regular, 0755,
+                "root", "root",
+                shell::make_binary("chown", {{"static", "1"}})}};
+    main.add(std::move(p));
+  }
+  {
+    pkg::Package p;
+    p.name = "hello";
+    p.version = "2.10-2";
+    p.arch = "amd64";
+    p.files = {{"/usr/bin/hello", vfs::FileType::Regular, 0755, "root", "root",
+                script("echo Hello, world!")}};
+    main.add(std::move(p));
+  }
+}
+
+}  // namespace
+
+void populate_repos(pkg::RepoUniverse& universe) {
+  populate_centos_repos(universe);
+  populate_debian_repos(universe);
+}
+
+void publish_base_images(image::Registry& registry,
+                         const std::vector<std::string>& arches) {
+  for (const auto& arch : arches) {
+    for (const auto& [ref, tree] :
+         {std::pair<std::string, std::shared_ptr<vfs::MemFs>>{
+              "centos:7", make_centos7_tree(arch)},
+          {"debian:buster", make_debian10_tree(arch)}}) {
+      auto entries = image::tree_to_entries(*tree, tree->root());
+      if (!entries.ok()) continue;
+      const std::string digest = registry.put_blob(image::tar_create(*entries));
+      image::Manifest m;
+      m.reference = ref;
+      m.config.arch = arch;
+      m.config.env["PATH"] = kDefaultPath;
+      m.config.cmd = {"/bin/sh"};
+      m.layers = {digest};
+      registry.put_manifest(m);
+    }
+  }
+}
+
+namespace {
+
+int cmd_gcc(shell::Invocation& inv) {
+  std::string output = "a.out";
+  std::vector<std::string> sources;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-o" && i + 1 < inv.args.size()) {
+      output = inv.args[++i];
+    } else if (!inv.args[i].starts_with("-")) {
+      sources.push_back(inv.args[i]);
+    }
+  }
+  for (const auto& src : sources) {
+    if (!inv.proc.sys->stat(inv.proc, src).ok()) {
+      inv.err += "gcc: error: " + src + ": No such file or directory\n";
+      return 1;
+    }
+  }
+  std::string arch = inv.proc.env_get("MINICON_ARCH");
+  if (arch.empty()) arch = "x86_64";
+  // The produced executable is tagged with the *build* architecture — the
+  // reason HPC images must be built on matching hardware (§2, §4.2).
+  std::string content =
+      shell::make_binary("compiled-app", {{"arch", arch}});
+  for (const auto& src : sources) content += "// from " + src + "\n";
+  if (auto rc = inv.proc.sys->write_file(inv.proc, output, content, false,
+                                         0755);
+      !rc.ok()) {
+    inv.err += "gcc: cannot write " + output + "\n";
+    return 1;
+  }
+  (void)inv.proc.sys->chmod(inv.proc, output, 0755);
+  return 0;
+}
+
+int cmd_compiled_app(shell::Invocation& inv) {
+  auto it = inv.binary_attrs.find("arch");
+  const std::string arch =
+      it == inv.binary_attrs.end() ? "unknown" : it->second;
+  inv.out += inv.args[0] + ": hello from compiled application (" + arch +
+             ")\n";
+  return 0;
+}
+
+// A license-managed compiler: it phones home to the site license server
+// before compiling — which only works from the site network (§2: "developers
+// often need licenses for compilers ... with this limitation").
+int cmd_icc(shell::Invocation& inv) {
+  const std::string networks = inv.proc.env_get("MINICON_NETWORKS");
+  bool on_site = false;
+  for (const auto& n : split(networks, ',')) {
+    if (n == "site") on_site = true;
+  }
+  if (!on_site) {
+    inv.err += "icc: error #10052: could not checkout FLEXlm license: "
+               "cannot reach license.site.example.com:27000\n";
+    return 1;
+  }
+  return cmd_gcc(inv);
+}
+
+int cmd_mpirun(shell::Invocation& inv) {
+  std::size_t np = 1;
+  std::vector<std::string> rest;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if ((inv.args[i] == "-np" || inv.args[i] == "-n") &&
+        i + 1 < inv.args.size()) {
+      std::uint64_t v = 0;
+      if (parse_u64(inv.args[++i], v)) np = v;
+    } else {
+      rest.push_back(inv.args[i]);
+    }
+  }
+  if (rest.empty()) return 1;
+  int status = 0;
+  for (std::size_t rank = 0; rank < np; ++rank) {
+    kernel::Process child = inv.proc.clone();
+    child.env["OMPI_COMM_WORLD_RANK"] = std::to_string(rank);
+    shell::ShellState state;
+    state.registry = inv.state.registry;
+    state.shell = inv.state.shell;
+    state.depth = inv.state.depth + 1;
+    status = inv.state.shell->dispatch_argv(child, rest, inv.out, inv.err,
+                                            inv.stdin_data, state);
+    if (status != 0) break;
+  }
+  return status;
+}
+
+}  // namespace
+
+void register_toolchain_commands(shell::CommandRegistry& reg) {
+  reg.register_external("gcc", cmd_gcc);
+  reg.register_external("icc", cmd_icc);
+  reg.register_external("compiled-app", cmd_compiled_app);
+  reg.register_external("mpirun", cmd_mpirun);
+}
+
+}  // namespace minicon::distro

@@ -1,0 +1,51 @@
+// Synthetic distributions: centos:7 and debian:buster base images plus their
+// package repositories.
+//
+// Contents are chosen to exercise the paper's exact failure modes:
+//   * openssh (CentOS) owns files as root:ssh_keys -> cpio chown fails in a
+//     basic Type III build (Fig 2).
+//   * openssh-client (Debian) ships a setgid root:ssh ssh-agent, and APT's
+//     _apt sandbox drops privileges -> Fig 3 failures.
+//   * epel-release + fakeroot (EPEL) back the rhel7 injection config
+//     (Figs 8/10); pseudo + the APT no-sandbox config back debderiv
+//     (Figs 9/11).
+//   * iputils-ping (file capabilities) and a statically-linked-helper
+//     package differentiate the fakeroot flavours (Table 1).
+//   * gcc/openmpi/spack stand in for the ATSE stack on Astra (Fig 6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "image/registry.hpp"
+#include "pkg/package.hpp"
+#include "shell/registry.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::distro {
+
+// Base filesystem trees. `arch` tags every compiled binary in the tree, so
+// an x86_64 image genuinely fails to run on an aarch64 machine (the Astra
+// motivation, §4.2).
+std::shared_ptr<vfs::MemFs> make_centos7_tree(const std::string& arch);
+std::shared_ptr<vfs::MemFs> make_debian10_tree(const std::string& arch);
+
+// Fills the universe with "centos7-base", "epel", "centos7-hpc", and
+// "debian10-main" repositories.
+void populate_repos(pkg::RepoUniverse& universe);
+
+// Tars the base trees and publishes "centos:7" and "debian:buster"
+// manifests for each architecture.
+void publish_base_images(image::Registry& registry,
+                         const std::vector<std::string>& arches = {
+                             "x86_64", "aarch64"});
+
+// Registers the synthetic HPC toolchain: gcc (writes a runnable binary
+// tagged with the build arch), mpirun, and the compiled-app stub.
+void register_toolchain_commands(shell::CommandRegistry& reg);
+
+// Default PATH baked into base image configs.
+inline constexpr const char* kDefaultPath =
+    "/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin";
+
+}  // namespace minicon::distro

@@ -1,0 +1,85 @@
+#include "distro/treebuilder.hpp"
+
+#include <cassert>
+
+#include "support/path.hpp"
+
+namespace minicon::distro {
+
+TreeBuilder::TreeBuilder() : fs_(std::make_shared<vfs::MemFs>(0755)) {}
+
+vfs::InodeNum TreeBuilder::ensure_dir(const std::string& path) {
+  vfs::InodeNum cur = fs_->root();
+  for (const auto& comp : path_components(path)) {
+    auto child = fs_->lookup(cur, comp);
+    if (child.ok()) {
+      cur = *child;
+      continue;
+    }
+    vfs::CreateArgs args;
+    args.type = vfs::FileType::Directory;
+    args.mode = 0755;
+    auto created = fs_->create(ctx_, cur, comp, args);
+    assert(created.ok());
+    cur = *created;
+  }
+  return cur;
+}
+
+TreeBuilder& TreeBuilder::dir(const std::string& path, std::uint32_t mode,
+                              vfs::Uid uid, vfs::Gid gid) {
+  const vfs::InodeNum node = ensure_dir(path);
+  (void)fs_->set_mode(ctx_, node, mode);
+  (void)fs_->set_owner(ctx_, node, uid, gid);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::file(const std::string& path, std::string content,
+                               std::uint32_t mode, vfs::Uid uid,
+                               vfs::Gid gid) {
+  const vfs::InodeNum parent = ensure_dir(path_dirname(path));
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Regular;
+  args.mode = mode;
+  args.uid = uid;
+  args.gid = gid;
+  auto node = fs_->create(ctx_, parent, path_basename(path), args);
+  assert(node.ok());
+  (void)fs_->write(ctx_, *node, std::move(content), false);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::symlink(const std::string& path,
+                                  const std::string& target) {
+  const vfs::InodeNum parent = ensure_dir(path_dirname(path));
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Symlink;
+  args.symlink_target = target;
+  auto node = fs_->create(ctx_, parent, path_basename(path), args);
+  assert(node.ok());
+  (void)node;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::device(const std::string& path, vfs::FileType type,
+                                 std::uint32_t major, std::uint32_t minor,
+                                 std::uint32_t mode) {
+  const vfs::InodeNum parent = ensure_dir(path_dirname(path));
+  vfs::CreateArgs args;
+  args.type = type;
+  args.mode = mode;
+  args.dev_major = major;
+  args.dev_minor = minor;
+  auto node = fs_->create(ctx_, parent, path_basename(path), args);
+  assert(node.ok());
+  (void)node;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::binary(const std::string& path,
+                                 const std::string& impl,
+                                 const std::map<std::string, std::string>& attrs) {
+  return file(path, shell::make_binary(impl, attrs), 0755);
+}
+
+}  // namespace minicon::distro

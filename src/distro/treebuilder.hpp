@@ -1,0 +1,43 @@
+// Store-side construction of filesystem trees with explicit ownership.
+//
+// Base images are built by "the distribution vendor" with full privilege;
+// this helper writes straight into a MemFs with kernel IDs, bypassing the
+// syscall layer (exactly like importing a vendor tarball as root).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "shell/registry.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::distro {
+
+class TreeBuilder {
+ public:
+  TreeBuilder();
+
+  TreeBuilder& dir(const std::string& path, std::uint32_t mode = 0755,
+                   vfs::Uid uid = 0, vfs::Gid gid = 0);
+  TreeBuilder& file(const std::string& path, std::string content,
+                    std::uint32_t mode = 0644, vfs::Uid uid = 0,
+                    vfs::Gid gid = 0);
+  TreeBuilder& symlink(const std::string& path, const std::string& target);
+  TreeBuilder& device(const std::string& path, vfs::FileType type,
+                      std::uint32_t major, std::uint32_t minor,
+                      std::uint32_t mode = 0666);
+  // Executable with a "#!minicon <impl>" header.
+  TreeBuilder& binary(const std::string& path, const std::string& impl,
+                      const std::map<std::string, std::string>& attrs = {});
+
+  const std::shared_ptr<vfs::MemFs>& fs() const { return fs_; }
+
+ private:
+  vfs::InodeNum ensure_dir(const std::string& path);
+
+  std::shared_ptr<vfs::MemFs> fs_;
+  vfs::OpCtx ctx_;
+};
+
+}  // namespace minicon::distro

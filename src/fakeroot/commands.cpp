@@ -1,0 +1,109 @@
+// The fakeroot(1) command-line wrapper.
+#include "fakeroot/fakeroot.hpp"
+#include "shell/shell.hpp"
+#include "support/path.hpp"
+
+namespace minicon::fakeroot {
+
+namespace {
+
+// Ensure a file's parent directories exist (for pseudo's database file).
+void ensure_parents(kernel::Process& p, const std::string& path) {
+  const std::string dir = path_dirname(path);
+  std::string cur = "/";
+  for (const auto& comp : path_components(dir)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (!p.sys->stat(p, cur).ok()) (void)p.sys->mkdir(p, cur, 0755);
+  }
+}
+
+int cmd_fakeroot(shell::Invocation& inv) {
+  FakerootOptions options;
+  auto attr = [&](const std::string& key) -> std::string {
+    auto it = inv.binary_attrs.find(key);
+    return it == inv.binary_attrs.end() ? std::string() : it->second;
+  };
+  if (auto f = attr("flavor"); !f.empty()) options.flavor = f;
+  if (attr("approach") == "ptrace") options.approach = Approach::kPtrace;
+  if (attr("xattrs") == "1") options.fake_security_xattrs = true;
+
+  std::string save_file, load_file;
+  std::vector<std::string> rest;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (rest.empty() && a == "-s" && i + 1 < inv.args.size()) {
+      save_file = inv.args[++i];
+    } else if (rest.empty() && a == "-i" && i + 1 < inv.args.size()) {
+      load_file = inv.args[++i];
+    } else if (rest.empty() && a == "--") {
+      continue;
+    } else {
+      rest.push_back(a);
+    }
+  }
+
+  // pseudo persists its database implicitly; fakeroot needs -s/-i.
+  const std::string pseudo_db_path = [&] {
+    std::string dir = inv.proc.env_get("PSEUDO_LOCALSTATEDIR");
+    if (dir.empty()) {
+      const std::string home = inv.proc.env_get("HOME");
+      dir = home.empty() ? "/var/pseudo" : home + "/.pseudo";
+    }
+    return dir + "/files.db";
+  }();
+  const bool pseudo_persist = options.flavor == "pseudo";
+
+  FakeDbPtr db;
+  if (!load_file.empty()) {
+    auto text = inv.proc.sys->read_file(inv.proc, load_file);
+    if (!text.ok()) {
+      inv.err += "fakeroot: cannot load " + load_file + "\n";
+      return 1;
+    }
+    db = FakeDb::deserialize(*text);
+  } else if (pseudo_persist) {
+    if (auto text = inv.proc.sys->read_file(inv.proc, pseudo_db_path);
+        text.ok()) {
+      db = FakeDb::deserialize(*text);
+    }
+  }
+  if (db == nullptr) db = std::make_shared<FakeDb>();
+
+  auto wrapper =
+      std::make_shared<FakerootSyscalls>(inv.proc.sys, db, options);
+
+  int status = 0;
+  if (!rest.empty()) {
+    kernel::Process child = inv.proc.clone();
+    child.sys = wrapper;
+    if (options.approach == Approach::kPreload) {
+      child.env["LD_PRELOAD"] = "libfakeroot.so";
+    }
+    shell::ShellState state;
+    state.registry = inv.state.registry;
+    state.shell = inv.state.shell;
+    state.depth = inv.state.depth + 1;
+    status = inv.state.shell->dispatch_argv(child, rest, inv.out, inv.err,
+                                            inv.stdin_data, state);
+  }
+
+  if (!save_file.empty()) {
+    ensure_parents(inv.proc, save_file);
+    (void)inv.proc.sys->write_file(inv.proc, save_file, db->serialize(),
+                                   false);
+  }
+  if (pseudo_persist) {
+    ensure_parents(inv.proc, pseudo_db_path);
+    (void)inv.proc.sys->write_file(inv.proc, pseudo_db_path, db->serialize(),
+                                   false);
+  }
+  return status;
+}
+
+}  // namespace
+
+void register_fakeroot_commands(shell::CommandRegistry& reg) {
+  reg.register_external("fakeroot", cmd_fakeroot);
+}
+
+}  // namespace minicon::fakeroot

@@ -1,0 +1,71 @@
+#include "fakeroot/fakedb.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace minicon::fakeroot {
+
+namespace {
+
+constexpr std::uint32_t kUnset = 0xffffffffu;
+
+}  // namespace
+
+std::string FakeDb::serialize() const {
+  // One line per entry:
+  //   fs=<ptr> ino=<n> uid=<n|-> gid=<n|-> mode=<octal|-> type=<n|-> maj min
+  // followed by "x <name> <hex-len> <value>" xattr lines.
+  std::string out;
+  char buf[256];
+  for (const auto& [key, e] : entries_) {
+    std::snprintf(
+        buf, sizeof buf, "e %p %" PRIu64 " %u %u %o %d %u %u\n",
+        static_cast<const void*>(key.first), key.second,
+        e.uid.value_or(kUnset), e.gid.value_or(kUnset), e.mode.value_or(kUnset),
+        e.type ? static_cast<int>(*e.type) : -1, e.dev_major, e.dev_minor);
+    out += buf;
+    for (const auto& [name, value] : e.xattrs) {
+      out += "x " + name + " " + value + "\n";
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<FakeDb> FakeDb::deserialize(const std::string& text) {
+  auto db = std::make_shared<FakeDb>();
+  Entry* current = nullptr;
+  for (const auto& line : split(text, '\n')) {
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "e" && fields.size() >= 8) {
+      void* fs = nullptr;
+      std::sscanf(fields[1].c_str(), "%p", &fs);
+      std::uint64_t ino = 0;
+      if (!parse_u64(fields[2], ino)) continue;
+      Entry e;
+      std::uint32_t v = 0;
+      if (parse_u32(fields[3], v) && v != kUnset) e.uid = v;
+      if (parse_u32(fields[4], v) && v != kUnset) e.gid = v;
+      std::uint32_t m = 0;
+      std::sscanf(fields[5].c_str(), "%o", &m);
+      if (m != kUnset) {
+        // "-1" octal round-trips as kUnset; anything else is a real mode.
+        if (fields[5] != "37777777777") e.mode = m;
+      }
+      int type = -1;
+      std::sscanf(fields[6].c_str(), "%d", &type);
+      if (type >= 0) e.type = static_cast<vfs::FileType>(type);
+      parse_u32(fields[7], e.dev_major);
+      if (fields.size() > 8) parse_u32(fields[8], e.dev_minor);
+      current = &db->entries_[{static_cast<const vfs::Filesystem*>(fs), ino}];
+      *current = std::move(e);
+    } else if (fields[0] == "x" && fields.size() >= 3 && current != nullptr) {
+      current->xattrs[fields[1]] = fields[2];
+    }
+  }
+  return db;
+}
+
+}  // namespace minicon::fakeroot

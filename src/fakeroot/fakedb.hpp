@@ -1,0 +1,63 @@
+// The fakeroot "lies" database (§5.1).
+//
+// fakeroot(1) remembers which privileged metadata operations it faked so
+// that later intercepted stat(2) calls return consistent results. Entries
+// are keyed by (filesystem identity, inode) like the real implementation's
+// device:inode keys. The database can be serialized (fakeroot's
+// save/restore-to-file persistence) or kept alive across invocations
+// (pseudo's database persistence) — Table 1's "persistency" column.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "vfs/filesystem.hpp"
+
+namespace minicon::fakeroot {
+
+class FakeDb {
+ public:
+  struct Entry {
+    std::optional<vfs::Uid> uid;
+    std::optional<vfs::Gid> gid;
+    std::optional<std::uint32_t> mode;
+    std::optional<vfs::FileType> type;  // faked device nodes
+    std::uint32_t dev_major = 0;
+    std::uint32_t dev_minor = 0;
+    std::map<std::string, std::string> xattrs;  // faked security.* xattrs
+  };
+
+  using Key = std::pair<const vfs::Filesystem*, vfs::InodeNum>;
+
+  Entry& upsert(const vfs::Filesystem* fs, vfs::InodeNum ino) {
+    return entries_[{fs, ino}];
+  }
+  const Entry* find(const vfs::Filesystem* fs, vfs::InodeNum ino) const {
+    auto it = entries_.find({fs, ino});
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void erase(const vfs::Filesystem* fs, vfs::InodeNum ino) {
+    entries_.erase({fs, ino});
+  }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  const std::map<Key, Entry>& entries() const { return entries_; }
+
+  // Text form for fakeroot's -s/-i save files. Filesystem identities are
+  // only stable within one simulated world, like device numbers within one
+  // boot.
+  std::string serialize() const;
+  static std::shared_ptr<FakeDb> deserialize(const std::string& text);
+
+ private:
+  std::map<Key, Entry> entries_;
+};
+
+using FakeDbPtr = std::shared_ptr<FakeDb>;
+
+}  // namespace minicon::fakeroot

@@ -1,0 +1,197 @@
+#include "fakeroot/fakeroot.hpp"
+
+namespace minicon::fakeroot {
+
+FakerootSyscalls::FakerootSyscalls(std::shared_ptr<kernel::Syscalls> inner,
+                                   FakeDbPtr db, FakerootOptions options)
+    : inner_(std::move(inner)), db_(std::move(db)), options_(options) {
+  if (db_ == nullptr) db_ = std::make_shared<FakeDb>();
+}
+
+void FakerootSyscalls::apply_lies(const kernel::Loc& loc, vfs::Stat& st) const {
+  // Within the fakeroot context every file appears root-owned by default;
+  // recorded lies override that (Fig 7: "nobody root" after a faked chown).
+  st.uid = 0;
+  st.gid = 0;
+  const FakeDb::Entry* e = db_->find(loc.mnt->fs.get(), loc.ino);
+  if (e == nullptr) return;
+  if (e->uid) st.uid = *e->uid;
+  if (e->gid) st.gid = *e->gid;
+  if (e->mode) st.mode = *e->mode;
+  if (e->type) {
+    st.type = *e->type;
+    st.dev_major = e->dev_major;
+    st.dev_minor = e->dev_minor;
+    if (st.is_device()) st.size = 0;
+  }
+}
+
+Result<vfs::Stat> FakerootSyscalls::stat(kernel::Process& p,
+                                         const std::string& path) {
+  MINICON_TRY_ASSIGN(st, inner_->stat(p, path));
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  apply_lies(loc, st);
+  return st;
+}
+
+Result<vfs::Stat> FakerootSyscalls::lstat(kernel::Process& p,
+                                          const std::string& path) {
+  MINICON_TRY_ASSIGN(st, inner_->lstat(p, path));
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/false));
+  apply_lies(loc, st);
+  return st;
+}
+
+VoidResult FakerootSyscalls::chown(kernel::Process& p, const std::string& path,
+                                   vfs::Uid uid, vfs::Gid gid, bool follow) {
+  // Never perform the real (privileged) call; record the lie and succeed.
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, follow));
+  FakeDb::Entry& e = db_->upsert(loc.mnt->fs.get(), loc.ino);
+  if (uid != vfs::kNoChangeId) e.uid = uid;
+  if (gid != vfs::kNoChangeId) e.gid = gid;
+  return {};
+}
+
+VoidResult FakerootSyscalls::chmod(kernel::Process& p, const std::string& path,
+                                   std::uint32_t mode) {
+  // Try the real call first (most chmods are legitimate); fake only the
+  // privileged failures.
+  auto rc = inner_->chmod(p, path, mode);
+  if (rc.ok()) return rc;
+  if (rc.error() != Err::eperm && rc.error() != Err::eacces) return rc;
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  db_->upsert(loc.mnt->fs.get(), loc.ino).mode = mode & vfs::mode::kPermMask;
+  return {};
+}
+
+VoidResult FakerootSyscalls::mknod(kernel::Process& p, const std::string& path,
+                                   vfs::FileType type, std::uint32_t mode,
+                                   std::uint32_t dev_major,
+                                   std::uint32_t dev_minor) {
+  if (type != vfs::FileType::CharDev && type != vfs::FileType::BlockDev) {
+    return inner_->mknod(p, path, type, mode, dev_major, dev_minor);
+  }
+  // Fake a device node: create a plain file, remember what it pretends to be.
+  MINICON_TRY(
+      inner_->mknod(p, path, vfs::FileType::Regular, mode, 0, 0));
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/false));
+  FakeDb::Entry& e = db_->upsert(loc.mnt->fs.get(), loc.ino);
+  e.type = type;
+  e.dev_major = dev_major;
+  e.dev_minor = dev_minor;
+  return {};
+}
+
+VoidResult FakerootSyscalls::unlink(kernel::Process& p,
+                                    const std::string& path) {
+  auto loc = inner_->resolve(p, path, /*follow_last=*/false);
+  std::uint32_t nlink = 1;
+  if (loc.ok()) {
+    if (auto st = loc->mnt->fs->getattr(loc->ino); st.ok()) nlink = st->nlink;
+  }
+  MINICON_TRY(inner_->unlink(p, path));
+  // Drop stale lies so a recycled inode does not inherit them.
+  if (loc.ok() && nlink <= 1) db_->erase(loc->mnt->fs.get(), loc->ino);
+  return {};
+}
+
+VoidResult FakerootSyscalls::rename(kernel::Process& p,
+                                    const std::string& oldpath,
+                                    const std::string& newpath) {
+  // Inode identity survives rename; lies stay attached automatically.
+  return inner_->rename(p, oldpath, newpath);
+}
+
+VoidResult FakerootSyscalls::set_xattr(kernel::Process& p,
+                                       const std::string& path,
+                                       const std::string& name,
+                                       const std::string& value) {
+  const bool privileged_ns =
+      name.starts_with("security.") || name.starts_with("trusted.");
+  if (!privileged_ns) return inner_->set_xattr(p, path, name, value);
+  auto rc = inner_->set_xattr(p, path, name, value);
+  if (rc.ok()) return rc;
+  if (!options_.fake_security_xattrs) return rc;  // classic fakeroot: fail
+  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  db_->upsert(loc.mnt->fs.get(), loc.ino).xattrs[name] = value;
+  return {};
+}
+
+Result<std::string> FakerootSyscalls::get_xattr(kernel::Process& p,
+                                                const std::string& path,
+                                                const std::string& name) {
+  if (auto loc = inner_->resolve(p, path, /*follow_last=*/true); loc.ok()) {
+    if (const FakeDb::Entry* e = db_->find(loc->mnt->fs.get(), loc->ino)) {
+      auto it = e->xattrs.find(name);
+      if (it != e->xattrs.end()) return it->second;
+    }
+  }
+  return inner_->get_xattr(p, path, name);
+}
+
+VoidResult FakerootSyscalls::remove_xattr(kernel::Process& p,
+                                          const std::string& path,
+                                          const std::string& name) {
+  if (auto loc = inner_->resolve(p, path, /*follow_last=*/true); loc.ok()) {
+    if (FakeDb::Entry* e = db_->find(loc->mnt->fs.get(), loc->ino)
+                               ? &db_->upsert(loc->mnt->fs.get(), loc->ino)
+                               : nullptr) {
+      if (e->xattrs.erase(name) > 0) return {};
+    }
+  }
+  return inner_->remove_xattr(p, path, name);
+}
+
+// --- faked identity -----------------------------------------------------------
+
+vfs::Uid FakerootSyscalls::getuid(kernel::Process&) { return fake_ruid_; }
+vfs::Uid FakerootSyscalls::geteuid(kernel::Process&) { return fake_euid_; }
+vfs::Gid FakerootSyscalls::getgid(kernel::Process&) { return fake_rgid_; }
+vfs::Gid FakerootSyscalls::getegid(kernel::Process&) { return fake_egid_; }
+
+std::vector<vfs::Gid> FakerootSyscalls::getgroups(kernel::Process& p) {
+  return inner_->getgroups(p);
+}
+
+VoidResult FakerootSyscalls::setuid(kernel::Process&, vfs::Uid uid) {
+  fake_ruid_ = fake_euid_ = uid;
+  return {};
+}
+
+VoidResult FakerootSyscalls::setgid(kernel::Process&, vfs::Gid gid) {
+  fake_rgid_ = fake_egid_ = gid;
+  return {};
+}
+
+VoidResult FakerootSyscalls::setresuid(kernel::Process&, vfs::Uid r,
+                                       vfs::Uid e, vfs::Uid s) {
+  if (r != vfs::kNoChangeId) fake_ruid_ = r;
+  if (e != vfs::kNoChangeId) fake_euid_ = e;
+  (void)s;
+  return {};
+}
+
+VoidResult FakerootSyscalls::setresgid(kernel::Process&, vfs::Gid r,
+                                       vfs::Gid e, vfs::Gid s) {
+  if (r != vfs::kNoChangeId) fake_rgid_ = r;
+  if (e != vfs::kNoChangeId) fake_egid_ = e;
+  (void)s;
+  return {};
+}
+
+VoidResult FakerootSyscalls::seteuid(kernel::Process&, vfs::Uid e) {
+  fake_euid_ = e;
+  return {};
+}
+
+VoidResult FakerootSyscalls::setegid(kernel::Process&, vfs::Gid e) {
+  fake_egid_ = e;
+  return {};
+}
+
+VoidResult FakerootSyscalls::setgroups(kernel::Process&,
+                                       const std::vector<vfs::Gid>&) {
+  return {};  // faked success: the wrapped process believes it is root
+}
+
+}  // namespace minicon::fakeroot

@@ -1,0 +1,202 @@
+// fakeroot(1): syscall interposition that fakes privileged operations (§5.1).
+//
+// The wrapper sits between a process and the real kernel syscalls, lying
+// about identity (getuid() -> 0), faking privileged metadata operations
+// (chown, mknod, privileged chmod, security xattrs), and keeping the lies
+// consistent via a FakeDb. Three flavours mirror Table 1:
+//
+//   flavour     approach    statics?  faked xattrs?  persistence
+//   fakeroot    LD_PRELOAD  no        no             save/restore to file
+//   fakeroot-ng ptrace      yes       no             save/restore to file
+//   pseudo      LD_PRELOAD  no        yes            database
+//
+// LD_PRELOAD flavours cannot wrap statically-linked executables (the
+// dispatcher consults is_interposer()/wraps_statically_linked()); the
+// ptrace flavour wraps everything but the fakeroot-ng binary itself only
+// exists for a few architectures.
+#pragma once
+
+#include <memory>
+
+#include "fakeroot/fakedb.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon::fakeroot {
+
+enum class Approach { kPreload, kPtrace };
+
+struct FakerootOptions {
+  Approach approach = Approach::kPreload;
+  std::string flavor = "fakeroot";
+  // pseudo fakes security.*/trusted.* xattrs in its database; the classic
+  // fakeroot does not, so packages that setcap(8) their binaries fail.
+  bool fake_security_xattrs = false;
+};
+
+class FakerootSyscalls : public kernel::Syscalls,
+                         public std::enable_shared_from_this<FakerootSyscalls> {
+ public:
+  FakerootSyscalls(std::shared_ptr<kernel::Syscalls> inner, FakeDbPtr db,
+                   FakerootOptions options = {});
+
+  const FakeDbPtr& db() const { return db_; }
+  const FakerootOptions& options() const { return options_; }
+
+  // --- interposition introspection ---
+  bool is_interposer() const override { return true; }
+  bool wraps_statically_linked() const override {
+    return options_.approach == Approach::kPtrace;
+  }
+  std::shared_ptr<kernel::Syscalls> interposer_inner() const override {
+    return inner_;
+  }
+
+  // --- intercepted metadata ops ---
+  Result<vfs::Stat> stat(kernel::Process& p, const std::string& path) override;
+  Result<vfs::Stat> lstat(kernel::Process& p, const std::string& path) override;
+  VoidResult chown(kernel::Process& p, const std::string& path, vfs::Uid uid,
+                   vfs::Gid gid, bool follow) override;
+  VoidResult chmod(kernel::Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult mknod(kernel::Process& p, const std::string& path,
+                   vfs::FileType type, std::uint32_t mode,
+                   std::uint32_t dev_major, std::uint32_t dev_minor) override;
+  VoidResult unlink(kernel::Process& p, const std::string& path) override;
+  VoidResult rename(kernel::Process& p, const std::string& oldpath,
+                    const std::string& newpath) override;
+  VoidResult set_xattr(kernel::Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(kernel::Process& p, const std::string& path,
+                                const std::string& name) override;
+
+  // --- faked identity ---
+  vfs::Uid getuid(kernel::Process& p) override;
+  vfs::Uid geteuid(kernel::Process& p) override;
+  vfs::Gid getgid(kernel::Process& p) override;
+  vfs::Gid getegid(kernel::Process& p) override;
+  std::vector<vfs::Gid> getgroups(kernel::Process& p) override;
+  VoidResult setuid(kernel::Process& p, vfs::Uid uid) override;
+  VoidResult setgid(kernel::Process& p, vfs::Gid gid) override;
+  VoidResult setresuid(kernel::Process& p, vfs::Uid r, vfs::Uid e,
+                       vfs::Uid s) override;
+  VoidResult setresgid(kernel::Process& p, vfs::Gid r, vfs::Gid e,
+                       vfs::Gid s) override;
+  VoidResult seteuid(kernel::Process& p, vfs::Uid e) override;
+  VoidResult setegid(kernel::Process& p, vfs::Gid e) override;
+  VoidResult setgroups(kernel::Process& p,
+                       const std::vector<vfs::Gid>& groups) override;
+
+  // --- passthrough ---
+  Result<std::string> read_file(kernel::Process& p,
+                                const std::string& path) override {
+    return inner_->read_file(p, path);
+  }
+  VoidResult write_file(kernel::Process& p, const std::string& path,
+                        std::string data, bool append,
+                        std::uint32_t create_mode) override {
+    return inner_->write_file(p, path, std::move(data), append, create_mode);
+  }
+  Result<std::vector<vfs::DirEntry>> readdir(kernel::Process& p,
+                                             const std::string& path) override {
+    return inner_->readdir(p, path);
+  }
+  Result<std::string> readlink(kernel::Process& p,
+                               const std::string& path) override {
+    return inner_->readlink(p, path);
+  }
+  VoidResult mkdir(kernel::Process& p, const std::string& path,
+                   std::uint32_t mode) override {
+    return inner_->mkdir(p, path, mode);
+  }
+  VoidResult symlink(kernel::Process& p, const std::string& target,
+                     const std::string& linkpath) override {
+    return inner_->symlink(p, target, linkpath);
+  }
+  VoidResult link(kernel::Process& p, const std::string& oldpath,
+                  const std::string& newpath) override {
+    return inner_->link(p, oldpath, newpath);
+  }
+  VoidResult rmdir(kernel::Process& p, const std::string& path) override {
+    return inner_->rmdir(p, path);
+  }
+  VoidResult access(kernel::Process& p, const std::string& path,
+                    int mask) override {
+    return inner_->access(p, path, mask);
+  }
+  VoidResult chdir(kernel::Process& p, const std::string& path) override {
+    return inner_->chdir(p, path);
+  }
+  Result<std::vector<std::string>> list_xattrs(kernel::Process& p,
+                                               const std::string& path) override {
+    return inner_->list_xattrs(p, path);
+  }
+  VoidResult remove_xattr(kernel::Process& p, const std::string& path,
+                          const std::string& name) override;
+
+  VoidResult unshare_userns(kernel::Process& p) override {
+    return inner_->unshare_userns(p);
+  }
+  VoidResult unshare_mountns(kernel::Process& p) override {
+    return inner_->unshare_mountns(p);
+  }
+  VoidResult write_uid_map(kernel::Process& writer,
+                           const kernel::UserNsPtr& target,
+                           kernel::IdMap map) override {
+    return inner_->write_uid_map(writer, target, std::move(map));
+  }
+  VoidResult write_gid_map(kernel::Process& writer,
+                           const kernel::UserNsPtr& target,
+                           kernel::IdMap map) override {
+    return inner_->write_gid_map(writer, target, std::move(map));
+  }
+  VoidResult write_setgroups(
+      kernel::Process& writer, const kernel::UserNsPtr& target,
+      kernel::UserNamespace::SetgroupsPolicy policy) override {
+    return inner_->write_setgroups(writer, target, policy);
+  }
+  VoidResult userns_auto_map(kernel::Process& p) override {
+    return inner_->userns_auto_map(p);
+  }
+  VoidResult mount(kernel::Process& p, kernel::Mount m) override {
+    return inner_->mount(p, std::move(m));
+  }
+  VoidResult umount(kernel::Process& p, const std::string& mountpoint) override {
+    return inner_->umount(p, mountpoint);
+  }
+  VoidResult bind_mount(kernel::Process& p, const std::string& src,
+                        const std::string& dst, bool read_only) override {
+    return inner_->bind_mount(p, src, dst, read_only);
+  }
+  Result<kernel::Loc> resolve(kernel::Process& p, const std::string& path,
+                              bool follow_last) override {
+    return inner_->resolve(p, path, follow_last);
+  }
+
+ private:
+  // Overlay DB lies on a real Stat.
+  void apply_lies(const kernel::Loc& loc, vfs::Stat& st) const;
+
+  std::shared_ptr<kernel::Syscalls> inner_;
+  FakeDbPtr db_;
+  FakerootOptions options_;
+
+  // Faked identity state (what the wrapped process believes).
+  vfs::Uid fake_ruid_ = 0, fake_euid_ = 0;
+  vfs::Gid fake_rgid_ = 0, fake_egid_ = 0;
+};
+
+}  // namespace minicon::fakeroot
+
+namespace minicon::shell {
+class CommandRegistry;
+}
+
+namespace minicon::fakeroot {
+
+// Registers the `fakeroot` external command implementation. The installed
+// binary's "#!minicon fakeroot flavor=pseudo approach=ptrace" attributes
+// select the options; -s FILE / -i FILE save and restore the lies database.
+void register_fakeroot_commands(shell::CommandRegistry& reg);
+
+}  // namespace minicon::fakeroot

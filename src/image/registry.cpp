@@ -1,0 +1,84 @@
+#include "image/registry.hpp"
+
+#include "support/sha256.hpp"
+
+namespace minicon::image {
+
+std::string ImageConfig::serialize() const {
+  std::string out = "arch=" + arch + "\nworkdir=" + workdir + "\n";
+  if (!user.empty()) out += "user=" + user + "\n";
+  for (const auto& [k, v] : env) out += "env:" + k + "=" + v + "\n";
+  for (const auto& c : cmd) out += "cmd:" + c + "\n";
+  for (const auto& c : entrypoint) out += "entrypoint:" + c + "\n";
+  for (const auto& [k, v] : labels) out += "label:" + k + "=" + v + "\n";
+  return out;
+}
+
+std::string Manifest::serialize() const {
+  std::string out = "reference=" + reference + "\n" + config.serialize();
+  for (const auto& l : layers) out += "layer:" + l + "\n";
+  return out;
+}
+
+std::string Manifest::digest() const { return oci_digest(serialize()); }
+
+std::string Registry::put_blob(std::string data) {
+  const std::string digest = oci_digest(data);
+  std::lock_guard lock(mu_);
+  blobs_.try_emplace(digest, std::move(data));
+  ++pushes_;
+  return digest;
+}
+
+std::optional<std::string> Registry::get_blob(const std::string& digest) const {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) return std::nullopt;
+  ++pulls_;
+  return it->second;
+}
+
+bool Registry::has_blob(const std::string& digest) const {
+  std::lock_guard lock(mu_);
+  return blobs_.contains(digest);
+}
+
+void Registry::put_manifest(const Manifest& m) {
+  std::lock_guard lock(mu_);
+  tags_[m.reference][m.config.arch] = m;
+}
+
+std::optional<Manifest> Registry::get_manifest(const std::string& reference,
+                                               const std::string& arch) const {
+  std::lock_guard lock(mu_);
+  auto it = tags_.find(reference);
+  if (it == tags_.end()) return std::nullopt;
+  auto ait = it->second.find(arch);
+  if (ait == it->second.end()) return std::nullopt;
+  return ait->second;
+}
+
+std::optional<Manifest> Registry::get_manifest(
+    const std::string& reference) const {
+  std::lock_guard lock(mu_);
+  auto it = tags_.find(reference);
+  if (it == tags_.end() || it->second.empty()) return std::nullopt;
+  return it->second.begin()->second;
+}
+
+std::vector<std::string> Registry::references() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tags_.size());
+  for (const auto& [ref, _] : tags_) out.push_back(ref);
+  return out;
+}
+
+std::uint64_t Registry::blob_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, data] : blobs_) total += data.size();
+  return total;
+}
+
+}  // namespace minicon::image

@@ -1,0 +1,92 @@
+// OCI-style image manifests and a content-addressed registry.
+//
+// The registry stands in for the GitLab Container Registry Service in the
+// Astra workflow (Fig 6): builders push, compute nodes pull, and blobs are
+// addressed by SHA-256 digest. It is thread-safe because the distributed-
+// launch benchmark pulls from many simulated nodes concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace minicon::image {
+
+struct ImageConfig {
+  std::string arch = "x86_64";
+  std::string user;  // USER instruction; empty = root
+  std::map<std::string, std::string> env;
+  std::vector<std::string> cmd;
+  std::vector<std::string> entrypoint;
+  std::string workdir = "/";
+  std::map<std::string, std::string> labels;
+
+  std::string serialize() const;
+
+  // §6.2.5 proposed OCI/Dockerfile extension: explicit marking of images to
+  // "disallow", "allow" (default), or "require" ownership flattening.
+  // Carried as a label so unmodified tooling ignores it.
+  static constexpr const char* kFlattenLabel =
+      "org.minicon.ownership-flattening";
+  std::string flatten_policy() const {
+    auto it = labels.find(kFlattenLabel);
+    return it == labels.end() ? "allow" : it->second;
+  }
+};
+
+struct Manifest {
+  std::string reference;  // "centos:7"
+  ImageConfig config;
+  // Layer blob digests, base layer first. Charliecloud pushes exactly one
+  // (flattened) layer; Podman/Docker push one per instruction (§6.1).
+  std::vector<std::string> layers;
+
+  std::string serialize() const;
+  std::string digest() const;
+};
+
+class Registry {
+ public:
+  explicit Registry(std::string name = "registry.example.com")
+      : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Stores a blob, returns its "sha256:..." digest. Deduplicates.
+  std::string put_blob(std::string data);
+  // nullopt if absent.
+  std::optional<std::string> get_blob(const std::string& digest) const;
+  bool has_blob(const std::string& digest) const;
+
+  // Tags a manifest under reference (+ its architecture, supporting
+  // multi-arch references like the Astra aarch64 images).
+  void put_manifest(const Manifest& m);
+  std::optional<Manifest> get_manifest(const std::string& reference,
+                                       const std::string& arch) const;
+  // Any-arch lookup (single-arch references).
+  std::optional<Manifest> get_manifest(const std::string& reference) const;
+
+  std::vector<std::string> references() const;
+
+  // Traffic counters for the workflow benches.
+  std::uint64_t blob_bytes() const;
+  std::uint64_t pulls() const { return pulls_.load(); }
+  std::uint64_t pushes() const { return pushes_.load(); }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> blobs_;  // digest -> bytes
+  // reference -> arch -> manifest
+  std::map<std::string, std::map<std::string, Manifest>> tags_;
+  mutable std::atomic<std::uint64_t> pulls_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+};
+
+}  // namespace minicon::image

@@ -1,0 +1,303 @@
+#include "image/tar.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::image {
+
+namespace {
+
+constexpr std::size_t kBlock = 512;
+
+char type_flag(vfs::FileType t) {
+  switch (t) {
+    case vfs::FileType::Regular: return '0';
+    case vfs::FileType::Symlink: return '2';
+    case vfs::FileType::CharDev: return '3';
+    case vfs::FileType::BlockDev: return '4';
+    case vfs::FileType::Directory: return '5';
+    case vfs::FileType::Fifo: return '6';
+    default: return '0';
+  }
+}
+
+vfs::FileType flag_type(char c) {
+  switch (c) {
+    case '0':
+    case '\0': return vfs::FileType::Regular;
+    case '2': return vfs::FileType::Symlink;
+    case '3': return vfs::FileType::CharDev;
+    case '4': return vfs::FileType::BlockDev;
+    case '5': return vfs::FileType::Directory;
+    case '6': return vfs::FileType::Fifo;
+    default: return vfs::FileType::Regular;
+  }
+}
+
+void put_octal(char* field, std::size_t width, std::uint64_t value) {
+  const std::string s = format_octal(value, static_cast<int>(width - 1));
+  std::memcpy(field, s.data(), width - 1);
+  field[width - 1] = '\0';
+}
+
+std::uint64_t get_octal(const char* field, std::size_t width) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const char c = field[i];
+    if (c < '0' || c > '7') break;
+    v = v * 8 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+struct Header {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(Header) == kBlock, "ustar header must be 512 bytes");
+
+}  // namespace
+
+std::string tar_create(const std::vector<TarEntry>& entries) {
+  std::string out;
+  out.reserve(entries.size() * kBlock * 2);
+  for (const auto& e : entries) {
+    Header h;
+    std::memset(&h, 0, sizeof h);
+    std::string name = e.name;
+    if (e.type == vfs::FileType::Directory && !name.empty() &&
+        name.back() != '/') {
+      name += '/';
+    }
+    if (name.size() <= 100) {
+      std::memcpy(h.name, name.data(), name.size());
+    } else {
+      // Split into prefix/name at a slash boundary: the earliest slash that
+      // leaves at most 100 bytes for the name field.
+      std::size_t cut =
+          name.find('/', name.size() > 101 ? name.size() - 101 : 0);
+      if (cut == std::string::npos || cut > 154) {
+        cut = std::min<std::size_t>(name.size() - 1, 154);
+      }
+      std::memcpy(h.prefix, name.data(), cut);
+      const std::string rest = name.substr(cut + 1);
+      std::memcpy(h.name, rest.data(), std::min<std::size_t>(rest.size(), 100));
+    }
+    put_octal(h.mode, sizeof h.mode, e.mode & 07777);
+    put_octal(h.uid, sizeof h.uid, e.uid);
+    put_octal(h.gid, sizeof h.gid, e.gid);
+    const std::uint64_t size =
+        e.type == vfs::FileType::Regular ? e.content.size() : 0;
+    put_octal(h.size, sizeof h.size, size);
+    put_octal(h.mtime, sizeof h.mtime, e.mtime);
+    h.typeflag = type_flag(e.type);
+    std::memcpy(h.linkname, e.linkname.data(),
+                std::min<std::size_t>(e.linkname.size(), 100));
+    std::memcpy(h.magic, "ustar", 6);
+    std::memcpy(h.version, "00", 2);
+    if (e.type == vfs::FileType::CharDev || e.type == vfs::FileType::BlockDev) {
+      put_octal(h.devmajor, sizeof h.devmajor, e.dev_major);
+      put_octal(h.devminor, sizeof h.devminor, e.dev_minor);
+    }
+    // Checksum: spaces during computation.
+    std::memset(h.chksum, ' ', sizeof h.chksum);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) sum += bytes[i];
+    put_octal(h.chksum, 7, sum);
+    h.chksum[7] = ' ';
+
+    out.append(reinterpret_cast<const char*>(&h), kBlock);
+    if (size > 0) {
+      out.append(e.content);
+      const std::size_t rem = size % kBlock;
+      if (rem != 0) out.append(kBlock - rem, '\0');
+    }
+  }
+  out.append(2 * kBlock, '\0');
+  return out;
+}
+
+Result<std::vector<TarEntry>> tar_parse(const std::string& blob) {
+  std::vector<TarEntry> out;
+  std::size_t off = 0;
+  while (off + kBlock <= blob.size()) {
+    const auto* h = reinterpret_cast<const Header*>(blob.data() + off);
+    // End of archive: zero block.
+    if (h->name[0] == '\0') break;
+    if (std::memcmp(h->magic, "ustar", 5) != 0) return Err::einval;
+
+    // Verify checksum.
+    Header copy;
+    std::memcpy(&copy, h, kBlock);
+    const std::uint64_t stored = get_octal(copy.chksum, sizeof copy.chksum);
+    std::memset(copy.chksum, ' ', sizeof copy.chksum);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&copy);
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) sum += bytes[i];
+    if (sum != stored) return Err::eio;
+
+    TarEntry e;
+    std::string name(h->name, strnlen(h->name, 100));
+    if (h->prefix[0] != '\0') {
+      name = std::string(h->prefix, strnlen(h->prefix, 155)) + "/" + name;
+    }
+    if (!name.empty() && name.back() == '/') name.pop_back();
+    e.name = std::move(name);
+    e.mode = static_cast<std::uint32_t>(get_octal(h->mode, sizeof h->mode));
+    e.uid = static_cast<vfs::Uid>(get_octal(h->uid, sizeof h->uid));
+    e.gid = static_cast<vfs::Gid>(get_octal(h->gid, sizeof h->gid));
+    e.mtime = get_octal(h->mtime, sizeof h->mtime);
+    e.type = flag_type(h->typeflag);
+    e.linkname = std::string(h->linkname, strnlen(h->linkname, 100));
+    e.dev_major =
+        static_cast<std::uint32_t>(get_octal(h->devmajor, sizeof h->devmajor));
+    e.dev_minor =
+        static_cast<std::uint32_t>(get_octal(h->devminor, sizeof h->devminor));
+    const std::uint64_t size = get_octal(h->size, sizeof h->size);
+    off += kBlock;
+    if (e.type == vfs::FileType::Regular && size > 0) {
+      if (off + size > blob.size()) return Err::eio;
+      e.content = blob.substr(off, size);
+      off += (size + kBlock - 1) / kBlock * kBlock;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+namespace {
+
+VoidResult collect(vfs::Filesystem& fs, vfs::InodeNum dir,
+                   const std::string& prefix, std::vector<TarEntry>& out) {
+  MINICON_TRY_ASSIGN(entries, fs.readdir(dir));
+  for (const auto& d : entries) {
+    MINICON_TRY_ASSIGN(st, fs.getattr(d.ino));
+    TarEntry e;
+    e.name = prefix.empty() ? d.name : prefix + "/" + d.name;
+    e.type = st.type;
+    e.mode = st.mode;
+    e.uid = st.uid;
+    e.gid = st.gid;
+    e.mtime = st.mtime;
+    e.dev_major = st.dev_major;
+    e.dev_minor = st.dev_minor;
+    if (st.type == vfs::FileType::Regular) {
+      MINICON_TRY_ASSIGN(data, fs.read(d.ino));
+      e.content = std::move(data);
+    } else if (st.type == vfs::FileType::Symlink) {
+      MINICON_TRY_ASSIGN(target, fs.readlink(d.ino));
+      e.linkname = std::move(target);
+    }
+    if (auto xattrs = fs.list_xattrs(d.ino); xattrs.ok()) {
+      for (const auto& name : *xattrs) {
+        if (auto v = fs.get_xattr(d.ino, name); v.ok()) e.xattrs[name] = *v;
+      }
+    }
+    const bool is_dir = st.is_dir();
+    // Copy the name before recursing: the vector may reallocate and the
+    // prefix parameter is a reference.
+    const std::string child_prefix = e.name;
+    out.push_back(std::move(e));
+    if (is_dir) {
+      MINICON_TRY(collect(fs, d.ino, child_prefix, out));
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::vector<TarEntry>> tree_to_entries(vfs::Filesystem& fs,
+                                              vfs::InodeNum root) {
+  std::vector<TarEntry> out;
+  MINICON_TRY(collect(fs, root, "", out));
+  return out;
+}
+
+VoidResult entries_to_tree(const std::vector<TarEntry>& entries,
+                           vfs::Filesystem& fs, vfs::InodeNum root,
+                           const vfs::OpCtx& ctx) {
+  for (const auto& e : entries) {
+    // Resolve the parent directory, creating missing intermediates.
+    const auto comps = path_components(e.name);
+    vfs::InodeNum dir = root;
+    for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+      auto child = fs.lookup(dir, comps[i]);
+      if (!child.ok()) {
+        vfs::CreateArgs args;
+        args.type = vfs::FileType::Directory;
+        args.mode = 0755;
+        MINICON_TRY_ASSIGN(created, fs.create(ctx, dir, comps[i], args));
+        dir = created;
+      } else {
+        dir = *child;
+      }
+    }
+    if (comps.empty()) continue;
+    const std::string& leaf = comps.back();
+    auto existing = fs.lookup(dir, leaf);
+    if (existing.ok()) {
+      MINICON_TRY_ASSIGN(st, fs.getattr(*existing));
+      if (st.is_dir() && e.type == vfs::FileType::Directory) {
+        // Merge: refresh metadata.
+        MINICON_TRY(fs.set_mode(ctx, *existing, e.mode));
+        MINICON_TRY(fs.set_owner(ctx, *existing, e.uid, e.gid));
+        continue;
+      }
+      if (st.is_dir()) return Err::eisdir;
+      MINICON_TRY(fs.unlink(ctx, dir, leaf));
+    }
+    vfs::CreateArgs args;
+    args.type = e.type;
+    args.mode = e.mode;
+    args.uid = e.uid;
+    args.gid = e.gid;
+    args.dev_major = e.dev_major;
+    args.dev_minor = e.dev_minor;
+    if (e.type == vfs::FileType::Symlink) args.symlink_target = e.linkname;
+    MINICON_TRY_ASSIGN(node, fs.create(ctx, dir, leaf, args));
+    if (e.type == vfs::FileType::Regular) {
+      MINICON_TRY(fs.write(ctx, node, e.content, false));
+    }
+    for (const auto& [name, value] : e.xattrs) {
+      (void)fs.set_xattr(ctx, node, name, value);
+    }
+  }
+  return {};
+}
+
+std::vector<TarEntry> flatten_ownership(std::vector<TarEntry> entries) {
+  std::vector<TarEntry> out;
+  out.reserve(entries.size());
+  for (auto& e : entries) {
+    if (e.type == vfs::FileType::CharDev || e.type == vfs::FileType::BlockDev) {
+      continue;  // Type III images cannot contain device nodes
+    }
+    e.uid = 0;
+    e.gid = 0;
+    e.mode &= ~(vfs::mode::kSetUid | vfs::mode::kSetGid);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace minicon::image

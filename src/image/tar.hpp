@@ -1,0 +1,65 @@
+// In-memory ustar (POSIX.1-1988 tar) archives.
+//
+// Container image layers are tar archives; ownership, modes, device numbers,
+// and symlinks ride in the header exactly as GNU/OCI tooling stores them.
+// The paper leans on this twice: archives created *outside* a privileged
+// user namespace capture the "wrong" (host-side) IDs (§2.1.2), and
+// Charliecloud's push flattens ownership to root:root and clears setuid bits
+// to avoid leaking site IDs (§6.1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace minicon::image {
+
+struct TarEntry {
+  std::string name;  // path relative to the archive root, no leading slash
+  vfs::FileType type = vfs::FileType::Regular;
+  std::uint32_t mode = 0644;
+  vfs::Uid uid = 0;
+  vfs::Gid gid = 0;
+  std::string content;   // file data
+  std::string linkname;  // symlink target
+  std::uint32_t dev_major = 0;
+  std::uint32_t dev_minor = 0;
+  std::uint64_t mtime = 0;
+  std::map<std::string, std::string> xattrs;  // carried via PAX-ish side note
+};
+
+// Serializes entries into a ustar byte stream (with two trailing zero
+// blocks). Names longer than 100 chars use the ustar prefix field.
+std::string tar_create(const std::vector<TarEntry>& entries);
+
+// Parses a ustar byte stream.
+Result<std::vector<TarEntry>> tar_parse(const std::string& blob);
+
+// Archives a filesystem subtree (store-side operation: reads raw kernel IDs,
+// no permission checks). Entry order is deterministic (preorder, sorted).
+Result<std::vector<TarEntry>> tree_to_entries(vfs::Filesystem& fs,
+                                              vfs::InodeNum root);
+
+// Materializes entries into a filesystem subtree (store-side operation).
+VoidResult entries_to_tree(const std::vector<TarEntry>& entries,
+                           vfs::Filesystem& fs, vfs::InodeNum root,
+                           const vfs::OpCtx& ctx);
+
+// Charliecloud push transform (§6.1): all files become root:root and
+// setuid/setgid bits are cleared, "to avoid leaking site IDs". Device
+// entries are dropped (a Type III image cannot contain them anyway).
+std::vector<TarEntry> flatten_ownership(std::vector<TarEntry> entries);
+
+}  // namespace minicon::image
+
+namespace minicon::shell {
+class CommandRegistry;
+}
+
+namespace minicon::image {
+// Registers the tar(1) shell command.
+void register_tar_command(shell::CommandRegistry& reg);
+}  // namespace minicon::image

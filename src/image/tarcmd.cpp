@@ -1,0 +1,209 @@
+// tar(1) shell command.
+//
+// Unlike the store-side helpers in tar.cpp, this command runs through the
+// syscall layer as the calling process, so the IDs it records are the
+// *namespace-visible* ones. That is the §2.1.2 corollary: with privileged ID
+// maps, archives must be created inside the container for correct IDs —
+// outside, the host side of the map leaks into the archive.
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "shell/shell.hpp"
+#include "support/path.hpp"
+
+namespace minicon::image {
+
+namespace {
+
+VoidResult collect_via_syscalls(kernel::Process& p, const std::string& dir,
+                                const std::string& prefix,
+                                std::vector<TarEntry>& out) {
+  MINICON_TRY_ASSIGN(entries, p.sys->readdir(p, dir));
+  for (const auto& d : entries) {
+    const std::string path = path_join(dir, d.name);
+    MINICON_TRY_ASSIGN(st, p.sys->lstat(p, path));
+    TarEntry e;
+    e.name = prefix.empty() ? d.name : prefix + "/" + d.name;
+    e.type = st.type;
+    e.mode = st.mode;
+    e.uid = st.uid;  // namespace-visible (65534 for unmapped!)
+    e.gid = st.gid;
+    e.mtime = st.mtime;
+    e.dev_major = st.dev_major;
+    e.dev_minor = st.dev_minor;
+    if (st.type == vfs::FileType::Regular) {
+      MINICON_TRY_ASSIGN(data, p.sys->read_file(p, path));
+      e.content = std::move(data);
+    } else if (st.type == vfs::FileType::Symlink) {
+      MINICON_TRY_ASSIGN(target, p.sys->readlink(p, path));
+      e.linkname = std::move(target);
+    }
+    const bool is_dir = st.is_dir();
+    const std::string child_prefix = e.name;
+    out.push_back(std::move(e));
+    if (is_dir) {
+      MINICON_TRY(collect_via_syscalls(p, path, child_prefix, out));
+    }
+  }
+  return {};
+}
+
+int cmd_tar(shell::Invocation& inv) {
+  bool create = false, extract = false, list = false;
+  std::string archive, chdir_to = ".";
+  std::vector<std::string> members;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-") || (i == 1 && !a.empty() && a[0] != '/')) {
+      std::string flags = a.starts_with("-") ? a.substr(1) : a;
+      for (std::size_t j = 0; j < flags.size(); ++j) {
+        switch (flags[j]) {
+          case 'c': create = true; break;
+          case 'x': extract = true; break;
+          case 't': list = true; break;
+          case 'v': break;
+          case 'z': break;  // compression modeled as identity
+          case 'f':
+            if (i + 1 < inv.args.size()) archive = inv.args[++i];
+            break;
+          case 'C':
+            if (i + 1 < inv.args.size()) chdir_to = inv.args[++i];
+            break;
+          default: break;
+        }
+      }
+      continue;
+    }
+    if (a == "-C" && i + 1 < inv.args.size()) {
+      chdir_to = inv.args[++i];
+      continue;
+    }
+    members.push_back(a);
+  }
+  if (archive.empty()) {
+    inv.err += "tar: no archive specified\n";
+    return 2;
+  }
+  auto& p = inv.proc;
+  if (create) {
+    std::vector<TarEntry> entries;
+    if (members.empty()) members.push_back(".");
+    for (const auto& m : members) {
+      const std::string base = m == "." ? chdir_to : path_join(chdir_to, m);
+      auto st = p.sys->lstat(p, base);
+      if (!st.ok()) {
+        inv.err += "tar: " + base + ": " +
+                   std::string(err_message(st.error())) + "\n";
+        return 2;
+      }
+      if (m != ".") {
+        // The named member itself heads the archive.
+        TarEntry e;
+        e.name = m;
+        e.type = st->type;
+        e.mode = st->mode;
+        e.uid = st->uid;
+        e.gid = st->gid;
+        e.mtime = st->mtime;
+        if (st->type == vfs::FileType::Regular) {
+          auto data = p.sys->read_file(p, base);
+          if (data.ok()) e.content = std::move(*data);
+        } else if (st->is_symlink()) {
+          auto target = p.sys->readlink(p, base);
+          if (target.ok()) e.linkname = std::move(*target);
+        }
+        entries.push_back(std::move(e));
+        if (!st->is_dir()) continue;
+      }
+      if (auto rc = collect_via_syscalls(p, base, m == "." ? "" : m, entries);
+          !rc.ok()) {
+        inv.err += "tar: " + base + ": " +
+                   std::string(err_message(rc.error())) + "\n";
+        return 2;
+      }
+    }
+    if (auto rc = p.sys->write_file(p, archive, tar_create(entries), false);
+        !rc.ok()) {
+      inv.err += "tar: " + archive + ": " +
+                 std::string(err_message(rc.error())) + "\n";
+      return 2;
+    }
+    return 0;
+  }
+  if (list || extract) {
+    auto blob = p.sys->read_file(p, archive);
+    if (!blob.ok()) {
+      inv.err += "tar: " + archive + ": " +
+                 std::string(err_message(blob.error())) + "\n";
+      return 2;
+    }
+    auto entries = tar_parse(*blob);
+    if (!entries.ok()) {
+      inv.err += "tar: " + archive + ": damaged archive\n";
+      return 2;
+    }
+    if (list) {
+      for (const auto& e : *entries) {
+        inv.out += vfs::format_mode(e.type, e.mode) + " " +
+                   std::to_string(e.uid) + "/" + std::to_string(e.gid) + " " +
+                   e.name + "\n";
+      }
+      return 0;
+    }
+    const bool as_root = p.sys->geteuid(p) == 0;
+    for (const auto& e : *entries) {
+      const std::string dst = path_join(chdir_to, e.name);
+      switch (e.type) {
+        case vfs::FileType::Directory:
+          if (!p.sys->stat(p, dst).ok()) (void)p.sys->mkdir(p, dst, e.mode);
+          break;
+        case vfs::FileType::Symlink:
+          (void)p.sys->unlink(p, dst);
+          (void)p.sys->symlink(p, e.linkname, dst);
+          break;
+        case vfs::FileType::Regular: {
+          (void)p.sys->unlink(p, dst);
+          if (auto rc = p.sys->write_file(p, dst, e.content, false, e.mode);
+              !rc.ok()) {
+            inv.err += "tar: " + dst + ": " +
+                       std::string(err_message(rc.error())) + "\n";
+            return 2;
+          }
+          (void)p.sys->chmod(p, dst, e.mode);
+          break;
+        }
+        default: {
+          if (auto rc = p.sys->mknod(p, dst, e.type, e.mode, e.dev_major,
+                                     e.dev_minor);
+              !rc.ok()) {
+            inv.err += "tar: " + dst + ": Cannot mknod: " +
+                       std::string(err_message(rc.error())) + "\n";
+            return 2;
+          }
+          break;
+        }
+      }
+      // Like GNU tar: restore ownership only when root; otherwise files
+      // become the extracting user's, which is how Type III pulls
+      // re-own images (§5.2).
+      if (as_root && e.type != vfs::FileType::Symlink) {
+        if (auto rc = p.sys->chown(p, dst, e.uid, e.gid, false); !rc.ok()) {
+          inv.err += "tar: " + dst + ": Cannot change ownership to uid " +
+                     std::to_string(e.uid) + ", gid " + std::to_string(e.gid) +
+                     ": " + std::string(err_message(rc.error())) + "\n";
+          return 2;
+        }
+      }
+    }
+    return 0;
+  }
+  inv.err += "tar: must specify one of -c, -x, -t\n";
+  return 2;
+}
+
+}  // namespace
+
+void register_tar_command(shell::CommandRegistry& reg) {
+  reg.register_external("tar", cmd_tar);
+}
+
+}  // namespace minicon::image

@@ -1,0 +1,100 @@
+// Process credentials and capabilities.
+//
+// All IDs stored here are *kernel* (host / initial-namespace) IDs, exactly
+// like kuid_t/kgid_t in Linux; translation to namespace-visible IDs happens
+// at the syscall boundary. Capabilities are held relative to the process's
+// own user namespace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "kernel/ids.hpp"
+
+namespace minicon::kernel {
+
+enum class Cap : std::uint8_t {
+  kChown = 0,
+  kDacOverride,
+  kDacReadSearch,
+  kFowner,
+  kFsetid,
+  kKill,
+  kSetGid,
+  kSetUid,
+  kSetPcap,
+  kNetBindService,
+  kNetAdmin,
+  kSysChroot,
+  kSysAdmin,
+  kMknod,
+  kAuditWrite,
+  kSetFcap,
+  kCount,  // sentinel
+};
+
+class CapSet {
+ public:
+  constexpr CapSet() = default;
+
+  constexpr bool has(Cap c) const noexcept {
+    return (bits_ & bit(c)) != 0;
+  }
+  constexpr void add(Cap c) noexcept { bits_ |= bit(c); }
+  constexpr void remove(Cap c) noexcept { bits_ &= ~bit(c); }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  constexpr void clear() noexcept { bits_ = 0; }
+
+  static constexpr CapSet all() noexcept {
+    CapSet s;
+    s.bits_ = (std::uint64_t{1} << static_cast<int>(Cap::kCount)) - 1;
+    return s;
+  }
+  static constexpr CapSet none() noexcept { return CapSet{}; }
+
+  friend constexpr bool operator==(CapSet a, CapSet b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  static constexpr std::uint64_t bit(Cap c) noexcept {
+    return std::uint64_t{1} << static_cast<int>(c);
+  }
+  std::uint64_t bits_ = 0;
+};
+
+struct Credentials {
+  // Real, effective, saved, filesystem UIDs — kernel IDs.
+  Uid ruid = 0, euid = 0, suid = 0, fsuid = 0;
+  Gid rgid = 0, egid = 0, sgid = 0, fsgid = 0;
+  std::vector<Gid> groups;  // supplementary groups, kernel IDs
+  CapSet effective;
+
+  void set_all_uids(Uid u) { ruid = euid = suid = fsuid = u; }
+  void set_all_gids(Gid g) { rgid = egid = sgid = fsgid = g; }
+
+  bool in_group(Gid g) const {
+    if (g == fsgid) return true;
+    return std::find(groups.begin(), groups.end(), g) != groups.end();
+  }
+
+  // Fully-privileged root credentials in some namespace.
+  static Credentials root() {
+    Credentials c;
+    c.effective = CapSet::all();
+    return c;
+  }
+
+  // Ordinary unprivileged user.
+  static Credentials user(Uid uid, Gid gid, std::vector<Gid> supplementary = {}) {
+    Credentials c;
+    c.set_all_uids(uid);
+    c.set_all_gids(gid);
+    c.groups = std::move(supplementary);
+    c.effective = CapSet::none();
+    return c;
+  }
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,92 @@
+#include "kernel/helpers.hpp"
+
+#include "kernel/userdb.hpp"
+
+namespace minicon::kernel {
+
+namespace {
+
+// The helper binary runs as the invoker but with elevated file capabilities;
+// LD_PRELOAD wrappers (fakeroot) are stripped by the loader for privileged
+// executables, so it talks to the real kernel syscalls.
+Process helper_process(Kernel& kernel, const Process& invoker, Cap cap) {
+  Process p = invoker.clone();
+  p.sys = kernel.syscalls();
+  p.cred.effective.add(cap);
+  p.cred.effective.add(Cap::kDacReadSearch);
+  p.cred.effective.add(Cap::kDacOverride);
+  return p;
+}
+
+struct Validation {
+  bool granted = false;
+  // True iff the administrator granted subordinate IDs to this user (at
+  // least one requested entry comes from /etc/sub[ug]id rather than the
+  // implicit self-map); governs whether setgroups may stay enabled.
+  bool admin_granted = false;
+};
+
+Validation validate(Process& helper, const std::vector<IdMapEntry>& entries,
+                    const std::string& subid_path,
+                    const std::string& passwd_path, std::uint32_t self_id,
+                    Uid invoker_uid) {
+  Validation v;
+  auto subid_text = helper.sys->read_file(helper, subid_path);
+  const SubidDb db =
+      subid_text.ok() ? SubidDb::parse(*subid_text) : SubidDb{};
+  std::string username;
+  if (auto passwd_text = helper.sys->read_file(helper, passwd_path);
+      passwd_text.ok()) {
+    if (auto entry = PasswdDb::parse(*passwd_text).by_uid(invoker_uid)) {
+      username = entry->name;
+    }
+  }
+  for (const auto& e : entries) {
+    const bool self_map = e.count == 1 && e.outside == self_id;
+    const bool admin_granted = db.covers(username, invoker_uid, e.outside,
+                                         e.count);
+    if (!self_map && !admin_granted) return {};  // not granted
+    if (admin_granted) v.admin_granted = true;
+  }
+  v.granted = true;
+  return v;
+}
+
+}  // namespace
+
+VoidResult newuidmap(Kernel& kernel, Process& invoker, const UserNsPtr& target,
+                     const std::vector<IdMapEntry>& entries,
+                     const HelperConfig& cfg) {
+  Process helper = helper_process(kernel, invoker, Cap::kSetUid);
+  const Validation v = validate(helper, entries, cfg.subuid_path,
+                                cfg.passwd_path, invoker.cred.ruid,
+                                invoker.cred.ruid);
+  if (!v.granted) return Err::eperm;
+  IdMap map{entries};
+  if (!map.valid()) return Err::einval;
+  return helper.sys->write_uid_map(helper, target, std::move(map));
+}
+
+VoidResult newgidmap(Kernel& kernel, Process& invoker, const UserNsPtr& target,
+                     const std::vector<IdMapEntry>& entries,
+                     const HelperConfig& cfg) {
+  Process helper = helper_process(kernel, invoker, Cap::kSetGid);
+  const Validation v = validate(helper, entries, cfg.subgid_path,
+                                cfg.passwd_path, invoker.cred.rgid,
+                                invoker.cred.ruid);
+  if (!v.granted) return Err::eperm;
+  IdMap map{entries};
+  if (!map.valid()) return Err::einval;
+
+  // §2.1.4: acting for an unprivileged user whose mapping is not an explicit
+  // administrator grant, the helper must disable setgroups(2) first —
+  // otherwise the user could *drop* a supplementary group and bypass
+  // group-deny permissions. CVE-2018-7169 was exactly this omission.
+  if (!v.admin_granted && !cfg.newgidmap_cve_2018_7169) {
+    MINICON_TRY(helper.sys->write_setgroups(
+        helper, target, UserNamespace::SetgroupsPolicy::kDeny));
+  }
+  return helper.sys->write_gid_map(helper, target, std::move(map));
+}
+
+}  // namespace minicon::kernel

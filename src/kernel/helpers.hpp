@@ -1,0 +1,41 @@
+// Privileged user-namespace setup helpers: newuidmap(1) / newgidmap(1).
+//
+// These model the shadow-utils binaries installed with CAP_SETUID /
+// CAP_SETGID file capabilities (§2.1.2, §4.1). They are the security
+// boundary of the Type II approach: an unprivileged invoker asks for a map,
+// the helper validates it against the administrator's /etc/subuid and
+// /etc/subgid, and only then installs it with privilege. The well-known
+// failure mode — not disabling setgroups(2) when acting for an unprivileged
+// user (CVE-2018-7169) — is available behind a flag for the regression test.
+#pragma once
+
+#include "kernel/kernel.hpp"
+#include "kernel/process.hpp"
+#include "kernel/userns.hpp"
+
+namespace minicon::kernel {
+
+struct HelperConfig {
+  // Reproduce the CVE-2018-7169 behavior: skip the setgroups hardening.
+  bool newgidmap_cve_2018_7169 = false;
+  std::string subuid_path = "/etc/subuid";
+  std::string subgid_path = "/etc/subgid";
+  std::string passwd_path = "/etc/passwd";
+};
+
+// Installs `entries` as the UID map of `target`, on behalf of `invoker`.
+// Each entry must either be the invoker's own UID (count 1) or fall entirely
+// within a subuid range granted to the invoker. Errors: EPERM (not granted),
+// EINVAL (malformed/overlapping), ENOENT (config missing).
+VoidResult newuidmap(Kernel& kernel, Process& invoker, const UserNsPtr& target,
+                     const std::vector<IdMapEntry>& entries,
+                     const HelperConfig& cfg = {});
+
+// GID analogue. The fixed helper denies setgroups(2) in the target namespace
+// before installing a map that is not fully covered by administrator
+// /etc/subgid grants.
+VoidResult newgidmap(Kernel& kernel, Process& invoker, const UserNsPtr& target,
+                     const std::vector<IdMapEntry>& entries,
+                     const HelperConfig& cfg = {});
+
+}  // namespace minicon::kernel

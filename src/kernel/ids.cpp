@@ -1,0 +1,75 @@
+#include "kernel/ids.hpp"
+
+#include <algorithm>
+
+namespace minicon::kernel {
+
+IdMap::IdMap(std::vector<IdMapEntry> entries) : entries_(std::move(entries)) {}
+
+bool IdMap::valid() const noexcept {
+  for (const auto& e : entries_) {
+    if (e.count == 0) return false;
+    // No wraparound.
+    if (e.inside > UINT32_MAX - (e.count - 1)) return false;
+    if (e.outside > UINT32_MAX - (e.count - 1)) return false;
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      const auto& a = entries_[i];
+      const auto& b = entries_[j];
+      const bool inside_overlap = a.inside < b.inside + b.count &&
+                                  b.inside < a.inside + a.count;
+      const bool outside_overlap = a.outside < b.outside + b.count &&
+                                   b.outside < a.outside + a.count;
+      if (inside_overlap || outside_overlap) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> IdMap::to_outside(
+    std::uint32_t inside) const noexcept {
+  for (const auto& e : entries_) {
+    if (inside >= e.inside && inside - e.inside < e.count) {
+      return e.outside + (inside - e.inside);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> IdMap::to_inside(
+    std::uint32_t outside) const noexcept {
+  for (const auto& e : entries_) {
+    if (outside >= e.outside && outside - e.outside < e.count) {
+      return e.inside + (outside - e.outside);
+    }
+  }
+  return std::nullopt;
+}
+
+IdMap IdMap::identity() {
+  return IdMap({{0, 0, UINT32_MAX}});
+}
+
+IdMap IdMap::single(std::uint32_t inside, std::uint32_t outside,
+                    std::uint32_t count) {
+  return IdMap({{inside, outside, count}});
+}
+
+std::string IdMap::format_proc() const {
+  // The kernel prints "%10u %10u %10u\n" per entry; we keep the columns but
+  // trim to a readable width.
+  std::string out;
+  for (const auto& e : entries_) {
+    std::string line = std::to_string(e.inside);
+    line.insert(0, line.size() < 10 ? 10 - line.size() : 0, ' ');
+    std::string o = std::to_string(e.outside);
+    o.insert(0, o.size() < 12 ? 12 - o.size() : 0, ' ');
+    std::string c = std::to_string(e.count);
+    c.insert(0, c.size() < 12 ? 12 - c.size() : 0, ' ');
+    out += line + o + c + "\n";
+  }
+  return out;
+}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,60 @@
+// UID/GID range maps (§2.1.1 of the paper).
+//
+// A user namespace is created with two one-to-one mappings between host
+// ("outside", kernel) IDs and namespace ("inside") IDs. The kernel format is
+// the familiar three-column /proc/<pid>/uid_map: inside outside count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+#include "vfs/types.hpp"
+
+namespace minicon::kernel {
+
+using Uid = vfs::Uid;
+using Gid = vfs::Gid;
+
+struct IdMapEntry {
+  std::uint32_t inside = 0;
+  std::uint32_t outside = 0;
+  std::uint32_t count = 1;
+};
+
+class IdMap {
+ public:
+  IdMap() = default;
+  explicit IdMap(std::vector<IdMapEntry> entries);
+
+  // An empty map is "unset": every translation fails (IDs appear as the
+  // overflow ID 65534 and cannot be set).
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<IdMapEntry>& entries() const noexcept { return entries_; }
+
+  // Validation before installing into a namespace: ranges must not overlap
+  // on either side and counts must be nonzero.
+  bool valid() const noexcept;
+
+  // inside -> outside (namespace ID to host ID).
+  std::optional<std::uint32_t> to_outside(std::uint32_t inside) const noexcept;
+  // outside -> inside (host ID to namespace ID).
+  std::optional<std::uint32_t> to_inside(std::uint32_t outside) const noexcept;
+
+  // Identity map covering the whole ID space (the initial namespace).
+  static IdMap identity();
+
+  // Single-entry convenience.
+  static IdMap single(std::uint32_t inside, std::uint32_t outside,
+                      std::uint32_t count = 1);
+
+  // Rendered like /proc/<pid>/uid_map (columns padded kernel-style).
+  std::string format_proc() const;
+
+ private:
+  std::vector<IdMapEntry> entries_;
+};
+
+}  // namespace minicon::kernel

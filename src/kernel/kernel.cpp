@@ -1,0 +1,9 @@
+#include "kernel/kernel.hpp"
+
+namespace minicon::kernel {
+
+Kernel::Kernel()
+    : init_userns_(UserNamespace::make_init()),
+      sys_(std::make_shared<KernelSyscalls>(this)) {}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,59 @@
+// The simulated kernel: global clock, the initial user namespace, sysctl
+// knobs, and the real syscall implementation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "kernel/syscalls.hpp"
+#include "kernel/userns.hpp"
+
+namespace minicon::kernel {
+
+class Kernel {
+ public:
+  Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  const UserNsPtr& init_userns() const noexcept { return init_userns_; }
+
+  // Logical clock for mtimes; monotonic.
+  std::uint64_t now() const noexcept { return clock_; }
+  std::uint64_t tick() noexcept { return ++clock_; }
+
+  // /proc/sys/user/max_user_namespaces: 0 disables creation of *new* user
+  // namespaces (a common hardening sysctl the paper alludes to in §2.1).
+  // The limit applies to *live* namespaces, like the real sysctl.
+  std::uint64_t max_user_namespaces = 15000;
+
+  // §6.2.4 future-work mechanism: when enabled, the kernel itself offers a
+  // general unprivileged mapping policy — "host UID maps to container root
+  // and guaranteed-unique host UIDs map to all other container UIDs" — via
+  // the userns_auto_map(2) syscall. Off by default (matches 2021 kernels).
+  bool unprivileged_auto_maps = false;
+  // Pool of guaranteed-unique kernel IDs handed out by auto-mapping; starts
+  // far above any administrator-assigned range. Allocation is stable per
+  // invoking user, so a user's containers agree on their ID ranges.
+  std::uint32_t auto_map_pool_next = 1u << 24;
+  std::map<std::uint32_t, std::uint32_t> auto_map_assignments;
+  const std::shared_ptr<std::atomic<std::int64_t>>& live_user_namespaces()
+      const noexcept {
+    return live_userns_;
+  }
+
+  const std::shared_ptr<KernelSyscalls>& syscalls() const noexcept {
+    return sys_;
+  }
+
+ private:
+  UserNsPtr init_userns_;
+  std::shared_ptr<KernelSyscalls> sys_;
+  std::shared_ptr<std::atomic<std::int64_t>> live_userns_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
+  std::uint64_t clock_ = 1;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,44 @@
+#include "kernel/mountns.hpp"
+
+#include "support/path.hpp"
+
+namespace minicon::kernel {
+
+MountNsPtr MountNamespace::make(Mount root_mount) {
+  auto ns = MountNsPtr(new MountNamespace());
+  root_mount.mountpoint = "/";
+  ns->mounts_.push_back(std::move(root_mount));
+  return ns;
+}
+
+MountNsPtr MountNamespace::clone() const {
+  auto ns = MountNsPtr(new MountNamespace());
+  ns->mounts_ = mounts_;
+  return ns;
+}
+
+void MountNamespace::add(Mount m) {
+  m.mountpoint = path_normalize(m.mountpoint);
+  mounts_.push_back(std::move(m));
+}
+
+VoidResult MountNamespace::remove(const std::string& mountpoint) {
+  const std::string norm = path_normalize(mountpoint);
+  for (auto it = mounts_.rbegin(); it != mounts_.rend(); ++it) {
+    if (it->mountpoint == norm) {
+      mounts_.erase(std::next(it).base());
+      return {};
+    }
+  }
+  return Err::enoent;
+}
+
+const Mount* MountNamespace::find_exact(const std::string& abs_path) const {
+  // Latest mount wins (stacked mounts shadow earlier ones).
+  for (auto it = mounts_.rbegin(); it != mounts_.rend(); ++it) {
+    if (it->mountpoint == abs_path) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace minicon::kernel

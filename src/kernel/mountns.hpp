@@ -1,0 +1,61 @@
+// Mount namespaces and the mount table.
+//
+// A Mount attaches a filesystem (or a subtree of one, for bind mounts) at an
+// absolute path. Each mount records the user namespace that owns it
+// (s_user_ns in Linux): capability-based permission overrides are only
+// honored relative to that namespace. This single field is what makes
+// "root in the container" powerless over host-owned storage (the Type III
+// chown failure, Fig 2) yet effective over container-owned storage (the
+// Type II Podman build, §4.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/userns.hpp"
+#include "support/result.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace minicon::kernel {
+
+struct Mount {
+  std::string mountpoint;  // normalized absolute path
+  vfs::FilesystemPtr fs;
+  vfs::InodeNum root = 0;  // root inode within fs (bind-mount of a subtree)
+  UserNsPtr owner_ns;      // namespace that owns the superblock
+  bool read_only = false;
+  std::string source;  // diagnostics: "tmpfs", "overlay", "/host/path", ...
+};
+
+class MountNamespace;
+using MountNsPtr = std::shared_ptr<MountNamespace>;
+
+class MountNamespace {
+ public:
+  // A namespace needs at least a root ("/") mount.
+  static MountNsPtr make(Mount root_mount);
+
+  // Copy of the mount table (what unshare(CLONE_NEWNS) gives a child).
+  MountNsPtr clone() const;
+
+  // Adds a mount; later mounts at the same mountpoint shadow earlier ones.
+  void add(Mount m);
+
+  // Removes the most recent mount at `mountpoint`; ENOENT if none.
+  VoidResult remove(const std::string& mountpoint);
+
+  // The active mount exactly at `abs_path`, or nullptr. Used by the path
+  // walker for mount crossings.
+  const Mount* find_exact(const std::string& abs_path) const;
+
+  const Mount* root_mount() const { return find_exact("/"); }
+
+  const std::vector<Mount>& mounts() const noexcept { return mounts_; }
+
+ private:
+  MountNamespace() = default;
+  std::vector<Mount> mounts_;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,40 @@
+// Simulated process: credentials + namespaces + working directory + env.
+//
+// Processes are value-ish objects; clone() is fork(2). The active syscall
+// layer is carried on the process so that fakeroot(1) can interpose per
+// process subtree (LD_PRELOAD semantics): children inherit the wrapper,
+// unrelated processes do not.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernel/cred.hpp"
+#include "kernel/mountns.hpp"
+#include "kernel/userns.hpp"
+
+namespace minicon::kernel {
+
+class Syscalls;
+
+struct Process {
+  Credentials cred;
+  UserNsPtr userns;
+  MountNsPtr mountns;
+  std::string cwd = "/";
+  std::map<std::string, std::string> env;
+  std::uint32_t umask_bits = 022;
+  std::shared_ptr<Syscalls> sys;  // active syscall layer (may be a wrapper)
+
+  // fork(2): children share namespaces (by pointer) and inherit everything
+  // else by value.
+  Process clone() const { return *this; }
+
+  std::string env_get(const std::string& key) const {
+    auto it = env.find(key);
+    return it == env.end() ? std::string() : it->second;
+  }
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,815 @@
+#include "kernel/syscalls.hpp"
+
+#include <algorithm>
+
+#include "kernel/kernel.hpp"
+#include "support/path.hpp"
+
+namespace minicon::kernel {
+
+namespace {
+
+constexpr int kMaxSymlinkDepth = 40;
+
+bool id_is_nochange(std::uint32_t id) { return id == vfs::kNoChangeId; }
+
+}  // namespace
+
+vfs::OpCtx KernelSyscalls::op_ctx(const Process& p) const {
+  vfs::OpCtx ctx;
+  ctx.host_uid = p.cred.fsuid;
+  ctx.host_gid = p.cred.fsgid;
+  // "Privileged on the server" means real (initial-namespace) root: a shared
+  // filesystem server only ever sees kernel IDs.
+  ctx.host_privileged = p.cred.fsuid == 0;
+  ctx.now = kernel_->tick();
+  return ctx;
+}
+
+bool KernelSyscalls::capable(const Process& p, const UserNamespace& target,
+                             Cap c) const {
+  return p.cred.effective.has(c) && target.is_descendant_of(*p.userns);
+}
+
+namespace {
+
+// privileged_wrt_inode_uidgid(): capability overrides only apply when the
+// inode's IDs are representable in the caller's user namespace. This is why
+// the Fig 5 unprivileged-Podman container cannot touch /proc files owned by
+// (unmapped) host root even though it is "root" inside.
+bool inode_ids_mapped(const Process& p, const vfs::Stat& st) {
+  return p.userns->uid_from_kernel(st.uid).has_value() &&
+         p.userns->gid_from_kernel(st.gid).has_value();
+}
+
+}  // namespace
+
+bool KernelSyscalls::may_access(const Process& p, const Mount& mnt,
+                                const vfs::Stat& st, int mask) const {
+  // capable_wrt_inode_uidgid(): the check is against the *caller's* user
+  // namespace plus a mapping requirement on the inode's IDs — not the
+  // mount's owner. This is what lets rootless Podman's mapped root act on
+  // its own storage even on a plain host filesystem (VFS driver, §4.1/§4.2).
+  (void)mnt;
+  if (capable(p, *p.userns, Cap::kDacOverride) && inode_ids_mapped(p, st)) {
+    // Even CAP_DAC_OVERRIDE does not grant exec on a file with no x bit.
+    if ((mask & kExecOk) != 0 && st.type == vfs::FileType::Regular &&
+        (st.mode & 0111) == 0) {
+      return false;
+    }
+    return true;
+  }
+  std::uint32_t bits;
+  if (p.cred.fsuid == st.uid) {
+    bits = st.mode >> 6;
+  } else if (p.cred.in_group(st.gid)) {
+    bits = st.mode >> 3;
+  } else {
+    bits = st.mode;
+  }
+  bits &= 7;
+  if ((mask & kReadOk) != 0 && (bits & 4) == 0) return false;
+  if ((mask & kWriteOk) != 0 && (bits & 2) == 0) return false;
+  if ((mask & kExecOk) != 0 && (bits & 1) == 0) return false;
+  return true;
+}
+
+Result<Loc> KernelSyscalls::walk(Process& p, const std::string& path,
+                                 bool follow_last, int depth) {
+  if (depth > kMaxSymlinkDepth) return Err::eloop;
+  if (path.empty()) return Err::enoent;
+  const std::string abs =
+      path_is_absolute(path) ? path : path_join(p.cwd, path);
+  const std::vector<std::string> comps = path_components(abs);
+
+  const Mount* root_mnt = p.mountns->root_mount();
+  if (root_mnt == nullptr) return Err::enoent;
+  std::vector<Loc> stack;
+  stack.push_back({root_mnt, root_mnt->root, "/"});
+
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    const std::string& comp = comps[i];
+    Loc cur = stack.back();
+    MINICON_TRY_ASSIGN(st, cur.mnt->fs->getattr(cur.ino));
+    if (!st.is_dir()) return Err::enotdir;
+    if (!may_access(p, *cur.mnt, st, kExecOk)) return Err::eacces;
+
+    if (comp == "..") {
+      if (stack.size() > 1) stack.pop_back();
+      continue;
+    }
+    const std::string child_abs =
+        cur.abs_path == "/" ? "/" + comp : cur.abs_path + "/" + comp;
+    // Mount crossing: a mount at this exact path shadows the underlying
+    // directory (which must still exist for the mount to have been made).
+    if (const Mount* m = p.mountns->find_exact(child_abs)) {
+      stack.push_back({m, m->root, child_abs});
+      continue;
+    }
+    MINICON_TRY_ASSIGN(child, cur.mnt->fs->lookup(cur.ino, comp));
+    MINICON_TRY_ASSIGN(cst, cur.mnt->fs->getattr(child));
+    const bool last = i + 1 == comps.size();
+    if (cst.is_symlink() && (!last || follow_last)) {
+      MINICON_TRY_ASSIGN(target, cur.mnt->fs->readlink(child));
+      std::string rest;
+      for (std::size_t j = i + 1; j < comps.size(); ++j) {
+        rest += "/";
+        rest += comps[j];
+      }
+      const std::string base = path_is_absolute(target)
+                                   ? target
+                                   : path_join(cur.abs_path, target);
+      return walk(p, base + rest, follow_last, depth + 1);
+    }
+    stack.push_back({cur.mnt, child, child_abs});
+  }
+  return stack.back();
+}
+
+Result<Loc> KernelSyscalls::resolve(Process& p, const std::string& path,
+                                    bool follow_last) {
+  return walk(p, path, follow_last, 0);
+}
+
+Result<KernelSyscalls::ParentLoc> KernelSyscalls::resolve_parent(
+    Process& p, const std::string& path) {
+  const std::string abs =
+      path_normalize(path_is_absolute(path) ? path : path_join(p.cwd, path));
+  if (abs == "/") return Err::eexist;
+  const std::string dir = path_dirname(abs);
+  const std::string leaf = path_basename(abs);
+  if (leaf == "..") return Err::einval;
+  MINICON_TRY_ASSIGN(loc, walk(p, dir, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!st.is_dir()) return Err::enotdir;
+  return ParentLoc{loc.mnt, loc.ino, leaf, loc.abs_path};
+}
+
+VoidResult KernelSyscalls::check_write_dir(Process& p, const Mount& mnt,
+                                           vfs::InodeNum dir_ino) {
+  if (mnt.read_only) return Err::erofs;
+  MINICON_TRY_ASSIGN(st, mnt.fs->getattr(dir_ino));
+  if (!may_access(p, mnt, st, kWriteOk | kExecOk)) return Err::eacces;
+  return {};
+}
+
+VoidResult KernelSyscalls::check_sticky_delete(Process& p, const Mount& mnt,
+                                               vfs::InodeNum dir_ino,
+                                               vfs::InodeNum victim) {
+  MINICON_TRY_ASSIGN(dst, mnt.fs->getattr(dir_ino));
+  if ((dst.mode & vfs::mode::kSticky) == 0) return {};
+  MINICON_TRY_ASSIGN(vst, mnt.fs->getattr(victim));
+  if (p.cred.fsuid == vst.uid || p.cred.fsuid == dst.uid) return {};
+  if (capable(p, *p.userns, Cap::kFowner) && inode_ids_mapped(p, vst)) {
+    return {};
+  }
+  return Err::eperm;
+}
+
+// --- metadata & data -------------------------------------------------------
+
+Result<vfs::Stat> KernelSyscalls::stat(Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  // stat(2) reports namespace-visible IDs; unmapped kernel IDs appear as the
+  // overflow IDs (nobody/nogroup), per §2.1.1 case 3.
+  st.uid = p.userns->uid_view(st.uid);
+  st.gid = p.userns->gid_view(st.gid);
+  return st;
+}
+
+Result<vfs::Stat> KernelSyscalls::lstat(Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/false, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  st.uid = p.userns->uid_view(st.uid);
+  st.gid = p.userns->gid_view(st.gid);
+  return st;
+}
+
+Result<std::string> KernelSyscalls::proc_special(Process& p,
+                                                 const std::string& abs) const {
+  if (abs == "/proc/self/uid_map") {
+    return p.userns->uid_map().format_proc();
+  }
+  if (abs == "/proc/self/gid_map") {
+    return p.userns->gid_map().format_proc();
+  }
+  if (abs == "/proc/self/setgroups") {
+    return std::string(p.userns->setgroups_policy() ==
+                               UserNamespace::SetgroupsPolicy::kAllow
+                           ? "allow\n"
+                           : "deny\n");
+  }
+  if (abs == "/proc/sys/user/max_user_namespaces") {
+    return std::to_string(kernel_->max_user_namespaces) + "\n";
+  }
+  return Err::enoent;
+}
+
+Result<std::string> KernelSyscalls::read_file(Process& p,
+                                              const std::string& path) {
+  const std::string abs =
+      path_normalize(path_is_absolute(path) ? path : path_join(p.cwd, path));
+  if (abs.starts_with("/proc/self/") || abs.starts_with("/proc/sys/")) {
+    auto special = proc_special(p, abs);
+    if (special.ok()) return special;
+  }
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!may_access(p, *loc.mnt, st, kReadOk)) return Err::eacces;
+  return loc.mnt->fs->read(loc.ino);
+}
+
+VoidResult KernelSyscalls::write_file(Process& p, const std::string& path,
+                                      std::string data, bool append,
+                                      std::uint32_t create_mode) {
+  // Existing file: need write permission on the file itself.
+  if (auto loc = walk(p, path, /*follow_last=*/true, 0); loc.ok()) {
+    if (loc->mnt->read_only) return Err::erofs;
+    MINICON_TRY_ASSIGN(st, loc->mnt->fs->getattr(loc->ino));
+    if (st.is_dir()) return Err::eisdir;
+    if (!may_access(p, *loc->mnt, st, kWriteOk)) return Err::eacces;
+    return loc->mnt->fs->write(op_ctx(p), loc->ino, std::move(data), append);
+  }
+  // New file: need write+search on the parent directory.
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, path));
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Regular;
+  args.mode = create_mode & ~p.umask_bits;
+  args.uid = p.cred.fsuid;
+  args.gid = p.cred.fsgid;
+  // BSD group semantics for setgid directories.
+  MINICON_TRY_ASSIGN(dst, parent.mnt->fs->getattr(parent.dir_ino));
+  if ((dst.mode & vfs::mode::kSetGid) != 0) args.gid = dst.gid;
+  MINICON_TRY_ASSIGN(ino, parent.mnt->fs->create(op_ctx(p), parent.dir_ino,
+                                                 parent.leaf, args));
+  return parent.mnt->fs->write(op_ctx(p), ino, std::move(data), append);
+}
+
+Result<std::vector<vfs::DirEntry>> KernelSyscalls::readdir(
+    Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!st.is_dir()) return Err::enotdir;
+  if (!may_access(p, *loc.mnt, st, kReadOk)) return Err::eacces;
+  return loc.mnt->fs->readdir(loc.ino);
+}
+
+Result<std::string> KernelSyscalls::readlink(Process& p,
+                                             const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/false, 0));
+  return loc.mnt->fs->readlink(loc.ino);
+}
+
+VoidResult KernelSyscalls::mkdir(Process& p, const std::string& path,
+                                 std::uint32_t m) {
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, path));
+  if (auto existing = parent.mnt->fs->lookup(parent.dir_ino, parent.leaf);
+      existing.ok()) {
+    return Err::eexist;
+  }
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Directory;
+  args.mode = m & ~p.umask_bits;
+  args.uid = p.cred.fsuid;
+  args.gid = p.cred.fsgid;
+  MINICON_TRY_ASSIGN(dst, parent.mnt->fs->getattr(parent.dir_ino));
+  if ((dst.mode & vfs::mode::kSetGid) != 0) {
+    args.gid = dst.gid;
+    args.mode |= vfs::mode::kSetGid;  // setgid propagates to subdirectories
+  }
+  MINICON_TRY_ASSIGN(
+      ino, parent.mnt->fs->create(op_ctx(p), parent.dir_ino, parent.leaf, args));
+  (void)ino;
+  return {};
+}
+
+VoidResult KernelSyscalls::mknod(Process& p, const std::string& path,
+                                 vfs::FileType type, std::uint32_t m,
+                                 std::uint32_t dev_major,
+                                 std::uint32_t dev_minor) {
+  if (type == vfs::FileType::Directory || type == vfs::FileType::Symlink) {
+    return Err::einval;
+  }
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, path));
+  if (auto existing = parent.mnt->fs->lookup(parent.dir_ino, parent.leaf);
+      existing.ok()) {
+    return Err::eexist;
+  }
+  if (type == vfs::FileType::CharDev || type == vfs::FileType::BlockDev) {
+    // Device nodes require CAP_MKNOD over the *initial* user namespace: a
+    // namespace-owned mount never grants it. This is why a Type III image
+    // "cannot contain privileged special files such as devices" (§6.1)
+    // without fakeroot faking it.
+    if (!parent.mnt->owner_ns->is_init() ||
+        !capable(p, *parent.mnt->owner_ns, Cap::kMknod)) {
+      return Err::eperm;
+    }
+    if (!parent.mnt->fs->supports_device_nodes()) return Err::eperm;
+  }
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  vfs::CreateArgs args;
+  args.type = type;
+  args.mode = m & ~p.umask_bits;
+  args.uid = p.cred.fsuid;
+  args.gid = p.cred.fsgid;
+  args.dev_major = dev_major;
+  args.dev_minor = dev_minor;
+  MINICON_TRY_ASSIGN(
+      ino, parent.mnt->fs->create(op_ctx(p), parent.dir_ino, parent.leaf, args));
+  (void)ino;
+  return {};
+}
+
+VoidResult KernelSyscalls::symlink(Process& p, const std::string& target,
+                                   const std::string& linkpath) {
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, linkpath));
+  if (auto existing = parent.mnt->fs->lookup(parent.dir_ino, parent.leaf);
+      existing.ok()) {
+    return Err::eexist;
+  }
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  vfs::CreateArgs args;
+  args.type = vfs::FileType::Symlink;
+  args.symlink_target = target;
+  args.uid = p.cred.fsuid;
+  args.gid = p.cred.fsgid;
+  MINICON_TRY_ASSIGN(
+      ino, parent.mnt->fs->create(op_ctx(p), parent.dir_ino, parent.leaf, args));
+  (void)ino;
+  return {};
+}
+
+VoidResult KernelSyscalls::link(Process& p, const std::string& oldpath,
+                                const std::string& newpath) {
+  MINICON_TRY_ASSIGN(src, walk(p, oldpath, /*follow_last=*/false, 0));
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, newpath));
+  if (src.mnt->fs.get() != parent.mnt->fs.get()) return Err::exdev;
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  return parent.mnt->fs->link(op_ctx(p), parent.dir_ino, parent.leaf, src.ino);
+}
+
+VoidResult KernelSyscalls::unlink(Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, path));
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  MINICON_TRY_ASSIGN(victim,
+                     parent.mnt->fs->lookup(parent.dir_ino, parent.leaf));
+  MINICON_TRY(check_sticky_delete(p, *parent.mnt, parent.dir_ino, victim));
+  return parent.mnt->fs->unlink(op_ctx(p), parent.dir_ino, parent.leaf);
+}
+
+VoidResult KernelSyscalls::rmdir(Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(parent, resolve_parent(p, path));
+  MINICON_TRY(check_write_dir(p, *parent.mnt, parent.dir_ino));
+  MINICON_TRY_ASSIGN(victim,
+                     parent.mnt->fs->lookup(parent.dir_ino, parent.leaf));
+  MINICON_TRY(check_sticky_delete(p, *parent.mnt, parent.dir_ino, victim));
+  if (p.mountns->find_exact(path_normalize(
+          path_is_absolute(path) ? path : path_join(p.cwd, path))) != nullptr) {
+    return Err::ebusy;  // is a mountpoint
+  }
+  return parent.mnt->fs->rmdir(op_ctx(p), parent.dir_ino, parent.leaf);
+}
+
+VoidResult KernelSyscalls::rename(Process& p, const std::string& oldpath,
+                                  const std::string& newpath) {
+  MINICON_TRY_ASSIGN(src, resolve_parent(p, oldpath));
+  MINICON_TRY_ASSIGN(dst, resolve_parent(p, newpath));
+  if (src.mnt->fs.get() != dst.mnt->fs.get()) return Err::exdev;
+  MINICON_TRY(check_write_dir(p, *src.mnt, src.dir_ino));
+  MINICON_TRY(check_write_dir(p, *dst.mnt, dst.dir_ino));
+  MINICON_TRY_ASSIGN(victim, src.mnt->fs->lookup(src.dir_ino, src.leaf));
+  MINICON_TRY(check_sticky_delete(p, *src.mnt, src.dir_ino, victim));
+  return src.mnt->fs->rename(op_ctx(p), src.dir_ino, src.leaf, dst.dir_ino,
+                             dst.leaf);
+}
+
+VoidResult KernelSyscalls::chown(Process& p, const std::string& path, Uid uid,
+                                 Gid gid, bool follow) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, follow, 0));
+  if (loc.mnt->read_only) return Err::erofs;
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+
+  // Translate namespace IDs to kernel IDs; unmapped IDs cannot be named
+  // (EINVAL), which is the §2.1.1 case 4 failure.
+  Uid kuid = vfs::kNoChangeId;
+  Gid kgid = vfs::kNoChangeId;
+  if (!id_is_nochange(uid)) {
+    auto k = p.userns->uid_to_kernel(uid);
+    if (!k) return Err::einval;
+    kuid = *k;
+  }
+  if (!id_is_nochange(gid)) {
+    auto k = p.userns->gid_to_kernel(gid);
+    if (!k) return Err::einval;
+    kgid = *k;
+  }
+  const bool uid_change = kuid != vfs::kNoChangeId && kuid != st.uid;
+  const bool gid_change = kgid != vfs::kNoChangeId && kgid != st.gid;
+
+  const bool privileged =
+      capable(p, *p.userns, Cap::kChown) && inode_ids_mapped(p, st);
+  if (!privileged) {
+    // Unprivileged chown(2): owner may change the group to one of their own
+    // groups; nothing else is permitted.
+    if (uid_change) return Err::eperm;
+    if (gid_change) {
+      if (p.cred.fsuid != st.uid) return Err::eperm;
+      if (!p.cred.in_group(kgid)) return Err::eperm;
+    }
+    if (!uid_change && !gid_change && p.cred.fsuid != st.uid &&
+        !id_is_nochange(uid)) {
+      // chown to the same IDs still requires ownership or privilege.
+      return Err::eperm;
+    }
+  }
+  MINICON_TRY(loc.mnt->fs->set_owner(op_ctx(p), loc.ino, kuid, kgid));
+  // chown clears setuid/setgid on regular files unless privileged.
+  if (st.type == vfs::FileType::Regular &&
+      (st.mode & (vfs::mode::kSetUid | vfs::mode::kSetGid)) != 0 &&
+      !(capable(p, *p.userns, Cap::kFsetid) && inode_ids_mapped(p, st))) {
+    MINICON_TRY(loc.mnt->fs->set_mode(
+        op_ctx(p), loc.ino,
+        st.mode & ~(vfs::mode::kSetUid | vfs::mode::kSetGid)));
+  }
+  return {};
+}
+
+VoidResult KernelSyscalls::chmod(Process& p, const std::string& path,
+                                 std::uint32_t m) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  if (loc.mnt->read_only) return Err::erofs;
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  const bool owner = p.cred.fsuid == st.uid;
+  const bool privileged =
+      capable(p, *p.userns, Cap::kFowner) && inode_ids_mapped(p, st);
+  if (!owner && !privileged) return Err::eperm;
+  // Non-privileged chmod with a group the caller isn't in drops setgid.
+  std::uint32_t effective = m;
+  if (!privileged && !p.cred.in_group(st.gid)) {
+    effective &= ~vfs::mode::kSetGid;
+  }
+  return loc.mnt->fs->set_mode(op_ctx(p), loc.ino, effective);
+}
+
+VoidResult KernelSyscalls::access(Process& p, const std::string& path,
+                                  int mask) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (mask != 0 && !may_access(p, *loc.mnt, st, mask)) return Err::eacces;
+  return {};
+}
+
+VoidResult KernelSyscalls::chdir(Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!st.is_dir()) return Err::enotdir;
+  if (!may_access(p, *loc.mnt, st, kExecOk)) return Err::eacces;
+  p.cwd = loc.abs_path;
+  return {};
+}
+
+// --- xattrs -----------------------------------------------------------------
+
+VoidResult KernelSyscalls::set_xattr(Process& p, const std::string& path,
+                                     const std::string& name,
+                                     const std::string& value) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  if (loc.mnt->read_only) return Err::erofs;
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  // trusted.* needs init-namespace CAP_SYS_ADMIN; security.* (file
+  // capabilities, setcap(8)) needs CAP_SETFCAP over the mount's owner
+  // namespace — a plain Type III build has neither.
+  if (name.starts_with("trusted.")) {
+    if (!loc.mnt->owner_ns->is_init() ||
+        !capable(p, *loc.mnt->owner_ns, Cap::kSysAdmin)) {
+      return Err::eperm;
+    }
+  } else if (name.starts_with("security.")) {
+    if (!capable(p, *loc.mnt->owner_ns, Cap::kSetFcap) ||
+        !inode_ids_mapped(p, st)) {
+      return Err::eperm;
+    }
+  } else if (!may_access(p, *loc.mnt, st, kWriteOk)) {
+    return Err::eacces;
+  }
+  return loc.mnt->fs->set_xattr(op_ctx(p), loc.ino, name, value);
+}
+
+Result<std::string> KernelSyscalls::get_xattr(Process& p,
+                                              const std::string& path,
+                                              const std::string& name) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!may_access(p, *loc.mnt, st, kReadOk)) return Err::eacces;
+  return loc.mnt->fs->get_xattr(loc.ino, name);
+}
+
+Result<std::vector<std::string>> KernelSyscalls::list_xattrs(
+    Process& p, const std::string& path) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  return loc.mnt->fs->list_xattrs(loc.ino);
+}
+
+VoidResult KernelSyscalls::remove_xattr(Process& p, const std::string& path,
+                                        const std::string& name) {
+  MINICON_TRY_ASSIGN(loc, walk(p, path, /*follow_last=*/true, 0));
+  if (loc.mnt->read_only) return Err::erofs;
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!may_access(p, *loc.mnt, st, kWriteOk)) return Err::eacces;
+  return loc.mnt->fs->remove_xattr(op_ctx(p), loc.ino, name);
+}
+
+// --- identity ----------------------------------------------------------------
+
+Uid KernelSyscalls::getuid(Process& p) { return p.userns->uid_view(p.cred.ruid); }
+Uid KernelSyscalls::geteuid(Process& p) {
+  return p.userns->uid_view(p.cred.euid);
+}
+Gid KernelSyscalls::getgid(Process& p) { return p.userns->gid_view(p.cred.rgid); }
+Gid KernelSyscalls::getegid(Process& p) {
+  return p.userns->gid_view(p.cred.egid);
+}
+
+std::vector<Gid> KernelSyscalls::getgroups(Process& p) {
+  std::vector<Gid> out;
+  out.reserve(p.cred.groups.size());
+  for (Gid g : p.cred.groups) out.push_back(p.userns->gid_view(g));
+  return out;
+}
+
+void KernelSyscalls::maybe_drop_caps(Process& p, Uid old_euid_view) const {
+  const Uid new_view = p.userns->uid_view(p.cred.euid);
+  if (old_euid_view == 0 && new_view != 0) {
+    p.cred.effective = CapSet::none();
+  }
+}
+
+VoidResult KernelSyscalls::setresuid(Process& p, Uid r, Uid e, Uid s) {
+  Uid kr = p.cred.ruid, ke = p.cred.euid, ks = p.cred.suid;
+  auto translate = [&](Uid requested, Uid current, Uid& out) -> VoidResult {
+    if (id_is_nochange(requested)) {
+      out = current;
+      return {};
+    }
+    auto k = p.userns->uid_to_kernel(requested);
+    if (!k) return Err::einval;  // unmapped ID: "22: Invalid argument" (Fig 3)
+    out = *k;
+    return {};
+  };
+  MINICON_TRY(translate(r, p.cred.ruid, kr));
+  MINICON_TRY(translate(e, p.cred.euid, ke));
+  MINICON_TRY(translate(s, p.cred.suid, ks));
+
+  if (!capable(p, *p.userns, Cap::kSetUid)) {
+    auto allowed = [&](Uid k) {
+      return k == p.cred.ruid || k == p.cred.euid || k == p.cred.suid;
+    };
+    if (!allowed(kr) || !allowed(ke) || !allowed(ks)) return Err::eperm;
+  }
+  const Uid old_view = p.userns->uid_view(p.cred.euid);
+  p.cred.ruid = kr;
+  p.cred.euid = ke;
+  p.cred.suid = ks;
+  p.cred.fsuid = ke;
+  maybe_drop_caps(p, old_view);
+  return {};
+}
+
+VoidResult KernelSyscalls::setresgid(Process& p, Gid r, Gid e, Gid s) {
+  Gid kr = p.cred.rgid, ke = p.cred.egid, ks = p.cred.sgid;
+  auto translate = [&](Gid requested, Gid current, Gid& out) -> VoidResult {
+    if (id_is_nochange(requested)) {
+      out = current;
+      return {};
+    }
+    auto k = p.userns->gid_to_kernel(requested);
+    if (!k) return Err::einval;
+    out = *k;
+    return {};
+  };
+  MINICON_TRY(translate(r, p.cred.rgid, kr));
+  MINICON_TRY(translate(e, p.cred.egid, ke));
+  MINICON_TRY(translate(s, p.cred.sgid, ks));
+
+  if (!capable(p, *p.userns, Cap::kSetGid)) {
+    auto allowed = [&](Gid k) {
+      return k == p.cred.rgid || k == p.cred.egid || k == p.cred.sgid;
+    };
+    if (!allowed(kr) || !allowed(ke) || !allowed(ks)) return Err::eperm;
+  }
+  p.cred.rgid = kr;
+  p.cred.egid = ke;
+  p.cred.sgid = ks;
+  p.cred.fsgid = ke;
+  return {};
+}
+
+VoidResult KernelSyscalls::setuid(Process& p, Uid uid) {
+  auto k = p.userns->uid_to_kernel(uid);
+  if (!k) return Err::einval;
+  if (capable(p, *p.userns, Cap::kSetUid)) {
+    const Uid old_view = p.userns->uid_view(p.cred.euid);
+    p.cred.set_all_uids(*k);
+    maybe_drop_caps(p, old_view);
+    return {};
+  }
+  return setresuid(p, vfs::kNoChangeId, uid, vfs::kNoChangeId);
+}
+
+VoidResult KernelSyscalls::setgid(Process& p, Gid gid) {
+  auto k = p.userns->gid_to_kernel(gid);
+  if (!k) return Err::einval;
+  if (capable(p, *p.userns, Cap::kSetGid)) {
+    p.cred.set_all_gids(*k);
+    return {};
+  }
+  return setresgid(p, vfs::kNoChangeId, gid, vfs::kNoChangeId);
+}
+
+VoidResult KernelSyscalls::seteuid(Process& p, Uid e) {
+  return setresuid(p, vfs::kNoChangeId, e, vfs::kNoChangeId);
+}
+
+VoidResult KernelSyscalls::setegid(Process& p, Gid e) {
+  return setresgid(p, vfs::kNoChangeId, e, vfs::kNoChangeId);
+}
+
+VoidResult KernelSyscalls::setgroups(Process& p,
+                                     const std::vector<Gid>& groups) {
+  // §2.1.4: in a user namespace setgroups(2) is gated by
+  // /proc/<pid>/setgroups; unprivileged namespaces always deny it — this is
+  // apt-get's "setgroups 65534 failed (1: Operation not permitted)" (Fig 3).
+  if (p.userns->setgroups_policy() == UserNamespace::SetgroupsPolicy::kDeny) {
+    return Err::eperm;
+  }
+  if (!capable(p, *p.userns, Cap::kSetGid)) return Err::eperm;
+  std::vector<Gid> kernel_ids;
+  kernel_ids.reserve(groups.size());
+  for (Gid g : groups) {
+    auto k = p.userns->gid_to_kernel(g);
+    if (!k) return Err::einval;
+    kernel_ids.push_back(*k);
+  }
+  p.cred.groups = std::move(kernel_ids);
+  return {};
+}
+
+// --- namespaces & mounts ------------------------------------------------------
+
+VoidResult KernelSyscalls::unshare_userns(Process& p) {
+  if (kernel_->max_user_namespaces == 0) return Err::eusers;
+  if (static_cast<std::uint64_t>(
+          kernel_->live_user_namespaces()->load()) >=
+      kernel_->max_user_namespaces) {
+    return Err::eusers;
+  }
+  if (p.userns->depth() >= 32) return Err::eusers;
+  auto child = UserNamespace::make_child(p.userns, p.cred.euid, p.cred.egid);
+  child->set_accounting(kernel_->live_user_namespaces());
+  p.userns = std::move(child);
+  // Entering a fresh user namespace confers a full capability set *within
+  // that namespace* (paper footnote 5).
+  p.cred.effective = CapSet::all();
+  return {};
+}
+
+VoidResult KernelSyscalls::unshare_mountns(Process& p) {
+  p.mountns = p.mountns->clone();
+  return {};
+}
+
+VoidResult KernelSyscalls::write_uid_map(Process& writer,
+                                         const UserNsPtr& target, IdMap map) {
+  if (target->uid_map_set()) return Err::eperm;  // single write only
+  if (!map.valid() || map.entries().empty()) return Err::einval;
+  const UserNsPtr& parent = target->parent();
+  if (parent == nullptr) return Err::eperm;
+
+  const bool privileged = capable(writer, *parent, Cap::kSetUid);
+  if (!privileged) {
+    // Unprivileged self-map (§2.1.3): exactly one entry, count 1, outside ID
+    // equal to the writer's own effective UID.
+    if (map.entries().size() != 1) return Err::eperm;
+    const IdMapEntry& e = map.entries().front();
+    auto writer_in_parent = parent->uid_from_kernel(writer.cred.euid);
+    if (e.count != 1 || !writer_in_parent || e.outside != *writer_in_parent) {
+      return Err::eperm;
+    }
+  }
+  if (!target->install_uid_map(std::move(map))) return Err::einval;
+  return {};
+}
+
+VoidResult KernelSyscalls::write_gid_map(Process& writer,
+                                         const UserNsPtr& target, IdMap map) {
+  if (target->gid_map_set()) return Err::eperm;
+  if (!map.valid() || map.entries().empty()) return Err::einval;
+  const UserNsPtr& parent = target->parent();
+  if (parent == nullptr) return Err::eperm;
+
+  const bool privileged = capable(writer, *parent, Cap::kSetGid);
+  if (!privileged) {
+    // The unprivileged gid self-map additionally requires setgroups to have
+    // been denied first — the §2.1.4 trap (CVE-2018-7169 was a helper that
+    // skipped this).
+    if (target->setgroups_policy() != UserNamespace::SetgroupsPolicy::kDeny) {
+      return Err::eperm;
+    }
+    if (map.entries().size() != 1) return Err::eperm;
+    const IdMapEntry& e = map.entries().front();
+    auto writer_in_parent = parent->gid_from_kernel(writer.cred.egid);
+    if (e.count != 1 || !writer_in_parent || e.outside != *writer_in_parent) {
+      return Err::eperm;
+    }
+  }
+  if (!target->install_gid_map(std::move(map))) return Err::einval;
+  return {};
+}
+
+VoidResult KernelSyscalls::write_setgroups(
+    Process& writer, const UserNsPtr& target,
+    UserNamespace::SetgroupsPolicy policy) {
+  // Writing "allow" requires privilege over the parent namespace; "deny" is
+  // always permitted (it only ever reduces power).
+  if (policy == UserNamespace::SetgroupsPolicy::kAllow) {
+    const UserNsPtr& parent = target->parent();
+    if (parent == nullptr || !capable(writer, *parent, Cap::kSetGid)) {
+      return Err::eperm;
+    }
+  }
+  if (!target->set_setgroups(policy)) return Err::eperm;
+  return {};
+}
+
+VoidResult KernelSyscalls::userns_auto_map(Process& p) {
+  if (!kernel_->unprivileged_auto_maps) return Err::enosys;
+  if (p.userns->is_init()) return Err::eperm;
+  if (p.userns->uid_map_set() || p.userns->gid_map_set()) return Err::eperm;
+  // The namespace owner must be the caller (only your own fresh namespace).
+  if (p.userns->owner_kuid() != p.cred.euid) return Err::eperm;
+  constexpr std::uint32_t kSpan = 65536;
+  // Stable per-user allocation: the same user always gets the same range,
+  // so files created in one container keep their identities in the next.
+  std::uint32_t base;
+  if (auto it = kernel_->auto_map_assignments.find(p.cred.euid);
+      it != kernel_->auto_map_assignments.end()) {
+    base = it->second;
+  } else {
+    if (kernel_->auto_map_pool_next > UINT32_MAX - kSpan) return Err::eusers;
+    base = kernel_->auto_map_pool_next;
+    kernel_->auto_map_pool_next += kSpan;
+    kernel_->auto_map_assignments.emplace(p.cred.euid, base);
+  }
+  // Like the fixed newgidmap, supplementary-group power is not granted.
+  (void)p.userns->set_setgroups(UserNamespace::SetgroupsPolicy::kDeny);
+  IdMap uid_map({{0, p.cred.euid, 1}, {1, base, kSpan}});
+  IdMap gid_map({{0, p.cred.egid, 1}, {1, base, kSpan}});
+  if (!p.userns->install_uid_map(std::move(uid_map))) return Err::einval;
+  if (!p.userns->install_gid_map(std::move(gid_map))) return Err::einval;
+  return {};
+}
+
+VoidResult KernelSyscalls::mount(Process& p, Mount m) {
+  if (!capable(p, *p.userns, Cap::kSysAdmin)) return Err::eperm;
+  MINICON_TRY_ASSIGN(loc, walk(p, m.mountpoint, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(st, loc.mnt->fs->getattr(loc.ino));
+  if (!st.is_dir()) return Err::enotdir;
+  m.mountpoint = loc.abs_path;
+  if (m.owner_ns == nullptr) m.owner_ns = p.userns;
+  if (m.root == 0) m.root = m.fs->root();
+  p.mountns->add(std::move(m));
+  return {};
+}
+
+VoidResult KernelSyscalls::umount(Process& p, const std::string& mountpoint) {
+  if (!capable(p, *p.userns, Cap::kSysAdmin)) return Err::eperm;
+  const std::string abs = path_normalize(
+      path_is_absolute(mountpoint) ? mountpoint : path_join(p.cwd, mountpoint));
+  return p.mountns->remove(abs);
+}
+
+VoidResult KernelSyscalls::bind_mount(Process& p, const std::string& src,
+                                      const std::string& dst, bool read_only) {
+  if (!capable(p, *p.userns, Cap::kSysAdmin)) return Err::eperm;
+  MINICON_TRY_ASSIGN(sloc, walk(p, src, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(dloc, walk(p, dst, /*follow_last=*/true, 0));
+  MINICON_TRY_ASSIGN(dst_st, dloc.mnt->fs->getattr(dloc.ino));
+  if (!dst_st.is_dir()) return Err::enotdir;
+  Mount m;
+  m.mountpoint = dloc.abs_path;
+  m.fs = sloc.mnt->fs;
+  m.root = sloc.ino;
+  // A bind mount keeps the original superblock's owning namespace: binding
+  // host storage into a container does NOT hand the container privilege
+  // over it.
+  m.owner_ns = sloc.mnt->owner_ns;
+  m.read_only = read_only;
+  m.source = sloc.abs_path;
+  p.mountns->add(std::move(m));
+  return {};
+}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,236 @@
+// The syscall boundary.
+//
+// Shell builtins, package managers, and builders act on the world only
+// through this interface, exactly as real programs act only through
+// syscalls. Two implementations exist:
+//   * KernelSyscalls — the real rules (permission checks, ID translation,
+//     namespace semantics, Linux errnos).
+//   * fakeroot::FakerootSyscalls — the §5 interposition wrapper that fakes
+//     privileged metadata operations and remembers its lies.
+// A process carries a shared_ptr<Syscalls>; wrapping it is LD_PRELOAD.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/mountns.hpp"
+#include "kernel/process.hpp"
+#include "kernel/userns.hpp"
+#include "support/result.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace minicon::kernel {
+
+// access(2) masks.
+inline constexpr int kReadOk = 4;
+inline constexpr int kWriteOk = 2;
+inline constexpr int kExecOk = 1;
+
+// Resolved path location: which mount, which inode.
+struct Loc {
+  const Mount* mnt = nullptr;
+  vfs::InodeNum ino = 0;
+  std::string abs_path;
+};
+
+class Syscalls {
+ public:
+  virtual ~Syscalls() = default;
+
+  // --- file metadata & data -------------------------------------------
+  virtual Result<vfs::Stat> stat(Process& p, const std::string& path) = 0;
+  virtual Result<vfs::Stat> lstat(Process& p, const std::string& path) = 0;
+  virtual Result<std::string> read_file(Process& p,
+                                        const std::string& path) = 0;
+  virtual VoidResult write_file(Process& p, const std::string& path,
+                                std::string data, bool append,
+                                std::uint32_t create_mode = 0644) = 0;
+  virtual Result<std::vector<vfs::DirEntry>> readdir(
+      Process& p, const std::string& path) = 0;
+  virtual Result<std::string> readlink(Process& p,
+                                       const std::string& path) = 0;
+  virtual VoidResult mkdir(Process& p, const std::string& path,
+                           std::uint32_t mode) = 0;
+  virtual VoidResult mknod(Process& p, const std::string& path,
+                           vfs::FileType type, std::uint32_t mode,
+                           std::uint32_t dev_major, std::uint32_t dev_minor) = 0;
+  virtual VoidResult symlink(Process& p, const std::string& target,
+                             const std::string& linkpath) = 0;
+  virtual VoidResult link(Process& p, const std::string& oldpath,
+                          const std::string& newpath) = 0;
+  virtual VoidResult unlink(Process& p, const std::string& path) = 0;
+  virtual VoidResult rmdir(Process& p, const std::string& path) = 0;
+  virtual VoidResult rename(Process& p, const std::string& oldpath,
+                            const std::string& newpath) = 0;
+  // uid/gid are namespace-visible IDs (vfs::kNoChangeId = leave unchanged).
+  virtual VoidResult chown(Process& p, const std::string& path, Uid uid,
+                           Gid gid, bool follow) = 0;
+  virtual VoidResult chmod(Process& p, const std::string& path,
+                           std::uint32_t mode) = 0;
+  virtual VoidResult access(Process& p, const std::string& path, int mask) = 0;
+  virtual VoidResult chdir(Process& p, const std::string& path) = 0;
+
+  virtual VoidResult set_xattr(Process& p, const std::string& path,
+                               const std::string& name,
+                               const std::string& value) = 0;
+  virtual Result<std::string> get_xattr(Process& p, const std::string& path,
+                                        const std::string& name) = 0;
+  virtual Result<std::vector<std::string>> list_xattrs(
+      Process& p, const std::string& path) = 0;
+  virtual VoidResult remove_xattr(Process& p, const std::string& path,
+                                  const std::string& name) = 0;
+
+  // --- identity ---------------------------------------------------------
+  virtual Uid getuid(Process& p) = 0;
+  virtual Uid geteuid(Process& p) = 0;
+  virtual Gid getgid(Process& p) = 0;
+  virtual Gid getegid(Process& p) = 0;
+  virtual std::vector<Gid> getgroups(Process& p) = 0;
+  virtual VoidResult setuid(Process& p, Uid uid) = 0;
+  virtual VoidResult setgid(Process& p, Gid gid) = 0;
+  virtual VoidResult setresuid(Process& p, Uid r, Uid e, Uid s) = 0;
+  virtual VoidResult setresgid(Process& p, Gid r, Gid e, Gid s) = 0;
+  virtual VoidResult seteuid(Process& p, Uid e) = 0;
+  virtual VoidResult setegid(Process& p, Gid e) = 0;
+  virtual VoidResult setgroups(Process& p, const std::vector<Gid>& groups) = 0;
+
+  // --- namespaces & mounts -----------------------------------------------
+  virtual VoidResult unshare_userns(Process& p) = 0;
+  virtual VoidResult unshare_mountns(Process& p) = 0;
+  virtual VoidResult write_uid_map(Process& writer, const UserNsPtr& target,
+                                   IdMap map) = 0;
+  virtual VoidResult write_gid_map(Process& writer, const UserNsPtr& target,
+                                   IdMap map) = 0;
+  virtual VoidResult write_setgroups(Process& writer, const UserNsPtr& target,
+                                     UserNamespace::SetgroupsPolicy policy) = 0;
+  // §6.2.4: kernel-managed unprivileged full maps — installs
+  // {0 <- caller, 1..65536 <- guaranteed-unique pool} into the caller's
+  // (fresh) namespace without helpers. ENOSYS unless the sysctl
+  // unprivileged_auto_maps is enabled.
+  virtual VoidResult userns_auto_map(Process& p) = 0;
+  virtual VoidResult mount(Process& p, Mount m) = 0;
+  virtual VoidResult umount(Process& p, const std::string& mountpoint) = 0;
+  virtual VoidResult bind_mount(Process& p, const std::string& src,
+                                const std::string& dst, bool read_only) = 0;
+
+  // --- resolution (for runtimes/builders that need (fs, inode)) ----------
+  virtual Result<Loc> resolve(Process& p, const std::string& path,
+                              bool follow_last) = 0;
+
+  // --- interposition introspection ----------------------------------------
+  // Fakeroot-style wrappers override these; the command dispatcher uses them
+  // to model LD_PRELOAD's inability to wrap statically-linked executables
+  // (Table 1: LD_PRELOAD "any arch, no statics"; ptrace the reverse).
+  virtual bool is_interposer() const { return false; }
+  virtual bool wraps_statically_linked() const { return true; }
+  virtual std::shared_ptr<Syscalls> interposer_inner() const { return nullptr; }
+};
+
+class Kernel;
+
+// The real implementation. One instance per Kernel.
+class KernelSyscalls : public Syscalls {
+ public:
+  explicit KernelSyscalls(Kernel* kernel) : kernel_(kernel) {}
+
+  Result<vfs::Stat> stat(Process& p, const std::string& path) override;
+  Result<vfs::Stat> lstat(Process& p, const std::string& path) override;
+  Result<std::string> read_file(Process& p, const std::string& path) override;
+  VoidResult write_file(Process& p, const std::string& path, std::string data,
+                        bool append, std::uint32_t create_mode) override;
+  Result<std::vector<vfs::DirEntry>> readdir(Process& p,
+                                             const std::string& path) override;
+  Result<std::string> readlink(Process& p, const std::string& path) override;
+  VoidResult mkdir(Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult mknod(Process& p, const std::string& path, vfs::FileType type,
+                   std::uint32_t mode, std::uint32_t dev_major,
+                   std::uint32_t dev_minor) override;
+  VoidResult symlink(Process& p, const std::string& target,
+                     const std::string& linkpath) override;
+  VoidResult link(Process& p, const std::string& oldpath,
+                  const std::string& newpath) override;
+  VoidResult unlink(Process& p, const std::string& path) override;
+  VoidResult rmdir(Process& p, const std::string& path) override;
+  VoidResult rename(Process& p, const std::string& oldpath,
+                    const std::string& newpath) override;
+  VoidResult chown(Process& p, const std::string& path, Uid uid, Gid gid,
+                   bool follow) override;
+  VoidResult chmod(Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult access(Process& p, const std::string& path, int mask) override;
+  VoidResult chdir(Process& p, const std::string& path) override;
+
+  VoidResult set_xattr(Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(Process& p, const std::string& path,
+                                const std::string& name) override;
+  Result<std::vector<std::string>> list_xattrs(
+      Process& p, const std::string& path) override;
+  VoidResult remove_xattr(Process& p, const std::string& path,
+                          const std::string& name) override;
+
+  Uid getuid(Process& p) override;
+  Uid geteuid(Process& p) override;
+  Gid getgid(Process& p) override;
+  Gid getegid(Process& p) override;
+  std::vector<Gid> getgroups(Process& p) override;
+  VoidResult setuid(Process& p, Uid uid) override;
+  VoidResult setgid(Process& p, Gid gid) override;
+  VoidResult setresuid(Process& p, Uid r, Uid e, Uid s) override;
+  VoidResult setresgid(Process& p, Gid r, Gid e, Gid s) override;
+  VoidResult seteuid(Process& p, Uid e) override;
+  VoidResult setegid(Process& p, Gid e) override;
+  VoidResult setgroups(Process& p, const std::vector<Gid>& groups) override;
+
+  VoidResult unshare_userns(Process& p) override;
+  VoidResult unshare_mountns(Process& p) override;
+  VoidResult write_uid_map(Process& writer, const UserNsPtr& target,
+                           IdMap map) override;
+  VoidResult write_gid_map(Process& writer, const UserNsPtr& target,
+                           IdMap map) override;
+  VoidResult write_setgroups(Process& writer, const UserNsPtr& target,
+                             UserNamespace::SetgroupsPolicy policy) override;
+  VoidResult userns_auto_map(Process& p) override;
+  VoidResult mount(Process& p, Mount m) override;
+  VoidResult umount(Process& p, const std::string& mountpoint) override;
+  VoidResult bind_mount(Process& p, const std::string& src,
+                        const std::string& dst, bool read_only) override;
+
+  Result<Loc> resolve(Process& p, const std::string& path,
+                      bool follow_last) override;
+
+ private:
+  struct ParentLoc {
+    const Mount* mnt = nullptr;
+    vfs::InodeNum dir_ino = 0;
+    std::string leaf;
+    std::string abs_dir;
+  };
+
+  Result<Loc> walk(Process& p, const std::string& path, bool follow_last,
+                   int depth);
+  // Resolves the parent directory of `path` and the final component;
+  // requires write+search permission checks to be done by the caller.
+  Result<ParentLoc> resolve_parent(Process& p, const std::string& path);
+
+  vfs::OpCtx op_ctx(const Process& p) const;
+  // POSIX user/group/other first-match check plus capability overrides.
+  bool may_access(const Process& p, const Mount& mnt, const vfs::Stat& st,
+                  int mask) const;
+  VoidResult check_write_dir(Process& p, const Mount& mnt,
+                             vfs::InodeNum dir_ino);
+  VoidResult check_sticky_delete(Process& p, const Mount& mnt,
+                                 vfs::InodeNum dir_ino, vfs::InodeNum victim);
+  // Caps granted over a target namespace (ns_capable).
+  bool capable(const Process& p, const UserNamespace& target, Cap c) const;
+  // Drops capability state when a root process becomes non-root.
+  void maybe_drop_caps(Process& p, Uid old_euid_view) const;
+  Result<std::string> proc_special(Process& p, const std::string& abs) const;
+
+  Kernel* kernel_;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,138 @@
+#include "kernel/userdb.hpp"
+
+#include "support/strings.hpp"
+
+namespace minicon::kernel {
+
+PasswdDb PasswdDb::parse(const std::string& text) {
+  PasswdDb db;
+  for (const auto& raw : split(text, '\n')) {
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, ':');
+    if (fields.size() < 4) continue;
+    PasswdEntry e;
+    e.name = fields[0];
+    if (!parse_u32(fields[2], e.uid)) continue;
+    if (!parse_u32(fields[3], e.gid)) continue;
+    if (fields.size() > 4) e.gecos = fields[4];
+    if (fields.size() > 5) e.home = fields[5];
+    if (fields.size() > 6) e.shell = fields[6];
+    db.entries_.push_back(std::move(e));
+  }
+  return db;
+}
+
+std::string PasswdDb::format() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += e.name + ":x:" + std::to_string(e.uid) + ":" +
+           std::to_string(e.gid) + ":" + e.gecos + ":" + e.home + ":" +
+           e.shell + "\n";
+  }
+  return out;
+}
+
+std::optional<PasswdEntry> PasswdDb::by_name(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<PasswdEntry> PasswdDb::by_uid(Uid uid) const {
+  for (const auto& e : entries_) {
+    if (e.uid == uid) return e;
+  }
+  return std::nullopt;
+}
+
+GroupDb GroupDb::parse(const std::string& text) {
+  GroupDb db;
+  for (const auto& raw : split(text, '\n')) {
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, ':');
+    if (fields.size() < 3) continue;
+    GroupEntry e;
+    e.name = fields[0];
+    if (!parse_u32(fields[2], e.gid)) continue;
+    if (fields.size() > 3 && !fields[3].empty()) {
+      e.members = split(fields[3], ',');
+    }
+    db.entries_.push_back(std::move(e));
+  }
+  return db;
+}
+
+std::string GroupDb::format() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += e.name + ":x:" + std::to_string(e.gid) + ":" + join(e.members, ",") +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<GroupEntry> GroupDb::by_name(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<GroupEntry> GroupDb::by_gid(Gid gid) const {
+  for (const auto& e : entries_) {
+    if (e.gid == gid) return e;
+  }
+  return std::nullopt;
+}
+
+SubidDb SubidDb::parse(const std::string& text) {
+  SubidDb db;
+  for (const auto& raw : split(text, '\n')) {
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, ':');
+    if (fields.size() != 3) continue;
+    SubidRange r;
+    r.owner = fields[0];
+    if (!parse_u32(fields[1], r.start)) continue;
+    if (!parse_u32(fields[2], r.count)) continue;
+    db.ranges_.push_back(std::move(r));
+  }
+  return db;
+}
+
+std::string SubidDb::format() const {
+  std::string out;
+  for (const auto& r : ranges_) {
+    out += r.owner + ":" + std::to_string(r.start) + ":" +
+           std::to_string(r.count) + "\n";
+  }
+  return out;
+}
+
+std::vector<SubidRange> SubidDb::ranges_for(const std::string& user,
+                                            Uid uid) const {
+  const std::string uid_str = std::to_string(uid);
+  std::vector<SubidRange> out;
+  for (const auto& r : ranges_) {
+    if (r.owner == user || r.owner == uid_str) out.push_back(r);
+  }
+  return out;
+}
+
+bool SubidDb::covers(const std::string& user, Uid uid, std::uint32_t start,
+                     std::uint32_t count) const {
+  if (count == 0) return false;
+  for (const auto& r : ranges_for(user, uid)) {
+    if (start >= r.start && count <= r.count &&
+        start - r.start <= r.count - count) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace minicon::kernel

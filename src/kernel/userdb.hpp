@@ -1,0 +1,87 @@
+// User-space ID databases: /etc/passwd, /etc/group, /etc/subuid, /etc/subgid.
+//
+// The kernel deals only in numeric IDs (paper footnote 4); name translation
+// is a user-space concern and may differ between host and container. These
+// parsers are shared by ls(1), useradd(8), and the newuidmap/newgidmap
+// helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/ids.hpp"
+
+namespace minicon::kernel {
+
+struct PasswdEntry {
+  std::string name;
+  Uid uid = 0;
+  Gid gid = 0;
+  std::string gecos;
+  std::string home;
+  std::string shell;
+};
+
+struct GroupEntry {
+  std::string name;
+  Gid gid = 0;
+  std::vector<std::string> members;
+};
+
+class PasswdDb {
+ public:
+  static PasswdDb parse(const std::string& text);
+  std::string format() const;
+
+  std::optional<PasswdEntry> by_name(const std::string& name) const;
+  std::optional<PasswdEntry> by_uid(Uid uid) const;
+  void add(PasswdEntry e) { entries_.push_back(std::move(e)); }
+  const std::vector<PasswdEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<PasswdEntry> entries_;
+};
+
+class GroupDb {
+ public:
+  static GroupDb parse(const std::string& text);
+  std::string format() const;
+
+  std::optional<GroupEntry> by_name(const std::string& name) const;
+  std::optional<GroupEntry> by_gid(Gid gid) const;
+  void add(GroupEntry e) { entries_.push_back(std::move(e)); }
+  const std::vector<GroupEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<GroupEntry> entries_;
+};
+
+// One /etc/subuid (or /etc/subgid) allocation: "alice:100000:65536".
+struct SubidRange {
+  std::string owner;  // user name (or decimal UID string)
+  std::uint32_t start = 0;
+  std::uint32_t count = 0;
+};
+
+class SubidDb {
+ public:
+  static SubidDb parse(const std::string& text);
+  std::string format() const;
+
+  // All ranges owned by `user` (matched by name or decimal UID).
+  std::vector<SubidRange> ranges_for(const std::string& user, Uid uid) const;
+  void add(SubidRange r) { ranges_.push_back(std::move(r)); }
+  const std::vector<SubidRange>& ranges() const { return ranges_; }
+
+  // True if [start, start+count) falls entirely inside ranges owned by the
+  // user — the check newuidmap(1) performs before installing a map.
+  bool covers(const std::string& user, Uid uid, std::uint32_t start,
+              std::uint32_t count) const;
+
+ private:
+  std::vector<SubidRange> ranges_;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,82 @@
+#include "kernel/userns.hpp"
+
+namespace minicon::kernel {
+
+UserNsPtr UserNamespace::make_init() {
+  auto ns = UserNsPtr(new UserNamespace());
+  ns->uid_map_ = IdMap::identity();
+  ns->gid_map_ = IdMap::identity();
+  ns->gid_map_written_ = true;
+  return ns;
+}
+
+UserNsPtr UserNamespace::make_child(UserNsPtr parent, Uid owner_kuid,
+                                    Gid owner_kgid) {
+  auto ns = UserNsPtr(new UserNamespace());
+  ns->depth_ = parent->depth_ + 1;
+  ns->parent_ = std::move(parent);
+  ns->owner_kuid_ = owner_kuid;
+  ns->owner_kgid_ = owner_kgid;
+  return ns;
+}
+
+bool UserNamespace::install_uid_map(IdMap map) {
+  if (uid_map_set() || !map.valid() || map.empty()) return false;
+  uid_map_ = std::move(map);
+  return true;
+}
+
+bool UserNamespace::install_gid_map(IdMap map) {
+  if (gid_map_set() || !map.valid() || map.empty()) return false;
+  gid_map_ = std::move(map);
+  gid_map_written_ = true;
+  return true;
+}
+
+bool UserNamespace::set_setgroups(SetgroupsPolicy p) {
+  if (gid_map_written_) return false;  // kernel: immutable once map written
+  if (setgroups_ == SetgroupsPolicy::kDeny && p == SetgroupsPolicy::kAllow) {
+    return false;  // deny is sticky
+  }
+  setgroups_ = p;
+  return true;
+}
+
+std::optional<Uid> UserNamespace::uid_to_kernel(Uid inside) const {
+  auto in_parent = uid_map_.to_outside(inside);
+  if (!in_parent) return std::nullopt;
+  if (parent_ == nullptr) return in_parent;
+  return parent_->uid_to_kernel(*in_parent);
+}
+
+std::optional<Gid> UserNamespace::gid_to_kernel(Gid inside) const {
+  auto in_parent = gid_map_.to_outside(inside);
+  if (!in_parent) return std::nullopt;
+  if (parent_ == nullptr) return in_parent;
+  return parent_->gid_to_kernel(*in_parent);
+}
+
+std::optional<Uid> UserNamespace::uid_from_kernel(Uid kuid) const {
+  if (parent_ == nullptr) return uid_map_.to_inside(kuid);
+  auto in_parent = parent_->uid_from_kernel(kuid);
+  if (!in_parent) return std::nullopt;
+  return uid_map_.to_inside(*in_parent);
+}
+
+std::optional<Gid> UserNamespace::gid_from_kernel(Gid kgid) const {
+  if (parent_ == nullptr) return gid_map_.to_inside(kgid);
+  auto in_parent = parent_->gid_from_kernel(kgid);
+  if (!in_parent) return std::nullopt;
+  return gid_map_.to_inside(*in_parent);
+}
+
+bool UserNamespace::is_descendant_of(const UserNamespace& maybe_ancestor) const {
+  const UserNamespace* cur = this;
+  while (cur != nullptr) {
+    if (cur == &maybe_ancestor) return true;
+    cur = cur->parent_.get();
+  }
+  return false;
+}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,101 @@
+// User namespaces (§2.1).
+//
+// A namespace holds a UID map and a GID map translating between its inside
+// IDs and its parent's IDs; translation to kernel IDs walks the ancestor
+// chain. Creation is unprivileged; *writing non-trivial maps* is the
+// privileged step performed by helpers (newuidmap/newgidmap, §2.1.2), while
+// an unprivileged process may install only the single-entry self-map
+// (§2.1.3). The setgroups gate models /proc/<pid>/setgroups (§2.1.4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kernel/ids.hpp"
+
+namespace minicon::kernel {
+
+class UserNamespace;
+using UserNsPtr = std::shared_ptr<UserNamespace>;
+
+class UserNamespace : public std::enable_shared_from_this<UserNamespace> {
+ public:
+  enum class SetgroupsPolicy { kAllow, kDeny };
+
+  // The initial ("host") namespace: identity maps, setgroups allowed.
+  static UserNsPtr make_init();
+
+  // A child namespace created by `owner_kuid`. Maps start empty (unset).
+  static UserNsPtr make_child(UserNsPtr parent, Uid owner_kuid,
+                              Gid owner_kgid);
+
+  const UserNsPtr& parent() const noexcept { return parent_; }
+  bool is_init() const noexcept { return parent_ == nullptr; }
+  Uid owner_kuid() const noexcept { return owner_kuid_; }
+  Gid owner_kgid() const noexcept { return owner_kgid_; }
+  int depth() const noexcept { return depth_; }
+
+  const IdMap& uid_map() const noexcept { return uid_map_; }
+  const IdMap& gid_map() const noexcept { return gid_map_; }
+  bool uid_map_set() const noexcept { return !uid_map_.empty(); }
+  bool gid_map_set() const noexcept { return !gid_map_.empty(); }
+
+  // Raw installation — permission checks live in the syscall layer. Each map
+  // may be written only once (like the kernel). Returns false if already set
+  // or invalid.
+  bool install_uid_map(IdMap map);
+  bool install_gid_map(IdMap map);
+
+  SetgroupsPolicy setgroups_policy() const noexcept { return setgroups_; }
+  // Like /proc/<pid>/setgroups: may not be re-enabled after the gid map is
+  // written, and "deny" is sticky.
+  bool set_setgroups(SetgroupsPolicy p);
+
+  // Translate an inside ID of *this* namespace to a kernel ID by walking up
+  // to the initial namespace. nullopt if unmapped anywhere on the chain.
+  std::optional<Uid> uid_to_kernel(Uid inside) const;
+  std::optional<Gid> gid_to_kernel(Gid inside) const;
+
+  // Translate a kernel ID to this namespace's inside ID. nullopt if unmapped;
+  // callers usually substitute the overflow ID 65534 for display.
+  std::optional<Uid> uid_from_kernel(Uid kuid) const;
+  std::optional<Gid> gid_from_kernel(Gid kgid) const;
+
+  // Overflow-substituting display helpers.
+  Uid uid_view(Uid kuid) const {
+    return uid_from_kernel(kuid).value_or(vfs::kOverflowUid);
+  }
+  Gid gid_view(Gid kgid) const {
+    return gid_from_kernel(kgid).value_or(vfs::kOverflowGid);
+  }
+
+  // True if `maybe_ancestor` is this namespace or an ancestor of it.
+  bool is_descendant_of(const UserNamespace& maybe_ancestor) const;
+
+  // Lifetime accounting against /proc/sys/user/max_user_namespaces: the
+  // kernel hands a live-count on creation; the destructor releases it.
+  void set_accounting(std::shared_ptr<std::atomic<std::int64_t>> counter) {
+    accounting_ = std::move(counter);
+    if (accounting_) accounting_->fetch_add(1);
+  }
+  ~UserNamespace() {
+    if (accounting_) accounting_->fetch_sub(1);
+  }
+
+ private:
+  UserNamespace() = default;
+
+  UserNsPtr parent_;
+  IdMap uid_map_;
+  IdMap gid_map_;
+  SetgroupsPolicy setgroups_ = SetgroupsPolicy::kAllow;
+  bool gid_map_written_ = false;
+  Uid owner_kuid_ = 0;
+  Gid owner_kgid_ = 0;
+  int depth_ = 0;
+  std::shared_ptr<std::atomic<std::int64_t>> accounting_;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,404 @@
+// Debian personality: apt-get(8), apt-config(8), dpkg(1).
+//
+// The key behaviour reproduced here is APT's download sandbox (§2.3): since
+// Debian 9, apt drops privileges to the _apt user for fetching, via
+// setgroups(2)/setresgid(2)/setresuid(2). In an unprivileged user namespace
+// those calls fail — setgroups with EPERM (gated by /proc/.../setgroups) and
+// set*id with EINVAL (unmapped IDs) — producing exactly the Fig 3 transcript.
+// The escape hatch is the configuration APT::Sandbox::User "root" (Fig 9).
+#include <functional>
+#include <set>
+
+#include "kernel/syscalls.hpp"
+#include "kernel/userdb.hpp"
+#include "pkg/install.hpp"
+#include "pkg/managers.hpp"
+#include "shell/shell.hpp"
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::pkg {
+
+namespace {
+
+constexpr const char* kStatusPath = "/var/lib/dpkg/status";
+constexpr const char* kListsDir = "/var/lib/apt/lists";
+
+void ensure_dir(kernel::Process& p, const std::string& dir) {
+  std::string cur = "/";
+  for (const auto& comp : path_components(dir)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (!p.sys->stat(p, cur).ok()) (void)p.sys->mkdir(p, cur, 0755);
+  }
+}
+
+// APT configuration: defaults overlaid with /etc/apt/apt.conf.d/* contents.
+// Config files contain lines of the form:  APT::Sandbox::User "root";
+std::map<std::string, std::string> apt_config(kernel::Process& p) {
+  std::map<std::string, std::string> cfg{
+      {"APT::Architecture", "amd64"},
+      {"APT::Sandbox::User", "_apt"},
+      {"Dir", "/"},
+      {"Dir::State", "var/lib/apt"},
+  };
+  std::vector<std::string> files;
+  if (auto entries = p.sys->readdir(p, "/etc/apt/apt.conf.d"); entries.ok()) {
+    for (const auto& e : *entries) files.push_back("/etc/apt/apt.conf.d/" + e.name);
+  }
+  files.push_back("/etc/apt/apt.conf");
+  for (const auto& file : files) {
+    auto text = p.sys->read_file(p, file);
+    if (!text.ok()) continue;
+    for (const auto& raw : split(*text, '\n')) {
+      std::string line(trim(raw));
+      if (line.empty() || line[0] == '#') continue;
+      if (line.back() == ';') line.pop_back();
+      const auto space = line.find(' ');
+      if (space == std::string::npos) continue;
+      std::string key(trim(line.substr(0, space)));
+      std::string value(trim(line.substr(space + 1)));
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      cfg[key] = value;
+    }
+  }
+  return cfg;
+}
+
+// Simulates APT's privilege drop into the _apt sandbox user. Returns 0 on
+// success; on failure appends the E: lines from Fig 3 and returns 100.
+int drop_to_sandbox(shell::Invocation& inv, kernel::Process& fetcher) {
+  const auto cfg = apt_config(inv.proc);
+  const auto it = cfg.find("APT::Sandbox::User");
+  const std::string sandbox_user = it == cfg.end() ? "_apt" : it->second;
+  if (sandbox_user == "root") return 0;  // sandbox disabled
+
+  auto passwd_text = inv.proc.sys->read_file(inv.proc, "/etc/passwd");
+  if (!passwd_text.ok()) return 0;
+  const auto entry =
+      kernel::PasswdDb::parse(*passwd_text).by_name(sandbox_user);
+  if (!entry) return 0;  // no _apt user: sandbox silently skipped
+
+  int status = 0;
+  // setgroups() to the overflow group, then switch IDs — the same calls and
+  // error texts as real apt (which reports setresgid/setresuid failures
+  // under the names setegid/seteuid).
+  if (auto rc = fetcher.sys->setgroups(fetcher, {vfs::kOverflowGid});
+      !rc.ok()) {
+    inv.err += "E: setgroups " + std::to_string(vfs::kOverflowGid) +
+               " failed - setgroups (" + std::to_string(err_value(rc.error())) +
+               ": " + std::string(err_message(rc.error())) + ")\n";
+    status = 100;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (auto rc = fetcher.sys->seteuid(fetcher, entry->uid); !rc.ok()) {
+      inv.err += "E: seteuid " + std::to_string(entry->uid) +
+                 " failed - seteuid (" + std::to_string(err_value(rc.error())) +
+                 ": " + std::string(err_message(rc.error())) + ")\n";
+      status = 100;
+    } else {
+      break;
+    }
+  }
+  return status;
+}
+
+struct DpkgStanza {
+  std::string name;
+  std::string version;
+};
+
+std::vector<DpkgStanza> dpkg_status(kernel::Process& p) {
+  std::vector<DpkgStanza> out;
+  auto text = p.sys->read_file(p, kStatusPath);
+  if (!text.ok()) return out;
+  DpkgStanza cur;
+  for (const auto& line : split(*text, '\n')) {
+    if (starts_with(line, "Package: ")) cur.name = line.substr(9);
+    if (starts_with(line, "Version: ")) cur.version = line.substr(9);
+    if (line.empty() && !cur.name.empty()) {
+      out.push_back(cur);
+      cur = {};
+    }
+  }
+  if (!cur.name.empty()) out.push_back(cur);
+  return out;
+}
+
+int apt_update(shell::Invocation& inv, const RepoUniverse& universe) {
+  kernel::Process fetcher = inv.proc.clone();
+  if (int rc = drop_to_sandbox(inv, fetcher); rc != 0) {
+    // Continue attempting the fetch as apt does, but the methods have
+    // already failed; report and bail.
+    inv.err += "E: Method gave invalid 400 URI Failure message\n";
+    return 100;
+  }
+  ensure_dir(inv.proc, kListsDir);
+  int seq = 1;
+  std::uint64_t fetched = 0;
+  for (const auto& repo_id : apt_sources(inv.proc)) {
+    const Repository* repo = universe.find(repo_id);
+    if (repo == nullptr) {
+      inv.err += "E: The repository 'repo://" + repo_id +
+                 "' does not have a Release file.\n";
+      return 100;
+    }
+    inv.out += "Get:" + std::to_string(seq++) + " repo://" + repo_id +
+               " buster InRelease\n";
+    fetched += repo->index_bytes();
+    std::string index;
+    for (const auto& name : repo->names()) {
+      const Package* pkg = repo->find(name);
+      index += name + " " + pkg->version + "\n";
+    }
+    (void)inv.proc.sys->write_file(
+        inv.proc, std::string(kListsDir) + "/" + repo_id + "_Packages", index,
+        false);
+  }
+  inv.out += "Fetched " + std::to_string(fetched / 1024) +
+             " kB in 7s (1214 kB/s)\n";
+  inv.out += "Reading package lists...\n";
+  return 0;
+}
+
+int resolve_install_set(shell::Invocation& inv, const RepoUniverse& universe,
+                        const std::vector<std::string>& sources,
+                        const std::vector<std::string>& wanted,
+                        std::vector<const Package*>& out) {
+  std::set<std::string> done;
+  std::function<int(const std::string&)> visit =
+      [&](const std::string& name) -> int {
+    if (done.contains(name)) return 0;
+    if (dpkg_is_installed(inv.proc, name)) {
+      done.insert(name);
+      return 0;
+    }
+    const Package* pkg = nullptr;
+    for (const auto& repo_id : sources) {
+      // Availability is gated on fetched indexes, not just the universe:
+      // base images ship with no indexes, so nothing can be installed before
+      // apt-get update (§5.2).
+      if (!apt_lists_present(inv.proc, repo_id)) continue;
+      const Repository* repo = universe.find(repo_id);
+      if (repo == nullptr) continue;
+      if (const Package* found = repo->find(name)) {
+        pkg = found;
+        break;
+      }
+    }
+    if (pkg == nullptr) {
+      inv.err += "E: Unable to locate package " + name + "\n";
+      return 100;
+    }
+    done.insert(name);
+    for (const auto& dep : pkg->depends) {
+      if (int rc = visit(dep); rc != 0) return rc;
+    }
+    out.push_back(pkg);
+    return 0;
+  };
+  for (const auto& name : wanted) {
+    if (int rc = visit(name); rc != 0) return rc;
+  }
+  return 0;
+}
+
+int run_scriptlet(shell::Invocation& inv, const std::string& script) {
+  if (script.empty()) return 0;
+  kernel::Process child = inv.proc.clone();
+  shell::ShellState state;
+  state.registry = inv.state.registry;
+  state.shell = inv.state.shell;
+  state.depth = inv.state.depth + 1;
+  return inv.state.shell->run_with_state(child, script, inv.out, inv.err, "",
+                                         state);
+}
+
+int apt_install(shell::Invocation& inv, const RepoUniverse& universe,
+                const std::vector<std::string>& names) {
+  inv.out += "Reading package lists...\n";
+  inv.out += "Building dependency tree...\n";
+
+  const auto sources = apt_sources(inv.proc);
+  std::vector<const Package*> plan;
+  std::vector<std::string> wanted;
+  for (const auto& name : names) {
+    if (dpkg_is_installed(inv.proc, name)) {
+      inv.out += name + " is already the newest version.\n";
+    } else {
+      wanted.push_back(name);
+    }
+  }
+  if (wanted.empty()) {
+    inv.out += "0 upgraded, 0 newly installed, 0 to remove.\n";
+    return 0;
+  }
+  if (int rc = resolve_install_set(inv, universe, sources, wanted, plan);
+      rc != 0) {
+    return rc;
+  }
+
+  inv.out += "The following NEW packages will be installed:\n ";
+  for (const Package* pkg : plan) inv.out += " " + pkg->name;
+  inv.out += "\n";
+
+  // Download phase uses the sandbox (same drop as update).
+  kernel::Process fetcher = inv.proc.clone();
+  if (int rc = drop_to_sandbox(inv, fetcher); rc != 0) {
+    inv.err += "E: Unable to fetch some archives\n";
+    return 100;
+  }
+
+  for (const Package* pkg : plan) {
+    inv.out += "Unpacking " + pkg->name + " (" + pkg->version + ") ...\n";
+    if (int rc = run_scriptlet(inv, pkg->pre_install); rc != 0) {
+      inv.err += "dpkg: error processing package " + pkg->name +
+                 " (--configure): preinst failed\n";
+      return 100;
+    }
+    if (auto failure = unpack_package(inv.proc, *pkg)) {
+      inv.err += "dpkg: error processing archive /var/cache/apt/archives/" +
+                 pkg->name + "_" + pkg->version + "_amd64.deb (--unpack):\n";
+      inv.err += " unable to " + failure->op + " '" + failure->path + "': " +
+                 std::string(err_message(failure->err)) + "\n";
+      inv.err += "E: Sub-process /usr/bin/dpkg returned an error code (1)\n";
+      return 100;
+    }
+    dpkg_record_install(inv.proc, *pkg);
+  }
+  for (const Package* pkg : plan) {
+    inv.out += "Setting up " + pkg->name + " (" + pkg->version + ") ...\n";
+    if (int rc = run_scriptlet(inv, pkg->post_install); rc != 0) {
+      inv.err += "dpkg: error processing package " + pkg->name +
+                 " (--configure): postinst failed\n";
+      return 100;
+    }
+  }
+  inv.out += "Processing triggers for libc-bin (2.28-10) ...\n";
+
+  // apt keeps its log files owned root:adm; in a Type III container this
+  // chown fails and apt only warns (Fig 9 line 21).
+  ensure_dir(inv.proc, "/var/log/apt");
+  (void)inv.proc.sys->write_file(inv.proc, "/var/log/apt/term.log", "", true);
+  vfs::Gid adm_gid = 4;
+  if (auto text = inv.proc.sys->read_file(inv.proc, "/etc/group"); text.ok()) {
+    if (auto g = kernel::GroupDb::parse(*text).by_name("adm")) {
+      adm_gid = g->gid;
+    }
+  }
+  if (auto rc = inv.proc.sys->chown(inv.proc, "/var/log/apt/term.log", 0,
+                                    adm_gid, true);
+      !rc.ok()) {
+    inv.out += "W: chown to root:adm of file /var/log/apt/term.log failed - "
+               "AutoFlushLogFiles (" +
+               std::to_string(err_value(rc.error())) + ": " +
+               std::string(err_message(rc.error())) + ")\n";
+  }
+  return 0;
+}
+
+int cmd_apt_get(shell::Invocation& inv, const RepoUniversePtr& universe) {
+  std::string subcommand;
+  std::vector<std::string> names;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a == "-y" || a == "-q" || a == "-qq" || starts_with(a, "--")) continue;
+    if (subcommand.empty()) {
+      subcommand = a;
+    } else {
+      names.push_back(a);
+    }
+  }
+  if (subcommand == "update") return apt_update(inv, *universe);
+  if (subcommand == "install") return apt_install(inv, *universe, names);
+  inv.err += "E: Invalid operation " + subcommand + "\n";
+  return 100;
+}
+
+int cmd_apt_config(shell::Invocation& inv) {
+  if (inv.args.size() >= 2 && inv.args[1] == "dump") {
+    for (const auto& [k, v] : apt_config(inv.proc)) {
+      inv.out += k + " \"" + v + "\";\n";
+    }
+    return 0;
+  }
+  inv.err += "apt-config: unsupported invocation\n";
+  return 1;
+}
+
+int cmd_dpkg(shell::Invocation& inv) {
+  if (inv.args.size() >= 2 && inv.args[1] == "-l") {
+    for (const auto& s : dpkg_status(inv.proc)) {
+      inv.out += "ii  " + s.name + "  " + s.version + "\n";
+    }
+    return 0;
+  }
+  if (inv.args.size() >= 3 && inv.args[1] == "-s") {
+    for (const auto& s : dpkg_status(inv.proc)) {
+      if (s.name == inv.args[2]) {
+        inv.out += "Package: " + s.name + "\nStatus: install ok installed\n" +
+                   "Version: " + s.version + "\n";
+        return 0;
+      }
+    }
+    inv.err += "dpkg-query: package '" + inv.args[2] + "' is not installed\n";
+    return 1;
+  }
+  inv.err += "dpkg: unsupported invocation\n";
+  return 1;
+}
+
+}  // namespace
+
+std::vector<std::string> apt_sources(kernel::Process& p) {
+  std::vector<std::string> out;
+  auto text = p.sys->read_file(p, "/etc/apt/sources.list");
+  if (!text.ok()) return out;
+  for (const auto& raw : split(*text, '\n')) {
+    const std::string line(trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_ws(line);
+    if (fields.size() >= 2 && fields[0] == "deb" &&
+        starts_with(fields[1], "repo://")) {
+      out.push_back(fields[1].substr(7));
+    }
+  }
+  return out;
+}
+
+bool apt_lists_present(kernel::Process& p, const std::string& repo_id) {
+  return p.sys
+      ->stat(p, std::string(kListsDir) + "/" + repo_id + "_Packages")
+      .ok();
+}
+
+bool dpkg_is_installed(kernel::Process& p, const std::string& name) {
+  for (const auto& s : dpkg_status(p)) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+void dpkg_record_install(kernel::Process& p, const Package& pkg) {
+  ensure_dir(p, "/var/lib/dpkg");
+  (void)p.sys->write_file(p, kStatusPath,
+                          "Package: " + pkg.name + "\nVersion: " +
+                              pkg.version +
+                              "\nStatus: install ok installed\n\n",
+                          /*append=*/true);
+}
+
+void register_apt_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe) {
+  reg.register_external("apt-get", [universe](shell::Invocation& inv) {
+    return cmd_apt_get(inv, universe);
+  });
+  reg.register_external("apt", [universe](shell::Invocation& inv) {
+    return cmd_apt_get(inv, universe);
+  });
+  reg.register_external("apt-config", cmd_apt_config);
+  reg.register_external("dpkg", cmd_dpkg);
+}
+
+}  // namespace minicon::pkg

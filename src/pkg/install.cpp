@@ -1,0 +1,132 @@
+#include "pkg/install.hpp"
+
+#include "kernel/syscalls.hpp"
+#include "kernel/userdb.hpp"
+#include "support/path.hpp"
+
+namespace minicon::pkg {
+
+namespace {
+
+// Resolves a package owner/group name against the image databases; system
+// accounts are created by %pre scriptlets before unpack, exactly like real
+// packages do.
+std::optional<vfs::Uid> resolve_uid(kernel::Process& p,
+                                    const std::string& name) {
+  if (name == "root") return 0;
+  auto text = p.sys->read_file(p, "/etc/passwd");
+  if (!text.ok()) return std::nullopt;
+  auto entry = kernel::PasswdDb::parse(*text).by_name(name);
+  if (!entry) return std::nullopt;
+  return entry->uid;
+}
+
+std::optional<vfs::Gid> resolve_gid(kernel::Process& p,
+                                    const std::string& name) {
+  if (name == "root") return 0;
+  auto text = p.sys->read_file(p, "/etc/group");
+  if (!text.ok()) return std::nullopt;
+  auto entry = kernel::GroupDb::parse(*text).by_name(name);
+  if (!entry) return std::nullopt;
+  return entry->gid;
+}
+
+VoidResult ensure_parents(kernel::Process& p, const std::string& path) {
+  const std::string dir = path_dirname(path);
+  std::string cur = "/";
+  for (const auto& comp : path_components(dir)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (p.sys->stat(p, cur).ok()) continue;
+    MINICON_TRY(p.sys->mkdir(p, cur, 0755));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<UnpackError> unpack_package(kernel::Process& p,
+                                          const Package& pkg) {
+  const bool as_root = p.sys->geteuid(p) == 0;
+  for (const auto& f : pkg.files) {
+    if (auto rc = ensure_parents(p, f.path); !rc.ok()) {
+      return UnpackError{f.path, "mkdir", rc.error()};
+    }
+    // Replace any existing payload (package upgrades).
+    if (auto st = p.sys->lstat(p, f.path); st.ok() && !st->is_dir()) {
+      (void)p.sys->unlink(p, f.path);
+    }
+    switch (f.type) {
+      case vfs::FileType::Regular: {
+        if (auto rc = p.sys->write_file(p, f.path, f.content, false, f.mode);
+            !rc.ok()) {
+          return UnpackError{f.path, "write", rc.error()};
+        }
+        if (auto rc = p.sys->chmod(p, f.path, f.mode); !rc.ok()) {
+          return UnpackError{f.path, "chmod", rc.error()};
+        }
+        break;
+      }
+      case vfs::FileType::Directory: {
+        if (!p.sys->stat(p, f.path).ok()) {
+          if (auto rc = p.sys->mkdir(p, f.path, f.mode); !rc.ok()) {
+            return UnpackError{f.path, "mkdir", rc.error()};
+          }
+        }
+        break;
+      }
+      case vfs::FileType::Symlink: {
+        if (auto rc = p.sys->symlink(p, f.content, f.path); !rc.ok()) {
+          return UnpackError{f.path, "symlink", rc.error()};
+        }
+        break;
+      }
+      case vfs::FileType::CharDev:
+      case vfs::FileType::BlockDev:
+      case vfs::FileType::Fifo: {
+        if (auto rc = p.sys->mknod(p, f.path, f.type, f.mode, f.dev_major,
+                                   f.dev_minor);
+            !rc.ok()) {
+          return UnpackError{f.path, "mknod", rc.error()};
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (as_root && f.type != vfs::FileType::Symlink) {
+      // cpio/dpkg restore archive ownership whenever running as root. The
+      // names translate through the *image's* databases to namespace IDs;
+      // the kernel then translates those to host IDs — or refuses (§2.1.1).
+      const auto uid = resolve_uid(p, f.owner);
+      const auto gid = resolve_gid(p, f.group);
+      if (!uid || !gid) {
+        return UnpackError{f.path, "chown", Err::einval};
+      }
+      if (auto rc = p.sys->chown(p, f.path, *uid, *gid, /*follow=*/false);
+          !rc.ok()) {
+        return UnpackError{f.path, "chown", rc.error()};
+      }
+      // chown clears setuid/setgid bits; the archive mode is authoritative,
+      // so restore it the way cpio does.
+      if (f.type == vfs::FileType::Regular &&
+          (f.mode & (vfs::mode::kSetUid | vfs::mode::kSetGid)) != 0) {
+        if (auto rc = p.sys->chmod(p, f.path, f.mode); !rc.ok()) {
+          return UnpackError{f.path, "chmod", rc.error()};
+        }
+      }
+    }
+    if (!f.caps.empty()) {
+      // setcap(8): a security.capability xattr; requires real privilege or a
+      // wrapper that fakes security xattrs (pseudo can, classic fakeroot
+      // cannot — Table 1).
+      if (auto rc =
+              p.sys->set_xattr(p, f.path, "security.capability", f.caps);
+          !rc.ok()) {
+        return UnpackError{f.path, "setcap", rc.error()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace minicon::pkg

@@ -1,0 +1,30 @@
+// Shared payload-unpack routine (cpio for rpm, dpkg-deb for apt).
+//
+// Mirrors how archives are unpacked by a package manager running "as root":
+// create parents, write the payload, apply modes, then apply ownership with
+// chown(2) — the exact step that fails in a basic Type III container (Fig 2:
+// "cpio: chown"). Ownership is only attempted when the process believes it
+// is root, which is how the same code succeeds under fakeroot(1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "kernel/process.hpp"
+#include "pkg/package.hpp"
+#include "support/errno.hpp"
+
+namespace minicon::pkg {
+
+struct UnpackError {
+  std::string path;  // file that failed
+  std::string op;    // "chown", "mknod", "setcap", "write"
+  Err err = Err::eperm;
+};
+
+// Unpacks pkg's files into the filesystem as process p. Returns nullopt on
+// success or the first failure.
+std::optional<UnpackError> unpack_package(kernel::Process& p,
+                                          const Package& pkg);
+
+}  // namespace minicon::pkg

@@ -1,0 +1,46 @@
+// Package manager front-ends: yum/rpm (RPM personality) and
+// apt-get/apt-config/dpkg (Debian personality).
+//
+// Both are implemented as shell commands against the syscall layer, so they
+// behave correctly under every privilege model: real root (Type I), mapped
+// root (Type II), fake root via wrapper (Type III + fakeroot), and plain
+// unprivileged (the Fig 2/3 failures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/process.hpp"
+#include "pkg/package.hpp"
+#include "shell/registry.hpp"
+
+namespace minicon::pkg {
+
+// Registers yum, dnf, rpm, yum-config-manager, apt-get, apt, apt-config,
+// and dpkg. The universe is captured by the command closures (it stands in
+// for the network the managers download from).
+void register_pkg_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe);
+
+// --- installed-package databases (shared with builders and tests) ----------
+
+// RPM: /var/lib/rpm/installed, one "name version arch" line per package.
+std::vector<std::string> rpm_installed(kernel::Process& p);
+bool rpm_is_installed(kernel::Process& p, const std::string& name);
+void rpm_record_install(kernel::Process& p, const Package& pkg);
+
+// dpkg: /var/lib/dpkg/status stanzas.
+bool dpkg_is_installed(kernel::Process& p, const std::string& name);
+void dpkg_record_install(kernel::Process& p, const Package& pkg);
+
+// Enabled yum repositories (universe ids) per /etc/yum.conf +
+// /etc/yum.repos.d/*.repo.
+std::vector<std::string> yum_enabled_repos(kernel::Process& p);
+
+// APT sources (universe ids) per /etc/apt/sources.list.
+std::vector<std::string> apt_sources(kernel::Process& p);
+
+// True when `apt-get update` has fetched indexes for the given repo.
+bool apt_lists_present(kernel::Process& p, const std::string& repo_id);
+
+}  // namespace minicon::pkg

@@ -1,0 +1,103 @@
+// Package model and repositories.
+//
+// The paper's central failure mode (§2.3) is caused by package *metadata*:
+// distribution packages carry per-file ownership, setuid/setgid bits,
+// device nodes, and maintainer scriptlets that perform privileged syscalls.
+// Packages here carry exactly that metadata, so the failures in Figs 2-3
+// arise from first principles rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vfs/types.hpp"
+
+namespace minicon::pkg {
+
+struct PackageFile {
+  std::string path;  // absolute path inside the image
+  vfs::FileType type = vfs::FileType::Regular;
+  std::uint32_t mode = 0644;
+  std::string owner = "root";  // resolved against the image's /etc/passwd
+  std::string group = "root";
+  std::string content;  // file data or symlink target
+  std::uint32_t dev_major = 0;
+  std::uint32_t dev_minor = 0;
+  // Non-empty: file capabilities applied via setcap(8) at install time
+  // (a security.capability xattr — classic fakeroot cannot fake it).
+  std::string caps;
+};
+
+struct Package {
+  std::string name;
+  std::string version;  // e.g. "7.4p1-21.el7"
+  std::string arch = "noarch";
+  std::vector<std::string> depends;
+  std::vector<PackageFile> files;
+  std::string pre_install;   // %pre / preinst scriptlet (shell)
+  std::string post_install;  // %post / postinst scriptlet (shell)
+
+  // "openssh-7.4p1-21.el7.x86_64"-style NEVRA label.
+  std::string label() const { return name + "-" + version + "." + arch; }
+
+  std::uint64_t payload_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& f : files) total += f.content.size();
+    return total;
+  }
+};
+
+// One package repository ("base", "epel", "debian10-main", ...).
+class Repository {
+ public:
+  explicit Repository(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+
+  void add(Package p) { packages_[p.name] = std::move(p); }
+  const Package* find(const std::string& name) const {
+    auto it = packages_.find(name);
+    return it == packages_.end() ? nullptr : &it->second;
+  }
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(packages_.size());
+    for (const auto& [name, _] : packages_) out.push_back(name);
+    return out;
+  }
+  std::size_t size() const { return packages_.size(); }
+  std::uint64_t index_bytes() const {
+    // Synthetic index size, for apt-get update's "Fetched N kB" line.
+    return 8422 * 1024;
+  }
+
+ private:
+  std::string id_;
+  std::map<std::string, Package> packages_;
+};
+
+// All repositories reachable from a simulated network. Containers reference
+// them by id through their repo configuration files (yum.repos.d,
+// sources.list).
+class RepoUniverse {
+ public:
+  Repository& create(const std::string& id) {
+    auto [it, _] = repos_.try_emplace(id, Repository{id});
+    return it->second;
+  }
+  const Repository* find(const std::string& id) const {
+    auto it = repos_.find(id);
+    return it == repos_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, Repository> repos_;
+};
+
+using RepoUniversePtr = std::shared_ptr<RepoUniverse>;
+
+}  // namespace minicon::pkg

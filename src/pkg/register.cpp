@@ -1,0 +1,16 @@
+#include "pkg/managers.hpp"
+
+namespace minicon::pkg {
+
+void register_rpm_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe);
+void register_apt_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe);
+
+void register_pkg_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe) {
+  register_rpm_commands(reg, universe);
+  register_apt_commands(reg, std::move(universe));
+}
+
+}  // namespace minicon::pkg

@@ -1,0 +1,399 @@
+// RPM personality: yum(8), rpm(8), yum-config-manager(8).
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "kernel/syscalls.hpp"
+#include "pkg/install.hpp"
+#include "pkg/managers.hpp"
+#include "pkg/package.hpp"
+#include "shell/shell.hpp"
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::pkg {
+
+namespace {
+
+constexpr const char* kRpmDbPath = "/var/lib/rpm/installed";
+
+void ensure_dir(kernel::Process& p, const std::string& dir) {
+  std::string cur = "/";
+  for (const auto& comp : path_components(dir)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (!p.sys->stat(p, cur).ok()) (void)p.sys->mkdir(p, cur, 0755);
+  }
+}
+
+// Minimal INI reader for yum repo files: returns (section, key) -> value.
+struct IniFile {
+  // Ordered sections, each with ordered key/value pairs, so rewriting
+  // preserves layout well enough.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string,
+                                                           std::string>>>>
+      sections;
+
+  static IniFile parse(const std::string& text) {
+    IniFile ini;
+    std::string current;
+    for (const auto& raw : split(text, '\n')) {
+      const std::string line(trim(raw));
+      if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+      if (line.front() == '[' && line.back() == ']') {
+        current = line.substr(1, line.size() - 2);
+        ini.sections.push_back({current, {}});
+        continue;
+      }
+      const auto eq = line.find('=');
+      if (eq == std::string::npos || ini.sections.empty()) continue;
+      ini.sections.back().second.emplace_back(
+          std::string(trim(line.substr(0, eq))),
+          std::string(trim(line.substr(eq + 1))));
+    }
+    return ini;
+  }
+
+  std::string format() const {
+    std::string out;
+    for (const auto& [name, keys] : sections) {
+      out += "[" + name + "]\n";
+      for (const auto& [k, v] : keys) out += k + "=" + v + "\n";
+    }
+    return out;
+  }
+
+  const std::string* get(const std::string& section,
+                         const std::string& key) const {
+    for (const auto& [name, keys] : sections) {
+      if (name != section) continue;
+      for (const auto& [k, v] : keys) {
+        if (k == key) return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  bool set(const std::string& section, const std::string& key,
+           const std::string& value) {
+    for (auto& [name, keys] : sections) {
+      if (name != section) continue;
+      for (auto& [k, v] : keys) {
+        if (k == key) {
+          v = value;
+          return true;
+        }
+      }
+      keys.emplace_back(key, value);
+      return true;
+    }
+    return false;
+  }
+};
+
+std::vector<std::string> repo_config_files(kernel::Process& p) {
+  std::vector<std::string> files{"/etc/yum.conf"};
+  if (auto entries = p.sys->readdir(p, "/etc/yum.repos.d"); entries.ok()) {
+    for (const auto& e : *entries) {
+      if (ends_with(e.name, ".repo")) {
+        files.push_back("/etc/yum.repos.d/" + e.name);
+      }
+    }
+  }
+  return files;
+}
+
+struct RepoConfig {
+  std::string section;  // repo id as named in config ("base", "epel")
+  std::string universe_id;
+  bool enabled = true;
+  std::string file;
+};
+
+std::vector<RepoConfig> parse_repo_configs(kernel::Process& p) {
+  std::vector<RepoConfig> out;
+  for (const auto& file : repo_config_files(p)) {
+    auto text = p.sys->read_file(p, file);
+    if (!text.ok()) continue;
+    const IniFile ini = IniFile::parse(*text);
+    for (const auto& [section, keys] : ini.sections) {
+      if (section == "main") continue;
+      RepoConfig rc;
+      rc.section = section;
+      rc.file = file;
+      for (const auto& [k, v] : keys) {
+        if (k == "baseurl" && starts_with(v, "repo://")) {
+          rc.universe_id = v.substr(7);
+        }
+        if (k == "enabled") rc.enabled = v != "0";
+      }
+      if (!rc.universe_id.empty()) out.push_back(std::move(rc));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> rpm_installed(kernel::Process& p) {
+  auto text = p.sys->read_file(p, kRpmDbPath);
+  if (!text.ok()) return {};
+  std::vector<std::string> out;
+  for (const auto& line : split(*text, '\n')) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+bool rpm_is_installed(kernel::Process& p, const std::string& name) {
+  for (const auto& line : rpm_installed(p)) {
+    const auto fields = split_ws(line);
+    if (!fields.empty() && fields[0] == name) return true;
+  }
+  return false;
+}
+
+void rpm_record_install(kernel::Process& p, const Package& pkg) {
+  ensure_dir(p, "/var/lib/rpm");
+  (void)p.sys->write_file(
+      p, kRpmDbPath, pkg.name + " " + pkg.version + " " + pkg.arch + "\n",
+      /*append=*/true);
+}
+
+std::vector<std::string> yum_enabled_repos(kernel::Process& p) {
+  std::vector<std::string> out;
+  for (const auto& rc : parse_repo_configs(p)) {
+    if (rc.enabled) out.push_back(rc.universe_id);
+  }
+  return out;
+}
+
+namespace {
+
+// Dependency-ordered closure of packages to install.
+int resolve_install_set(shell::Invocation& inv, const RepoUniverse& universe,
+                        const std::vector<std::string>& enabled,
+                        const std::vector<std::string>& wanted,
+                        std::vector<const Package*>& out) {
+  std::set<std::string> visiting, done;
+  std::function<int(const std::string&)> visit =
+      [&](const std::string& name) -> int {
+    if (done.contains(name)) return 0;
+    if (visiting.contains(name)) return 0;  // dependency cycle: tolerate
+    if (rpm_is_installed(inv.proc, name)) {
+      done.insert(name);
+      return 0;
+    }
+    visiting.insert(name);
+    const Package* pkg = nullptr;
+    for (const auto& repo_id : enabled) {
+      const Repository* repo = universe.find(repo_id);
+      if (repo == nullptr) continue;
+      if (const Package* found = repo->find(name)) {
+        pkg = found;
+        break;
+      }
+    }
+    if (pkg == nullptr) {
+      inv.err += "No package " + name + " available.\n";
+      return 1;
+    }
+    for (const auto& dep : pkg->depends) {
+      if (int rc = visit(dep); rc != 0) return rc;
+    }
+    visiting.erase(name);
+    done.insert(name);
+    out.push_back(pkg);
+    return 0;
+  };
+  for (const auto& name : wanted) {
+    if (int rc = visit(name); rc != 0) return rc;
+  }
+  return 0;
+}
+
+int run_scriptlet(shell::Invocation& inv, const std::string& script) {
+  if (script.empty()) return 0;
+  kernel::Process child = inv.proc.clone();
+  shell::ShellState state;
+  state.registry = inv.state.registry;
+  state.shell = inv.state.shell;
+  state.depth = inv.state.depth + 1;
+  return inv.state.shell->run_with_state(child, script, inv.out, inv.err, "",
+                                         state);
+}
+
+int yum_install(shell::Invocation& inv, const RepoUniverse& universe,
+                const std::vector<std::string>& names,
+                const std::vector<std::string>& extra_enabled) {
+  if (inv.proc.sys->geteuid(inv.proc) != 0) {
+    inv.err += "You need to be root to perform this command.\n";
+    return 1;
+  }
+  std::vector<std::string> enabled = yum_enabled_repos(inv.proc);
+  for (const auto& e : extra_enabled) {
+    for (const auto& rc : parse_repo_configs(inv.proc)) {
+      if (rc.section == e) enabled.push_back(rc.universe_id);
+    }
+  }
+
+  std::vector<std::string> to_install;
+  for (const auto& name : names) {
+    if (rpm_is_installed(inv.proc, name)) {
+      inv.out += "Package " + name +
+                 " already installed and latest version\n";
+      continue;
+    }
+    to_install.push_back(name);
+  }
+  if (to_install.empty()) {
+    inv.out += "Nothing to do\n";
+    return 0;
+  }
+
+  std::vector<const Package*> plan;
+  if (int rc = resolve_install_set(inv, universe, enabled, to_install, plan);
+      rc != 0) {
+    inv.err += "Error: Nothing to do\n";
+    return 1;
+  }
+  inv.out += "Resolving Dependencies\n";
+  for (const Package* pkg : plan) {
+    if (int rc = run_scriptlet(inv, pkg->pre_install); rc != 0) {
+      inv.err += "error: %pre scriptlet failed for " + pkg->label() + "\n";
+      return 1;
+    }
+    inv.out += "  Installing: " + pkg->label() + "\n";
+    if (auto failure = unpack_package(inv.proc, *pkg)) {
+      inv.out += "Error unpacking rpm package " + pkg->label() + "\n";
+      inv.err += "error: unpacking of archive failed on file " +
+                 failure->path + ": cpio: " + failure->op + "\n";
+      inv.err += "error: " + pkg->label() + ": install failed\n";
+      return 1;
+    }
+    if (int rc = run_scriptlet(inv, pkg->post_install); rc != 0) {
+      inv.err +=
+          "warning: %post(" + pkg->label() + ") scriptlet failed\n";
+    }
+    rpm_record_install(inv.proc, *pkg);
+  }
+  inv.out += "Complete!\n";
+  return 0;
+}
+
+int cmd_yum(shell::Invocation& inv, const RepoUniversePtr& universe) {
+  std::vector<std::string> names;
+  std::vector<std::string> extra_enabled;
+  std::string subcommand;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a == "-y" || a == "--assumeyes" || a == "-q") continue;
+    if (starts_with(a, "--enablerepo=")) {
+      extra_enabled.push_back(a.substr(13));
+      continue;
+    }
+    if (starts_with(a, "--")) continue;
+    if (subcommand.empty()) {
+      subcommand = a;
+    } else {
+      names.push_back(a);
+    }
+  }
+  if (subcommand == "install") {
+    return yum_install(inv, *universe, names, extra_enabled);
+  }
+  if (subcommand == "repolist") {
+    for (const auto& rc : parse_repo_configs(inv.proc)) {
+      inv.out += rc.section + (rc.enabled ? " enabled" : " disabled") + "\n";
+    }
+    return 0;
+  }
+  inv.err += "yum: unsupported subcommand '" + subcommand + "'\n";
+  return 1;
+}
+
+int cmd_yum_config_manager(shell::Invocation& inv) {
+  // yum-config-manager --disable ID | --enable ID
+  std::string target;
+  bool enable = false;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "--disable" && i + 1 < inv.args.size()) {
+      target = inv.args[++i];
+      enable = false;
+    } else if (inv.args[i] == "--enable" && i + 1 < inv.args.size()) {
+      target = inv.args[++i];
+      enable = true;
+    }
+  }
+  if (target.empty()) {
+    inv.err += "yum-config-manager: missing repo id\n";
+    return 1;
+  }
+  for (const auto& file : repo_config_files(inv.proc)) {
+    auto text = inv.proc.sys->read_file(inv.proc, file);
+    if (!text.ok()) continue;
+    IniFile ini = IniFile::parse(*text);
+    bool found = false;
+    for (const auto& [section, _] : ini.sections) {
+      if (section == target) found = true;
+    }
+    if (!found) continue;
+    ini.set(target, "enabled", enable ? "1" : "0");
+    if (auto rc =
+            inv.proc.sys->write_file(inv.proc, file, ini.format(), false);
+        !rc.ok()) {
+      inv.err += "yum-config-manager: cannot write " + file + "\n";
+      return 1;
+    }
+    return 0;
+  }
+  inv.err += "yum-config-manager: no repo named " + target + "\n";
+  return 1;
+}
+
+int cmd_rpm(shell::Invocation& inv) {
+  if (inv.args.size() >= 2 && inv.args[1] == "-qa") {
+    for (const auto& line : rpm_installed(inv.proc)) {
+      const auto fields = split_ws(line);
+      if (fields.size() >= 3) {
+        inv.out += fields[0] + "-" + fields[1] + "." + fields[2] + "\n";
+      }
+    }
+    return 0;
+  }
+  if (inv.args.size() >= 3 && inv.args[1] == "-q") {
+    int status = 0;
+    for (std::size_t i = 2; i < inv.args.size(); ++i) {
+      bool found = false;
+      for (const auto& line : rpm_installed(inv.proc)) {
+        const auto fields = split_ws(line);
+        if (fields.size() >= 3 && fields[0] == inv.args[i]) {
+          inv.out += fields[0] + "-" + fields[1] + "." + fields[2] + "\n";
+          found = true;
+        }
+      }
+      if (!found) {
+        inv.out += "package " + inv.args[i] + " is not installed\n";
+        status = 1;
+      }
+    }
+    return status;
+  }
+  inv.err += "rpm: unsupported invocation\n";
+  return 1;
+}
+
+}  // namespace
+
+void register_rpm_commands(shell::CommandRegistry& reg,
+                           RepoUniversePtr universe) {
+  reg.register_external("yum", [universe](shell::Invocation& inv) {
+    return cmd_yum(inv, universe);
+  });
+  reg.register_external("dnf", [universe](shell::Invocation& inv) {
+    return cmd_yum(inv, universe);
+  });
+  reg.register_external("rpm", cmd_rpm);
+  reg.register_external("yum-config-manager", cmd_yum_config_manager);
+}
+
+}  // namespace minicon::pkg

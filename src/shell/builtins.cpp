@@ -1,0 +1,1229 @@
+// Standard commands: shell special builtins + the coreutils subset that
+// distro scriptlets, init steps, and the paper's figures exercise.
+#include <regex>
+
+#include "kernel/syscalls.hpp"
+#include "kernel/userdb.hpp"
+#include "shell/shell.hpp"
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::shell {
+
+namespace {
+
+using kernel::Process;
+
+// --- small helpers -----------------------------------------------------------
+
+int complain(Invocation& inv, const std::string& what, Err e) {
+  inv.err += inv.args[0] + ": " + what + ": " +
+             std::string(err_message(e)) + "\n";
+  return 1;
+}
+
+// Reads the container's /etc/passwd and /etc/group (may be absent).
+kernel::PasswdDb load_passwd(Invocation& inv) {
+  auto text = inv.proc.sys->read_file(inv.proc, "/etc/passwd");
+  return kernel::PasswdDb::parse(text.ok() ? *text : "");
+}
+
+kernel::GroupDb load_group(Invocation& inv) {
+  auto text = inv.proc.sys->read_file(inv.proc, "/etc/group");
+  return kernel::GroupDb::parse(text.ok() ? *text : "");
+}
+
+std::string uid_name(const kernel::PasswdDb& db, vfs::Uid uid) {
+  if (auto e = db.by_uid(uid)) return e->name;
+  if (uid == vfs::kOverflowUid) return "nobody";
+  return std::to_string(uid);
+}
+
+std::string gid_name(const kernel::GroupDb& db, vfs::Gid gid) {
+  if (auto e = db.by_gid(gid)) return e->name;
+  if (gid == vfs::kOverflowGid) return "nogroup";
+  return std::to_string(gid);
+}
+
+// "alice", "1000", "alice:users", ":users" -> ids. Returns false on unknown
+// name.
+bool parse_owner_spec(Invocation& inv, const std::string& spec, vfs::Uid& uid,
+                      vfs::Gid& gid) {
+  uid = vfs::kNoChangeId;
+  gid = vfs::kNoChangeId;
+  std::string user = spec, group;
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    user = spec.substr(0, colon);
+    group = spec.substr(colon + 1);
+  }
+  if (!user.empty()) {
+    if (!parse_u32(user, uid)) {
+      auto db = load_passwd(inv);
+      auto e = db.by_name(user);
+      if (!e) return false;
+      uid = e->uid;
+    }
+  }
+  if (!group.empty()) {
+    if (!parse_u32(group, gid)) {
+      auto db = load_group(inv);
+      auto e = db.by_name(group);
+      if (!e) return false;
+      gid = e->gid;
+    }
+  }
+  return true;
+}
+
+std::string human_size(std::uint64_t n) {
+  if (n < 1024) return std::to_string(n);
+  const char* units = "KMGTP";
+  double v = static_cast<double>(n);
+  int u = -1;
+  while (v >= 1024 && u < 4) {
+    v /= 1024;
+    ++u;
+  }
+  char buf[32];
+  if (v < 10) {
+    std::snprintf(buf, sizeof buf, "%.1f%c", v, units[u]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f%c", v, units[u]);
+  }
+  return buf;
+}
+
+// Options shared by recursive commands: expands a path list depth-first.
+VoidResult for_each_recursive(Invocation& inv, const std::string& path,
+                              const std::function<VoidResult(
+                                  const std::string&, const vfs::Stat&)>& fn) {
+  MINICON_TRY_ASSIGN(st, inv.proc.sys->lstat(inv.proc, path));
+  MINICON_TRY(fn(path, st));
+  if (st.is_dir()) {
+    MINICON_TRY_ASSIGN(entries, inv.proc.sys->readdir(inv.proc, path));
+    for (const auto& e : entries) {
+      MINICON_TRY(for_each_recursive(inv, path_join(path, e.name), fn));
+    }
+  }
+  return {};
+}
+
+// --- special builtins ---------------------------------------------------------
+
+int cmd_true(Invocation&) { return 0; }
+int cmd_false(Invocation&) { return 1; }
+
+int cmd_echo(Invocation& inv) {
+  bool newline = true;
+  std::size_t start = 1;
+  if (inv.args.size() > 1 && inv.args[1] == "-n") {
+    newline = false;
+    start = 2;
+  }
+  for (std::size_t i = start; i < inv.args.size(); ++i) {
+    if (i > start) inv.out += ' ';
+    inv.out += inv.args[i];
+  }
+  if (newline) inv.out += '\n';
+  return 0;
+}
+
+int cmd_cd(Invocation& inv) {
+  const std::string target =
+      inv.args.size() > 1 ? inv.args[1] : inv.proc.env_get("HOME");
+  if (auto rc = inv.proc.sys->chdir(inv.proc, target.empty() ? "/" : target);
+      !rc.ok()) {
+    return complain(inv, target, rc.error());
+  }
+  return 0;
+}
+
+int cmd_pwd(Invocation& inv) {
+  inv.out += inv.proc.cwd + "\n";
+  return 0;
+}
+
+int cmd_set(Invocation& inv) {
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.size() < 2 || (a[0] != '-' && a[0] != '+')) continue;
+    const bool enable = a[0] == '-';
+    for (std::size_t j = 1; j < a.size(); ++j) {
+      if (a[j] == 'e') inv.state.errexit = enable;
+      if (a[j] == 'x') inv.state.xtrace = enable;
+    }
+  }
+  return 0;
+}
+
+int cmd_export(Invocation& inv) {
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const auto eq = inv.args[i].find('=');
+    if (eq != std::string::npos) {
+      inv.proc.env[inv.args[i].substr(0, eq)] = inv.args[i].substr(eq + 1);
+    }
+  }
+  return 0;
+}
+
+int cmd_umask(Invocation& inv) {
+  if (inv.args.size() < 2) {
+    inv.out += format_octal(inv.proc.umask_bits, 4) + "\n";
+    return 0;
+  }
+  std::uint32_t value = 0;
+  for (char c : inv.args[1]) {
+    if (c < '0' || c > '7') return 1;
+    value = value * 8 + static_cast<std::uint32_t>(c - '0');
+  }
+  inv.proc.umask_bits = value & 0777;
+  return 0;
+}
+
+int cmd_test(Invocation& inv) {
+  std::vector<std::string> a(inv.args.begin() + 1, inv.args.end());
+  if (inv.args[0] == "[") {
+    if (a.empty() || a.back() != "]") {
+      inv.err += "[: missing ]\n";
+      return 2;
+    }
+    a.pop_back();
+  }
+  bool negate = false;
+  while (!a.empty() && a.front() == "!") {
+    negate = !negate;
+    a.erase(a.begin());
+  }
+  bool result = false;
+  auto& sys = *inv.proc.sys;
+  if (a.empty()) {
+    result = false;
+  } else if (a.size() == 1) {
+    result = !a[0].empty();
+  } else if (a.size() == 2) {
+    const std::string& op = a[0];
+    const std::string& val = a[1];
+    if (op == "-z") {
+      result = val.empty();
+    } else if (op == "-n") {
+      result = !val.empty();
+    } else if (op == "-e") {
+      result = sys.stat(inv.proc, val).ok();
+    } else if (op == "-f") {
+      auto st = sys.stat(inv.proc, val);
+      result = st.ok() && st->type == vfs::FileType::Regular;
+    } else if (op == "-d") {
+      auto st = sys.stat(inv.proc, val);
+      result = st.ok() && st->is_dir();
+    } else if (op == "-L" || op == "-h") {
+      auto st = sys.lstat(inv.proc, val);
+      result = st.ok() && st->is_symlink();
+    } else if (op == "-x") {
+      result = sys.access(inv.proc, val, kernel::kExecOk).ok();
+    } else if (op == "-r") {
+      result = sys.access(inv.proc, val, kernel::kReadOk).ok();
+    } else if (op == "-w") {
+      result = sys.access(inv.proc, val, kernel::kWriteOk).ok();
+    } else if (op == "-s") {
+      auto st = sys.stat(inv.proc, val);
+      result = st.ok() && st->size > 0;
+    } else {
+      inv.err += "test: unknown operator " + op + "\n";
+      return 2;
+    }
+  } else if (a.size() == 3) {
+    const std::string& lhs = a[0];
+    const std::string& op = a[1];
+    const std::string& rhs = a[2];
+    std::uint64_t l = 0, r = 0;
+    const bool numeric = parse_u64(lhs, l) && parse_u64(rhs, r);
+    if (op == "=" || op == "==") {
+      result = lhs == rhs;
+    } else if (op == "!=") {
+      result = lhs != rhs;
+    } else if (op == "-eq" && numeric) {
+      result = l == r;
+    } else if (op == "-ne" && numeric) {
+      result = l != r;
+    } else if (op == "-lt" && numeric) {
+      result = l < r;
+    } else if (op == "-le" && numeric) {
+      result = l <= r;
+    } else if (op == "-gt" && numeric) {
+      result = l > r;
+    } else if (op == "-ge" && numeric) {
+      result = l >= r;
+    } else {
+      inv.err += "test: unknown operator " + op + "\n";
+      return 2;
+    }
+  } else {
+    inv.err += "test: too many arguments\n";
+    return 2;
+  }
+  if (negate) result = !result;
+  return result ? 0 : 1;
+}
+
+int cmd_command(Invocation& inv) {
+  if (inv.args.size() >= 3 && inv.args[1] == "-v") {
+    const std::string& name = inv.args[2];
+    if (inv.state.registry->find_special(name) != nullptr) {
+      inv.out += name + "\n";
+      return 0;
+    }
+    const std::string path = Shell::find_in_path(inv.proc, name);
+    if (path.empty()) return 1;
+    inv.out += path + "\n";
+    return 0;
+  }
+  if (inv.args.size() >= 2) {
+    std::vector<std::string> rest(inv.args.begin() + 1, inv.args.end());
+    return inv.state.shell->dispatch_argv(inv.proc, rest, inv.out, inv.err,
+                                          inv.stdin_data, inv.state);
+  }
+  return 0;
+}
+
+// --- coreutils ----------------------------------------------------------------
+
+int cmd_sh(Invocation& inv) {
+  // sh -c 'script' | sh script-file
+  kernel::Process child = inv.proc.clone();
+  ShellState state;
+  state.registry = inv.state.registry;
+  state.shell = inv.state.shell;
+  state.depth = inv.state.depth + 1;
+  if (inv.args.size() >= 3 && inv.args[1] == "-c") {
+    return inv.state.shell->run_with_state(child, inv.args[2], inv.out,
+                                           inv.err, inv.stdin_data, state);
+  }
+  if (inv.args.size() >= 2) {
+    auto script = inv.proc.sys->read_file(inv.proc, inv.args[1]);
+    if (!script.ok()) return complain(inv, inv.args[1], script.error());
+    return inv.state.shell->run_with_state(child, *script, inv.out, inv.err,
+                                           inv.stdin_data, state);
+  }
+  return 0;
+}
+
+int cmd_cat(Invocation& inv) {
+  if (inv.args.size() == 1) {
+    inv.out += inv.stdin_data;
+    return 0;
+  }
+  int status = 0;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-") {
+      inv.out += inv.stdin_data;
+      continue;
+    }
+    auto data = inv.proc.sys->read_file(inv.proc, inv.args[i]);
+    if (!data.ok()) {
+      status = complain(inv, inv.args[i], data.error());
+      continue;
+    }
+    inv.out += *data;
+  }
+  return status;
+}
+
+int cmd_touch(Invocation& inv) {
+  int status = 0;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i].starts_with("-")) continue;
+    if (inv.proc.sys->stat(inv.proc, inv.args[i]).ok()) continue;
+    if (auto rc = inv.proc.sys->write_file(inv.proc, inv.args[i], "", false);
+        !rc.ok()) {
+      status = complain(inv, inv.args[i], rc.error());
+    }
+  }
+  return status;
+}
+
+int cmd_mkdir(Invocation& inv) {
+  bool parents = false;
+  std::uint32_t mode = 0777;
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a == "-p") {
+      parents = true;
+    } else if (a == "-m" && i + 1 < inv.args.size()) {
+      std::uint32_t m = 0;
+      for (char c : inv.args[++i]) m = m * 8 + static_cast<std::uint32_t>(c - '0');
+      mode = m;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  int status = 0;
+  for (const auto& p : paths) {
+    if (parents) {
+      const std::string abs = path_normalize(
+          path_is_absolute(p) ? p : path_join(inv.proc.cwd, p));
+      std::string cur = "/";
+      for (const auto& comp : path_components(abs)) {
+        cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+        if (inv.proc.sys->stat(inv.proc, cur).ok()) continue;
+        if (auto rc = inv.proc.sys->mkdir(inv.proc, cur, mode); !rc.ok()) {
+          status = complain(inv, cur, rc.error());
+          break;
+        }
+      }
+    } else if (auto rc = inv.proc.sys->mkdir(inv.proc, p, mode); !rc.ok()) {
+      status = complain(inv, p, rc.error());
+    }
+  }
+  return status;
+}
+
+int cmd_rmdir(Invocation& inv) {
+  int status = 0;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (auto rc = inv.proc.sys->rmdir(inv.proc, inv.args[i]); !rc.ok()) {
+      status = complain(inv, inv.args[i], rc.error());
+    }
+  }
+  return status;
+}
+
+VoidResult rm_recursive(Invocation& inv, const std::string& path) {
+  MINICON_TRY_ASSIGN(st, inv.proc.sys->lstat(inv.proc, path));
+  if (st.is_dir()) {
+    MINICON_TRY_ASSIGN(entries, inv.proc.sys->readdir(inv.proc, path));
+    for (const auto& e : entries) {
+      MINICON_TRY(rm_recursive(inv, path_join(path, e.name)));
+    }
+    return inv.proc.sys->rmdir(inv.proc, path);
+  }
+  return inv.proc.sys->unlink(inv.proc, path);
+}
+
+int cmd_rm(Invocation& inv) {
+  bool recursive = false, force = false;
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-") && a.size() > 1 && a[1] != '-') {
+      if (a.find('r') != std::string::npos ||
+          a.find('R') != std::string::npos) {
+        recursive = true;
+      }
+      if (a.find('f') != std::string::npos) force = true;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  int status = 0;
+  for (const auto& p : paths) {
+    VoidResult rc =
+        recursive ? rm_recursive(inv, p) : inv.proc.sys->unlink(inv.proc, p);
+    if (!rc.ok() && !(force && rc.error() == Err::enoent)) {
+      status = complain(inv, p, rc.error());
+    }
+  }
+  return status;
+}
+
+VoidResult cp_one(Invocation& inv, const std::string& src,
+                  const std::string& dst, bool recursive, bool preserve) {
+  MINICON_TRY_ASSIGN(st, inv.proc.sys->lstat(inv.proc, src));
+  if (st.is_symlink()) {
+    MINICON_TRY_ASSIGN(target, inv.proc.sys->readlink(inv.proc, src));
+    return inv.proc.sys->symlink(inv.proc, target, dst);
+  }
+  if (st.is_dir()) {
+    if (!recursive) return Err::eisdir;
+    if (!inv.proc.sys->stat(inv.proc, dst).ok()) {
+      MINICON_TRY(inv.proc.sys->mkdir(inv.proc, dst, st.mode));
+    }
+    MINICON_TRY_ASSIGN(entries, inv.proc.sys->readdir(inv.proc, src));
+    for (const auto& e : entries) {
+      MINICON_TRY(cp_one(inv, path_join(src, e.name), path_join(dst, e.name),
+                         recursive, preserve));
+    }
+  } else {
+    MINICON_TRY_ASSIGN(data, inv.proc.sys->read_file(inv.proc, src));
+    MINICON_TRY(inv.proc.sys->write_file(inv.proc, dst, std::move(data), false,
+                                         st.mode));
+  }
+  if (preserve) {
+    (void)inv.proc.sys->chmod(inv.proc, dst, st.mode);
+    (void)inv.proc.sys->chown(inv.proc, dst, st.uid, st.gid, false);
+  }
+  return {};
+}
+
+int cmd_cp(Invocation& inv) {
+  bool recursive = false, preserve = false;
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-") && a.size() > 1) {
+      if (a.find('r') != std::string::npos ||
+          a.find('R') != std::string::npos || a.find('a') != std::string::npos) {
+        recursive = true;
+      }
+      if (a.find('p') != std::string::npos ||
+          a.find('a') != std::string::npos) {
+        preserve = true;
+      }
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() < 2) {
+    inv.err += "cp: missing operand\n";
+    return 1;
+  }
+  const std::string dst = paths.back();
+  paths.pop_back();
+  auto dst_st = inv.proc.sys->stat(inv.proc, dst);
+  const bool dst_is_dir = dst_st.ok() && dst_st->is_dir();
+  int status = 0;
+  for (const auto& src : paths) {
+    const std::string target =
+        dst_is_dir ? path_join(dst, path_basename(src)) : dst;
+    if (auto rc = cp_one(inv, src, target, recursive, preserve); !rc.ok()) {
+      status = complain(inv, src, rc.error());
+    }
+  }
+  return status;
+}
+
+int cmd_mv(Invocation& inv) {
+  if (inv.args.size() < 3) {
+    inv.err += "mv: missing operand\n";
+    return 1;
+  }
+  const std::string& src = inv.args[1];
+  std::string dst = inv.args[2];
+  auto dst_st = inv.proc.sys->stat(inv.proc, dst);
+  if (dst_st.ok() && dst_st->is_dir()) dst = path_join(dst, path_basename(src));
+  if (auto rc = inv.proc.sys->rename(inv.proc, src, dst); !rc.ok()) {
+    return complain(inv, src, rc.error());
+  }
+  return 0;
+}
+
+int cmd_ln(Invocation& inv) {
+  bool symbolic = false, force = false;
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-")) {
+      if (a.find('s') != std::string::npos) symbolic = true;
+      if (a.find('f') != std::string::npos) force = true;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) {
+    inv.err += "ln: expected TARGET LINK\n";
+    return 1;
+  }
+  if (force) (void)inv.proc.sys->unlink(inv.proc, paths[1]);
+  VoidResult rc = symbolic
+                      ? inv.proc.sys->symlink(inv.proc, paths[0], paths[1])
+                      : inv.proc.sys->link(inv.proc, paths[0], paths[1]);
+  if (!rc.ok()) return complain(inv, paths[1], rc.error());
+  return 0;
+}
+
+int cmd_chown_impl(Invocation& inv, bool group_only) {
+  bool recursive = false, no_deref = false;
+  std::vector<std::string> operands;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-") && a.size() > 1) {
+      if (a.find('R') != std::string::npos) recursive = true;
+      if (a.find('h') != std::string::npos) no_deref = true;
+    } else {
+      operands.push_back(a);
+    }
+  }
+  if (operands.size() < 2) {
+    inv.err += inv.args[0] + ": missing operand\n";
+    return 1;
+  }
+  vfs::Uid uid = vfs::kNoChangeId;
+  vfs::Gid gid = vfs::kNoChangeId;
+  const std::string spec =
+      group_only ? ":" + operands[0] : operands[0];
+  if (!parse_owner_spec(inv, spec, uid, gid)) {
+    inv.err += inv.args[0] + ": invalid user: '" + operands[0] + "'\n";
+    return 1;
+  }
+  int status = 0;
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    auto apply = [&](const std::string& path) -> VoidResult {
+      return inv.proc.sys->chown(inv.proc, path, uid, gid, !no_deref);
+    };
+    if (recursive) {
+      auto rc = for_each_recursive(
+          inv, operands[i],
+          [&](const std::string& path, const vfs::Stat&) { return apply(path); });
+      if (!rc.ok()) status = complain(inv, operands[i], rc.error());
+    } else if (auto rc = apply(operands[i]); !rc.ok()) {
+      status = complain(inv, operands[i], rc.error());
+    }
+  }
+  return status;
+}
+
+int cmd_chown(Invocation& inv) { return cmd_chown_impl(inv, false); }
+int cmd_chgrp(Invocation& inv) { return cmd_chown_impl(inv, true); }
+
+std::uint32_t parse_mode_arg(const std::string& s, std::uint32_t current,
+                             bool& ok) {
+  ok = true;
+  if (!s.empty() && s[0] >= '0' && s[0] <= '7') {
+    std::uint32_t m = 0;
+    for (char c : s) {
+      if (c < '0' || c > '7') {
+        ok = false;
+        return current;
+      }
+      m = m * 8 + static_cast<std::uint32_t>(c - '0');
+    }
+    return m;
+  }
+  // Symbolic subset: [ugoa]*[+-=][rwxst]+ (comma-separated clauses).
+  std::uint32_t mode = current;
+  for (const auto& clause : split(s, ',')) {
+    std::uint32_t who = 0;
+    std::size_t i = 0;
+    while (i < clause.size() && std::string("ugoa").find(clause[i]) !=
+                                    std::string::npos) {
+      switch (clause[i]) {
+        case 'u': who |= 04700; break;
+        case 'g': who |= 02070; break;
+        case 'o': who |= 01007; break;
+        case 'a': who |= 07777; break;
+      }
+      ++i;
+    }
+    if (who == 0) who = 07777;
+    if (i >= clause.size()) {
+      ok = false;
+      return current;
+    }
+    const char op = clause[i++];
+    std::uint32_t bits = 0;
+    for (; i < clause.size(); ++i) {
+      switch (clause[i]) {
+        case 'r': bits |= 0444; break;
+        case 'w': bits |= 0222; break;
+        case 'x': bits |= 0111; break;
+        case 's': bits |= 06000; break;
+        case 't': bits |= 01000; break;
+        default: ok = false; return current;
+      }
+    }
+    bits &= who;
+    if (op == '+') {
+      mode |= bits;
+    } else if (op == '-') {
+      mode &= ~bits;
+    } else if (op == '=') {
+      mode = (mode & ~who) | bits;
+    } else {
+      ok = false;
+      return current;
+    }
+  }
+  return mode;
+}
+
+int cmd_chmod(Invocation& inv) {
+  bool recursive = false;
+  std::vector<std::string> operands;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a == "-R") {
+      recursive = true;
+    } else {
+      operands.push_back(a);
+    }
+  }
+  if (operands.size() < 2) {
+    inv.err += "chmod: missing operand\n";
+    return 1;
+  }
+  int status = 0;
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    auto apply = [&](const std::string& path,
+                     const vfs::Stat& st) -> VoidResult {
+      bool ok = false;
+      const std::uint32_t m = parse_mode_arg(operands[0], st.mode, ok);
+      if (!ok) return Err::einval;
+      return inv.proc.sys->chmod(inv.proc, path, m);
+    };
+    auto run_one = [&](const std::string& path) -> VoidResult {
+      MINICON_TRY_ASSIGN(st, inv.proc.sys->stat(inv.proc, path));
+      return apply(path, st);
+    };
+    if (recursive) {
+      auto rc = for_each_recursive(inv, operands[i],
+                                   [&](const std::string& path,
+                                       const vfs::Stat& st) {
+                                     return apply(path, st);
+                                   });
+      if (!rc.ok()) status = complain(inv, operands[i], rc.error());
+    } else if (auto rc = run_one(operands[i]); !rc.ok()) {
+      status = complain(inv, operands[i], rc.error());
+    }
+  }
+  return status;
+}
+
+int cmd_mknod(Invocation& inv) {
+  // mknod NAME TYPE [MAJOR MINOR]
+  if (inv.args.size() < 3) {
+    inv.err += "mknod: missing operand\n";
+    return 1;
+  }
+  const std::string& name = inv.args[1];
+  const std::string& type = inv.args[2];
+  vfs::FileType ft;
+  std::uint32_t major = 0, minor = 0;
+  if (type == "c" || type == "u") {
+    ft = vfs::FileType::CharDev;
+  } else if (type == "b") {
+    ft = vfs::FileType::BlockDev;
+  } else if (type == "p") {
+    ft = vfs::FileType::Fifo;
+  } else {
+    inv.err += "mknod: invalid type " + type + "\n";
+    return 1;
+  }
+  if (ft != vfs::FileType::Fifo) {
+    if (inv.args.size() < 5 || !parse_u32(inv.args[3], major) ||
+        !parse_u32(inv.args[4], minor)) {
+      inv.err += "mknod: missing or bad major/minor\n";
+      return 1;
+    }
+  }
+  if (auto rc = inv.proc.sys->mknod(inv.proc, name, ft, 0644, major, minor);
+      !rc.ok()) {
+    return complain(inv, name, rc.error());
+  }
+  return 0;
+}
+
+int cmd_ls(Invocation& inv) {
+  bool long_fmt = false, all = false, dir_itself = false, human = false;
+  std::vector<std::string> paths;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (a.starts_with("-") && a.size() > 1) {
+      if (a.find('l') != std::string::npos) long_fmt = true;
+      if (a.find('a') != std::string::npos) all = true;
+      if (a.find('d') != std::string::npos) dir_itself = true;
+      if (a.find('h') != std::string::npos) human = true;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) paths.push_back(".");
+
+  const auto passwd = load_passwd(inv);
+  const auto group = load_group(inv);
+
+  auto format_one = [&](const std::string& display_name,
+                        const vfs::Stat& st) {
+    if (!long_fmt) {
+      inv.out += display_name + "\n";
+      return;
+    }
+    std::string line = vfs::format_mode(st.type, st.mode);
+    line += " " + std::to_string(st.nlink);
+    line += " " + uid_name(passwd, st.uid);
+    line += " " + gid_name(group, st.gid);
+    if (st.is_device()) {
+      line += " " + std::to_string(st.dev_major) + ", " +
+              std::to_string(st.dev_minor);
+    } else {
+      line += " " + (human ? human_size(st.size) : std::to_string(st.size));
+    }
+    line += " Feb 10 18:09 " + display_name;
+    inv.out += line + "\n";
+  };
+
+  int status = 0;
+  for (const auto& p : paths) {
+    auto st = inv.proc.sys->lstat(inv.proc, p);
+    if (!st.ok()) {
+      status = complain(inv, p, st.error());
+      continue;
+    }
+    if (st->is_dir() && !dir_itself) {
+      auto entries = inv.proc.sys->readdir(inv.proc, p);
+      if (!entries.ok()) {
+        status = complain(inv, p, entries.error());
+        continue;
+      }
+      for (const auto& e : *entries) {
+        if (!all && e.name.starts_with(".")) continue;
+        auto est = inv.proc.sys->lstat(inv.proc, path_join(p, e.name));
+        if (est.ok()) format_one(e.name, *est);
+      }
+    } else {
+      format_one(p, *st);
+    }
+  }
+  return status;
+}
+
+int cmd_grep(Invocation& inv) {
+  bool extended = inv.args[0] == "egrep";
+  bool fixed = inv.args[0] == "fgrep";
+  bool quiet = false, invert = false, ignore_case = false, count_only = false;
+  std::string pattern;
+  bool have_pattern = false;
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    const std::string& a = inv.args[i];
+    if (!have_pattern && a.starts_with("-") && a.size() > 1) {
+      for (std::size_t j = 1; j < a.size(); ++j) {
+        switch (a[j]) {
+          case 'E': extended = true; break;
+          case 'F': fixed = true; break;
+          case 'q': quiet = true; break;
+          case 'v': invert = true; break;
+          case 'i': ignore_case = true; break;
+          case 'c': count_only = true; break;
+          default: break;
+        }
+      }
+      continue;
+    }
+    if (!have_pattern) {
+      pattern = a;
+      have_pattern = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (!have_pattern) {
+    inv.err += "grep: missing pattern\n";
+    return 2;
+  }
+
+  std::optional<std::regex> re;
+  if (!fixed) {
+    // ECMAScript handles the escaping idioms our patterns use (\[, \.)
+    // more permissively than POSIX extended; both BRE and ERE are
+    // approximated with it.
+    auto flags = std::regex::ECMAScript;
+    (void)extended;
+    if (ignore_case) flags |= std::regex::icase;
+    try {
+      re.emplace(pattern, flags);
+    } catch (const std::regex_error&) {
+      inv.err += "grep: invalid pattern\n";
+      return 2;
+    }
+  }
+  std::string lowered_pattern = pattern;
+  if (fixed && ignore_case) {
+    for (auto& c : lowered_pattern) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+
+  auto matches = [&](const std::string& line) {
+    bool m;
+    if (fixed) {
+      if (ignore_case) {
+        std::string low = line;
+        for (auto& c : low) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        m = low.find(lowered_pattern) != std::string::npos;
+      } else {
+        m = line.find(pattern) != std::string::npos;
+      }
+    } else {
+      m = std::regex_search(line, *re);
+    }
+    return invert ? !m : m;
+  };
+
+  bool any = false;
+  int status = 0;
+  const bool show_names = files.size() > 1;
+  auto scan = [&](const std::string& text, const std::string& label) {
+    std::size_t count = 0;
+    auto lines = split(text, '\n');
+    if (!lines.empty() && lines.back().empty()) lines.pop_back();
+    for (const auto& line : lines) {
+      if (matches(line)) {
+        any = true;
+        ++count;
+        if (!quiet && !count_only) {
+          inv.out += (show_names ? label + ":" : "") + line + "\n";
+        }
+      }
+    }
+    if (count_only && !quiet) {
+      inv.out += (show_names ? label + ":" : "") + std::to_string(count) + "\n";
+    }
+  };
+  if (files.empty()) {
+    scan(inv.stdin_data, "(standard input)");
+  } else {
+    for (const auto& f : files) {
+      auto data = inv.proc.sys->read_file(inv.proc, f);
+      if (!data.ok()) {
+        if (!quiet) {
+          inv.err += "grep: " + f + ": " +
+                     std::string(err_message(data.error())) + "\n";
+        }
+        status = 2;
+        continue;
+      }
+      scan(*data, f);
+    }
+  }
+  if (status == 2 && !any) return 2;
+  return any ? 0 : 1;
+}
+
+int cmd_head_tail(Invocation& inv) {
+  const bool is_head = inv.args[0] == "head";
+  std::size_t n = 10;
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-n" && i + 1 < inv.args.size()) {
+      std::uint64_t v = 0;
+      if (parse_u64(inv.args[++i], v)) n = v;
+    } else if (!inv.args[i].starts_with("-")) {
+      files.push_back(inv.args[i]);
+    }
+  }
+  std::string text;
+  if (files.empty()) {
+    text = inv.stdin_data;
+  } else {
+    auto data = inv.proc.sys->read_file(inv.proc, files[0]);
+    if (!data.ok()) return complain(inv, files[0], data.error());
+    text = *data;
+  }
+  auto lines = split(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  const std::size_t total = lines.size();
+  const std::size_t take = std::min(n, total);
+  const std::size_t start = is_head ? 0 : total - take;
+  const std::size_t end = is_head ? take : total;
+  for (std::size_t i = start; i < end; ++i) inv.out += lines[i] + "\n";
+  return 0;
+}
+
+int cmd_wc(Invocation& inv) {
+  bool lines_only = false;
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-l") {
+      lines_only = true;
+    } else if (!inv.args[i].starts_with("-")) {
+      files.push_back(inv.args[i]);
+    }
+  }
+  std::string text;
+  if (files.empty()) {
+    text = inv.stdin_data;
+  } else {
+    auto data = inv.proc.sys->read_file(inv.proc, files[0]);
+    if (!data.ok()) return complain(inv, files[0], data.error());
+    text = *data;
+  }
+  std::size_t nlines = 0;
+  for (char c : text) {
+    if (c == '\n') ++nlines;
+  }
+  if (lines_only) {
+    inv.out += std::to_string(nlines) + "\n";
+  } else {
+    inv.out += std::to_string(nlines) + " " +
+               std::to_string(split_ws(text).size()) + " " +
+               std::to_string(text.size()) + "\n";
+  }
+  return 0;
+}
+
+int cmd_id(Invocation& inv) {
+  auto& sys = *inv.proc.sys;
+  const auto passwd = load_passwd(inv);
+  const auto group = load_group(inv);
+  const vfs::Uid uid = sys.getuid(inv.proc);
+  const vfs::Gid gid = sys.getgid(inv.proc);
+  if (inv.args.size() > 1 && inv.args[1] == "-u") {
+    inv.out += std::to_string(uid) + "\n";
+    return 0;
+  }
+  std::string line = "uid=" + std::to_string(uid) + "(" +
+                     uid_name(passwd, uid) + ") gid=" + std::to_string(gid) +
+                     "(" + gid_name(group, gid) + ")";
+  const auto groups = sys.getgroups(inv.proc);
+  if (!groups.empty()) {
+    line += " groups=";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (i > 0) line += ",";
+      line += std::to_string(groups[i]) + "(" + gid_name(group, groups[i]) + ")";
+    }
+  }
+  inv.out += line + "\n";
+  return 0;
+}
+
+int cmd_whoami(Invocation& inv) {
+  const auto passwd = load_passwd(inv);
+  inv.out += uid_name(passwd, inv.proc.sys->geteuid(inv.proc)) + "\n";
+  return 0;
+}
+
+int cmd_stat(Invocation& inv) {
+  int status = 0;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i].starts_with("-")) continue;
+    auto st = inv.proc.sys->stat(inv.proc, inv.args[i]);
+    if (!st.ok()) {
+      status = complain(inv, inv.args[i], st.error());
+      continue;
+    }
+    inv.out += "  File: " + inv.args[i] + "\n";
+    inv.out += "  Size: " + std::to_string(st->size) +
+               "  Inode: " + std::to_string(st->ino) +
+               "  Links: " + std::to_string(st->nlink) + "\n";
+    inv.out += "Access: (" + format_octal(st->mode, 4) + "/" +
+               vfs::format_mode(st->type, st->mode) +
+               ")  Uid: " + std::to_string(st->uid) +
+               "  Gid: " + std::to_string(st->gid) + "\n";
+  }
+  return status;
+}
+
+int cmd_readlink(Invocation& inv) {
+  if (inv.args.size() < 2) return 1;
+  auto target = inv.proc.sys->readlink(inv.proc, inv.args.back());
+  if (!target.ok()) return 1;
+  inv.out += *target + "\n";
+  return 0;
+}
+
+int cmd_env(Invocation& inv) {
+  for (const auto& [k, v] : inv.proc.env) inv.out += k + "=" + v + "\n";
+  return 0;
+}
+
+int cmd_uname(Invocation& inv) {
+  std::string arch = inv.proc.env_get("MINICON_ARCH");
+  if (arch.empty()) arch = "x86_64";
+  if (inv.args.size() > 1 && inv.args[1] == "-m") {
+    inv.out += arch + "\n";
+  } else if (inv.args.size() > 1 && inv.args[1] == "-a") {
+    inv.out += "Linux " + inv.proc.env_get("HOSTNAME") + " 5.10.0 minicon " +
+               arch + " GNU/Linux\n";
+  } else {
+    inv.out += "Linux\n";
+  }
+  return 0;
+}
+
+int cmd_hostname(Invocation& inv) {
+  inv.out += inv.proc.env_get("HOSTNAME") + "\n";
+  return 0;
+}
+
+int cmd_sleep(Invocation&) { return 0; }
+
+int cmd_date(Invocation& inv) {
+  inv.out += "Wed Feb 10 18:09:00 UTC 2021\n";
+  return 0;
+}
+
+// --- user management (host-side sysadmin tools, §4.1) -------------------------
+
+int cmd_useradd(Invocation& inv) {
+  // useradd [-u UID] [-g GID] NAME; also appends a fresh subuid/subgid range
+  // ("Newer versions of shadow-utils can automatically manage the setup").
+  std::string name;
+  vfs::Uid uid = vfs::kNoChangeId;
+  vfs::Gid gid = vfs::kNoChangeId;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-u" && i + 1 < inv.args.size()) {
+      parse_u32(inv.args[++i], uid);
+    } else if (inv.args[i] == "-g" && i + 1 < inv.args.size()) {
+      parse_u32(inv.args[++i], gid);
+    } else if (!inv.args[i].starts_with("-")) {
+      name = inv.args[i];
+    }
+  }
+  if (name.empty()) {
+    inv.err += "useradd: missing name\n";
+    return 1;
+  }
+  auto passwd = load_passwd(inv);
+  if (passwd.by_name(name)) {
+    inv.err += "useradd: user '" + name + "' already exists\n";
+    return 9;
+  }
+  if (uid == vfs::kNoChangeId) {
+    uid = 1000;
+    while (passwd.by_uid(uid)) ++uid;
+  }
+  if (gid == vfs::kNoChangeId) gid = uid;
+  passwd.add({name, uid, gid, "", "/home/" + name, "/bin/sh"});
+  if (auto rc = inv.proc.sys->write_file(inv.proc, "/etc/passwd",
+                                         passwd.format(), false);
+      !rc.ok()) {
+    return complain(inv, "/etc/passwd", rc.error());
+  }
+  auto groups = load_group(inv);
+  if (!groups.by_gid(gid)) {
+    groups.add({name, gid, {}});
+    (void)inv.proc.sys->write_file(inv.proc, "/etc/group", groups.format(),
+                                   false);
+  }
+  // Auto-allocate subordinate ID ranges past all existing ones.
+  for (const char* file : {"/etc/subuid", "/etc/subgid"}) {
+    auto text = inv.proc.sys->read_file(inv.proc, file);
+    auto db = kernel::SubidDb::parse(text.ok() ? *text : "");
+    std::uint32_t next = 100000;
+    for (const auto& r : db.ranges()) {
+      next = std::max(next, r.start + r.count);
+    }
+    db.add({name, next, 65536});
+    (void)inv.proc.sys->write_file(inv.proc, file, db.format(), false);
+  }
+  return 0;
+}
+
+int cmd_groupadd(Invocation& inv) {
+  // groupadd [-r] [-g GID] NAME
+  std::string name;
+  vfs::Gid gid = vfs::kNoChangeId;
+  bool system_group = false;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "-g" && i + 1 < inv.args.size()) {
+      parse_u32(inv.args[++i], gid);
+    } else if (inv.args[i] == "-r") {
+      system_group = true;
+    } else if (!inv.args[i].starts_with("-")) {
+      name = inv.args[i];
+    }
+  }
+  if (name.empty()) {
+    inv.err += "groupadd: missing name\n";
+    return 1;
+  }
+  auto groups = load_group(inv);
+  if (groups.by_name(name)) return 9;  // already exists: idempotent enough
+  if (gid == vfs::kNoChangeId) {
+    gid = system_group ? 999 : 1000;
+    while (groups.by_gid(gid)) {
+      gid = system_group ? gid - 1 : gid + 1;
+    }
+  }
+  groups.add({name, gid, {}});
+  if (auto rc = inv.proc.sys->write_file(inv.proc, "/etc/group",
+                                         groups.format(), false);
+      !rc.ok()) {
+    return complain(inv, "/etc/group", rc.error());
+  }
+  return 0;
+}
+
+int cmd_usermod(Invocation& inv) {
+  // usermod --add-subuids FIRST-LAST NAME (and --add-subgids).
+  std::string name, range;
+  const char* file = nullptr;
+  for (std::size_t i = 1; i < inv.args.size(); ++i) {
+    if (inv.args[i] == "--add-subuids" && i + 1 < inv.args.size()) {
+      file = "/etc/subuid";
+      range = inv.args[++i];
+    } else if (inv.args[i] == "--add-subgids" && i + 1 < inv.args.size()) {
+      file = "/etc/subgid";
+      range = inv.args[++i];
+    } else if (!inv.args[i].starts_with("-")) {
+      name = inv.args[i];
+    }
+  }
+  if (file == nullptr || name.empty()) {
+    inv.err += "usermod: usage: usermod --add-subuids FIRST-LAST NAME\n";
+    return 1;
+  }
+  const auto dash = range.find('-');
+  std::uint32_t first = 0, last = 0;
+  if (dash == std::string::npos || !parse_u32(range.substr(0, dash), first) ||
+      !parse_u32(range.substr(dash + 1), last) || last < first) {
+    inv.err += "usermod: invalid range '" + range + "'\n";
+    return 1;
+  }
+  auto text = inv.proc.sys->read_file(inv.proc, file);
+  auto db = kernel::SubidDb::parse(text.ok() ? *text : "");
+  db.add({name, first, last - first + 1});
+  if (auto rc = inv.proc.sys->write_file(inv.proc, file, db.format(), false);
+      !rc.ok()) {
+    return complain(inv, file, rc.error());
+  }
+  return 0;
+}
+
+}  // namespace
+
+void register_standard_commands(CommandRegistry& reg) {
+  // Special builtins (no executable file required).
+  reg.register_special("true", cmd_true);
+  reg.register_special(":", cmd_true);
+  reg.register_special("false", cmd_false);
+  reg.register_special("echo", cmd_echo);
+  reg.register_special("cd", cmd_cd);
+  reg.register_special("pwd", cmd_pwd);
+  reg.register_special("set", cmd_set);
+  reg.register_special("export", cmd_export);
+  reg.register_special("umask", cmd_umask);
+  reg.register_special("test", cmd_test);
+  reg.register_special("[", cmd_test);
+  reg.register_special("command", cmd_command);
+
+  // External commands (need a file on PATH with a "#!minicon <impl>" header).
+  reg.register_external("sh", cmd_sh);
+  reg.register_external("bash", cmd_sh);
+  reg.register_external("cat", cmd_cat);
+  reg.register_external("touch", cmd_touch);
+  reg.register_external("mkdir", cmd_mkdir);
+  reg.register_external("rmdir", cmd_rmdir);
+  reg.register_external("rm", cmd_rm);
+  reg.register_external("cp", cmd_cp);
+  reg.register_external("mv", cmd_mv);
+  reg.register_external("ln", cmd_ln);
+  reg.register_external("chown", cmd_chown);
+  reg.register_external("chgrp", cmd_chgrp);
+  reg.register_external("chmod", cmd_chmod);
+  reg.register_external("mknod", cmd_mknod);
+  reg.register_external("ls", cmd_ls);
+  reg.register_external("grep", cmd_grep);
+  reg.register_external("egrep", cmd_grep);
+  reg.register_external("fgrep", cmd_grep);
+  reg.register_external("head", cmd_head_tail);
+  reg.register_external("tail", cmd_head_tail);
+  reg.register_external("wc", cmd_wc);
+  reg.register_external("id", cmd_id);
+  reg.register_external("whoami", cmd_whoami);
+  reg.register_external("stat", cmd_stat);
+  reg.register_external("readlink", cmd_readlink);
+  reg.register_external("env", cmd_env);
+  reg.register_external("uname", cmd_uname);
+  reg.register_external("hostname", cmd_hostname);
+  reg.register_external("sleep", cmd_sleep);
+  reg.register_external("date", cmd_date);
+  reg.register_external("useradd", cmd_useradd);
+  reg.register_external("usermod", cmd_usermod);
+  reg.register_external("groupadd", cmd_groupadd);
+}
+
+}  // namespace minicon::shell

@@ -1,0 +1,586 @@
+#include "shell/parse.hpp"
+
+#include <cctype>
+
+namespace minicon::shell {
+
+std::optional<std::string> Word::literal() const {
+  std::string out;
+  for (const auto& seg : segs) {
+    if (seg.kind != WordSeg::Kind::kLiteral || seg.quoted) return std::nullopt;
+    out += seg.text;
+  }
+  return out;
+}
+
+Word Word::from_literal(std::string text) {
+  Word w;
+  w.segs.push_back({WordSeg::Kind::kLiteral, std::move(text), false});
+  return w;
+}
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kWord,
+    kAndIf,   // &&
+    kOrIf,    // ||
+    kPipe,    // |
+    kSemi,    // ; or newline
+    kBang,    // !
+    kRedirect,
+    kEof,
+  };
+  Kind kind = Kind::kEof;
+  Word word;          // kWord
+  Redirect redirect;  // kRedirect (target filled by parser)
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  // Tokenizes the whole input. Returns false on unterminated quotes etc.
+  bool run(std::vector<Token>& out, ParseError& err) {
+    while (true) {
+      skip_blanks();
+      if (eof()) break;
+      const char c = peek();
+      if (c == '#') {
+        while (!eof() && peek() != '\n') advance();
+        continue;
+      }
+      if (c == '\n' || c == ';') {
+        advance();
+        push_op(out, Token::Kind::kSemi);
+        continue;
+      }
+      if (c == '&' && peek(1) == '&') {
+        advance();
+        advance();
+        push_op(out, Token::Kind::kAndIf);
+        continue;
+      }
+      if (c == '|' && peek(1) == '|') {
+        advance();
+        advance();
+        push_op(out, Token::Kind::kOrIf);
+        continue;
+      }
+      if (c == '|') {
+        advance();
+        push_op(out, Token::Kind::kPipe);
+        continue;
+      }
+      if (c == '>' || c == '<' || (std::isdigit(c) && is_redirect_start())) {
+        if (!lex_redirect(out, err)) return false;
+        continue;
+      }
+      if (c == '!' && is_word_boundary(1)) {
+        advance();
+        push_op(out, Token::Kind::kBang);
+        continue;
+      }
+      if (!lex_word(out, err)) return false;
+    }
+    Token t;
+    t.kind = Token::Kind::kEof;
+    t.pos = pos_;
+    out.push_back(std::move(t));
+    return true;
+  }
+
+ private:
+  bool eof(std::size_t ahead = 0) const { return pos_ + ahead >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return eof(ahead) ? '\0' : src_[pos_ + ahead];
+  }
+  void advance() { ++pos_; }
+
+  void skip_blanks() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) {
+      advance();
+    }
+    // Line continuation.
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      skip_blanks();
+    }
+  }
+
+  bool is_word_boundary(std::size_t ahead) const {
+    const char c = peek(ahead);
+    return c == '\0' || c == ' ' || c == '\t' || c == '\n' || c == ';';
+  }
+
+  // "2>" style: a lone digit immediately before > or <.
+  bool is_redirect_start() const {
+    return std::isdigit(peek()) && (peek(1) == '>' || peek(1) == '<');
+  }
+
+  void push_op(std::vector<Token>& out, Token::Kind kind) {
+    Token t;
+    t.kind = kind;
+    t.pos = pos_;
+    out.push_back(std::move(t));
+  }
+
+  bool lex_redirect(std::vector<Token>& out, ParseError& err) {
+    Token t;
+    t.kind = Token::Kind::kRedirect;
+    t.pos = pos_;
+    Redirect r;
+    if (std::isdigit(peek())) {
+      r.fd = peek() - '0';
+      advance();
+    }
+    if (peek() == '<') {
+      advance();
+      r.input = true;
+      r.fd = 0;
+    } else if (peek() == '>') {
+      advance();
+      if (peek() == '>') {
+        advance();
+        r.append = true;
+      } else if (peek() == '&' && peek(1) == '1') {
+        advance();
+        advance();
+        r.dup_to_stdout = true;
+        t.redirect = r;
+        out.push_back(std::move(t));
+        return true;
+      }
+    } else {
+      err = {"expected redirection operator", pos_};
+      return false;
+    }
+    t.redirect = r;
+    out.push_back(std::move(t));
+    return true;
+  }
+
+  bool lex_dollar(Word& w, bool quoted, ParseError& err) {
+    advance();  // consume $
+    if (peek() == '{') {
+      advance();
+      std::string name;
+      while (!eof() && peek() != '}') {
+        name += peek();
+        advance();
+      }
+      if (eof()) {
+        err = {"unterminated ${", pos_};
+        return false;
+      }
+      advance();  // }
+      w.segs.push_back({WordSeg::Kind::kVariable, std::move(name), quoted});
+      return true;
+    }
+    if (peek() == '(') {
+      advance();
+      std::string script;
+      int depth = 1;
+      while (!eof()) {
+        const char c = peek();
+        if (c == '(') ++depth;
+        if (c == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        script += c;
+        advance();
+      }
+      if (eof()) {
+        err = {"unterminated $(", pos_};
+        return false;
+      }
+      advance();  // )
+      w.segs.push_back({WordSeg::Kind::kCommandSub, std::move(script), quoted});
+      return true;
+    }
+    if (peek() == '?') {
+      advance();
+      w.segs.push_back({WordSeg::Kind::kVariable, "?", quoted});
+      return true;
+    }
+    std::string name;
+    while (!eof() && (std::isalnum(peek()) || peek() == '_')) {
+      name += peek();
+      advance();
+    }
+    if (name.empty()) {
+      // A bare $ is literal.
+      w.segs.push_back({WordSeg::Kind::kLiteral, "$", quoted});
+      return true;
+    }
+    w.segs.push_back({WordSeg::Kind::kVariable, std::move(name), quoted});
+    return true;
+  }
+
+  bool lex_word(std::vector<Token>& out, ParseError& err) {
+    Token t;
+    t.kind = Token::Kind::kWord;
+    t.pos = pos_;
+    Word w;
+    std::string lit;
+    auto flush_lit = [&](bool quoted) {
+      if (!lit.empty()) {
+        w.segs.push_back({WordSeg::Kind::kLiteral, lit, quoted});
+        lit.clear();
+      }
+    };
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == ';' || c == '|' ||
+          c == '&' || c == '#' || c == '<') {
+        break;
+      }
+      if (c == '>' || (std::isdigit(c) && lit.empty() && w.segs.empty() &&
+                       is_redirect_start())) {
+        if (c == '>') break;
+        break;
+      }
+      if (c == '\\') {
+        advance();
+        if (eof()) break;
+        if (peek() == '\n') {
+          advance();
+          continue;
+        }
+        lit += peek();
+        advance();
+        continue;
+      }
+      if (c == '\'') {
+        flush_lit(false);
+        advance();
+        std::string quoted_text;
+        while (!eof() && peek() != '\'') {
+          quoted_text += peek();
+          advance();
+        }
+        if (eof()) {
+          err = {"unterminated single quote", pos_};
+          return false;
+        }
+        advance();
+        w.segs.push_back({WordSeg::Kind::kLiteral, std::move(quoted_text), true});
+        continue;
+      }
+      if (c == '"') {
+        flush_lit(false);
+        advance();
+        std::string quoted_text;
+        while (!eof() && peek() != '"') {
+          if (peek() == '\\' && !eof(1) &&
+              (peek(1) == '"' || peek(1) == '\\' || peek(1) == '$' ||
+               peek(1) == '`')) {
+            advance();
+            quoted_text += peek();
+            advance();
+            continue;
+          }
+          if (peek() == '$') {
+            if (!quoted_text.empty()) {
+              w.segs.push_back(
+                  {WordSeg::Kind::kLiteral, std::move(quoted_text), true});
+              quoted_text.clear();
+            }
+            if (!lex_dollar(w, /*quoted=*/true, err)) return false;
+            continue;
+          }
+          quoted_text += peek();
+          advance();
+        }
+        if (eof()) {
+          err = {"unterminated double quote", pos_};
+          return false;
+        }
+        advance();
+        if (!quoted_text.empty()) {
+          w.segs.push_back(
+              {WordSeg::Kind::kLiteral, std::move(quoted_text), true});
+        } else if (w.segs.empty()) {
+          // Empty "" still yields an (empty, quoted) field.
+          w.segs.push_back({WordSeg::Kind::kLiteral, "", true});
+        }
+        continue;
+      }
+      if (c == '$') {
+        flush_lit(false);
+        if (!lex_dollar(w, /*quoted=*/false, err)) return false;
+        continue;
+      }
+      if (c == '`') {
+        flush_lit(false);
+        advance();
+        std::string script;
+        while (!eof() && peek() != '`') {
+          script += peek();
+          advance();
+        }
+        if (eof()) {
+          err = {"unterminated backquote", pos_};
+          return false;
+        }
+        advance();
+        w.segs.push_back({WordSeg::Kind::kCommandSub, std::move(script), false});
+        continue;
+      }
+      lit += c;
+      advance();
+    }
+    flush_lit(false);
+    if (w.segs.empty()) {
+      err = {"empty word", pos_};
+      return false;
+    }
+    t.word = std::move(w);
+    out.push_back(std::move(t));
+    return true;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::variant<List, ParseError> parse() {
+    List list;
+    if (!parse_list(list, /*terminators=*/{})) return err_;
+    if (!at(Token::Kind::kEof)) {
+      return ParseError{"unexpected token", cur().pos};
+    }
+    return list;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[idx_]; }
+  bool at(Token::Kind k) const { return cur().kind == k; }
+  void advance() {
+    if (idx_ + 1 < tokens_.size()) ++idx_;
+  }
+
+  bool at_reserved(const std::string& name) const {
+    if (!at(Token::Kind::kWord)) return false;
+    auto lit = cur().word.literal();
+    return lit.has_value() && *lit == name;
+  }
+
+  bool at_any_reserved(const std::vector<std::string>& names) const {
+    for (const auto& n : names) {
+      if (at_reserved(n)) return true;
+    }
+    return false;
+  }
+
+  void skip_semis() {
+    while (at(Token::Kind::kSemi)) advance();
+  }
+
+  bool fail(const std::string& msg) {
+    err_ = {msg, cur().pos};
+    return false;
+  }
+
+  // terminators: reserved words that end the list (then/else/elif/fi/do/done)
+  bool parse_list(List& out, const std::vector<std::string>& terminators) {
+    skip_semis();
+    while (!at(Token::Kind::kEof) && !at_any_reserved(terminators)) {
+      AndOr item;
+      if (!parse_and_or(item, terminators)) return false;
+      out.items.push_back(std::move(item));
+      skip_semis();
+    }
+    return true;
+  }
+
+  bool parse_and_or(AndOr& out, const std::vector<std::string>& terminators) {
+    AndOrOp op = AndOrOp::kNone;
+    while (true) {
+      Pipeline pl;
+      if (!parse_pipeline(pl, terminators)) return false;
+      out.parts.push_back({op, std::move(pl)});
+      if (at(Token::Kind::kAndIf)) {
+        op = AndOrOp::kAnd;
+        advance();
+        continue;
+      }
+      if (at(Token::Kind::kOrIf)) {
+        op = AndOrOp::kOr;
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool parse_pipeline(Pipeline& out,
+                      const std::vector<std::string>& terminators) {
+    while (at(Token::Kind::kBang)) {
+      out.negated = !out.negated;
+      advance();
+    }
+    while (true) {
+      CommandPtr cmd;
+      if (!parse_command(cmd, terminators)) return false;
+      out.commands.push_back(std::move(cmd));
+      if (at(Token::Kind::kPipe)) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool parse_command(CommandPtr& out,
+                     const std::vector<std::string>& terminators) {
+    if (at_reserved("if")) return parse_if(out);
+    if (at_reserved("for")) return parse_for(out);
+    return parse_simple(out, terminators);
+  }
+
+  bool parse_for(CommandPtr& out) {
+    advance();  // for
+    if (!at(Token::Kind::kWord)) return fail("expected variable after 'for'");
+    auto var = cur().word.literal();
+    if (!var) return fail("bad for-loop variable");
+    advance();
+    ForClause clause;
+    clause.var = *var;
+    if (at_reserved("in")) {
+      advance();
+      while (at(Token::Kind::kWord) && !at_reserved("do")) {
+        clause.words.push_back(cur().word);
+        advance();
+      }
+    }
+    skip_semis();
+    if (!at_reserved("do")) return fail("expected 'do'");
+    advance();
+    if (!parse_list(clause.body, {"done"})) return false;
+    if (!at_reserved("done")) return fail("expected 'done'");
+    advance();
+    out = std::make_unique<CommandNode>(std::move(clause));
+    return true;
+  }
+
+  bool parse_if(CommandPtr& out) {
+    advance();  // if
+    IfClause clause;
+    while (true) {
+      IfClause::Arm arm;
+      if (!parse_list(arm.condition, {"then"})) return false;
+      if (!at_reserved("then")) return fail("expected 'then'");
+      advance();
+      if (!parse_list(arm.body, {"elif", "else", "fi"})) return false;
+      clause.arms.push_back(std::move(arm));
+      if (at_reserved("elif")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (at_reserved("else")) {
+      advance();
+      List else_body;
+      if (!parse_list(else_body, {"fi"})) return false;
+      clause.else_body = std::move(else_body);
+    }
+    if (!at_reserved("fi")) return fail("expected 'fi'");
+    advance();
+    out = std::make_unique<CommandNode>(std::move(clause));
+    return true;
+  }
+
+  static bool is_assignment(const Word& w, std::string& name, Word& value) {
+    if (w.segs.empty()) return false;
+    const WordSeg& first = w.segs.front();
+    if (first.kind != WordSeg::Kind::kLiteral || first.quoted) return false;
+    const std::size_t eq = first.text.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    for (std::size_t i = 0; i < eq; ++i) {
+      const char c = first.text[i];
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+      if (i == 0 && std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    name = first.text.substr(0, eq);
+    value.segs.clear();
+    if (eq + 1 < first.text.size()) {
+      value.segs.push_back(
+          {WordSeg::Kind::kLiteral, first.text.substr(eq + 1), false});
+    }
+    for (std::size_t i = 1; i < w.segs.size(); ++i) {
+      value.segs.push_back(w.segs[i]);
+    }
+    if (value.segs.empty()) {
+      value.segs.push_back({WordSeg::Kind::kLiteral, "", true});
+    }
+    return true;
+  }
+
+  bool parse_simple(CommandPtr& out,
+                    const std::vector<std::string>& terminators) {
+    SimpleCmd cmd;
+    bool words_started = false;
+    while (true) {
+      if (at(Token::Kind::kRedirect)) {
+        Redirect r = cur().redirect;
+        advance();
+        if (!r.dup_to_stdout) {
+          if (!at(Token::Kind::kWord)) return fail("expected redirect target");
+          r.target = cur().word;
+          advance();
+        }
+        cmd.redirects.push_back(std::move(r));
+        continue;
+      }
+      if (at(Token::Kind::kWord)) {
+        if (!words_started && at_any_reserved(terminators)) break;
+        std::string name;
+        Word value;
+        if (!words_started && is_assignment(cur().word, name, value)) {
+          cmd.assignments.emplace_back(std::move(name), std::move(value));
+          advance();
+          continue;
+        }
+        words_started = true;
+        cmd.words.push_back(cur().word);
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (cmd.words.empty() && cmd.assignments.empty() && cmd.redirects.empty()) {
+      return fail("expected command");
+    }
+    out = std::make_unique<CommandNode>(std::move(cmd));
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t idx_ = 0;
+  ParseError err_;
+};
+
+}  // namespace
+
+std::variant<List, ParseError> parse_script(const std::string& script) {
+  Lexer lexer(script);
+  std::vector<Token> tokens;
+  ParseError err;
+  if (!lexer.run(tokens, err)) return err;
+  Parser parser(std::move(tokens));
+  return parser.parse();
+}
+
+}  // namespace minicon::shell

@@ -1,0 +1,102 @@
+// POSIX-subset shell lexer and parser.
+//
+// The container build path executes every RUN instruction through /bin/sh -c,
+// and the fakeroot-injection init steps (§5.3) are nontrivial shell one-
+// liners (`set -ex; if ! grep -Eq ...; then ...; fi; ...`), so the simulator
+// carries a real little shell: words with quoting, parameter and command
+// substitution, pipelines, && / || / ! , redirections, if/then/elif/else/fi,
+// and pathname expansion.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace minicon::shell {
+
+// A word is a sequence of segments; quoting is tracked per segment so that
+// expansion can decide about field splitting and globbing.
+struct WordSeg {
+  enum class Kind { kLiteral, kVariable, kCommandSub };
+  Kind kind = Kind::kLiteral;
+  std::string text;  // literal text, variable name, or substitution script
+  bool quoted = false;
+};
+
+struct Word {
+  std::vector<WordSeg> segs;
+
+  // Literal-only view (used for reserved-word detection).
+  std::optional<std::string> literal() const;
+  static Word from_literal(std::string text);
+};
+
+struct Redirect {
+  int fd = 1;            // 1 = stdout, 2 = stderr, 0 = stdin
+  bool append = false;   // >>
+  bool input = false;    // <
+  bool dup_to_stdout = false;  // 2>&1
+  Word target;
+};
+
+struct SimpleCmd;
+struct IfClause;
+struct ForClause;
+using CommandNode = std::variant<SimpleCmd, IfClause, ForClause>;
+using CommandPtr = std::unique_ptr<CommandNode>;
+
+struct Pipeline {
+  bool negated = false;
+  std::vector<CommandPtr> commands;
+};
+
+enum class AndOrOp { kNone, kAnd, kOr };
+
+struct AndOr {
+  struct Part {
+    AndOrOp op = AndOrOp::kNone;  // connective *before* this pipeline
+    Pipeline pipeline;
+  };
+  std::vector<Part> parts;
+};
+
+struct List {
+  std::vector<AndOr> items;
+};
+
+struct SimpleCmd {
+  std::vector<Word> words;
+  std::vector<Redirect> redirects;
+  // Leading NAME=value assignments.
+  std::vector<std::pair<std::string, Word>> assignments;
+};
+
+struct IfClause {
+  struct Arm {
+    List condition;
+    List body;
+  };
+  std::vector<Arm> arms;  // if + elif*
+  std::optional<List> else_body;
+};
+
+// for NAME in words...; do list; done
+struct ForClause {
+  std::string var;
+  std::vector<Word> words;
+  List body;
+};
+
+struct ParseError {
+  std::string message;
+  std::size_t position = 0;
+};
+
+// Parses a script; returns the AST or an error description.
+std::variant<List, ParseError> parse_script(const std::string& script);
+
+}  // namespace minicon::shell

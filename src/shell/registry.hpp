@@ -1,0 +1,70 @@
+// Command registry: maps executable names to C++ implementations.
+//
+// Commands come in two flavours:
+//   * special builtins (cd, set, export, test, command, ...) that exist in
+//     every shell regardless of the filesystem, and
+//   * external commands, which require an executable file on the container's
+//     PATH; the file's "#!minicon <impl> [key=value...]" header selects the
+//     implementation. This is what makes `command -v fakeroot` (the §5.3
+//     init-step check) meaningful: the binary genuinely appears only after
+//     the package manager installs it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/process.hpp"
+
+namespace minicon::shell {
+
+class Shell;
+struct ShellState;
+
+struct Invocation {
+  kernel::Process& proc;
+  std::vector<std::string> args;  // args[0] is the command name
+  const std::string& stdin_data;
+  std::string& out;
+  std::string& err;
+  ShellState& state;
+  // Attributes parsed from the executable's "#!minicon" header (empty for
+  // special builtins). Notable keys: static=1 (defeats LD_PRELOAD wrappers),
+  // arch=<isa> (binary's architecture).
+  std::map<std::string, std::string> binary_attrs;
+};
+
+using CommandFn = std::function<int(Invocation&)>;
+
+class CommandRegistry {
+ public:
+  void register_special(const std::string& name, CommandFn fn) {
+    specials_[name] = std::move(fn);
+  }
+  void register_external(const std::string& impl, CommandFn fn) {
+    externals_[impl] = std::move(fn);
+  }
+
+  const CommandFn* find_special(const std::string& name) const {
+    auto it = specials_.find(name);
+    return it == specials_.end() ? nullptr : &it->second;
+  }
+  const CommandFn* find_external(const std::string& impl) const {
+    auto it = externals_.find(impl);
+    return it == externals_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, CommandFn> specials_;
+  std::map<std::string, CommandFn> externals_;
+};
+
+// Renders the standard two-line executable stub for an implementation, e.g.
+// make_binary("yum") -> "#!minicon yum\n". Extra attributes append as
+// key=value pairs.
+std::string make_binary(const std::string& impl,
+                        const std::map<std::string, std::string>& attrs = {});
+
+}  // namespace minicon::shell

@@ -1,0 +1,585 @@
+#include "shell/shell.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "kernel/syscalls.hpp"
+#include "support/path.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::shell {
+
+namespace {
+
+constexpr int kMaxDepth = 100;
+
+// --- globbing ---------------------------------------------------------------
+
+bool has_wildcard(const std::string& s) {
+  return s.find('*') != std::string::npos || s.find('?') != std::string::npos;
+}
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Iterative * / ? matcher.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<std::string> glob_expand(kernel::Process& proc,
+                                     const std::string& pattern) {
+  const bool absolute = path_is_absolute(pattern);
+  const std::string full =
+      absolute ? pattern : path_join(proc.cwd, pattern);
+  const auto comps = path_components(full);
+  std::vector<std::string> paths{"/"};
+  for (const auto& comp : comps) {
+    std::vector<std::string> next;
+    if (!has_wildcard(comp)) {
+      for (const auto& base : paths) {
+        next.push_back(base == "/" ? "/" + comp : base + "/" + comp);
+      }
+    } else {
+      for (const auto& base : paths) {
+        auto entries = proc.sys->readdir(proc, base);
+        if (!entries.ok()) continue;
+        for (const auto& e : *entries) {
+          if (e.name[0] == '.' && comp[0] != '.') continue;
+          if (glob_match(comp, e.name)) {
+            next.push_back(base == "/" ? "/" + e.name : base + "/" + e.name);
+          }
+        }
+      }
+    }
+    paths = std::move(next);
+  }
+  std::vector<std::string> existing;
+  for (const auto& p : paths) {
+    if (proc.sys->lstat(proc, p).ok()) existing.push_back(p);
+  }
+  std::sort(existing.begin(), existing.end());
+  if (existing.empty()) return {pattern};  // no match: pattern stays literal
+  return existing;
+}
+
+// --- the interpreter ---------------------------------------------------------
+
+class Interp {
+ public:
+  Interp(Shell& shell, kernel::Process& proc, ShellState& state)
+      : shell_(shell), proc_(proc), state_(state) {}
+
+  int exec_list(const List& list, std::string& out, std::string& err,
+                const std::string& stdin_data, bool in_condition) {
+    int status = 0;
+    for (const auto& item : list.items) {
+      status = exec_and_or(item, out, err, stdin_data, in_condition);
+      if (abort_) return status;
+      if (state_.errexit && !in_condition && status != 0 &&
+          !last_was_negated_) {
+        abort_ = true;
+        return status;
+      }
+    }
+    return status;
+  }
+
+ private:
+  int exec_and_or(const AndOr& ao, std::string& out, std::string& err,
+                  const std::string& stdin_data, bool in_condition) {
+    int status = 0;
+    for (std::size_t i = 0; i < ao.parts.size(); ++i) {
+      const auto& part = ao.parts[i];
+      if (i > 0) {
+        if (part.op == AndOrOp::kAnd && status != 0) continue;
+        if (part.op == AndOrOp::kOr && status == 0) continue;
+      }
+      const bool condition_ctx = in_condition || i + 1 < ao.parts.size();
+      status = exec_pipeline(part.pipeline, out, err, stdin_data,
+                             condition_ctx);
+      if (abort_) return status;
+    }
+    last_was_negated_ =
+        !ao.parts.empty() && ao.parts.back().pipeline.negated;
+    return status;
+  }
+
+  int exec_pipeline(const Pipeline& pl, std::string& out, std::string& err,
+                    const std::string& stdin_data, bool in_condition) {
+    std::string data = stdin_data;
+    int status = 0;
+    for (std::size_t i = 0; i < pl.commands.size(); ++i) {
+      const bool last = i + 1 == pl.commands.size();
+      std::string stage_out;
+      status = exec_command(*pl.commands[i], last ? out : stage_out, err, data,
+                            in_condition || pl.negated);
+      if (abort_) return status;
+      if (!last) data = std::move(stage_out);
+    }
+    if (pl.negated) status = status == 0 ? 1 : 0;
+    state_.last_status = status;
+    return status;
+  }
+
+  int exec_command(const CommandNode& node, std::string& out, std::string& err,
+                   const std::string& stdin_data, bool in_condition) {
+    if (const auto* simple = std::get_if<SimpleCmd>(&node)) {
+      return exec_simple(*simple, out, err, stdin_data);
+    }
+    if (const auto* loop = std::get_if<ForClause>(&node)) {
+      int status = 0;
+      for (const auto& w : loop->words) {
+        for (const auto& value : expand_word(w, err)) {
+          proc_.env[loop->var] = value;
+          status = exec_list(loop->body, out, err, stdin_data, in_condition);
+          if (abort_) return status;
+        }
+      }
+      return status;
+    }
+    const auto& clause = std::get<IfClause>(node);
+    for (const auto& arm : clause.arms) {
+      std::string cond_out;
+      const int cond =
+          exec_list(arm.condition, cond_out, err, stdin_data,
+                    /*in_condition=*/true);
+      out += cond_out;
+      if (abort_) return cond;
+      if (cond == 0) {
+        return exec_list(arm.body, out, err, stdin_data, in_condition);
+      }
+    }
+    if (clause.else_body) {
+      return exec_list(*clause.else_body, out, err, stdin_data, in_condition);
+    }
+    return 0;
+  }
+
+  std::string expand_var(const std::string& name) {
+    if (name == "?") return std::to_string(state_.last_status);
+    return proc_.env_get(name);
+  }
+
+  std::string command_substitute(const std::string& script, std::string& err) {
+    if (state_.depth >= kMaxDepth) return "";
+    kernel::Process sub = proc_.clone();
+    ShellState sub_state;
+    sub_state.registry = state_.registry;
+    sub_state.shell = state_.shell;
+    sub_state.depth = state_.depth + 1;
+    std::string out;
+    shell_.run_with_state(sub, script, out, err, "", sub_state);
+    while (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
+  }
+
+  std::vector<std::string> expand_word(const Word& w, std::string& err) {
+    struct Field {
+      std::string text;
+      bool globbable = false;
+      bool quoted_content = false;
+    };
+    std::vector<Field> fields{{}};
+    auto append_splittable = [&](const std::string& value) {
+      bool at_field_start = true;
+      for (std::size_t i = 0; i < value.size();) {
+        if (std::isspace(static_cast<unsigned char>(value[i]))) {
+          if (!fields.back().text.empty() || fields.back().quoted_content) {
+            fields.push_back({});
+          }
+          while (i < value.size() &&
+                 std::isspace(static_cast<unsigned char>(value[i]))) {
+            ++i;
+          }
+          at_field_start = true;
+          continue;
+        }
+        (void)at_field_start;
+        fields.back().text += value[i];
+        ++i;
+      }
+    };
+    for (const auto& seg : w.segs) {
+      switch (seg.kind) {
+        case WordSeg::Kind::kLiteral:
+          fields.back().text += seg.text;
+          if (seg.quoted) {
+            fields.back().quoted_content = true;
+          } else if (has_wildcard(seg.text)) {
+            fields.back().globbable = true;
+          }
+          break;
+        case WordSeg::Kind::kVariable: {
+          const std::string value = expand_var(seg.text);
+          if (seg.quoted) {
+            fields.back().text += value;
+            fields.back().quoted_content = true;
+          } else {
+            append_splittable(value);
+          }
+          break;
+        }
+        case WordSeg::Kind::kCommandSub: {
+          const std::string value = command_substitute(seg.text, err);
+          if (seg.quoted) {
+            fields.back().text += value;
+            fields.back().quoted_content = true;
+          } else {
+            append_splittable(value);
+          }
+          break;
+        }
+      }
+    }
+    std::vector<std::string> out;
+    for (const auto& f : fields) {
+      if (f.text.empty() && !f.quoted_content) continue;
+      if (f.globbable) {
+        for (auto& g : glob_expand(proc_, f.text)) out.push_back(std::move(g));
+      } else {
+        out.push_back(f.text);
+      }
+    }
+    return out;
+  }
+
+  std::string expand_single(const Word& w, std::string& err) {
+    const auto fields = expand_word(w, err);
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += fields[i];
+    }
+    return out;
+  }
+
+  int exec_simple(const SimpleCmd& cmd, std::string& out, std::string& err,
+                  const std::string& stdin_data) {
+    // Assignments.
+    std::vector<std::pair<std::string, std::optional<std::string>>> saved;
+    for (const auto& [name, value_word] : cmd.assignments) {
+      const std::string value = expand_single(value_word, err);
+      if (!cmd.words.empty()) {
+        auto it = proc_.env.find(name);
+        saved.emplace_back(name, it == proc_.env.end()
+                                     ? std::nullopt
+                                     : std::make_optional(it->second));
+      }
+      proc_.env[name] = value;
+    }
+    struct RestoreEnv {
+      kernel::Process& proc;
+      std::vector<std::pair<std::string, std::optional<std::string>>>& saved;
+      ~RestoreEnv() {
+        for (auto& [name, value] : saved) {
+          if (value) {
+            proc.env[name] = *value;
+          } else {
+            proc.env.erase(name);
+          }
+        }
+      }
+    } restore{proc_, saved};
+
+    std::vector<std::string> argv;
+    for (const auto& w : cmd.words) {
+      for (auto& field : expand_word(w, err)) argv.push_back(std::move(field));
+    }
+    if (argv.empty()) return 0;
+
+    if (state_.xtrace) {
+      std::string trace = "+";
+      for (const auto& a : argv) {
+        trace += ' ';
+        trace += a;
+      }
+      err += trace + "\n";
+    }
+
+    // Redirections. We model three dispositions per stream: parent sink,
+    // file, or discard (/dev/null).
+    enum class Sink { kParent, kFile, kDiscard, kFollowStdout };
+    Sink out_sink = Sink::kParent;
+    Sink err_sink = Sink::kParent;
+    std::string out_file, err_file;
+    bool out_append = false, err_append = false;
+    std::string input = stdin_data;
+    for (const auto& r : cmd.redirects) {
+      if (r.dup_to_stdout) {
+        err_sink = Sink::kFollowStdout;
+        continue;
+      }
+      const std::string target = expand_single(r.target, err);
+      if (r.input) {
+        if (target == "/dev/null") {
+          input.clear();
+        } else {
+          auto data = proc_.sys->read_file(proc_, target);
+          if (!data.ok()) {
+            err += "sh: " + target + ": " +
+                   std::string(err_message(data.error())) + "\n";
+            return 1;
+          }
+          input = *data;
+        }
+        continue;
+      }
+      if (r.fd == 2) {
+        if (target == "/dev/null") {
+          err_sink = Sink::kDiscard;
+        } else {
+          err_sink = Sink::kFile;
+          err_file = target;
+          err_append = r.append;
+        }
+      } else {
+        if (target == "/dev/null") {
+          out_sink = Sink::kDiscard;
+        } else {
+          out_sink = Sink::kFile;
+          out_file = target;
+          out_append = r.append;
+        }
+      }
+    }
+
+    std::string local_out, local_err;
+    const int status = dispatch(argv, input, local_out, local_err);
+
+    auto deliver = [&](Sink sink, const std::string& file, bool append,
+                       const std::string& data,
+                       std::string& parent) -> int {
+      switch (sink) {
+        case Sink::kParent:
+          parent += data;
+          return 0;
+        case Sink::kDiscard:
+          return 0;
+        case Sink::kFile: {
+          auto rc = proc_.sys->write_file(proc_, file, data, append);
+          if (!rc.ok()) {
+            err += "sh: " + file + ": " +
+                   std::string(err_message(rc.error())) + "\n";
+            return 1;
+          }
+          return 0;
+        }
+        case Sink::kFollowStdout:
+          return 0;  // handled below
+      }
+      return 0;
+    };
+
+    if (err_sink == Sink::kFollowStdout) {
+      local_out += local_err;
+      local_err.clear();
+      err_sink = Sink::kDiscard;
+    }
+    int delivery_status = deliver(out_sink, out_file, out_append, local_out, out);
+    delivery_status |=
+        deliver(err_sink, err_file, err_append, local_err, err);
+    if (delivery_status != 0 && status == 0) return 1;
+    return status;
+  }
+
+  int dispatch(const std::vector<std::string>& argv, const std::string& input,
+               std::string& out, std::string& err) {
+    return shell_dispatch(shell_, proc_, state_, argv, input, out, err);
+  }
+
+ public:
+  // Full command dispatch: special builtins, PATH lookup, "#!minicon"
+  // headers, shebang scripts, LD_PRELOAD bypass for static binaries, and
+  // architecture checks. Shared with Shell::run_argv.
+  static int shell_dispatch(Shell& shell, kernel::Process& proc,
+                            ShellState& state,
+                            const std::vector<std::string>& argv,
+                            const std::string& input, std::string& out,
+                            std::string& err) {
+    const std::string& name = argv[0];
+    if (state.depth >= kMaxDepth) {
+      err += "sh: recursion limit exceeded\n";
+      return 2;
+    }
+    if (const CommandFn* fn = state.registry->find_special(name)) {
+      Invocation inv{proc, argv, input, out, err, state, {}};
+      return (*fn)(inv);
+    }
+    // External command: must exist on the filesystem.
+    std::string path;
+    if (name.find('/') != std::string::npos) {
+      path = name;
+    } else {
+      path = Shell::find_in_path(proc, name);
+      if (path.empty()) {
+        err += "sh: " + name + ": command not found\n";
+        return 127;
+      }
+    }
+    auto content = proc.sys->read_file(proc, path);
+    if (!content.ok()) {
+      if (content.error() == Err::enoent) {
+        err += "sh: " + name + ": command not found\n";
+        return 127;
+      }
+      err += "sh: " + path + ": " +
+             std::string(err_message(content.error())) + "\n";
+      return 126;
+    }
+    if (auto x = proc.sys->access(proc, path, kernel::kExecOk); !x.ok()) {
+      err += "sh: " + path + ": Permission denied\n";
+      return 126;
+    }
+
+    // Parse the header line.
+    const std::string first_line = content->substr(0, content->find('\n'));
+    std::map<std::string, std::string> attrs;
+    std::string impl;
+    if (first_line.starts_with("#!minicon ")) {
+      const auto parts = split_ws(first_line.substr(10));
+      if (!parts.empty()) impl = parts[0];
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const auto eq = parts[i].find('=');
+        if (eq != std::string::npos) {
+          attrs[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
+        } else {
+          attrs[parts[i]] = "1";
+        }
+      }
+    } else if (first_line.starts_with("#!")) {
+      // Shebang script: run the remainder with a child shell process.
+      kernel::Process child = proc.clone();
+      ShellState child_state;
+      child_state.registry = state.registry;
+      child_state.shell = state.shell;
+      child_state.depth = state.depth + 1;
+      return shell.run_with_state(child, *content, out, err, input,
+                                  child_state);
+    } else {
+      impl = path_basename(path);
+    }
+
+    // Architecture check: an aarch64 binary does not run on x86_64 (why
+    // Astra could not reuse x86 images, §4.2).
+    const std::string host_arch = proc.env_get("MINICON_ARCH");
+    if (auto it = attrs.find("arch");
+        it != attrs.end() && !host_arch.empty() && it->second != host_arch) {
+      err += "sh: " + path + ": cannot execute binary file: Exec format error\n";
+      return 126;
+    }
+
+    const CommandFn* fn = state.registry->find_external(impl);
+    if (fn == nullptr) {
+      err += "sh: " + name + ": command not found\n";
+      return 127;
+    }
+
+    // LD_PRELOAD interposers cannot wrap statically-linked executables
+    // (Table 1); run those against the inner (real) syscall layer.
+    std::shared_ptr<kernel::Syscalls> saved_sys;
+    if (attrs.contains("static") && proc.sys->is_interposer() &&
+        !proc.sys->wraps_statically_linked()) {
+      saved_sys = proc.sys;
+      proc.sys = proc.sys->interposer_inner();
+    }
+    Invocation inv{proc, argv, input, out, err, state, attrs};
+    const int status = (*fn)(inv);
+    if (saved_sys) proc.sys = saved_sys;
+    return status;
+  }
+
+ private:
+  Shell& shell_;
+  kernel::Process& proc_;
+  ShellState& state_;
+  bool abort_ = false;
+  bool last_was_negated_ = false;
+};
+
+}  // namespace
+
+std::string Shell::find_in_path(kernel::Process& p, const std::string& name) {
+  std::string path_var = p.env_get("PATH");
+  if (path_var.empty()) {
+    path_var = "/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin";
+  }
+  for (const auto& dir : split(path_var, ':')) {
+    if (dir.empty()) continue;
+    const std::string candidate = path_join(dir, name);
+    auto st = p.sys->stat(p, candidate);
+    if (st.ok() && st->type == vfs::FileType::Regular &&
+        p.sys->access(p, candidate, kernel::kExecOk).ok()) {
+      return candidate;
+    }
+  }
+  return "";
+}
+
+int Shell::run(kernel::Process& p, const std::string& script, std::string& out,
+               std::string& err, const std::string& stdin_data) {
+  ShellState state;
+  state.registry = registry_;
+  state.shell = this;
+  return run_with_state(p, script, out, err, stdin_data, state);
+}
+
+int Shell::run_with_state(kernel::Process& p, const std::string& script,
+                          std::string& out, std::string& err,
+                          const std::string& stdin_data, ShellState& state) {
+  auto parsed = parse_script(script);
+  if (const auto* pe = std::get_if<ParseError>(&parsed)) {
+    err += "sh: syntax error: " + pe->message + "\n";
+    return 2;
+  }
+  state.shell = this;
+  if (state.registry == nullptr) state.registry = registry_;
+  Interp interp(*this, p, state);
+  return interp.exec_list(std::get<List>(parsed), out, err, stdin_data,
+                          /*in_condition=*/false);
+}
+
+int Shell::run_argv(kernel::Process& p, const std::vector<std::string>& argv,
+                    std::string& out, std::string& err,
+                    const std::string& stdin_data) {
+  if (argv.empty()) return 0;
+  ShellState state;
+  state.registry = registry_;
+  state.shell = this;
+  return Interp::shell_dispatch(*this, p, state, argv, stdin_data, out, err);
+}
+
+int Shell::dispatch_argv(kernel::Process& p,
+                         const std::vector<std::string>& argv,
+                         std::string& out, std::string& err,
+                         const std::string& stdin_data, ShellState& state) {
+  if (argv.empty()) return 0;
+  return Interp::shell_dispatch(*this, p, state, argv, stdin_data, out, err);
+}
+
+std::string make_binary(const std::string& impl,
+                        const std::map<std::string, std::string>& attrs) {
+  std::string out = "#!minicon " + impl;
+  for (const auto& [k, v] : attrs) {
+    out += " " + k + "=" + v;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace minicon::shell

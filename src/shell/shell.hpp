@@ -1,0 +1,68 @@
+// Shell interpreter.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/process.hpp"
+#include "shell/parse.hpp"
+#include "shell/registry.hpp"
+
+namespace minicon::shell {
+
+// Mutable interpreter state threaded through execution.
+struct ShellState {
+  std::shared_ptr<CommandRegistry> registry;
+  Shell* shell = nullptr;
+  bool xtrace = false;   // set -x
+  bool errexit = false;  // set -e
+  int last_status = 0;   // $?
+  int depth = 0;         // recursion guard (subshells, scripts, fakeroot)
+};
+
+class Shell {
+ public:
+  explicit Shell(std::shared_ptr<CommandRegistry> registry)
+      : registry_(std::move(registry)) {}
+
+  // Runs `script` as process `p`; stdout/stderr are appended to out/err.
+  // Returns the exit status (127 command not found, 2 parse error, ...).
+  int run(kernel::Process& p, const std::string& script, std::string& out,
+          std::string& err, const std::string& stdin_data = "");
+
+  // Runs with an existing state (used by `sh -c`, command substitution, and
+  // init steps that must observe `set -e`).
+  int run_with_state(kernel::Process& p, const std::string& script,
+                     std::string& out, std::string& err,
+                     const std::string& stdin_data, ShellState& state);
+
+  // Executes a pre-split argv (no parsing/expansion), dispatching through
+  // PATH exactly like a parsed command. Used by the builders to execute
+  // ['fakeroot', '/bin/sh', '-c', ...] exec-form instructions.
+  int run_argv(kernel::Process& p, const std::vector<std::string>& argv,
+               std::string& out, std::string& err,
+               const std::string& stdin_data = "");
+
+  // run_argv with an existing shell state (propagates recursion depth and
+  // registry; used by wrapper commands like fakeroot).
+  int dispatch_argv(kernel::Process& p, const std::vector<std::string>& argv,
+                    std::string& out, std::string& err,
+                    const std::string& stdin_data, ShellState& state);
+
+  const std::shared_ptr<CommandRegistry>& registry() const {
+    return registry_;
+  }
+
+  // PATH search; returns the resolved absolute path of an executable or
+  // empty. Exposed for `command -v`.
+  static std::string find_in_path(kernel::Process& p, const std::string& name);
+
+ private:
+  std::shared_ptr<CommandRegistry> registry_;
+};
+
+// Registers the core builtins + coreutils implementations shared by all
+// machines (see builtins.cpp for the inventory).
+void register_standard_commands(CommandRegistry& reg);
+
+}  // namespace minicon::shell

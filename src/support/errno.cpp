@@ -1,0 +1,103 @@
+#include "support/errno.hpp"
+
+namespace minicon {
+
+std::string_view err_name(Err e) noexcept {
+  switch (e) {
+    case Err::none: return "OK";
+    case Err::eperm: return "EPERM";
+    case Err::enoent: return "ENOENT";
+    case Err::esrch: return "ESRCH";
+    case Err::eintr: return "EINTR";
+    case Err::eio: return "EIO";
+    case Err::enxio: return "ENXIO";
+    case Err::e2big: return "E2BIG";
+    case Err::enoexec: return "ENOEXEC";
+    case Err::ebadf: return "EBADF";
+    case Err::echild: return "ECHILD";
+    case Err::eagain: return "EAGAIN";
+    case Err::enomem: return "ENOMEM";
+    case Err::eacces: return "EACCES";
+    case Err::efault: return "EFAULT";
+    case Err::enotblk: return "ENOTBLK";
+    case Err::ebusy: return "EBUSY";
+    case Err::eexist: return "EEXIST";
+    case Err::exdev: return "EXDEV";
+    case Err::enodev: return "ENODEV";
+    case Err::enotdir: return "ENOTDIR";
+    case Err::eisdir: return "EISDIR";
+    case Err::einval: return "EINVAL";
+    case Err::enfile: return "ENFILE";
+    case Err::emfile: return "EMFILE";
+    case Err::enotty: return "ENOTTY";
+    case Err::etxtbsy: return "ETXTBSY";
+    case Err::efbig: return "EFBIG";
+    case Err::enospc: return "ENOSPC";
+    case Err::espipe: return "ESPIPE";
+    case Err::erofs: return "EROFS";
+    case Err::emlink: return "EMLINK";
+    case Err::epipe: return "EPIPE";
+    case Err::erange: return "ERANGE";
+    case Err::enametoolong: return "ENAMETOOLONG";
+    case Err::enosys: return "ENOSYS";
+    case Err::enotempty: return "ENOTEMPTY";
+    case Err::eloop: return "ELOOP";
+    case Err::enodata: return "ENODATA";
+    case Err::eoverflow: return "EOVERFLOW";
+    case Err::eusers: return "EUSERS";
+    case Err::enotsup: return "ENOTSUP";
+    case Err::estale: return "ESTALE";
+  }
+  return "E???";
+}
+
+std::string_view err_message(Err e) noexcept {
+  switch (e) {
+    case Err::none: return "Success";
+    case Err::eperm: return "Operation not permitted";
+    case Err::enoent: return "No such file or directory";
+    case Err::esrch: return "No such process";
+    case Err::eintr: return "Interrupted system call";
+    case Err::eio: return "Input/output error";
+    case Err::enxio: return "No such device or address";
+    case Err::e2big: return "Argument list too long";
+    case Err::enoexec: return "Exec format error";
+    case Err::ebadf: return "Bad file descriptor";
+    case Err::echild: return "No child processes";
+    case Err::eagain: return "Resource temporarily unavailable";
+    case Err::enomem: return "Cannot allocate memory";
+    case Err::eacces: return "Permission denied";
+    case Err::efault: return "Bad address";
+    case Err::enotblk: return "Block device required";
+    case Err::ebusy: return "Device or resource busy";
+    case Err::eexist: return "File exists";
+    case Err::exdev: return "Invalid cross-device link";
+    case Err::enodev: return "No such device";
+    case Err::enotdir: return "Not a directory";
+    case Err::eisdir: return "Is a directory";
+    case Err::einval: return "Invalid argument";
+    case Err::enfile: return "Too many open files in system";
+    case Err::emfile: return "Too many open files";
+    case Err::enotty: return "Inappropriate ioctl for device";
+    case Err::etxtbsy: return "Text file busy";
+    case Err::efbig: return "File too large";
+    case Err::enospc: return "No space left on device";
+    case Err::espipe: return "Illegal seek";
+    case Err::erofs: return "Read-only file system";
+    case Err::emlink: return "Too many links";
+    case Err::epipe: return "Broken pipe";
+    case Err::erange: return "Numerical result out of range";
+    case Err::enametoolong: return "File name too long";
+    case Err::enosys: return "Function not implemented";
+    case Err::enotempty: return "Directory not empty";
+    case Err::eloop: return "Too many levels of symbolic links";
+    case Err::enodata: return "No data available";
+    case Err::eoverflow: return "Value too large for defined data type";
+    case Err::eusers: return "Too many users";
+    case Err::enotsup: return "Operation not supported";
+    case Err::estale: return "Stale file handle";
+  }
+  return "Unknown error";
+}
+
+}  // namespace minicon

@@ -1,0 +1,72 @@
+// Linux-style error numbers for the simulated kernel.
+//
+// The paper's argument turns on *which* errno a syscall returns under which
+// privilege model (e.g. apt-get printing "seteuid 100 failed - seteuid (22:
+// Invalid argument)" because setresuid(2) returns EINVAL for an unmapped UID
+// in an unprivileged user namespace). We therefore carry real errno values,
+// with the numbers matching asm-generic so transcripts line up with the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace minicon {
+
+enum class Err : std::int32_t {
+  none = 0,
+  eperm = 1,    // Operation not permitted
+  enoent = 2,   // No such file or directory
+  esrch = 3,    // No such process
+  eintr = 4,    // Interrupted system call
+  eio = 5,      // I/O error
+  enxio = 6,    // No such device or address
+  e2big = 7,    // Argument list too long
+  enoexec = 8,  // Exec format error
+  ebadf = 9,    // Bad file number
+  echild = 10,  // No child processes
+  eagain = 11,  // Try again
+  enomem = 12,  // Out of memory
+  eacces = 13,  // Permission denied
+  efault = 14,  // Bad address
+  enotblk = 15, // Block device required
+  ebusy = 16,   // Device or resource busy
+  eexist = 17,  // File exists
+  exdev = 18,   // Cross-device link
+  enodev = 19,  // No such device
+  enotdir = 20, // Not a directory
+  eisdir = 21,  // Is a directory
+  einval = 22,  // Invalid argument
+  enfile = 23,  // File table overflow
+  emfile = 24,  // Too many open files
+  enotty = 25,  // Not a typewriter
+  etxtbsy = 26, // Text file busy
+  efbig = 27,   // File too large
+  enospc = 28,  // No space left on device
+  espipe = 29,  // Illegal seek
+  erofs = 30,   // Read-only file system
+  emlink = 31,  // Too many links
+  epipe = 32,   // Broken pipe
+  erange = 34,  // Math result not representable
+  enametoolong = 36,
+  enosys = 38,       // Function not implemented
+  enotempty = 39,    // Directory not empty
+  eloop = 40,        // Too many symbolic links
+  enodata = 61,      // No data available (missing xattr)
+  eoverflow = 75,    // Value too large for defined data type
+  eusers = 87,       // Too many users
+  enotsup = 95,      // Operation not supported
+  estale = 116,      // Stale file handle (NFS)
+};
+
+// errno name, e.g. "EPERM".
+std::string_view err_name(Err e) noexcept;
+
+// strerror(3)-style message, e.g. "Operation not permitted".
+std::string_view err_message(Err e) noexcept;
+
+// Numeric value as the kernel would report it.
+constexpr std::int32_t err_value(Err e) noexcept {
+  return static_cast<std::int32_t>(e);
+}
+
+}  // namespace minicon

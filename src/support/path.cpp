@@ -1,0 +1,76 @@
+#include "support/path.hpp"
+
+namespace minicon {
+
+std::vector<std::string> path_components(std::string_view path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    const std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) {
+      std::string_view comp = path.substr(start, i - start);
+      if (comp != ".") out.emplace_back(comp);
+    }
+  }
+  return out;
+}
+
+std::string path_normalize(std::string_view path) {
+  const bool abs = path_is_absolute(path);
+  std::vector<std::string> stack;
+  for (auto& comp : path_components(path)) {
+    if (comp == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!abs) {
+        stack.push_back(comp);
+      }
+      // ".." at the root of an absolute path stays at "/".
+    } else {
+      stack.push_back(comp);
+    }
+  }
+  std::string out = abs ? "/" : "";
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) out += '/';
+    out += stack[i];
+  }
+  if (out.empty()) out = abs ? "/" : ".";
+  if (abs && out.size() > 1 && out[0] == '/' && out[1] == '/') {
+    out.erase(0, 1);
+  }
+  return out;
+}
+
+std::string path_join(std::string_view lhs, std::string_view rhs) {
+  if (rhs.empty()) return std::string(lhs);
+  if (path_is_absolute(rhs)) return std::string(rhs);
+  std::string out(lhs);
+  if (!out.empty() && out.back() != '/') out += '/';
+  out += rhs;
+  return out;
+}
+
+std::string path_dirname(std::string_view path) {
+  const std::string norm = path_normalize(path);
+  const std::size_t pos = norm.rfind('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return norm.substr(0, pos);
+}
+
+std::string path_basename(std::string_view path) {
+  const std::string norm = path_normalize(path);
+  if (norm == "/") return "/";
+  const std::size_t pos = norm.rfind('/');
+  if (pos == std::string::npos) return norm;
+  return norm.substr(pos + 1);
+}
+
+bool path_is_absolute(std::string_view path) {
+  return !path.empty() && path[0] == '/';
+}
+
+}  // namespace minicon

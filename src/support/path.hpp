@@ -1,0 +1,34 @@
+// Purely-lexical path manipulation for the simulated VFS.
+//
+// Paths inside the simulator are always slash-separated and absolute once
+// resolved against a working directory; symlink semantics live in the kernel
+// path walker, not here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicon {
+
+// Split "/a/b/c" -> {"a","b","c"}; "" and "/" -> {}. "." components are
+// dropped; ".." is preserved (resolved by the path walker, which must honor
+// symlinks).
+std::vector<std::string> path_components(std::string_view path);
+
+// Lexically normalize: collapse "//", drop ".", resolve ".." where possible
+// without consulting the filesystem. Result is absolute if input was.
+std::string path_normalize(std::string_view path);
+
+// Join two paths; if `rhs` is absolute it wins.
+std::string path_join(std::string_view lhs, std::string_view rhs);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string path_dirname(std::string_view path);
+
+// "/a/b/c" -> "c"; "/" -> "/".
+std::string path_basename(std::string_view path);
+
+bool path_is_absolute(std::string_view path);
+
+}  // namespace minicon

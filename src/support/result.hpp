@@ -1,0 +1,81 @@
+// Minimal expected-style result type carrying an Err.
+//
+// GCC 12 / C++20 has no std::expected, so we provide the small subset the
+// simulated kernel needs: value-or-error, monadic-free, assert-on-misuse.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "support/errno.hpp"
+
+namespace minicon {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets syscalls `return Err::eperm;` / `return v;`.
+  Result(T value) : value_(std::move(value)), err_(Err::none) {}
+  Result(Err e) : err_(e) { assert(e != Err::none); }
+
+  bool ok() const noexcept { return err_ == Err::none; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  Err error() const noexcept { return err_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Err err_;
+};
+
+// Result<void> analogue: success or an errno.
+class [[nodiscard]] VoidResult {
+ public:
+  VoidResult() : err_(Err::none) {}
+  VoidResult(Err e) : err_(e) {}  // Err::none means success.
+
+  bool ok() const noexcept { return err_ == Err::none; }
+  explicit operator bool() const noexcept { return ok(); }
+  Err error() const noexcept { return err_; }
+
+  static VoidResult success() { return VoidResult{}; }
+
+ private:
+  Err err_;
+};
+
+// Propagate an error from an expression yielding Result/VoidResult.
+#define MINICON_TRY(expr)                   \
+  do {                                      \
+    auto try_rc_ = (expr);                  \
+    if (!try_rc_.ok()) return try_rc_.error(); \
+  } while (0)
+
+// Assign the value of a Result expression or propagate its error.
+#define MINICON_TRY_ASSIGN(lhs, expr)       \
+  auto lhs##_rc_ = (expr);                  \
+  if (!lhs##_rc_.ok()) return lhs##_rc_.error(); \
+  auto lhs = std::move(lhs##_rc_).value()
+
+}  // namespace minicon

@@ -1,0 +1,46 @@
+// Self-contained SHA-256 (FIPS 180-4) for content-addressed image storage.
+//
+// The registry and layer store address blobs by "sha256:<hex>" digests like
+// OCI registries do; no external crypto dependency is available offline, so
+// we implement the compression function directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace minicon {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  // Finalizes and returns the 32-byte digest. The object must be reset()
+  // before reuse.
+  std::array<std::uint8_t, 32> finish();
+
+  // One-shot helpers.
+  static std::array<std::uint8_t, 32> digest(std::string_view data);
+  static std::string hex_digest(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// Lowercase hex of arbitrary bytes.
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+
+// "sha256:<hex>" digest string as used by the registry.
+std::string oci_digest(std::string_view blob);
+
+}  // namespace minicon

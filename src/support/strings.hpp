@@ -1,0 +1,38 @@
+// Small string utilities shared across the simulator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicon {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+
+// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+// Parse a non-negative decimal integer; returns false on any non-digit or
+// empty input.
+bool parse_u32(std::string_view s, std::uint32_t& out);
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+// printf-like octal / decimal formatting used by ls(1) and tar headers.
+std::string format_octal(std::uint64_t value, int width);
+
+}  // namespace minicon

@@ -1,0 +1,59 @@
+#include "support/transcript.hpp"
+
+#include <ostream>
+
+#include "support/strings.hpp"
+
+namespace minicon {
+
+void Transcript::line(std::string text) {
+  if (echo_) echo_(text);
+  lines_.push_back(std::move(text));
+}
+
+void Transcript::block(std::string_view text) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) {
+      if (start < text.size()) line(std::string(text.substr(start)));
+      return;
+    }
+    line(std::string(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+std::string Transcript::text() const {
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Transcript::contains(std::string_view needle) const {
+  for (const auto& l : lines_) {
+    if (minicon::contains(l, needle)) return true;
+  }
+  return false;
+}
+
+std::size_t Transcript::count(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& l : lines_) {
+    if (minicon::contains(l, needle)) ++n;
+  }
+  return n;
+}
+
+void Transcript::echo_to(std::ostream& os) {
+  set_echo([&os](const std::string& l) { os << l << '\n'; });
+}
+
+void Transcript::print(std::ostream& os) const {
+  for (const auto& l : lines_) os << l << '\n';
+}
+
+}  // namespace minicon

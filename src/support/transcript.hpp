@@ -1,0 +1,58 @@
+// Transcript sink for regenerating the paper's figures.
+//
+// Every figure in the paper is a terminal transcript ($ prompt lines, tool
+// output, error lines). Builders, package managers, and the shell write their
+// user-visible output through a Transcript so that benches can both print it
+// and assert on its contents.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicon {
+
+class Transcript {
+ public:
+  Transcript() = default;
+
+  // Appends one line (no trailing newline needed).
+  void line(std::string text);
+
+  // Appends a "$ cmd" prompt line, like an interactive session.
+  void prompt(std::string_view cmd) { line("$ " + std::string(cmd)); }
+
+  // Appends possibly-multiline text, splitting on '\n'.
+  void block(std::string_view text);
+
+  const std::vector<std::string>& lines() const noexcept { return lines_; }
+
+  // Whole transcript joined with newlines (plus trailing newline).
+  std::string text() const;
+
+  bool contains(std::string_view needle) const;
+
+  // Number of lines containing `needle`.
+  std::size_t count(std::string_view needle) const;
+
+  void clear() { lines_.clear(); }
+
+  // When set, each line is also forwarded as it is appended (used by benches
+  // that stream to stdout).
+  void set_echo(std::function<void(const std::string&)> echo) {
+    echo_ = std::move(echo);
+  }
+
+  // Convenience: echo to an ostream.
+  void echo_to(std::ostream& os);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> lines_;
+  std::function<void(const std::string&)> echo_;
+};
+
+}  // namespace minicon

@@ -1,0 +1,84 @@
+// In-memory filesystem: the tmpfs / local-disk model.
+//
+// MemFs performs no identity checks of its own (OpCtx is accepted and used
+// only for timestamps); POSIX permission enforcement is the kernel's job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vfs/filesystem.hpp"
+
+namespace minicon::vfs {
+
+class MemFs : public Filesystem {
+ public:
+  // Creates an empty filesystem whose root directory is owned by root:root
+  // with the given mode.
+  explicit MemFs(std::uint32_t root_mode = 0755);
+
+  std::string fs_type() const override { return "tmpfs"; }
+  bool supports_user_xattrs() const override { return true; }
+
+  InodeNum root() const override { return root_; }
+
+  Result<InodeNum> lookup(InodeNum dir, const std::string& name) override;
+  Result<Stat> getattr(InodeNum node) override;
+  Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
+  Result<std::string> readlink(InodeNum node) override;
+  Result<std::string> read(InodeNum node) override;
+
+  Result<InodeNum> create(const OpCtx& ctx, InodeNum dir,
+                          const std::string& name,
+                          const CreateArgs& args) override;
+  VoidResult write(const OpCtx& ctx, InodeNum node, std::string data,
+                   bool append) override;
+  VoidResult set_owner(const OpCtx& ctx, InodeNum node, Uid uid,
+                       Gid gid) override;
+  VoidResult set_mode(const OpCtx& ctx, InodeNum node,
+                      std::uint32_t mode) override;
+  VoidResult link(const OpCtx& ctx, InodeNum dir, const std::string& name,
+                  InodeNum target) override;
+  VoidResult unlink(const OpCtx& ctx, InodeNum dir,
+                    const std::string& name) override;
+  VoidResult rmdir(const OpCtx& ctx, InodeNum dir,
+                   const std::string& name) override;
+  VoidResult rename(const OpCtx& ctx, InodeNum src_dir,
+                    const std::string& src_name, InodeNum dst_dir,
+                    const std::string& dst_name) override;
+
+  VoidResult set_xattr(const OpCtx& ctx, InodeNum node, const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(InodeNum node,
+                                const std::string& name) override;
+  Result<std::vector<std::string>> list_xattrs(InodeNum node) override;
+  VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
+                          const std::string& name) override;
+
+  // Total bytes of file content; the storage-driver bench uses this to show
+  // the VFS driver's "significant storage overhead" (§4.1).
+  std::uint64_t total_bytes() const;
+  std::size_t inode_count() const { return inodes_.size(); }
+
+ private:
+  struct Inode {
+    Stat st;
+    std::string data;                           // regular / symlink target
+    std::map<std::string, InodeNum> children;   // directory
+    std::map<std::string, std::string> xattrs;
+  };
+
+  Inode* get(InodeNum n);
+  Result<Inode*> get_dir(InodeNum n);
+  InodeNum alloc(const OpCtx& ctx, const CreateArgs& args);
+  void unref(InodeNum n);
+
+  std::unordered_map<InodeNum, Inode> inodes_;
+  InodeNum next_ino_ = 1;
+  InodeNum root_ = 0;
+};
+
+}  // namespace minicon::vfs

@@ -1,0 +1,337 @@
+#include "vfs/overlayfs.hpp"
+
+#include <cassert>
+
+namespace minicon::vfs {
+
+OverlayFs::OverlayFs(FilesystemPtr lower) : lower_(std::move(lower)) {
+  assert(lower_ != nullptr);
+  Node root;
+  root.parent = kRootIno;
+  root.name = "/";
+  root.lower = lower_->root();
+  nodes_.emplace(kRootIno, std::move(root));
+}
+
+OverlayFs::Node* OverlayFs::get(InodeNum n) {
+  auto it = nodes_.find(n);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+InodeNum OverlayFs::intern(InodeNum dir, const std::string& name,
+                           std::optional<InodeNum> lower,
+                           std::optional<InodeNum> upper) {
+  Node* d = get(dir);
+  assert(d != nullptr);
+  auto it = d->children.find(name);
+  if (it != d->children.end()) {
+    Node* existing = get(it->second);
+    if (lower) existing->lower = lower;
+    if (upper) existing->upper = upper;
+    return it->second;
+  }
+  const InodeNum n = next_ino_++;
+  Node node;
+  node.parent = dir;
+  node.name = name;
+  node.lower = lower;
+  node.upper = upper;
+  nodes_.emplace(n, std::move(node));
+  d->children.emplace(name, n);
+  return n;
+}
+
+void OverlayFs::forget(InodeNum dir, const std::string& name) {
+  Node* d = get(dir);
+  if (d == nullptr) return;
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return;
+  nodes_.erase(it->second);
+  d->children.erase(it);
+}
+
+Result<Stat> OverlayFs::backing_stat(const Node& node) {
+  Result<Stat> st = node.upper ? upper_.getattr(*node.upper)
+                               : lower_->getattr(*node.lower);
+  return st;
+}
+
+Result<InodeNum> OverlayFs::lookup(InodeNum dir, const std::string& name) {
+  Node* d = get(dir);
+  if (d == nullptr) return Err::estale;
+  if (whited_out(dir, name)) return Err::enoent;
+  // A previously-interned dentry is authoritative.
+  auto it = d->children.find(name);
+  if (it != d->children.end()) return it->second;
+
+  std::optional<InodeNum> upper;
+  std::optional<InodeNum> lower;
+  if (d->upper) {
+    if (auto r = upper_.lookup(*d->upper, name); r.ok()) upper = *r;
+  }
+  if (d->lower) {
+    if (auto r = lower_->lookup(*d->lower, name); r.ok()) lower = *r;
+  }
+  if (upper && lower) {
+    // A non-directory upper entry fully shadows the lower one.
+    auto ust = upper_.getattr(*upper);
+    auto lst = lower_->getattr(*lower);
+    if (!ust.ok()) return ust.error();
+    if (!(ust->is_dir() && lst.ok() && lst->is_dir())) lower.reset();
+  }
+  if (!upper && !lower) return Err::enoent;
+  return intern(dir, name, lower, upper);
+}
+
+Result<Stat> OverlayFs::getattr(InodeNum n) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  MINICON_TRY_ASSIGN(st, backing_stat(*node));
+  st.ino = n;
+  return st;
+}
+
+Result<std::vector<DirEntry>> OverlayFs::readdir(InodeNum dir) {
+  Node* d = get(dir);
+  if (d == nullptr) return Err::estale;
+  MINICON_TRY_ASSIGN(st, backing_stat(*d));
+  if (!st.is_dir()) return Err::enotdir;
+
+  std::map<std::string, DirEntry> merged;
+  if (d->lower) {
+    MINICON_TRY_ASSIGN(entries, lower_->readdir(*d->lower));
+    for (auto& e : entries) {
+      if (whited_out(dir, e.name)) continue;
+      merged[e.name] = e;
+    }
+  }
+  if (d->upper) {
+    MINICON_TRY_ASSIGN(entries, upper_.readdir(*d->upper));
+    for (auto& e : entries) merged[e.name] = e;
+  }
+  std::vector<DirEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, e] : merged) {
+    // Report overlay inode numbers, interning on the fly.
+    auto child = lookup(dir, name);
+    if (!child.ok()) continue;
+    out.push_back({name, *child, e.type});
+  }
+  return out;
+}
+
+Result<std::string> OverlayFs::readlink(InodeNum n) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  return node->upper ? upper_.readlink(*node->upper)
+                     : lower_->readlink(*node->lower);
+}
+
+Result<std::string> OverlayFs::read(InodeNum n) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  return node->upper ? upper_.read(*node->upper) : lower_->read(*node->lower);
+}
+
+VoidResult OverlayFs::ensure_upper(const OpCtx& ctx, InodeNum n) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  if (node->upper) return {};
+  if (n == kRootIno) {
+    // Root copy-up: mirror the lower root's attributes onto the upper root.
+    MINICON_TRY_ASSIGN(lst, lower_->getattr(*node->lower));
+    const InodeNum uroot = upper_.root();
+    MINICON_TRY(upper_.set_mode(ctx, uroot, lst.mode));
+    MINICON_TRY(upper_.set_owner(ctx, uroot, lst.uid, lst.gid));
+    node->upper = uroot;
+    return {};
+  }
+  MINICON_TRY(ensure_upper(ctx, node->parent));
+  Node* parent = get(node->parent);
+  MINICON_TRY_ASSIGN(lst, lower_->getattr(*node->lower));
+
+  CreateArgs args;
+  args.type = lst.type;
+  args.mode = lst.mode;
+  args.uid = lst.uid;
+  args.gid = lst.gid;
+  args.dev_major = lst.dev_major;
+  args.dev_minor = lst.dev_minor;
+  if (lst.type == FileType::Symlink) {
+    MINICON_TRY_ASSIGN(target, lower_->readlink(*node->lower));
+    args.symlink_target = target;
+  }
+  MINICON_TRY_ASSIGN(up, upper_.create(ctx, *parent->upper, node->name, args));
+  if (lst.type == FileType::Regular) {
+    MINICON_TRY_ASSIGN(data, lower_->read(*node->lower));
+    MINICON_TRY(upper_.write(ctx, up, std::move(data), /*append=*/false));
+  }
+  if (auto xattrs = lower_->list_xattrs(*node->lower); xattrs.ok()) {
+    for (const auto& name : *xattrs) {
+      if (auto v = lower_->get_xattr(*node->lower, name); v.ok()) {
+        MINICON_TRY(upper_.set_xattr(ctx, up, name, *v));
+      }
+    }
+  }
+  node->upper = up;
+  return {};
+}
+
+VoidResult OverlayFs::ensure_upper_deep(const OpCtx& ctx, InodeNum n) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  MINICON_TRY_ASSIGN(st, getattr(n));
+  if (!st.is_dir()) return {};
+  MINICON_TRY_ASSIGN(entries, readdir(n));
+  for (const auto& e : entries) {
+    MINICON_TRY(ensure_upper_deep(ctx, e.ino));
+  }
+  return {};
+}
+
+Result<InodeNum> OverlayFs::create(const OpCtx& ctx, InodeNum dir,
+                                   const std::string& name,
+                                   const CreateArgs& args) {
+  Node* d = get(dir);
+  if (d == nullptr) return Err::estale;
+  if (auto existing = lookup(dir, name); existing.ok()) return Err::eexist;
+  MINICON_TRY(ensure_upper(ctx, dir));
+  d = get(dir);
+  MINICON_TRY_ASSIGN(up, upper_.create(ctx, *d->upper, name, args));
+  whiteouts_.erase({dir, name});
+  return intern(dir, name, std::nullopt, up);
+}
+
+VoidResult OverlayFs::write(const OpCtx& ctx, InodeNum n, std::string data,
+                            bool append) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  Node* node = get(n);
+  return upper_.write(ctx, *node->upper, std::move(data), append);
+}
+
+VoidResult OverlayFs::set_owner(const OpCtx& ctx, InodeNum n, Uid uid,
+                                Gid gid) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  Node* node = get(n);
+  return upper_.set_owner(ctx, *node->upper, uid, gid);
+}
+
+VoidResult OverlayFs::set_mode(const OpCtx& ctx, InodeNum n, std::uint32_t m) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  Node* node = get(n);
+  return upper_.set_mode(ctx, *node->upper, m);
+}
+
+VoidResult OverlayFs::link(const OpCtx& ctx, InodeNum dir,
+                           const std::string& name, InodeNum target) {
+  Node* d = get(dir);
+  if (d == nullptr) return Err::estale;
+  if (auto existing = lookup(dir, name); existing.ok()) return Err::eexist;
+  MINICON_TRY(ensure_upper(ctx, dir));
+  MINICON_TRY(ensure_upper(ctx, target));
+  d = get(dir);
+  Node* t = get(target);
+  MINICON_TRY(upper_.link(ctx, *d->upper, name, *t->upper));
+  whiteouts_.erase({dir, name});
+  intern(dir, name, std::nullopt, *t->upper);
+  return {};
+}
+
+VoidResult OverlayFs::unlink(const OpCtx& ctx, InodeNum dir,
+                             const std::string& name) {
+  MINICON_TRY_ASSIGN(child, lookup(dir, name));
+  MINICON_TRY_ASSIGN(st, getattr(child));
+  if (st.is_dir()) return Err::eisdir;
+  Node* node = get(child);
+  const bool had_lower = node->lower.has_value();
+  if (node->upper) {
+    Node* d = get(dir);
+    MINICON_TRY(ensure_upper(ctx, dir));
+    d = get(dir);
+    MINICON_TRY(upper_.unlink(ctx, *d->upper, name));
+  }
+  if (had_lower) whiteouts_.insert({dir, name});
+  forget(dir, name);
+  return {};
+}
+
+VoidResult OverlayFs::rmdir(const OpCtx& ctx, InodeNum dir,
+                            const std::string& name) {
+  MINICON_TRY_ASSIGN(child, lookup(dir, name));
+  MINICON_TRY_ASSIGN(st, getattr(child));
+  if (!st.is_dir()) return Err::enotdir;
+  MINICON_TRY_ASSIGN(entries, readdir(child));
+  if (!entries.empty()) return Err::enotempty;
+  Node* node = get(child);
+  const bool had_lower = node->lower.has_value();
+  if (node->upper) {
+    MINICON_TRY(ensure_upper(ctx, dir));
+    Node* d = get(dir);
+    MINICON_TRY(upper_.rmdir(ctx, *d->upper, name));
+  }
+  if (had_lower) whiteouts_.insert({dir, name});
+  forget(dir, name);
+  return {};
+}
+
+VoidResult OverlayFs::rename(const OpCtx& ctx, InodeNum src_dir,
+                             const std::string& src_name, InodeNum dst_dir,
+                             const std::string& dst_name) {
+  MINICON_TRY_ASSIGN(moving, lookup(src_dir, src_name));
+  // Real overlayfs returns EXDEV for lower-dir renames and userspace falls
+  // back to copy+delete; we perform the copy-up directly.
+  MINICON_TRY(ensure_upper_deep(ctx, moving));
+
+  if (auto existing = lookup(dst_dir, dst_name); existing.ok()) {
+    MINICON_TRY_ASSIGN(est, getattr(*existing));
+    if (est.is_dir()) {
+      MINICON_TRY(rmdir(ctx, dst_dir, dst_name));
+    } else {
+      MINICON_TRY(unlink(ctx, dst_dir, dst_name));
+    }
+  }
+  MINICON_TRY(ensure_upper(ctx, dst_dir));
+  MINICON_TRY(ensure_upper(ctx, src_dir));
+  Node* sd = get(src_dir);
+  Node* dd = get(dst_dir);
+  MINICON_TRY(upper_.rename(ctx, *sd->upper, src_name, *dd->upper, dst_name));
+
+  Node* node = get(moving);
+  const bool had_lower = node->lower.has_value();
+  const InodeNum upper_ino = *node->upper;
+  forget(src_dir, src_name);
+  if (had_lower) whiteouts_.insert({src_dir, src_name});
+  whiteouts_.erase({dst_dir, dst_name});
+  intern(dst_dir, dst_name, std::nullopt, upper_ino);
+  return {};
+}
+
+VoidResult OverlayFs::set_xattr(const OpCtx& ctx, InodeNum n,
+                                const std::string& name,
+                                const std::string& value) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  Node* node = get(n);
+  return upper_.set_xattr(ctx, *node->upper, name, value);
+}
+
+Result<std::string> OverlayFs::get_xattr(InodeNum n, const std::string& name) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  return node->upper ? upper_.get_xattr(*node->upper, name)
+                     : lower_->get_xattr(*node->lower, name);
+}
+
+Result<std::vector<std::string>> OverlayFs::list_xattrs(InodeNum n) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  return node->upper ? upper_.list_xattrs(*node->upper)
+                     : lower_->list_xattrs(*node->lower);
+}
+
+VoidResult OverlayFs::remove_xattr(const OpCtx& ctx, InodeNum n,
+                                   const std::string& name) {
+  MINICON_TRY(ensure_upper(ctx, n));
+  Node* node = get(n);
+  return upper_.remove_xattr(ctx, *node->upper, name);
+}
+
+}  // namespace minicon::vfs

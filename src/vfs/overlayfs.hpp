@@ -1,0 +1,109 @@
+// Union filesystem: the fuse-overlayfs storage-driver model (§4.1).
+//
+// An OverlayFs presents a read-only lower filesystem merged with a private
+// writable upper layer (a MemFs). Mutations trigger copy-up; deletions of
+// lower entries are recorded as whiteouts. Stacking OverlayFs on OverlayFs
+// yields the layered image storage that the Podman overlay driver uses; the
+// VFS driver by contrast deep-copies the whole lower tree up front (see
+// copy_tree in treeops.hpp), which is the O(image size) per-layer cost the
+// paper calls "much slower ... significant storage overhead".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "vfs/filesystem.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::vfs {
+
+class OverlayFs : public Filesystem {
+ public:
+  explicit OverlayFs(FilesystemPtr lower);
+
+  std::string fs_type() const override { return "overlay"; }
+  bool supports_user_xattrs() const override { return true; }
+
+  InodeNum root() const override { return kRootIno; }
+
+  Result<InodeNum> lookup(InodeNum dir, const std::string& name) override;
+  Result<Stat> getattr(InodeNum node) override;
+  Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
+  Result<std::string> readlink(InodeNum node) override;
+  Result<std::string> read(InodeNum node) override;
+
+  Result<InodeNum> create(const OpCtx& ctx, InodeNum dir,
+                          const std::string& name,
+                          const CreateArgs& args) override;
+  VoidResult write(const OpCtx& ctx, InodeNum node, std::string data,
+                   bool append) override;
+  VoidResult set_owner(const OpCtx& ctx, InodeNum node, Uid uid,
+                       Gid gid) override;
+  VoidResult set_mode(const OpCtx& ctx, InodeNum node,
+                      std::uint32_t mode) override;
+  VoidResult link(const OpCtx& ctx, InodeNum dir, const std::string& name,
+                  InodeNum target) override;
+  VoidResult unlink(const OpCtx& ctx, InodeNum dir,
+                    const std::string& name) override;
+  VoidResult rmdir(const OpCtx& ctx, InodeNum dir,
+                   const std::string& name) override;
+  VoidResult rename(const OpCtx& ctx, InodeNum src_dir,
+                    const std::string& src_name, InodeNum dst_dir,
+                    const std::string& dst_name) override;
+
+  VoidResult set_xattr(const OpCtx& ctx, InodeNum node, const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(InodeNum node,
+                                const std::string& name) override;
+  Result<std::vector<std::string>> list_xattrs(InodeNum node) override;
+  VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
+                          const std::string& name) override;
+
+  // Bytes stored in this layer's upper dir only — the marginal cost of the
+  // layer, as opposed to the cumulative image size.
+  std::uint64_t upper_bytes() const { return upper_.total_bytes(); }
+  std::size_t upper_inode_count() const { return upper_.inode_count(); }
+
+  // Direct access to the upper layer (layer-diff export for multi-layer
+  // pushes). Mutating it directly bypasses copy-up bookkeeping; use for
+  // read-only walks.
+  MemFs& upper_fs() { return upper_; }
+
+ private:
+  static constexpr InodeNum kRootIno = 1;
+
+  struct Node {
+    InodeNum parent = 0;  // overlay ino of parent; root points to itself
+    std::string name;     // entry name within parent
+    std::optional<InodeNum> lower;  // ino in lower fs
+    std::optional<InodeNum> upper;  // ino in upper fs
+    std::map<std::string, InodeNum> children;  // lazily-populated dentries
+  };
+
+  Node* get(InodeNum n);
+  bool whited_out(InodeNum dir, const std::string& name) const {
+    return whiteouts_.contains({dir, name});
+  }
+  // Returns the ovl ino for (dir, name), creating the Node on first sight.
+  InodeNum intern(InodeNum dir, const std::string& name,
+                  std::optional<InodeNum> lower, std::optional<InodeNum> upper);
+  // Copies the node (and its ancestors) into the upper layer if needed.
+  VoidResult ensure_upper(const OpCtx& ctx, InodeNum node);
+  // Deep copy-up of a whole subtree (needed before rename of a lower dir).
+  VoidResult ensure_upper_deep(const OpCtx& ctx, InodeNum node);
+  // Drops a dentry (after unlink/rmdir/rename-away).
+  void forget(InodeNum dir, const std::string& name);
+  // Stat from whichever layer backs the node, with the overlay ino patched in.
+  Result<Stat> backing_stat(const Node& node);
+
+  FilesystemPtr lower_;
+  MemFs upper_;
+  std::unordered_map<InodeNum, Node> nodes_;
+  std::set<std::pair<InodeNum, std::string>> whiteouts_;
+  InodeNum next_ino_ = 2;
+};
+
+}  // namespace minicon::vfs

@@ -1,0 +1,58 @@
+#include "vfs/sharedfs.hpp"
+
+namespace minicon::vfs {
+
+SharedFs::SharedFs(SharedFsOptions options) : options_(std::move(options)) {}
+
+Result<InodeNum> SharedFs::create(const OpCtx& ctx, InodeNum dir,
+                                  const std::string& name,
+                                  const CreateArgs& args) {
+  CreateArgs adjusted = args;
+  if (!server_privileged(ctx)) {
+    // The server authenticates the real client identity and stores that,
+    // regardless of what ownership the (namespaced) client asked for. This
+    // is why §4.2 notes the UID/GID mappers "cannot work when the container
+    // storage location is a shared filesystem".
+    adjusted.uid = ctx.host_uid;
+    adjusted.gid = ctx.host_gid;
+  }
+  return inner_.create(ctx, dir, name, adjusted);
+}
+
+VoidResult SharedFs::set_owner(const OpCtx& ctx, InodeNum node, Uid uid,
+                               Gid gid) {
+  if (!server_privileged(ctx)) {
+    MINICON_TRY_ASSIGN(st, inner_.getattr(node));
+    const bool uid_change = uid != kNoChangeId && uid != st.uid;
+    const bool gid_change = gid != kNoChangeId && gid != st.gid;
+    if (uid_change) return Err::eperm;
+    if (gid_change && gid != ctx.host_gid) return Err::eperm;
+  }
+  return inner_.set_owner(ctx, node, uid, gid);
+}
+
+VoidResult SharedFs::set_xattr(const OpCtx& ctx, InodeNum node,
+                               const std::string& name,
+                               const std::string& value) {
+  if (!options_.xattrs_supported) return Err::enotsup;
+  return inner_.set_xattr(ctx, node, name, value);
+}
+
+Result<std::string> SharedFs::get_xattr(InodeNum node,
+                                        const std::string& name) {
+  if (!options_.xattrs_supported) return Err::enotsup;
+  return inner_.get_xattr(node, name);
+}
+
+Result<std::vector<std::string>> SharedFs::list_xattrs(InodeNum node) {
+  if (!options_.xattrs_supported) return Err::enotsup;
+  return inner_.list_xattrs(node);
+}
+
+VoidResult SharedFs::remove_xattr(const OpCtx& ctx, InodeNum node,
+                                  const std::string& name) {
+  if (!options_.xattrs_supported) return Err::enotsup;
+  return inner_.remove_xattr(ctx, node, name);
+}
+
+}  // namespace minicon::vfs

@@ -1,0 +1,100 @@
+// Shared parallel filesystem model (NFS / Lustre / GPFS, §4.2 and §6.1).
+//
+// The defining property for this paper: *the server* decides what identities
+// may be stored, based on who the client really is — a client-side user
+// namespace is invisible to it. With default options this reproduces both
+// limitations the paper reports for rootless Podman on shared storage:
+//   1. UID/GID mappers cannot take effect — the server refuses to create
+//      files owned by other (sub)UIDs for an unprivileged user, and squashes
+//      root (root_squash).
+//   2. user xattrs are unsupported (pre-Linux-5.9 NFS), so fuse-overlayfs'
+//      ID-stashing xattrs fail. Set xattrs_supported=true to model the
+//      Linux 5.9 + NFSv4.2 future described in §6.2.1.
+#pragma once
+
+#include "vfs/filesystem.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::vfs {
+
+struct SharedFsOptions {
+  bool xattrs_supported = false;  // NFSv4.2 xattrs (RFC 8276) off by default
+  bool root_squash = true;        // client root is mapped to nobody
+  std::string flavor = "nfs";     // "nfs", "lustre", "gpfs" — cosmetic
+};
+
+class SharedFs : public Filesystem {
+ public:
+  explicit SharedFs(SharedFsOptions options = {});
+
+  std::string fs_type() const override { return options_.flavor; }
+  bool supports_user_xattrs() const override {
+    return options_.xattrs_supported;
+  }
+  bool supports_device_nodes() const override { return true; }
+
+  InodeNum root() const override { return inner_.root(); }
+
+  Result<InodeNum> lookup(InodeNum dir, const std::string& name) override {
+    return inner_.lookup(dir, name);
+  }
+  Result<Stat> getattr(InodeNum node) override { return inner_.getattr(node); }
+  Result<std::vector<DirEntry>> readdir(InodeNum dir) override {
+    return inner_.readdir(dir);
+  }
+  Result<std::string> readlink(InodeNum node) override {
+    return inner_.readlink(node);
+  }
+  Result<std::string> read(InodeNum node) override { return inner_.read(node); }
+
+  Result<InodeNum> create(const OpCtx& ctx, InodeNum dir,
+                          const std::string& name,
+                          const CreateArgs& args) override;
+  VoidResult write(const OpCtx& ctx, InodeNum node, std::string data,
+                   bool append) override {
+    return inner_.write(ctx, node, std::move(data), append);
+  }
+  VoidResult set_owner(const OpCtx& ctx, InodeNum node, Uid uid,
+                       Gid gid) override;
+  VoidResult set_mode(const OpCtx& ctx, InodeNum node,
+                      std::uint32_t mode) override {
+    return inner_.set_mode(ctx, node, mode);
+  }
+  VoidResult link(const OpCtx& ctx, InodeNum dir, const std::string& name,
+                  InodeNum target) override {
+    return inner_.link(ctx, dir, name, target);
+  }
+  VoidResult unlink(const OpCtx& ctx, InodeNum dir,
+                    const std::string& name) override {
+    return inner_.unlink(ctx, dir, name);
+  }
+  VoidResult rmdir(const OpCtx& ctx, InodeNum dir,
+                   const std::string& name) override {
+    return inner_.rmdir(ctx, dir, name);
+  }
+  VoidResult rename(const OpCtx& ctx, InodeNum src_dir,
+                    const std::string& src_name, InodeNum dst_dir,
+                    const std::string& dst_name) override {
+    return inner_.rename(ctx, src_dir, src_name, dst_dir, dst_name);
+  }
+
+  VoidResult set_xattr(const OpCtx& ctx, InodeNum node, const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(InodeNum node,
+                                const std::string& name) override;
+  Result<std::vector<std::string>> list_xattrs(InodeNum node) override;
+  VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
+                          const std::string& name) override;
+
+ private:
+  // True when the acting host identity may assign arbitrary ownership on the
+  // server (i.e. real root without root_squash).
+  bool server_privileged(const OpCtx& ctx) const {
+    return ctx.host_privileged && !options_.root_squash;
+  }
+
+  SharedFsOptions options_;
+  MemFs inner_;
+};
+
+}  // namespace minicon::vfs

@@ -1,0 +1,147 @@
+#include "vfs/treeops.hpp"
+
+namespace minicon::vfs {
+
+namespace {
+
+VoidResult copy_node(Filesystem& src, InodeNum src_node, const Stat& st,
+                     Filesystem& dst, InodeNum dst_dir, const std::string& name,
+                     const OpCtx& ctx, CopyStats& stats, InodeNum& out_node) {
+  CreateArgs args;
+  args.type = st.type;
+  args.mode = st.mode;
+  args.uid = st.uid;
+  args.gid = st.gid;
+  args.dev_major = st.dev_major;
+  args.dev_minor = st.dev_minor;
+  if (st.type == FileType::Symlink) {
+    MINICON_TRY_ASSIGN(target, src.readlink(src_node));
+    args.symlink_target = target;
+  }
+  MINICON_TRY_ASSIGN(created, dst.create(ctx, dst_dir, name, args));
+  out_node = created;
+  switch (st.type) {
+    case FileType::Regular: {
+      MINICON_TRY_ASSIGN(data, src.read(src_node));
+      stats.bytes += data.size();
+      MINICON_TRY(dst.write(ctx, created, std::move(data), /*append=*/false));
+      ++stats.files;
+      break;
+    }
+    case FileType::Directory:
+      ++stats.dirs;
+      break;
+    case FileType::Symlink:
+      ++stats.symlinks;
+      break;
+    case FileType::CharDev:
+    case FileType::BlockDev:
+      ++stats.devices;
+      break;
+    default:
+      break;
+  }
+  if (auto xattrs = src.list_xattrs(src_node); xattrs.ok()) {
+    for (const auto& xname : *xattrs) {
+      if (auto v = src.get_xattr(src_node, xname); v.ok()) {
+        // Xattr copy is best-effort: the destination may not support them.
+        (void)dst.set_xattr(ctx, created, xname, *v);
+      }
+    }
+  }
+  return {};
+}
+
+VoidResult copy_children(Filesystem& src, InodeNum src_dir, Filesystem& dst,
+                         InodeNum dst_dir, const OpCtx& ctx, CopyStats& stats) {
+  MINICON_TRY_ASSIGN(entries, src.readdir(src_dir));
+  for (const auto& e : entries) {
+    MINICON_TRY_ASSIGN(st, src.getattr(e.ino));
+    InodeNum created = 0;
+    MINICON_TRY(
+        copy_node(src, e.ino, st, dst, dst_dir, e.name, ctx, stats, created));
+    if (st.is_dir()) {
+      MINICON_TRY(copy_children(src, e.ino, dst, created, ctx, stats));
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<CopyStats> copy_tree(Filesystem& src, InodeNum src_dir, Filesystem& dst,
+                            InodeNum dst_dir, const OpCtx& ctx) {
+  CopyStats stats;
+  MINICON_TRY(copy_children(src, src_dir, dst, dst_dir, ctx, stats));
+  return stats;
+}
+
+namespace {
+
+VoidResult walk_impl(
+    Filesystem& fs, InodeNum dir, const std::string& prefix,
+    const std::function<bool(const std::string&, const Stat&)>& visit,
+    bool& keep_going) {
+  MINICON_TRY_ASSIGN(entries, fs.readdir(dir));
+  for (const auto& e : entries) {
+    if (!keep_going) return {};
+    MINICON_TRY_ASSIGN(st, fs.getattr(e.ino));
+    const std::string rel = prefix.empty() ? e.name : prefix + "/" + e.name;
+    if (!visit(rel, st)) {
+      keep_going = false;
+      return {};
+    }
+    if (st.is_dir()) {
+      MINICON_TRY(walk_impl(fs, e.ino, rel, visit, keep_going));
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+VoidResult walk_tree(
+    Filesystem& fs, InodeNum dir,
+    const std::function<bool(const std::string&, const Stat&)>& visit) {
+  bool keep_going = true;
+  return walk_impl(fs, dir, "", visit, keep_going);
+}
+
+Result<std::uint64_t> tree_bytes(Filesystem& fs, InodeNum dir) {
+  std::uint64_t total = 0;
+  MINICON_TRY(walk_tree(fs, dir, [&](const std::string&, const Stat& st) {
+    if (st.type == FileType::Regular) total += st.size;
+    return true;
+  }));
+  return total;
+}
+
+Result<std::uint64_t> tree_entry_count(Filesystem& fs, InodeNum dir) {
+  std::uint64_t total = 0;
+  MINICON_TRY(walk_tree(fs, dir, [&](const std::string&, const Stat&) {
+    ++total;
+    return true;
+  }));
+  return total;
+}
+
+}  // namespace minicon::vfs
+
+namespace minicon::vfs {
+
+VoidResult remove_tree_contents(Filesystem& fs, InodeNum dir,
+                                const OpCtx& ctx) {
+  MINICON_TRY_ASSIGN(entries, fs.readdir(dir));
+  for (const auto& e : entries) {
+    MINICON_TRY_ASSIGN(st, fs.getattr(e.ino));
+    if (st.is_dir()) {
+      MINICON_TRY(remove_tree_contents(fs, e.ino, ctx));
+      MINICON_TRY(fs.rmdir(ctx, dir, e.name));
+    } else {
+      MINICON_TRY(fs.unlink(ctx, dir, e.name));
+    }
+  }
+  return {};
+}
+
+}  // namespace minicon::vfs

@@ -1,0 +1,52 @@
+// Generic whole-tree operations over the Filesystem interface.
+//
+// copy_tree is the primitive behind (a) the Podman "vfs" storage driver,
+// which deep-copies the parent layer for every new layer, and (b) image
+// export/import. It preserves ownership, modes, devices, symlinks, and
+// xattrs exactly as stored — permission *checks* happen in the kernel, so a
+// privileged copy preserves everything while an unprivileged one would be
+// performed through the syscall layer instead.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "support/result.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace minicon::vfs {
+
+struct CopyStats {
+  std::uint64_t files = 0;
+  std::uint64_t dirs = 0;
+  std::uint64_t symlinks = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Recursively copies the *contents* of src_dir (on src fs) into dst_dir (on
+// dst fs). Both directories must already exist. Returns copy statistics.
+Result<CopyStats> copy_tree(Filesystem& src, InodeNum src_dir, Filesystem& dst,
+                            InodeNum dst_dir, const OpCtx& ctx);
+
+// Visit every entry under `dir` depth-first (parents before children).
+// The visitor receives the slash-joined path relative to `dir` (no leading
+// slash) and the entry's Stat. Returning false aborts the walk.
+VoidResult walk_tree(
+    Filesystem& fs, InodeNum dir,
+    const std::function<bool(const std::string& rel_path, const Stat& st)>&
+        visit);
+
+// Total regular-file bytes reachable under `dir`.
+Result<std::uint64_t> tree_bytes(Filesystem& fs, InodeNum dir);
+
+// Number of entries (files + dirs + others) reachable under `dir`.
+Result<std::uint64_t> tree_entry_count(Filesystem& fs, InodeNum dir);
+
+}  // namespace minicon::vfs
+
+namespace minicon::vfs {
+// Removes every entry under `dir` (store-side; no permission checks beyond
+// what the filesystem itself enforces).
+VoidResult remove_tree_contents(Filesystem& fs, InodeNum dir, const OpCtx& ctx);
+}  // namespace minicon::vfs

@@ -1,0 +1,45 @@
+#include "vfs/types.hpp"
+
+namespace minicon::vfs {
+
+char type_char(FileType type) {
+  switch (type) {
+    case FileType::Regular: return '-';
+    case FileType::Directory: return 'd';
+    case FileType::Symlink: return 'l';
+    case FileType::CharDev: return 'c';
+    case FileType::BlockDev: return 'b';
+    case FileType::Fifo: return 'p';
+    case FileType::Socket: return 's';
+  }
+  return '?';
+}
+
+std::string format_mode(FileType type, std::uint32_t m) {
+  std::string out(10, '-');
+  out[0] = type_char(type);
+  out[1] = (m & mode::kUserR) ? 'r' : '-';
+  out[2] = (m & mode::kUserW) ? 'w' : '-';
+  if (m & mode::kSetUid) {
+    out[3] = (m & mode::kUserX) ? 's' : 'S';
+  } else {
+    out[3] = (m & mode::kUserX) ? 'x' : '-';
+  }
+  out[4] = (m & mode::kGroupR) ? 'r' : '-';
+  out[5] = (m & mode::kGroupW) ? 'w' : '-';
+  if (m & mode::kSetGid) {
+    out[6] = (m & mode::kGroupX) ? 's' : 'S';
+  } else {
+    out[6] = (m & mode::kGroupX) ? 'x' : '-';
+  }
+  out[7] = (m & mode::kOtherR) ? 'r' : '-';
+  out[8] = (m & mode::kOtherW) ? 'w' : '-';
+  if (m & mode::kSticky) {
+    out[9] = (m & mode::kOtherX) ? 't' : 'T';
+  } else {
+    out[9] = (m & mode::kOtherX) ? 'x' : '-';
+  }
+  return out;
+}
+
+}  // namespace minicon::vfs

@@ -1,0 +1,91 @@
+// Core identifier and metadata types for the simulated filesystems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace minicon::vfs {
+
+using Uid = std::uint32_t;
+using Gid = std::uint32_t;
+using InodeNum = std::uint64_t;
+
+// Linux overflow IDs: what unmapped kernel IDs appear as inside a user
+// namespace ("nobody"/"nogroup", §2.1.1 case 3 of the paper).
+inline constexpr Uid kOverflowUid = 65534;
+inline constexpr Gid kOverflowGid = 65534;
+
+// Sentinel for chown(2)'s "leave unchanged" arguments.
+inline constexpr Uid kNoChangeId = 0xffffffffu;
+
+enum class FileType : std::uint8_t {
+  Regular,
+  Directory,
+  Symlink,
+  CharDev,
+  BlockDev,
+  Fifo,
+  Socket,
+};
+
+// Permission and special mode bits (octal values match Linux).
+namespace mode {
+inline constexpr std::uint32_t kSetUid = 04000;
+inline constexpr std::uint32_t kSetGid = 02000;
+inline constexpr std::uint32_t kSticky = 01000;
+inline constexpr std::uint32_t kUserR = 0400;
+inline constexpr std::uint32_t kUserW = 0200;
+inline constexpr std::uint32_t kUserX = 0100;
+inline constexpr std::uint32_t kGroupR = 0040;
+inline constexpr std::uint32_t kGroupW = 0020;
+inline constexpr std::uint32_t kGroupX = 0010;
+inline constexpr std::uint32_t kOtherR = 0004;
+inline constexpr std::uint32_t kOtherW = 0002;
+inline constexpr std::uint32_t kOtherX = 0001;
+inline constexpr std::uint32_t kPermMask = 07777;
+}  // namespace mode
+
+// stat(2)-style metadata snapshot.
+struct Stat {
+  InodeNum ino = 0;
+  FileType type = FileType::Regular;
+  std::uint32_t mode = 0;  // permission + suid/sgid/sticky bits only
+  Uid uid = 0;
+  Gid gid = 0;
+  std::uint64_t size = 0;
+  std::uint32_t nlink = 1;
+  std::uint32_t dev_major = 0;  // for device nodes
+  std::uint32_t dev_minor = 0;
+  std::uint64_t mtime = 0;  // logical clock ticks
+
+  bool is_dir() const noexcept { return type == FileType::Directory; }
+  bool is_symlink() const noexcept { return type == FileType::Symlink; }
+  bool is_device() const noexcept {
+    return type == FileType::CharDev || type == FileType::BlockDev;
+  }
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = 0;
+  FileType type = FileType::Regular;
+};
+
+// Context for mutating operations: who (in host terms) is acting, so that
+// server-enforcing filesystems (NFS model) can apply their own checks, plus
+// the logical timestamp to record.
+struct OpCtx {
+  Uid host_uid = 0;
+  Gid host_gid = 0;
+  bool host_privileged = true;  // CAP_DAC_OVERRIDE-ish on the "server"
+  std::uint64_t now = 0;
+};
+
+// "rwxr-xr-x"-style rendering with suid/sgid/sticky and a type prefix, as
+// ls -l prints it.
+std::string format_mode(FileType type, std::uint32_t mode);
+
+// Type letter for ls: '-', 'd', 'l', 'c', 'b', 'p', 's'.
+char type_char(FileType type);
+
+}  // namespace minicon::vfs

@@ -1,0 +1,136 @@
+// Cluster tests: the Astra workflow (Fig 6) — build on the login node, push
+// to a registry, launch in parallel on compute nodes.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+
+namespace minicon {
+namespace {
+
+TEST(Cluster, ArchitectureMattersForBuild) {
+  // An aarch64 cluster cannot run x86_64 images — the original Astra
+  // motivation (§4.2): users "had an immediate need to build new container
+  // images specifically for the aarch64 ISA".
+  core::ClusterOptions copts;
+  copts.arch = "aarch64";
+  copts.compute_nodes = 1;
+  core::Cluster cluster(copts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  // The registry carries both arches; pull selects aarch64 on this machine.
+  Transcript t;
+  ASSERT_EQ(ch.pull("centos:7", "native", t), 0);
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("native", {"uname", "-m"}, rt), 0);
+  EXPECT_TRUE(rt.contains("aarch64"));
+}
+
+TEST(Cluster, AstraWorkflowEndToEnd) {
+  // Fig 6: podman build on the login node -> push to the GitLab-ish
+  // registry -> parallel Type III launch on the compute nodes.
+  core::ClusterOptions copts;
+  copts.arch = "aarch64";
+  copts.compute_nodes = 4;
+  core::Cluster cluster(copts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+
+  // Astra's RHEL7-era configuration used the VFS driver (§4.2).
+  core::PodmanOptions popts;
+  popts.driver = core::PodmanOptions::Driver::kVfs;
+  core::Podman podman(cluster.login(), *alice, &cluster.registry(), popts);
+  Transcript bt;
+  const int built = podman.build("atse",
+                                 "FROM centos:7\n"
+                                 "RUN yum install -y gcc openmpi-devel spack\n"
+                                 "RUN echo 'int main(){}' > /tmp/app.c\n"
+                                 "RUN mpicc -o /usr/bin/atse-app /tmp/app.c\n",
+                                 bt);
+  ASSERT_EQ(built, 0) << bt.text();
+  Transcript pt;
+  ASSERT_EQ(podman.push("atse", "atse/app:1.2.5", pt), 0);
+
+  // Distributed launch via per-node registry pulls.
+  auto result = cluster.parallel_launch("atse/app:1.2.5", {"atse-app"},
+                                        /*via_shared_fs=*/false);
+  EXPECT_EQ(result.nodes_ok, 4);
+  EXPECT_EQ(result.nodes_failed, 0);
+  for (const auto& out : result.outputs) {
+    EXPECT_NE(out.find("hello from compiled application (aarch64)"),
+              std::string::npos)
+        << out;
+  }
+}
+
+TEST(Cluster, SharedFilesystemLaunch) {
+  core::ClusterOptions copts;
+  copts.arch = "aarch64";
+  copts.compute_nodes = 3;
+  core::Cluster cluster(copts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+  // Push a trivially-built image, then launch through /lustre.
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  ASSERT_EQ(ch.build("job", "FROM centos:7\nRUN echo built\n", t), 0)
+      << t.text();
+  Transcript pt;
+  ASSERT_EQ(ch.push("job", "jobs/hello:1", pt), 0);
+
+  auto result =
+      cluster.parallel_launch("jobs/hello:1", {"hostname"},
+                              /*via_shared_fs=*/true);
+  EXPECT_EQ(result.nodes_ok, 3);
+  // Each node reports its own hostname: genuinely separate machines.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(result.outputs[static_cast<std::size_t>(i)].find("astra-cn"),
+              std::string::npos);
+  }
+}
+
+TEST(Cluster, SharedHomeVisibleAcrossNodes) {
+  core::ClusterOptions copts;
+  copts.compute_nodes = 2;
+  core::Cluster cluster(copts);
+  auto login_user = cluster.user_on(cluster.login());
+  ASSERT_TRUE(login_user.ok());
+  std::string out, err;
+  ASSERT_EQ(cluster.login().run(*login_user,
+                                "echo shared-data > /lustre/home/alice/f",
+                                out, err),
+            0)
+      << err;
+  auto compute_user = cluster.compute(0).login("alice");
+  ASSERT_TRUE(compute_user.ok());
+  out.clear();
+  ASSERT_EQ(cluster.compute(0).run(*compute_user,
+                                   "cat /lustre/home/alice/f", out, err),
+            0);
+  EXPECT_EQ(out, "shared-data\n");
+}
+
+TEST(Cluster, UsersAreIsolatedOnSharedFs) {
+  core::ClusterOptions copts;
+  copts.compute_nodes = 0;
+  core::Cluster cluster(copts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+  std::string out, err;
+  ASSERT_EQ(cluster.login().run(*alice,
+                                "echo mine > /lustre/home/alice/secret && "
+                                "chmod 600 /lustre/home/alice/secret",
+                                out, err),
+            0);
+  auto bob = cluster.login().add_user("bob", 1001);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_NE(cluster.login().run(*bob, "cat /lustre/home/alice/secret", out,
+                                err),
+            0);
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,127 @@
+// Concurrency tests: the registry is shared mutable state across compute
+// nodes (Fig 6); these hammer it from many threads and run repeated
+// multi-node launches to shake out races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "image/registry.hpp"
+#include "support/sha256.hpp"
+
+namespace minicon {
+namespace {
+
+TEST(Concurrency, RegistryBlobsUnderContention) {
+  image::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kBlobsPerThread = 200;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kBlobsPerThread; ++i) {
+        // Half the blobs collide across threads (dedup path), half unique.
+        const std::string data =
+            i % 2 == 0 ? "shared-" + std::to_string(i)
+                       : "unique-" + std::to_string(t) + "-" +
+                             std::to_string(i);
+        const std::string digest = registry.put_blob(data);
+        auto back = registry.get_blob(digest);
+        if (!back || *back != data) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(registry.pulls(), kThreads * kBlobsPerThread);
+}
+
+TEST(Concurrency, RegistryManifestsUnderContention) {
+  image::Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        image::Manifest m;
+        m.reference = "app:" + std::to_string(i % 10);
+        m.config.arch = t % 2 == 0 ? "x86_64" : "aarch64";
+        m.layers = {oci_digest(std::to_string(i))};
+        registry.put_manifest(m);
+        auto got = registry.get_manifest(m.reference, m.config.arch);
+        if (!got) ++failures;
+        (void)registry.references();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.references().size(), 10u);
+}
+
+TEST(Concurrency, RepeatedParallelLaunches) {
+  core::ClusterOptions opts;
+  opts.arch = "x86_64";
+  opts.compute_nodes = 6;
+  core::Cluster cluster(opts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  ASSERT_EQ(ch.build("job", "FROM centos:7\nRUN echo ready\n", t), 0);
+  Transcript pt;
+  ASSERT_EQ(ch.push("job", "stress/job:1", pt), 0);
+
+  for (int round = 0; round < 5; ++round) {
+    auto result = cluster.parallel_launch("stress/job:1", {"hostname"},
+                                          /*via_shared_fs=*/false);
+    ASSERT_EQ(result.nodes_ok, 6) << "round " << round;
+    ASSERT_EQ(result.nodes_failed, 0);
+  }
+}
+
+TEST(Concurrency, SharedFsLaunchStress) {
+  core::ClusterOptions opts;
+  opts.arch = "x86_64";
+  opts.compute_nodes = 8;
+  core::Cluster cluster(opts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  ASSERT_EQ(ch.build("job", "FROM centos:7\nRUN echo ready\n", t), 0);
+  Transcript pt;
+  ASSERT_EQ(ch.push("job", "stress/shared:1", pt), 0);
+  for (int round = 0; round < 3; ++round) {
+    auto result = cluster.parallel_launch(
+        "stress/shared:1", {"cat", "/etc/redhat-release"}, true);
+    ASSERT_EQ(result.nodes_ok, 8) << "round " << round;
+    for (const auto& out : result.outputs) {
+      EXPECT_NE(out.find("CentOS"), std::string::npos);
+    }
+  }
+}
+
+TEST(Concurrency, Sha256ThreadSafetyByValue) {
+  // Sha256 objects are value types; hashing in parallel must agree.
+  const std::string data(100000, 'q');
+  const std::string expected = Sha256::hex_digest(data);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (Sha256::hex_digest(data) != expected) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,138 @@
+// Type I (Docker) builder and the §3.2 Option 1 sandboxed-VM baseline,
+// including the §2 motivation: site-licensed resources are unreachable from
+// isolated build environments.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/docker.hpp"
+
+namespace minicon {
+namespace {
+
+class DockerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+};
+
+TEST_F(DockerTest, RootBuildsTheFig2DockerfileTrivially) {
+  kernel::Process root = cluster_->login().root_process();
+  core::Docker docker(cluster_->login(), root, &cluster_->registry());
+  Transcript t;
+  const int status = docker.build("foo",
+                                  "FROM centos:7\n"
+                                  "RUN echo hello\n"
+                                  "RUN yum install -y openssh\n",
+                                  t);
+  EXPECT_EQ(status, 0) << t.text();
+  EXPECT_TRUE(t.contains("Successfully tagged foo:latest"));
+  // Ownership, setgid bits, everything exact — because the builder IS root.
+  Transcript lt;
+  EXPECT_EQ(docker.run_in_image(
+                "foo", {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"}, lt),
+            0);
+  EXPECT_TRUE(lt.contains("root ssh_keys"));
+}
+
+TEST_F(DockerTest, UnprivilegedUsersCannotUseDocker) {
+  // "Even simply having access to the docker command is equivalent to root"
+  // — and conversely, without root there is no docker.
+  auto alice = cluster_->user_on(cluster_->login());
+  ASSERT_TRUE(alice.ok());
+  core::Docker docker(cluster_->login(), *alice, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(docker.build("foo", "FROM centos:7\nRUN true\n", t), 0);
+  EXPECT_TRUE(t.contains("permission denied"));
+}
+
+TEST_F(DockerTest, SandboxedVmBuildsAndPushes) {
+  core::SandboxedBuilder sandbox(cluster_->universe(), &cluster_->registry());
+  Transcript t;
+  const int status = sandbox.build_and_push("ci/app:vm",
+                                            "FROM centos:7\n"
+                                            "RUN yum install -y openssh\n",
+                                            t);
+  EXPECT_EQ(status, 0) << t.text();
+  EXPECT_TRUE(t.contains("[sandbox] booted ephemeral VM"));
+  EXPECT_TRUE(t.contains("[sandbox] VM destroyed"));
+  EXPECT_TRUE(cluster_->registry().get_manifest("ci/app:vm").has_value());
+}
+
+TEST_F(DockerTest, SandboxedVmCannotReachLicenseServer) {
+  // The §3.2 Option 1 limitation: "isolated build environments may not be
+  // able to access needed resources, such as private code or licenses."
+  const std::string dockerfile =
+      "FROM centos:7\n"
+      "RUN yum install -y intel-compiler\n"
+      "RUN echo 'int main(){}' > /app.c\n"
+      "RUN icc -o /usr/bin/app /app.c\n";
+  core::SandboxedBuilder sandbox(cluster_->universe(), &cluster_->registry());
+  Transcript t;
+  const int status = sandbox.build_and_push("ci/app:lic", dockerfile, t);
+  EXPECT_NE(status, 0);
+  EXPECT_TRUE(t.contains("could not checkout FLEXlm license")) << t.text();
+
+  // The same Dockerfile builds fine *on the cluster* with fully
+  // unprivileged Type III + --force: the login node reaches the license
+  // server. This is the paper's §2/§6.3 argument in one test.
+  auto alice = cluster_->user_on(cluster_->login());
+  ASSERT_TRUE(alice.ok());
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), *alice, &cluster_->registry(), opts);
+  Transcript ct;
+  EXPECT_EQ(ch.build("licapp", dockerfile, ct), 0) << ct.text();
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("licapp", {"app"}, rt), 0);
+}
+
+TEST_F(DockerTest, SandboxedVmIsAlwaysX86) {
+  // CI/CD clouds "must be treated as generic x86-64 resources" (§2): a
+  // VM-built image does not run on an aarch64 cluster.
+  core::ClusterOptions aopts;
+  aopts.arch = "aarch64";
+  aopts.compute_nodes = 0;
+  core::Cluster arm(aopts);
+  core::SandboxedBuilder sandbox(arm.universe(), &arm.registry());
+  Transcript t;
+  ASSERT_EQ(sandbox.build_and_push("ci/app:x86",
+                                   "FROM centos:7\nRUN echo built\n", t),
+            0)
+      << t.text();
+  auto alice = arm.user_on(arm.login());
+  ASSERT_TRUE(alice.ok());
+  core::ChImage ch(arm.login(), *alice, &arm.registry());
+  Transcript pt;
+  ASSERT_EQ(ch.pull("ci/app:x86", "vmimg", pt), 0);
+  EXPECT_TRUE(pt.contains("warning: no aarch64 manifest"));
+  Transcript rt;
+  const int status = ch.run_in_image("vmimg", {"ls", "/"}, rt);
+  EXPECT_EQ(status, 126);
+  EXPECT_TRUE(rt.contains("Exec format error"));
+}
+
+TEST_F(DockerTest, TypeOneDevicesAndCaps) {
+  // Only Type I can genuinely create device nodes and file capabilities.
+  kernel::Process root = cluster_->login().root_process();
+  core::Docker docker(cluster_->login(), root, &cluster_->registry());
+  Transcript t;
+  const int status = docker.build("dev",
+                                  "FROM centos:7\n"
+                                  "RUN mknod /dev/loop0 b 7 0\n"
+                                  "RUN yum install -y iputils\n",
+                                  t);
+  EXPECT_EQ(status, 0) << t.text();
+  Transcript lt;
+  EXPECT_EQ(docker.run_in_image("dev", {"ls", "-l", "/dev/loop0"}, lt), 0);
+  EXPECT_TRUE(lt.contains("brw"));
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,98 @@
+// Dockerfile parser tests.
+#include <gtest/gtest.h>
+
+#include "build/dockerfile.hpp"
+
+namespace minicon::build {
+namespace {
+
+Dockerfile must_parse(const std::string& text) {
+  auto r = parse_dockerfile(text);
+  EXPECT_TRUE(std::holds_alternative<Dockerfile>(r));
+  return std::get<Dockerfile>(r);
+}
+
+TEST(Dockerfile, BasicInstructions) {
+  const auto df = must_parse(
+      "FROM centos:7\n"
+      "RUN echo hello\n"
+      "RUN yum install -y openssh\n");
+  ASSERT_EQ(df.instructions.size(), 3u);
+  EXPECT_EQ(df.instructions[0].kind, InstrKind::kFrom);
+  EXPECT_EQ(df.base(), "centos:7");
+  EXPECT_EQ(df.instructions[1].text, "echo hello");
+  EXPECT_FALSE(df.instructions[1].is_exec_form());
+  EXPECT_EQ(df.instructions[2].line, 3);
+}
+
+TEST(Dockerfile, CommentsAndBlankLines) {
+  const auto df = must_parse(
+      "# build recipe\n"
+      "\n"
+      "FROM debian:buster\n"
+      "   # indented comment\n"
+      "RUN apt-get update\n");
+  ASSERT_EQ(df.instructions.size(), 2u);
+  EXPECT_EQ(df.instructions[1].line, 5);
+}
+
+TEST(Dockerfile, LineContinuation) {
+  const auto df = must_parse(
+      "FROM centos:7\n"
+      "RUN yum install -y \\\n"
+      "    openssh \\\n"
+      "    vim\n");
+  ASSERT_EQ(df.instructions.size(), 2u);
+  EXPECT_EQ(df.instructions[1].text, "yum install -y openssh vim");
+}
+
+TEST(Dockerfile, ExecForm) {
+  const auto df = must_parse(
+      "FROM centos:7\n"
+      "RUN [\"/bin/sh\", \"-c\", \"echo hi\"]\n"
+      "CMD [\"/usr/bin/app\", \"--serve\"]\n"
+      "ENTRYPOINT [\"/init\"]\n");
+  EXPECT_EQ(df.instructions[1].exec_form,
+            (std::vector<std::string>{"/bin/sh", "-c", "echo hi"}));
+  EXPECT_EQ(df.instructions[2].exec_form,
+            (std::vector<std::string>{"/usr/bin/app", "--serve"}));
+  EXPECT_EQ(df.instructions[3].exec_form, (std::vector<std::string>{"/init"}));
+}
+
+TEST(Dockerfile, CaseInsensitiveKeywords) {
+  const auto df = must_parse("from centos:7\nrun echo x\n");
+  EXPECT_EQ(df.instructions[0].kind, InstrKind::kFrom);
+  EXPECT_EQ(df.instructions[1].kind, InstrKind::kRun);
+}
+
+TEST(Dockerfile, Errors) {
+  EXPECT_TRUE(std::holds_alternative<DockerfileError>(parse_dockerfile("")));
+  EXPECT_TRUE(std::holds_alternative<DockerfileError>(
+      parse_dockerfile("RUN echo x\n")));  // must start with FROM
+  auto r = parse_dockerfile("FROM a\nBOGUS x\n");
+  ASSERT_TRUE(std::holds_alternative<DockerfileError>(r));
+  EXPECT_EQ(std::get<DockerfileError>(r).line, 2);
+}
+
+TEST(Dockerfile, KvParsing) {
+  auto kv = parse_kv("A=1 B=\"two words\" C=3");
+  ASSERT_EQ(kv.size(), 3u);
+  EXPECT_EQ(kv[0], (std::pair<std::string, std::string>{"A", "1"}));
+  EXPECT_EQ(kv[1].second, "two words");
+  auto legacy = parse_kv("KEY the whole rest");
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].first, "KEY");
+  EXPECT_EQ(legacy[0].second, "the whole rest");
+}
+
+TEST(Dockerfile, AllInstructionKinds) {
+  const auto df = must_parse(
+      "FROM base\nARG V=1\nENV K=v\nLABEL maintainer=hpc\nWORKDIR /srv\n"
+      "USER nobody\nSHELL [\"/bin/sh\", \"-c\"]\nCOPY a b\nADD c d\n"
+      "RUN true\nCMD app\nENTRYPOINT init\n");
+  EXPECT_EQ(df.instructions.size(), 12u);
+  EXPECT_EQ(instr_name(df.instructions[4].kind), "WORKDIR");
+}
+
+}  // namespace
+}  // namespace minicon::build

@@ -1,0 +1,194 @@
+// Tests for the §6.2 future-work features implemented as opt-in extensions:
+//   * §6.2.4 kernel-managed unprivileged auto-maps (userns_auto_map),
+//   * §6.2.5 ownership-flattening image marking,
+//   * §6.2.1 NFSv4.2 xattrs (covered in test_podman too; summarized here).
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "core/runtime.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon {
+namespace {
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+};
+
+// --- §6.2.4: kernel-managed unprivileged full maps -----------------------------
+
+TEST_F(ExtensionTest, AutoMapRequiresSysctl) {
+  kernel::Process p = alice_.clone();
+  ASSERT_TRUE(p.sys->unshare_userns(p).ok());
+  // Off by default: 2021 kernels have no such mechanism.
+  EXPECT_EQ(p.sys->userns_auto_map(p).error(), Err::enosys);
+}
+
+TEST_F(ExtensionTest, AutoMapInstallsFullMapWithoutHelpers) {
+  cluster_->login().kernel().unprivileged_auto_maps = true;
+  kernel::Process p = alice_.clone();
+  ASSERT_TRUE(p.sys->unshare_userns(p).ok());
+  ASSERT_TRUE(p.sys->userns_auto_map(p).ok());
+  // Container root is the invoker; the rest comes from the unique pool.
+  EXPECT_EQ(p.userns->uid_to_kernel(0), alice_.cred.euid);
+  auto kuid1 = p.userns->uid_to_kernel(1);
+  ASSERT_TRUE(kuid1.has_value());
+  EXPECT_GE(*kuid1, 1u << 24);  // guaranteed-unique pool
+  EXPECT_TRUE(p.userns->uid_to_kernel(65536).has_value());
+  // setgroups stays denied: the kernel grants no supplementary-group power.
+  EXPECT_EQ(p.userns->setgroups_policy(),
+            kernel::UserNamespace::SetgroupsPolicy::kDeny);
+}
+
+TEST_F(ExtensionTest, AutoMapPoolsStablePerUserDisjointAcrossUsers) {
+  cluster_->login().kernel().unprivileged_auto_maps = true;
+  kernel::Process a = alice_.clone();
+  ASSERT_TRUE(a.sys->unshare_userns(a).ok());
+  ASSERT_TRUE(a.sys->userns_auto_map(a).ok());
+  // The same user gets the same range again (containers agree on IDs).
+  kernel::Process a2 = alice_.clone();
+  ASSERT_TRUE(a2.sys->unshare_userns(a2).ok());
+  ASSERT_TRUE(a2.sys->userns_auto_map(a2).ok());
+  EXPECT_EQ(*a.userns->uid_to_kernel(1), *a2.userns->uid_to_kernel(1));
+  // A different user gets a disjoint range — the "guaranteed-unique"
+  // property that prevents the §2.1.2 cross-user exposure.
+  auto bob = cluster_->login().add_user("bob", 1001);
+  ASSERT_TRUE(bob.ok());
+  kernel::Process b = bob->clone();
+  ASSERT_TRUE(b.sys->unshare_userns(b).ok());
+  ASSERT_TRUE(b.sys->userns_auto_map(b).ok());
+  const auto a1 = *a.userns->uid_to_kernel(1);
+  const auto b1 = *b.userns->uid_to_kernel(1);
+  EXPECT_NE(a1, b1);
+  EXPECT_FALSE(a.userns->uid_from_kernel(b1).has_value());
+}
+
+TEST_F(ExtensionTest, AutoMapOnlyOnOwnFreshNamespace) {
+  cluster_->login().kernel().unprivileged_auto_maps = true;
+  kernel::Process p = alice_.clone();
+  // Not in a fresh namespace: refused.
+  EXPECT_EQ(p.sys->userns_auto_map(p).error(), Err::eperm);
+  ASSERT_TRUE(p.sys->unshare_userns(p).ok());
+  ASSERT_TRUE(p.sys->userns_auto_map(p).ok());
+  // Maps already installed: refused.
+  EXPECT_EQ(p.sys->userns_auto_map(p).error(), Err::eperm);
+}
+
+TEST_F(ExtensionTest, KernelAssistedBuildNeedsNoFakeroot) {
+  // The §6.2.4 payoff: the Fig 2 Dockerfile builds Type III with NO fakeroot
+  // and NO --force — the kernel map covers the package IDs.
+  cluster_->login().kernel().unprivileged_auto_maps = true;
+  core::ChImageOptions opts;
+  opts.kernel_assisted_maps = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = ch.build("foo",
+                              "FROM centos:7\n"
+                              "RUN echo hello\n"
+                              "RUN yum install -y openssh\n",
+                              t);
+  EXPECT_EQ(status, 0) << t.text();
+  EXPECT_FALSE(t.contains("fakeroot"));
+  // Ownership is real (container-namespace ssh_keys), like Type II.
+  Transcript lt;
+  EXPECT_EQ(ch.run_in_image(
+                "foo", {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"}, lt),
+            0);
+  EXPECT_TRUE(lt.contains("root ssh_keys")) << lt.text();
+}
+
+TEST_F(ExtensionTest, KernelAssistedBuildFailsWithoutSysctl) {
+  core::ChImageOptions opts;
+  opts.kernel_assisted_maps = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  EXPECT_NE(ch.build("foo", "FROM centos:7\nRUN echo hi\n", t), 0);
+}
+
+// --- §6.2.5: ownership-flattening marking ---------------------------------------
+
+TEST_F(ExtensionTest, ChImagePushMarksFlattened) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  ASSERT_EQ(ch.build("foo", "FROM centos:7\nRUN echo hi\n", t), 0);
+  Transcript pt;
+  ASSERT_EQ(ch.push("foo", "marked:latest", pt), 0);
+  auto manifest = cluster_->registry().get_manifest("marked:latest");
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->config.flatten_policy(), "flattened");
+}
+
+TEST_F(ExtensionTest, DisallowFlattenBlocksChImagePush) {
+  core::ChImageOptions opts;
+  opts.embedded_fakeroot = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  ASSERT_EQ(ch.build("foo",
+                     "FROM centos:7\n"
+                     "LABEL org.minicon.ownership-flattening=disallow\n"
+                     "RUN yum install -y openssh\n",
+                     t),
+            0)
+      << t.text();
+  Transcript pt;
+  EXPECT_NE(ch.push("foo", "blocked:latest", pt), 0);
+  EXPECT_TRUE(pt.contains("disallow"));
+  // The ownership-preserving push is the legal alternative.
+  Transcript pt2;
+  EXPECT_EQ(ch.push("foo", "ok:latest", pt2, /*preserve_ownership=*/true), 0);
+}
+
+TEST_F(ExtensionTest, RequireFlattenForcesPodmanToFlatten) {
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t;
+  ASSERT_EQ(podman.build("foo",
+                         "FROM centos:7\n"
+                         "LABEL org.minicon.ownership-flattening=require\n"
+                         "RUN yum install -y openssh\n",
+                         t),
+            0)
+      << t.text();
+  Transcript pt;
+  ASSERT_EQ(podman.push("foo", "flat:latest", pt), 0);
+  EXPECT_TRUE(pt.contains("ownership-flattened"));
+  auto manifest = cluster_->registry().get_manifest("flat:latest");
+  ASSERT_TRUE(manifest.has_value());
+  // The openssh diff layer (last) must be fully flattened despite podman's
+  // usual ownership-preserving push.
+  auto blob = cluster_->registry().get_blob(manifest->layers.back());
+  ASSERT_TRUE(blob.has_value());
+  auto entries = image::tar_parse(*blob);
+  ASSERT_TRUE(entries.ok());
+  for (const auto& e : *entries) {
+    EXPECT_EQ(e.uid, 0u) << e.name;
+    EXPECT_EQ(e.gid, 0u) << e.name;
+    EXPECT_EQ(e.mode & (vfs::mode::kSetUid | vfs::mode::kSetGid), 0u);
+  }
+}
+
+TEST_F(ExtensionTest, DefaultPolicyIsAllow) {
+  image::ImageConfig cfg;
+  EXPECT_EQ(cfg.flatten_policy(), "allow");
+  cfg.labels[image::ImageConfig::kFlattenLabel] = "require";
+  EXPECT_EQ(cfg.flatten_policy(), "require");
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,248 @@
+// fakeroot(1) wrapper tests (§5.1, Fig 7, Table 1).
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/machine.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon {
+namespace {
+
+class FakerootTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    universe_ = std::make_shared<pkg::RepoUniverse>();
+    registry_ = core::make_full_registry(universe_);
+  }
+
+  void SetUp() override {
+    core::MachineOptions mo;
+    mo.registry = registry_;
+    machine_ = std::make_unique<core::Machine>(mo);
+    Process root = machine_->root_process();
+    std::string out, err;
+    // Install a fakeroot binary on the host and create alice.
+    machine_->run(root,
+                  "useradd -u 1000 alice && mkdir -p /home/alice && "
+                  "chown alice:alice /home/alice",
+                  out, err);
+    ASSERT_TRUE(root.sys
+                    ->write_file(root, "/usr/bin/fakeroot",
+                                 shell::make_binary("fakeroot"), false, 0755)
+                    .ok());
+    auto alice = machine_->login("alice");
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  using Process = kernel::Process;
+
+  std::tuple<int, std::string, std::string> run_as(Process& p,
+                                                   const std::string& s) {
+    std::string out, err;
+    const int status = machine_->run(p, s, out, err);
+    return {status, out, err};
+  }
+
+  static pkg::RepoUniversePtr universe_;
+  static std::shared_ptr<shell::CommandRegistry> registry_;
+  std::unique_ptr<core::Machine> machine_;
+  Process alice_;
+};
+
+pkg::RepoUniversePtr FakerootTest::universe_;
+std::shared_ptr<shell::CommandRegistry> FakerootTest::registry_;
+
+// Fig 7, end to end: chown + mknod succeed *inside*, and ls shows the lies;
+// outside, the truth is exposed.
+TEST_F(FakerootTest, Fig7Semantics) {
+  auto [s0, o0, e0] = run_as(alice_, "cd /home/alice && touch test.file");
+  ASSERT_EQ(s0, 0) << e0;
+  // Without fakeroot, both operations fail.
+  EXPECT_NE(std::get<0>(run_as(alice_, "chown nobody /home/alice/test.file")),
+            0);
+  EXPECT_NE(
+      std::get<0>(run_as(alice_, "mknod /home/alice/test.dev c 1 1")), 0);
+
+  // Under fakeroot both "succeed".
+  auto [s1, o1, e1] = run_as(
+      alice_,
+      "cd /home/alice && fakeroot sh -c "
+      "'chown nobody test.file && mknod test.dev c 1 1 && ls -lh test.dev "
+      "test.file'");
+  ASSERT_EQ(s1, 0) << e1;
+  EXPECT_NE(o1.find("crw-r--r-- 1 root root 1, 1"), std::string::npos) << o1;
+  EXPECT_NE(o1.find("nobody"), std::string::npos);
+
+  // The subsequent unwrapped ls exposes the lies (alice-owned, regular).
+  auto [s2, o2, e2] = run_as(alice_, "cd /home/alice && ls -lh test.dev "
+                                     "test.file");
+  EXPECT_NE(o2.find("alice alice"), std::string::npos) << o2;
+  EXPECT_EQ(o2.find("crw"), std::string::npos);
+}
+
+TEST_F(FakerootTest, IdentityAppearsRoot) {
+  auto [status, out, err] =
+      run_as(alice_, "fakeroot sh -c 'id -u && whoami'");
+  EXPECT_EQ(out, "0\nroot\n");
+  // Outside, alice is alice.
+  EXPECT_EQ(std::get<1>(run_as(alice_, "id -u")), "1000\n");
+}
+
+TEST_F(FakerootTest, PrivilegeDropCallsFakeSuccess) {
+  // What apt does in its sandbox: under fakeroot these "succeed".
+  Process wrapped = alice_.clone();
+  auto wrapper = std::make_shared<fakeroot::FakerootSyscalls>(
+      alice_.sys, nullptr, fakeroot::FakerootOptions{});
+  wrapped.sys = wrapper;
+  EXPECT_TRUE(wrapped.sys->setgroups(wrapped, {65534}).ok());
+  EXPECT_TRUE(wrapped.sys->seteuid(wrapped, 100).ok());
+  EXPECT_EQ(wrapped.sys->geteuid(wrapped), 100u);
+  EXPECT_TRUE(wrapped.sys->seteuid(wrapped, 0).ok());
+}
+
+TEST_F(FakerootTest, ConsistentLiesAcrossStat) {
+  auto [status, out, err] = run_as(
+      alice_,
+      "cd /home/alice && fakeroot sh -c "
+      "'touch a b && chown nobody:nogroup a && ls -l a b'");
+  ASSERT_EQ(status, 0) << err;
+  // a shows the recorded lie; b shows the default root:root lie.
+  EXPECT_NE(out.find("nobody nogroup"), std::string::npos);
+  EXPECT_NE(out.find("root root"), std::string::npos);
+}
+
+TEST_F(FakerootTest, UnlinkForgetsLies) {
+  auto [status, out, err] = run_as(
+      alice_,
+      "cd /home/alice && fakeroot sh -c "
+      "'touch x && chown nobody x && rm x && touch x && ls -l x'");
+  ASSERT_EQ(status, 0) << err;
+  // Fresh file must not inherit the old lie.
+  EXPECT_EQ(out.find("nobody"), std::string::npos);
+}
+
+TEST_F(FakerootTest, SaveAndRestoreDatabase) {
+  // fakeroot -s / -i persistence (Table 1).
+  auto [s1, o1, e1] = run_as(
+      alice_,
+      "cd /home/alice && touch p && fakeroot -s /home/alice/.fakedb sh -c "
+      "'chown nobody p'");
+  ASSERT_EQ(s1, 0) << e1;
+  auto [s2, o2, e2] = run_as(
+      alice_, "cd /home/alice && fakeroot -i /home/alice/.fakedb sh -c "
+              "'ls -l p'");
+  ASSERT_EQ(s2, 0) << e2;
+  EXPECT_NE(o2.find("nobody"), std::string::npos);
+  // Without restoring, the lie is gone.
+  auto [s3, o3, e3] =
+      run_as(alice_, "cd /home/alice && fakeroot sh -c 'ls -l p'");
+  EXPECT_EQ(o3.find("nobody"), std::string::npos);
+}
+
+TEST_F(FakerootTest, PseudoPersistsImplicitly) {
+  Process root = machine_->root_process();
+  ASSERT_TRUE(root.sys
+                  ->write_file(root, "/usr/bin/pseudo",
+                               shell::make_binary(
+                                   "fakeroot",
+                                   {{"flavor", "pseudo"}, {"xattrs", "1"}}),
+                               false, 0755)
+                  .ok());
+  auto [s1, o1, e1] = run_as(
+      alice_, "cd /home/alice && touch q && pseudo sh -c 'chown nobody q'");
+  ASSERT_EQ(s1, 0) << e1;
+  // A separate pseudo invocation still sees the lie (database persistency).
+  auto [s2, o2, e2] =
+      run_as(alice_, "cd /home/alice && pseudo sh -c 'ls -l q'");
+  EXPECT_NE(o2.find("nobody"), std::string::npos) << o2;
+}
+
+TEST_F(FakerootTest, StaticBinaryEscapesLdPreload) {
+  Process root = machine_->root_process();
+  // A statically-linked chown on the host.
+  ASSERT_TRUE(root.sys
+                  ->write_file(root, "/usr/bin/chown.static",
+                               shell::make_binary("chown", {{"static", "1"}}),
+                               false, 0755)
+                  .ok());
+  ASSERT_TRUE(root.sys
+                  ->write_file(root, "/usr/bin/fakeroot-ng",
+                               shell::make_binary("fakeroot",
+                                                  {{"flavor", "fakeroot-ng"},
+                                                   {"approach", "ptrace"}}),
+                               false, 0755)
+                  .ok());
+  run_as(alice_, "cd /home/alice && touch s");
+  // LD_PRELOAD flavour: the static binary bypasses the wrapper and the real
+  // chown fails.
+  EXPECT_NE(std::get<0>(run_as(
+                alice_, "fakeroot chown.static nobody /home/alice/s")),
+            0);
+  // ptrace flavour wraps statics too: faked success.
+  EXPECT_EQ(std::get<0>(run_as(
+                alice_, "fakeroot-ng chown.static nobody /home/alice/s")),
+            0);
+}
+
+TEST_F(FakerootTest, SecurityXattrsOnlyWithPseudo) {
+  run_as(alice_, "cd /home/alice && touch caps.bin");
+  Process classic = alice_.clone();
+  classic.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      alice_.sys, nullptr, fakeroot::FakerootOptions{});
+  EXPECT_EQ(classic.sys
+                ->set_xattr(classic, "/home/alice/caps.bin",
+                            "security.capability", "cap_net_raw+ep")
+                .error(),
+            Err::eperm);
+
+  Process pseudo = alice_.clone();
+  fakeroot::FakerootOptions opts;
+  opts.flavor = "pseudo";
+  opts.fake_security_xattrs = true;
+  pseudo.sys =
+      std::make_shared<fakeroot::FakerootSyscalls>(alice_.sys, nullptr, opts);
+  EXPECT_TRUE(pseudo.sys
+                  ->set_xattr(pseudo, "/home/alice/caps.bin",
+                              "security.capability", "cap_net_raw+ep")
+                  .ok());
+  EXPECT_EQ(*pseudo.sys->get_xattr(pseudo, "/home/alice/caps.bin",
+                                   "security.capability"),
+            "cap_net_raw+ep");
+}
+
+TEST_F(FakerootTest, NotAPerfectSimulation) {
+  // §5.1: the focus is filesystem metadata. Real reads/writes still obey
+  // the real permissions — fakeroot cannot read a file alice cannot read.
+  Process root = machine_->root_process();
+  ASSERT_TRUE(
+      root.sys->write_file(root, "/rootonly", "secret", false, 0600).ok());
+  auto [status, out, err] = run_as(alice_, "fakeroot cat /rootonly");
+  EXPECT_NE(status, 0);
+}
+
+TEST_F(FakerootTest, DbSerializationRoundtrip) {
+  auto db = std::make_shared<fakeroot::FakeDb>();
+  vfs::MemFs fs;
+  auto& e = db->upsert(&fs, 42);
+  e.uid = 7;
+  e.gid = 8;
+  e.mode = 0751;
+  e.type = vfs::FileType::CharDev;
+  e.dev_major = 1;
+  e.dev_minor = 3;
+  e.xattrs["security.capability"] = "caps";
+  auto restored = fakeroot::FakeDb::deserialize(db->serialize());
+  const auto* r = restored->find(&fs, 42);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->uid, 7u);
+  EXPECT_EQ(r->gid, 8u);
+  EXPECT_EQ(r->mode, 0751u);
+  EXPECT_EQ(r->type, vfs::FileType::CharDev);
+  EXPECT_EQ(r->dev_major, 1u);
+  EXPECT_EQ(r->xattrs.at("security.capability"), "caps");
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,204 @@
+// newuidmap/newgidmap helper tests, including the CVE-2018-7169 regression
+// (§2.1.2, §2.1.4).
+#include <gtest/gtest.h>
+
+#include "kernel/helpers.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/syscalls.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::kernel {
+namespace {
+
+class HelperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_shared<vfs::MemFs>(0755);
+    Mount root;
+    root.mountpoint = "/";
+    root.fs = fs_;
+    root.root = fs_->root();
+    root.owner_ns = kernel_.init_userns();
+    mountns_ = MountNamespace::make(std::move(root));
+
+    Process root_p = make_root();
+    ASSERT_TRUE(root_p.sys->mkdir(root_p, "/etc", 0755).ok());
+    ASSERT_TRUE(root_p.sys
+                    ->write_file(root_p, "/etc/passwd",
+                                 "root:x:0:0::/root:/bin/sh\n"
+                                 "alice:x:1000:1000::/home/alice:/bin/sh\n"
+                                 "bob:x:1001:1001::/home/bob:/bin/sh\n",
+                                 false)
+                    .ok());
+    // The Fig 1 configuration: alice 100000-165535, bob 165536-231071.
+    ASSERT_TRUE(root_p.sys
+                    ->write_file(root_p, "/etc/subuid",
+                                 "alice:100000:65536\nbob:165536:65536\n",
+                                 false)
+                    .ok());
+    ASSERT_TRUE(root_p.sys
+                    ->write_file(root_p, "/etc/subgid",
+                                 "alice:100000:65536\nbob:165536:65536\n",
+                                 false)
+                    .ok());
+  }
+
+  Process make_root() {
+    Process p;
+    p.cred = Credentials::root();
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = kernel_.syscalls();
+    return p;
+  }
+
+  Process make_user(vfs::Uid uid) {
+    Process p;
+    p.cred = Credentials::user(uid, uid);
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = kernel_.syscalls();
+    return p;
+  }
+
+  UserNsPtr fresh_ns(Process& owner) {
+    Process clone = owner.clone();
+    EXPECT_TRUE(clone.sys->unshare_userns(clone).ok());
+    return clone.userns;
+  }
+
+  Kernel kernel_;
+  std::shared_ptr<vfs::MemFs> fs_;
+  MountNsPtr mountns_;
+};
+
+TEST_F(HelperTest, GrantedRangeInstalls) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  // The typical Fig 1 privileged map: root <- alice, 1..65536 <- subuids.
+  ASSERT_TRUE(newuidmap(kernel_, alice, ns,
+                        {{0, 1000, 1}, {1, 100000, 65536}})
+                  .ok());
+  EXPECT_EQ(ns->uid_to_kernel(0), 1000u);
+  EXPECT_EQ(ns->uid_to_kernel(1), 100000u);
+  EXPECT_EQ(ns->uid_to_kernel(65536), 165535u);
+}
+
+TEST_F(HelperTest, UngrantedRangeRefused) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  // Bob's range: the §2.1.2 scenario — if this were allowed, "Alice would
+  // have access to all of Bob's files".
+  EXPECT_EQ(newuidmap(kernel_, alice, ns, {{0, 1000, 1}, {1, 165536, 65536}})
+                .error(),
+            Err::eperm);
+  // A range straddling the grant boundary is refused too.
+  EXPECT_EQ(newuidmap(kernel_, alice, ns, {{0, 1000, 1}, {1, 100000, 65537}})
+                .error(),
+            Err::eperm);
+}
+
+TEST_F(HelperTest, ForeignSelfMapRefused) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  // Mapping bob's own UID (count 1) is not a self-map for alice.
+  EXPECT_EQ(newuidmap(kernel_, alice, ns, {{0, 1001, 1}}).error(), Err::eperm);
+}
+
+TEST_F(HelperTest, OverlappingMapRejectedAsInvalid) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  EXPECT_EQ(newuidmap(kernel_, alice, ns,
+                      {{0, 100000, 10}, {5, 100020, 10}})
+                .error(),
+            Err::einval);
+}
+
+TEST_F(HelperTest, SecondWriteRefused) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  ASSERT_TRUE(newuidmap(kernel_, alice, ns, {{0, 1000, 1}}).ok());
+  EXPECT_EQ(newuidmap(kernel_, alice, ns, {{0, 1000, 1}}).error(), Err::eperm);
+}
+
+TEST_F(HelperTest, GidMapViaAdminGrantKeepsSetgroups) {
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  ASSERT_TRUE(newgidmap(kernel_, alice, ns,
+                        {{0, 1000, 1}, {1, 100000, 65536}})
+                  .ok());
+  // Admin granted the subgid range, so setgroups may stay enabled — root in
+  // the namespace legitimately has "access to everything protected by all
+  // mapped groups" (§2.1.4).
+  EXPECT_EQ(ns->setgroups_policy(), UserNamespace::SetgroupsPolicy::kAllow);
+}
+
+TEST_F(HelperTest, SelfOnlyGidMapDisablesSetgroups) {
+  Process carol = make_user(1002);  // no subgid grants at all
+  UserNsPtr ns = fresh_ns(carol);
+  ASSERT_TRUE(newgidmap(kernel_, carol, ns, {{0, 1002, 1}}).ok());
+  EXPECT_EQ(ns->setgroups_policy(), UserNamespace::SetgroupsPolicy::kDeny);
+}
+
+TEST_F(HelperTest, Cve20187169Regression) {
+  // The vulnerable helper skips the setgroups hardening; a manager can then
+  // drop a supplementary group inside the namespace and bypass a
+  // group-deny ACL (the §2.1.4 /bin/reboot example).
+  Process root = make_root();
+  ASSERT_TRUE(root.sys->write_file(root, "/reboot", "", false, 0705).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/reboot", 0705).ok());
+  ASSERT_TRUE(root.sys->chown(root, "/reboot", 0, 500, true).ok());
+
+  auto scenario = [&](bool vulnerable) -> bool {
+    Process manager = make_user(1002);
+    manager.cred.groups = {500};  // member of "managers"
+    EXPECT_FALSE(manager.sys->access(manager, "/reboot", kExecOk).ok());
+    Process inside = manager.clone();
+    EXPECT_TRUE(inside.sys->unshare_userns(inside).ok());
+    HelperConfig cfg;
+    cfg.newgidmap_cve_2018_7169 = vulnerable;
+    EXPECT_TRUE(newuidmap(kernel_, manager, inside.userns, {{0, 1002, 1}}, cfg)
+                    .ok());
+    EXPECT_TRUE(newgidmap(kernel_, manager, inside.userns, {{0, 1002, 1}}, cfg)
+                    .ok());
+    inside.cred.effective = CapSet::all();  // root-in-namespace
+    // Try to drop the supplementary group via setgroups(2).
+    const bool dropped = inside.sys->setgroups(inside, {}).ok();
+    if (dropped) {
+      EXPECT_TRUE(inside.sys->access(inside, "/reboot", kExecOk).ok());
+    }
+    return dropped;
+  };
+
+  EXPECT_FALSE(scenario(/*vulnerable=*/false))
+      << "fixed helper must deny setgroups";
+  EXPECT_TRUE(scenario(/*vulnerable=*/true))
+      << "vulnerable helper permits the group drop";
+}
+
+TEST_F(HelperTest, MissingConfigMeansNoGrants) {
+  Process root = make_root();
+  ASSERT_TRUE(root.sys->unlink(root, "/etc/subuid").ok());
+  Process alice = make_user(1000);
+  UserNsPtr ns = fresh_ns(alice);
+  EXPECT_EQ(newuidmap(kernel_, alice, ns, {{0, 1000, 1}, {1, 100000, 10}})
+                .error(),
+            Err::eperm);
+  // The self-map still works without any config.
+  EXPECT_TRUE(newuidmap(kernel_, alice, ns, {{0, 1000, 1}}).ok());
+}
+
+TEST_F(HelperTest, UseraddStyleDecimalUidOwners) {
+  Process root = make_root();
+  ASSERT_TRUE(root.sys
+                  ->write_file(root, "/etc/subuid", "1003:300000:65536\n",
+                               false)
+                  .ok());
+  Process dave = make_user(1003);  // not even in /etc/passwd
+  UserNsPtr ns = fresh_ns(dave);
+  EXPECT_TRUE(newuidmap(kernel_, dave, ns, {{0, 1003, 1}, {1, 300000, 65536}})
+                  .ok());
+}
+
+}  // namespace
+}  // namespace minicon::kernel

@@ -1,0 +1,160 @@
+// ID map and user-namespace tests (§2.1).
+#include <gtest/gtest.h>
+
+#include "kernel/ids.hpp"
+#include "kernel/userns.hpp"
+
+namespace minicon::kernel {
+namespace {
+
+TEST(IdMap, EmptyMapTranslatesNothing) {
+  IdMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.to_outside(0).has_value());
+  EXPECT_FALSE(m.to_inside(0).has_value());
+}
+
+TEST(IdMap, SingleEntry) {
+  const IdMap m = IdMap::single(0, 1000);
+  EXPECT_EQ(m.to_outside(0), 1000u);
+  EXPECT_EQ(m.to_inside(1000), 0u);
+  EXPECT_FALSE(m.to_outside(1).has_value());
+  EXPECT_FALSE(m.to_inside(0).has_value());
+}
+
+TEST(IdMap, RangeTranslation) {
+  // The Fig 1 shape: root->alice, 1..65536 -> 100000..165535.
+  const IdMap m({{0, 1000, 1}, {1, 100000, 65536}});
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(m.to_outside(0), 1000u);
+  EXPECT_EQ(m.to_outside(1), 100000u);
+  EXPECT_EQ(m.to_outside(65536), 165535u);
+  EXPECT_FALSE(m.to_outside(65537).has_value());
+  EXPECT_EQ(m.to_inside(100037), 38u);
+  EXPECT_FALSE(m.to_inside(99999).has_value());
+  EXPECT_FALSE(m.to_inside(165536).has_value());
+}
+
+TEST(IdMap, OverlapsAreInvalid) {
+  EXPECT_FALSE(IdMap({{0, 1000, 10}, {5, 2000, 10}}).valid());  // inside
+  EXPECT_FALSE(IdMap({{0, 1000, 10}, {20, 1005, 10}}).valid()); // outside
+  EXPECT_TRUE(IdMap({{0, 1000, 10}, {10, 2000, 10}}).valid());
+  EXPECT_FALSE(IdMap({{0, 0, 0}}).valid());  // zero count
+}
+
+TEST(IdMap, WraparoundRejected) {
+  EXPECT_FALSE(IdMap({{UINT32_MAX, 0, 2}}).valid());
+  EXPECT_FALSE(IdMap({{0, UINT32_MAX, 2}}).valid());
+}
+
+TEST(IdMap, FormatProcShape) {
+  const IdMap m({{0, 1000, 1}});
+  const std::string out = m.format_proc();
+  EXPECT_NE(out.find("0"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+// Property sweep: to_outside and to_inside are inverse bijections over the
+// mapped region (the paper's "one-to-one ... no squashing" claim).
+class IdMapRoundtrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IdMapRoundtrip, Bijective) {
+  const IdMap m({{0, 1000, 1}, {1, 200000, 65535}});
+  const std::uint32_t inside = GetParam();
+  auto outside = m.to_outside(inside);
+  ASSERT_TRUE(outside.has_value());
+  EXPECT_EQ(m.to_inside(*outside), inside);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdMapRoundtrip,
+                         ::testing::Values(0u, 1u, 2u, 100u, 999u, 1000u,
+                                           32768u, 65534u, 65535u));
+
+// --- UserNamespace ---------------------------------------------------------------
+
+TEST(UserNamespace, InitIsIdentity) {
+  auto init = UserNamespace::make_init();
+  EXPECT_TRUE(init->is_init());
+  EXPECT_EQ(init->uid_to_kernel(1234), 1234u);
+  EXPECT_EQ(init->uid_from_kernel(1234), 1234u);
+}
+
+TEST(UserNamespace, ChildTranslationChain) {
+  auto init = UserNamespace::make_init();
+  auto child = UserNamespace::make_child(init, 1000, 1000);
+  ASSERT_TRUE(child->install_uid_map(IdMap::single(0, 1000)));
+  EXPECT_EQ(child->uid_to_kernel(0), 1000u);
+  EXPECT_FALSE(child->uid_to_kernel(1).has_value());
+  EXPECT_EQ(child->uid_from_kernel(1000), 0u);
+  EXPECT_FALSE(child->uid_from_kernel(0).has_value());
+  // Overflow view for unmapped kernel IDs (ls shows "nobody", §2.1.1).
+  EXPECT_EQ(child->uid_view(0), vfs::kOverflowUid);
+  EXPECT_EQ(child->uid_view(1000), 0u);
+}
+
+TEST(UserNamespace, NestedNamespaces) {
+  auto init = UserNamespace::make_init();
+  auto mid = UserNamespace::make_child(init, 1000, 1000);
+  ASSERT_TRUE(mid->install_uid_map(IdMap({{0, 100000, 65536}})));
+  auto inner = UserNamespace::make_child(mid, 100000, 100000);
+  ASSERT_TRUE(inner->install_uid_map(IdMap::single(0, 0)));
+  // inner 0 -> mid 0 -> kernel 100000.
+  EXPECT_EQ(inner->uid_to_kernel(0), 100000u);
+  EXPECT_EQ(inner->uid_from_kernel(100000), 0u);
+  EXPECT_EQ(inner->depth(), 2);
+}
+
+TEST(UserNamespace, MapsWriteOnce) {
+  auto init = UserNamespace::make_init();
+  auto child = UserNamespace::make_child(init, 1000, 1000);
+  ASSERT_TRUE(child->install_uid_map(IdMap::single(0, 1000)));
+  EXPECT_FALSE(child->install_uid_map(IdMap::single(0, 1000)));
+}
+
+TEST(UserNamespace, SetgroupsDenyIsSticky) {
+  auto init = UserNamespace::make_init();
+  auto child = UserNamespace::make_child(init, 1000, 1000);
+  EXPECT_EQ(child->setgroups_policy(), UserNamespace::SetgroupsPolicy::kAllow);
+  ASSERT_TRUE(child->set_setgroups(UserNamespace::SetgroupsPolicy::kDeny));
+  EXPECT_FALSE(child->set_setgroups(UserNamespace::SetgroupsPolicy::kAllow));
+}
+
+TEST(UserNamespace, SetgroupsImmutableAfterGidMap) {
+  auto init = UserNamespace::make_init();
+  auto child = UserNamespace::make_child(init, 1000, 1000);
+  ASSERT_TRUE(child->install_gid_map(IdMap::single(0, 1000)));
+  EXPECT_FALSE(child->set_setgroups(UserNamespace::SetgroupsPolicy::kDeny));
+}
+
+TEST(UserNamespace, DescendantRelation) {
+  auto init = UserNamespace::make_init();
+  auto a = UserNamespace::make_child(init, 1000, 1000);
+  auto b = UserNamespace::make_child(a, 1000, 1000);
+  EXPECT_TRUE(b->is_descendant_of(*init));
+  EXPECT_TRUE(b->is_descendant_of(*a));
+  EXPECT_TRUE(b->is_descendant_of(*b));
+  EXPECT_FALSE(init->is_descendant_of(*a));
+  EXPECT_FALSE(a->is_descendant_of(*b));
+}
+
+// The four §2.1.1 cases for a given (host ID, namespace) pair.
+TEST(UserNamespace, FourMappingCases) {
+  auto init = UserNamespace::make_init();
+  auto ns = UserNamespace::make_child(init, 1000, 1000);
+  // Map: inside 0 <- host 1000 (in use), inside 1..10 <- host 5000..5009
+  // (not in use on the host, but mapped: case 2 — files can be owned by
+  // them even though no host user exists).
+  ASSERT_TRUE(ns->install_uid_map(IdMap({{0, 1000, 1}, {1, 5000, 10}})));
+  // Case 1: in use + mapped.
+  EXPECT_EQ(ns->uid_from_kernel(1000), 0u);
+  // Case 2: not in use + mapped — still translates fine.
+  EXPECT_EQ(ns->uid_from_kernel(5003), 4u);
+  // Case 3: in use on host, unmapped — invisible (overflow).
+  EXPECT_EQ(ns->uid_view(0), vfs::kOverflowUid);
+  // Case 4: not in use, not mapped — cannot be named from inside.
+  EXPECT_FALSE(ns->uid_to_kernel(99999).has_value());
+}
+
+}  // namespace
+}  // namespace minicon::kernel

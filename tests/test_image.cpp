@@ -1,0 +1,227 @@
+// Image layer tests: ustar archives, flattening, the registry, and the
+// §2.1.2 "IDs are correct only within the container" corollary.
+#include <gtest/gtest.h>
+
+#include "image/registry.hpp"
+#include "image/tar.hpp"
+#include "support/sha256.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::image {
+namespace {
+
+TarEntry file_entry(const std::string& name, const std::string& content,
+                    std::uint32_t mode = 0644, vfs::Uid uid = 0,
+                    vfs::Gid gid = 0) {
+  TarEntry e;
+  e.name = name;
+  e.type = vfs::FileType::Regular;
+  e.content = content;
+  e.mode = mode;
+  e.uid = uid;
+  e.gid = gid;
+  return e;
+}
+
+TarEntry dir_entry(const std::string& name, std::uint32_t mode = 0755) {
+  TarEntry e;
+  e.name = name;
+  e.type = vfs::FileType::Directory;
+  e.mode = mode;
+  return e;
+}
+
+// --- tar format ----------------------------------------------------------------
+
+TEST(Tar, RoundtripBasic) {
+  std::vector<TarEntry> in;
+  in.push_back(dir_entry("etc"));
+  in.push_back(file_entry("etc/passwd", "root:x:0:0\n", 0644, 0, 0));
+  TarEntry link;
+  link.name = "etc/alias";
+  link.type = vfs::FileType::Symlink;
+  link.linkname = "passwd";
+  in.push_back(link);
+  TarEntry dev;
+  dev.name = "null";
+  dev.type = vfs::FileType::CharDev;
+  dev.mode = 0666;
+  dev.dev_major = 1;
+  dev.dev_minor = 3;
+  in.push_back(dev);
+
+  auto out = tar_parse(tar_create(in));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ((*out)[0].name, "etc");
+  EXPECT_EQ((*out)[0].type, vfs::FileType::Directory);
+  EXPECT_EQ((*out)[1].content, "root:x:0:0\n");
+  EXPECT_EQ((*out)[2].linkname, "passwd");
+  EXPECT_EQ((*out)[3].dev_major, 1u);
+  EXPECT_EQ((*out)[3].dev_minor, 3u);
+}
+
+// Property sweep over metadata combinations.
+struct TarCase {
+  std::uint32_t mode;
+  vfs::Uid uid;
+  vfs::Gid gid;
+  std::size_t size;
+};
+
+class TarRoundtrip : public ::testing::TestWithParam<TarCase> {};
+
+TEST_P(TarRoundtrip, PreservesMetadata) {
+  const TarCase& c = GetParam();
+  auto in = file_entry("some/dir/file.bin", std::string(c.size, 'z'), c.mode,
+                       c.uid, c.gid);
+  auto out = tar_parse(tar_create({dir_entry("some"), dir_entry("some/dir"),
+                                   in}));
+  ASSERT_TRUE(out.ok());
+  const TarEntry& got = out->back();
+  EXPECT_EQ(got.mode, c.mode);
+  EXPECT_EQ(got.uid, c.uid);
+  EXPECT_EQ(got.gid, c.gid);
+  EXPECT_EQ(got.content.size(), c.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TarRoundtrip,
+    ::testing::Values(TarCase{0644, 0, 0, 0}, TarCase{04755, 0, 0, 1},
+                      TarCase{02555, 0, 998, 511},
+                      TarCase{0600, 1000, 1000, 512},
+                      TarCase{0777, 65534, 65534, 513},
+                      TarCase{01777, 200000, 200000, 4096}));
+
+TEST(Tar, BlockAlignment) {
+  const std::string blob =
+      tar_create({file_entry("f", std::string(513, 'x'))});
+  EXPECT_EQ(blob.size() % 512, 0u);
+  // header + 2 data blocks + 2 trailer blocks
+  EXPECT_EQ(blob.size(), 512u * 5);
+}
+
+TEST(Tar, LongNamesUsePrefix) {
+  std::string long_dir(90, 'd');
+  std::string name = long_dir + "/" + std::string(60, 'f');
+  auto out = tar_parse(tar_create({file_entry(name, "x")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->front().name, name);
+}
+
+TEST(Tar, CorruptChecksumDetected) {
+  std::string blob = tar_create({file_entry("f", "data")});
+  blob[0] ^= 0x7f;  // mangle the name field
+  EXPECT_FALSE(tar_parse(blob).ok());
+}
+
+TEST(Tar, NotATarball) {
+  EXPECT_FALSE(tar_parse(std::string(1024, 'j')).ok());
+  // Empty archive (just trailer blocks) parses to zero entries.
+  auto empty = tar_parse(std::string(1024, '\0'));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(Tar, TreeRoundtrip) {
+  vfs::MemFs src;
+  vfs::OpCtx ctx;
+  vfs::CreateArgs dirargs;
+  dirargs.type = vfs::FileType::Directory;
+  dirargs.mode = 0750;
+  dirargs.uid = 3;
+  auto d = src.create(ctx, src.root(), "opt", dirargs);
+  ASSERT_TRUE(d.ok());
+  vfs::CreateArgs fargs;
+  fargs.mode = 04511;
+  fargs.uid = 7;
+  fargs.gid = 9;
+  auto f = src.create(ctx, *d, "app", fargs);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(src.write(ctx, *f, "binary", false).ok());
+  ASSERT_TRUE(src.set_xattr(ctx, *f, "user.k", "v").ok());
+
+  auto entries = tree_to_entries(src, src.root());
+  ASSERT_TRUE(entries.ok());
+  vfs::MemFs dst;
+  ASSERT_TRUE(entries_to_tree(*entries, dst, dst.root(), ctx).ok());
+  auto dd = dst.lookup(dst.root(), "opt");
+  ASSERT_TRUE(dd.ok());
+  auto df = dst.lookup(*dd, "app");
+  ASSERT_TRUE(df.ok());
+  auto st = dst.getattr(*df);
+  EXPECT_EQ(st->mode, 04511u);
+  EXPECT_EQ(st->uid, 7u);
+  EXPECT_EQ(st->gid, 9u);
+  EXPECT_EQ(*dst.read(*df), "binary");
+  EXPECT_EQ(*dst.get_xattr(*df, "user.k"), "v");
+}
+
+TEST(Tar, FlattenOwnership) {
+  std::vector<TarEntry> in{
+      file_entry("bin/su", "x", 04755, 0, 0),
+      file_entry("home/f", "y", 0644, 1000, 1000),
+  };
+  TarEntry dev;
+  dev.name = "dev/null";
+  dev.type = vfs::FileType::CharDev;
+  in.push_back(dev);
+  auto out = flatten_ownership(in);
+  ASSERT_EQ(out.size(), 2u);  // device dropped
+  for (const auto& e : out) {
+    EXPECT_EQ(e.uid, 0u);
+    EXPECT_EQ(e.gid, 0u);
+    EXPECT_EQ(e.mode & (vfs::mode::kSetUid | vfs::mode::kSetGid), 0u);
+  }
+}
+
+// --- registry ---------------------------------------------------------------------
+
+TEST(Registry, BlobsAreContentAddressed) {
+  Registry r;
+  const std::string d1 = r.put_blob("hello");
+  EXPECT_EQ(d1, oci_digest("hello"));
+  EXPECT_EQ(r.put_blob("hello"), d1);  // dedup
+  EXPECT_EQ(*r.get_blob(d1), "hello");
+  EXPECT_FALSE(r.get_blob("sha256:beef").has_value());
+  EXPECT_TRUE(r.has_blob(d1));
+}
+
+TEST(Registry, MultiArchManifests) {
+  Registry r;
+  Manifest x86;
+  x86.reference = "app:1";
+  x86.config.arch = "x86_64";
+  Manifest arm = x86;
+  arm.config.arch = "aarch64";
+  r.put_manifest(x86);
+  r.put_manifest(arm);
+  EXPECT_EQ(r.get_manifest("app:1", "aarch64")->config.arch, "aarch64");
+  EXPECT_EQ(r.get_manifest("app:1", "x86_64")->config.arch, "x86_64");
+  EXPECT_FALSE(r.get_manifest("app:1", "riscv64").has_value());
+  EXPECT_TRUE(r.get_manifest("app:1").has_value());
+  EXPECT_EQ(r.references().size(), 1u);
+}
+
+TEST(Registry, ManifestDigestIsStable) {
+  Manifest m;
+  m.reference = "a:b";
+  m.layers = {"sha256:x"};
+  const std::string d1 = m.digest();
+  EXPECT_EQ(d1, m.digest());
+  m.layers.push_back("sha256:y");
+  EXPECT_NE(d1, m.digest());
+}
+
+TEST(Registry, TrafficCounters) {
+  Registry r;
+  const std::string d = r.put_blob("data");
+  EXPECT_EQ(r.pushes(), 1u);
+  (void)r.get_blob(d);
+  (void)r.get_blob(d);
+  EXPECT_EQ(r.pulls(), 2u);
+  EXPECT_EQ(r.blob_bytes(), 4u);
+}
+
+}  // namespace
+}  // namespace minicon::image

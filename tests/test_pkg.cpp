@@ -1,0 +1,214 @@
+// Package manager tests: yum/rpm and apt/dpkg personalities under real root
+// (Type I) and inside containers.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/runtime.hpp"
+#include "kernel/syscalls.hpp"
+#include "pkg/managers.hpp"
+
+namespace minicon {
+namespace {
+
+// Fixture: a cluster (for registries/repos) plus a Type I (real root)
+// container for each distro, where package managers behave like on a normal
+// privileged system.
+class PkgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+  }
+
+  // Extracts a base image into a fresh MemFs and enters it as real root.
+  kernel::Process enter_type1(const std::string& ref) {
+    auto manifest = cluster_->registry().get_manifest(ref, "x86_64");
+    EXPECT_TRUE(manifest.has_value());
+    auto fs = std::make_shared<vfs::MemFs>(0755);
+    vfs::OpCtx ctx;
+    for (const auto& digest : manifest->layers) {
+      auto blob = cluster_->registry().get_blob(digest);
+      EXPECT_TRUE(blob.has_value());
+      auto entries = image::tar_parse(*blob);
+      EXPECT_TRUE(entries.ok());
+      EXPECT_TRUE(image::entries_to_tree(*entries, *fs, fs->root(), ctx).ok());
+    }
+    core::RootFs rootfs;
+    rootfs.fs = fs;
+    rootfs.root = fs->root();
+    auto root = cluster_->login().root_process();
+    auto c = core::enter_type1(cluster_->login(), root, rootfs,
+                               manifest->config.env);
+    EXPECT_TRUE(c.ok());
+    return *c;
+  }
+
+  std::tuple<int, std::string, std::string> run_in(kernel::Process& p,
+                                                   const std::string& s) {
+    std::string out, err;
+    const int status = cluster_->login().shell().run(p, s, out, err);
+    return {status, out, err};
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+};
+
+// --- yum / rpm --------------------------------------------------------------------
+
+TEST_F(PkgTest, YumInstallAsRealRootSucceeds) {
+  auto c = enter_type1("centos:7");
+  auto [status, out, err] = run_in(c, "yum install -y openssh");
+  EXPECT_EQ(status, 0) << err;
+  EXPECT_NE(out.find("Installing: openssh-7.4p1-21.el7.x86_64"),
+            std::string::npos);
+  EXPECT_NE(out.find("Complete!"), std::string::npos);
+  // Dependency pulled in and ownership correctly applied.
+  EXPECT_EQ(std::get<0>(run_in(c, "rpm -q fipscheck")), 0);
+  auto [s2, o2, e2] = run_in(c, "ls -l /usr/libexec/openssh/ssh-keysign");
+  EXPECT_NE(o2.find("root ssh_keys"), std::string::npos) << o2;
+  EXPECT_NE(o2.find("-r-xr-sr-x"), std::string::npos) << o2;  // setgid kept
+}
+
+TEST_F(PkgTest, YumAlreadyInstalled) {
+  auto c = enter_type1("centos:7");
+  ASSERT_EQ(std::get<0>(run_in(c, "yum install -y fipscheck")), 0);
+  auto [status, out, err] = run_in(c, "yum install -y fipscheck");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("already installed"), std::string::npos);
+}
+
+TEST_F(PkgTest, YumUnknownPackage) {
+  auto c = enter_type1("centos:7");
+  auto [status, out, err] = run_in(c, "yum install -y no-such-pkg");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(err.find("No package no-such-pkg available."), std::string::npos);
+}
+
+TEST_F(PkgTest, YumNeedsRoot) {
+  auto c = enter_type1("centos:7");
+  c.cred = kernel::Credentials::user(1000, 1000);
+  auto [status, out, err] = run_in(c, "yum install -y fipscheck");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(err.find("You need to be root"), std::string::npos);
+}
+
+TEST_F(PkgTest, EpelDisabledUntilEnabled) {
+  auto c = enter_type1("centos:7");
+  // fakeroot lives in EPEL which is not configured yet.
+  EXPECT_NE(std::get<0>(run_in(c, "yum install -y fakeroot")), 0);
+  ASSERT_EQ(std::get<0>(run_in(c, "yum install -y epel-release")), 0);
+  // Now the repo file exists and is enabled by default.
+  EXPECT_EQ(std::get<0>(run_in(c, "yum install -y fakeroot")), 0);
+}
+
+TEST_F(PkgTest, YumConfigManagerDisablesRepo) {
+  auto c = enter_type1("centos:7");
+  ASSERT_EQ(std::get<0>(run_in(c, "yum install -y epel-release")), 0);
+  ASSERT_EQ(std::get<0>(run_in(c, "yum-config-manager --disable epel")), 0);
+  EXPECT_NE(std::get<0>(run_in(c, "yum install -y fakeroot")), 0);
+  // --enablerepo temporarily re-enables it (the rhel7 init-step pipeline).
+  EXPECT_EQ(std::get<0>(run_in(c, "yum --enablerepo=epel install -y fakeroot")),
+            0);
+}
+
+TEST_F(PkgTest, RpmQueryFormats) {
+  auto c = enter_type1("centos:7");
+  ASSERT_EQ(std::get<0>(run_in(c, "yum install -y fipscheck")), 0);
+  EXPECT_EQ(std::get<1>(run_in(c, "rpm -q fipscheck")),
+            "fipscheck-1.4.1-6.el7.x86_64\n");
+  auto [status, out, err] = run_in(c, "rpm -q missingpkg");
+  EXPECT_EQ(status, 1);
+  EXPECT_NE(out.find("is not installed"), std::string::npos);
+}
+
+TEST_F(PkgTest, ScriptletCreatesGroupBeforeUnpack) {
+  auto c = enter_type1("centos:7");
+  ASSERT_EQ(std::get<0>(run_in(c, "yum install -y openssh")), 0);
+  EXPECT_EQ(std::get<1>(run_in(c, "grep -c ssh_keys /etc/group")), "1\n");
+}
+
+// --- apt / dpkg -------------------------------------------------------------------
+
+TEST_F(PkgTest, AptUpdateThenInstallAsRealRoot) {
+  auto c = enter_type1("debian:buster");
+  // No indexes in the base image: install fails before update (§5.2).
+  auto [s0, o0, e0] = run_in(c, "apt-get install -y hello");
+  EXPECT_NE(s0, 0);
+  EXPECT_NE(e0.find("Unable to locate package hello"), std::string::npos);
+
+  auto [s1, o1, e1] = run_in(c, "apt-get update");
+  EXPECT_EQ(s1, 0) << e1;
+  EXPECT_NE(o1.find("Reading package lists..."), std::string::npos);
+
+  auto [s2, o2, e2] = run_in(c, "apt-get install -y hello");
+  EXPECT_EQ(s2, 0) << e2;
+  EXPECT_NE(o2.find("Setting up hello (2.10-2)"), std::string::npos);
+  EXPECT_EQ(std::get<1>(run_in(c, "hello")), "Hello, world!\n");
+}
+
+TEST_F(PkgTest, AptDependencyChain) {
+  auto c = enter_type1("debian:buster");
+  ASSERT_EQ(std::get<0>(run_in(c, "apt-get update")), 0);
+  auto [status, out, err] = run_in(c, "apt-get install -y openssh-client");
+  EXPECT_EQ(status, 0) << err;
+  // Deps in Fig 9's order of setup.
+  EXPECT_NE(out.find("Setting up libxext6 (2:1.3.3-1+b2)"),
+            std::string::npos);
+  EXPECT_NE(out.find("Setting up xauth (1:1.0.10-1)"), std::string::npos);
+  EXPECT_NE(out.find("Setting up openssh-client (1:7.9p1-10+deb10u2)"),
+            std::string::npos);
+  // ssh-agent is setgid ssh.
+  auto [s2, o2, e2] = run_in(c, "ls -l /usr/bin/ssh-agent");
+  EXPECT_NE(o2.find("root ssh"), std::string::npos);
+}
+
+TEST_F(PkgTest, AptSandboxDropWorksAsRealRoot) {
+  auto c = enter_type1("debian:buster");
+  auto [status, out, err] = run_in(c, "apt-get update");
+  EXPECT_EQ(status, 0);
+  // No E: lines — the drop to _apt succeeded.
+  EXPECT_EQ(err.find("E: setgroups"), std::string::npos);
+}
+
+TEST_F(PkgTest, AptConfigDumpShowsSandboxUser) {
+  auto c = enter_type1("debian:buster");
+  auto [s1, o1, e1] = run_in(c, "apt-config dump");
+  EXPECT_NE(o1.find("APT::Sandbox::User \"_apt\";"), std::string::npos);
+  ASSERT_EQ(std::get<0>(run_in(
+                c, "echo 'APT::Sandbox::User \"root\";' > "
+                   "/etc/apt/apt.conf.d/no-sandbox")),
+            0);
+  auto [s2, o2, e2] = run_in(c, "apt-config dump");
+  EXPECT_NE(o2.find("APT::Sandbox::User \"root\";"), std::string::npos);
+  // The debderiv init-step check pipeline is satisfied now.
+  EXPECT_EQ(std::get<0>(run_in(
+                c, "apt-config dump | fgrep -q 'APT::Sandbox::User \"root\"' "
+                   "|| ! fgrep -q _apt /etc/passwd")),
+            0);
+}
+
+TEST_F(PkgTest, DpkgStatusQueries) {
+  auto c = enter_type1("debian:buster");
+  ASSERT_EQ(std::get<0>(run_in(c, "apt-get update")), 0);
+  ASSERT_EQ(std::get<0>(run_in(c, "apt-get install -y hello")), 0);
+  EXPECT_EQ(std::get<0>(run_in(c, "dpkg -s hello")), 0);
+  EXPECT_NE(std::get<0>(run_in(c, "dpkg -s missing")), 0);
+  auto [status, out, err] = run_in(c, "dpkg -l");
+  EXPECT_NE(out.find("hello"), std::string::npos);
+}
+
+TEST_F(PkgTest, SetcapPackageNeedsPrivilege) {
+  // Real root installs iputils fine (file capabilities applied)...
+  auto c = enter_type1("centos:7");
+  EXPECT_EQ(std::get<0>(run_in(c, "yum install -y iputils")), 0);
+  // ...and the capability xattr is present.
+  auto loc = c.sys->resolve(c, "/usr/bin/ping", true);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_TRUE(loc->mnt->fs->get_xattr(loc->ino, "security.capability").ok());
+}
+
+}  // namespace
+}  // namespace minicon

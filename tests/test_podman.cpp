@@ -1,0 +1,270 @@
+// Rootless Podman (Type II) tests: §4, Figures 4 and 5, storage drivers,
+// shared-filesystem clashes, and the build cache.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+#include "vfs/sharedfs.hpp"
+
+namespace minicon {
+namespace {
+
+constexpr const char* kCentosDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+class PodmanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  core::Podman make(core::PodmanOptions opts = {}) {
+    return core::Podman(cluster_->login(), alice_, &cluster_->registry(),
+                        opts);
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+};
+
+// Fig 4: the subuid file drives the namespace mapping shown by
+// `podman unshare cat /proc/self/uid_map`.
+TEST_F(PodmanTest, Fig4RootlessIdMaps) {
+  auto podman = make();
+  Transcript t;
+  ASSERT_EQ(podman.show_id_maps(t), 0);
+  const std::string text = t.text();
+  // Entry 1: container root <- alice (1000); entry 2: 1.. <- subuid range.
+  EXPECT_NE(text.find("1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("100000"), std::string::npos) << text;
+  EXPECT_NE(text.find("65536"), std::string::npos) << text;
+}
+
+// The headline §4.1 claim: with helpers configured, Figs 2 and 3 succeed
+// unmodified.
+TEST_F(PodmanTest, Fig2DockerfileSucceedsUnderRootlessPodman) {
+  auto podman = make();
+  Transcript t;
+  const int status = podman.build("foo", kCentosDockerfile, t);
+  EXPECT_EQ(status, 0) << t.text();
+  EXPECT_TRUE(t.contains("STEP 1/3: FROM centos:7"));
+  EXPECT_TRUE(t.contains("Complete!"));
+  EXPECT_TRUE(t.contains("COMMIT foo"));
+  // Ownership in the image is real: ssh-keysign belongs to root:ssh_keys in
+  // container terms.
+  Transcript rt;
+  EXPECT_EQ(podman.run_in_image("foo",
+                                {"ls", "-l",
+                                 "/usr/libexec/openssh/ssh-keysign"},
+                                rt),
+            0);
+  EXPECT_TRUE(rt.contains("root ssh_keys")) << rt.text();
+}
+
+TEST_F(PodmanTest, Fig3DockerfileSucceedsUnderRootlessPodman) {
+  auto podman = make();
+  Transcript t;
+  const int status = podman.build("deb",
+                                  "FROM debian:buster\n"
+                                  "RUN apt-get update\n"
+                                  "RUN apt-get install -y openssh-client\n",
+                                  t);
+  EXPECT_EQ(status, 0) << t.text();
+  // The apt sandbox drop *worked* this time (_apt and nogroup are mapped).
+  EXPECT_FALSE(t.contains("E: setgroups"));
+  EXPECT_TRUE(t.contains("Setting up openssh-client (1:7.9p1-10+deb10u2)"));
+}
+
+TEST_F(PodmanTest, NoSubuidGrantsMeansHelpersRefuse) {
+  // carol has an account but no /etc/subuid entries.
+  kernel::Process root = cluster_->login().root_process();
+  std::string out, err;
+  cluster_->login().run(root, "useradd -u 1002 carol", out, err);
+  cluster_->login().run(root,
+                        "grep -v carol /etc/subuid > /tmp/s; "
+                        "cp /tmp/s /etc/subuid; "
+                        "grep -v carol /etc/subgid > /tmp/g; "
+                        "cp /tmp/g /etc/subgid",
+                        out, err);
+  auto carol = cluster_->login().login("carol");
+  ASSERT_TRUE(carol.ok());
+  core::Podman podman(cluster_->login(), *carol, &cluster_->registry(), {});
+  Transcript t;
+  const int status = podman.build("foo", kCentosDockerfile, t);
+  EXPECT_NE(status, 0);
+  EXPECT_TRUE(t.contains("rootless user namespace")) << t.text();
+}
+
+// Fig 5: unprivileged mode — single map, host /proc, chown errors ignored.
+TEST_F(PodmanTest, Fig5UnprivilegedMode) {
+  core::PodmanOptions opts;
+  opts.rootless_helpers = false;
+  opts.ignore_chown_errors = true;
+  auto podman = make(opts);
+
+  Transcript mt;
+  ASSERT_EQ(podman.show_id_maps(mt), 0);
+  // Single-entry self map only.
+  EXPECT_TRUE(mt.contains("1000"));
+  EXPECT_FALSE(mt.contains("100000"));
+
+  // openssh (client) installs: chown errors are squashed...
+  Transcript t1;
+  EXPECT_EQ(podman.build("cli",
+                         "FROM centos:7\nRUN yum install -y openssh\n", t1),
+            0)
+      << t1.text();
+  // ...but ownership got squashed too: ssh-keysign is NOT ssh_keys-owned.
+  Transcript lt;
+  EXPECT_EQ(podman.run_in_image(
+                "cli", {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"}, lt),
+            0);
+  EXPECT_FALSE(lt.contains("ssh_keys")) << lt.text();
+
+  // openssh-server fails: its %pre reads /proc/1/environ, which is owned by
+  // (unmapped) host root — "owned by user nobody" (Fig 5).
+  Transcript t2;
+  const int status = podman.build(
+      "srv", "FROM centos:7\nRUN yum install -y openssh-server\n", t2);
+  EXPECT_NE(status, 0) << t2.text();
+
+  // Confirm the diagnosis with ls: /proc/1/environ shows nobody.
+  Transcript pt;
+  EXPECT_EQ(podman.run_in_image("cli", {"ls", "-l", "/proc/1/environ"}, pt),
+            0);
+  EXPECT_TRUE(pt.contains("nobody")) << pt.text();
+}
+
+// With helpers + fresh proc, openssh-server installs fine (the contrast).
+TEST_F(PodmanTest, OpensshServerWorksWithHelpers) {
+  auto podman = make();
+  Transcript t;
+  EXPECT_EQ(podman.build(
+                "srv", "FROM centos:7\nRUN yum install -y openssh-server\n",
+                t),
+            0)
+      << t.text();
+}
+
+// --- storage drivers -----------------------------------------------------------
+
+TEST_F(PodmanTest, VfsDriverBuildsButCopiesEverything) {
+  core::PodmanOptions opts;
+  opts.driver = core::PodmanOptions::Driver::kVfs;
+  auto podman = make(opts);
+  Transcript t;
+  ASSERT_EQ(podman.build("foo", kCentosDockerfile, t), 0) << t.text();
+  // Full copies per layer: total storage is a multiple of one image.
+  const std::uint64_t total = podman.driver().total_bytes();
+  core::PodmanOptions oopts;
+  auto overlay = make(oopts);
+  Transcript t2;
+  ASSERT_EQ(overlay.build("foo", kCentosDockerfile, t2), 0);
+  EXPECT_GT(total, 2 * overlay.driver().total_bytes() / 1)
+      << "vfs=" << total << " overlay=" << overlay.driver().total_bytes();
+}
+
+TEST_F(PodmanTest, OverlayDriverRefusesXattrlessSharedGraphroot) {
+  // §4.2/§6.1: fuse-overlayfs ID-mapping xattrs clash with NFS.
+  core::PodmanOptions opts;
+  opts.graphroot_backing = cluster_->shared_fs();  // no user xattrs
+  auto podman = make(opts);
+  Transcript t;
+  const int status = podman.build("foo", kCentosDockerfile, t);
+  EXPECT_NE(status, 0);
+  EXPECT_TRUE(t.contains("shared filesystem")) << t.text();
+}
+
+TEST_F(PodmanTest, OverlayDriverWorksOnNfsWithXattrs) {
+  // §6.2.1: Linux 5.9 + NFSv4.2 xattrs fix the overlay clash.
+  vfs::SharedFsOptions sopts;
+  sopts.xattrs_supported = true;
+  core::PodmanOptions opts;
+  opts.graphroot_backing = std::make_shared<vfs::SharedFs>(sopts);
+  auto podman = make(opts);
+  Transcript t;
+  EXPECT_EQ(podman.build("foo", kCentosDockerfile, t), 0) << t.text();
+}
+
+TEST_F(PodmanTest, VfsDriverOnNfsLosesIdMappings) {
+  // The server refuses to store subuid ownership: yum's chown fails even
+  // though the helpers are configured (§4.2).
+  core::PodmanOptions opts;
+  opts.driver = core::PodmanOptions::Driver::kVfs;
+  opts.graphroot_backing = cluster_->shared_fs();
+  auto podman = make(opts);
+  Transcript t;
+  const int status = podman.build("foo", kCentosDockerfile, t);
+  EXPECT_NE(status, 0) << t.text();
+  EXPECT_TRUE(t.contains("cpio: chown")) << t.text();
+}
+
+// --- build cache -------------------------------------------------------------------
+
+TEST_F(PodmanTest, BuildCacheHitsOnRebuild) {
+  auto podman = make();
+  Transcript t1;
+  ASSERT_EQ(podman.build("foo", kCentosDockerfile, t1), 0);
+  EXPECT_EQ(podman.cache_hits(), 0u);
+  Transcript t2;
+  ASSERT_EQ(podman.build("foo", kCentosDockerfile, t2), 0);
+  EXPECT_EQ(podman.cache_hits(), 2u);
+  EXPECT_TRUE(t2.contains("--> Using cache"));
+  // Prefix reuse: extending the Dockerfile hits for the common prefix.
+  Transcript t3;
+  ASSERT_EQ(podman.build("foo2",
+                         std::string(kCentosDockerfile) + "RUN echo more\n",
+                         t3),
+            0);
+  EXPECT_EQ(podman.cache_hits(), 4u);
+}
+
+// --- push ---------------------------------------------------------------------------
+
+TEST_F(PodmanTest, MultiLayerOwnershipPreservingPush) {
+  auto podman = make();
+  Transcript t;
+  ASSERT_EQ(podman.build("foo", kCentosDockerfile, t), 0);
+  Transcript pt;
+  ASSERT_EQ(podman.push("foo", "site/foo:podman", pt), 0);
+  auto manifest = cluster_->registry().get_manifest("site/foo:podman");
+  ASSERT_TRUE(manifest.has_value());
+  // Base layer + one layer per RUN: multi-layer, unlike Charliecloud.
+  EXPECT_EQ(manifest->layers.size(), 3u);
+  // The openssh layer carries container-namespace ownership (root:ssh_keys),
+  // because the archive is created "within the container" (§2.1.2 / §6.1).
+  auto blob = cluster_->registry().get_blob(manifest->layers.back());
+  ASSERT_TRUE(blob.has_value());
+  auto entries = image::tar_parse(*blob);
+  ASSERT_TRUE(entries.ok());
+  bool found = false;
+  for (const auto& e : *entries) {
+    if (e.name.ends_with("ssh-keysign")) {
+      found = true;
+      EXPECT_EQ(e.uid, 0u);
+      EXPECT_NE(e.gid, 0u);
+      EXPECT_NE(e.gid, vfs::kOverflowGid);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PodmanTest, IdTranslationHelpers) {
+  auto podman = make();
+  EXPECT_EQ(podman.uid_to_container(1000), 0u);      // invoker -> root
+  EXPECT_EQ(podman.uid_to_container(100000), 1u);    // first subuid
+  EXPECT_EQ(podman.uid_to_container(42), vfs::kOverflowUid);  // unmapped
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,201 @@
+// Container runtime tests: the three privilege types (§2.2) side by side.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/runtime.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+    // Pull a base image into alice's ch-image storage for the rootfs.
+    core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+    Transcript t;
+    ASSERT_EQ(ch.pull("centos:7", "base", t), 0);
+    auto rootfs = ch.image_rootfs("base");
+    ASSERT_TRUE(rootfs.ok());
+    rootfs_ = *rootfs;
+  }
+
+  std::tuple<int, std::string, std::string> run_in(kernel::Process& p,
+                                                   const std::string& s) {
+    std::string out, err;
+    const int status = cluster_->login().shell().run(p, s, out, err);
+    return {status, out, err};
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+  core::RootFs rootfs_;
+};
+
+TEST_F(RuntimeTest, Type3InvokerAppearsAsRoot) {
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "id -u && whoami");
+  EXPECT_EQ(out, "0\nroot\n");
+  // ...but kernel credentials are still alice's.
+  EXPECT_EQ(c->cred.euid, 1000u);
+}
+
+TEST_F(RuntimeTest, Type3WithoutRootMapping) {
+  core::TypeIIIOptions opts;
+  opts.map_to_root = false;
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_, opts);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "id -u");
+  EXPECT_EQ(out, "1000\n");
+}
+
+TEST_F(RuntimeTest, Type3SingleIdOnly) {
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  // Exactly one UID and one GID: chown to anything else is EINVAL.
+  auto [s1, o1, e1] = run_in(*c, "touch /tmp/f && chown bin:bin /tmp/f");
+  EXPECT_NE(s1, 0);
+  EXPECT_NE(e1.find("Invalid argument"), std::string::npos);
+  // setgroups is gated.
+  EXPECT_EQ(c->sys->setgroups(*c, {0}).error(), Err::eperm);
+}
+
+TEST_F(RuntimeTest, Type3ContainerSeesOwnFilesystemTree) {
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "cat /etc/redhat-release");
+  EXPECT_NE(out.find("CentOS Linux release 7.9.2009"), std::string::npos);
+  // The host's home directories are not visible.
+  EXPECT_NE(std::get<0>(run_in(*c, "ls /home/alice")), 0);
+}
+
+TEST_F(RuntimeTest, Type3CannotMknodDevices) {
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "mknod /tmp/dev c 1 3");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(err.find("Operation not permitted"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, Type2ManyIdsAvailable) {
+  auto c = core::enter_type2(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  auto [s1, o1, e1] = run_in(*c, "touch /tmp/f && chown bin:bin /tmp/f && "
+                                 "ls -l /tmp/f");
+  EXPECT_EQ(s1, 0) << e1;
+  EXPECT_NE(o1.find("bin bin"), std::string::npos);
+  // setgroups works (admin-granted subgid range, §2.1.4).
+  EXPECT_TRUE(c->sys->setgroups(*c, {0, 1}).ok());
+}
+
+TEST_F(RuntimeTest, Type2FreshProcOwnedByContainerRoot) {
+  auto c = core::enter_type2(cluster_->login(), alice_, rootfs_);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "cat /proc/1/environ");
+  EXPECT_EQ(status, 0) << err;
+}
+
+TEST_F(RuntimeTest, Type1RequiresRealRoot) {
+  auto denied = core::enter_type1(cluster_->login(), alice_, rootfs_);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error(), Err::eperm);
+  kernel::Process root = cluster_->login().root_process();
+  auto c = core::enter_type1(cluster_->login(), root, rootfs_);
+  ASSERT_TRUE(c.ok());
+  // Root inside a Type I container is root on the host — including real
+  // device creation.
+  auto [status, out, err] = run_in(*c, "mknod /tmp/dev c 1 3");
+  EXPECT_EQ(status, 0) << err;
+}
+
+TEST_F(RuntimeTest, ArchMismatchFailsExec) {
+  // An aarch64 container image on an x86_64 machine: Exec format error —
+  // the reason Astra could not reuse x86 images (§4.2).
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  ASSERT_EQ(ch.pull("centos:7", "armimg", t), 0);
+  // Overwrite a binary with an aarch64-tagged one.
+  kernel::Process p = alice_;
+  const std::string path =
+      "/home/alice/.local/share/ch-image/img/armimg/usr/bin/ls";
+  ASSERT_TRUE(p.sys
+                  ->write_file(p, path,
+                               shell::make_binary("ls", {{"arch", "aarch64"}}),
+                               false, 0755)
+                  .ok());
+  auto c = core::enter_type3(cluster_->login(), alice_,
+                             *ch.image_rootfs("armimg"));
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] = run_in(*c, "ls /");
+  EXPECT_EQ(status, 126);
+  EXPECT_NE(err.find("Exec format error"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, IgnoreChownWrapperSquashesErrors) {
+  core::TypeIIOptions opts;
+  opts.use_helpers = false;
+  opts.ignore_chown_errors = true;
+  auto c = core::enter_type2(cluster_->login(), alice_, rootfs_, opts);
+  ASSERT_TRUE(c.ok());
+  auto [status, out, err] =
+      run_in(*c, "touch /tmp/f && chown bin:bin /tmp/f && echo done");
+  EXPECT_EQ(status, 0) << err;
+  EXPECT_NE(out.find("done"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, BindMountsExposeHostDataReadWrite) {
+  // ch-run --bind: the shared filesystem appears inside the container, with
+  // host ownership semantics intact.
+  // alice provisions her own data on the shared filesystem (root cannot:
+  // the server squashes root, which is itself §4.2-faithful behavior).
+  std::string out, err;
+  ASSERT_EQ(cluster_->login().run(
+                alice_, "mkdir -p /lustre/home/alice/data && "
+                        "echo payload > /lustre/home/alice/data/input",
+                out, err),
+            0)
+      << err;
+  kernel::Process root = cluster_->login().root_process();
+  core::TypeIIIOptions opts;
+  // The target directory must already exist in the image (ch-run semantics);
+  // /tmp is part of every base.
+  opts.binds = {{"/lustre/home/alice/data", "/tmp"}};
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_, opts);
+  ASSERT_TRUE(c.ok());
+  auto [s1, o1, e1] = run_in(*c, "cat /tmp/input");
+  EXPECT_EQ(o1, "payload\n") << e1;
+  // Writes go back to the shared filesystem (alice owns the dir).
+  ASSERT_EQ(std::get<0>(run_in(*c, "echo result > /tmp/output")), 0);
+  out.clear();
+  ASSERT_EQ(cluster_->login().run(
+                root, "cat /lustre/home/alice/data/output", out, err),
+            0);
+  EXPECT_EQ(out, "result\n");
+  // But the bind grants no privilege: chown to another ID still fails.
+  EXPECT_NE(std::get<0>(run_in(*c, "chown bin /tmp/output")), 0);
+}
+
+TEST_F(RuntimeTest, BindMountMissingTargetFails) {
+  core::TypeIIIOptions opts;
+  opts.binds = {{"/lustre", "/no/such/dir"}};
+  EXPECT_FALSE(
+      core::enter_type3(cluster_->login(), alice_, rootfs_, opts).ok());
+}
+
+TEST_F(RuntimeTest, NamespacesDisabledBySysctl) {
+  cluster_->login().kernel().max_user_namespaces = 0;
+  auto c = core::enter_type3(cluster_->login(), alice_, rootfs_);
+  EXPECT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace minicon

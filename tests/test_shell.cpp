@@ -1,0 +1,364 @@
+// Shell interpreter tests: parsing, expansion, control flow, coreutils.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/machine.hpp"
+#include "shell/parse.hpp"
+#include "shell/shell.hpp"
+
+namespace minicon {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    universe_ = std::make_shared<pkg::RepoUniverse>();
+    registry_ = core::make_full_registry(universe_);
+  }
+
+  void SetUp() override {
+    core::MachineOptions mo;
+    mo.hostname = "testhost";
+    mo.registry = registry_;
+    machine_ = std::make_unique<core::Machine>(mo);
+    root_ = machine_->root_process();
+  }
+
+  // Runs a script as root; returns {status, stdout, stderr}.
+  std::tuple<int, std::string, std::string> run(const std::string& script) {
+    std::string out, err;
+    const int status = machine_->run(root_, script, out, err);
+    return {status, out, err};
+  }
+
+  static pkg::RepoUniversePtr universe_;
+  static std::shared_ptr<shell::CommandRegistry> registry_;
+  std::unique_ptr<core::Machine> machine_;
+  kernel::Process root_;
+};
+
+pkg::RepoUniversePtr ShellTest::universe_;
+std::shared_ptr<shell::CommandRegistry> ShellTest::registry_;
+
+// --- parser ------------------------------------------------------------------
+
+TEST(ShellParse, SimpleAndOperators) {
+  auto r = shell::parse_script("echo a && echo b || echo c; echo d");
+  ASSERT_TRUE(std::holds_alternative<shell::List>(r));
+  const auto& list = std::get<shell::List>(r);
+  ASSERT_EQ(list.items.size(), 2u);
+  EXPECT_EQ(list.items[0].parts.size(), 3u);
+}
+
+TEST(ShellParse, IfClause) {
+  auto r = shell::parse_script("if true; then echo y; elif false; then echo m; else echo n; fi");
+  ASSERT_TRUE(std::holds_alternative<shell::List>(r));
+}
+
+TEST(ShellParse, UnterminatedQuoteIsError) {
+  auto r = shell::parse_script("echo 'oops");
+  EXPECT_TRUE(std::holds_alternative<shell::ParseError>(r));
+}
+
+TEST(ShellParse, MissingFiIsError) {
+  auto r = shell::parse_script("if true; then echo x");
+  EXPECT_TRUE(std::holds_alternative<shell::ParseError>(r));
+}
+
+// --- basics --------------------------------------------------------------------
+
+TEST_F(ShellTest, EchoAndStatus) {
+  auto [status, out, err] = run("echo hello world");
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(out, "hello world\n");
+  EXPECT_TRUE(err.empty());
+}
+
+TEST_F(ShellTest, CommandNotFoundIs127) {
+  auto [status, out, err] = run("no-such-command");
+  EXPECT_EQ(status, 127);
+  EXPECT_NE(err.find("command not found"), std::string::npos);
+}
+
+TEST_F(ShellTest, QuotingAndVariables) {
+  auto [status, out, err] = run(
+      "X=world; echo \"hello $X\"; echo 'hello $X'; echo ${X}ly");
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(out, "hello world\nhello $X\nworldly\n");
+}
+
+TEST_F(ShellTest, ExitStatusVariable) {
+  auto [status, out, err] = run("false; echo $?; true; echo $?");
+  EXPECT_EQ(out, "1\n0\n");
+  EXPECT_EQ(status, 0);
+}
+
+TEST_F(ShellTest, AndOrShortCircuit) {
+  auto [s1, o1, e1] = run("true && echo yes || echo no");
+  EXPECT_EQ(o1, "yes\n");
+  auto [s2, o2, e2] = run("false && echo yes || echo no");
+  EXPECT_EQ(o2, "no\n");
+}
+
+TEST_F(ShellTest, NegationFlipsStatus) {
+  auto [s1, o1, e1] = run("! false");
+  EXPECT_EQ(s1, 0);
+  auto [s2, o2, e2] = run("! true");
+  EXPECT_EQ(s2, 1);
+}
+
+TEST_F(ShellTest, Pipelines) {
+  auto [status, out, err] =
+      run("echo -n 'a\nbb\nccc\n' | grep -c c");
+  EXPECT_EQ(out, "1\n");
+  auto [s2, o2, e2] = run("echo hay | grep -q needle");
+  EXPECT_EQ(s2, 1);
+}
+
+TEST_F(ShellTest, RedirectionsToFiles) {
+  auto [s1, o1, e1] = run("echo content > /tmp/out && cat /tmp/out");
+  EXPECT_EQ(o1, "content\n");
+  auto [s2, o2, e2] = run("echo more >> /tmp/out && wc -l /tmp/out");
+  EXPECT_EQ(o2, "2\n");
+  auto [s3, o3, e3] = run("cat /nonexistent 2>/dev/null");
+  EXPECT_TRUE(e3.empty());
+  EXPECT_NE(s3, 0);
+  auto [s4, o4, e4] = run("cat /nonexistent 2>&1 | grep -c 'No such'");
+  EXPECT_EQ(o4, "1\n");
+}
+
+TEST_F(ShellTest, InputRedirection) {
+  auto [s1, o1, e1] = run("echo data > /tmp/in && cat < /tmp/in");
+  EXPECT_EQ(o1, "data\n");
+}
+
+TEST_F(ShellTest, IfElifElse) {
+  auto [s1, o1, e1] =
+      run("if test -d /etc; then echo dir; else echo nodir; fi");
+  EXPECT_EQ(o1, "dir\n");
+  auto [s2, o2, e2] = run(
+      "if false; then echo a; elif true; then echo b; else echo c; fi");
+  EXPECT_EQ(o2, "b\n");
+}
+
+TEST_F(ShellTest, SetErrexitAborts) {
+  auto [status, out, err] = run("set -e; false; echo unreachable");
+  EXPECT_NE(status, 0);
+  EXPECT_EQ(out.find("unreachable"), std::string::npos);
+  // Conditions are exempt.
+  auto [s2, o2, e2] = run("set -e; if false; then echo a; fi; echo reached");
+  EXPECT_EQ(o2, "reached\n");
+  EXPECT_EQ(s2, 0);
+}
+
+TEST_F(ShellTest, SetXtraceEchoesCommands) {
+  auto [status, out, err] = run("set -x; echo traced");
+  EXPECT_NE(err.find("+ echo traced"), std::string::npos);
+}
+
+TEST_F(ShellTest, CommandSubstitution) {
+  auto [status, out, err] = run("X=$(echo inner); echo got:$X");
+  EXPECT_EQ(out, "got:inner\n");
+  auto [s2, o2, e2] = run("echo `echo backticks`");
+  EXPECT_EQ(o2, "backticks\n");
+}
+
+TEST_F(ShellTest, Globbing) {
+  run("mkdir -p /tmp/glob && touch /tmp/glob/a.txt /tmp/glob/b.txt "
+      "/tmp/glob/c.dat");
+  auto [s1, o1, e1] = run("echo /tmp/glob/*.txt");
+  EXPECT_EQ(o1, "/tmp/glob/a.txt /tmp/glob/b.txt\n");
+  // No match leaves the pattern literal.
+  auto [s2, o2, e2] = run("echo /tmp/glob/*.nope");
+  EXPECT_EQ(o2, "/tmp/glob/*.nope\n");
+  // Quoted patterns are not expanded.
+  auto [s3, o3, e3] = run("echo '/tmp/glob/*.txt'");
+  EXPECT_EQ(o3, "/tmp/glob/*.txt\n");
+}
+
+TEST_F(ShellTest, CommandDashV) {
+  auto [s1, o1, e1] = run("command -v ls");
+  EXPECT_EQ(s1, 0);
+  EXPECT_EQ(o1, "/usr/bin/ls\n");
+  auto [s2, o2, e2] = run("command -v definitely-missing");
+  EXPECT_EQ(s2, 1);
+  // Init-step idiom from §5.3: status only.
+  auto [s3, o3, e3] = run("command -v fakeroot >/dev/null");
+  EXPECT_NE(s3, 0);  // not installed on the host
+}
+
+TEST_F(ShellTest, TestBracketOperators) {
+  EXPECT_EQ(std::get<0>(run("[ -f /etc/passwd ]")), 0);
+  EXPECT_EQ(std::get<0>(run("[ -d /etc/passwd ]")), 1);
+  EXPECT_EQ(std::get<0>(run("[ abc = abc ]")), 0);
+  EXPECT_EQ(std::get<0>(run("[ abc != abc ]")), 1);
+  EXPECT_EQ(std::get<0>(run("[ 3 -lt 10 ]")), 0);
+  EXPECT_EQ(std::get<0>(run("[ ! -e /nope ]")), 0);
+  EXPECT_EQ(std::get<0>(run("[ -z \"\" ]")), 0);
+}
+
+TEST_F(ShellTest, AssignmentsOnlyForOneCommand) {
+  auto [s1, o1, e1] = run("FOO=bar env | grep -c ^FOO=bar");
+  EXPECT_EQ(o1, "1\n");
+  auto [s2, o2, e2] = run("FOO=bar true; env | grep -c ^FOO=bar");
+  EXPECT_EQ(o2, "0\n");
+  auto [s3, o3, e3] = run("FOO=persist; env | grep -c ^FOO=persist");
+  EXPECT_EQ(o3, "1\n");
+}
+
+// --- coreutils ---------------------------------------------------------------------
+
+TEST_F(ShellTest, MkdirChmodLs) {
+  auto [s1, o1, e1] = run(
+      "mkdir -p /srv/a/b && chmod 750 /srv/a/b && ls -ld /srv/a/b");
+  EXPECT_EQ(s1, 0);
+  EXPECT_NE(o1.find("drwxr-x---"), std::string::npos);
+}
+
+TEST_F(ShellTest, LsLongShowsOwnerNames) {
+  auto [status, out, err] = run("touch /tmp/owned && ls -l /tmp/owned");
+  EXPECT_NE(out.find("root root"), std::string::npos);
+}
+
+TEST_F(ShellTest, CpPreservesContent) {
+  auto [status, out, err] =
+      run("echo orig > /tmp/src && cp /tmp/src /tmp/dst && cat /tmp/dst");
+  EXPECT_EQ(out, "orig\n");
+}
+
+TEST_F(ShellTest, MvRenames) {
+  auto [status, out, err] =
+      run("echo x > /tmp/m1 && mv /tmp/m1 /tmp/m2 && cat /tmp/m2 && "
+          "test ! -e /tmp/m1 && echo gone");
+  EXPECT_EQ(out, "x\ngone\n");
+}
+
+TEST_F(ShellTest, RmRecursive) {
+  auto [status, out, err] = run(
+      "mkdir -p /tmp/t/deep && touch /tmp/t/deep/f && rm -rf /tmp/t && "
+      "test ! -e /tmp/t && echo removed");
+  EXPECT_EQ(out, "removed\n");
+}
+
+TEST_F(ShellTest, LnSymbolic) {
+  auto [status, out, err] = run(
+      "echo tgt > /tmp/t1 && ln -s /tmp/t1 /tmp/l1 && cat /tmp/l1 && "
+      "readlink /tmp/l1");
+  EXPECT_EQ(out, "tgt\n/tmp/t1\n");
+}
+
+TEST_F(ShellTest, GrepVariants) {
+  run("echo 'alpha\nBETA\ngamma' > /tmp/g");
+  EXPECT_EQ(std::get<1>(run("grep -i beta /tmp/g")), "BETA\n");
+  EXPECT_EQ(std::get<1>(run("grep -v a /tmp/g")), "BETA\n");
+  EXPECT_EQ(std::get<1>(run("fgrep alpha /tmp/g")), "alpha\n");
+  EXPECT_EQ(std::get<0>(run("grep -q zeta /tmp/g")), 1);
+  // Missing file is status 2.
+  EXPECT_EQ(std::get<0>(run("grep -q x /tmp/missing")), 2);
+}
+
+TEST_F(ShellTest, HeadTailWc) {
+  run("echo '1\n2\n3\n4\n5' > /tmp/n");
+  EXPECT_EQ(std::get<1>(run("head -n 2 /tmp/n")), "1\n2\n");
+  EXPECT_EQ(std::get<1>(run("tail -n 2 /tmp/n")), "4\n5\n");
+  EXPECT_EQ(std::get<1>(run("wc -l /tmp/n")), "5\n");
+}
+
+TEST_F(ShellTest, IdAndWhoami) {
+  EXPECT_EQ(std::get<1>(run("whoami")), "root\n");
+  EXPECT_NE(std::get<1>(run("id")).find("uid=0(root)"), std::string::npos);
+  auto alice = machine_->add_user("alice", 1000);
+  ASSERT_TRUE(alice.ok());
+  std::string out, err;
+  machine_->run(*alice, "whoami", out, err);
+  EXPECT_EQ(out, "alice\n");
+}
+
+TEST_F(ShellTest, ChownByName) {
+  auto alice = machine_->add_user("alice", 1000);
+  ASSERT_TRUE(alice.ok());
+  auto [status, out, err] =
+      run("touch /tmp/f1 && chown alice:alice /tmp/f1 && ls -l /tmp/f1");
+  EXPECT_NE(out.find("alice alice"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShDashCRunsSubshell) {
+  auto [status, out, err] = run("sh -c 'cd /etc; pwd'; pwd");
+  EXPECT_EQ(out, "/etc\n/root\n");  // cd does not leak out of the subshell
+}
+
+TEST_F(ShellTest, ShebangScriptExecution) {
+  auto [status, out, err] = run(
+      "echo '#!/bin/sh\necho from-script' > /usr/bin/myscript && "
+      "chmod 755 /usr/bin/myscript && myscript");
+  EXPECT_EQ(out, "from-script\n");
+}
+
+TEST_F(ShellTest, NonExecutableIs126) {
+  auto [status, out, err] = run(
+      "echo '#!/bin/sh\necho x' > /usr/bin/noexec && chmod 644 "
+      "/usr/bin/noexec && /usr/bin/noexec");
+  EXPECT_EQ(status, 126);
+}
+
+TEST_F(ShellTest, UnameReportsArch) {
+  EXPECT_EQ(std::get<1>(run("uname -m")), "x86_64\n");
+  EXPECT_EQ(std::get<1>(run("hostname")), "testhost\n");
+}
+
+TEST_F(ShellTest, UseraddAllocatesSubids) {
+  auto [status, out, err] =
+      run("useradd -u 1500 newuser && grep -c newuser /etc/subuid");
+  EXPECT_EQ(out, "1\n");
+  EXPECT_EQ(std::get<1>(run("grep -c newuser /etc/passwd")), "1\n");
+}
+
+TEST_F(ShellTest, UsermodAddSubuids) {
+  run("useradd -u 1600 u2");
+  auto [status, out, err] =
+      run("usermod --add-subuids 400000-465535 u2 && grep u2 /etc/subuid");
+  EXPECT_NE(out.find("u2:400000:65536"), std::string::npos);
+}
+
+TEST_F(ShellTest, ChmodSymbolicModes) {
+  run("touch /tmp/sym && chmod 644 /tmp/sym");
+  run("chmod u+x /tmp/sym");
+  EXPECT_NE(std::get<1>(run("ls -l /tmp/sym")).find("-rwxr--r--"),
+            std::string::npos);
+  run("chmod go-r /tmp/sym");
+  EXPECT_NE(std::get<1>(run("ls -l /tmp/sym")).find("-rwx------"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, LineContinuation) {
+  auto [status, out, err] = run("echo one \\\ntwo");
+  EXPECT_EQ(out, "one two\n");
+}
+
+TEST_F(ShellTest, ForLoops) {
+  auto [s1, o1, e1] = run("for x in a b c; do echo item:$x; done");
+  EXPECT_EQ(s1, 0);
+  EXPECT_EQ(o1, "item:a\nitem:b\nitem:c\n");
+  // Globs expand in the word list.
+  run("mkdir -p /tmp/fl && touch /tmp/fl/1.txt /tmp/fl/2.txt");
+  auto [s2, o2, e2] = run("for f in /tmp/fl/*.txt; do echo got:$f; done");
+  EXPECT_EQ(o2, "got:/tmp/fl/1.txt\ngot:/tmp/fl/2.txt\n");
+  // The loop variable persists afterwards (POSIX).
+  auto [s3, o3, e3] = run("for v in last; do true; done; echo $v");
+  EXPECT_EQ(o3, "last\n");
+  // set -e aborts mid-loop.
+  auto [s4, o4, e4] =
+      run("set -e; for x in 1 2 3; do echo $x; false; done; echo after");
+  EXPECT_NE(s4, 0);
+  EXPECT_EQ(o4, "1\n");
+  // Parse errors.
+  EXPECT_EQ(std::get<0>(run("for x in a b; echo $x; done")), 2);
+}
+
+TEST_F(ShellTest, CommentsIgnored) {
+  auto [status, out, err] = run("# a comment\necho visible # trailing\n");
+  EXPECT_EQ(out, "visible\n");
+}
+
+}  // namespace
+}  // namespace minicon

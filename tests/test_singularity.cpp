@@ -1,0 +1,159 @@
+// Singularity (Type II "fakeroot" brand, definition files, SIF) and Enroot
+// (import-only Type III) — §3.1's implementation survey made executable.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/singularity.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon {
+namespace {
+
+constexpr const char* kDefinition =
+    "Bootstrap: docker\n"
+    "From: centos:7\n"
+    "\n"
+    "%post\n"
+    "    yum install -y openssh\n"
+    "    echo built-by-singularity > /etc/build-info\n"
+    "\n"
+    "%environment\n"
+    "    export APP_HOME=/opt/app\n"
+    "\n"
+    "%runscript\n"
+    "    ssh\n";
+
+class SingularityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+};
+
+TEST(SingularityDef, ParsesSections) {
+  auto def = core::parse_definition(kDefinition);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->bootstrap, "docker");
+  EXPECT_EQ(def->from, "centos:7");
+  ASSERT_EQ(def->post.size(), 2u);
+  EXPECT_EQ(def->post[0], "yum install -y openssh");
+  EXPECT_EQ(def->environment.at("APP_HOME"), "/opt/app");
+  ASSERT_EQ(def->runscript.size(), 1u);
+}
+
+TEST(SingularityDef, RejectsDockerfiles) {
+  // The §3.1 interoperability limitation: Dockerfiles need another builder.
+  EXPECT_FALSE(
+      core::parse_definition("FROM centos:7\nRUN echo hi\n").ok());
+  EXPECT_FALSE(core::parse_definition("%post\necho nofrom\n").ok());
+}
+
+TEST_F(SingularityTest, FakerootBuildProducesSif) {
+  core::Singularity sing(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  const int status = sing.build("/home/alice/app.sif", kDefinition, t);
+  ASSERT_EQ(status, 0) << t.text();
+  EXPECT_TRUE(t.contains("Build complete: /home/alice/app.sif"));
+  // One single file on the host: the SIF.
+  auto st = alice_.sys->stat(alice_, "/home/alice/app.sif");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, vfs::FileType::Regular);
+  EXPECT_GT(st->size, 1024u);
+}
+
+TEST_F(SingularityTest, RunscriptAndEnvironment) {
+  core::Singularity sing(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  ASSERT_EQ(sing.build("/home/alice/app.sif", kDefinition, t), 0) << t.text();
+  // Default run = %runscript.
+  Transcript rt;
+  EXPECT_EQ(sing.run("/home/alice/app.sif", {}, rt), 0);
+  EXPECT_TRUE(rt.contains("OpenSSH_7.4p1 client")) << rt.text();
+  // %environment is present.
+  Transcript et;
+  EXPECT_EQ(sing.run("/home/alice/app.sif",
+                     {"sh", "-c", "echo home=$APP_HOME"}, et),
+            0);
+  EXPECT_TRUE(et.contains("home=/opt/app"));
+  // %post results persisted.
+  Transcript ct;
+  EXPECT_EQ(sing.run("/home/alice/app.sif", {"cat", "/etc/build-info"}, ct),
+            0);
+  EXPECT_TRUE(ct.contains("built-by-singularity"));
+}
+
+TEST_F(SingularityTest, BuildRejectsDockerfile) {
+  core::Singularity sing(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(sing.build("/home/alice/x.sif",
+                       "FROM centos:7\nRUN echo hi\n", t),
+            0);
+  EXPECT_TRUE(t.contains("Dockerfiles require a separate builder"));
+}
+
+TEST_F(SingularityTest, FakerootNeedsSubidGrants) {
+  // Without subuid/subgid, --fakeroot (Type II) cannot set up its maps.
+  kernel::Process root = cluster_->login().root_process();
+  std::string out, err;
+  cluster_->login().run(root,
+                        "echo -n '' > /etc/subuid && echo -n '' > /etc/subgid",
+                        out, err);
+  core::Singularity sing(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(sing.build("/home/alice/x.sif", kDefinition, t), 0);
+  EXPECT_TRUE(t.contains("subuid"));
+}
+
+TEST_F(SingularityTest, SifIsOwnershipFlattened) {
+  core::Singularity sing(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  ASSERT_EQ(sing.build("/home/alice/app.sif", kDefinition, t), 0);
+  // Inside a run, everything belongs to the (mapped-root) user: the
+  // flattened single-user tree of §6.2.5.
+  Transcript lt;
+  ASSERT_EQ(sing.run("/home/alice/app.sif",
+                     {"ls", "-l", "/usr/libexec/openssh/ssh-keysign"}, lt),
+            0);
+  EXPECT_TRUE(lt.contains("root root")) << lt.text();
+  EXPECT_FALSE(lt.contains("ssh_keys"));
+}
+
+TEST_F(SingularityTest, EnrootImportsButCannotBuild) {
+  // First publish an app image built elsewhere.
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript bt;
+  ASSERT_EQ(ch.build("app", "FROM centos:7\nRUN yum install -y openssh\n",
+                     bt),
+            0);
+  Transcript pt;
+  ASSERT_EQ(ch.push("app", "site/app:1", pt), 0);
+
+  core::Enroot enroot(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  ASSERT_EQ(enroot.import("site/app:1", "/home/alice/app.sqsh", t), 0)
+      << t.text();
+  EXPECT_TRUE(t.contains("Created squashfs image"));
+  Transcript rt;
+  EXPECT_EQ(enroot.run("/home/alice/app.sqsh", {"ssh"}, rt), 0);
+  EXPECT_TRUE(rt.contains("OpenSSH_7.4p1 client"));
+  // There is no Enroot::build — the class has no such member, which is the
+  // point ("does not have a build capability"); importing a missing ref
+  // fails cleanly.
+  Transcript et;
+  EXPECT_NE(enroot.import("ghost:1", "/home/alice/x.sqsh", et), 0);
+}
+
+}  // namespace
+}  // namespace minicon

@@ -1,0 +1,214 @@
+// Unit tests for the support layer: SHA-256, paths, strings, transcript.
+#include <gtest/gtest.h>
+
+#include "support/errno.hpp"
+#include "support/result.hpp"
+#include "support/path.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 test vectors) ----------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hex_digest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hex_digest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hex_digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto digest = h.finish();
+  EXPECT_EQ(to_hex(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : data) h.update(&c, 1);
+  const auto incremental = h.finish();
+  EXPECT_EQ(to_hex(incremental.data(), incremental.size()),
+            Sha256::hex_digest(data));
+}
+
+TEST(Sha256, OciDigestPrefix) {
+  EXPECT_TRUE(oci_digest("x").starts_with("sha256:"));
+  EXPECT_EQ(oci_digest("x").size(), 7 + 64);
+}
+
+// --- paths ---------------------------------------------------------------------
+
+struct NormCase {
+  const char* input;
+  const char* expected;
+};
+
+class PathNormalize : public ::testing::TestWithParam<NormCase> {};
+
+TEST_P(PathNormalize, Normalizes) {
+  EXPECT_EQ(path_normalize(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathNormalize,
+    ::testing::Values(NormCase{"/", "/"}, NormCase{"//", "/"},
+                      NormCase{"/a/b/c", "/a/b/c"}, NormCase{"/a//b", "/a/b"},
+                      NormCase{"/a/./b", "/a/b"}, NormCase{"/a/../b", "/b"},
+                      NormCase{"/..", "/"}, NormCase{"/a/b/..", "/a"},
+                      NormCase{"a/b", "a/b"}, NormCase{"a/../..", ".."},
+                      NormCase{"", "."}, NormCase{"./", "."},
+                      NormCase{"/a/b/../../c", "/c"}));
+
+TEST(Path, Components) {
+  EXPECT_EQ(path_components("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(path_components("/"), std::vector<std::string>{});
+  EXPECT_EQ(path_components("a/./b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(path_components("/a/../b"),
+            (std::vector<std::string>{"a", "..", "b"}));
+}
+
+TEST(Path, JoinAbsoluteRhsWins) {
+  EXPECT_EQ(path_join("/a", "/etc/passwd"), "/etc/passwd");
+  EXPECT_EQ(path_join("/a", "b"), "/a/b");
+  EXPECT_EQ(path_join("/a/", "b"), "/a/b");
+  EXPECT_EQ(path_join("/a", ""), "/a");
+}
+
+TEST(Path, DirnameBasename) {
+  EXPECT_EQ(path_dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(path_dirname("/a"), "/");
+  EXPECT_EQ(path_dirname("/"), "/");
+  EXPECT_EQ(path_basename("/a/b/c"), "c");
+  EXPECT_EQ(path_basename("/"), "/");
+}
+
+// Property: normalize is idempotent.
+class PathIdempotent : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PathIdempotent, NormalizeTwiceEqualsOnce) {
+  const std::string once = path_normalize(GetParam());
+  EXPECT_EQ(path_normalize(once), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, PathIdempotent,
+                         ::testing::Values("/a/b/../c//d/.", "a/../../b",
+                                           "////x", "/a/./././b/..", ".."));
+
+// --- strings --------------------------------------------------------------------
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a:b:c", ':'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a\tb  c\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, ParseU32) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(parse_u32("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u32("4294967295", v));
+  EXPECT_EQ(v, 4294967295u);
+  EXPECT_FALSE(parse_u32("4294967296", v));
+  EXPECT_FALSE(parse_u32("", v));
+  EXPECT_FALSE(parse_u32("12a", v));
+  EXPECT_FALSE(parse_u32("-1", v));
+}
+
+TEST(Strings, FormatOctal) {
+  EXPECT_EQ(format_octal(0755, 4), "0755");
+  EXPECT_EQ(format_octal(0, 4), "0000");
+  EXPECT_EQ(format_octal(07777, 4), "7777");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("aaa", "a", "aa"), "aaaaaa");
+}
+
+// --- errno ----------------------------------------------------------------------
+
+TEST(Errno, ValuesMatchLinux) {
+  EXPECT_EQ(err_value(Err::eperm), 1);
+  EXPECT_EQ(err_value(Err::enoent), 2);
+  EXPECT_EQ(err_value(Err::eacces), 13);
+  EXPECT_EQ(err_value(Err::einval), 22);
+  EXPECT_EQ(err_value(Err::enotsup), 95);
+}
+
+TEST(Errno, Messages) {
+  EXPECT_EQ(err_message(Err::eperm), "Operation not permitted");
+  EXPECT_EQ(err_message(Err::einval), "Invalid argument");
+  EXPECT_EQ(err_name(Err::eloop), "ELOOP");
+}
+
+// --- transcript -------------------------------------------------------------------
+
+TEST(Transcript, BlockSplitsLines) {
+  Transcript t;
+  t.block("a\nb\nc");
+  EXPECT_EQ(t.lines().size(), 3u);
+  t.block("d\n");
+  EXPECT_EQ(t.lines().size(), 4u);
+  EXPECT_TRUE(t.contains("b"));
+  EXPECT_FALSE(t.contains("zzz"));
+  EXPECT_EQ(t.count("a"), 1u);
+  EXPECT_EQ(t.text(), "a\nb\nc\nd\n");
+}
+
+TEST(Transcript, PromptAndEcho) {
+  Transcript t;
+  std::string captured;
+  t.set_echo([&](const std::string& l) { captured += l + ";"; });
+  t.prompt("ls -l");
+  EXPECT_EQ(captured, "$ ls -l;");
+  EXPECT_TRUE(t.contains("$ ls -l"));
+}
+
+// --- Result -----------------------------------------------------------------------
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return Err::einval;
+  return x / 2;
+}
+
+TEST(Result, BasicFlow) {
+  auto ok = half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  auto bad = half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::einval);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+}  // namespace
+}  // namespace minicon

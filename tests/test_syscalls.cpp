@@ -1,0 +1,466 @@
+// Syscall-layer tests: POSIX permissions, path walking, namespaces, and the
+// exact failure modes the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hpp"
+#include "kernel/syscalls.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon::kernel {
+namespace {
+
+class SyscallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_shared<vfs::MemFs>(0755);
+    Mount root;
+    root.mountpoint = "/";
+    root.fs = fs_;
+    root.root = fs_->root();
+    root.owner_ns = kernel_.init_userns();
+    mountns_ = MountNamespace::make(std::move(root));
+  }
+
+  Process root_proc() {
+    Process p;
+    p.cred = Credentials::root();
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = kernel_.syscalls();
+    return p;
+  }
+
+  Process user_proc(vfs::Uid uid, vfs::Gid gid,
+                    std::vector<vfs::Gid> groups = {}) {
+    Process p;
+    p.cred = Credentials::user(uid, gid, std::move(groups));
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = kernel_.syscalls();
+    return p;
+  }
+
+  Kernel kernel_;
+  std::shared_ptr<vfs::MemFs> fs_;
+  MountNsPtr mountns_;
+};
+
+// --- basic file operations --------------------------------------------------------
+
+TEST_F(SyscallTest, WriteReadRoundtrip) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/hello", "world", false).ok());
+  EXPECT_EQ(*root.sys->read_file(root, "/hello"), "world");
+  auto st = root.sys->stat(root, "/hello");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5u);
+}
+
+TEST_F(SyscallTest, UmaskAppliesToCreation) {
+  Process root = root_proc();
+  root.umask_bits = 027;
+  ASSERT_TRUE(root.sys->write_file(root, "/f", "", false, 0666).ok());
+  EXPECT_EQ(root.sys->stat(root, "/f")->mode, 0640u);
+  ASSERT_TRUE(root.sys->mkdir(root, "/d", 0777).ok());
+  EXPECT_EQ(root.sys->stat(root, "/d")->mode, 0750u);
+}
+
+TEST_F(SyscallTest, RelativePathsUseCwd) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/work", 0755).ok());
+  ASSERT_TRUE(root.sys->chdir(root, "/work").ok());
+  ASSERT_TRUE(root.sys->write_file(root, "file", "x", false).ok());
+  EXPECT_TRUE(root.sys->stat(root, "/work/file").ok());
+  ASSERT_TRUE(root.sys->chdir(root, "..").ok());
+  EXPECT_EQ(root.cwd, "/");
+}
+
+TEST_F(SyscallTest, SymlinkResolution) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/target", 0755).ok());
+  ASSERT_TRUE(root.sys->write_file(root, "/target/f", "data", false).ok());
+  ASSERT_TRUE(root.sys->symlink(root, "/target", "/link").ok());
+  EXPECT_EQ(*root.sys->read_file(root, "/link/f"), "data");
+  // lstat vs stat.
+  EXPECT_TRUE(root.sys->lstat(root, "/link")->is_symlink());
+  EXPECT_TRUE(root.sys->stat(root, "/link")->is_dir());
+  // Relative symlink with dot-dot.
+  ASSERT_TRUE(root.sys->symlink(root, "../target/f", "/target/back").ok());
+  EXPECT_EQ(*root.sys->read_file(root, "/target/back"), "data");
+}
+
+TEST_F(SyscallTest, SymlinkLoopIsEloop) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->symlink(root, "/b", "/a").ok());
+  ASSERT_TRUE(root.sys->symlink(root, "/a", "/b").ok());
+  EXPECT_EQ(root.sys->read_file(root, "/a").error(), Err::eloop);
+}
+
+TEST_F(SyscallTest, DotDotStopsAtRoot) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/f", "x", false).ok());
+  EXPECT_TRUE(root.sys->stat(root, "/../../../f").ok());
+}
+
+// --- permission checks -------------------------------------------------------------
+
+struct PermCase {
+  std::uint32_t mode;
+  vfs::Uid file_uid;
+  vfs::Gid file_gid;
+  vfs::Uid proc_uid;
+  vfs::Gid proc_gid;
+  int want;  // access mask
+  bool expect_ok;
+};
+
+class PermissionMatrix : public SyscallTest,
+                         public ::testing::WithParamInterface<PermCase> {};
+
+TEST_P(PermissionMatrix, FirstMatchRules) {
+  const PermCase& c = GetParam();
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/f", "x", false, 0777).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/f", c.mode).ok());
+  ASSERT_TRUE(
+      root.sys->chown(root, "/f", c.file_uid, c.file_gid, true).ok());
+  Process p = user_proc(c.proc_uid, c.proc_gid);
+  EXPECT_EQ(p.sys->access(p, "/f", c.want).ok(), c.expect_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PermissionMatrix,
+    ::testing::Values(
+        // Owner hits user bits.
+        PermCase{0600, 1000, 1000, 1000, 1000, kReadOk, true},
+        PermCase{0600, 1000, 1000, 1000, 1000, kExecOk, false},
+        // Group member hits group bits.
+        PermCase{0640, 0, 1000, 1001, 1000, kReadOk, true},
+        PermCase{0640, 0, 1000, 1001, 1000, kWriteOk, false},
+        // Other.
+        PermCase{0604, 0, 0, 1001, 1001, kReadOk, true},
+        PermCase{0640, 0, 0, 1001, 1001, kReadOk, false},
+        // First-match: owner with NO user bits is denied even if other
+        // bits would allow (the §2.1.4 "rwx---r-x" trap shape).
+        PermCase{0007, 1000, 1000, 1000, 1000, kReadOk, false},
+        PermCase{0070, 1000, 1000, 1001, 1000, kReadOk, true},
+        PermCase{0007, 1000, 1000, 1001, 1000, kReadOk, false}));
+
+TEST_F(SyscallTest, RootOverridesDac) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/secret", "x", false, 0000).ok());
+  EXPECT_TRUE(root.sys->read_file(root, "/secret").ok());
+  // But no exec without any x bit.
+  EXPECT_FALSE(root.sys->access(root, "/secret", kExecOk).ok());
+}
+
+TEST_F(SyscallTest, SetgroupsDropTrapScenario) {
+  // §2.1.4: /bin/reboot root:managers rwx---r-x — managers are *denied* via
+  // the group entry while everyone else is allowed.
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/reboot", "#!", false, 0705).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/reboot", 0705).ok());
+  ASSERT_TRUE(root.sys->chown(root, "/reboot", 0, 500, true).ok());
+
+  Process manager = user_proc(1000, 1000, {500});
+  EXPECT_FALSE(manager.sys->access(manager, "/reboot", kExecOk).ok());
+  Process other = user_proc(1001, 1001);
+  EXPECT_TRUE(other.sys->access(other, "/reboot", kExecOk).ok());
+  // If the manager could drop the group, the check would flip — which is
+  // exactly why setgroups(2) must be denied for unprivileged namespaces.
+  manager.cred.groups.clear();
+  EXPECT_TRUE(manager.sys->access(manager, "/reboot", kExecOk).ok());
+}
+
+// --- chown semantics -----------------------------------------------------------------
+
+TEST_F(SyscallTest, UnprivilegedChownRules) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/mine", "", false).ok());
+  ASSERT_TRUE(root.sys->chown(root, "/mine", 1000, 1000, true).ok());
+
+  Process alice = user_proc(1000, 1000, {2000});
+  // Owner may chgrp to a group they belong to...
+  EXPECT_TRUE(alice.sys->chown(alice, "/mine", vfs::kNoChangeId, 2000, true)
+                  .ok());
+  // ...but not to an arbitrary group...
+  EXPECT_EQ(
+      alice.sys->chown(alice, "/mine", vfs::kNoChangeId, 3000, true).error(),
+      Err::eperm);
+  // ...and never give the file away.
+  EXPECT_EQ(alice.sys->chown(alice, "/mine", 0, vfs::kNoChangeId, true).error(),
+            Err::eperm);
+}
+
+TEST_F(SyscallTest, ChownClearsSetuidBits) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/su", "", false, 0755).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/su", 04755).ok());
+  Process alice = user_proc(1000, 1000, {2000});
+  ASSERT_TRUE(root.sys->chown(root, "/su", 1000, 1000, true).ok());
+  // Root has CAP_FSETID so bits survived root's chown; alice's chgrp drops.
+  ASSERT_TRUE(root.sys->chmod(root, "/su", 04755).ok());
+  ASSERT_TRUE(
+      alice.sys->chown(alice, "/su", vfs::kNoChangeId, 2000, true).ok());
+  EXPECT_EQ(alice.sys->stat(alice, "/su")->mode & 04000u, 0u);
+}
+
+TEST_F(SyscallTest, StickyDirectoryDelete) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/tmp", 01777).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/tmp", 01777).ok());
+  Process alice = user_proc(1000, 1000);
+  Process bob = user_proc(1001, 1001);
+  ASSERT_TRUE(alice.sys->write_file(alice, "/tmp/a", "", false).ok());
+  EXPECT_EQ(bob.sys->unlink(bob, "/tmp/a").error(), Err::eperm);
+  EXPECT_TRUE(alice.sys->unlink(alice, "/tmp/a").ok());
+}
+
+TEST_F(SyscallTest, SetgidDirectoryInheritance) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/shared", 02775).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/shared", 02775).ok());
+  ASSERT_TRUE(root.sys->chown(root, "/shared", 0, 4242, true).ok());
+  ASSERT_TRUE(root.sys->write_file(root, "/shared/f", "", false).ok());
+  EXPECT_EQ(root.sys->stat(root, "/shared/f")->gid, 4242u);
+  ASSERT_TRUE(root.sys->mkdir(root, "/shared/sub", 0755).ok());
+  auto st = root.sys->stat(root, "/shared/sub");
+  EXPECT_EQ(st->gid, 4242u);
+  EXPECT_NE(st->mode & 02000u, 0u);  // setgid propagates to subdirs
+}
+
+// --- user namespace behaviour (the heart of the paper) -----------------------------
+
+TEST_F(SyscallTest, UnshareGivesFullCapsButUnmappedIds) {
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  EXPECT_TRUE(alice.cred.effective.has(Cap::kChown));
+  // Before any map is written, IDs display as overflow.
+  EXPECT_EQ(alice.sys->getuid(alice), vfs::kOverflowUid);
+}
+
+TEST_F(SyscallTest, UnprivilegedSelfMapOnly) {
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  // Mapping someone else's UID is refused.
+  EXPECT_EQ(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1001))
+          .error(),
+      Err::eperm);
+  // Multi-entry maps are refused.
+  EXPECT_EQ(alice.sys
+                ->write_uid_map(alice, alice.userns,
+                                IdMap({{0, 1000, 1}, {1, 100000, 10}}))
+                .error(),
+            Err::eperm);
+  // The self-map works, and getuid() now reports 0: "appears to be
+  // privileged within the namespace ... on the host just another
+  // unprivileged process".
+  EXPECT_TRUE(alice.sys->write_uid_map(alice, alice.userns,
+                                       IdMap::single(0, 1000))
+                  .ok());
+  EXPECT_EQ(alice.sys->geteuid(alice), 0u);
+}
+
+TEST_F(SyscallTest, GidSelfMapRequiresSetgroupsDeny) {
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  EXPECT_EQ(alice.sys->write_gid_map(alice, alice.userns,
+                                     IdMap::single(0, 1000))
+                .error(),
+            Err::eperm);
+  ASSERT_TRUE(alice.sys
+                  ->write_setgroups(alice, alice.userns,
+                                    UserNamespace::SetgroupsPolicy::kDeny)
+                  .ok());
+  EXPECT_TRUE(alice.sys->write_gid_map(alice, alice.userns,
+                                       IdMap::single(0, 1000))
+                  .ok());
+}
+
+// The Fig 2 failure, at syscall level: chown(2) to an unmapped ID.
+TEST_F(SyscallTest, ChownToUnmappedIdIsEinval) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/storage", 0777).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/storage", 0777).ok());
+
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->write_file(alice, "/storage/f", "", false).ok());
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  ASSERT_TRUE(alice.sys
+                  ->write_setgroups(alice, alice.userns,
+                                    UserNamespace::SetgroupsPolicy::kDeny)
+                  .ok());
+  ASSERT_TRUE(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  ASSERT_TRUE(
+      alice.sys->write_gid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  // "root" in the namespace chowning its own file to uid 0 is a no-op...
+  EXPECT_TRUE(alice.sys->chown(alice, "/storage/f", 0, 0, true).ok());
+  // ...but any other ID simply has no kernel representation.
+  EXPECT_EQ(alice.sys->chown(alice, "/storage/f", 74, 0, true).error(),
+            Err::einval);
+}
+
+// The Fig 3 failures, at syscall level.
+TEST_F(SyscallTest, AptPrivilegeDropFailsInUnprivilegedNamespace) {
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  ASSERT_TRUE(alice.sys
+                  ->write_setgroups(alice, alice.userns,
+                                    UserNamespace::SetgroupsPolicy::kDeny)
+                  .ok());
+  ASSERT_TRUE(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  ASSERT_TRUE(
+      alice.sys->write_gid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  // setgroups(2): EPERM (gated).
+  EXPECT_EQ(alice.sys->setgroups(alice, {65534}).error(), Err::eperm);
+  // seteuid(100): EINVAL (unmapped) — "22: Invalid argument".
+  EXPECT_EQ(alice.sys->seteuid(alice, 100).error(), Err::einval);
+}
+
+TEST_F(SyscallTest, SetuidDropsCapabilities) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->setuid(root, 1000).ok());
+  EXPECT_EQ(root.cred.euid, 1000u);
+  EXPECT_TRUE(root.cred.effective.empty());
+  // And the drop is permanent for an unprivileged process.
+  EXPECT_EQ(root.sys->setuid(root, 0).error(), Err::eperm);
+}
+
+TEST_F(SyscallTest, SetresuidPartialForUnprivileged) {
+  Process alice = user_proc(1000, 1000);
+  alice.cred.suid = 1500;  // saved uid from a prior setuid program
+  EXPECT_TRUE(alice.sys->setresuid(alice, vfs::kNoChangeId, 1500,
+                                   vfs::kNoChangeId)
+                  .ok());
+  EXPECT_EQ(alice.cred.euid, 1500u);
+  EXPECT_EQ(alice.sys->setresuid(alice, 42, vfs::kNoChangeId,
+                                 vfs::kNoChangeId)
+                .error(),
+            Err::eperm);
+}
+
+TEST_F(SyscallTest, MaxUserNamespacesSysctl) {
+  kernel_.max_user_namespaces = 0;
+  Process alice = user_proc(1000, 1000);
+  EXPECT_EQ(alice.sys->unshare_userns(alice).error(), Err::eusers);
+}
+
+TEST_F(SyscallTest, ProcSelfFiles) {
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  EXPECT_EQ(*alice.sys->read_file(alice, "/proc/self/setgroups"), "allow\n");
+  ASSERT_TRUE(alice.sys
+                  ->write_setgroups(alice, alice.userns,
+                                    UserNamespace::SetgroupsPolicy::kDeny)
+                  .ok());
+  EXPECT_EQ(*alice.sys->read_file(alice, "/proc/self/setgroups"), "deny\n");
+  ASSERT_TRUE(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  const std::string map = *alice.sys->read_file(alice, "/proc/self/uid_map");
+  EXPECT_NE(map.find("1000"), std::string::npos);
+}
+
+// --- mounts -----------------------------------------------------------------------
+
+TEST_F(SyscallTest, MountCrossingAndReadOnly) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->mkdir(root, "/mnt", 0755).ok());
+  auto other = std::make_shared<vfs::MemFs>(0755);
+  Mount m;
+  m.mountpoint = "/mnt";
+  m.fs = other;
+  ASSERT_TRUE(root.sys->mount(root, m).ok());
+  ASSERT_TRUE(root.sys->write_file(root, "/mnt/f", "x", false).ok());
+  EXPECT_EQ(other->total_bytes(), 1u);  // landed on the mounted fs
+
+  // Read-only bind of the same tree.
+  ASSERT_TRUE(root.sys->mkdir(root, "/ro", 0755).ok());
+  ASSERT_TRUE(root.sys->bind_mount(root, "/mnt", "/ro", true).ok());
+  EXPECT_EQ(*root.sys->read_file(root, "/ro/f"), "x");
+  EXPECT_EQ(root.sys->write_file(root, "/ro/f", "y", false).error(),
+            Err::erofs);
+  ASSERT_TRUE(root.sys->umount(root, "/ro").ok());
+  EXPECT_EQ(root.sys->stat(root, "/ro/f").error(), Err::enoent);
+}
+
+TEST_F(SyscallTest, MountRequiresCapability) {
+  Process alice = user_proc(1000, 1000);
+  Mount m;
+  m.mountpoint = "/";
+  m.fs = fs_;
+  EXPECT_EQ(alice.sys->mount(alice, m).error(), Err::eperm);
+}
+
+TEST_F(SyscallTest, DeviceMknodRequiresInitNamespacePrivilege) {
+  Process root = root_proc();
+  EXPECT_TRUE(root.sys
+                  ->mknod(root, "/null", vfs::FileType::CharDev, 0666, 1, 3)
+                  .ok());
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(root.sys->mkdir(root, "/home", 0777).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/home", 0777).ok());
+  EXPECT_EQ(alice.sys
+                ->mknod(alice, "/home/dev", vfs::FileType::CharDev, 0666, 1, 3)
+                .error(),
+            Err::eperm);
+  // FIFOs are unprivileged.
+  EXPECT_TRUE(alice.sys
+                  ->mknod(alice, "/home/pipe", vfs::FileType::Fifo, 0644, 0, 0)
+                  .ok());
+  // Even "root" in an unprivileged namespace cannot make devices.
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  ASSERT_TRUE(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  EXPECT_EQ(alice.sys
+                ->mknod(alice, "/home/dev2", vfs::FileType::CharDev, 0666, 1, 3)
+                .error(),
+            Err::eperm);
+}
+
+TEST_F(SyscallTest, SecurityXattrNeedsPrivilege) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/bin0", "", false, 0755).ok());
+  EXPECT_TRUE(root.sys
+                  ->set_xattr(root, "/bin0", "security.capability",
+                              "cap_net_raw+ep")
+                  .ok());
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(root.sys->mkdir(root, "/w", 0777).ok());
+  ASSERT_TRUE(root.sys->chmod(root, "/w", 0777).ok());
+  ASSERT_TRUE(alice.sys->write_file(alice, "/w/own", "", false, 0755).ok());
+  EXPECT_EQ(alice.sys
+                ->set_xattr(alice, "/w/own", "security.capability", "caps")
+                .error(),
+            Err::eperm);
+  // user.* namespace works for the file owner.
+  EXPECT_TRUE(alice.sys->set_xattr(alice, "/w/own", "user.note", "hi").ok());
+}
+
+// Overflow display of unmapped owners (nobody/nogroup, §2.1.1 case 3).
+TEST_F(SyscallTest, UnmappedOwnerDisplaysAsOverflow) {
+  Process root = root_proc();
+  ASSERT_TRUE(root.sys->write_file(root, "/rootfile", "", false, 0644).ok());
+  Process alice = user_proc(1000, 1000);
+  ASSERT_TRUE(alice.sys->unshare_userns(alice).ok());
+  ASSERT_TRUE(
+      alice.sys->write_uid_map(alice, alice.userns, IdMap::single(0, 1000))
+          .ok());
+  auto st = alice.sys->stat(alice, "/rootfile");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->uid, vfs::kOverflowUid);
+  // But the file is still readable through the "other" permission bits —
+  // access control uses host IDs, the display is just an alias.
+  EXPECT_TRUE(alice.sys->read_file(alice, "/rootfile").ok());
+}
+
+}  // namespace
+}  // namespace minicon::kernel

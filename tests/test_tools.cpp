@@ -1,0 +1,328 @@
+// Tool-level tests: tar(1) through the shell (including the §2.1.2 "create
+// archives within the container for correct IDs" corollary), the synthetic
+// gcc/mpirun toolchain, and machine/user management edges.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "core/runtime.hpp"
+#include "image/tar.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace minicon {
+namespace {
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  std::tuple<int, std::string, std::string> run_as(kernel::Process& p,
+                                                   const std::string& s) {
+    std::string out, err;
+    const int status = cluster_->login().run(p, s, out, err);
+    return {status, out, err};
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+};
+
+// --- tar through the shell ------------------------------------------------------
+
+TEST_F(ToolsTest, TarCreateListExtractRoundtrip) {
+  kernel::Process root = cluster_->login().root_process();
+  auto [s1, o1, e1] = run_as(
+      root,
+      "mkdir -p /srv/data/sub && echo hello > /srv/data/f1 && "
+      "echo nested > /srv/data/sub/f2 && chmod 640 /srv/data/f1 && "
+      "tar -cf /tmp/data.tar -C /srv data");
+  ASSERT_EQ(s1, 0) << e1;
+  auto [s2, o2, e2] = run_as(root, "tar -tf /tmp/data.tar");
+  EXPECT_NE(o2.find("data/f1"), std::string::npos);
+  EXPECT_NE(o2.find("data/sub/f2"), std::string::npos);
+  auto [s3, o3, e3] = run_as(
+      root, "mkdir -p /restore && tar -xf /tmp/data.tar -C /restore && "
+            "cat /restore/data/f1 /restore/data/sub/f2 && "
+            "ls -l /restore/data/f1");
+  ASSERT_EQ(s3, 0) << e3;
+  EXPECT_NE(o3.find("hello"), std::string::npos);
+  EXPECT_NE(o3.find("nested"), std::string::npos);
+  EXPECT_NE(o3.find("-rw-r-----"), std::string::npos);  // mode preserved
+}
+
+TEST_F(ToolsTest, TarAsUserDoesNotRestoreForeignOwnership) {
+  kernel::Process root = cluster_->login().root_process();
+  // Root archives a root-owned tree; alice extracts it: files become hers
+  // (like GNU tar for non-root extraction, and like a ch-image pull §5.2).
+  ASSERT_EQ(std::get<0>(run_as(
+                root, "mkdir -p /srv/d && echo x > /srv/d/f && "
+                      "tar -cf /tmp/rooted.tar -C /srv d && "
+                      "chmod 644 /tmp/rooted.tar")),
+            0);
+  auto [status, out, err] = run_as(
+      alice_,
+      "mkdir -p /home/alice/x && tar -xf /tmp/rooted.tar -C /home/alice/x && "
+      "ls -l /home/alice/x/d/f");
+  ASSERT_EQ(status, 0) << err;
+  EXPECT_NE(out.find("alice alice"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, TarInsideContainerRecordsNamespaceIds) {
+  // §2.1.2: "with privileged ID maps, [archive creation] must happen within
+  // the container for correct IDs". Build an image with multi-ID files
+  // under Type II, then archive the same tree from inside vs outside.
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t;
+  ASSERT_EQ(podman.build("img", "FROM centos:7\nRUN yum install -y openssh\n",
+                         t),
+            0)
+      << t.text();
+
+  // Inside the container: ssh_keys shows as its container GID.
+  Transcript inside;
+  ASSERT_EQ(podman.run_in_image(
+                "img",
+                {"sh", "-c",
+                 "tar -cf /tmp/in.tar -C /usr/libexec openssh && "
+                 "tar -tf /tmp/in.tar"},
+                inside),
+            0)
+      << inside.text();
+  // The listing prints uid/gid: root(0)/ssh_keys(999-ish), NOT 200000+.
+  EXPECT_TRUE(inside.contains("0/"));
+  EXPECT_FALSE(inside.contains("/200")) << inside.text();
+}
+
+// --- the synthetic HPC toolchain ---------------------------------------------
+
+TEST_F(ToolsTest, GccProducesArchTaggedBinary) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  ASSERT_EQ(ch.build("dev",
+                     "FROM centos:7\n"
+                     "RUN yum install -y gcc\n"
+                     "RUN echo 'int main(){}' > /hello.c\n"
+                     "RUN gcc -o /usr/bin/hello /hello.c\n",
+                     t),
+            0)
+      << t.text();
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("dev", {"hello"}, rt), 0);
+  EXPECT_TRUE(rt.contains("x86_64"));
+  // Missing source is a compile error.
+  Transcript et;
+  EXPECT_NE(ch.run_in_image("dev", {"gcc", "-o", "/x", "/missing.c"}, et), 0);
+}
+
+TEST_F(ToolsTest, MpirunFansOut) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  ASSERT_EQ(ch.build("mpi",
+                     "FROM centos:7\n"
+                     "RUN yum install -y openmpi-devel\n"
+                     "RUN echo 'int main(){}' > /app.c\n"
+                     "RUN mpicc -o /usr/bin/app /app.c\n",
+                     t),
+            0)
+      << t.text();
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("mpi", {"mpirun", "-np", "4", "app"}, rt), 0);
+  EXPECT_EQ(rt.count("hello from compiled application"), 4u);
+}
+
+// --- machine / user management edges --------------------------------------------
+
+TEST_F(ToolsTest, LoginUnknownUserFails) {
+  EXPECT_FALSE(cluster_->login().login("mallory").ok());
+}
+
+TEST_F(ToolsTest, DuplicateUseraddFails) {
+  EXPECT_FALSE(cluster_->login().add_user("alice", 1000).ok());
+}
+
+TEST_F(ToolsTest, SupplementaryGroupsFromEtcGroup) {
+  kernel::Process root = cluster_->login().root_process();
+  std::string out, err;
+  ASSERT_EQ(cluster_->login().run(
+                root,
+                "groupadd -g 700 research && "
+                "echo 'research:x:700:alice' >> /etc/group",
+                out, err),
+            0);
+  auto alice2 = cluster_->login().login("alice");
+  ASSERT_TRUE(alice2.ok());
+  EXPECT_TRUE(alice2->cred.in_group(700));
+}
+
+// --- builder edge cases -------------------------------------------------------
+
+TEST_F(ToolsTest, ChImageUnknownBaseImage) {
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(ch.build("x", "FROM ghost:latest\nRUN true\n", t), 0);
+  EXPECT_TRUE(t.contains("not found"));
+}
+
+TEST_F(ToolsTest, ChImageRunUnknownTag) {
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(ch.run_in_image("ghost", {"true"}, t), 0);
+}
+
+TEST_F(ToolsTest, ChImageBadDockerfileSyntax) {
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(ch.build("x", "RUN no-from-first\n", t), 0);
+  Transcript t2;
+  EXPECT_NE(ch.build("x", "FROM centos:7\nFLY me to the moon\n", t2), 0);
+}
+
+TEST_F(ToolsTest, PodmanCacheInvalidationOnPrefixChange) {
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t1;
+  ASSERT_EQ(podman.build("a",
+                         "FROM centos:7\nRUN echo one\nRUN echo two\n", t1),
+            0);
+  Transcript t2;
+  ASSERT_EQ(podman.build("b",
+                         "FROM centos:7\nRUN echo uno\nRUN echo two\n", t2),
+            0);
+  // First RUN differs: nothing may be served from cache (keys chain).
+  EXPECT_EQ(podman.cache_hits(), 0u);
+}
+
+TEST_F(ToolsTest, ArgValuesVisibleDuringBuildOnly) {
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t;
+  ASSERT_EQ(podman.build("argimg",
+                         "FROM centos:7\n"
+                         "ARG VERSION=1.2.3\n"
+                         "RUN echo building $VERSION > /version\n",
+                         t),
+            0)
+      << t.text();
+  Transcript rt;
+  ASSERT_EQ(podman.run_in_image("argimg", {"cat", "/version"}, rt), 0);
+  EXPECT_TRUE(rt.contains("building 1.2.3"));
+  // ...but ARG does not leak into the runtime environment (Docker semantics).
+  Transcript et;
+  ASSERT_EQ(podman.run_in_image("argimg", {"sh", "-c", "echo v=$VERSION"},
+                                et),
+            0);
+  EXPECT_TRUE(et.contains("v=\n") || et.text() == "v=\n") << et.text();
+}
+
+TEST_F(ToolsTest, UserInstructionHonoredByTypeII) {
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t;
+  ASSERT_EQ(podman.build("usrimg",
+                         "FROM centos:7\n"
+                         "RUN useradd -u 1234 appuser\n"
+                         "USER appuser\n"
+                         "RUN id -u > /tmp/who 2>/dev/null || true\n",
+                         t),
+            0)
+      << t.text();
+  Transcript rt;
+  ASSERT_EQ(podman.run_in_image("usrimg", {"id", "-u"}, rt), 0);
+  EXPECT_TRUE(rt.contains("1234")) << rt.text();
+}
+
+TEST_F(ToolsTest, UserInstructionWarnedByTypeIII) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  ASSERT_EQ(ch.build("usr3",
+                     "FROM centos:7\nUSER nobody\nRUN id -u\n", t),
+            0)
+      << t.text();
+  EXPECT_TRUE(t.contains("warning: USER instruction ignored"));
+  EXPECT_TRUE(t.contains("0"));  // still runs as (fake) root
+}
+
+TEST_F(ToolsTest, MultiStageBuildCopiesArtifacts) {
+  // The classic HPC pattern: heavy toolchain in a builder stage, slim
+  // runtime stage that copies only the compiled artifact.
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = ch.build(
+      "slim",
+      "FROM centos:7 AS builder\n"
+      "RUN yum install -y gcc\n"
+      "RUN echo 'int main(){}' > /src.c\n"
+      "RUN gcc -o /out/app /src.c 2>/dev/null || mkdir /out && "
+      "gcc -o /out/app /src.c\n"
+      "FROM centos:7\n"
+      "COPY --from=builder /out/app /usr/bin/app\n"
+      "RUN chmod 755 /usr/bin/app\n",
+      t);
+  ASSERT_EQ(status, 0) << t.text();
+  // The artifact runs in the final image...
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("slim", {"app"}, rt), 0);
+  EXPECT_TRUE(rt.contains("compiled application"));
+  // ...and the toolchain from the builder stage is absent.
+  Transcript gt;
+  EXPECT_NE(ch.run_in_image("slim", {"gcc", "--version"}, gt), 0);
+}
+
+TEST_F(ToolsTest, MultiStageFromStageName) {
+  core::ChImageOptions opts;
+  opts.force = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = ch.build("derived",
+                              "FROM centos:7 AS base\n"
+                              "RUN echo layer-one > /marker\n"
+                              "FROM base\n"
+                              "RUN echo layer-two >> /marker\n",
+                              t);
+  ASSERT_EQ(status, 0) << t.text();
+  Transcript rt;
+  EXPECT_EQ(ch.run_in_image("derived", {"cat", "/marker"}, rt), 0);
+  EXPECT_TRUE(rt.contains("layer-one"));
+  EXPECT_TRUE(rt.contains("layer-two"));
+}
+
+TEST_F(ToolsTest, CopyFromUnknownStageFails) {
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry());
+  Transcript t;
+  EXPECT_NE(ch.build("bad",
+                     "FROM centos:7\n"
+                     "COPY --from=ghost /x /y\n",
+                     t),
+            0);
+  EXPECT_TRUE(t.contains("no such build stage"));
+}
+
+TEST_F(ToolsTest, EnvFlowsIntoRuns) {
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), {});
+  Transcript t;
+  ASSERT_EQ(podman.build("env",
+                         "FROM centos:7\n"
+                         "ENV APP_MODE=turbo\n"
+                         "RUN echo mode=$APP_MODE\n",
+                         t),
+            0)
+      << t.text();
+  EXPECT_TRUE(t.contains("mode=turbo"));
+}
+
+}  // namespace
+}  // namespace minicon

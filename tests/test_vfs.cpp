@@ -1,0 +1,440 @@
+// Filesystem substrate tests: MemFs, OverlayFs, SharedFs, tree operations.
+#include <gtest/gtest.h>
+
+#include "vfs/memfs.hpp"
+#include "vfs/overlayfs.hpp"
+#include "vfs/sharedfs.hpp"
+#include "vfs/treeops.hpp"
+
+namespace minicon::vfs {
+namespace {
+
+OpCtx ctx() {
+  OpCtx c;
+  c.now = 42;
+  return c;
+}
+
+InodeNum must_create(Filesystem& fs, InodeNum dir, const std::string& name,
+                     FileType type, std::uint32_t mode = 0644, Uid uid = 0,
+                     Gid gid = 0) {
+  CreateArgs args;
+  args.type = type;
+  args.mode = mode;
+  args.uid = uid;
+  args.gid = gid;
+  auto r = fs.create(ctx(), dir, name, args);
+  EXPECT_TRUE(r.ok()) << name;
+  return r.ok() ? *r : 0;
+}
+
+// --- MemFs ----------------------------------------------------------------------
+
+TEST(MemFs, CreateLookupReadWrite) {
+  MemFs fs;
+  const InodeNum f =
+      must_create(fs, fs.root(), "hello.txt", FileType::Regular, 0640, 7, 8);
+  ASSERT_TRUE(fs.write(ctx(), f, "content", false).ok());
+  auto data = fs.read(f);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "content");
+  auto st = fs.getattr(f);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mode, 0640u);
+  EXPECT_EQ(st->uid, 7u);
+  EXPECT_EQ(st->gid, 8u);
+  EXPECT_EQ(st->size, 7u);
+  auto found = fs.lookup(fs.root(), "hello.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, f);
+  EXPECT_EQ(fs.lookup(fs.root(), "nope").error(), Err::enoent);
+}
+
+TEST(MemFs, WriteAppend) {
+  MemFs fs;
+  const InodeNum f = must_create(fs, fs.root(), "f", FileType::Regular);
+  ASSERT_TRUE(fs.write(ctx(), f, "a", false).ok());
+  ASSERT_TRUE(fs.write(ctx(), f, "b", true).ok());
+  EXPECT_EQ(*fs.read(f), "ab");
+  ASSERT_TRUE(fs.write(ctx(), f, "c", false).ok());
+  EXPECT_EQ(*fs.read(f), "c");
+}
+
+TEST(MemFs, DuplicateCreateFails) {
+  MemFs fs;
+  must_create(fs, fs.root(), "x", FileType::Regular);
+  CreateArgs args;
+  EXPECT_EQ(fs.create(ctx(), fs.root(), "x", args).error(), Err::eexist);
+}
+
+TEST(MemFs, HardLinksShareInode) {
+  MemFs fs;
+  const InodeNum f = must_create(fs, fs.root(), "a", FileType::Regular);
+  ASSERT_TRUE(fs.write(ctx(), f, "data", false).ok());
+  ASSERT_TRUE(fs.link(ctx(), fs.root(), "b", f).ok());
+  EXPECT_EQ(fs.getattr(f)->nlink, 2u);
+  ASSERT_TRUE(fs.unlink(ctx(), fs.root(), "a").ok());
+  EXPECT_EQ(fs.getattr(f)->nlink, 1u);
+  EXPECT_EQ(*fs.read(*fs.lookup(fs.root(), "b")), "data");
+  ASSERT_TRUE(fs.unlink(ctx(), fs.root(), "b").ok());
+  EXPECT_FALSE(fs.getattr(f).ok());  // inode freed
+}
+
+TEST(MemFs, HardLinkToDirectoryRefused) {
+  MemFs fs;
+  const InodeNum d = must_create(fs, fs.root(), "d", FileType::Directory);
+  EXPECT_EQ(fs.link(ctx(), fs.root(), "d2", d).error(), Err::eperm);
+}
+
+TEST(MemFs, RmdirSemantics) {
+  MemFs fs;
+  const InodeNum d =
+      must_create(fs, fs.root(), "d", FileType::Directory, 0755);
+  must_create(fs, d, "child", FileType::Regular);
+  EXPECT_EQ(fs.rmdir(ctx(), fs.root(), "d").error(), Err::enotempty);
+  ASSERT_TRUE(fs.unlink(ctx(), d, "child").ok());
+  EXPECT_TRUE(fs.rmdir(ctx(), fs.root(), "d").ok());
+  EXPECT_EQ(fs.lookup(fs.root(), "d").error(), Err::enoent);
+}
+
+TEST(MemFs, UnlinkDirectoryIsEisdir) {
+  MemFs fs;
+  must_create(fs, fs.root(), "d", FileType::Directory);
+  EXPECT_EQ(fs.unlink(ctx(), fs.root(), "d").error(), Err::eisdir);
+}
+
+TEST(MemFs, RenameReplacesFile) {
+  MemFs fs;
+  const InodeNum a = must_create(fs, fs.root(), "a", FileType::Regular);
+  must_create(fs, fs.root(), "b", FileType::Regular);
+  ASSERT_TRUE(fs.write(ctx(), a, "A", false).ok());
+  ASSERT_TRUE(fs.rename(ctx(), fs.root(), "a", fs.root(), "b").ok());
+  EXPECT_EQ(fs.lookup(fs.root(), "a").error(), Err::enoent);
+  EXPECT_EQ(*fs.read(*fs.lookup(fs.root(), "b")), "A");
+}
+
+TEST(MemFs, RenameDirOntoNonEmptyDirFails) {
+  MemFs fs;
+  must_create(fs, fs.root(), "src", FileType::Directory);
+  const InodeNum dst =
+      must_create(fs, fs.root(), "dst", FileType::Directory);
+  must_create(fs, dst, "kid", FileType::Regular);
+  EXPECT_EQ(fs.rename(ctx(), fs.root(), "src", fs.root(), "dst").error(),
+            Err::enotempty);
+}
+
+TEST(MemFs, NlinkOnDirectories) {
+  MemFs fs;
+  EXPECT_EQ(fs.getattr(fs.root())->nlink, 2u);
+  const InodeNum d = must_create(fs, fs.root(), "d", FileType::Directory);
+  EXPECT_EQ(fs.getattr(fs.root())->nlink, 3u);
+  EXPECT_EQ(fs.getattr(d)->nlink, 2u);
+}
+
+TEST(MemFs, Xattrs) {
+  MemFs fs;
+  const InodeNum f = must_create(fs, fs.root(), "f", FileType::Regular);
+  EXPECT_EQ(fs.get_xattr(f, "user.test").error(), Err::enodata);
+  ASSERT_TRUE(fs.set_xattr(ctx(), f, "user.test", "v").ok());
+  EXPECT_EQ(*fs.get_xattr(f, "user.test"), "v");
+  EXPECT_EQ(fs.list_xattrs(f)->size(), 1u);
+  ASSERT_TRUE(fs.remove_xattr(ctx(), f, "user.test").ok());
+  EXPECT_EQ(fs.remove_xattr(ctx(), f, "user.test").error(), Err::enodata);
+}
+
+TEST(MemFs, SymlinkStoresTarget) {
+  MemFs fs;
+  CreateArgs args;
+  args.type = FileType::Symlink;
+  args.symlink_target = "/etc/passwd";
+  auto l = fs.create(ctx(), fs.root(), "link", args);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(*fs.readlink(*l), "/etc/passwd");
+  EXPECT_EQ(fs.readlink(fs.root()).error(), Err::einval);
+}
+
+TEST(MemFs, DeviceNodeMetadata) {
+  MemFs fs;
+  CreateArgs args;
+  args.type = FileType::CharDev;
+  args.mode = 0666;
+  args.dev_major = 1;
+  args.dev_minor = 3;
+  auto d = fs.create(ctx(), fs.root(), "null", args);
+  ASSERT_TRUE(d.ok());
+  auto st = fs.getattr(*d);
+  EXPECT_EQ(st->dev_major, 1u);
+  EXPECT_EQ(st->dev_minor, 3u);
+  EXPECT_TRUE(st->is_device());
+}
+
+TEST(MemFs, TotalBytes) {
+  MemFs fs;
+  const InodeNum f = must_create(fs, fs.root(), "f", FileType::Regular);
+  ASSERT_TRUE(fs.write(ctx(), f, std::string(100, 'x'), false).ok());
+  EXPECT_EQ(fs.total_bytes(), 100u);
+}
+
+// --- OverlayFs -------------------------------------------------------------------
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lower_ = std::make_shared<MemFs>(0755);
+    const InodeNum etc =
+        must_create(*lower_, lower_->root(), "etc", FileType::Directory, 0755);
+    const InodeNum passwd =
+        must_create(*lower_, etc, "passwd", FileType::Regular, 0644, 0, 0);
+    ASSERT_TRUE(lower_->write(ctx(), passwd, "root:x:0:0\n", false).ok());
+    must_create(*lower_, etc, "shadow", FileType::Regular, 0000, 0, 0);
+    ovl_ = std::make_shared<OverlayFs>(lower_);
+  }
+
+  std::shared_ptr<MemFs> lower_;
+  std::shared_ptr<OverlayFs> ovl_;
+};
+
+TEST_F(OverlayTest, ReadThroughFromLower) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  ASSERT_TRUE(etc.ok());
+  auto passwd = ovl_->lookup(*etc, "passwd");
+  ASSERT_TRUE(passwd.ok());
+  EXPECT_EQ(*ovl_->read(*passwd), "root:x:0:0\n");
+  EXPECT_EQ(ovl_->upper_bytes(), 0u);  // nothing copied up yet
+}
+
+TEST_F(OverlayTest, WriteTriggersCopyUpWithoutTouchingLower) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  auto passwd = ovl_->lookup(*etc, "passwd");
+  ASSERT_TRUE(ovl_->write(ctx(), *passwd, "changed\n", false).ok());
+  EXPECT_EQ(*ovl_->read(*passwd), "changed\n");
+  EXPECT_GT(ovl_->upper_bytes(), 0u);
+  // The lower filesystem is untouched.
+  auto letc = lower_->lookup(lower_->root(), "etc");
+  auto lpasswd = lower_->lookup(*letc, "passwd");
+  EXPECT_EQ(*lower_->read(*lpasswd), "root:x:0:0\n");
+}
+
+TEST_F(OverlayTest, MetadataCopyUp) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  auto passwd = ovl_->lookup(*etc, "passwd");
+  ASSERT_TRUE(ovl_->set_owner(ctx(), *passwd, 5, 6).ok());
+  auto st = ovl_->getattr(*passwd);
+  EXPECT_EQ(st->uid, 5u);
+  EXPECT_EQ(st->gid, 6u);
+  // Lower unchanged.
+  auto letc = lower_->lookup(lower_->root(), "etc");
+  auto lpasswd = lower_->lookup(*letc, "passwd");
+  EXPECT_EQ(lower_->getattr(*lpasswd)->uid, 0u);
+}
+
+TEST_F(OverlayTest, WhiteoutHidesLowerEntry) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  ASSERT_TRUE(ovl_->unlink(ctx(), *etc, "passwd").ok());
+  EXPECT_EQ(ovl_->lookup(*etc, "passwd").error(), Err::enoent);
+  // readdir must not show it either.
+  auto entries = ovl_->readdir(*etc);
+  ASSERT_TRUE(entries.ok());
+  for (const auto& e : *entries) EXPECT_NE(e.name, "passwd");
+  // Re-creating over a whiteout works.
+  must_create(*ovl_, *etc, "passwd", FileType::Regular);
+  EXPECT_TRUE(ovl_->lookup(*etc, "passwd").ok());
+}
+
+TEST_F(OverlayTest, ReaddirMergesUpperAndLower) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  must_create(*ovl_, *etc, "hosts", FileType::Regular);
+  auto entries = ovl_->readdir(*etc);
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::string> names;
+  for (const auto& e : *entries) names.push_back(e.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"hosts", "passwd", "shadow"}));
+}
+
+TEST_F(OverlayTest, StackedOverlays) {
+  // Layer 2 on top of layer 1 on top of lower — the image layer chain.
+  auto layer2 = std::make_shared<OverlayFs>(ovl_);
+  auto etc = layer2->lookup(layer2->root(), "etc");
+  ASSERT_TRUE(etc.ok());
+  auto passwd = layer2->lookup(*etc, "passwd");
+  ASSERT_TRUE(layer2->write(ctx(), *passwd, "layer2\n", false).ok());
+  EXPECT_EQ(*layer2->read(*passwd), "layer2\n");
+  EXPECT_EQ(ovl_->upper_bytes(), 0u);  // middle layer untouched
+}
+
+TEST_F(OverlayTest, RenameLowerFile) {
+  auto etc = ovl_->lookup(ovl_->root(), "etc");
+  ASSERT_TRUE(
+      ovl_->rename(ctx(), *etc, "passwd", ovl_->root(), "passwd2").ok());
+  EXPECT_EQ(ovl_->lookup(*etc, "passwd").error(), Err::enoent);
+  auto moved = ovl_->lookup(ovl_->root(), "passwd2");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*ovl_->read(*moved), "root:x:0:0\n");
+}
+
+TEST_F(OverlayTest, InodeStability) {
+  auto etc1 = ovl_->lookup(ovl_->root(), "etc");
+  auto etc2 = ovl_->lookup(ovl_->root(), "etc");
+  EXPECT_EQ(*etc1, *etc2);
+  auto entries = ovl_->readdir(ovl_->root());
+  ASSERT_TRUE(entries.ok());
+  for (const auto& e : *entries) {
+    if (e.name == "etc") {
+      EXPECT_EQ(e.ino, *etc1);
+    }
+  }
+}
+
+// --- SharedFs ----------------------------------------------------------------------
+
+TEST(SharedFs, ServerForcesOwnershipForUnprivilegedCreates) {
+  SharedFs fs;  // defaults: root squash, no xattrs
+  OpCtx user_ctx;
+  user_ctx.host_uid = 1000;
+  user_ctx.host_gid = 1000;
+  user_ctx.host_privileged = false;
+  CreateArgs args;
+  args.uid = 0;  // asks for root ownership
+  args.gid = 0;
+  auto f = fs.create(user_ctx, fs.root(), "f", args);
+  ASSERT_TRUE(f.ok());
+  // The server stored the *authenticated* identity instead (§4.2).
+  EXPECT_EQ(fs.getattr(*f)->uid, 1000u);
+  EXPECT_EQ(fs.getattr(*f)->gid, 1000u);
+}
+
+TEST(SharedFs, ChownToOtherUserRejected) {
+  SharedFs fs;
+  OpCtx user_ctx;
+  user_ctx.host_uid = 1000;
+  user_ctx.host_gid = 1000;
+  user_ctx.host_privileged = false;
+  CreateArgs args;
+  auto f = fs.create(user_ctx, fs.root(), "f", args);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.set_owner(user_ctx, *f, 200000, 200000).error(), Err::eperm);
+  // Same-ID chown is a no-op and allowed.
+  EXPECT_TRUE(fs.set_owner(user_ctx, *f, 1000, 1000).ok());
+}
+
+TEST(SharedFs, RootSquashBlocksEvenRealRoot) {
+  SharedFs fs;  // root_squash = true
+  OpCtx root_ctx;
+  root_ctx.host_uid = 0;
+  root_ctx.host_privileged = true;
+  CreateArgs args;
+  args.uid = 4242;
+  auto f = fs.create(root_ctx, fs.root(), "f", args);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.getattr(*f)->uid, 0u);  // squashed to the client identity
+}
+
+TEST(SharedFs, NoRootSquashLetsRootAssignOwnership) {
+  SharedFsOptions opts;
+  opts.root_squash = false;
+  SharedFs fs(opts);
+  OpCtx root_ctx;
+  root_ctx.host_uid = 0;
+  root_ctx.host_privileged = true;
+  CreateArgs args;
+  args.uid = 4242;
+  auto f = fs.create(root_ctx, fs.root(), "f", args);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.getattr(*f)->uid, 4242u);
+}
+
+TEST(SharedFs, XattrsUnsupportedByDefault) {
+  SharedFs fs;
+  CreateArgs args;
+  OpCtx c;
+  auto f = fs.create(c, fs.root(), "f", args);
+  EXPECT_EQ(fs.set_xattr(c, *f, "user.x", "v").error(), Err::enotsup);
+  EXPECT_FALSE(fs.supports_user_xattrs());
+}
+
+TEST(SharedFs, Nfsv42XattrsOption) {
+  // §6.2.1: Linux 5.9 + NFSv4.2 bring xattr support.
+  SharedFsOptions opts;
+  opts.xattrs_supported = true;
+  SharedFs fs(opts);
+  CreateArgs args;
+  OpCtx c;
+  auto f = fs.create(c, fs.root(), "f", args);
+  EXPECT_TRUE(fs.set_xattr(c, *f, "user.x", "v").ok());
+  EXPECT_EQ(*fs.get_xattr(*f, "user.x"), "v");
+}
+
+// --- tree operations ------------------------------------------------------------
+
+TEST(TreeOps, CopyTreePreservesEverything) {
+  MemFs src;
+  const InodeNum d =
+      must_create(src, src.root(), "dir", FileType::Directory, 0750, 3, 4);
+  const InodeNum f =
+      must_create(src, d, "file", FileType::Regular, 04755, 1, 2);
+  ASSERT_TRUE(src.write(ctx(), f, "payload", false).ok());
+  ASSERT_TRUE(src.set_xattr(ctx(), f, "user.k", "v").ok());
+  CreateArgs largs;
+  largs.type = FileType::Symlink;
+  largs.symlink_target = "file";
+  ASSERT_TRUE(src.create(ctx(), d, "link", largs).ok());
+
+  MemFs dst;
+  auto stats = copy_tree(src, src.root(), dst, dst.root(), ctx());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->files, 1u);
+  EXPECT_EQ(stats->dirs, 1u);
+  EXPECT_EQ(stats->symlinks, 1u);
+  EXPECT_EQ(stats->bytes, 7u);
+
+  auto dd = dst.lookup(dst.root(), "dir");
+  ASSERT_TRUE(dd.ok());
+  auto df = dst.lookup(*dd, "file");
+  ASSERT_TRUE(df.ok());
+  auto st = dst.getattr(*df);
+  EXPECT_EQ(st->mode, 04755u);
+  EXPECT_EQ(st->uid, 1u);
+  EXPECT_EQ(*dst.read(*df), "payload");
+  EXPECT_EQ(*dst.get_xattr(*df, "user.k"), "v");
+  EXPECT_EQ(*dst.readlink(*dst.lookup(*dd, "link")), "file");
+}
+
+TEST(TreeOps, WalkVisitsAllAndCanAbort) {
+  MemFs fs;
+  const InodeNum d = must_create(fs, fs.root(), "a", FileType::Directory);
+  must_create(fs, d, "b", FileType::Regular);
+  must_create(fs, fs.root(), "c", FileType::Regular);
+  std::vector<std::string> seen;
+  ASSERT_TRUE(walk_tree(fs, fs.root(), [&](const std::string& p, const Stat&) {
+                seen.push_back(p);
+                return true;
+              }).ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "a/b", "c"}));
+  seen.clear();
+  ASSERT_TRUE(walk_tree(fs, fs.root(), [&](const std::string& p, const Stat&) {
+                seen.push_back(p);
+                return false;  // abort immediately
+              }).ok());
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(TreeOps, RemoveTreeContents) {
+  MemFs fs;
+  const InodeNum d = must_create(fs, fs.root(), "a", FileType::Directory);
+  must_create(fs, d, "b", FileType::Regular);
+  must_create(fs, fs.root(), "c", FileType::Regular);
+  ASSERT_TRUE(remove_tree_contents(fs, fs.root(), ctx()).ok());
+  EXPECT_TRUE(fs.readdir(fs.root())->empty());
+}
+
+TEST(TreeOps, TreeBytesAndCount) {
+  MemFs fs;
+  const InodeNum f = must_create(fs, fs.root(), "f", FileType::Regular);
+  ASSERT_TRUE(fs.write(ctx(), f, std::string(64, 'x'), false).ok());
+  must_create(fs, fs.root(), "d", FileType::Directory);
+  EXPECT_EQ(*tree_bytes(fs, fs.root()), 64u);
+  EXPECT_EQ(*tree_entry_count(fs, fs.root()), 2u);
+}
+
+}  // namespace
+}  // namespace minicon::vfs
