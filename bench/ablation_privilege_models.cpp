@@ -14,7 +14,7 @@
 #include <chrono>
 #include <iomanip>
 
-#include "build/dockerfile.hpp"
+#include "buildfile/dockerfile.hpp"
 #include "figure_common.hpp"
 #include "image/tar.hpp"
 #include "kernel/syscalls.hpp"

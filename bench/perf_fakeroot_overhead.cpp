@@ -1,13 +1,18 @@
 // P3: the fakeroot(1) wrapper "introduces another layer of indirection"
-// (§6.1-1). Shape: per-syscall overhead of interposition, and the end-to-end
-// cost of a wrapped package install vs an unwrapped one (Type II).
+// (§6.1-1). Shape: per-syscall overhead of interposition across stack
+// configurations (raw, bare filter, fakeroot, trace+fakeroot, deep stacks),
+// and the end-to-end cost of a wrapped package install vs an unwrapped one
+// (Type II).
 #include <benchmark/benchmark.h>
 
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
 #include "core/podman.hpp"
 #include "fakeroot/fakeroot.hpp"
+#include "kernel/faultinject.hpp"
+#include "kernel/syscall_filter.hpp"
 #include "kernel/syscalls.hpp"
+#include "kernel/trace.hpp"
 
 namespace {
 
@@ -42,6 +47,17 @@ void BM_StatRaw(benchmark::State& state) {
 }
 BENCHMARK(BM_StatRaw);
 
+// One bare forwarding layer: the cost of the decorator indirection alone.
+void BM_StatFilter(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<kernel::SyscallFilter>(p.sys);
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatFilter);
+
 void BM_StatFakeroot(benchmark::State& state) {
   kernel::Process p = world().alice;
   p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
@@ -52,6 +68,49 @@ void BM_StatFakeroot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatFakeroot);
+
+// The full observability stack a traced build uses: kernel <- trace <-
+// fakeroot (counters on, no transcript).
+void BM_StatTraceFakeroot(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  auto stats = std::make_shared<kernel::SyscallStats>();
+  p.sys = std::make_shared<kernel::TraceSyscalls>(p.sys, stats);
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatTraceFakeroot);
+
+// A fault-injection layer whose specs never match still pays the matching
+// scan on every call.
+void BM_StatFaultInjectMiss(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<kernel::FaultInjectSyscalls>(
+      p.sys, 42,
+      kernel::FaultSpec{"write", "/nonexistent/", Err::enospc});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatFaultInjectMiss);
+
+// Depth scaling: N stacked bare filters between the process and the kernel.
+void BM_StatDepth(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    p.sys = std::make_shared<kernel::SyscallFilter>(p.sys);
+  }
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_StatDepth)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_ChownFaked(benchmark::State& state) {
   kernel::Process p = world().alice;

@@ -1,0 +1,197 @@
+#include "buildfile/dockerfile.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace minicon::build {
+
+namespace {
+
+struct Keyword {
+  const char* name;
+  InstrKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"FROM", InstrKind::kFrom},         {"RUN", InstrKind::kRun},
+    {"COPY", InstrKind::kCopy},         {"ADD", InstrKind::kAdd},
+    {"ENV", InstrKind::kEnv},           {"ARG", InstrKind::kArg},
+    {"WORKDIR", InstrKind::kWorkdir},   {"USER", InstrKind::kUser},
+    {"SHELL", InstrKind::kShell},       {"CMD", InstrKind::kCmd},
+    {"ENTRYPOINT", InstrKind::kEntrypoint}, {"LABEL", InstrKind::kLabel},
+};
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+bool is_comment(std::string_view line) {
+  const std::string_view t = trim(line);
+  return !t.empty() && t.front() == '#';
+}
+
+// Parses a JSON string array (`["/bin/sh", "-c"]`). Returns false if the
+// text is not a clean array; the caller then keeps shell form.
+bool parse_json_array(std::string_view text, std::vector<std::string>& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') return false;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == ']') return trim(text.substr(i + 1)).empty();
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    std::string elem;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      elem += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    out.push_back(std::move(elem));
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == ']') {
+      return trim(text.substr(i + 1)).empty();
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string instr_name(InstrKind kind) {
+  for (const Keyword& kw : kKeywords) {
+    if (kw.kind == kind) return kw.name;
+  }
+  return "?";
+}
+
+std::string Dockerfile::base() const {
+  const auto words = split_ws(instructions.front().text);
+  return words.empty() ? "" : words.front();
+}
+
+std::variant<Dockerfile, DockerfileError> parse_dockerfile(
+    const std::string& text) {
+  const auto lines = split(text, '\n');
+  Dockerfile df;
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const int first_line = static_cast<int>(i) + 1;
+    std::string_view raw = lines[i];
+    if (trim(raw).empty() || is_comment(raw)) {
+      ++i;
+      continue;
+    }
+    // Gather continuation lines (trailing backslash); comment lines inside a
+    // continuation are skipped, as Docker does.
+    std::string logical;
+    while (i < lines.size()) {
+      std::string_view piece = trim(lines[i]);
+      ++i;
+      if (is_comment(piece)) continue;
+      const bool continued = !piece.empty() && piece.back() == '\\';
+      if (continued) piece = trim(piece.substr(0, piece.size() - 1));
+      if (!piece.empty()) {
+        if (!logical.empty()) logical += ' ';
+        logical += piece;
+      }
+      if (!continued) break;
+    }
+
+    const std::size_t sp = logical.find_first_of(" \t");
+    const std::string word = logical.substr(0, sp);
+    const std::string keyword = upper(word);
+    const Keyword* match = nullptr;
+    for (const Keyword& kw : kKeywords) {
+      if (keyword == kw.name) {
+        match = &kw;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return DockerfileError{first_line, "unknown instruction: " + word};
+    }
+    if (df.instructions.empty() && match->kind != InstrKind::kFrom) {
+      return DockerfileError{first_line,
+                             "no build stage in current context: first "
+                             "instruction must be FROM"};
+    }
+    Instruction ins;
+    ins.kind = match->kind;
+    ins.line = first_line;
+    ins.text = sp == std::string::npos
+                   ? ""
+                   : std::string(trim(logical.substr(sp + 1)));
+    if (!ins.text.empty() && ins.text.front() == '[') {
+      std::vector<std::string> argv;
+      if (parse_json_array(ins.text, argv)) ins.exec_form = std::move(argv);
+    }
+    df.instructions.push_back(std::move(ins));
+  }
+  if (df.instructions.empty()) {
+    return DockerfileError{1, "file with no instructions"};
+  }
+  return df;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_kv(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::string_view s = trim(text);
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  };
+  skip_ws();
+  while (i < s.size()) {
+    std::string key;
+    while (i < s.size() && s[i] != '=' &&
+           !std::isspace(static_cast<unsigned char>(s[i]))) {
+      key += s[i++];
+    }
+    if (i >= s.size() || s[i] != '=') {
+      // Legacy form: `KEY the whole rest` is one pair.
+      if (out.empty() && !key.empty()) {
+        skip_ws();
+        out.emplace_back(std::move(key), std::string(trim(s.substr(i))));
+      }
+      return out;
+    }
+    ++i;  // '='
+    std::string value;
+    if (i < s.size() && (s[i] == '"' || s[i] == '\'')) {
+      const char quote = s[i++];
+      while (i < s.size() && s[i] != quote) {
+        if (s[i] == '\\' && i + 1 < s.size()) ++i;
+        value += s[i++];
+      }
+      if (i < s.size()) ++i;  // closing quote
+    } else {
+      while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+        value += s[i++];
+      }
+    }
+    out.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+  }
+  return out;
+}
+
+}  // namespace minicon::build

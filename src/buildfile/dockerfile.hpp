@@ -1,0 +1,64 @@
+// Dockerfile parser: the subset of instructions exercised by the paper's
+// builds (Fig 2/3 recipes and the privilege-model ablations).
+//
+// Parsing is line-oriented: comments and blank lines are skipped, trailing
+// backslashes continue an instruction onto the next physical line, keywords
+// are case-insensitive, and a JSON string array after the keyword selects
+// exec form (RUN/CMD/ENTRYPOINT/SHELL).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace minicon::build {
+
+enum class InstrKind {
+  kFrom,
+  kRun,
+  kCopy,
+  kAdd,
+  kEnv,
+  kArg,
+  kWorkdir,
+  kUser,
+  kShell,
+  kCmd,
+  kEntrypoint,
+  kLabel,
+};
+
+// Canonical uppercase keyword ("RUN", "WORKDIR", ...).
+std::string instr_name(InstrKind kind);
+
+struct Instruction {
+  InstrKind kind = InstrKind::kRun;
+  std::string text;                    // arguments after the keyword
+  int line = 0;                        // first physical line, 1-based
+  std::vector<std::string> exec_form;  // non-empty iff JSON-array form
+
+  bool is_exec_form() const { return !exec_form.empty(); }
+};
+
+struct Dockerfile {
+  std::vector<Instruction> instructions;
+
+  // The base image reference; the parser guarantees instruction 0 is FROM.
+  std::string base() const;
+};
+
+struct DockerfileError {
+  int line = 0;
+  std::string message;
+};
+
+std::variant<Dockerfile, DockerfileError> parse_dockerfile(
+    const std::string& text);
+
+// Parses `K=v K2="two words"` pairs; a bare `KEY rest of line` is the
+// legacy single-pair form (ENV KEY value).
+std::vector<std::pair<std::string, std::string>> parse_kv(
+    const std::string& text);
+
+}  // namespace minicon::build

@@ -2,7 +2,7 @@
 
 #include <regex>
 
-#include "build/dockerfile.hpp"
+#include "buildfile/dockerfile.hpp"
 #include "image/tar.hpp"
 #include "kernel/syscalls.hpp"
 #include "support/path.hpp"
@@ -69,6 +69,11 @@ ChImage::ChImage(Machine& m, kernel::Process invoker,
       embedded_db_(std::make_shared<fakeroot::FakeDb>()) {
   if (options_.storage_dir.empty()) {
     options_.storage_dir = invoker_.env_get("HOME") + "/.local/share/ch-image";
+  }
+  if (options_.trace_syscalls || options_.syscall_stats != nullptr) {
+    stats_ = options_.syscall_stats != nullptr
+                 ? options_.syscall_stats
+                 : std::make_shared<kernel::SyscallStats>();
   }
 }
 
@@ -150,11 +155,22 @@ Result<kernel::Process> ChImage::enter(const std::string& image_dir,
   opts.env = cfg.env;
   opts.kernel_auto_maps = options_.kernel_assisted_maps;
   MINICON_TRY_ASSIGN(container, enter_type3(m_, invoker_, rootfs, opts));
+  // Interposition stack, innermost first: caller-supplied layers (fault
+  // injection, ...), then tracing, then fakeroot outermost so the lies
+  // database sees the build's view of every faked operation.
+  for (const auto& layer : options_.syscall_layers) {
+    if (layer) container.sys = layer(container.sys);
+  }
+  if (stats_ != nullptr) {
+    container.sys =
+        std::make_shared<kernel::TraceSyscalls>(container.sys, stats_);
+  }
   if (options_.embedded_fakeroot) {
     // §6.2.2-3: the wrapper lives in the builder, not the image.
     container.sys = std::make_shared<fakeroot::FakerootSyscalls>(
         container.sys, embedded_db_, fakeroot::FakerootOptions{});
   }
+  last_depth_ = kernel::interposition_depth(container.sys.get());
   container.cwd = cfg.workdir.empty() ? "/" : cfg.workdir;
   return container;
 }
@@ -433,13 +449,35 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         std::string out, err;
         image::ImageConfig run_cfg = cfg;
         for (const auto& [k, v] : build_args) run_cfg.env[k] = v;
+        const kernel::SyscallStats::Totals before =
+            stats_ != nullptr ? stats_->totals() : kernel::SyscallStats::Totals{};
         const int status = run_in_container(image_dir, run_cfg, argv, out, err);
         t.block(out);
         t.block(err);
+        std::string errno_sum;
+        if (stats_ != nullptr) {
+          const auto after = stats_->totals();
+          errno_sum = kernel::SyscallStats::errno_summary(before, after);
+          std::string line = "syscalls: instruction " + idx_str + ": " +
+                             std::to_string(after.calls - before.calls) +
+                             " calls, " +
+                             std::to_string(after.errors - before.errors) +
+                             " errors";
+          if (!errno_sum.empty()) line += " (" + errno_sum + ")";
+          line += ", depth " + std::to_string(last_depth_);
+          t.line(line);
+        }
         if (status != 0) {
           if (!options_.force && force_cfg != nullptr && keyword_hit) {
             t.line("hint: build failed; --force might fix it (config " +
                    force_cfg->name + ": " + force_cfg->description + ")");
+          }
+          if (stats_ != nullptr) {
+            t.line("error: RUN instruction " + idx_str +
+                   " failed with exit status " + std::to_string(status) +
+                   (errno_sum.empty()
+                        ? ""
+                        : " (syscall errors: " + errno_sum + ")"));
           }
           t.line("error: build failed: RUN command exited with " +
                  std::to_string(status));

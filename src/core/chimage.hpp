@@ -18,6 +18,8 @@
 #include "core/machine.hpp"
 #include "core/runtime.hpp"
 #include "fakeroot/fakedb.hpp"
+#include "kernel/syscall_filter.hpp"
+#include "kernel/trace.hpp"
 #include "image/registry.hpp"
 #include "image/tar.hpp"
 #include "support/transcript.hpp"
@@ -51,6 +53,15 @@ struct ChImageOptions {
   // fakeroot entirely (requires the unprivileged_auto_maps sysctl).
   bool kernel_assisted_maps = false;
   std::string storage_dir;  // default $HOME/.local/share/ch-image
+
+  // Syscall interposition stack. With tracing on, every container gets a
+  // TraceSyscalls layer and the build transcript reports per-RUN syscall
+  // counts, error deltas, and interposition depth.
+  bool trace_syscalls = false;
+  kernel::SyscallStatsPtr syscall_stats;  // shared sink; created if null
+  // Extra layers (e.g. fault injection) stacked above the runtime's syscall
+  // table, innermost first; trace and fakeroot wrap outside these.
+  std::vector<kernel::SyscallLayerFn> syscall_layers;
 };
 
 class ChImage {
@@ -85,6 +96,11 @@ class ChImage {
   std::size_t cache_misses() const { return cache_misses_; }
   const fakeroot::FakeDbPtr& embedded_db() const { return embedded_db_; }
 
+  // Aggregate syscall counters across every container entered (null unless
+  // tracing is enabled) and the interposition depth of the last container.
+  const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
+  int last_interposition_depth() const { return last_depth_; }
+
  private:
   struct CacheEntry {
     std::shared_ptr<vfs::MemFs> snapshot;
@@ -117,6 +133,8 @@ class ChImage {
   std::map<std::string, image::ImageConfig> configs_;
   std::map<std::string, CacheEntry> cache_;
   fakeroot::FakeDbPtr embedded_db_;
+  kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
+  int last_depth_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
 };

@@ -1,6 +1,6 @@
 #include "core/docker.hpp"
 
-#include "build/dockerfile.hpp"
+#include "buildfile/dockerfile.hpp"
 #include "core/chimage.hpp"  // format_argv
 #include "core/cluster.hpp"  // make_full_registry
 #include "image/tar.hpp"

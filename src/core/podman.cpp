@@ -1,6 +1,6 @@
 #include "core/podman.hpp"
 
-#include "build/dockerfile.hpp"
+#include "buildfile/dockerfile.hpp"
 #include "core/chimage.hpp"  // format_argv
 #include "image/tar.hpp"
 #include "kernel/syscalls.hpp"
@@ -27,6 +27,11 @@ Podman::Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
         invoker_.cred.euid, invoker_.cred.egid);
   } else {
     driver_ = std::make_unique<OverlayDriver>(options_.graphroot_backing);
+  }
+  if (options_.trace_syscalls || options_.syscall_stats != nullptr) {
+    stats_ = options_.syscall_stats != nullptr
+                 ? options_.syscall_stats
+                 : std::make_shared<kernel::SyscallStats>();
   }
   load_id_maps();
 }
@@ -83,6 +88,15 @@ Result<kernel::Process> Podman::enter(const Layer& layer,
       options_.driver == PodmanOptions::Driver::kOverlay;
   opts.env = cfg.env;
   MINICON_TRY_ASSIGN(c, enter_type2(m_, invoker_, rootfs, opts));
+  // Interposition stack, innermost first: caller-supplied layers (fault
+  // injection, ...), then tracing outermost so injected errnos are counted.
+  for (const auto& layer : options_.syscall_layers) {
+    if (layer) c.sys = layer(c.sys);
+  }
+  if (stats_ != nullptr) {
+    c.sys = std::make_shared<kernel::TraceSyscalls>(c.sys, stats_);
+  }
+  last_depth_ = kernel::interposition_depth(c.sys.get());
   c.cwd = cfg.workdir.empty() ? "/" : cfg.workdir;
   // USER instruction: switch to the image-defined user — possible in a
   // Type II container because the image's users are all mapped (§2.1.2).
@@ -229,10 +243,32 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
           return 125;
         }
         std::string out, err;
+        const kernel::SyscallStats::Totals before =
+            stats_ != nullptr ? stats_->totals() : kernel::SyscallStats::Totals{};
         const int status = m_.shell().run_argv(*container, argv, out, err);
         t.block(out);
         t.block(err);
+        std::string errno_sum;
+        if (stats_ != nullptr) {
+          const auto after = stats_->totals();
+          errno_sum = kernel::SyscallStats::errno_summary(before, after);
+          std::string line = "syscalls: step " + std::to_string(step) + ": " +
+                             std::to_string(after.calls - before.calls) +
+                             " calls, " +
+                             std::to_string(after.errors - before.errors) +
+                             " errors";
+          if (!errno_sum.empty()) line += " (" + errno_sum + ")";
+          line += ", depth " + std::to_string(last_depth_);
+          t.line(line);
+        }
         if (status != 0) {
+          if (stats_ != nullptr) {
+            t.line("Error: RUN instruction " + std::to_string(step) +
+                   " failed with exit status " + std::to_string(status) +
+                   (errno_sum.empty()
+                        ? ""
+                        : " (syscall errors: " + errno_sum + ")"));
+          }
           t.line("Error: building at " + prefix.substr(0, prefix.size() - 2) +
                  ": while running runtime: exit status " +
                  std::to_string(status));

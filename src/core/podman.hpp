@@ -21,6 +21,8 @@
 #include "core/runtime.hpp"
 #include "core/storage.hpp"
 #include "image/registry.hpp"
+#include "kernel/syscall_filter.hpp"
+#include "kernel/trace.hpp"
 #include "support/transcript.hpp"
 
 namespace minicon::core {
@@ -37,6 +39,13 @@ struct PodmanOptions {
   // ("/tmp or local disk", §4.2); pass a SharedFs to model an NFS graphroot.
   vfs::FilesystemPtr graphroot_backing;
   kernel::HelperConfig helper_config;
+
+  // Syscall interposition stack: with tracing on, every container gets a
+  // TraceSyscalls layer and the transcript reports per-STEP syscall counts.
+  bool trace_syscalls = false;
+  kernel::SyscallStatsPtr syscall_stats;  // shared sink; created if null
+  // Extra layers (e.g. fault injection), innermost first; trace wraps them.
+  std::vector<kernel::SyscallLayerFn> syscall_layers;
 };
 
 class Podman {
@@ -63,6 +72,11 @@ class Podman {
   StorageDriver& driver() { return *driver_; }
   std::size_t cache_hits() const { return cache_hits_; }
   std::size_t cache_misses() const { return cache_misses_; }
+
+  // Aggregate syscall counters across every container entered (null unless
+  // tracing is enabled) and the interposition depth of the last container.
+  const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
+  int last_interposition_depth() const { return last_depth_; }
 
   // The container-side view of a kernel ID under this Podman's map
   // (overflow ID when unmapped).
@@ -93,6 +107,8 @@ class Podman {
     image::ImageConfig config;
   };
   std::map<std::string, CacheEntry> cache_;
+  kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
+  int last_depth_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
   kernel::IdMap uid_map_;

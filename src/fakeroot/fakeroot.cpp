@@ -4,7 +4,7 @@ namespace minicon::fakeroot {
 
 FakerootSyscalls::FakerootSyscalls(std::shared_ptr<kernel::Syscalls> inner,
                                    FakeDbPtr db, FakerootOptions options)
-    : inner_(std::move(inner)), db_(std::move(db)), options_(options) {
+    : SyscallFilter(std::move(inner)), db_(std::move(db)), options_(options) {
   if (db_ == nullptr) db_ = std::make_shared<FakeDb>();
 }
 
@@ -28,16 +28,16 @@ void FakerootSyscalls::apply_lies(const kernel::Loc& loc, vfs::Stat& st) const {
 
 Result<vfs::Stat> FakerootSyscalls::stat(kernel::Process& p,
                                          const std::string& path) {
-  MINICON_TRY_ASSIGN(st, inner_->stat(p, path));
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  MINICON_TRY_ASSIGN(st, inner()->stat(p, path));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, /*follow_last=*/true));
   apply_lies(loc, st);
   return st;
 }
 
 Result<vfs::Stat> FakerootSyscalls::lstat(kernel::Process& p,
                                           const std::string& path) {
-  MINICON_TRY_ASSIGN(st, inner_->lstat(p, path));
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/false));
+  MINICON_TRY_ASSIGN(st, inner()->lstat(p, path));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, /*follow_last=*/false));
   apply_lies(loc, st);
   return st;
 }
@@ -45,7 +45,7 @@ Result<vfs::Stat> FakerootSyscalls::lstat(kernel::Process& p,
 VoidResult FakerootSyscalls::chown(kernel::Process& p, const std::string& path,
                                    vfs::Uid uid, vfs::Gid gid, bool follow) {
   // Never perform the real (privileged) call; record the lie and succeed.
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, follow));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, follow));
   FakeDb::Entry& e = db_->upsert(loc.mnt->fs.get(), loc.ino);
   if (uid != vfs::kNoChangeId) e.uid = uid;
   if (gid != vfs::kNoChangeId) e.gid = gid;
@@ -56,10 +56,10 @@ VoidResult FakerootSyscalls::chmod(kernel::Process& p, const std::string& path,
                                    std::uint32_t mode) {
   // Try the real call first (most chmods are legitimate); fake only the
   // privileged failures.
-  auto rc = inner_->chmod(p, path, mode);
+  auto rc = inner()->chmod(p, path, mode);
   if (rc.ok()) return rc;
   if (rc.error() != Err::eperm && rc.error() != Err::eacces) return rc;
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, /*follow_last=*/true));
   db_->upsert(loc.mnt->fs.get(), loc.ino).mode = mode & vfs::mode::kPermMask;
   return {};
 }
@@ -69,12 +69,12 @@ VoidResult FakerootSyscalls::mknod(kernel::Process& p, const std::string& path,
                                    std::uint32_t dev_major,
                                    std::uint32_t dev_minor) {
   if (type != vfs::FileType::CharDev && type != vfs::FileType::BlockDev) {
-    return inner_->mknod(p, path, type, mode, dev_major, dev_minor);
+    return inner()->mknod(p, path, type, mode, dev_major, dev_minor);
   }
   // Fake a device node: create a plain file, remember what it pretends to be.
   MINICON_TRY(
-      inner_->mknod(p, path, vfs::FileType::Regular, mode, 0, 0));
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/false));
+      inner()->mknod(p, path, vfs::FileType::Regular, mode, 0, 0));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, /*follow_last=*/false));
   FakeDb::Entry& e = db_->upsert(loc.mnt->fs.get(), loc.ino);
   e.type = type;
   e.dev_major = dev_major;
@@ -84,12 +84,12 @@ VoidResult FakerootSyscalls::mknod(kernel::Process& p, const std::string& path,
 
 VoidResult FakerootSyscalls::unlink(kernel::Process& p,
                                     const std::string& path) {
-  auto loc = inner_->resolve(p, path, /*follow_last=*/false);
+  auto loc = inner()->resolve(p, path, /*follow_last=*/false);
   std::uint32_t nlink = 1;
   if (loc.ok()) {
     if (auto st = loc->mnt->fs->getattr(loc->ino); st.ok()) nlink = st->nlink;
   }
-  MINICON_TRY(inner_->unlink(p, path));
+  MINICON_TRY(inner()->unlink(p, path));
   // Drop stale lies so a recycled inode does not inherit them.
   if (loc.ok() && nlink <= 1) db_->erase(loc->mnt->fs.get(), loc->ino);
   return {};
@@ -99,7 +99,7 @@ VoidResult FakerootSyscalls::rename(kernel::Process& p,
                                     const std::string& oldpath,
                                     const std::string& newpath) {
   // Inode identity survives rename; lies stay attached automatically.
-  return inner_->rename(p, oldpath, newpath);
+  return inner()->rename(p, oldpath, newpath);
 }
 
 VoidResult FakerootSyscalls::set_xattr(kernel::Process& p,
@@ -108,11 +108,11 @@ VoidResult FakerootSyscalls::set_xattr(kernel::Process& p,
                                        const std::string& value) {
   const bool privileged_ns =
       name.starts_with("security.") || name.starts_with("trusted.");
-  if (!privileged_ns) return inner_->set_xattr(p, path, name, value);
-  auto rc = inner_->set_xattr(p, path, name, value);
+  if (!privileged_ns) return inner()->set_xattr(p, path, name, value);
+  auto rc = inner()->set_xattr(p, path, name, value);
   if (rc.ok()) return rc;
   if (!options_.fake_security_xattrs) return rc;  // classic fakeroot: fail
-  MINICON_TRY_ASSIGN(loc, inner_->resolve(p, path, /*follow_last=*/true));
+  MINICON_TRY_ASSIGN(loc, inner()->resolve(p, path, /*follow_last=*/true));
   db_->upsert(loc.mnt->fs.get(), loc.ino).xattrs[name] = value;
   return {};
 }
@@ -120,26 +120,26 @@ VoidResult FakerootSyscalls::set_xattr(kernel::Process& p,
 Result<std::string> FakerootSyscalls::get_xattr(kernel::Process& p,
                                                 const std::string& path,
                                                 const std::string& name) {
-  if (auto loc = inner_->resolve(p, path, /*follow_last=*/true); loc.ok()) {
+  if (auto loc = inner()->resolve(p, path, /*follow_last=*/true); loc.ok()) {
     if (const FakeDb::Entry* e = db_->find(loc->mnt->fs.get(), loc->ino)) {
       auto it = e->xattrs.find(name);
       if (it != e->xattrs.end()) return it->second;
     }
   }
-  return inner_->get_xattr(p, path, name);
+  return inner()->get_xattr(p, path, name);
 }
 
 VoidResult FakerootSyscalls::remove_xattr(kernel::Process& p,
                                           const std::string& path,
                                           const std::string& name) {
-  if (auto loc = inner_->resolve(p, path, /*follow_last=*/true); loc.ok()) {
+  if (auto loc = inner()->resolve(p, path, /*follow_last=*/true); loc.ok()) {
     if (FakeDb::Entry* e = db_->find(loc->mnt->fs.get(), loc->ino)
                                ? &db_->upsert(loc->mnt->fs.get(), loc->ino)
                                : nullptr) {
       if (e->xattrs.erase(name) > 0) return {};
     }
   }
-  return inner_->remove_xattr(p, path, name);
+  return inner()->remove_xattr(p, path, name);
 }
 
 // --- faked identity -----------------------------------------------------------
@@ -148,10 +148,6 @@ vfs::Uid FakerootSyscalls::getuid(kernel::Process&) { return fake_ruid_; }
 vfs::Uid FakerootSyscalls::geteuid(kernel::Process&) { return fake_euid_; }
 vfs::Gid FakerootSyscalls::getgid(kernel::Process&) { return fake_rgid_; }
 vfs::Gid FakerootSyscalls::getegid(kernel::Process&) { return fake_egid_; }
-
-std::vector<vfs::Gid> FakerootSyscalls::getgroups(kernel::Process& p) {
-  return inner_->getgroups(p);
-}
 
 VoidResult FakerootSyscalls::setuid(kernel::Process&, vfs::Uid uid) {
   fake_ruid_ = fake_euid_ = uid;

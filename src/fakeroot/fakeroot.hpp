@@ -14,12 +14,16 @@
 // dispatcher consults is_interposer()/wraps_statically_linked()); the
 // ptrace flavour wraps everything but the fakeroot-ng binary itself only
 // exists for a few architectures.
+//
+// The layer derives from kernel::SyscallFilter and overrides only the
+// operations it actually fakes; everything else forwards to the wrapped
+// layer automatically.
 #pragma once
 
 #include <memory>
 
 #include "fakeroot/fakedb.hpp"
-#include "kernel/syscalls.hpp"
+#include "kernel/syscall_filter.hpp"
 
 namespace minicon::fakeroot {
 
@@ -33,8 +37,7 @@ struct FakerootOptions {
   bool fake_security_xattrs = false;
 };
 
-class FakerootSyscalls : public kernel::Syscalls,
-                         public std::enable_shared_from_this<FakerootSyscalls> {
+class FakerootSyscalls : public kernel::SyscallFilter {
  public:
   FakerootSyscalls(std::shared_ptr<kernel::Syscalls> inner, FakeDbPtr db,
                    FakerootOptions options = {});
@@ -46,9 +49,6 @@ class FakerootSyscalls : public kernel::Syscalls,
   bool is_interposer() const override { return true; }
   bool wraps_statically_linked() const override {
     return options_.approach == Approach::kPtrace;
-  }
-  std::shared_ptr<kernel::Syscalls> interposer_inner() const override {
-    return inner_;
   }
 
   // --- intercepted metadata ops ---
@@ -69,13 +69,14 @@ class FakerootSyscalls : public kernel::Syscalls,
                        const std::string& value) override;
   Result<std::string> get_xattr(kernel::Process& p, const std::string& path,
                                 const std::string& name) override;
+  VoidResult remove_xattr(kernel::Process& p, const std::string& path,
+                          const std::string& name) override;
 
   // --- faked identity ---
   vfs::Uid getuid(kernel::Process& p) override;
   vfs::Uid geteuid(kernel::Process& p) override;
   vfs::Gid getgid(kernel::Process& p) override;
   vfs::Gid getegid(kernel::Process& p) override;
-  std::vector<vfs::Gid> getgroups(kernel::Process& p) override;
   VoidResult setuid(kernel::Process& p, vfs::Uid uid) override;
   VoidResult setgid(kernel::Process& p, vfs::Gid gid) override;
   VoidResult setresuid(kernel::Process& p, vfs::Uid r, vfs::Uid e,
@@ -87,97 +88,10 @@ class FakerootSyscalls : public kernel::Syscalls,
   VoidResult setgroups(kernel::Process& p,
                        const std::vector<vfs::Gid>& groups) override;
 
-  // --- passthrough ---
-  Result<std::string> read_file(kernel::Process& p,
-                                const std::string& path) override {
-    return inner_->read_file(p, path);
-  }
-  VoidResult write_file(kernel::Process& p, const std::string& path,
-                        std::string data, bool append,
-                        std::uint32_t create_mode) override {
-    return inner_->write_file(p, path, std::move(data), append, create_mode);
-  }
-  Result<std::vector<vfs::DirEntry>> readdir(kernel::Process& p,
-                                             const std::string& path) override {
-    return inner_->readdir(p, path);
-  }
-  Result<std::string> readlink(kernel::Process& p,
-                               const std::string& path) override {
-    return inner_->readlink(p, path);
-  }
-  VoidResult mkdir(kernel::Process& p, const std::string& path,
-                   std::uint32_t mode) override {
-    return inner_->mkdir(p, path, mode);
-  }
-  VoidResult symlink(kernel::Process& p, const std::string& target,
-                     const std::string& linkpath) override {
-    return inner_->symlink(p, target, linkpath);
-  }
-  VoidResult link(kernel::Process& p, const std::string& oldpath,
-                  const std::string& newpath) override {
-    return inner_->link(p, oldpath, newpath);
-  }
-  VoidResult rmdir(kernel::Process& p, const std::string& path) override {
-    return inner_->rmdir(p, path);
-  }
-  VoidResult access(kernel::Process& p, const std::string& path,
-                    int mask) override {
-    return inner_->access(p, path, mask);
-  }
-  VoidResult chdir(kernel::Process& p, const std::string& path) override {
-    return inner_->chdir(p, path);
-  }
-  Result<std::vector<std::string>> list_xattrs(kernel::Process& p,
-                                               const std::string& path) override {
-    return inner_->list_xattrs(p, path);
-  }
-  VoidResult remove_xattr(kernel::Process& p, const std::string& path,
-                          const std::string& name) override;
-
-  VoidResult unshare_userns(kernel::Process& p) override {
-    return inner_->unshare_userns(p);
-  }
-  VoidResult unshare_mountns(kernel::Process& p) override {
-    return inner_->unshare_mountns(p);
-  }
-  VoidResult write_uid_map(kernel::Process& writer,
-                           const kernel::UserNsPtr& target,
-                           kernel::IdMap map) override {
-    return inner_->write_uid_map(writer, target, std::move(map));
-  }
-  VoidResult write_gid_map(kernel::Process& writer,
-                           const kernel::UserNsPtr& target,
-                           kernel::IdMap map) override {
-    return inner_->write_gid_map(writer, target, std::move(map));
-  }
-  VoidResult write_setgroups(
-      kernel::Process& writer, const kernel::UserNsPtr& target,
-      kernel::UserNamespace::SetgroupsPolicy policy) override {
-    return inner_->write_setgroups(writer, target, policy);
-  }
-  VoidResult userns_auto_map(kernel::Process& p) override {
-    return inner_->userns_auto_map(p);
-  }
-  VoidResult mount(kernel::Process& p, kernel::Mount m) override {
-    return inner_->mount(p, std::move(m));
-  }
-  VoidResult umount(kernel::Process& p, const std::string& mountpoint) override {
-    return inner_->umount(p, mountpoint);
-  }
-  VoidResult bind_mount(kernel::Process& p, const std::string& src,
-                        const std::string& dst, bool read_only) override {
-    return inner_->bind_mount(p, src, dst, read_only);
-  }
-  Result<kernel::Loc> resolve(kernel::Process& p, const std::string& path,
-                              bool follow_last) override {
-    return inner_->resolve(p, path, follow_last);
-  }
-
  private:
   // Overlay DB lies on a real Stat.
   void apply_lies(const kernel::Loc& loc, vfs::Stat& st) const;
 
-  std::shared_ptr<kernel::Syscalls> inner_;
   FakeDbPtr db_;
   FakerootOptions options_;
 

@@ -1,0 +1,100 @@
+// FaultInjectSyscalls: deterministic fault injection for robustness tests.
+//
+// A filter that fails matching calls with a chosen errno (EIO, ENOSPC,
+// EPERM, ...) before they reach the layer below. Matching is by operation
+// name and path substring; firing is driven by a seeded xorshift generator,
+// so the same seed over the same workload fails at exactly the same point —
+// tests can assert that a mid-build ENOSPC yields a coherent diagnostic
+// rather than a crash, and replay the identical failure while debugging.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernel/syscall_filter.hpp"
+
+namespace minicon::kernel {
+
+struct FaultSpec {
+  std::string op;           // exact operation name ("write", "chown"); empty = any
+  std::string path_substr;  // substring of the path argument; empty = any
+  Err error = Err::eio;
+  double probability = 1.0;        // per matching call, via the seeded PRNG
+  std::uint64_t skip = 0;          // let the first N matching calls through
+  std::uint64_t max_failures = ~std::uint64_t{0};
+};
+
+struct InjectedFault {
+  std::uint64_t seq = 0;  // global intercepted-call sequence number
+  std::string op;
+  std::string path;
+  Err error = Err::none;
+};
+
+class FaultInjectSyscalls : public SyscallFilter {
+ public:
+  FaultInjectSyscalls(std::shared_ptr<Syscalls> inner, std::uint64_t seed,
+                      std::vector<FaultSpec> specs);
+
+  // Convenience: one spec.
+  FaultInjectSyscalls(std::shared_ptr<Syscalls> inner, std::uint64_t seed,
+                      FaultSpec spec)
+      : FaultInjectSyscalls(std::move(inner), seed,
+                            std::vector<FaultSpec>{std::move(spec)}) {}
+
+  // Log of every fault fired, in order. Deterministic for a given seed.
+  std::vector<InjectedFault> injected() const;
+  std::uint64_t calls_seen() const;
+
+  Result<vfs::Stat> stat(Process& p, const std::string& path) override;
+  Result<vfs::Stat> lstat(Process& p, const std::string& path) override;
+  Result<std::string> read_file(Process& p, const std::string& path) override;
+  VoidResult write_file(Process& p, const std::string& path, std::string data,
+                        bool append, std::uint32_t create_mode) override;
+  Result<std::vector<vfs::DirEntry>> readdir(Process& p,
+                                             const std::string& path) override;
+  Result<std::string> readlink(Process& p, const std::string& path) override;
+  VoidResult mkdir(Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult mknod(Process& p, const std::string& path, vfs::FileType type,
+                   std::uint32_t mode, std::uint32_t dev_major,
+                   std::uint32_t dev_minor) override;
+  VoidResult symlink(Process& p, const std::string& target,
+                     const std::string& linkpath) override;
+  VoidResult link(Process& p, const std::string& oldpath,
+                  const std::string& newpath) override;
+  VoidResult unlink(Process& p, const std::string& path) override;
+  VoidResult rmdir(Process& p, const std::string& path) override;
+  VoidResult rename(Process& p, const std::string& oldpath,
+                    const std::string& newpath) override;
+  VoidResult chown(Process& p, const std::string& path, Uid uid, Gid gid,
+                   bool follow) override;
+  VoidResult chmod(Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult access(Process& p, const std::string& path, int mask) override;
+  VoidResult set_xattr(Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override;
+  Result<std::string> get_xattr(Process& p, const std::string& path,
+                                const std::string& name) override;
+  VoidResult mount(Process& p, Mount m) override;
+  VoidResult bind_mount(Process& p, const std::string& src,
+                        const std::string& dst, bool read_only) override;
+
+ private:
+  // Err::none = let the call through; anything else = inject that errno.
+  Err should_fail(const char* op, const std::string& path);
+  std::uint64_t next_random();  // xorshift64*, seeded
+
+  mutable std::mutex mu_;
+  std::vector<FaultSpec> specs_;
+  std::vector<std::uint64_t> matched_;  // per-spec matching-call counts
+  std::vector<std::uint64_t> fired_;    // per-spec injected-fault counts
+  std::vector<InjectedFault> log_;
+  std::uint64_t rng_state_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace minicon::kernel

@@ -1,0 +1,217 @@
+// SyscallFilter: the base of the composable interposition stack.
+//
+// A filter wraps an inner std::shared_ptr<Syscalls> and forwards every
+// operation unchanged; concrete layers (fakeroot's lies, TraceSyscalls'
+// counters, FaultInjectSyscalls' deterministic errors) override only the
+// calls they actually care about. Stacking filters is the simulator's
+// LD_PRELOAD: a process's `sys` pointer names the top of its stack, and
+// each layer owns the one below it.
+//
+// Introspection is transparent: a filter reports the interposer-ness of
+// whatever it wraps, so the dispatcher's static-binary unwrapping and
+// interposition_depth() both walk through observability layers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "kernel/syscalls.hpp"
+
+namespace minicon::kernel {
+
+class SyscallFilter : public Syscalls {
+ public:
+  explicit SyscallFilter(std::shared_ptr<Syscalls> inner)
+      : inner_(std::move(inner)) {}
+
+  // --- file metadata & data -------------------------------------------
+  Result<vfs::Stat> stat(Process& p, const std::string& path) override {
+    return inner_->stat(p, path);
+  }
+  Result<vfs::Stat> lstat(Process& p, const std::string& path) override {
+    return inner_->lstat(p, path);
+  }
+  Result<std::string> read_file(Process& p, const std::string& path) override {
+    return inner_->read_file(p, path);
+  }
+  VoidResult write_file(Process& p, const std::string& path, std::string data,
+                        bool append, std::uint32_t create_mode) override {
+    return inner_->write_file(p, path, std::move(data), append, create_mode);
+  }
+  Result<std::vector<vfs::DirEntry>> readdir(Process& p,
+                                             const std::string& path) override {
+    return inner_->readdir(p, path);
+  }
+  Result<std::string> readlink(Process& p, const std::string& path) override {
+    return inner_->readlink(p, path);
+  }
+  VoidResult mkdir(Process& p, const std::string& path,
+                   std::uint32_t mode) override {
+    return inner_->mkdir(p, path, mode);
+  }
+  VoidResult mknod(Process& p, const std::string& path, vfs::FileType type,
+                   std::uint32_t mode, std::uint32_t dev_major,
+                   std::uint32_t dev_minor) override {
+    return inner_->mknod(p, path, type, mode, dev_major, dev_minor);
+  }
+  VoidResult symlink(Process& p, const std::string& target,
+                     const std::string& linkpath) override {
+    return inner_->symlink(p, target, linkpath);
+  }
+  VoidResult link(Process& p, const std::string& oldpath,
+                  const std::string& newpath) override {
+    return inner_->link(p, oldpath, newpath);
+  }
+  VoidResult unlink(Process& p, const std::string& path) override {
+    return inner_->unlink(p, path);
+  }
+  VoidResult rmdir(Process& p, const std::string& path) override {
+    return inner_->rmdir(p, path);
+  }
+  VoidResult rename(Process& p, const std::string& oldpath,
+                    const std::string& newpath) override {
+    return inner_->rename(p, oldpath, newpath);
+  }
+  VoidResult chown(Process& p, const std::string& path, Uid uid, Gid gid,
+                   bool follow) override {
+    return inner_->chown(p, path, uid, gid, follow);
+  }
+  VoidResult chmod(Process& p, const std::string& path,
+                   std::uint32_t mode) override {
+    return inner_->chmod(p, path, mode);
+  }
+  VoidResult access(Process& p, const std::string& path, int mask) override {
+    return inner_->access(p, path, mask);
+  }
+  VoidResult chdir(Process& p, const std::string& path) override {
+    return inner_->chdir(p, path);
+  }
+
+  VoidResult set_xattr(Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override {
+    return inner_->set_xattr(p, path, name, value);
+  }
+  Result<std::string> get_xattr(Process& p, const std::string& path,
+                                const std::string& name) override {
+    return inner_->get_xattr(p, path, name);
+  }
+  Result<std::vector<std::string>> list_xattrs(
+      Process& p, const std::string& path) override {
+    return inner_->list_xattrs(p, path);
+  }
+  VoidResult remove_xattr(Process& p, const std::string& path,
+                          const std::string& name) override {
+    return inner_->remove_xattr(p, path, name);
+  }
+
+  // --- identity ---------------------------------------------------------
+  Uid getuid(Process& p) override { return inner_->getuid(p); }
+  Uid geteuid(Process& p) override { return inner_->geteuid(p); }
+  Gid getgid(Process& p) override { return inner_->getgid(p); }
+  Gid getegid(Process& p) override { return inner_->getegid(p); }
+  std::vector<Gid> getgroups(Process& p) override {
+    return inner_->getgroups(p);
+  }
+  VoidResult setuid(Process& p, Uid uid) override {
+    return inner_->setuid(p, uid);
+  }
+  VoidResult setgid(Process& p, Gid gid) override {
+    return inner_->setgid(p, gid);
+  }
+  VoidResult setresuid(Process& p, Uid r, Uid e, Uid s) override {
+    return inner_->setresuid(p, r, e, s);
+  }
+  VoidResult setresgid(Process& p, Gid r, Gid e, Gid s) override {
+    return inner_->setresgid(p, r, e, s);
+  }
+  VoidResult seteuid(Process& p, Uid e) override {
+    return inner_->seteuid(p, e);
+  }
+  VoidResult setegid(Process& p, Gid e) override {
+    return inner_->setegid(p, e);
+  }
+  VoidResult setgroups(Process& p, const std::vector<Gid>& groups) override {
+    return inner_->setgroups(p, groups);
+  }
+
+  // --- namespaces & mounts -----------------------------------------------
+  VoidResult unshare_userns(Process& p) override {
+    return inner_->unshare_userns(p);
+  }
+  VoidResult unshare_mountns(Process& p) override {
+    return inner_->unshare_mountns(p);
+  }
+  VoidResult write_uid_map(Process& writer, const UserNsPtr& target,
+                           IdMap map) override {
+    return inner_->write_uid_map(writer, target, std::move(map));
+  }
+  VoidResult write_gid_map(Process& writer, const UserNsPtr& target,
+                           IdMap map) override {
+    return inner_->write_gid_map(writer, target, std::move(map));
+  }
+  VoidResult write_setgroups(Process& writer, const UserNsPtr& target,
+                             UserNamespace::SetgroupsPolicy policy) override {
+    return inner_->write_setgroups(writer, target, policy);
+  }
+  VoidResult userns_auto_map(Process& p) override {
+    return inner_->userns_auto_map(p);
+  }
+  VoidResult mount(Process& p, Mount m) override {
+    return inner_->mount(p, std::move(m));
+  }
+  VoidResult umount(Process& p, const std::string& mountpoint) override {
+    return inner_->umount(p, mountpoint);
+  }
+  VoidResult bind_mount(Process& p, const std::string& src,
+                        const std::string& dst, bool read_only) override {
+    return inner_->bind_mount(p, src, dst, read_only);
+  }
+
+  // --- resolution ---------------------------------------------------------
+  Result<Loc> resolve(Process& p, const std::string& path,
+                      bool follow_last) override {
+    return inner_->resolve(p, path, follow_last);
+  }
+
+  // --- interposition introspection -----------------------------------------
+  // Transparent: whether the *stack* is an interposer is a property of the
+  // layers below (fakeroot overrides these to model LD_PRELOAD vs ptrace).
+  bool is_interposer() const override { return inner_->is_interposer(); }
+  bool wraps_statically_linked() const override {
+    return inner_->wraps_statically_linked();
+  }
+  std::shared_ptr<Syscalls> interposer_inner() const override {
+    return inner_;
+  }
+
+ protected:
+  const std::shared_ptr<Syscalls>& inner() const { return inner_; }
+
+ private:
+  std::shared_ptr<Syscalls> inner_;
+};
+
+// A layer factory: builders thread vectors of these through their options so
+// callers can push arbitrary interposition layers (tracing, fault injection,
+// future caching/batching) under the container's syscall stack.
+using SyscallLayerFn =
+    std::function<std::shared_ptr<Syscalls>(std::shared_ptr<Syscalls>)>;
+
+// Number of interposition layers stacked above the real kernel
+// implementation (0 for a bare KernelSyscalls). Safe to call on any layer:
+// each filter owns its inner via shared_ptr, so the chain outlives the walk.
+inline int interposition_depth(const Syscalls* top) {
+  int depth = 0;
+  const Syscalls* cur = top;
+  while (cur != nullptr) {
+    const auto in = cur->interposer_inner();
+    if (in == nullptr) break;
+    ++depth;
+    cur = in.get();
+  }
+  return depth;
+}
+
+}  // namespace minicon::kernel

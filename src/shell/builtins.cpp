@@ -3,6 +3,7 @@
 #include <regex>
 
 #include "kernel/syscalls.hpp"
+#include "kernel/trace.hpp"
 #include "kernel/userdb.hpp"
 #include "shell/shell.hpp"
 #include "support/path.hpp"
@@ -264,6 +265,42 @@ int cmd_test(Invocation& inv) {
   }
   if (negate) result = !result;
   return result ? 0 : 1;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+// strace [-c] PROG [ARGS...]: run a command with a tracing interposer
+// stacked on top of the current syscall layer and print an `strace -c`
+// style per-operation summary to stderr.
+int cmd_strace(Invocation& inv) {
+  std::size_t first = 1;
+  if (first < inv.args.size() && inv.args[first] == "-c") ++first;
+  if (first >= inv.args.size()) {
+    inv.err += "strace: must have PROG [ARGS]\n";
+    return 1;
+  }
+  auto stats = std::make_shared<kernel::SyscallStats>();
+  auto saved = inv.proc.sys;
+  inv.proc.sys = std::make_shared<kernel::TraceSyscalls>(saved, stats);
+  std::vector<std::string> rest(inv.args.begin() + first, inv.args.end());
+  const int status = inv.state.shell->dispatch_argv(
+      inv.proc, rest, inv.out, inv.err, inv.stdin_data, inv.state);
+  inv.proc.sys = saved;
+  inv.err += "% calls    errors syscall\n";
+  const auto ops = stats->by_op();
+  std::uint64_t calls = 0, errors = 0;
+  for (const auto& [op, c] : ops) {
+    inv.err += pad_left(std::to_string(c.calls), 7) +
+               pad_left(c.errors ? std::to_string(c.errors) : "", 10) + " " +
+               op + "\n";
+    calls += c.calls;
+    errors += c.errors;
+  }
+  inv.err += pad_left(std::to_string(calls), 7) +
+             pad_left(errors ? std::to_string(errors) : "", 10) + " total\n";
+  return status;
 }
 
 int cmd_command(Invocation& inv) {
@@ -1189,6 +1226,7 @@ void register_standard_commands(CommandRegistry& reg) {
   reg.register_special("test", cmd_test);
   reg.register_special("[", cmd_test);
   reg.register_special("command", cmd_command);
+  reg.register_special("strace", cmd_strace);
 
   // External commands (need a file on PATH with a "#!minicon <impl>" header).
   reg.register_external("sh", cmd_sh);

@@ -491,11 +491,13 @@ class Interp {
     }
 
     // LD_PRELOAD interposers cannot wrap statically-linked executables
-    // (Table 1); run those against the inner (real) syscall layer.
+    // (Table 1); run those against the inner (real) syscall layer. With a
+    // stacked interposition chain, strip every preload-style layer until we
+    // reach a ptrace layer or the kernel.
     std::shared_ptr<kernel::Syscalls> saved_sys;
-    if (attrs.contains("static") && proc.sys->is_interposer() &&
-        !proc.sys->wraps_statically_linked()) {
-      saved_sys = proc.sys;
+    while (attrs.contains("static") && proc.sys->is_interposer() &&
+           !proc.sys->wraps_statically_linked()) {
+      if (!saved_sys) saved_sys = proc.sys;
       proc.sys = proc.sys->interposer_inner();
     }
     Invocation inv{proc, argv, input, out, err, state, attrs};

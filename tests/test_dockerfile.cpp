@@ -1,7 +1,7 @@
 // Dockerfile parser tests.
 #include <gtest/gtest.h>
 
-#include "build/dockerfile.hpp"
+#include "buildfile/dockerfile.hpp"
 
 namespace minicon::build {
 namespace {

@@ -1,0 +1,346 @@
+// Interposition-stack tests: SyscallFilter transparency, TraceSyscalls
+// counters, deterministic fault injection, and coherent builder diagnostics
+// when a fault fires mid-build.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "kernel/faultinject.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/syscall_filter.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/trace.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon {
+namespace {
+
+using kernel::FaultInjectSyscalls;
+using kernel::FaultSpec;
+using kernel::Process;
+using kernel::SyscallFilter;
+using kernel::SyscallStats;
+using kernel::TraceSyscalls;
+
+class InterposeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_shared<vfs::MemFs>(0755);
+    kernel::Mount root;
+    root.mountpoint = "/";
+    root.fs = fs_;
+    root.root = fs_->root();
+    root.owner_ns = kernel_.init_userns();
+    mountns_ = kernel::MountNamespace::make(std::move(root));
+  }
+
+  Process proc(std::shared_ptr<kernel::Syscalls> sys,
+               vfs::Uid uid = 0, vfs::Gid gid = 0) {
+    Process p;
+    p.cred = uid == 0 ? kernel::Credentials::root()
+                      : kernel::Credentials::user(uid, gid, {});
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = std::move(sys);
+    return p;
+  }
+
+  kernel::Kernel kernel_;
+  std::shared_ptr<vfs::MemFs> fs_;
+  kernel::MountNsPtr mountns_;
+};
+
+// --- SyscallFilter: the identity layer ---------------------------------------
+
+// A bare filter (and a stack of them) must behave exactly like the kernel
+// table across the permission matrix that test_syscalls pins down.
+TEST_F(InterposeTest, BareFilterIsIdentityAcrossPermissionMatrix) {
+  struct PermCase {
+    std::uint32_t mode;
+    vfs::Uid file_uid;
+    vfs::Gid file_gid;
+    vfs::Uid proc_uid;
+    vfs::Gid proc_gid;
+    int want;
+  };
+  const PermCase cases[] = {
+      {0600, 1000, 1000, 1000, 1000, kernel::kReadOk},
+      {0600, 1000, 1000, 1000, 1000, kernel::kExecOk},
+      {0640, 0, 1000, 1001, 1000, kernel::kReadOk},
+      {0640, 0, 1000, 1001, 1000, kernel::kWriteOk},
+      {0604, 0, 0, 1001, 1001, kernel::kReadOk},
+      {0640, 0, 0, 1001, 1001, kernel::kReadOk},
+      {0007, 1000, 1000, 1000, 1000, kernel::kReadOk},
+      {0070, 1000, 1000, 1001, 1000, kernel::kReadOk},
+      {0007, 1000, 1000, 1001, 1000, kernel::kReadOk},
+  };
+  auto raw = kernel_.syscalls();
+  auto filtered = std::make_shared<SyscallFilter>(
+      std::make_shared<SyscallFilter>(raw));  // two layers deep
+  for (const auto& c : cases) {
+    Process root = proc(raw);
+    ASSERT_TRUE(root.sys->write_file(root, "/f", "x", false, 0777).ok());
+    ASSERT_TRUE(root.sys->chmod(root, "/f", c.mode).ok());
+    ASSERT_TRUE(root.sys->chown(root, "/f", c.file_uid, c.file_gid, true).ok());
+    Process direct = proc(raw, c.proc_uid, c.proc_gid);
+    Process wrapped = proc(filtered, c.proc_uid, c.proc_gid);
+    const auto want = direct.sys->access(direct, "/f", c.want);
+    const auto got = wrapped.sys->access(wrapped, "/f", c.want);
+    EXPECT_EQ(want.ok(), got.ok());
+    if (!want.ok()) {
+      EXPECT_EQ(want.error(), got.error());
+    }
+    ASSERT_TRUE(root.sys->unlink(root, "/f").ok());
+  }
+}
+
+TEST_F(InterposeTest, FilterForwardsDataAndMetadataOps) {
+  auto filtered = std::make_shared<SyscallFilter>(kernel_.syscalls());
+  Process p = proc(filtered);
+  ASSERT_TRUE(p.sys->mkdir(p, "/d", 0755).ok());
+  ASSERT_TRUE(p.sys->write_file(p, "/d/f", "hello", false, 0644).ok());
+  EXPECT_EQ(*p.sys->read_file(p, "/d/f"), "hello");
+  ASSERT_TRUE(p.sys->symlink(p, "/d/f", "/link").ok());
+  EXPECT_EQ(*p.sys->readlink(p, "/link"), "/d/f");
+  ASSERT_TRUE(p.sys->set_xattr(p, "/d/f", "user.k", "v").ok());
+  EXPECT_EQ(*p.sys->get_xattr(p, "/d/f", "user.k"), "v");
+  auto entries = p.sys->readdir(p, "/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+  EXPECT_EQ(p.sys->stat(p, "/nope").error(), Err::enoent);
+}
+
+TEST_F(InterposeTest, DepthWalksTheWholeStack) {
+  auto raw = kernel_.syscalls();
+  EXPECT_EQ(kernel::interposition_depth(raw.get()), 0);
+  auto one = std::make_shared<SyscallFilter>(raw);
+  EXPECT_EQ(kernel::interposition_depth(one.get()), 1);
+  auto two = std::make_shared<FaultInjectSyscalls>(one, 1,
+                                                   std::vector<FaultSpec>{});
+  auto three = std::make_shared<TraceSyscalls>(two);
+  EXPECT_EQ(kernel::interposition_depth(three.get()), 3);
+  // Introspection is transparent: a bare filter reports the interposer-ness
+  // of whatever it wraps.
+  EXPECT_FALSE(one->is_interposer());
+  EXPECT_FALSE(three->is_interposer());
+}
+
+// --- TraceSyscalls -----------------------------------------------------------
+
+TEST_F(InterposeTest, TraceCountsCallsAndErrnos) {
+  auto stats = std::make_shared<SyscallStats>();
+  auto traced = std::make_shared<TraceSyscalls>(kernel_.syscalls(), stats);
+  Process p = proc(traced);
+  ASSERT_TRUE(p.sys->write_file(p, "/a", "1", false, 0644).ok());
+  ASSERT_TRUE(p.sys->write_file(p, "/b", "2", false, 0644).ok());
+  EXPECT_TRUE(p.sys->read_file(p, "/a").ok());
+  EXPECT_FALSE(p.sys->stat(p, "/missing").ok());
+  EXPECT_FALSE(p.sys->read_file(p, "/missing").ok());
+  EXPECT_EQ(stats->calls("write"), 2u);
+  EXPECT_EQ(stats->calls("read"), 2u);
+  EXPECT_EQ(stats->calls("stat"), 1u);
+  EXPECT_EQ(stats->errno_count(Err::enoent), 2u);
+  const auto t = stats->totals();
+  EXPECT_EQ(t.calls, 5u);
+  EXPECT_EQ(t.errors, 2u);
+  EXPECT_EQ(SyscallStats::errno_summary({}, t), "ENOENT x2");
+}
+
+TEST_F(InterposeTest, TraceEmitsTranscriptLines) {
+  Transcript tr;
+  kernel::TraceOptions topts;
+  topts.transcript = &tr;
+  auto traced = std::make_shared<TraceSyscalls>(
+      kernel_.syscalls(), nullptr, topts);
+  Process p = proc(traced);
+  (void)p.sys->write_file(p, "/a", "1", false, 0644);
+  (void)p.sys->stat(p, "/missing");
+  EXPECT_TRUE(tr.contains("write(\"/a\") = 0"));
+  EXPECT_TRUE(tr.contains("stat(\"/missing\") = -1 ENOENT"));
+}
+
+// --- FaultInjectSyscalls -----------------------------------------------------
+
+// The same seed over the same workload must fail at exactly the same point.
+TEST_F(InterposeTest, SeededFaultInjectionIsDeterministic) {
+  auto workload = [&](std::uint64_t seed) {
+    auto inject = std::make_shared<FaultInjectSyscalls>(
+        kernel_.syscalls(), seed,
+        FaultSpec{"write", "", Err::eio, /*probability=*/0.4});
+    Process p = proc(inject);
+    for (int i = 0; i < 50; ++i) {
+      (void)p.sys->write_file(p, "/f" + std::to_string(i), "x", false, 0644);
+    }
+    return inject->injected();
+  };
+  const auto a = workload(42);
+  const auto b = workload(42);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+}
+
+TEST_F(InterposeTest, FaultSpecSkipMaxAndPathMatch) {
+  auto inject = std::make_shared<FaultInjectSyscalls>(
+      kernel_.syscalls(), 7,
+      FaultSpec{"write", "/data/", Err::enospc, 1.0, /*skip=*/1,
+                /*max_failures=*/1});
+  Process p = proc(inject);
+  ASSERT_TRUE(p.sys->mkdir(p, "/data", 0755).ok());
+  // Non-matching path: never fails.
+  EXPECT_TRUE(p.sys->write_file(p, "/other", "x", false, 0644).ok());
+  // First match is skipped, second fails, third passes (max_failures hit).
+  EXPECT_TRUE(p.sys->write_file(p, "/data/a", "x", false, 0644).ok());
+  EXPECT_EQ(p.sys->write_file(p, "/data/b", "x", false, 0644).error(),
+            Err::enospc);
+  EXPECT_TRUE(p.sys->write_file(p, "/data/c", "x", false, 0644).ok());
+  ASSERT_EQ(inject->injected().size(), 1u);
+  EXPECT_EQ(inject->injected()[0].op, "write");
+  EXPECT_EQ(inject->injected()[0].path, "/data/b");
+}
+
+// Trace stacked outside fault injection observes the injected errno — the
+// canonical layer ordering for the builders.
+TEST_F(InterposeTest, TraceObservesInjectedErrnos) {
+  auto stats = std::make_shared<SyscallStats>();
+  auto inject = std::make_shared<FaultInjectSyscalls>(
+      kernel_.syscalls(), 1, FaultSpec{"write", "", Err::enospc});
+  auto traced = std::make_shared<TraceSyscalls>(inject, stats);
+  Process p = proc(traced);
+  EXPECT_EQ(p.sys->write_file(p, "/f", "x", false, 0644).error(), Err::enospc);
+  EXPECT_EQ(stats->errno_count(Err::enospc), 1u);
+}
+
+// --- builders under trace + fault injection ----------------------------------
+
+constexpr const char* kCentosDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+class BuilderInterposeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  static kernel::SyscallLayerFn enospc_on_write(std::uint64_t seed) {
+    return [seed](std::shared_ptr<kernel::Syscalls> inner) {
+      return std::make_shared<FaultInjectSyscalls>(
+          std::move(inner), seed, FaultSpec{"write", "", Err::enospc});
+    };
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+};
+
+TEST_F(BuilderInterposeTest, ChImageTracedBuildReportsPerInstructionCounts) {
+  core::ChImageOptions opts;
+  opts.trace_syscalls = true;
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  (void)ch.build("traced", kCentosDockerfile, t);
+  EXPECT_TRUE(t.contains("syscalls: instruction 2:")) << t.text();
+  EXPECT_TRUE(t.contains("depth 1")) << t.text();
+  ASSERT_NE(ch.syscall_stats(), nullptr);
+  EXPECT_GT(ch.syscall_stats()->totals().calls, 0u);
+  EXPECT_EQ(ch.last_interposition_depth(), 1);
+}
+
+// A mid-build ENOSPC yields a coherent diagnostic (instruction index plus
+// errno summary), not a crash or a silent success.
+TEST_F(BuilderInterposeTest, ChImageMidBuildEnospcIsCoherent) {
+  core::ChImageOptions opts;
+  opts.trace_syscalls = true;
+  opts.syscall_layers.push_back(enospc_on_write(42));
+  core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = ch.build("doomed", kCentosDockerfile, t);
+  EXPECT_NE(status, 0);
+  EXPECT_TRUE(t.contains("ENOSPC")) << t.text();
+  EXPECT_TRUE(t.contains("error: RUN instruction")) << t.text();
+  EXPECT_TRUE(t.contains("error: build failed: RUN command exited with"))
+      << t.text();
+  EXPECT_GT(ch.syscall_stats()->errno_count(Err::enospc), 0u);
+  // Fault layer + trace layer.
+  EXPECT_EQ(ch.last_interposition_depth(), 2);
+}
+
+// Same seed, same Dockerfile: the build fails at the same instruction with
+// the same transcript diagnostics.
+TEST_F(BuilderInterposeTest, ChImageFaultedBuildIsReplayable) {
+  auto run_once = [&] {
+    core::ChImageOptions opts;
+    opts.trace_syscalls = true;
+    opts.syscall_layers.push_back(enospc_on_write(42));
+    core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+    Transcript t;
+    const int status = ch.build("doomed", kCentosDockerfile, t);
+    std::string diag;
+    for (const auto& line : t.lines()) {
+      if (line.find("error: RUN instruction") != std::string::npos) diag = line;
+    }
+    return std::make_pair(status, diag);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_FALSE(a.second.empty());
+}
+
+// Podman: a faulted RUN abandons the in-progress layer — the tag is never
+// registered and the failure is reported with instruction index + errno.
+TEST_F(BuilderInterposeTest, PodmanFaultedBuildRollsBackLayer) {
+  core::PodmanOptions opts;
+  opts.trace_syscalls = true;
+  opts.syscall_layers.push_back(enospc_on_write(42));
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = podman.build("pfail", kCentosDockerfile, t);
+  EXPECT_NE(status, 0);
+  EXPECT_EQ(podman.config("pfail"), nullptr);
+  EXPECT_TRUE(t.contains("ENOSPC")) << t.text();
+  EXPECT_TRUE(t.contains("Error: RUN instruction")) << t.text();
+  EXPECT_TRUE(t.contains("while running runtime: exit status")) << t.text();
+  EXPECT_GT(podman.syscall_stats()->errno_count(Err::enospc), 0u);
+}
+
+// The shell-level `strace` builtin wraps the child command in a trace layer
+// and prints an `strace -c` style summary on stderr.
+TEST_F(BuilderInterposeTest, StraceBuiltinPrintsSummary) {
+  std::string out, err;
+  const int status =
+      cluster_->login().run(alice_, "strace -c cat /etc/passwd", out, err);
+  EXPECT_EQ(status, 0) << err;
+  EXPECT_NE(err.find("syscall"), std::string::npos) << err;
+  EXPECT_NE(err.find("read"), std::string::npos) << err;
+  EXPECT_NE(err.find("total"), std::string::npos) << err;
+  EXPECT_NE(out.find("alice"), std::string::npos) << out;
+}
+
+TEST_F(BuilderInterposeTest, PodmanCleanBuildStillSucceedsUnderTrace) {
+  core::PodmanOptions opts;
+  opts.trace_syscalls = true;
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(), opts);
+  Transcript t;
+  const int status = podman.build("ok", kCentosDockerfile, t);
+  EXPECT_EQ(status, 0) << t.text();
+  EXPECT_NE(podman.config("ok"), nullptr);
+  EXPECT_TRUE(t.contains("syscalls: step 3:")) << t.text();
+}
+
+}  // namespace
+}  // namespace minicon

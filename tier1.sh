@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification: configure (warnings as errors), build, run the test
+# suite. Usage: ./tier1.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DMINICON_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
