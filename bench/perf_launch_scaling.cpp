@@ -1,8 +1,8 @@
 // P4: distributed container launch across compute nodes (Fig 6 final stage)
-// — pull-per-node vs a single shared-filesystem image tree, and daemonless
-// startup cost. Shape: shared-fs launch avoids the per-node registry
-// traffic; wall time grows slowly with node count (threads run
-// concurrently).
+// — pull-per-node vs a single shared-filesystem image tree, pooled fan-out
+// width, and daemonless startup cost. Shape: shared-fs launch avoids the
+// per-node registry traffic; node jobs share a fixed-width worker pool, so
+// a 64-node launch never spawns 64 OS threads.
 #include <benchmark/benchmark.h>
 
 #include "core/chimage.hpp"
@@ -12,10 +12,11 @@ namespace {
 
 using namespace minicon;
 
-std::unique_ptr<core::Cluster> make_cluster(int nodes) {
+std::unique_ptr<core::Cluster> make_cluster(int nodes, int launch_width = 0) {
   core::ClusterOptions opts;
   opts.arch = "aarch64";
   opts.compute_nodes = nodes;
+  opts.launch_width = launch_width;
   auto cluster = std::make_unique<core::Cluster>(opts);
   auto alice = cluster->user_on(cluster->login());
   core::ChImage ch(cluster->login(), *alice, &cluster->registry());
@@ -44,7 +45,28 @@ void BM_ParallelLaunch(benchmark::State& state) {
   state.SetLabel(shared ? "shared-fs" : "pull-per-node");
 }
 BENCHMARK(BM_ParallelLaunch)
-    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Pool-width sweep at a fixed node count: how much fan-out concurrency the
+// launch actually needs. Node jobs queue behind `width` workers.
+void BM_LaunchWidthSweep(benchmark::State& state) {
+  constexpr int kNodes = 64;
+  const int width = static_cast<int>(state.range(0));
+  auto cluster = make_cluster(kNodes, width);
+  for (auto _ : state) {
+    auto result = cluster->parallel_launch("bench/job:1", {"hostname"},
+                                           /*via_shared_fs=*/true);
+    if (result.nodes_ok != kNodes) {
+      state.SkipWithError("launch failed");
+      return;
+    }
+  }
+  state.counters["pool_width"] = width;
+  state.SetLabel("64 nodes via shared-fs, pooled fan-out");
+}
+BENCHMARK(BM_LaunchWidthSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 // Container entry cost (the fork-exec, daemonless model the paper endorses

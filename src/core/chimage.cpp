@@ -8,6 +8,7 @@
 #include "support/path.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "vfs/treeops.hpp"
 
 namespace minicon::core {
@@ -242,8 +243,9 @@ int ChImage::pull(const std::string& ref, const std::string& tag,
   }
   std::size_t skipped_devices = 0;
   for (const auto& digest : manifest->layers) {
-    auto blob = registry_->get_blob(digest);
-    if (!blob) {
+    // Zero-copy pull: a shared reference to the registry's stored bytes.
+    auto blob = registry_->get_blob_ref(digest);
+    if (blob == nullptr) {
       t.line("error: pull failed: missing blob " + digest);
       return 1;
     }
@@ -363,8 +365,8 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         // record it for the snapshot.
         stage_aliases_current = stage_name;
         cfg = configs_[tag];
-        cache_key = Sha256::hex_digest(cache_key + "|FROM|" + ins.text + "|" +
-                                       cfg.arch);
+        cache_key =
+            Sha256::hex_chain({cache_key, "|FROM|", ins.text, "|", cfg.arch});
         force_cfg = detect_config(image_dir);
         if (options_.force) {
           if (force_cfg != nullptr) {
@@ -384,7 +386,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         t.line(idx_str + " RUN " + format_argv(argv));
 
         cache_key =
-            Sha256::hex_digest(cache_key + "|RUN|" + join(argv, "\x1f"));
+            Sha256::hex_chain({cache_key, "|RUN|", join(argv, "\x1f")});
         if (options_.build_cache &&
             restore_from_cache(cache_key, image_dir, cfg)) {
           ++cache_hits_;
@@ -491,7 +493,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
       case build::InstrKind::kEnv: {
         t.line(idx_str + " ENV " + ins.text);
         for (const auto& [k, v] : build::parse_kv(ins.text)) cfg.env[k] = v;
-        cache_key = Sha256::hex_digest(cache_key + "|ENV|" + ins.text);
+        cache_key = Sha256::hex_chain({cache_key, "|ENV|", ins.text});
         break;
       }
       case build::InstrKind::kArg: {
@@ -502,7 +504,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         } else {
           build_args[ins.text];  // declared, empty default
         }
-        cache_key = Sha256::hex_digest(cache_key + "|ARG|" + ins.text);
+        cache_key = Sha256::hex_chain({cache_key, "|ARG|", ins.text});
         break;
       }
       case build::InstrKind::kLabel: {
@@ -518,7 +520,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
           std::string out, err;
           (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
         }
-        cache_key = Sha256::hex_digest(cache_key + "|WORKDIR|" + ins.text);
+        cache_key = Sha256::hex_chain({cache_key, "|WORKDIR|", ins.text});
         break;
       }
       case build::InstrKind::kCopy:
@@ -573,8 +575,8 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
           t.line("error: COPY: cannot write " + dst);
           return 1;
         }
-        cache_key = Sha256::hex_digest(cache_key + "|COPY|" + ins.text + "|" +
-                                       Sha256::hex_digest(*data));
+        cache_key = Sha256::hex_chain(
+            {cache_key, "|COPY|", ins.text, "|", Sha256::hex_digest(*data)});
         break;
       }
       case build::InstrKind::kCmd: {
@@ -677,8 +679,16 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
     // bits, "to avoid leaking site IDs" (§6.1).
     out_entries = image::flatten_ownership(std::move(*entries));
   }
-  const std::string blob = image::tar_create(out_entries);
-  const std::string digest = registry_->put_blob(blob);
+  // Pipelined push: stream the tar serialization into a chunked blob
+  // writer — chunks digest and upload on the pool while later entries are
+  // still serializing, and a re-push of unchanged content transfers nothing.
+  support::ThreadPool* pool = options_.digest_pool != nullptr
+                                  ? options_.digest_pool.get()
+                                  : &support::shared_pool();
+  auto writer = registry_->blob_writer(pool);
+  image::tar_stream(out_entries,
+                    [&writer](std::string_view piece) { writer.append(piece); });
+  const std::string digest = writer.finish();
   image::Manifest manifest;
   manifest.reference = dest_ref;
   manifest.config = push_cfg;
@@ -691,8 +701,10 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
   registry_->put_manifest(manifest);
   t.line("pushing image: " + tag);
   t.line("destination: " + registry_->name() + "/" + dest_ref);
-  t.line("layers: 1 (" + std::to_string(blob.size()) + " bytes, " + digest +
+  t.line("layers: 1 (" + std::to_string(writer.size()) + " bytes, " + digest +
          ")");
+  t.line("transferred: " + std::to_string(writer.new_bytes()) +
+         " bytes (chunk-deduplicated)");
   t.line("done");
   return 0;
 }

@@ -24,6 +24,10 @@
 #include "image/tar.hpp"
 #include "support/transcript.hpp"
 
+namespace minicon::support {
+class ThreadPool;
+}
+
 namespace minicon::core {
 
 struct ForceInitStep {
@@ -53,6 +57,10 @@ struct ChImageOptions {
   // fakeroot entirely (requires the unprivileged_auto_maps sysctl).
   bool kernel_assisted_maps = false;
   std::string storage_dir;  // default $HOME/.local/share/ch-image
+
+  // Worker pool for the pipelined push path (chunk digest + upload overlap
+  // with tar serialization). Null selects the process-wide shared pool.
+  std::shared_ptr<support::ThreadPool> digest_pool;
 
   // Syscall interposition stack. With tracing on, every container gets a
   // TraceSyscalls layer and the build transcript reports per-RUN syscall

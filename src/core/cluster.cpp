@@ -1,7 +1,8 @@
 #include "core/cluster.hpp"
 
+#include <atomic>
 #include <chrono>
-#include <mutex>
+#include <future>
 #include <thread>
 
 #include "core/chimage.hpp"
@@ -77,9 +78,17 @@ Result<kernel::Process> Cluster::user_on(Machine& node) {
   return node.login(options_.user);
 }
 
+support::ThreadPool& Cluster::launch_pool(std::size_t width) {
+  if (launch_pool_ == nullptr || launch_pool_width_ != width) {
+    launch_pool_ = std::make_unique<support::ThreadPool>(width);
+    launch_pool_width_ = width;
+  }
+  return *launch_pool_;
+}
+
 Cluster::LaunchResult Cluster::parallel_launch(
     const std::string& image_ref, const std::vector<std::string>& argv,
-    bool via_shared_fs) {
+    bool via_shared_fs, int width) {
   LaunchResult result;
   result.outputs.resize(compute_.size());
 
@@ -119,16 +128,23 @@ Cluster::LaunchResult Cluster::parallel_launch(
         "/lustre/home/" + options_.user + "/.chimage/img/launch";
   }
 
-  std::mutex mu;
+  // Pooled fan-out: node jobs share a fixed-width worker pool instead of a
+  // std::thread each, so a 64-node launch does not spawn 64 OS threads.
+  const std::size_t pool_width =
+      width > 0 ? static_cast<std::size_t>(width)
+                : static_cast<std::size_t>(options_.launch_width);
+  support::ThreadPool& pool = launch_pool(pool_width);
+  std::atomic<int> nodes_ok{0};
+  std::atomic<int> nodes_failed{0};
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
+  std::vector<std::future<void>> jobs;
+  jobs.reserve(compute_.size());
   for (std::size_t i = 0; i < compute_.size(); ++i) {
-    threads.emplace_back([&, i] {
+    jobs.push_back(pool.submit([&, i] {
       Machine& node = *compute_[i];
       auto user = node.login(options_.user);
       if (!user.ok()) {
-        std::lock_guard lock(mu);
-        ++result.nodes_failed;
+        ++nodes_failed;
         return;
       }
       int status = 1;
@@ -155,16 +171,18 @@ Cluster::LaunchResult Cluster::parallel_launch(
           output = rt.text();
         }
       }
-      std::lock_guard lock(mu);
       if (status == 0) {
-        ++result.nodes_ok;
+        ++nodes_ok;
       } else {
-        ++result.nodes_failed;
+        ++nodes_failed;
       }
+      // Each job owns its slot; no lock needed.
       result.outputs[i] = std::move(output);
-    });
+    }));
   }
-  for (auto& t : threads) t.join();
+  for (auto& j : jobs) j.get();
+  result.nodes_ok = nodes_ok.load();
+  result.nodes_failed = nodes_failed.load();
   const auto end = std::chrono::steady_clock::now();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -8,6 +8,7 @@
 #include "core/machine.hpp"
 #include "image/registry.hpp"
 #include "pkg/package.hpp"
+#include "support/threadpool.hpp"
 #include "vfs/sharedfs.hpp"
 
 namespace minicon::core {
@@ -21,6 +22,10 @@ struct ClusterOptions {
   vfs::SharedFsOptions shared_fs;
   std::string user = "alice";
   vfs::Uid user_uid = 1000;
+  // Worker count for parallel_launch's fan-out pool. 0 = one worker per
+  // hardware thread. Nodes beyond the width queue instead of each getting
+  // a dedicated std::thread.
+  int launch_width = 0;
 };
 
 class Cluster {
@@ -52,11 +57,16 @@ class Cluster {
   // node concurrently and run argv in a Type III container. With
   // `via_shared_fs`, the image is extracted once to the shared filesystem
   // and nodes enter it directly (the flat-directory ch-run model).
+  // Per-node work runs on a pooled fan-out of `width` workers (0 = the
+  // configured launch_width), not one thread per node.
   LaunchResult parallel_launch(const std::string& image_ref,
                                const std::vector<std::string>& argv,
-                               bool via_shared_fs);
+                               bool via_shared_fs, int width = 0);
 
  private:
+  // The cached fan-out pool, rebuilt only when the requested width changes.
+  support::ThreadPool& launch_pool(std::size_t width);
+
   ClusterOptions options_;
   std::shared_ptr<shell::CommandRegistry> command_registry_;
   pkg::RepoUniversePtr universe_;
@@ -64,6 +74,8 @@ class Cluster {
   vfs::FilesystemPtr shared_fs_;
   std::unique_ptr<Machine> login_;
   std::vector<std::unique_ptr<Machine>> compute_;
+  std::unique_ptr<support::ThreadPool> launch_pool_;
+  std::size_t launch_pool_width_ = 0;
 };
 
 // Builds a command registry with everything installed: shell builtins,

@@ -7,6 +7,7 @@
 #include "kernel/userdb.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
+#include "support/threadpool.hpp"
 #include "vfs/overlayfs.hpp"
 
 namespace minicon::core {
@@ -151,8 +152,9 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         }
         std::vector<std::vector<image::TarEntry>> layer_entries;
         for (const auto& digest : manifest->layers) {
-          auto blob = registry_->get_blob(digest);
-          if (!blob) {
+          // Zero-copy pull: parse straight out of the registry's buffer.
+          auto blob = registry_->get_blob_ref(digest);
+          if (blob == nullptr) {
             t.line("Error: missing blob " + digest);
             return 125;
           }
@@ -202,7 +204,7 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         img.base_digests = manifest->layers;
         img.config = manifest->config;
         img.config.arch = m_.arch();
-        cache_key = Sha256::hex_digest(cache_key + "|FROM|" + ins.text);
+        cache_key = Sha256::hex_chain({cache_key, "|FROM|", ins.text});
         break;
       }
       case build::InstrKind::kRun: {
@@ -213,7 +215,7 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         t.line(prefix + "RUN " + (ins.is_exec_form() ? format_argv(argv)
                                                      : ins.text));
         cache_key =
-            Sha256::hex_digest(cache_key + "|RUN|" + join(argv, "\x1f"));
+            Sha256::hex_chain({cache_key, "|RUN|", join(argv, "\x1f")});
         if (options_.build_cache) {
           auto it = cache_.find(cache_key);
           if (it != cache_.end()) {
@@ -284,7 +286,7 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         for (const auto& [k, v] : build::parse_kv(ins.text)) {
           img.config.env[k] = v;
         }
-        cache_key = Sha256::hex_digest(cache_key + "|ENV|" + ins.text);
+        cache_key = Sha256::hex_chain({cache_key, "|ENV|", ins.text});
         break;
       }
       case build::InstrKind::kWorkdir: {
@@ -323,8 +325,8 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         }
         current = *layer;
         img.run_layers.push_back(current);
-        cache_key = Sha256::hex_digest(cache_key + "|COPY|" + ins.text + "|" +
-                                       Sha256::hex_digest(*data));
+        cache_key = Sha256::hex_chain(
+            {cache_key, "|COPY|", ins.text, "|", Sha256::hex_digest(*data)});
         break;
       }
       case build::InstrKind::kCmd:
@@ -371,13 +373,6 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
   return 0;
 }
 
-Result<std::vector<image::TarEntry>> Podman::layer_diff(const Layer& layer) {
-  if (auto* ovl = dynamic_cast<vfs::OverlayFs*>(layer.fs.get())) {
-    return image::tree_to_entries(ovl->upper_fs(), ovl->upper_fs().root());
-  }
-  return image::tree_to_entries(*layer.fs, layer.root);
-}
-
 int Podman::push(const std::string& tag, const std::string& dest_ref,
                  Transcript& t) {
   auto it = images_.find(tag);
@@ -394,7 +389,7 @@ int Podman::push(const std::string& tag, const std::string& dest_ref,
   // §6.2.5: images may be marked to require ownership flattening.
   const bool must_flatten = img.config.flatten_policy() == "require";
   for (const auto& layer : img.run_layers) {
-    auto entries = layer_diff(layer);
+    auto entries = driver_->diff(layer);
     if (!entries.ok()) {
       t.line("Error: cannot export layer");
       return 125;
@@ -406,7 +401,16 @@ int Podman::push(const std::string& tag, const std::string& dest_ref,
       e.gid = gid_to_container(e.gid);
     }
     if (must_flatten) *entries = image::flatten_ownership(std::move(*entries));
-    manifest.layers.push_back(registry_->put_blob(image::tar_create(*entries)));
+    // Pipelined push: tar serialization feeds the registry's BlobWriter,
+    // which digests/uploads full chunks on the pool while we keep packing.
+    support::ThreadPool* pool = options_.digest_pool != nullptr
+                                    ? options_.digest_pool.get()
+                                    : &support::shared_pool();
+    auto writer = registry_->blob_writer(pool);
+    image::tar_stream(*entries, [&writer](std::string_view piece) {
+      writer.append(piece);
+    });
+    manifest.layers.push_back(writer.finish());
   }
   if (must_flatten) {
     t.line("Note: image marked " +

@@ -25,6 +25,10 @@
 #include "kernel/trace.hpp"
 #include "support/transcript.hpp"
 
+namespace minicon::support {
+class ThreadPool;
+}
+
 namespace minicon::core {
 
 struct PodmanOptions {
@@ -39,6 +43,11 @@ struct PodmanOptions {
   // ("/tmp or local disk", §4.2); pass a SharedFs to model an NFS graphroot.
   vfs::FilesystemPtr graphroot_backing;
   kernel::HelperConfig helper_config;
+
+  // Worker pool for the pipelined push path (per-layer chunk digest +
+  // upload overlap with tar serialization). Null selects the process-wide
+  // shared pool.
+  std::shared_ptr<support::ThreadPool> digest_pool;
 
   // Syscall interposition stack: with tracing on, every container gets a
   // TraceSyscalls layer and the transcript reports per-STEP syscall counts.
@@ -93,7 +102,6 @@ class Podman {
 
   Result<kernel::Process> enter(const Layer& layer,
                                 const image::ImageConfig& cfg);
-  Result<std::vector<image::TarEntry>> layer_diff(const Layer& layer);
   void load_id_maps();
 
   Machine& m_;

@@ -5,6 +5,14 @@
 
 namespace minicon::core {
 
+Result<std::vector<image::TarEntry>> StorageDriver::diff(
+    const Layer& layer) const {
+  if (auto* ovl = dynamic_cast<vfs::OverlayFs*>(layer.fs.get())) {
+    return image::tree_to_entries(ovl->upper_fs(), ovl->upper_fs().root());
+  }
+  return image::tree_to_entries(*layer.fs, layer.root);
+}
+
 // --- VfsDriver ----------------------------------------------------------------
 
 VfsDriver::VfsDriver(vfs::FilesystemPtr backing, std::string graphroot,

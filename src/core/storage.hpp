@@ -39,6 +39,11 @@ class StorageDriver {
   // Creates a new writable layer on top of parent.
   virtual Result<Layer> create_layer(const Layer& parent) = 0;
 
+  // The entries a push must serialize for this layer: the overlay driver
+  // exports only the copy-up delta, the vfs driver has no delta tracking
+  // and exports the full tree. Drives the pipelined push path.
+  virtual Result<std::vector<image::TarEntry>> diff(const Layer& layer) const;
+
   // Current bytes attributable to a layer.
   virtual std::uint64_t layer_bytes(const Layer& layer) const = 0;
 

@@ -1,0 +1,131 @@
+#include "image/chunkstore.hpp"
+
+#include <future>
+
+#include "support/sha256.hpp"
+#include "support/threadpool.hpp"
+
+namespace minicon::image {
+
+ChunkStore::ChunkStore(std::size_t chunk_size, std::size_t shards)
+    : chunk_size_(chunk_size == 0 ? kDefaultChunkSize : chunk_size),
+      shards_(shards == 0 ? kDefaultShards : shards) {}
+
+ChunkStore::Shard& ChunkStore::shard_for(const std::string& digest) const {
+  // Digests are "sha256:<hex>"; the hex tail is uniformly distributed, so
+  // a couple of characters pick the shard.
+  std::size_t h = 0;
+  for (std::size_t i = digest.size() >= 4 ? digest.size() - 4 : 0;
+       i < digest.size(); ++i) {
+    h = h * 16 + static_cast<std::size_t>(digest[i]);
+  }
+  return shards_[h % shards_.size()];
+}
+
+std::pair<std::string, std::uint64_t> ChunkStore::put_chunk(
+    std::string_view data) {
+  std::string digest = oci_digest(data);
+  Shard& shard = shard_for(digest);
+  {
+    std::lock_guard lock(shard.mu);
+    if (shard.chunks.contains(digest)) return {std::move(digest), 0};
+  }
+  // Miss: copy outside the lock, then re-check (another pusher may have won
+  // the race; dedup makes the duplicate insert a harmless no-op).
+  auto buf = std::make_shared<const std::string>(data);
+  std::lock_guard lock(shard.mu);
+  auto [it, inserted] = shard.chunks.try_emplace(digest, std::move(buf));
+  if (!inserted) return {std::move(digest), 0};
+  shard.bytes += data.size();
+  return {std::move(digest), data.size()};
+}
+
+ChunkedBlob ChunkStore::put(std::string_view data,
+                            support::ThreadPool* pool) {
+  ChunkedBlob out;
+  out.size = data.size();
+  const std::size_t n_chunks =
+      data.empty() ? 0 : (data.size() + chunk_size_ - 1) / chunk_size_;
+  if (pool == nullptr || n_chunks < 2) {
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      auto [digest, added] =
+          put_chunk(data.substr(i * chunk_size_, chunk_size_));
+      out.new_bytes += added;
+      out.chunks.push_back(std::move(digest));
+    }
+  } else {
+    std::vector<std::future<std::pair<std::string, std::uint64_t>>> jobs;
+    jobs.reserve(n_chunks);
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      // `data` outlives every future resolved below, so each job slices the
+      // caller's buffer directly — no per-chunk copy on the submit path.
+      const std::string_view piece = data.substr(i * chunk_size_, chunk_size_);
+      jobs.push_back(
+          pool->submit([this, piece] { return put_chunk(piece); }));
+    }
+    for (auto& job : jobs) {
+      auto [digest, added] = job.get();
+      out.new_bytes += added;
+      out.chunks.push_back(std::move(digest));
+    }
+  }
+  out.digest = blob_digest(out.chunks);
+  return out;
+}
+
+std::shared_ptr<const std::string> ChunkStore::chunk(
+    const std::string& digest) const {
+  Shard& shard = shard_for(digest);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.chunks.find(digest);
+  return it == shard.chunks.end() ? nullptr : it->second;
+}
+
+bool ChunkStore::has_chunk(const std::string& digest) const {
+  Shard& shard = shard_for(digest);
+  std::lock_guard lock(shard.mu);
+  return shard.chunks.contains(digest);
+}
+
+std::shared_ptr<const std::string> ChunkStore::assemble(
+    const ChunkedBlob& blob) const {
+  auto out = std::make_shared<std::string>();
+  out->reserve(blob.size);
+  for (const auto& digest : blob.chunks) {
+    auto piece = chunk(digest);
+    if (piece == nullptr) return nullptr;
+    out->append(*piece);
+  }
+  return out;
+}
+
+std::string ChunkStore::blob_digest(const std::vector<std::string>& chunks) {
+  Sha256 h;
+  h.update("minicon-chunklist-v1");
+  for (const auto& c : chunks) {
+    h.update(c);
+    h.update("\n");
+  }
+  const auto d = h.finish();
+  return "sha256:" + to_hex(d.data(), d.size());
+}
+
+std::uint64_t ChunkStore::unique_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s.mu);
+    total += s.bytes;
+  }
+  return total;
+}
+
+std::uint64_t ChunkStore::chunk_count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s.mu);
+    total += s.chunks.size();
+  }
+  return total;
+}
+
+}  // namespace minicon::image

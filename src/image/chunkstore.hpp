@@ -1,0 +1,84 @@
+// Content-addressed fixed-size chunk storage for layer blobs.
+//
+// §6.1/P5: distribution cost is dominated by tar serialization + SHA-256 +
+// transfer. Chunking attacks all three: a blob becomes an ordered list of
+// fixed-size chunks, each addressed by its own SHA-256, so (1) chunk digests
+// compute in parallel on a ThreadPool, (2) a re-push of a nearly-unchanged
+// layer transfers only the chunks whose content moved, and (3) pulls hand
+// out shared immutable buffers instead of copies. The store is sharded by
+// digest prefix so concurrent pushers/pullers rarely contend on a mutex.
+//
+// A chunked blob's digest is Merkle-style: SHA-256 over the ordered chunk
+// digest list. It is still a pure function of the content (and the chunk
+// size), so the registry stays content-addressed; it is simply a different
+// address space from whole-blob digests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace minicon::support {
+class ThreadPool;
+}
+
+namespace minicon::image {
+
+struct ChunkedBlob {
+  std::string digest;                // "sha256:..." Merkle root
+  std::vector<std::string> chunks;   // chunk digests, in blob order
+  std::uint64_t size = 0;            // total blob bytes
+  std::uint64_t new_bytes = 0;       // bytes this put actually transferred
+};
+
+class ChunkStore {
+ public:
+  static constexpr std::size_t kDefaultChunkSize = 64 * 1024;
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit ChunkStore(std::size_t chunk_size = kDefaultChunkSize,
+                      std::size_t shards = kDefaultShards);
+
+  std::size_t chunk_size() const { return chunk_size_; }
+
+  // Splits `data` into fixed-size chunks, digests them (in parallel when
+  // pool != nullptr), and stores only the chunks not already present.
+  ChunkedBlob put(std::string_view data,
+                  support::ThreadPool* pool = nullptr);
+
+  // Stores one chunk. Returns its digest and the bytes newly stored (0 when
+  // the chunk deduplicated — in that case the data is never even copied).
+  // Thread-safe; digesting happens outside any lock.
+  std::pair<std::string, std::uint64_t> put_chunk(std::string_view data);
+
+  // The chunk's shared immutable buffer; nullptr when absent.
+  std::shared_ptr<const std::string> chunk(const std::string& digest) const;
+  bool has_chunk(const std::string& digest) const;
+
+  // Reassembles a chunk list into one contiguous buffer (pull
+  // materialization). nullptr if any chunk is missing.
+  std::shared_ptr<const std::string> assemble(const ChunkedBlob& blob) const;
+
+  // Merkle root over an ordered chunk digest list.
+  static std::string blob_digest(const std::vector<std::string>& chunks);
+
+  std::uint64_t unique_bytes() const;
+  std::uint64_t chunk_count() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const std::string>> chunks;
+    std::uint64_t bytes = 0;
+  };
+  Shard& shard_for(const std::string& digest) const;
+
+  std::size_t chunk_size_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace minicon::image

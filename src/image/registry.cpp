@@ -1,6 +1,7 @@
 #include "image/registry.hpp"
 
 #include "support/sha256.hpp"
+#include "support/threadpool.hpp"
 
 namespace minicon::image {
 
@@ -22,35 +23,150 @@ std::string Manifest::serialize() const {
 
 std::string Manifest::digest() const { return oci_digest(serialize()); }
 
+Registry::Registry(std::string name, std::size_t shards)
+    : name_(std::move(name)),
+      blob_shards_(shards == 0 ? kDefaultShards : shards) {}
+
+Registry::BlobShard& Registry::shard_for(const std::string& digest) const {
+  return blob_shards_[std::hash<std::string>{}(digest) %
+                      blob_shards_.size()];
+}
+
 std::string Registry::put_blob(std::string data) {
+  // Digest outside any lock: hashing is the expensive part, and convoying
+  // every concurrent pusher behind it was the old single-mutex design.
   const std::string digest = oci_digest(data);
-  std::lock_guard lock(mu_);
-  blobs_.try_emplace(digest, std::move(data));
+  const std::uint64_t size = data.size();
+  BlobShard& shard = shard_for(digest);
+  {
+    std::lock_guard lock(shard.mu);
+    auto [it, inserted] = shard.blobs.try_emplace(digest, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<const std::string>(std::move(data));
+      shard.bytes += size;
+      bytes_pushed_ += size;
+    }
+  }
   ++pushes_;
   return digest;
 }
 
-std::optional<std::string> Registry::get_blob(const std::string& digest) const {
-  std::lock_guard lock(mu_);
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end()) return std::nullopt;
+ChunkedBlob Registry::put_blob_chunked(std::string_view data,
+                                       support::ThreadPool* pool) {
+  ChunkedBlob blob = chunks_.put(data, pool);
+  commit_chunked(blob);
+  return blob;
+}
+
+void Registry::commit_chunked(const ChunkedBlob& blob) {
+  {
+    std::lock_guard lock(chunked_mu_);
+    chunked_.try_emplace(blob.digest, blob);
+  }
+  bytes_pushed_ += blob.new_bytes;
+  ++pushes_;
+}
+
+void Registry::BlobWriter::flush_chunk() {
+  if (buf_.empty()) return;
+  if (pool_ != nullptr) {
+    jobs_.push_back(pool_->submit(
+        [store = &reg_->chunks_, chunk = std::move(buf_)] {
+          return store->put_chunk(chunk);
+        }));
+  } else {
+    std::promise<std::pair<std::string, std::uint64_t>> done;
+    done.set_value(reg_->chunks_.put_chunk(buf_));
+    jobs_.push_back(done.get_future());
+  }
+  buf_.clear();
+}
+
+void Registry::BlobWriter::append(std::string_view data) {
+  const std::size_t chunk_size = reg_->chunks_.chunk_size();
+  size_ += data.size();
+  while (!data.empty()) {
+    const std::size_t take =
+        std::min(data.size(), chunk_size - buf_.size());
+    buf_.append(data.substr(0, take));
+    data.remove_prefix(take);
+    if (buf_.size() == chunk_size) flush_chunk();
+  }
+}
+
+std::string Registry::BlobWriter::finish() {
+  flush_chunk();
+  ChunkedBlob blob;
+  blob.size = size_;
+  blob.chunks.reserve(jobs_.size());
+  for (auto& job : jobs_) {
+    auto [digest, added] = job.get();
+    new_bytes_ += added;
+    blob.chunks.push_back(std::move(digest));
+  }
+  jobs_.clear();
+  blob.new_bytes = new_bytes_;
+  blob.digest = ChunkStore::blob_digest(blob.chunks);
+  reg_->commit_chunked(blob);
+  finished_ = true;
+  return blob.digest;
+}
+
+std::shared_ptr<const std::string> Registry::get_blob_ref(
+    const std::string& digest) const {
+  {
+    BlobShard& shard = shard_for(digest);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.blobs.find(digest);
+    if (it != shard.blobs.end()) {
+      ++pulls_;
+      return it->second;
+    }
+  }
+  // Chunked blob: reassemble once, memoize, and share thereafter.
+  ChunkedBlob blob;
+  {
+    std::lock_guard lock(chunked_mu_);
+    if (auto it = assembled_.find(digest); it != assembled_.end()) {
+      ++pulls_;
+      return it->second;
+    }
+    auto it = chunked_.find(digest);
+    if (it == chunked_.end()) return nullptr;
+    blob = it->second;
+  }
+  auto buf = chunks_.assemble(blob);
+  if (buf == nullptr) return nullptr;
+  std::lock_guard lock(chunked_mu_);
+  auto [it, _] = assembled_.try_emplace(digest, std::move(buf));
   ++pulls_;
   return it->second;
 }
 
+std::optional<std::string> Registry::get_blob(const std::string& digest) const {
+  auto ref = get_blob_ref(digest);
+  if (ref == nullptr) return std::nullopt;
+  return *ref;
+}
+
 bool Registry::has_blob(const std::string& digest) const {
-  std::lock_guard lock(mu_);
-  return blobs_.contains(digest);
+  {
+    BlobShard& shard = shard_for(digest);
+    std::lock_guard lock(shard.mu);
+    if (shard.blobs.contains(digest)) return true;
+  }
+  std::lock_guard lock(chunked_mu_);
+  return chunked_.contains(digest);
 }
 
 void Registry::put_manifest(const Manifest& m) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(tags_mu_);
   tags_[m.reference][m.config.arch] = m;
 }
 
 std::optional<Manifest> Registry::get_manifest(const std::string& reference,
                                                const std::string& arch) const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(tags_mu_);
   auto it = tags_.find(reference);
   if (it == tags_.end()) return std::nullopt;
   auto ait = it->second.find(arch);
@@ -60,14 +176,14 @@ std::optional<Manifest> Registry::get_manifest(const std::string& reference,
 
 std::optional<Manifest> Registry::get_manifest(
     const std::string& reference) const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(tags_mu_);
   auto it = tags_.find(reference);
   if (it == tags_.end() || it->second.empty()) return std::nullopt;
   return it->second.begin()->second;
 }
 
 std::vector<std::string> Registry::references() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(tags_mu_);
   std::vector<std::string> out;
   out.reserve(tags_.size());
   for (const auto& [ref, _] : tags_) out.push_back(ref);
@@ -75,10 +191,12 @@ std::vector<std::string> Registry::references() const {
 }
 
 std::uint64_t Registry::blob_bytes() const {
-  std::lock_guard lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [_, data] : blobs_) total += data.size();
-  return total;
+  for (const auto& shard : blob_shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total + chunks_.unique_bytes();
 }
 
 }  // namespace minicon::image

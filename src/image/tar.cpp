@@ -79,6 +79,12 @@ static_assert(sizeof(Header) == kBlock, "ustar header must be 512 bytes");
 std::string tar_create(const std::vector<TarEntry>& entries) {
   std::string out;
   out.reserve(entries.size() * kBlock * 2);
+  tar_stream(entries, [&out](std::string_view piece) { out.append(piece); });
+  return out;
+}
+
+void tar_stream(const std::vector<TarEntry>& entries, const TarSink& sink) {
+  static constexpr char kZeros[2 * kBlock] = {};
   for (const auto& e : entries) {
     Header h;
     std::memset(&h, 0, sizeof h);
@@ -125,15 +131,14 @@ std::string tar_create(const std::vector<TarEntry>& entries) {
     put_octal(h.chksum, 7, sum);
     h.chksum[7] = ' ';
 
-    out.append(reinterpret_cast<const char*>(&h), kBlock);
+    sink(std::string_view(reinterpret_cast<const char*>(&h), kBlock));
     if (size > 0) {
-      out.append(e.content);
+      sink(e.content);
       const std::size_t rem = size % kBlock;
-      if (rem != 0) out.append(kBlock - rem, '\0');
+      if (rem != 0) sink(std::string_view(kZeros, kBlock - rem));
     }
   }
-  out.append(2 * kBlock, '\0');
-  return out;
+  sink(std::string_view(kZeros, 2 * kBlock));
 }
 
 Result<std::vector<TarEntry>> tar_parse(const std::string& blob) {

@@ -8,6 +8,7 @@
 // to avoid leaking site IDs (§6.1).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,14 @@ struct TarEntry {
 // Serializes entries into a ustar byte stream (with two trailing zero
 // blocks). Names longer than 100 chars use the ustar prefix field.
 std::string tar_create(const std::vector<TarEntry>& entries);
+
+// Streaming serializer: the same byte stream as tar_create, delivered to
+// `sink` in pieces (header block, content, padding) as they are produced.
+// This is the producer half of the pipelined push path: a chunking sink can
+// digest and upload early chunks while later entries still serialize,
+// instead of materializing one giant std::string first.
+using TarSink = std::function<void(std::string_view)>;
+void tar_stream(const std::vector<TarEntry>& entries, const TarSink& sink);
 
 // Parses a ustar byte stream.
 Result<std::vector<TarEntry>> tar_parse(const std::string& blob);

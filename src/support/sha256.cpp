@@ -132,6 +132,13 @@ std::string Sha256::hex_digest(std::string_view data) {
   return to_hex(d.data(), d.size());
 }
 
+std::string Sha256::hex_chain(std::initializer_list<std::string_view> parts) {
+  Sha256 h;
+  for (const auto& p : parts) h.update(p);
+  const auto d = h.finish();
+  return to_hex(d.data(), d.size());
+}
+
 std::string to_hex(const std::uint8_t* data, std::size_t len) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;

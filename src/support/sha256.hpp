@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 
@@ -27,6 +28,10 @@ class Sha256 {
   // One-shot helpers.
   static std::array<std::uint8_t, 32> digest(std::string_view data);
   static std::string hex_digest(std::string_view data);
+
+  // Digest of the parts as if concatenated, fed incrementally — same result
+  // as hex_digest(a + b + ...) without materializing the throwaway string.
+  static std::string hex_chain(std::initializer_list<std::string_view> parts);
 
  private:
   void process_block(const std::uint8_t* block);

@@ -1,0 +1,53 @@
+#include "support/threadpool.hpp"
+
+namespace minicon::support {
+
+ThreadPool::ThreadPool(std::size_t width) {
+  if (width == 0) {
+    width = std::thread::hardware_concurrency();
+    if (width == 0) width = 1;
+  }
+  workers_.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Shutdown drains: exit only once the queue is empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future, not here
+  }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace minicon::support

@@ -1,0 +1,74 @@
+// Fixed-width worker pool over one shared FIFO queue.
+//
+// The distribution pipeline (chunk digesting in the registry, compute-node
+// launch fan-out in Cluster) needs bounded concurrency: the Astra workflow
+// pulls on up to 64 nodes at once (§4.2, Fig 6), and a thread per node or
+// per chunk does not survive "millions of users" traffic. submit() returns
+// a std::future, so exceptions thrown by a task propagate to the waiter
+// instead of killing a worker. Destruction drains the queue: every task
+// submitted before shutdown runs to completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace minicon::support {
+
+class ThreadPool {
+ public:
+  // width 0 = one worker per hardware thread (at least one).
+  explicit ThreadPool(std::size_t width = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t width() const { return workers_.size(); }
+  std::size_t pending() const;
+
+  // Drains the queue (every task already submitted runs) and joins the
+  // workers. Idempotent; subsequent submit() calls throw.
+  void shutdown();
+
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+// Lazily-constructed process-wide pool for digest work. Components take an
+// optional ThreadPool*; null means this shared pool.
+ThreadPool& shared_pool();
+
+}  // namespace minicon::support

@@ -113,6 +113,40 @@ TEST(Cluster, SharedHomeVisibleAcrossNodes) {
   EXPECT_EQ(out, "shared-data\n");
 }
 
+TEST(Cluster, PooledLaunchWidthNarrowerThanNodes) {
+  // 8 nodes through a 2-worker pool: jobs queue instead of spawning a
+  // thread per node, and every node still completes with its own output.
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 8;
+  copts.launch_width = 2;
+  core::Cluster cluster(copts);
+  auto alice = cluster.user_on(cluster.login());
+  ASSERT_TRUE(alice.ok());
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  ASSERT_EQ(ch.build("job", "FROM centos:7\nRUN echo ready\n", t), 0)
+      << t.text();
+  Transcript pt;
+  ASSERT_EQ(ch.push("job", "jobs/narrow:1", pt), 0);
+
+  auto result = cluster.parallel_launch("jobs/narrow:1", {"hostname"},
+                                        /*via_shared_fs=*/true);
+  EXPECT_EQ(result.nodes_ok, 8);
+  EXPECT_EQ(result.nodes_failed, 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(result.outputs[static_cast<std::size_t>(i)].find(
+                  "astra-cn" + std::to_string(i)),
+              std::string::npos);
+  }
+
+  // A per-call width override reshapes the pool without touching options.
+  auto wide = cluster.parallel_launch("jobs/narrow:1", {"hostname"},
+                                      /*via_shared_fs=*/true, /*width=*/4);
+  EXPECT_EQ(wide.nodes_ok, 8);
+  EXPECT_EQ(wide.nodes_failed, 0);
+}
+
 TEST(Cluster, UsersAreIsolatedOnSharedFs) {
   core::ClusterOptions copts;
   copts.compute_nodes = 0;

@@ -8,8 +8,10 @@
 
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
+#include "image/chunkstore.hpp"
 #include "image/registry.hpp"
 #include "support/sha256.hpp"
+#include "support/threadpool.hpp"
 
 namespace minicon {
 namespace {
@@ -104,6 +106,103 @@ TEST(Concurrency, SharedFsLaunchStress) {
       EXPECT_NE(out.find("CentOS"), std::string::npos);
     }
   }
+}
+
+TEST(Concurrency, ChunkStoreWritersShareOverlappingChunks) {
+  // N writers push layers that overlap heavily (same base, distinct tails).
+  // Digests must be stable across interleavings and dedup exact: the base
+  // chunks are stored once no matter who wins each race.
+  image::ChunkStore store(/*chunk_size=*/1024);
+  std::string base;  // 8 distinct shared chunks
+  for (int i = 0; i < 8; ++i) base += std::string(1024, char('a' + i));
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 20;
+  support::ThreadPool pool(4);
+
+  // Reference digests computed serially, before any concurrency.
+  image::ChunkStore ref_store(1024);
+  std::vector<std::string> expected;
+  for (int t = 0; t < kWriters; ++t) {
+    expected.push_back(
+        ref_store.put(base + "tail-" + std::to_string(t)).digest);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      const std::string data = base + "tail-" + std::to_string(t);
+      for (int r = 0; r < kRounds; ++r) {
+        auto blob = store.put(data, r % 2 == 0 ? &pool : nullptr);
+        if (blob.digest != expected[static_cast<std::size_t>(t)]) {
+          ++mismatches;
+        }
+        if (blob.size != data.size()) ++mismatches;
+        auto back = store.assemble(blob);
+        if (back == nullptr || *back != data) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Dedup is exact: 8 shared base chunks + one distinct tail per writer.
+  EXPECT_EQ(store.chunk_count(), 8u + kWriters);
+  EXPECT_EQ(store.unique_bytes(),
+            base.size() + kWriters * std::string("tail-0").size());
+}
+
+TEST(Concurrency, RegistryChunkedPushPullStress) {
+  // N writers re-push overlapping chunked layers while M readers pull via
+  // get_blob_ref; counters must balance and bytes stay deduplicated.
+  image::Registry registry;
+  support::ThreadPool pool(4);
+  std::string base;  // 4 distinct full-size chunks
+  for (int i = 0; i < 4; ++i) {
+    base += std::string(image::ChunkStore::kDefaultChunkSize, char('p' + i));
+  }
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 25;
+
+  // Seed one blob per writer so readers always find something.
+  std::vector<std::string> digests;
+  for (int t = 0; t < kWriters; ++t) {
+    digests.push_back(
+        registry.put_blob_chunked(base + std::to_string(t), &pool).digest);
+  }
+  const std::uint64_t seeded_bytes = registry.blob_bytes();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string data = base + std::to_string(t);
+      for (int r = 0; r < kRounds; ++r) {
+        auto blob = registry.put_blob_chunked(data, &pool);
+        if (blob.digest != digests[static_cast<std::size_t>(t)]) ++failures;
+        if (blob.new_bytes != 0) ++failures;  // re-push transfers nothing
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const auto& digest =
+            digests[static_cast<std::size_t>((t + r) % kWriters)];
+        auto ref = registry.get_blob_ref(digest);
+        if (ref == nullptr || ref->size() != base.size() + 1) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Dedup exact: repeated pushes added no resident bytes...
+  EXPECT_EQ(registry.blob_bytes(), seeded_bytes);
+  // ...and the counters account for every operation.
+  EXPECT_EQ(registry.pushes(), static_cast<std::uint64_t>(
+                                   kWriters + kWriters * kRounds));
+  EXPECT_EQ(registry.pulls(),
+            static_cast<std::uint64_t>(kReaders * kRounds));
 }
 
 TEST(Concurrency, Sha256ThreadSafetyByValue) {

@@ -223,5 +223,99 @@ TEST(Registry, TrafficCounters) {
   EXPECT_EQ(r.blob_bytes(), 4u);
 }
 
+TEST(Registry, PullsAreZeroCopy) {
+  Registry r;
+  const std::string d = r.put_blob("shared bytes");
+  auto a = r.get_blob_ref(d);
+  auto b = r.get_blob_ref(d);
+  ASSERT_NE(a, nullptr);
+  // Both pulls reference the same stored buffer; nothing was copied.
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, "shared bytes");
+  EXPECT_EQ(r.get_blob_ref("sha256:absent"), nullptr);
+}
+
+TEST(Registry, ChunkedPushDeduplicatesReusedChunks) {
+  Registry r;
+  const std::size_t cs = ChunkStore::kDefaultChunkSize;
+  std::string base;
+  for (int i = 0; i < 4; ++i) base += std::string(cs, char('a' + i));
+
+  auto first = r.put_blob_chunked(base);
+  EXPECT_EQ(first.size, base.size());
+  EXPECT_EQ(first.new_bytes, base.size());  // everything was novel
+  EXPECT_EQ(first.chunks.size(), 4u);
+
+  // Unchanged re-push: every chunk already present, nothing transfers.
+  auto again = r.put_blob_chunked(base);
+  EXPECT_EQ(again.digest, first.digest);
+  EXPECT_EQ(again.new_bytes, 0u);
+
+  // Changed tail: only the final chunk's bytes transfer.
+  std::string changed = base;
+  changed.back() = '!';
+  auto tail = r.put_blob_chunked(changed);
+  EXPECT_NE(tail.digest, first.digest);
+  EXPECT_EQ(tail.new_bytes, cs);
+
+  // Pulls reassemble the exact original bytes, memoized across calls.
+  auto ref = r.get_blob_ref(first.digest);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(*ref, base);
+  EXPECT_EQ(r.get_blob_ref(first.digest).get(), ref.get());
+  EXPECT_TRUE(r.has_blob(first.digest));
+}
+
+TEST(Registry, BlobWriterMatchesWholeBufferChunkedPush) {
+  // The pipelined writer (appending in odd-sized pieces) must commit the
+  // same digest and chunk list as a one-shot chunked push of the same data.
+  Registry r1;
+  Registry r2;
+  std::string data;
+  const std::size_t want = 3 * ChunkStore::kDefaultChunkSize + 17;
+  for (int i = 0; data.size() < want; ++i) {
+    data += "piece-" + std::to_string(i) + ";";
+  }
+  data.resize(want);
+
+  auto whole = r1.put_blob_chunked(data);
+
+  auto w = r2.blob_writer();
+  std::string_view rest = data;
+  // Deliberately misaligned pieces to cross chunk boundaries mid-append.
+  while (!rest.empty()) {
+    const std::size_t take = std::min<std::size_t>(rest.size(), 1013);
+    w.append(rest.substr(0, take));
+    rest.remove_prefix(take);
+  }
+  const std::string digest = w.finish();
+  EXPECT_EQ(digest, whole.digest);
+  EXPECT_EQ(w.size(), data.size());
+  EXPECT_EQ(w.new_bytes(), data.size());
+  auto back = r2.get_blob_ref(digest);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(*back, data);
+}
+
+TEST(ChunkStore, MerkleDigestIsOrderSensitive) {
+  EXPECT_NE(ChunkStore::blob_digest({"sha256:a", "sha256:b"}),
+            ChunkStore::blob_digest({"sha256:b", "sha256:a"}));
+  EXPECT_NE(ChunkStore::blob_digest({}), ChunkStore::blob_digest({"sha256:a"}));
+}
+
+TEST(ChunkStore, DedupNeverCopies) {
+  ChunkStore store(8);
+  auto [d1, added1] = store.put_chunk("12345678");
+  EXPECT_EQ(added1, 8u);
+  auto before = store.chunk(d1);
+  auto [d2, added2] = store.put_chunk("12345678");
+  EXPECT_EQ(d2, d1);
+  EXPECT_EQ(added2, 0u);
+  // The stored buffer is untouched by the deduplicated put.
+  EXPECT_EQ(store.chunk(d1).get(), before.get());
+  EXPECT_EQ(store.chunk_count(), 1u);
+  EXPECT_EQ(store.unique_bytes(), 8u);
+}
+
 }  // namespace
 }  // namespace minicon::image

@@ -1,0 +1,113 @@
+// ThreadPool unit tests: result correctness independent of scheduling
+// order, exception propagation through futures, and drain-on-shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.hpp"
+
+namespace minicon::support {
+namespace {
+
+TEST(ThreadPool, WidthDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.width(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWidth) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfSchedulingOrder) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  // Each future yields its own task's value regardless of which worker ran
+  // it or in what order.
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // A thrown task must not kill its worker: the pool still runs new work.
+  EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // One worker: tasks queue behind each other, so most are still pending
+    // when the destructor runs. All of them must still execute.
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ShutdownDrainsThenRejectsSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 20; ++i) {
+    fs.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 20);  // drain semantics: nothing submitted is lost
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ManyProducersOneQueue) {
+  // submit() is itself thread-safe: several producers feed one pool.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      std::vector<std::future<void>> fs;
+      for (int i = 0; i < 100; ++i) {
+        fs.push_back(pool.submit([&sum, p, i] { sum += p * 1000 + i; }));
+      }
+      for (auto& f : fs) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  long expected = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 100; ++i) expected += p * 1000 + i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.width(), 1u);
+  EXPECT_EQ(a.submit([] { return 42; }).get(), 42);
+}
+
+}  // namespace
+}  // namespace minicon::support

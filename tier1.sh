@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 verification: configure (warnings as errors), build, run the test
-# suite. Usage: ./tier1.sh [build-dir]
+# suite, then re-run the concurrency suites under ThreadSanitizer.
+# Usage: ./tier1.sh [build-dir]
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -8,3 +9,12 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S . -DMINICON_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# TSAN pass: only the suites that exercise shared mutable state (the
+# registry/chunk-store stress tests and the thread pool itself).
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+  --target test_concurrency test_threadpool
+ctest --test-dir "$TSAN_DIR" --output-on-failure \
+  -R 'test_concurrency|test_threadpool'
