@@ -5,9 +5,14 @@
 // cache extension pays full price every time.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
+#include "buildgraph/cache.hpp"
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
 #include "core/podman.hpp"
+#include "support/threadpool.hpp"
 
 namespace {
 
@@ -82,6 +87,55 @@ void BM_ChImageRebuild(benchmark::State& state) {
   state.SetLabel(cache ? "ch-image+cache(ext)" : "ch-image (paper)");
 }
 BENCHMARK(BM_ChImageRebuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// N independent stages feeding one final stage: the widest DAG the stage
+// scheduler can exploit. Cold builds with a fresh cache each iteration, so
+// the snapshot/digest/chunk-store work (done outside the machine lock) is
+// what the pool overlaps.
+std::string fan_dockerfile(int n) {
+  std::string s;
+  for (int i = 0; i < n; ++i) {
+    s += "FROM centos:7 AS s" + std::to_string(i) + "\n";
+    s += "RUN echo payload-" + std::to_string(i) + " > /out.txt\n";
+  }
+  s += "FROM centos:7\n";
+  for (int i = 0; i < n; ++i) {
+    s += "COPY --from=s" + std::to_string(i) + " /out.txt /out" +
+         std::to_string(i) + ".txt\n";
+  }
+  return s;
+}
+
+void BM_ChImageFanOut(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  const std::string dockerfile = fan_dockerfile(stages);
+  auto pool = std::make_shared<support::ThreadPool>(4);
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    core::ChImageOptions opts;
+    opts.shared_cache = std::make_shared<buildgraph::BuildCache>();
+    opts.parallel_stages = pooled;
+    if (pooled) opts.stage_pool = pool;
+    core::ChImage ch(world().cluster.login(), world().alice,
+                     &world().cluster.registry(), opts);
+    Transcript t;
+    if (ch.build("bench-fan", dockerfile, t) != 0) {
+      state.SkipWithError("fan-out build failed");
+      return;
+    }
+    peak = ch.schedule_stats().peak_in_flight;
+  }
+  state.counters["stages"] = stages;
+  state.counters["peak_in_flight"] = static_cast<double>(peak);
+  state.SetLabel(pooled ? "pooled-stages" : "serial-stages");
+}
+BENCHMARK(BM_ChImageFanOut)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <optional>
 
 #include "support/strings.hpp"
 
@@ -87,6 +89,104 @@ std::string Dockerfile::base() const {
   return words.empty() ? "" : words.front();
 }
 
+std::size_t Dockerfile::stage_count() const {
+  std::size_t n = 0;
+  for (const auto& ins : instructions) {
+    if (ins.kind == InstrKind::kFrom) ++n;
+  }
+  return n;
+}
+
+FromClause parse_from(const std::string& text) {
+  const auto fields = split_ws(text);
+  FromClause fc;
+  if (!fields.empty()) fc.ref = fields[0];
+  if (fields.size() >= 3 && upper(fields[1]) == "AS") fc.alias = fields[2];
+  return fc;
+}
+
+std::string strip_copy_from(std::string& text) {
+  const auto fields = split_ws(text);
+  if (fields.empty() || !fields[0].starts_with("--from=")) return "";
+  const std::string ref = fields[0].substr(7);
+  std::vector<std::string> rest(fields.begin() + 1, fields.end());
+  text = join(rest, " ");
+  return ref;
+}
+
+namespace {
+
+// Stage-reference validation: stage names are declared by `FROM ... AS`, and
+// a `COPY --from` may only name (or index) a stage that is already complete.
+std::optional<DockerfileError> validate_stages(const Dockerfile& df) {
+  // First pass: stage aliases in declaration order, with duplicate and
+  // self-referential FROM checks.
+  std::vector<std::string> aliases;  // per stage; "" if unnamed
+  for (const auto& ins : df.instructions) {
+    if (ins.kind != InstrKind::kFrom) continue;
+    const FromClause fc = parse_from(ins.text);
+    if (!fc.alias.empty()) {
+      for (const auto& seen : aliases) {
+        if (seen == fc.alias) {
+          return DockerfileError{ins.line,
+                                 "duplicate build stage name: " + fc.alias};
+        }
+      }
+      // `FROM x AS x` is only legal when x names an *earlier* stage.
+      if (fc.ref == fc.alias) {
+        return DockerfileError{
+            ins.line, "self-referential build stage: " + fc.alias};
+      }
+    }
+    aliases.push_back(fc.alias);
+  }
+  // Second pass: resolve every COPY --from against the stages completed so
+  // far (Docker semantics: a stage may copy only from stages above it).
+  int stage = -1;
+  for (const auto& ins : df.instructions) {
+    if (ins.kind == InstrKind::kFrom) {
+      ++stage;
+      continue;
+    }
+    if (ins.kind != InstrKind::kCopy && ins.kind != InstrKind::kAdd) continue;
+    std::string text = ins.text;
+    const std::string ref = strip_copy_from(text);
+    if (ref.empty()) continue;
+    std::uint32_t index = 0;
+    int target = -1;
+    if (parse_u32(ref, index)) {
+      target = static_cast<int>(index) <
+                       static_cast<int>(aliases.size())
+                   ? static_cast<int>(index)
+                   : -1;
+    } else {
+      for (std::size_t i = 0; i < aliases.size(); ++i) {
+        if (aliases[i] == ref) {
+          target = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (target < 0) {
+      return DockerfileError{ins.line,
+                             "COPY --from=" + ref + ": no such build stage"};
+    }
+    if (target == stage) {
+      return DockerfileError{
+          ins.line,
+          "COPY --from=" + ref + ": stage cannot copy from itself"};
+    }
+    if (target > stage) {
+      return DockerfileError{
+          ins.line, "COPY --from=" + ref +
+                        ": forward reference to a later build stage"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::variant<Dockerfile, DockerfileError> parse_dockerfile(
     const std::string& text) {
   const auto lines = split(text, '\n');
@@ -148,6 +248,7 @@ std::variant<Dockerfile, DockerfileError> parse_dockerfile(
   if (df.instructions.empty()) {
     return DockerfileError{1, "file with no instructions"};
   }
+  if (auto err = validate_stages(df)) return *err;
   return df;
 }
 

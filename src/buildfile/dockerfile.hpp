@@ -5,6 +5,12 @@
 // backslashes continue an instruction onto the next physical line, keywords
 // are case-insensitive, and a JSON string array after the keyword selects
 // exec form (RUN/CMD/ENTRYPOINT/SHELL).
+//
+// Multi-stage files (`FROM <ref> AS <name>`, `COPY --from=<stage|index>`)
+// are validated here: duplicate stage names, self-referential stages, and
+// forward or dangling `--from` references are parse errors, so every
+// consumer (ch-image, Podman, the build graph) reports them identically
+// before any instruction executes.
 #pragma once
 
 #include <string>
@@ -46,7 +52,22 @@ struct Dockerfile {
 
   // The base image reference; the parser guarantees instruction 0 is FROM.
   std::string base() const;
+
+  // Number of build stages (FROM instructions).
+  std::size_t stage_count() const;
 };
+
+// Splits `FROM <ref> [AS <name>]` text into the reference and the optional
+// stage alias ("" if none). `AS` is case-insensitive.
+struct FromClause {
+  std::string ref;
+  std::string alias;
+};
+FromClause parse_from(const std::string& text);
+
+// If a COPY/ADD argument list starts with `--from=<ref>`, strips the flag
+// and returns the reference; otherwise returns "" and leaves text alone.
+std::string strip_copy_from(std::string& text);
 
 struct DockerfileError {
   int line = 0;

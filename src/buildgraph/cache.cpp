@@ -1,0 +1,108 @@
+#include "buildgraph/cache.hpp"
+
+#include <algorithm>
+
+#include "shell/registry.hpp"
+#include "support/sha256.hpp"
+
+namespace minicon::buildgraph {
+
+BuildCache::BuildCache(image::ChunkStore* chunks, std::uint64_t capacity_bytes)
+    : chunks_(chunks), capacity_(capacity_bytes) {
+  if (chunks_ == nullptr) {
+    owned_ = std::make_unique<image::ChunkStore>();
+    chunks_ = owned_.get();
+  }
+}
+
+std::optional<BuildCache::Hit> BuildCache::lookup(const std::string& key) {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  it->second.stamp = ++clock_;
+  const image::ChunkedBlob blob = it->second.blob;
+  image::ImageConfig config = it->second.config;
+  lock.unlock();
+  // Reassembly reads the chunk store (its own sharded locks), not ours.
+  auto data = chunks_->assemble(blob);
+  if (data == nullptr) return std::nullopt;  // chunks dropped underneath us
+  return Hit{std::move(data), std::move(config)};
+}
+
+void BuildCache::store(const std::string& key, std::string_view tar_blob,
+                       const image::ImageConfig& config) {
+  // Chunk + digest outside the lock: this is the expensive part, and it is
+  // exactly what independent stages overlap.
+  const image::ChunkedBlob blob = chunks_->put(tar_blob);
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    stats_.bytes -= it->second.blob.size;
+    it->second = Entry{blob, config, ++clock_};
+    stats_.bytes += blob.size;
+  } else {
+    entries_[key] = Entry{blob, config, ++clock_};
+    stats_.bytes += blob.size;
+  }
+  evict_locked();
+}
+
+void BuildCache::evict_locked() {
+  while (stats_.bytes > capacity_ && entries_.size() > 1) {
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.stamp < oldest->second.stamp) oldest = it;
+    }
+    stats_.bytes -= oldest->second.blob.size;
+    entries_.erase(oldest);
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+CacheStats BuildCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::string BuildCache::chain(std::string_view parent,
+                              std::string_view instruction,
+                              std::initializer_list<std::string_view> context) {
+  Sha256 h;
+  h.update(parent);
+  h.update("|");
+  h.update(instruction);
+  for (std::string_view c : context) {
+    h.update("|");
+    h.update(c);
+  }
+  const auto digest = h.finish();
+  return to_hex(digest.data(), digest.size());
+}
+
+namespace {
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace
+
+void register_cache_command(shell::CommandRegistry& reg, BuildCachePtr cache) {
+  reg.register_special("build-cache", [cache](shell::Invocation& inv) {
+    const CacheStats s = cache->stats();
+    inv.out += "   hits  misses  evicts  entries       bytes\n";
+    inv.out += pad_left(std::to_string(s.hits), 7) +
+               pad_left(std::to_string(s.misses), 8) +
+               pad_left(std::to_string(s.evictions), 8) +
+               pad_left(std::to_string(s.entries), 9) +
+               pad_left(std::to_string(s.bytes), 12) + "\n";
+    return 0;
+  });
+}
+
+}  // namespace minicon::buildgraph

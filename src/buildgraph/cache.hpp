@@ -1,0 +1,99 @@
+// Content-addressed build cache shared by every builder.
+//
+// A cache key is an incremental SHA-256 chain over (parent-state digest,
+// normalized instruction, digests of any copied context files) — the same
+// scheme ch-image's follow-on build cache uses. A cache value is a snapshot
+// tree serialized as a tar blob and stored as fixed-size chunks in an
+// image::ChunkStore. Pointing the cache at the registry's chunk store makes
+// cached layers deduplicate against registry blobs: a layer that was pushed
+// (or pulled) costs almost nothing to cache, and vice versa.
+//
+// Entries are LRU-evicted once resident serialized bytes exceed the
+// capacity. Eviction drops only the cache's entry record; the chunks remain
+// in the (shared, deduplicated) chunk store until its owner drops them.
+//
+// Thread-safe: the stage scheduler runs independent stages concurrently and
+// both builders may share one instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "image/chunkstore.hpp"
+#include "image/registry.hpp"
+
+namespace minicon::shell {
+class CommandRegistry;
+}
+
+namespace minicon::buildgraph {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;    // serialized bytes of resident entries
+  std::uint64_t entries = 0;  // resident entry count
+};
+
+class BuildCache {
+ public:
+  static constexpr std::uint64_t kDefaultCapacity = 256ull << 20;
+
+  // `chunks` is borrowed (pass &registry.chunk_store() to dedup against
+  // registry blobs); null makes the cache own a private store.
+  explicit BuildCache(image::ChunkStore* chunks = nullptr,
+                      std::uint64_t capacity_bytes = kDefaultCapacity);
+
+  struct Hit {
+    std::shared_ptr<const std::string> blob;  // serialized snapshot tar
+    image::ImageConfig config;
+  };
+
+  // Counts a hit or miss; a hit reassembles the snapshot blob and marks the
+  // entry most-recently-used.
+  std::optional<Hit> lookup(const std::string& key);
+
+  // Stores (or refreshes) an entry and evicts least-recently-used entries
+  // until resident bytes fit the capacity again. Chunk digesting happens
+  // outside the lock, so concurrent stages overlap their serialization.
+  void store(const std::string& key, std::string_view tar_blob,
+             const image::ImageConfig& config);
+
+  CacheStats stats() const;
+  std::uint64_t capacity() const { return capacity_; }
+
+  // key_{n} = SHA-256(parent | instruction | context digests...): the
+  // incremental chain every builder derives its keys with.
+  static std::string chain(std::string_view parent, std::string_view instruction,
+                           std::initializer_list<std::string_view> context = {});
+
+ private:
+  struct Entry {
+    image::ChunkedBlob blob;
+    image::ImageConfig config;
+    std::uint64_t stamp = 0;  // LRU clock
+  };
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  image::ChunkStore* chunks_;
+  std::unique_ptr<image::ChunkStore> owned_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t capacity_;
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+};
+
+using BuildCachePtr = std::shared_ptr<BuildCache>;
+
+// Registers the `build-cache` shell builtin: prints the cache's counters as
+// an `strace -c` style table (the PR 1 reporting idiom).
+void register_cache_command(shell::CommandRegistry& reg, BuildCachePtr cache);
+
+}  // namespace minicon::buildgraph

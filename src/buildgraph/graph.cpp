@@ -1,0 +1,115 @@
+#include "buildgraph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace minicon::buildgraph {
+
+std::string Stage::display() const {
+  std::string s = "stage " + std::to_string(index);
+  if (!name.empty()) s += " (" + name + ")";
+  return s;
+}
+
+namespace {
+
+// Resolves a stage reference (alias or decimal index) against the stages
+// declared so far. Returns -1 when the reference names none of them.
+int resolve_ref(const std::string& ref, const std::vector<Stage>& stages) {
+  std::uint32_t index = 0;
+  if (parse_u32(ref, index)) {
+    return index < stages.size() ? static_cast<int>(index) : -1;
+  }
+  for (const auto& s : stages) {
+    if (!s.name.empty() && s.name == ref) return s.index;
+  }
+  return -1;
+}
+
+void add_dep(Stage& s, int dep) {
+  if (dep < 0) return;
+  if (std::find(s.deps.begin(), s.deps.end(), dep) == s.deps.end()) {
+    s.deps.push_back(dep);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> BuildGraph::levels() const {
+  std::vector<int> level(stages_.size(), 0);
+  std::vector<std::vector<int>> out;
+  for (const auto& s : stages_) {
+    int l = 0;
+    for (int dep : s.deps) {
+      l = std::max(l, level[static_cast<std::size_t>(dep)] + 1);
+    }
+    level[static_cast<std::size_t>(s.index)] = l;
+    if (static_cast<std::size_t>(l) >= out.size()) {
+      out.resize(static_cast<std::size_t>(l) + 1);
+    }
+    out[static_cast<std::size_t>(l)].push_back(s.index);
+  }
+  return out;
+}
+
+std::size_t BuildGraph::max_parallel_width() const {
+  std::size_t width = 0;
+  for (const auto& level : levels()) width = std::max(width, level.size());
+  return width;
+}
+
+std::variant<BuildGraph, build::DockerfileError> lower(
+    const build::Dockerfile& df) {
+  BuildGraph g;
+  g.instruction_count_ = df.instructions.size();
+  int number = 0;
+  for (const auto& ins : df.instructions) {
+    ++number;
+    if (ins.kind == build::InstrKind::kFrom) {
+      const build::FromClause fc = build::parse_from(ins.text);
+      if (fc.ref.empty()) {
+        return build::DockerfileError{ins.line,
+                                      "FROM requires an image reference"};
+      }
+      Stage s;
+      s.index = static_cast<int>(g.stages_.size());
+      s.name = fc.alias;
+      s.from = &ins;
+      s.from_number = number;
+      s.base_stage = resolve_ref(fc.ref, g.stages_);
+      if (s.base_stage < 0) s.base_ref = fc.ref;
+      add_dep(s, s.base_stage);
+      g.stages_.push_back(std::move(s));
+      continue;
+    }
+    // parse_dockerfile guarantees the file starts with FROM.
+    Stage& cur = g.stages_.back();
+    StageInstr si;
+    si.ins = &ins;
+    si.number = number;
+    if (ins.kind == build::InstrKind::kCopy ||
+        ins.kind == build::InstrKind::kAdd) {
+      std::string text = ins.text;
+      const std::string ref = build::strip_copy_from(text);
+      si.copy_args = text;
+      if (!ref.empty()) {
+        si.copy_from = resolve_ref(ref, g.stages_);
+        if (si.copy_from < 0 || si.copy_from >= cur.index) {
+          // The parser rejects these; lowering keeps the check so the graph
+          // is safe to build from a hand-assembled Dockerfile too.
+          return build::DockerfileError{
+              ins.line, "COPY --from=" + ref + ": no such build stage"};
+        }
+        add_dep(cur, si.copy_from);
+      }
+    } else {
+      si.copy_args = ins.text;
+    }
+    cur.instrs.push_back(std::move(si));
+  }
+  for (auto& s : g.stages_) std::sort(s.deps.begin(), s.deps.end());
+  return g;
+}
+
+}  // namespace minicon::buildgraph

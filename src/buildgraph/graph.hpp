@@ -1,0 +1,72 @@
+// Multi-stage build graph: a parsed Dockerfile lowered into a DAG of build
+// stages with explicit cross-stage edges.
+//
+// Each `FROM` opens a stage; a stage depends on another stage when its FROM
+// names that stage's alias (or index) or when one of its COPY instructions
+// carries `--from=<stage>`. Dependencies always point at earlier stages (the
+// parser rejects forward and self references), so stage indices are already
+// a topological order. The scheduler uses the graph's dependency levels to
+// run independent stages concurrently; builders use the per-instruction
+// global numbering to keep transcripts identical to a linear build.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "buildfile/dockerfile.hpp"
+
+namespace minicon::buildgraph {
+
+// One instruction inside a stage. `ins` borrows from the Dockerfile, which
+// must outlive the graph (builders parse and lower in the same scope).
+struct StageInstr {
+  const build::Instruction* ins = nullptr;
+  int number = 0;         // 1-based position in the whole file (transcripts)
+  int copy_from = -1;     // source stage for COPY --from; -1 = build context
+  std::string copy_args;  // COPY/ADD argument text with any --from stripped
+};
+
+struct Stage {
+  int index = 0;
+  std::string name;      // `AS` alias; "" if unnamed
+  std::string base_ref;  // registry reference (meaningful when base_stage<0)
+  int base_stage = -1;   // stage index the FROM names; -1 = registry pull
+  int from_number = 0;   // 1-based instruction number of the FROM
+  const build::Instruction* from = nullptr;
+  std::vector<StageInstr> instrs;  // stage body, FROM excluded
+  std::vector<int> deps;           // sorted unique stage indices
+
+  // "stage 0 (builder)" / "stage 2" — for diagnostics.
+  std::string display() const;
+};
+
+class BuildGraph {
+ public:
+  const std::vector<Stage>& stages() const { return stages_; }
+  const Stage& stage(int i) const { return stages_[static_cast<std::size_t>(i)]; }
+  // The final stage: its result is the image being built.
+  int target() const { return static_cast<int>(stages_.size()) - 1; }
+  // Total instructions in the file (FROMs included), for STEP n/m prefixes.
+  std::size_t instruction_count() const { return instruction_count_; }
+
+  // Stages grouped by dependency depth: level 0 has no dependencies, level
+  // k+1 depends only on levels <= k. Stages within one level are mutually
+  // independent and may run concurrently.
+  std::vector<std::vector<int>> levels() const;
+  // Width of the widest level: the static parallelism bound.
+  std::size_t max_parallel_width() const;
+
+ private:
+  friend std::variant<BuildGraph, build::DockerfileError> lower(
+      const build::Dockerfile& df);
+  std::vector<Stage> stages_;
+  std::size_t instruction_count_ = 0;
+};
+
+// Lowers a parsed Dockerfile into the stage DAG. The parser has already
+// rejected malformed stage references; lowering only resolves them.
+std::variant<BuildGraph, build::DockerfileError> lower(
+    const build::Dockerfile& df);
+
+}  // namespace minicon::buildgraph

@@ -1,0 +1,151 @@
+#include "buildgraph/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "support/threadpool.hpp"
+
+namespace minicon::buildgraph {
+
+int RetryPolicy::backoff_ms(int next_attempt) const {
+  int delay = backoff_base_ms;
+  for (int i = 2; i < next_attempt && delay < backoff_cap_ms; ++i) delay *= 2;
+  return std::min(delay, backoff_cap_ms);
+}
+
+StageScheduler::StageScheduler(const BuildGraph& graph)
+    : StageScheduler(graph, Options{}) {}
+
+StageScheduler::StageScheduler(const BuildGraph& graph, Options opts)
+    : graph_(graph), opts_(opts) {
+  stats_.stages = graph_.stages().size();
+  const auto levels = graph_.levels();
+  stats_.levels = levels.size();
+  for (const auto& level : levels) {
+    stats_.max_width = std::max(stats_.max_width, level.size());
+  }
+}
+
+int StageScheduler::run(const StageFn& exec, Transcript& out) {
+  const auto& stages = graph_.stages();
+  const std::size_t n = stages.size();
+  std::vector<Transcript> transcripts(n);
+  std::vector<int> status(n, 0);
+  std::vector<bool> skipped(n, false);
+
+  support::ThreadPool* pool = opts_.pool;
+  if (pool == nullptr) pool = &support::shared_pool();
+  stats_.pool_width = pool->width();
+  stats_.parallel = opts_.parallel && pool->width() > 1 && n > 1;
+
+  // Dependents adjacency + indegrees (deps always point backwards).
+  std::vector<std::vector<int>> dependents(n);
+  std::vector<int> indegree(n, 0);
+  for (const auto& s : stages) {
+    indegree[static_cast<std::size_t>(s.index)] =
+        static_cast<int>(s.deps.size());
+    for (int dep : s.deps) {
+      dependents[static_cast<std::size_t>(dep)].push_back(s.index);
+    }
+  }
+
+  if (!stats_.parallel) {
+    // Serial path: stage indices are already a topological order.
+    stats_.peak_in_flight = n > 0 ? 1 : 0;
+    for (const auto& s : stages) {
+      const std::size_t i = static_cast<std::size_t>(s.index);
+      bool dep_failed = false;
+      for (int dep : s.deps) {
+        const std::size_t d = static_cast<std::size_t>(dep);
+        if (status[d] != 0 || skipped[d]) dep_failed = true;
+      }
+      if (dep_failed) {
+        skipped[i] = true;
+        transcripts[i].line("buildgraph: " + s.display() +
+                            " skipped: a dependency failed");
+        continue;
+      }
+      status[i] = exec(s, transcripts[i]);
+    }
+  } else {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = n;
+    std::size_t in_flight = 0;
+
+    // Marks `i` finished and dispatches / skips newly-ready dependents.
+    // Called with `mu` held.
+    std::function<void(std::size_t)> on_finished;
+    std::function<void(int)> dispatch = [&](int idx) {
+      ++in_flight;
+      stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight);
+      // The future is intentionally dropped: completion is tracked via
+      // `remaining`, and exec's exceptions are caught in the task.
+      (void)pool->submit([&, idx] {
+        const Stage& s = stages[static_cast<std::size_t>(idx)];
+        int rc = 0;
+        try {
+          rc = exec(s, transcripts[static_cast<std::size_t>(idx)]);
+        } catch (...) {
+          rc = 70;  // EX_SOFTWARE: the stage body must not throw
+        }
+        std::lock_guard lock(mu);
+        status[static_cast<std::size_t>(idx)] = rc;
+        --in_flight;
+        on_finished(static_cast<std::size_t>(idx));
+      });
+    };
+    on_finished = [&](std::size_t i) {
+      --remaining;
+      for (int dep_idx : dependents[i]) {
+        const std::size_t d = static_cast<std::size_t>(dep_idx);
+        if (--indegree[d] != 0) continue;
+        bool dep_failed = false;
+        for (int dep : stages[d].deps) {
+          const std::size_t k = static_cast<std::size_t>(dep);
+          if (status[k] != 0 || skipped[k]) dep_failed = true;
+        }
+        if (dep_failed) {
+          skipped[d] = true;
+          transcripts[d].line("buildgraph: " + stages[d].display() +
+                              " skipped: a dependency failed");
+          on_finished(d);  // cascades to its dependents
+        } else {
+          dispatch(dep_idx);
+        }
+      }
+      if (remaining == 0) done_cv.notify_all();
+    };
+
+    {
+      std::unique_lock lock(mu);
+      std::vector<int> ready;
+      for (const auto& s : stages) {
+        if (indegree[static_cast<std::size_t>(s.index)] == 0) {
+          ready.push_back(s.index);
+        }
+      }
+      for (int idx : ready) dispatch(idx);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+    }
+  }
+
+  // Deterministic merge: stage order, not completion order.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& line : transcripts[i].lines()) out.line(line);
+  }
+  if (n > 1) {
+    out.line("buildgraph: " + std::to_string(n) + " stages in " +
+             std::to_string(stats_.levels) + " levels (max " +
+             std::to_string(stats_.max_width) + " concurrent)");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] != 0) return status[i];
+    if (skipped[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace minicon::buildgraph

@@ -1,0 +1,77 @@
+// Parallel stage scheduler for the build graph.
+//
+// Independent stages (disjoint dependency chains) run concurrently as tasks
+// on a support::ThreadPool; a stage is dispatched the moment its last
+// dependency completes. Each stage writes its own Transcript, and after the
+// run the per-stage transcripts are merged in stage order — so a parallel
+// build's transcript is byte-identical to a serial build's, whatever order
+// the pool actually executed in. A failed stage fails the build; stages
+// depending on it are skipped with a diagnostic, while already-runnable
+// stages still finish (their work is valid and cacheable).
+//
+// The builders' stage bodies serialize their access to the simulated
+// machine (one kernel, one host filesystem) behind the builder's machine
+// mutex; what overlaps across stages is everything outside it — snapshot
+// chunking/digesting for the build cache and retry backoff waits.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "buildgraph/graph.hpp"
+#include "support/transcript.hpp"
+
+namespace minicon::support {
+class ThreadPool;
+}
+
+namespace minicon::buildgraph {
+
+// Bounded exponential backoff for RUN instructions that fail transiently
+// (e.g. under kernel::FaultInjectSyscalls). max_attempts=1 disables retry.
+struct RetryPolicy {
+  int max_attempts = 1;
+  int backoff_base_ms = 1;
+  int backoff_cap_ms = 50;
+
+  // Delay before attempt `next_attempt` (2-based): base * 2^(n-2), capped.
+  int backoff_ms(int next_attempt) const;
+};
+
+struct ScheduleStats {
+  std::size_t stages = 0;
+  std::size_t levels = 0;
+  std::size_t max_width = 0;       // widest dependency level (static bound)
+  std::size_t peak_in_flight = 0;  // max stages dispatched-but-unfinished
+  std::size_t pool_width = 0;
+  bool parallel = false;
+};
+
+class StageScheduler {
+ public:
+  struct Options {
+    support::ThreadPool* pool = nullptr;  // null = support::shared_pool()
+    bool parallel = true;
+  };
+
+  StageScheduler(const BuildGraph& graph, Options opts);
+  explicit StageScheduler(const BuildGraph& graph);
+
+  // Runs one stage; must tolerate concurrent invocations for independent
+  // stages. Returns the stage's exit status (0 = success).
+  using StageFn = std::function<int(const Stage&, Transcript&)>;
+
+  // Runs every stage honoring dependencies, merges the per-stage
+  // transcripts into `out` in stage order, and returns the first (by stage
+  // index) non-zero status, or 0.
+  int run(const StageFn& exec, Transcript& out);
+
+  const ScheduleStats& stats() const { return stats_; }
+
+ private:
+  const BuildGraph& graph_;
+  Options opts_;
+  ScheduleStats stats_;
+};
+
+}  // namespace minicon::buildgraph

@@ -1,6 +1,8 @@
 #include "core/chimage.hpp"
 
+#include <chrono>
 #include <regex>
+#include <thread>
 
 #include "buildfile/dockerfile.hpp"
 #include "image/tar.hpp"
@@ -70,6 +72,14 @@ ChImage::ChImage(Machine& m, kernel::Process invoker,
       embedded_db_(std::make_shared<fakeroot::FakeDb>()) {
   if (options_.storage_dir.empty()) {
     options_.storage_dir = invoker_.env_get("HOME") + "/.local/share/ch-image";
+  }
+  if (options_.shared_cache != nullptr) {
+    cache_ = options_.shared_cache;
+    options_.build_cache = true;
+  } else if (options_.build_cache) {
+    // A private cache dedups its snapshot chunks against registry blobs.
+    cache_ = std::make_shared<buildgraph::BuildCache>(
+        registry_ != nullptr ? &registry_->chunk_store() : nullptr);
   }
   if (options_.trace_syscalls || options_.syscall_stats != nullptr) {
     stats_ = options_.syscall_stats != nullptr
@@ -189,24 +199,18 @@ int ChImage::run_in_container(const std::string& image_dir,
   return m_.shell().run_argv(*container, argv, out, err);
 }
 
-VoidResult ChImage::snapshot_to_cache(const std::string& key,
-                                      const std::string& image_dir,
-                                      const image::ImageConfig& cfg) {
-  MINICON_TRY_ASSIGN(loc, invoker_.sys->resolve(invoker_, image_dir, true));
-  auto snapshot = std::make_shared<vfs::MemFs>(0755);
-  vfs::OpCtx ctx;
-  MINICON_TRY(vfs::copy_tree(*loc.mnt->fs, loc.ino, *snapshot,
-                             snapshot->root(), ctx));
-  cache_[key] = {std::move(snapshot), cfg};
+VoidResult ChImage::snapshot_tree(const std::string& dir,
+                                  std::string& out_blob) {
+  MINICON_TRY_ASSIGN(loc, invoker_.sys->resolve(invoker_, dir, true));
+  MINICON_TRY_ASSIGN(entries, image::tree_to_entries(*loc.mnt->fs, loc.ino));
+  out_blob = image::tar_create(entries);
   return {};
 }
 
-bool ChImage::restore_from_cache(const std::string& key,
-                                 const std::string& image_dir,
-                                 image::ImageConfig& cfg) {
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
-  auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
+bool ChImage::restore_tree(const std::string& dir, const std::string& blob) {
+  auto entries = image::tar_parse(blob);
+  if (!entries.ok()) return false;
+  auto loc = invoker_.sys->resolve(invoker_, dir, true);
   if (!loc.ok()) return false;
   vfs::OpCtx ctx;
   ctx.host_uid = invoker_.cred.euid;
@@ -215,31 +219,25 @@ bool ChImage::restore_from_cache(const std::string& key,
   if (!vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx).ok()) {
     return false;
   }
-  if (!vfs::copy_tree(*it->second.snapshot, it->second.snapshot->root(),
-                      *loc->mnt->fs, loc->ino, ctx)
-           .ok()) {
-    return false;
-  }
-  cfg = it->second.config;
-  return true;
+  return image::entries_to_tree(*entries, *loc->mnt->fs, loc->ino, ctx).ok();
 }
 
-int ChImage::pull(const std::string& ref, const std::string& tag,
-                  Transcript& t) {
+Result<image::ImageConfig> ChImage::pull_into(const std::string& ref,
+                                              const std::string& dir,
+                                              Transcript& t) {
   auto manifest = registry_->get_manifest(ref, m_.arch());
   if (!manifest) {
     manifest = registry_->get_manifest(ref);
     if (!manifest) {
       t.line("error: pull failed: manifest for " + ref + " not found");
-      return 1;
+      return Err::enoent;
     }
     t.line("warning: no " + m_.arch() + " manifest for " + ref + "; using " +
            manifest->config.arch);
   }
-  const std::string dir = storage_path(tag);
   if (auto rc = ensure_dir(dir); !rc.ok()) {
     t.line("error: cannot create storage directory " + dir);
-    return 1;
+    return rc.error();
   }
   std::size_t skipped_devices = 0;
   for (const auto& digest : manifest->layers) {
@@ -247,24 +245,31 @@ int ChImage::pull(const std::string& ref, const std::string& tag,
     auto blob = registry_->get_blob_ref(digest);
     if (blob == nullptr) {
       t.line("error: pull failed: missing blob " + digest);
-      return 1;
+      return Err::enoent;
     }
     auto entries = image::tar_parse(*blob);
     if (!entries.ok()) {
       t.line("error: pull failed: corrupt layer " + digest);
-      return 1;
+      return Err::eio;
     }
     if (auto rc = extract_as_user(*entries, dir, &skipped_devices); !rc.ok()) {
       t.line("error: pull failed while extracting: " +
              std::string(err_message(rc.error())));
-      return 1;
+      return rc.error();
     }
   }
   if (skipped_devices > 0) {
     t.line("warning: ignored " + std::to_string(skipped_devices) +
            " device file(s) in " + ref);
   }
-  configs_[tag] = manifest->config;
+  return manifest->config;
+}
+
+int ChImage::pull(const std::string& ref, const std::string& tag,
+                  Transcript& t) {
+  auto cfg = pull_into(ref, storage_path(tag), t);
+  if (!cfg.ok()) return 1;
+  configs_[tag] = *cfg;
   t.line("pulled image: " + ref + " -> " + tag);
   return 0;
 }
@@ -278,106 +283,120 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
     return 1;
   }
   const auto& df = std::get<build::Dockerfile>(parsed);
-  const std::string image_dir = storage_path(tag);
+  auto lowered = buildgraph::lower(df);
+  if (const auto* err = std::get_if<build::DockerfileError>(&lowered)) {
+    t.line("error: Dockerfile line " + std::to_string(err->line) + ": " +
+           err->message);
+    return 1;
+  }
+  const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
-  const ForceConfig* force_cfg = nullptr;
-  bool fakeroot_inited = false;
+  std::vector<StageBuild> sb(g.stages().size());
+  buildgraph::StageScheduler::Options sopts;
+  sopts.pool =
+      options_.stage_pool != nullptr ? options_.stage_pool.get() : nullptr;
+  sopts.parallel = options_.parallel_stages;
+  buildgraph::StageScheduler sched(g, sopts);
+  const int rc = sched.run(
+      [&](const buildgraph::Stage& s, Transcript& st) {
+        return build_stage(tag, g, s, sb, st);
+      },
+      t);
+  sched_stats_ = sched.stats();
+  if (rc != 0) return rc;
+
+  const StageBuild& target = sb[static_cast<std::size_t>(g.target())];
+  configs_[tag] = target.cfg;
   int modified_runs = 0;
   bool any_keyword_match = false;
-  // Multi-stage builds: completed stages are snapshotted by name/index so a
-  // later FROM or COPY --from can reference them.
-  std::map<std::string, std::shared_ptr<vfs::MemFs>> stages;
-  int stage_index = -1;
-  std::string stage_aliases_current;
-  auto snapshot_stage = [&](const std::string& name) {
-    auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
-    if (!loc.ok()) return;
-    auto snap = std::make_shared<vfs::MemFs>(0755);
-    vfs::OpCtx ctx;
-    if (vfs::copy_tree(*loc->mnt->fs, loc->ino, *snap, snap->root(), ctx)
-            .ok()) {
-      stages[name] = snap;
+  const ForceConfig* hint_cfg = nullptr;
+  for (const auto& s : sb) {
+    modified_runs += s.modified_runs;
+    if (s.any_keyword_match) {
+      any_keyword_match = true;
+      if (s.force_cfg != nullptr) hint_cfg = s.force_cfg;
     }
-  };
-  image::ImageConfig cfg;
-  // ARG values exist only during the build (Docker semantics); they overlay
-  // the environment for RUN instructions.
-  std::map<std::string, std::string> build_args;
-  std::string cache_key = "ch-image";
-  int idx = 0;
+  }
+  if (options_.force) {
+    t.line("--force: init OK & modified " + std::to_string(modified_runs) +
+           " RUN instructions");
+  } else if (any_keyword_match && hint_cfg != nullptr) {
+    t.line("hint: --force available (" + hint_cfg->name + ": " +
+           hint_cfg->description + ")");
+  }
+  t.line("grown in " + std::to_string(g.instruction_count()) +
+         " instructions: " + tag);
+  return 0;
+}
 
-  for (const auto& ins : df.instructions) {
-    ++idx;
-    const std::string idx_str = std::to_string(idx);
+int ChImage::build_stage(const std::string& tag,
+                         const buildgraph::BuildGraph& g,
+                         const buildgraph::Stage& s,
+                         std::vector<StageBuild>& sb, Transcript& t) {
+  std::unique_lock lock(machine_mu_);
+  StageBuild& o = sb[static_cast<std::size_t>(s.index)];
+  // The final stage *is* the image; intermediates get side directories.
+  o.dir = s.index == g.target()
+              ? storage_path(tag)
+              : storage_path(tag) + "+stage" + std::to_string(s.index);
+  t.line(std::to_string(s.from_number) + " FROM " + s.from->text);
+  if (auto rc = ensure_dir(o.dir); !rc.ok()) {
+    t.line("error: cannot create storage directory " + o.dir);
+    return 1;
+  }
+  // Start from a clean stage directory.
+  if (auto loc = invoker_.sys->resolve(invoker_, o.dir, true); loc.ok()) {
+    vfs::OpCtx ctx;
+    ctx.host_uid = invoker_.cred.euid;
+    ctx.host_gid = invoker_.cred.egid;
+    (void)vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx);
+  }
+  if (s.base_stage >= 0) {
+    // Base is an earlier stage's tree: copy it store-side.
+    const StageBuild& dep = sb[static_cast<std::size_t>(s.base_stage)];
+    auto src = invoker_.sys->resolve(invoker_, dep.dir, true);
+    auto dst = invoker_.sys->resolve(invoker_, o.dir, true);
+    vfs::OpCtx ctx;
+    if (!src.ok() || !dst.ok() ||
+        !vfs::copy_tree(*src->mnt->fs, src->ino, *dst->mnt->fs, dst->ino, ctx)
+             .ok()) {
+      t.line("error: cannot materialize " + g.stage(s.base_stage).display());
+      return 1;
+    }
+    o.cfg = dep.cfg;
+    o.key = buildgraph::BuildCache::chain(dep.key, "FROM-STAGE");
+  } else {
+    Transcript pull_t;
+    auto cfg = pull_into(s.base_ref, o.dir, pull_t);
+    if (!cfg.ok()) {
+      for (const auto& l : pull_t.lines()) t.line(l);
+      return 1;
+    }
+    o.cfg = *cfg;
+    o.key = buildgraph::BuildCache::chain("ch-image", "FROM|" + s.from->text,
+                                          {o.cfg.arch});
+  }
+  o.force_cfg = detect_config(o.dir);
+  if (options_.force) {
+    if (o.force_cfg != nullptr) {
+      t.line("will use --force: " + o.force_cfg->name + ": " +
+             o.force_cfg->description);
+    } else {
+      t.line("warning: --force requested but no config matched");
+    }
+  }
+
+  bool fakeroot_inited = false;
+  // ARG values exist only during the build and are stage-scoped (Docker
+  // semantics); they overlay the environment for RUN instructions.
+  std::map<std::string, std::string> build_args;
+
+  for (const auto& si : s.instrs) {
+    const build::Instruction& ins = *si.ins;
+    const std::string idx_str = std::to_string(si.number);
     switch (ins.kind) {
-      case build::InstrKind::kFrom: {
-        t.line(idx_str + " FROM " + ins.text);
-        const auto fields = split_ws(ins.text);
-        if (fields.empty()) {
-          t.line("error: FROM requires an image reference");
-          return 1;
-        }
-        // Multi-stage: snapshot the finished previous stage before starting
-        // a new one; FROM may name an earlier stage instead of a registry
-        // reference.
-        if (stage_index >= 0) {
-          snapshot_stage("stage-" + std::to_string(stage_index));
-          if (!stage_aliases_current.empty()) {
-            snapshot_stage(stage_aliases_current);
-          }
-        }
-        ++stage_index;
-        std::string stage_name;
-        if (fields.size() >= 3 && (fields[1] == "AS" || fields[1] == "as")) {
-          stage_name = fields[2];
-        }
-        // Start from a clean image directory.
-        if (auto rc = ensure_dir(image_dir); !rc.ok()) {
-          t.line("error: cannot create storage directory " + image_dir);
-          return 1;
-        }
-        if (auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
-            loc.ok()) {
-          vfs::OpCtx ctx;
-          ctx.host_uid = invoker_.cred.euid;
-          ctx.host_gid = invoker_.cred.egid;
-          (void)vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx);
-        }
-        if (auto stage_it = stages.find(fields[0]); stage_it != stages.end()) {
-          // Base is an earlier stage's tree.
-          auto loc = invoker_.sys->resolve(invoker_, image_dir, true);
-          vfs::OpCtx ctx;
-          if (!loc.ok() ||
-              !vfs::copy_tree(*stage_it->second, stage_it->second->root(),
-                              *loc->mnt->fs, loc->ino, ctx)
-                   .ok()) {
-            t.line("error: cannot materialize stage " + fields[0]);
-            return 1;
-          }
-        } else {
-          Transcript pull_t;
-          if (pull(fields[0], tag, pull_t) != 0) {
-            for (const auto& l : pull_t.lines()) t.line(l);
-            return 1;
-          }
-        }
-        // The AS name takes effect when this stage completes (next FROM);
-        // record it for the snapshot.
-        stage_aliases_current = stage_name;
-        cfg = configs_[tag];
-        cache_key =
-            Sha256::hex_chain({cache_key, "|FROM|", ins.text, "|", cfg.arch});
-        force_cfg = detect_config(image_dir);
-        if (options_.force) {
-          if (force_cfg != nullptr) {
-            t.line("will use --force: " + force_cfg->name + ": " +
-                   force_cfg->description);
-          } else {
-            t.line("warning: --force requested but no config matched");
-          }
-        }
-        break;
-      }
+      case build::InstrKind::kFrom:
+        break;  // unreachable: FROM opens a stage, never appears in a body
       case build::InstrKind::kRun: {
         std::vector<std::string> argv =
             ins.is_exec_form()
@@ -385,36 +404,39 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
                 : std::vector<std::string>{"/bin/sh", "-c", ins.text};
         t.line(idx_str + " RUN " + format_argv(argv));
 
-        cache_key =
-            Sha256::hex_chain({cache_key, "|RUN|", join(argv, "\x1f")});
-        if (options_.build_cache &&
-            restore_from_cache(cache_key, image_dir, cfg)) {
-          ++cache_hits_;
-          t.line("cached: using existing layer for step " + idx_str);
-          break;
+        o.key = buildgraph::BuildCache::chain(o.key,
+                                              "RUN|" + join(argv, "\x1f"));
+        if (cache_ != nullptr) {
+          lock.unlock();  // lookup reassembles chunks; no machine involved
+          auto hit = cache_->lookup(o.key);
+          lock.lock();
+          if (hit && restore_tree(o.dir, *hit->blob)) {
+            o.cfg = hit->config;
+            t.line("cached: using existing layer for step " + idx_str);
+            break;
+          }
         }
-        if (options_.build_cache) ++cache_misses_;
 
         const bool keyword_hit = [&] {
-          if (force_cfg == nullptr) return false;
+          if (o.force_cfg == nullptr) return false;
           const std::string& cmd = ins.is_exec_form() ? argv.back() : ins.text;
-          for (const auto& kw : force_cfg->run_keywords) {
+          for (const auto& kw : o.force_cfg->run_keywords) {
             if (contains(cmd, kw)) return true;
           }
           return false;
         }();
-        any_keyword_match = any_keyword_match || keyword_hit;
+        o.any_keyword_match = o.any_keyword_match || keyword_hit;
 
         if (keyword_hit && options_.force && !options_.embedded_fakeroot &&
             !options_.kernel_assisted_maps) {
           if (!fakeroot_inited) {
             int step_no = 0;
-            for (const auto& step : force_cfg->init_steps) {
+            for (const auto& step : o.force_cfg->init_steps) {
               ++step_no;
               t.line("workarounds: init step " + std::to_string(step_no) +
                      ": checking: $ " + step.check_cmd);
               std::string out, err;
-              auto container = enter(image_dir, cfg);
+              auto container = enter(o.dir, o.cfg);
               if (!container.ok()) {
                 t.line("error: cannot enter container");
                 return 1;
@@ -426,7 +448,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
                      ": $ " + step.apply_cmd);
               out.clear();
               err.clear();
-              auto apply_container = enter(image_dir, cfg);
+              auto apply_container = enter(o.dir, o.cfg);
               if (!apply_container.ok()) {
                 t.line("error: cannot enter container");
                 return 1;
@@ -445,34 +467,52 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
           }
           argv.insert(argv.begin(), "fakeroot");
           t.line("workarounds: RUN: new command: " + format_argv(argv));
-          ++modified_runs;
+          ++o.modified_runs;
         }
 
-        std::string out, err;
-        image::ImageConfig run_cfg = cfg;
+        image::ImageConfig run_cfg = o.cfg;
         for (const auto& [k, v] : build_args) run_cfg.env[k] = v;
-        const kernel::SyscallStats::Totals before =
-            stats_ != nullptr ? stats_->totals() : kernel::SyscallStats::Totals{};
-        const int status = run_in_container(image_dir, run_cfg, argv, out, err);
-        t.block(out);
-        t.block(err);
+        int status = 0;
         std::string errno_sum;
-        if (stats_ != nullptr) {
-          const auto after = stats_->totals();
-          errno_sum = kernel::SyscallStats::errno_summary(before, after);
-          std::string line = "syscalls: instruction " + idx_str + ": " +
-                             std::to_string(after.calls - before.calls) +
-                             " calls, " +
-                             std::to_string(after.errors - before.errors) +
-                             " errors";
-          if (!errno_sum.empty()) line += " (" + errno_sum + ")";
-          line += ", depth " + std::to_string(last_depth_);
-          t.line(line);
+        for (int attempt = 1;; ++attempt) {
+          std::string out, err;
+          const kernel::SyscallStats::Totals before =
+              stats_ != nullptr ? stats_->totals()
+                                : kernel::SyscallStats::Totals{};
+          status = run_in_container(o.dir, run_cfg, argv, out, err);
+          t.block(out);
+          t.block(err);
+          errno_sum.clear();
+          if (stats_ != nullptr) {
+            const auto after = stats_->totals();
+            errno_sum = kernel::SyscallStats::errno_summary(before, after);
+            std::string line = "syscalls: instruction " + idx_str + ": " +
+                               std::to_string(after.calls - before.calls) +
+                               " calls, " +
+                               std::to_string(after.errors - before.errors) +
+                               " errors";
+            if (!errno_sum.empty()) line += " (" + errno_sum + ")";
+            line += ", depth " + std::to_string(last_depth_);
+            t.line(line);
+          }
+          if (status == 0 || attempt >= options_.run_retry.max_attempts) {
+            break;
+          }
+          const int delay = options_.run_retry.backoff_ms(attempt + 1);
+          t.line("retry: RUN instruction " + idx_str + " exited " +
+                 std::to_string(status) + "; attempt " +
+                 std::to_string(attempt + 1) + "/" +
+                 std::to_string(options_.run_retry.max_attempts) + " in " +
+                 std::to_string(delay) + " ms");
+          // Back off without holding the machine: other stages keep going.
+          lock.unlock();
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          lock.lock();
         }
         if (status != 0) {
-          if (!options_.force && force_cfg != nullptr && keyword_hit) {
+          if (!options_.force && o.force_cfg != nullptr && keyword_hit) {
             t.line("hint: build failed; --force might fix it (config " +
-                   force_cfg->name + ": " + force_cfg->description + ")");
+                   o.force_cfg->name + ": " + o.force_cfg->description + ")");
           }
           if (stats_ != nullptr) {
             t.line("error: RUN instruction " + idx_str +
@@ -485,15 +525,22 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
                  std::to_string(status));
           return status;
         }
-        if (options_.build_cache) {
-          (void)snapshot_to_cache(cache_key, image_dir, cfg);
+        if (cache_ != nullptr) {
+          std::string blob;
+          if (snapshot_tree(o.dir, blob).ok()) {
+            // Chunking + digesting happens outside the machine lock; this
+            // is the work independent stages genuinely overlap.
+            lock.unlock();
+            cache_->store(o.key, blob, o.cfg);
+            lock.lock();
+          }
         }
         break;
       }
       case build::InstrKind::kEnv: {
         t.line(idx_str + " ENV " + ins.text);
-        for (const auto& [k, v] : build::parse_kv(ins.text)) cfg.env[k] = v;
-        cache_key = Sha256::hex_chain({cache_key, "|ENV|", ins.text});
+        for (const auto& [k, v] : build::parse_kv(ins.text)) o.cfg.env[k] = v;
+        o.key = buildgraph::BuildCache::chain(o.key, "ENV|" + ins.text);
         break;
       }
       case build::InstrKind::kArg: {
@@ -504,40 +551,31 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         } else {
           build_args[ins.text];  // declared, empty default
         }
-        cache_key = Sha256::hex_chain({cache_key, "|ARG|", ins.text});
+        o.key = buildgraph::BuildCache::chain(o.key, "ARG|" + ins.text);
         break;
       }
       case build::InstrKind::kLabel: {
         t.line(idx_str + " LABEL " + ins.text);
-        for (const auto& [k, v] : build::parse_kv(ins.text)) cfg.labels[k] = v;
+        for (const auto& [k, v] : build::parse_kv(ins.text)) {
+          o.cfg.labels[k] = v;
+        }
         break;
       }
       case build::InstrKind::kWorkdir: {
         t.line(idx_str + " WORKDIR " + ins.text);
-        cfg.workdir = ins.text;
-        auto container = enter(image_dir, cfg);
+        o.cfg.workdir = ins.text;
+        auto container = enter(o.dir, o.cfg);
         if (container.ok()) {
           std::string out, err;
           (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
         }
-        cache_key = Sha256::hex_chain({cache_key, "|WORKDIR|", ins.text});
+        o.key = buildgraph::BuildCache::chain(o.key, "WORKDIR|" + ins.text);
         break;
       }
       case build::InstrKind::kCopy:
       case build::InstrKind::kAdd: {
         t.line(idx_str + " COPY " + ins.text);
-        auto fields = split_ws(ins.text);
-        std::shared_ptr<vfs::MemFs> from_stage;
-        if (!fields.empty() && fields[0].starts_with("--from=")) {
-          const std::string ref = fields[0].substr(7);
-          fields.erase(fields.begin());
-          auto it = stages.find(ref);
-          if (it == stages.end() || it->second == nullptr) {
-            t.line("error: COPY --from=" + ref + ": no such build stage");
-            return 1;
-          }
-          from_stage = it->second;
-        }
+        const auto fields = split_ws(si.copy_args);
         if (fields.size() < 2) {
           t.line("error: COPY requires source and destination");
           return 1;
@@ -545,19 +583,12 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
         const std::string& src = fields[0];
         std::string dst = fields.back();
         Result<std::string> data = Err::enoent;
-        if (from_stage != nullptr) {
-          // Resolve within the snapshotted stage tree.
-          vfs::InodeNum cur = from_stage->root();
-          bool found = true;
-          for (const auto& comp : path_components(src)) {
-            auto child = from_stage->lookup(cur, comp);
-            if (!child.ok()) {
-              found = false;
-              break;
-            }
-            cur = *child;
-          }
-          if (found) data = from_stage->read(cur);
+        if (si.copy_from >= 0) {
+          // Source is an earlier stage's tree (already built: the graph
+          // recorded the dependency and the scheduler ordered it).
+          const StageBuild& from = sb[static_cast<std::size_t>(si.copy_from)];
+          data = invoker_.sys->read_file(invoker_,
+                                         from.dir + path_normalize("/" + src));
         } else {
           data = invoker_.sys->read_file(invoker_, src);
         }
@@ -567,7 +598,7 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
           return 1;
         }
         if (dst.ends_with("/")) dst += path_basename(src);
-        const std::string target = image_dir + path_normalize("/" + dst);
+        const std::string target = o.dir + path_normalize("/" + dst);
         (void)ensure_dir(path_dirname(target));
         if (auto rc =
                 invoker_.sys->write_file(invoker_, target, *data, false, 0644);
@@ -575,20 +606,20 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
           t.line("error: COPY: cannot write " + dst);
           return 1;
         }
-        cache_key = Sha256::hex_chain(
-            {cache_key, "|COPY|", ins.text, "|", Sha256::hex_digest(*data)});
+        o.key = buildgraph::BuildCache::chain(o.key, "COPY|" + ins.text,
+                                              {Sha256::hex_digest(*data)});
         break;
       }
       case build::InstrKind::kCmd: {
         t.line(idx_str + " CMD " + ins.text);
-        cfg.cmd = ins.is_exec_form()
-                      ? ins.exec_form
-                      : std::vector<std::string>{"/bin/sh", "-c", ins.text};
+        o.cfg.cmd = ins.is_exec_form()
+                        ? ins.exec_form
+                        : std::vector<std::string>{"/bin/sh", "-c", ins.text};
         break;
       }
       case build::InstrKind::kEntrypoint: {
         t.line(idx_str + " ENTRYPOINT " + ins.text);
-        cfg.entrypoint =
+        o.cfg.entrypoint =
             ins.is_exec_form()
                 ? ins.exec_form
                 : std::vector<std::string>{"/bin/sh", "-c", ins.text};
@@ -608,15 +639,6 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
       }
     }
   }
-  configs_[tag] = cfg;
-  if (options_.force) {
-    t.line("--force: init OK & modified " + std::to_string(modified_runs) +
-           " RUN instructions");
-  } else if (any_keyword_match && force_cfg != nullptr) {
-    t.line("hint: --force available (" + force_cfg->name + ": " +
-           force_cfg->description + ")");
-  }
-  t.line("grown in " + std::to_string(idx) + " instructions: " + tag);
   return 0;
 }
 

@@ -7,14 +7,24 @@
 // changes to the build, (3) modify only if the user requests it, otherwise
 // say what *could* be modified.
 //
-// §6.2.2 extensions are implemented behind options: a per-instruction build
-// cache, an embedded libfakeroot (no wrapper installed into the image), and
+// §6.2.2 extensions are implemented behind options: a content-addressed
+// build cache (buildgraph::BuildCache, shareable with other builders), an
+// embedded libfakeroot (no wrapper installed into the image), and
 // ownership-preserving push driven by the fakeroot lies database.
+//
+// Multi-stage Dockerfiles are lowered to a buildgraph::BuildGraph and the
+// stages scheduled by buildgraph::StageScheduler: independent stages build
+// concurrently, each into its own storage directory, serializing access to
+// the simulated machine behind a per-builder mutex.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
+#include "buildgraph/cache.hpp"
+#include "buildgraph/graph.hpp"
+#include "buildgraph/scheduler.hpp"
 #include "core/machine.hpp"
 #include "core/runtime.hpp"
 #include "fakeroot/fakedb.hpp"
@@ -58,6 +68,21 @@ struct ChImageOptions {
   bool kernel_assisted_maps = false;
   std::string storage_dir;  // default $HOME/.local/share/ch-image
 
+  // Build cache shared with other builders (implies build_cache). When null
+  // and build_cache is set, the builder creates a private cache backed by
+  // the registry's chunk store.
+  buildgraph::BuildCachePtr shared_cache;
+
+  // Multi-stage scheduling: independent stages run concurrently on
+  // stage_pool (null = support::shared_pool()). parallel_stages=false
+  // forces serial execution; transcripts are identical either way.
+  bool parallel_stages = true;
+  std::shared_ptr<support::ThreadPool> stage_pool;
+
+  // Retry for RUN instructions that fail transiently (fault injection);
+  // default is one attempt, i.e. no retry.
+  buildgraph::RetryPolicy run_retry;
+
   // Worker pool for the pipelined push path (chunk digest + upload overlap
   // with tar serialization). Null selects the process-wide shared pool.
   std::shared_ptr<support::ThreadPool> digest_pool;
@@ -100,8 +125,23 @@ class ChImage {
 
   const image::ImageConfig* config(const std::string& tag) const;
 
-  std::size_t cache_hits() const { return cache_hits_; }
-  std::size_t cache_misses() const { return cache_misses_; }
+  // Build-cache counters (zero when caching is off). With a shared cache
+  // the counters aggregate every builder attached to it.
+  std::size_t cache_hits() const {
+    return cache_ != nullptr ? cache_->stats().hits : 0;
+  }
+  std::size_t cache_misses() const {
+    return cache_ != nullptr ? cache_->stats().misses : 0;
+  }
+  buildgraph::CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : buildgraph::CacheStats{};
+  }
+  const buildgraph::BuildCachePtr& build_cache() const { return cache_; }
+  // Stage-scheduling stats for the most recent build.
+  const buildgraph::ScheduleStats& schedule_stats() const {
+    return sched_stats_;
+  }
+
   const fakeroot::FakeDbPtr& embedded_db() const { return embedded_db_; }
 
   // Aggregate syscall counters across every container entered (null unless
@@ -110,9 +150,16 @@ class ChImage {
   int last_interposition_depth() const { return last_depth_; }
 
  private:
-  struct CacheEntry {
-    std::shared_ptr<vfs::MemFs> snapshot;
-    image::ImageConfig config;
+  // Per-stage build state, indexed by stage index. Written only by the
+  // stage's own executor; read by dependent stages (after the scheduler's
+  // happens-before edge).
+  struct StageBuild {
+    std::string dir;  // host storage directory holding the stage's tree
+    image::ImageConfig cfg;
+    std::string key;  // build-cache chain after the last instruction
+    const ForceConfig* force_cfg = nullptr;
+    int modified_runs = 0;
+    bool any_keyword_match = false;
   };
 
   std::string storage_path(const std::string& tag) const;
@@ -128,23 +175,30 @@ class ChImage {
                        const image::ImageConfig& cfg,
                        const std::vector<std::string>& argv, std::string& out,
                        std::string& err);
-  VoidResult snapshot_to_cache(const std::string& key,
-                               const std::string& image_dir,
-                               const image::ImageConfig& cfg);
-  bool restore_from_cache(const std::string& key, const std::string& image_dir,
-                          image::ImageConfig& cfg);
+  // Pulls `ref` into `dir` (transcript gets errors/warnings only).
+  Result<image::ImageConfig> pull_into(const std::string& ref,
+                                       const std::string& dir, Transcript& t);
+  // Serializes / replays a stage directory as a tar blob (cache values).
+  VoidResult snapshot_tree(const std::string& dir, std::string& out_blob);
+  bool restore_tree(const std::string& dir, const std::string& blob);
+  // Executes one build stage; called (possibly concurrently) by the
+  // scheduler. Serializes machine access via machine_mu_.
+  int build_stage(const std::string& tag, const buildgraph::BuildGraph& g,
+                  const buildgraph::Stage& s, std::vector<StageBuild>& sb,
+                  Transcript& t);
 
   Machine& m_;
   kernel::Process invoker_;
   image::Registry* registry_;
   ChImageOptions options_;
   std::map<std::string, image::ImageConfig> configs_;
-  std::map<std::string, CacheEntry> cache_;
+  buildgraph::BuildCachePtr cache_;  // null when caching is off
+  buildgraph::ScheduleStats sched_stats_;
+  // One simulated machine, one kernel: stage bodies serialize behind this.
+  std::mutex machine_mu_;
   fakeroot::FakeDbPtr embedded_db_;
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::size_t cache_misses_ = 0;
 };
 
 // Renders ['a', 'b', 'c'] the way ch-image transcripts do.

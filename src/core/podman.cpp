@@ -1,10 +1,14 @@
 #include "core/podman.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "buildfile/dockerfile.hpp"
 #include "core/chimage.hpp"  // format_argv
 #include "image/tar.hpp"
 #include "kernel/syscalls.hpp"
 #include "kernel/userdb.hpp"
+#include "support/path.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
@@ -28,6 +32,14 @@ Podman::Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
         invoker_.cred.euid, invoker_.cred.egid);
   } else {
     driver_ = std::make_unique<OverlayDriver>(options_.graphroot_backing);
+  }
+  if (options_.shared_cache != nullptr) {
+    cache_ = options_.shared_cache;
+    options_.build_cache = true;
+  } else if (options_.build_cache) {
+    // A private cache dedups its diff-tar chunks against registry blobs.
+    cache_ = std::make_shared<buildgraph::BuildCache>(
+        registry_ != nullptr ? &registry_->chunk_store() : nullptr);
   }
   if (options_.trace_syscalls || options_.syscall_stats != nullptr) {
     stats_ = options_.syscall_stats != nullptr
@@ -120,6 +132,28 @@ Result<kernel::Process> Podman::enter(const Layer& layer,
   return c;
 }
 
+Result<std::string> Podman::read_from_layer(const Layer& layer,
+                                            const std::string& path) const {
+  vfs::InodeNum cur = layer.root;
+  for (const auto& comp : path_components(path)) {
+    MINICON_TRY_ASSIGN(child, layer.fs->lookup(cur, comp));
+    cur = child;
+  }
+  return layer.fs->read(cur);
+}
+
+bool Podman::restore_layer(const Layer& layer, const std::string& blob) {
+  auto entries = image::tar_parse(blob);
+  if (!entries.ok()) return false;
+  // Diff entries carry host-side IDs (how the storage layer keeps them),
+  // so they replay verbatim.
+  vfs::OpCtx ctx;
+  ctx.host_uid = invoker_.cred.euid;
+  ctx.host_gid = invoker_.cred.egid;
+  ctx.host_privileged = invoker_.cred.euid == 0;
+  return image::entries_to_tree(*entries, *layer.fs, layer.root, ctx).ok();
+}
+
 int Podman::build(const std::string& tag, const std::string& dockerfile_text,
                   Transcript& t) {
   auto parsed = build::parse_dockerfile(dockerfile_text);
@@ -129,170 +163,255 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
     return 125;
   }
   const auto& df = std::get<build::Dockerfile>(parsed);
-  const std::size_t total = df.instructions.size();
+  auto lowered = buildgraph::lower(df);
+  if (const auto* err = std::get_if<build::DockerfileError>(&lowered)) {
+    t.line("Error: dockerfile line " + std::to_string(err->line) + ": " +
+           err->message);
+    return 125;
+  }
+  const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
+  std::vector<StageBuild> sb(g.stages().size());
+  buildgraph::StageScheduler::Options sopts;
+  sopts.pool =
+      options_.stage_pool != nullptr ? options_.stage_pool.get() : nullptr;
+  sopts.parallel = options_.parallel_stages;
+  buildgraph::StageScheduler sched(g, sopts);
+  const int rc = sched.run(
+      [&](const buildgraph::Stage& s, Transcript& st) {
+        return build_stage(g, s, sb, st);
+      },
+      t);
+  sched_stats_ = sched.stats();
+  if (rc != 0) return rc;
+
+  StageBuild& fin = sb[static_cast<std::size_t>(g.target())];
   BuiltImage img;
-  Layer current;
-  std::map<std::string, std::string> build_args;
-  std::string cache_key = "podman|" + std::string(driver_->name());
-  int step = 0;
-  for (const auto& ins : df.instructions) {
-    ++step;
-    const std::string prefix =
-        "STEP " + std::to_string(step) + "/" + std::to_string(total) + ": ";
-    switch (ins.kind) {
-      case build::InstrKind::kFrom: {
-        t.line(prefix + "FROM " + ins.text);
-        const auto fields = split_ws(ins.text);
-        auto manifest = registry_->get_manifest(fields[0], m_.arch());
-        if (!manifest) manifest = registry_->get_manifest(fields[0]);
-        if (!manifest) {
-          t.line("Error: initializing source: " + fields[0] + ": not found");
-          return 125;
-        }
-        std::vector<std::vector<image::TarEntry>> layer_entries;
-        for (const auto& digest : manifest->layers) {
-          // Zero-copy pull: parse straight out of the registry's buffer.
-          auto blob = registry_->get_blob_ref(digest);
-          if (blob == nullptr) {
-            t.line("Error: missing blob " + digest);
-            return 125;
-          }
-          auto entries = image::tar_parse(*blob);
-          if (!entries.ok()) {
-            t.line("Error: corrupt layer " + digest);
-            return 125;
-          }
-          // Storage keeps *host-side* IDs: the archive's container IDs are
-          // translated through the user-namespace map (what fuse-overlayfs
-          // and podman's storage layer do on pull). Unmapped IDs fail the
-          // pull unless --ignore-chown-errors squashes them (§4.1.1).
-          for (auto& e : *entries) {
-            auto kuid = uid_map_.to_outside(e.uid);
-            auto kgid = gid_map_.to_outside(e.gid);
-            if ((!kuid || !kgid) && !options_.ignore_chown_errors) {
-              t.line("Error: payload contains unmapped IDs (uid " +
-                     std::to_string(e.uid) + "); consider "
-                     "--ignore-chown-errors or wider subuid ranges");
-              return 125;
-            }
-            e.uid = kuid.value_or(invoker_.cred.euid);
-            e.gid = kgid.value_or(invoker_.cred.egid);
-          }
-          layer_entries.push_back(std::move(*entries));
-        }
-        auto base = driver_->base_layer(layer_entries);
-        if (!base.ok()) {
-          t.line("Error: storage driver " + driver_->name() +
-                 ": " + std::string(err_message(base.error())) +
-                 " (is the graphroot on a shared filesystem without user "
-                 "xattrs?)");
-          return 125;
-        }
-        current = *base;
-        // The image's root directory itself is container-root-owned too.
-        {
-          vfs::OpCtx ctx;
-          ctx.host_uid = invoker_.cred.euid;
-          ctx.host_gid = invoker_.cred.egid;
-          (void)current.fs->set_owner(ctx, current.root,
-                                      uid_map_.to_outside(0).value_or(
-                                          invoker_.cred.euid),
-                                      gid_map_.to_outside(0).value_or(
-                                          invoker_.cred.egid));
-        }
-        img.base_digests = manifest->layers;
-        img.config = manifest->config;
-        img.config.arch = m_.arch();
-        cache_key = Sha256::hex_chain({cache_key, "|FROM|", ins.text});
-        break;
+  img.base_digests = std::move(fin.base_digests);
+  img.run_layers = std::move(fin.run_layers);
+  img.top = fin.current;
+  img.config = std::move(fin.cfg);
+  images_[tag] = std::move(img);
+  t.line("COMMIT " + tag);
+  return 0;
+}
+
+int Podman::build_stage(const buildgraph::BuildGraph& g,
+                        const buildgraph::Stage& s,
+                        std::vector<StageBuild>& sb, Transcript& t) {
+  std::unique_lock lock(machine_mu_);
+  StageBuild& o = sb[static_cast<std::size_t>(s.index)];
+  const std::string total = std::to_string(g.instruction_count());
+  const auto prefix = [&total](int number) {
+    return "STEP " + std::to_string(number) + "/" + total + ": ";
+  };
+  t.line(prefix(s.from_number) + "FROM " + s.from->text);
+  if (s.base_stage >= 0) {
+    // Base is an earlier stage: a fresh layer on top of its top layer.
+    const StageBuild& dep = sb[static_cast<std::size_t>(s.base_stage)];
+    auto layer = driver_->create_layer(dep.current);
+    if (!layer.ok()) {
+      t.line("Error: storage driver " + driver_->name() + ": " +
+             std::string(err_message(layer.error())));
+      return 125;
+    }
+    o.current = *layer;
+    o.cfg = dep.cfg;
+    o.base_digests = dep.base_digests;
+    o.run_layers = dep.run_layers;
+    o.key = buildgraph::BuildCache::chain(dep.key, "FROM-STAGE");
+  } else {
+    auto manifest = registry_->get_manifest(s.base_ref, m_.arch());
+    if (!manifest) manifest = registry_->get_manifest(s.base_ref);
+    if (!manifest) {
+      t.line("Error: initializing source: " + s.base_ref + ": not found");
+      return 125;
+    }
+    std::vector<std::vector<image::TarEntry>> layer_entries;
+    for (const auto& digest : manifest->layers) {
+      // Zero-copy pull: parse straight out of the registry's buffer.
+      auto blob = registry_->get_blob_ref(digest);
+      if (blob == nullptr) {
+        t.line("Error: missing blob " + digest);
+        return 125;
       }
+      auto entries = image::tar_parse(*blob);
+      if (!entries.ok()) {
+        t.line("Error: corrupt layer " + digest);
+        return 125;
+      }
+      // Storage keeps *host-side* IDs: the archive's container IDs are
+      // translated through the user-namespace map (what fuse-overlayfs
+      // and podman's storage layer do on pull). Unmapped IDs fail the
+      // pull unless --ignore-chown-errors squashes them (§4.1.1).
+      for (auto& e : *entries) {
+        auto kuid = uid_map_.to_outside(e.uid);
+        auto kgid = gid_map_.to_outside(e.gid);
+        if ((!kuid || !kgid) && !options_.ignore_chown_errors) {
+          t.line("Error: payload contains unmapped IDs (uid " +
+                 std::to_string(e.uid) + "); consider "
+                 "--ignore-chown-errors or wider subuid ranges");
+          return 125;
+        }
+        e.uid = kuid.value_or(invoker_.cred.euid);
+        e.gid = kgid.value_or(invoker_.cred.egid);
+      }
+      layer_entries.push_back(std::move(*entries));
+    }
+    auto base = driver_->base_layer(layer_entries);
+    if (!base.ok()) {
+      t.line("Error: storage driver " + driver_->name() +
+             ": " + std::string(err_message(base.error())) +
+             " (is the graphroot on a shared filesystem without user "
+             "xattrs?)");
+      return 125;
+    }
+    o.current = *base;
+    // The image's root directory itself is container-root-owned too.
+    {
+      vfs::OpCtx ctx;
+      ctx.host_uid = invoker_.cred.euid;
+      ctx.host_gid = invoker_.cred.egid;
+      (void)o.current.fs->set_owner(ctx, o.current.root,
+                                    uid_map_.to_outside(0).value_or(
+                                        invoker_.cred.euid),
+                                    gid_map_.to_outside(0).value_or(
+                                        invoker_.cred.egid));
+    }
+    o.base_digests = manifest->layers;
+    o.cfg = manifest->config;
+    o.cfg.arch = m_.arch();
+    o.key = buildgraph::BuildCache::chain(
+        "podman|" + std::string(driver_->name()), "FROM|" + s.from->text);
+  }
+
+  // ARG values exist only during the build and are stage-scoped.
+  std::map<std::string, std::string> build_args;
+
+  for (const auto& si : s.instrs) {
+    const build::Instruction& ins = *si.ins;
+    const std::string step_str = std::to_string(si.number);
+    const std::string pfx = prefix(si.number);
+    switch (ins.kind) {
+      case build::InstrKind::kFrom:
+        break;  // unreachable: FROM opens a stage, never appears in a body
       case build::InstrKind::kRun: {
         std::vector<std::string> argv =
             ins.is_exec_form()
                 ? ins.exec_form
                 : std::vector<std::string>{"/bin/sh", "-c", ins.text};
-        t.line(prefix + "RUN " + (ins.is_exec_form() ? format_argv(argv)
-                                                     : ins.text));
-        cache_key =
-            Sha256::hex_chain({cache_key, "|RUN|", join(argv, "\x1f")});
-        if (options_.build_cache) {
-          auto it = cache_.find(cache_key);
-          if (it != cache_.end()) {
-            ++cache_hits_;
-            t.line("--> Using cache " +
-                   Sha256::hex_digest(cache_key).substr(0, 12));
-            current = it->second.layer;
-            img.config = it->second.config;
-            img.run_layers.push_back(current);
-            break;
+        t.line(pfx + "RUN " + (ins.is_exec_form() ? format_argv(argv)
+                                                  : ins.text));
+        o.key = buildgraph::BuildCache::chain(o.key,
+                                              "RUN|" + join(argv, "\x1f"));
+        if (cache_ != nullptr) {
+          lock.unlock();  // lookup reassembles chunks; no machine involved
+          auto hit = cache_->lookup(o.key);
+          lock.lock();
+          if (hit) {
+            auto layer = driver_->create_layer(o.current);
+            if (layer.ok() && restore_layer(*layer, *hit->blob)) {
+              t.line("--> Using cache " +
+                     Sha256::hex_digest(o.key).substr(0, 12));
+              o.current = *layer;
+              o.cfg = hit->config;
+              o.run_layers.push_back(o.current);
+              break;
+            }
           }
-          ++cache_misses_;
         }
-        auto layer = driver_->create_layer(current);
+        auto layer = driver_->create_layer(o.current);
         if (!layer.ok()) {
           t.line("Error: storage driver " + driver_->name() + ": " +
                  std::string(err_message(layer.error())));
           return 125;
         }
-        image::ImageConfig run_cfg = img.config;
+        image::ImageConfig run_cfg = o.cfg;
         for (const auto& [k, v] : build_args) run_cfg.env[k] = v;
-        auto container = enter(*layer, run_cfg);
-        if (!container.ok()) {
-          t.line("Error: cannot configure rootless user namespace: " +
-                 std::string(err_message(container.error())) +
-                 " (are subuid/subgid ranges configured?)");
-          return 125;
-        }
-        std::string out, err;
-        const kernel::SyscallStats::Totals before =
-            stats_ != nullptr ? stats_->totals() : kernel::SyscallStats::Totals{};
-        const int status = m_.shell().run_argv(*container, argv, out, err);
-        t.block(out);
-        t.block(err);
+        int status = 0;
         std::string errno_sum;
-        if (stats_ != nullptr) {
-          const auto after = stats_->totals();
-          errno_sum = kernel::SyscallStats::errno_summary(before, after);
-          std::string line = "syscalls: step " + std::to_string(step) + ": " +
-                             std::to_string(after.calls - before.calls) +
-                             " calls, " +
-                             std::to_string(after.errors - before.errors) +
-                             " errors";
-          if (!errno_sum.empty()) line += " (" + errno_sum + ")";
-          line += ", depth " + std::to_string(last_depth_);
-          t.line(line);
+        for (int attempt = 1;; ++attempt) {
+          auto container = enter(*layer, run_cfg);
+          if (!container.ok()) {
+            t.line("Error: cannot configure rootless user namespace: " +
+                   std::string(err_message(container.error())) +
+                   " (are subuid/subgid ranges configured?)");
+            return 125;
+          }
+          std::string out, err;
+          const kernel::SyscallStats::Totals before =
+              stats_ != nullptr ? stats_->totals()
+                                : kernel::SyscallStats::Totals{};
+          status = m_.shell().run_argv(*container, argv, out, err);
+          t.block(out);
+          t.block(err);
+          errno_sum.clear();
+          if (stats_ != nullptr) {
+            const auto after = stats_->totals();
+            errno_sum = kernel::SyscallStats::errno_summary(before, after);
+            std::string line = "syscalls: step " + step_str + ": " +
+                               std::to_string(after.calls - before.calls) +
+                               " calls, " +
+                               std::to_string(after.errors - before.errors) +
+                               " errors";
+            if (!errno_sum.empty()) line += " (" + errno_sum + ")";
+            line += ", depth " + std::to_string(last_depth_);
+            t.line(line);
+          }
+          if (status == 0 || attempt >= options_.run_retry.max_attempts) {
+            break;
+          }
+          const int delay = options_.run_retry.backoff_ms(attempt + 1);
+          t.line("retry: RUN instruction " + step_str + " exited " +
+                 std::to_string(status) + "; attempt " +
+                 std::to_string(attempt + 1) + "/" +
+                 std::to_string(options_.run_retry.max_attempts) + " in " +
+                 std::to_string(delay) + " ms");
+          // Back off without holding the machine: other stages keep going.
+          lock.unlock();
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          lock.lock();
         }
         if (status != 0) {
           if (stats_ != nullptr) {
-            t.line("Error: RUN instruction " + std::to_string(step) +
+            t.line("Error: RUN instruction " + step_str +
                    " failed with exit status " + std::to_string(status) +
                    (errno_sum.empty()
                         ? ""
                         : " (syscall errors: " + errno_sum + ")"));
           }
-          t.line("Error: building at " + prefix.substr(0, prefix.size() - 2) +
+          t.line("Error: building at " + pfx.substr(0, pfx.size() - 2) +
                  ": while running runtime: exit status " +
                  std::to_string(status));
           return status;
         }
-        current = *layer;
-        img.run_layers.push_back(current);
-        if (options_.build_cache) cache_[cache_key] = {current, img.config};
+        o.current = *layer;
+        o.run_layers.push_back(o.current);
+        if (cache_ != nullptr) {
+          auto diff = driver_->diff(o.current);
+          if (diff.ok()) {
+            const std::string blob = image::tar_create(*diff);
+            // Chunking + digesting happens outside the machine lock; this
+            // is the work independent stages genuinely overlap.
+            lock.unlock();
+            cache_->store(o.key, blob, o.cfg);
+            lock.lock();
+          }
+        }
         break;
       }
       case build::InstrKind::kEnv: {
-        t.line(prefix + "ENV " + ins.text);
+        t.line(pfx + "ENV " + ins.text);
         for (const auto& [k, v] : build::parse_kv(ins.text)) {
-          img.config.env[k] = v;
+          o.cfg.env[k] = v;
         }
-        cache_key = Sha256::hex_chain({cache_key, "|ENV|", ins.text});
+        o.key = buildgraph::BuildCache::chain(o.key, "ENV|" + ins.text);
         break;
       }
       case build::InstrKind::kWorkdir: {
-        t.line(prefix + "WORKDIR " + ins.text);
-        img.config.workdir = ins.text;
-        if (auto container = enter(current, img.config); container.ok()) {
+        t.line(pfx + "WORKDIR " + ins.text);
+        o.cfg.workdir = ins.text;
+        if (auto container = enter(o.current, o.cfg); container.ok()) {
           std::string out, err;
           (void)m_.shell().run(*container, "mkdir -p " + ins.text, out, err);
         }
@@ -300,20 +419,27 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
       }
       case build::InstrKind::kCopy:
       case build::InstrKind::kAdd: {
-        t.line(prefix + "COPY " + ins.text);
-        const auto fields = split_ws(ins.text);
+        t.line(pfx + "COPY " + ins.text);
+        const auto fields = split_ws(si.copy_args);
         if (fields.size() < 2) {
           t.line("Error: COPY requires source and destination");
           return 125;
         }
-        auto data = invoker_.sys->read_file(invoker_, fields[0]);
+        Result<std::string> data = Err::enoent;
+        if (si.copy_from >= 0) {
+          // Source is an earlier stage's top layer (already built).
+          data = read_from_layer(
+              sb[static_cast<std::size_t>(si.copy_from)].current, fields[0]);
+        } else {
+          data = invoker_.sys->read_file(invoker_, fields[0]);
+        }
         if (!data.ok()) {
           t.line("Error: COPY: " + fields[0] + ": no such file");
           return 125;
         }
-        auto layer = driver_->create_layer(current);
+        auto layer = driver_->create_layer(o.current);
         if (!layer.ok()) return 125;
-        auto container = enter(*layer, img.config);
+        auto container = enter(*layer, o.cfg);
         if (!container.ok()) return 125;
         std::string dst = fields.back();
         if (dst.ends_with("/")) dst += fields[0];
@@ -323,34 +449,33 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
           t.line("Error: COPY: cannot write " + dst);
           return 125;
         }
-        current = *layer;
-        img.run_layers.push_back(current);
-        cache_key = Sha256::hex_chain(
-            {cache_key, "|COPY|", ins.text, "|", Sha256::hex_digest(*data)});
+        o.current = *layer;
+        o.run_layers.push_back(o.current);
+        o.key = buildgraph::BuildCache::chain(o.key, "COPY|" + ins.text,
+                                              {Sha256::hex_digest(*data)});
         break;
       }
       case build::InstrKind::kCmd:
-        t.line(prefix + "CMD " + ins.text);
-        img.config.cmd = ins.is_exec_form()
-                             ? ins.exec_form
-                             : std::vector<std::string>{"/bin/sh", "-c",
-                                                        ins.text};
+        t.line(pfx + "CMD " + ins.text);
+        o.cfg.cmd = ins.is_exec_form()
+                        ? ins.exec_form
+                        : std::vector<std::string>{"/bin/sh", "-c", ins.text};
         break;
       case build::InstrKind::kEntrypoint:
-        t.line(prefix + "ENTRYPOINT " + ins.text);
-        img.config.entrypoint =
+        t.line(pfx + "ENTRYPOINT " + ins.text);
+        o.cfg.entrypoint =
             ins.is_exec_form()
                 ? ins.exec_form
                 : std::vector<std::string>{"/bin/sh", "-c", ins.text};
         break;
       case build::InstrKind::kLabel:
-        t.line(prefix + "LABEL " + ins.text);
+        t.line(pfx + "LABEL " + ins.text);
         for (const auto& [k, v] : build::parse_kv(ins.text)) {
-          img.config.labels[k] = v;
+          o.cfg.labels[k] = v;
         }
         break;
       case build::InstrKind::kArg: {
-        t.line(prefix + "ARG " + ins.text);
+        t.line(pfx + "ARG " + ins.text);
         const auto eq = ins.text.find('=');
         if (eq != std::string::npos) {
           build_args[ins.text.substr(0, eq)] = ins.text.substr(eq + 1);
@@ -358,18 +483,15 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
         break;
       }
       case build::InstrKind::kUser:
-        t.line(prefix + "USER " + ins.text);
+        t.line(pfx + "USER " + ins.text);
         // Type II has real multiple users: record it for later RUNs/runs.
-        img.config.user = ins.text;
+        o.cfg.user = ins.text;
         break;
       default:
-        t.line(prefix + build::instr_name(ins.kind) + " " + ins.text);
+        t.line(pfx + build::instr_name(ins.kind) + " " + ins.text);
         break;
     }
   }
-  img.top = current;
-  images_[tag] = std::move(img);
-  t.line("COMMIT " + tag);
   return 0;
 }
 

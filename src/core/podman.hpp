@@ -5,18 +5,26 @@
 // works. Features modeled from the paper:
 //   * storage drivers: overlay (fuse-overlayfs; needs user xattrs) and vfs
 //     (full copies; what RHEL7-era Astra used) — §4.1/§4.2;
-//   * per-instruction build cache (a capability Charliecloud lacks, §6.1-3);
+//   * per-instruction build cache (a capability Charliecloud lacks, §6.1-3),
+//     now a content-addressed buildgraph::BuildCache shareable with other
+//     builders;
 //   * multi-layer ownership-preserving push (archives are created "within
 //     the container", §2.1.2 / §6.1);
 //   * experimental unprivileged mode: single self-map +
 //     --ignore-chown-errors, whose openssh-server failure is Fig 5;
-//   * shared-filesystem graphroot clash (xattrs / server-side IDs, §4.2).
+//   * shared-filesystem graphroot clash (xattrs / server-side IDs, §4.2);
+//   * multi-stage builds lowered to a buildgraph::BuildGraph and scheduled
+//     by buildgraph::StageScheduler (independent stages run concurrently).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "buildgraph/cache.hpp"
+#include "buildgraph/graph.hpp"
+#include "buildgraph/scheduler.hpp"
 #include "core/machine.hpp"
 #include "core/runtime.hpp"
 #include "core/storage.hpp"
@@ -39,10 +47,24 @@ struct PodmanOptions {
   bool rootless_helpers = true;
   bool ignore_chown_errors = false;
   bool build_cache = true;
+  // Build cache shared with other builders (implies build_cache). When null
+  // and build_cache is set, the builder creates a private cache backed by
+  // the registry's chunk store.
+  buildgraph::BuildCachePtr shared_cache;
   // Where image storage lives. Defaults to a fresh local filesystem
   // ("/tmp or local disk", §4.2); pass a SharedFs to model an NFS graphroot.
   vfs::FilesystemPtr graphroot_backing;
   kernel::HelperConfig helper_config;
+
+  // Multi-stage scheduling: independent stages run concurrently on
+  // stage_pool (null = support::shared_pool()). parallel_stages=false
+  // forces serial execution; transcripts are identical either way.
+  bool parallel_stages = true;
+  std::shared_ptr<support::ThreadPool> stage_pool;
+
+  // Retry for RUN instructions that fail transiently (fault injection);
+  // default is one attempt, i.e. no retry.
+  buildgraph::RetryPolicy run_retry;
 
   // Worker pool for the pipelined push path (per-layer chunk digest +
   // upload overlap with tar serialization). Null selects the process-wide
@@ -79,8 +101,23 @@ class Podman {
 
   const image::ImageConfig* config(const std::string& tag) const;
   StorageDriver& driver() { return *driver_; }
-  std::size_t cache_hits() const { return cache_hits_; }
-  std::size_t cache_misses() const { return cache_misses_; }
+
+  // Build-cache counters (zero when caching is off). With a shared cache
+  // the counters aggregate every builder attached to it.
+  std::size_t cache_hits() const {
+    return cache_ != nullptr ? cache_->stats().hits : 0;
+  }
+  std::size_t cache_misses() const {
+    return cache_ != nullptr ? cache_->stats().misses : 0;
+  }
+  buildgraph::CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : buildgraph::CacheStats{};
+  }
+  const buildgraph::BuildCachePtr& build_cache() const { return cache_; }
+  // Stage-scheduling stats for the most recent build.
+  const buildgraph::ScheduleStats& schedule_stats() const {
+    return sched_stats_;
+  }
 
   // Aggregate syscall counters across every container entered (null unless
   // tracing is enabled) and the interposition depth of the last container.
@@ -100,9 +137,29 @@ class Podman {
     image::ImageConfig config;
   };
 
+  // Per-stage build state, indexed by stage index. Written only by the
+  // stage's own executor; read by dependent stages (after the scheduler's
+  // happens-before edge).
+  struct StageBuild {
+    Layer current;
+    image::ImageConfig cfg;
+    std::vector<std::string> base_digests;
+    std::vector<Layer> run_layers;
+    std::string key;  // build-cache chain after the last instruction
+  };
+
   Result<kernel::Process> enter(const Layer& layer,
                                 const image::ImageConfig& cfg);
   void load_id_maps();
+  // Reads one file out of a layer's tree (store-side, no container entry).
+  Result<std::string> read_from_layer(const Layer& layer,
+                                      const std::string& path) const;
+  // Replays a cached diff tar on top of a fresh layer.
+  bool restore_layer(const Layer& layer, const std::string& blob);
+  // Executes one build stage; called (possibly concurrently) by the
+  // scheduler. Serializes machine access via machine_mu_.
+  int build_stage(const buildgraph::BuildGraph& g, const buildgraph::Stage& s,
+                  std::vector<StageBuild>& sb, Transcript& t);
 
   Machine& m_;
   kernel::Process invoker_;
@@ -110,15 +167,12 @@ class Podman {
   PodmanOptions options_;
   std::unique_ptr<StorageDriver> driver_;
   std::map<std::string, BuiltImage> images_;
-  struct CacheEntry {
-    Layer layer;
-    image::ImageConfig config;
-  };
-  std::map<std::string, CacheEntry> cache_;
+  buildgraph::BuildCachePtr cache_;  // null when caching is off
+  buildgraph::ScheduleStats sched_stats_;
+  // One simulated machine, one storage driver: stage bodies serialize here.
+  std::mutex machine_mu_;
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::size_t cache_misses_ = 0;
   kernel::IdMap uid_map_;
   kernel::IdMap gid_map_;
 };

@@ -135,6 +135,10 @@ class Registry {
   std::vector<std::string> references() const;
 
   const ChunkStore& chunks() const { return chunks_; }
+  // Mutable chunk-store handle for components (e.g. the build cache) that
+  // store their own chunked data against the registry's deduplicated pool
+  // without going through the push path or its traffic counters.
+  ChunkStore& chunk_store() { return chunks_; }
 
   // Traffic counters for the workflow benches.
   // Unique bytes resident (whole blobs + deduplicated chunks).

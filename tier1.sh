@@ -11,10 +11,20 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # TSAN pass: only the suites that exercise shared mutable state (the
-# registry/chunk-store stress tests and the thread pool itself).
+# registry/chunk-store stress tests, the thread pool itself, and the
+# parallel stage scheduler / shared build cache).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target test_concurrency test_threadpool
+  --target test_concurrency test_threadpool test_buildgraph
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool'
+  -R 'test_concurrency|test_threadpool|test_buildgraph'
+
+# ASAN pass: the builders move snapshot blobs across threads; make sure no
+# stage outlives what it borrows.
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DMINICON_ASAN=ON
+cmake --build "$ASAN_DIR" -j "$(nproc)" \
+  --target test_buildgraph test_chimage test_podman
+ctest --test-dir "$ASAN_DIR" --output-on-failure \
+  -R 'test_buildgraph|test_chimage|test_podman'
