@@ -1,0 +1,112 @@
+// Observability overhead: what the unified telemetry (src/obs/) costs on
+// the paper's fakeroot-overhead workload (§6.1-1).
+//
+// Shape: (1) per-syscall cost of the ObserveSyscalls metrics layer on the
+// stat loop perf_fakeroot_overhead uses, against the bare fakeroot stack;
+// (2) end-to-end `ch-image build --force` with telemetry off / metrics only
+// / metrics + span tracing. Counter columns in the benchmark JSON carry the
+// registry snapshot for the instrumented runs, so BENCH_obs_overhead.json
+// records both the timings and what was counted. The metrics-only overhead
+// must stay within run-to-run noise of the uninstrumented build — the
+// registry is meant to be cheap enough to leave on.
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/observe.hpp"
+#include "kernel/syscalls.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace minicon;
+
+struct World {
+  World() : cluster(make_opts()), alice(*cluster.user_on(cluster.login())) {
+    std::string out, err;
+    cluster.login().run(alice, "touch /home/alice/probe", out, err);
+  }
+  static core::ClusterOptions make_opts() {
+    core::ClusterOptions o;
+    o.arch = "x86_64";
+    o.compute_nodes = 0;
+    return o;
+  }
+  core::Cluster cluster;
+  kernel::Process alice;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+// Baseline: the fakeroot stack with no observation layer.
+void BM_StatFakeroot(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatFakeroot);
+
+// The same stack with ObserveSyscalls innermost (counters + latency
+// histogram on every call): the steady-state cost of `metrics` being live.
+void BM_StatFakerootObserved(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<kernel::ObserveSyscalls>(p.sys, &reg);
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["syscall_calls"] = static_cast<double>(
+      reg.counter("syscall.calls").value());
+}
+BENCHMARK(BM_StatFakerootObserved);
+
+// End-to-end Fig-10 shape: ch-image --force builds of a yum Dockerfile with
+// telemetry off (0), metrics only (1), and metrics + span tracing (2).
+void BM_ForceBuild(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::MetricsRegistry reg;
+  std::size_t spans = 0;
+  for (auto _ : state) {
+    core::ChImageOptions opts;
+    opts.force = true;
+    opts.metrics = &reg;
+    opts.observe_syscalls = mode >= 1;
+    opts.trace = mode >= 2;
+    core::ChImage ch(world().cluster.login(), world().alice,
+                     &world().cluster.registry(), opts);
+    Transcript t;
+    if (ch.build("obs-bench", "FROM centos:7\nRUN yum install -y openssh\n",
+                 t) != 0) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    if (ch.tracer() != nullptr) spans = ch.tracer()->span_count();
+  }
+  if (mode >= 1) {
+    const auto snap = reg.snapshot();
+    state.counters["syscall_calls"] =
+        static_cast<double>(snap.counters.at("syscall.calls"));
+    state.counters["syscall_errors"] =
+        static_cast<double>(snap.counters.at("syscall.errors"));
+  }
+  if (mode >= 2) state.counters["spans"] = static_cast<double>(spans);
+  state.SetLabel(mode == 0 ? "telemetry off"
+                           : mode == 1 ? "metrics" : "metrics+tracing");
+}
+BENCHMARK(BM_ForceBuild)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Trace-export smoke check (tier-1): build a multi-stage Dockerfile with
+// `ch-image build --force --trace`, export the Chrome trace_event JSON, and
+// validate it — well-formed JSON, and spans nesting
+// build → stage → instruction → syscall-batch.
+//
+// Usage: trace_smoke [output.json]. Exits non-zero if the build fails or
+// the exported trace does not validate; tier1.sh runs it as a stage.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "shell/obscmd.hpp"
+#include "shell/registry.hpp"
+
+using namespace minicon;
+
+namespace {
+
+// The canonical fan-out shape: two independent stages feeding a final one,
+// with yum RUNs so --force injects fakeroot (the Fig 10 arc).
+constexpr const char* kDockerfile =
+    "FROM centos:7 AS a\n"
+    "RUN echo alpha > /a.txt\n"
+    "FROM centos:7 AS b\n"
+    "RUN yum install -y openssh\n"
+    "FROM centos:7\n"
+    "COPY --from=a /a.txt /a.txt\n"
+    "RUN cat /a.txt\n";
+
+// Minimal structural JSON scan: braces/brackets balanced outside strings,
+// string escapes legal, input fully consumed.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string && !s.empty();
+}
+
+int fail(const std::string& why) {
+  std::cerr << "trace_smoke: FAIL: " << why << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "trace_smoke.json";
+
+  core::ClusterOptions copts;
+  copts.name = "smoke";
+  copts.arch = "x86_64";
+  core::Cluster cluster(copts);
+  auto user = cluster.user_on(cluster.login());
+  if (!user.ok()) return fail("cannot log in");
+
+  obs::MetricsRegistry metrics;
+  core::ChImageOptions opts;
+  opts.force = true;
+  opts.trace = true;
+  opts.build_cache = true;
+  opts.metrics = &metrics;
+  core::ChImage ch(cluster.login(), *user, &cluster.registry(), opts);
+
+  std::cout << "$ ch-image build --force --trace -t smoke -f Dockerfile .\n";
+  Transcript t;
+  t.echo_to(std::cout);
+  if (const int status = ch.build("smoke", kDockerfile, t); status != 0) {
+    return fail("build exited " + std::to_string(status));
+  }
+
+  // The same export the `trace export <path>` builtin performs, via the
+  // builtin itself so the shell surface is exercised too.
+  shell::register_obs_commands(*cluster.command_registry(), &metrics,
+                               ch.tracer());
+  Transcript bt;
+  if (ch.run_in_image("smoke", {"trace", "export", "/trace.json"}, bt) != 0) {
+    return fail("trace export builtin failed");
+  }
+  const std::string json = ch.tracer()->chrome_trace_json();
+  std::ofstream f(out_path, std::ios::binary);
+  f << json;
+  f.close();
+  if (!f) return fail("cannot write " + out_path);
+
+  // --- validate ------------------------------------------------------------
+  if (!json_well_formed(json)) return fail("exported JSON is not well-formed");
+  for (const char* name : {"\"name\":\"build\"", "\"name\":\"stage\"",
+                           "\"name\":\"instruction\"",
+                           "\"name\":\"syscall-batch\"", "\"traceEvents\""}) {
+    if (json.find(name) == std::string::npos) {
+      return fail(std::string("missing ") + name);
+    }
+  }
+  // Nesting: every stage hangs off the build span, every instruction off a
+  // stage, every syscall-batch off an instruction.
+  const auto spans = ch.tracer()->spans();
+  std::map<obs::SpanId, std::string> name_of;
+  for (const auto& s : spans) name_of[s.id] = s.name;
+  std::map<std::string, int> count;
+  for (const auto& s : spans) {
+    ++count[s.name];
+    const std::string parent =
+        s.parent == obs::kNoSpan ? "" : name_of[s.parent];
+    if (s.name == "stage" && parent != "build") {
+      return fail("stage span not under build");
+    }
+    if (s.name == "instruction" && parent != "stage") {
+      return fail("instruction span not under stage");
+    }
+    if (s.name == "syscall-batch" && parent != "instruction") {
+      return fail("syscall-batch span not under instruction");
+    }
+    if (s.end_us < s.start_us) return fail("span " + s.name + " never ended");
+  }
+  if (count["build"] != 1 || count["stage"] != 3 || count["instruction"] < 3 ||
+      count["syscall-batch"] < 2) {
+    return fail("span census wrong: build=" + std::to_string(count["build"]) +
+                " stage=" + std::to_string(count["stage"]) +
+                " instruction=" + std::to_string(count["instruction"]) +
+                " syscall-batch=" + std::to_string(count["syscall-batch"]));
+  }
+  // The registry saw the same build: syscall and cache activity must be
+  // non-zero and agree with the per-subsystem structs.
+  if (metrics.counter("syscall.calls").value() == 0) {
+    return fail("syscall.calls is zero under --trace");
+  }
+  if (metrics.counter("cache.misses").value() != ch.cache_stats().misses) {
+    return fail("cache.misses disagrees with CacheStats");
+  }
+
+  std::cout << "\n$ trace tree\n" << ch.tracer()->span_tree();
+  std::cout << "\ntrace_smoke: OK: " << spans.size() << " spans -> "
+            << out_path << "\n";
+  return 0;
+}

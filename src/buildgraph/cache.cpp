@@ -13,16 +13,39 @@ BuildCache::BuildCache(image::ChunkStore* chunks, std::uint64_t capacity_bytes)
     owned_ = std::make_unique<image::ChunkStore>();
     chunks_ = owned_.get();
   }
+  set_metrics(nullptr);
 }
 
-std::optional<BuildCache::Hit> BuildCache::lookup(const std::string& key) {
+void BuildCache::set_metrics(obs::MetricsRegistry* metrics) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::global_metrics();
+  std::lock_guard lock(mu_);
+  hits_metric_ = &reg.counter("cache.hits");
+  misses_metric_ = &reg.counter("cache.misses");
+  evictions_metric_ = &reg.counter("cache.evictions");
+  bytes_metric_ = &reg.gauge("cache.bytes");
+  entries_metric_ = &reg.gauge("cache.entries");
+}
+
+void BuildCache::set_tracer(std::shared_ptr<obs::Tracer> tracer) {
+  std::lock_guard lock(mu_);
+  tracer_ = std::move(tracer);
+}
+
+std::optional<BuildCache::Hit> BuildCache::lookup(const std::string& key,
+                                                  obs::SpanId parent) {
   std::unique_lock lock(mu_);
+  obs::Span span(tracer_.get(), "cache.lookup", parent);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    misses_metric_->add();
+    span.annotate("outcome", "miss");
     return std::nullopt;
   }
   ++stats_.hits;
+  hits_metric_->add();
+  span.annotate("outcome", "hit");
   it->second.stamp = ++clock_;
   const image::ChunkedBlob blob = it->second.blob;
   image::ImageConfig config = it->second.config;
@@ -60,8 +83,13 @@ void BuildCache::evict_locked() {
     stats_.bytes -= oldest->second.blob.size;
     entries_.erase(oldest);
     ++stats_.evictions;
+    evictions_metric_->add();
   }
   stats_.entries = entries_.size();
+  // Levels, not deltas: a shared registry may also serve another cache, so
+  // the gauges reflect this cache's current residency verbatim.
+  bytes_metric_->set(static_cast<std::int64_t>(stats_.bytes));
+  entries_metric_->set(static_cast<std::int64_t>(stats_.entries));
 }
 
 CacheStats BuildCache::stats() const {

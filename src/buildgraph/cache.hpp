@@ -26,6 +26,8 @@
 
 #include "image/chunkstore.hpp"
 #include "image/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace minicon::shell {
 class CommandRegistry;
@@ -56,8 +58,11 @@ class BuildCache {
   };
 
   // Counts a hit or miss; a hit reassembles the snapshot blob and marks the
-  // entry most-recently-used.
-  std::optional<Hit> lookup(const std::string& key);
+  // entry most-recently-used. With a tracer attached the lookup runs inside
+  // a `cache.lookup` span (childed under `parent` when given) annotated
+  // with the outcome.
+  std::optional<Hit> lookup(const std::string& key,
+                            obs::SpanId parent = obs::kNoSpan);
 
   // Stores (or refreshes) an entry and evicts least-recently-used entries
   // until resident bytes fit the capacity again. Chunk digesting happens
@@ -67,6 +72,15 @@ class BuildCache {
 
   CacheStats stats() const;
   std::uint64_t capacity() const { return capacity_; }
+
+  // The CacheStats counters are mirrored into a MetricsRegistry at the same
+  // locked update points (`cache.hits`/`cache.misses`/`cache.evictions`
+  // counters, `cache.bytes`/`cache.entries` gauges), so the `build-cache`
+  // and `metrics` builtins can never disagree. Default registry is
+  // obs::global_metrics(); re-point before sharing the cache. The tracer
+  // (if any) times lookups as `cache.lookup` spans.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_tracer(std::shared_ptr<obs::Tracer> tracer);
 
   // key_{n} = SHA-256(parent | instruction | context digests...): the
   // incremental chain every builder derives its keys with.
@@ -88,6 +102,12 @@ class BuildCache {
   std::uint64_t capacity_;
   std::uint64_t clock_ = 0;
   CacheStats stats_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Gauge* bytes_metric_;
+  obs::Gauge* entries_metric_;
 };
 
 using BuildCachePtr = std::shared_ptr<BuildCache>;

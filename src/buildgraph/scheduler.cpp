@@ -34,6 +34,28 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
   std::vector<Transcript> transcripts(n);
   std::vector<int> status(n, 0);
   std::vector<bool> skipped(n, false);
+  stage_spans_.assign(n, obs::kNoSpan);
+  obs::Tracer* tracer = opts_.tracer.get();
+
+  // Begun on the thread that is about to run (or skip) the stage, so the
+  // exec body sees its own span via stage_span(index).
+  const auto begin_stage_span = [&](const Stage& s) {
+    if (tracer == nullptr) return;
+    const obs::SpanId id = tracer->begin("stage", opts_.parent_span);
+    tracer->annotate(id, "index", std::to_string(s.index));
+    tracer->annotate(id, "display", s.display());
+    stage_spans_[static_cast<std::size_t>(s.index)] = id;
+  };
+  const auto end_stage_span = [&](std::size_t i) {
+    if (tracer == nullptr) return;
+    const obs::SpanId id = stage_spans_[i];
+    if (skipped[i]) {
+      tracer->annotate(id, "skipped", "true");
+    } else {
+      tracer->annotate(id, "status", std::to_string(status[i]));
+    }
+    tracer->end(id);
+  };
 
   support::ThreadPool* pool = opts_.pool;
   if (pool == nullptr) pool = &support::shared_pool();
@@ -61,13 +83,16 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
         const std::size_t d = static_cast<std::size_t>(dep);
         if (status[d] != 0 || skipped[d]) dep_failed = true;
       }
+      begin_stage_span(s);
       if (dep_failed) {
         skipped[i] = true;
         transcripts[i].line("buildgraph: " + s.display() +
                             " skipped: a dependency failed");
+        end_stage_span(i);
         continue;
       }
       status[i] = exec(s, transcripts[i]);
+      end_stage_span(i);
     }
   } else {
     std::mutex mu;
@@ -85,6 +110,7 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
       // `remaining`, and exec's exceptions are caught in the task.
       (void)pool->submit([&, idx] {
         const Stage& s = stages[static_cast<std::size_t>(idx)];
+        begin_stage_span(s);
         int rc = 0;
         try {
           rc = exec(s, transcripts[static_cast<std::size_t>(idx)]);
@@ -93,6 +119,7 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
         }
         std::lock_guard lock(mu);
         status[static_cast<std::size_t>(idx)] = rc;
+        end_stage_span(static_cast<std::size_t>(idx));
         --in_flight;
         on_finished(static_cast<std::size_t>(idx));
       });
@@ -111,6 +138,8 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
           skipped[d] = true;
           transcripts[d].line("buildgraph: " + stages[d].display() +
                               " skipped: a dependency failed");
+          begin_stage_span(stages[d]);
+          end_stage_span(d);
           on_finished(d);  // cascades to its dependents
         } else {
           dispatch(dep_idx);
@@ -141,6 +170,20 @@ int StageScheduler::run(const StageFn& exec, Transcript& out) {
              std::to_string(stats_.levels) + " levels (max " +
              std::to_string(stats_.max_width) + " concurrent)");
   }
+  // Mirror the run's shape into the registry so `metrics` reports the same
+  // numbers stats() does.
+  obs::MetricsRegistry& reg =
+      opts_.metrics != nullptr ? *opts_.metrics : obs::global_metrics();
+  reg.gauge("sched.stages").set(static_cast<std::int64_t>(stats_.stages));
+  reg.gauge("sched.levels").set(static_cast<std::int64_t>(stats_.levels));
+  reg.gauge("sched.max_width")
+      .set(static_cast<std::int64_t>(stats_.max_width));
+  reg.gauge("sched.peak_in_flight")
+      .set(static_cast<std::int64_t>(stats_.peak_in_flight));
+  reg.gauge("sched.pool_width")
+      .set(static_cast<std::int64_t>(stats_.pool_width));
+  reg.gauge("sched.parallel").set(stats_.parallel ? 1 : 0);
+
   for (std::size_t i = 0; i < n; ++i) {
     if (status[i] != 0) return status[i];
     if (skipped[i]) return 1;

@@ -16,9 +16,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "buildgraph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/transcript.hpp"
 
 namespace minicon::support {
@@ -52,6 +56,13 @@ class StageScheduler {
   struct Options {
     support::ThreadPool* pool = nullptr;  // null = support::shared_pool()
     bool parallel = true;
+    // Observability: every stage gets a `stage` span (childed under
+    // `parent_span`, typically the builder's `build` span), including
+    // skipped stages (annotated skipped=true); stats_ gauges mirror into
+    // `metrics` (null = obs::global_metrics()) after the run.
+    std::shared_ptr<obs::Tracer> tracer;
+    obs::SpanId parent_span = obs::kNoSpan;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   StageScheduler(const BuildGraph& graph, Options opts);
@@ -68,10 +79,21 @@ class StageScheduler {
 
   const ScheduleStats& stats() const { return stats_; }
 
+  // The span under which stage `index` is currently executing (kNoSpan
+  // without a tracer). Valid inside exec for that stage: the span is begun
+  // on the executing thread immediately before exec is invoked, so the
+  // stage body can child its own spans (instructions, cache lookups) under
+  // it and annotate retries.
+  obs::SpanId stage_span(int index) const {
+    const auto i = static_cast<std::size_t>(index);
+    return i < stage_spans_.size() ? stage_spans_[i] : obs::kNoSpan;
+  }
+
  private:
   const BuildGraph& graph_;
   Options opts_;
   ScheduleStats stats_;
+  std::vector<obs::SpanId> stage_spans_;
 };
 
 }  // namespace minicon::buildgraph

@@ -6,6 +6,7 @@
 
 #include "buildfile/dockerfile.hpp"
 #include "image/tar.hpp"
+#include "kernel/observe.hpp"
 #include "kernel/syscalls.hpp"
 #include "support/path.hpp"
 #include "support/sha256.hpp"
@@ -85,6 +86,20 @@ ChImage::ChImage(Machine& m, kernel::Process invoker,
     stats_ = options_.syscall_stats != nullptr
                  ? options_.syscall_stats
                  : std::make_shared<kernel::SyscallStats>();
+  }
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::global_metrics();
+  if (options_.tracer != nullptr) {
+    tracer_ = options_.tracer;
+    options_.trace = true;  // a supplied tracer implies tracing
+  } else if (options_.trace) {
+    tracer_ = std::make_shared<obs::Tracer>();
+  }
+  if (cache_ != nullptr) {
+    // Leave a shared cache's wiring alone unless we have something to add:
+    // another builder (or the caller) may already have pointed it somewhere.
+    if (options_.metrics != nullptr) cache_->set_metrics(options_.metrics);
+    if (tracer_ != nullptr) cache_->set_tracer(tracer_);
   }
 }
 
@@ -166,9 +181,17 @@ Result<kernel::Process> ChImage::enter(const std::string& image_dir,
   opts.env = cfg.env;
   opts.kernel_auto_maps = options_.kernel_assisted_maps;
   MINICON_TRY_ASSIGN(container, enter_type3(m_, invoker_, rootfs, opts));
-  // Interposition stack, innermost first: caller-supplied layers (fault
-  // injection, ...), then tracing, then fakeroot outermost so the lies
-  // database sees the build's view of every faked operation.
+  // Interposition stack, innermost first: metrics observation, then
+  // caller-supplied layers (fault injection, ...), then tracing, then
+  // fakeroot outermost so the lies database sees the build's view of every
+  // faked operation. ObserveSyscalls sits below the caller layers so an
+  // injected fault short-circuits above it and never skews the organic
+  // syscall.errno.* counters (it is counted as syscall.fault_injected by
+  // the fault layer instead).
+  if (options_.trace || options_.observe_syscalls) {
+    container.sys =
+        std::make_shared<kernel::ObserveSyscalls>(container.sys, metrics_);
+  }
   for (const auto& layer : options_.syscall_layers) {
     if (layer) container.sys = layer(container.sys);
   }
@@ -292,17 +315,24 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
   const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
   std::vector<StageBuild> sb(g.stages().size());
+  obs::Span build_span(tracer_.get(), "build");
+  build_span.annotate("builder", "ch-image");
+  build_span.annotate("tag", tag);
   buildgraph::StageScheduler::Options sopts;
   sopts.pool =
       options_.stage_pool != nullptr ? options_.stage_pool.get() : nullptr;
   sopts.parallel = options_.parallel_stages;
+  sopts.tracer = tracer_;
+  sopts.parent_span = build_span.id();
+  sopts.metrics = options_.metrics;
   buildgraph::StageScheduler sched(g, sopts);
   const int rc = sched.run(
       [&](const buildgraph::Stage& s, Transcript& st) {
-        return build_stage(tag, g, s, sb, st);
+        return build_stage(tag, g, s, sb, st, sched.stage_span(s.index));
       },
       t);
   sched_stats_ = sched.stats();
+  build_span.annotate("status", std::to_string(rc));
   if (rc != 0) return rc;
 
   const StageBuild& target = sb[static_cast<std::size_t>(g.target())];
@@ -332,7 +362,8 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
 int ChImage::build_stage(const std::string& tag,
                          const buildgraph::BuildGraph& g,
                          const buildgraph::Stage& s,
-                         std::vector<StageBuild>& sb, Transcript& t) {
+                         std::vector<StageBuild>& sb, Transcript& t,
+                         obs::SpanId stage_span) {
   std::unique_lock lock(machine_mu_);
   StageBuild& o = sb[static_cast<std::size_t>(s.index)];
   // The final stage *is* the image; intermediates get side directories.
@@ -394,6 +425,9 @@ int ChImage::build_stage(const std::string& tag,
   for (const auto& si : s.instrs) {
     const build::Instruction& ins = *si.ins;
     const std::string idx_str = std::to_string(si.number);
+    obs::Span ins_span(tracer_.get(), "instruction", stage_span);
+    ins_span.annotate("number", idx_str);
+    ins_span.annotate("kind", build::instr_name(ins.kind));
     switch (ins.kind) {
       case build::InstrKind::kFrom:
         break;  // unreachable: FROM opens a stage, never appears in a body
@@ -408,10 +442,11 @@ int ChImage::build_stage(const std::string& tag,
                                               "RUN|" + join(argv, "\x1f"));
         if (cache_ != nullptr) {
           lock.unlock();  // lookup reassembles chunks; no machine involved
-          auto hit = cache_->lookup(o.key);
+          auto hit = cache_->lookup(o.key, ins_span.id());
           lock.lock();
           if (hit && restore_tree(o.dir, *hit->blob)) {
             o.cfg = hit->config;
+            ins_span.annotate("cached", "true");
             t.line("cached: using existing layer for step " + idx_str);
             break;
           }
@@ -479,7 +514,25 @@ int ChImage::build_stage(const std::string& tag,
           const kernel::SyscallStats::Totals before =
               stats_ != nullptr ? stats_->totals()
                                 : kernel::SyscallStats::Totals{};
+          // One syscall-batch span per attempt: deltas of the shared
+          // syscall.* counters are exact because the machine mutex is held
+          // across the container run.
+          obs::Span batch(tracer_.get(), "syscall-batch", ins_span.id());
+          batch.annotate("attempt", std::to_string(attempt));
+          const std::uint64_t calls0 =
+              metrics_->counter("syscall.calls").value();
+          const std::uint64_t errors0 =
+              metrics_->counter("syscall.errors").value();
           status = run_in_container(o.dir, run_cfg, argv, out, err);
+          batch.annotate(
+              "calls", std::to_string(
+                           metrics_->counter("syscall.calls").value() - calls0));
+          batch.annotate("errors",
+                         std::to_string(
+                             metrics_->counter("syscall.errors").value() -
+                             errors0));
+          batch.annotate("status", std::to_string(status));
+          batch.end();
           t.block(out);
           t.block(err);
           errno_sum.clear();

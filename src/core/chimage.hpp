@@ -31,6 +31,8 @@
 #include "kernel/syscall_filter.hpp"
 #include "kernel/trace.hpp"
 #include "image/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "image/tar.hpp"
 #include "support/transcript.hpp"
 
@@ -95,6 +97,18 @@ struct ChImageOptions {
   // Extra layers (e.g. fault injection) stacked above the runtime's syscall
   // table, innermost first; trace and fakeroot wrap outside these.
   std::vector<kernel::SyscallLayerFn> syscall_layers;
+
+  // Unified telemetry (`ch-image build --trace`): span tracing across the
+  // whole build — build → stage → instruction → syscall-batch — plus an
+  // ObserveSyscalls metrics layer stacked innermost in every container. A
+  // Tracer is created when `tracer` is null; read it back via tracer().
+  bool trace = false;
+  std::shared_ptr<obs::Tracer> tracer;
+  // ObserveSyscalls without full span tracing (implied by `trace`).
+  bool observe_syscalls = false;
+  // Registry the build reports into; null = obs::global_metrics(). Also
+  // re-points the build cache's mirrored counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ChImage {
@@ -149,6 +163,11 @@ class ChImage {
   const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
   int last_interposition_depth() const { return last_depth_; }
 
+  // The span tracer (null unless options.trace / options.tracer) and the
+  // metrics registry this builder reports into (never null).
+  const std::shared_ptr<obs::Tracer>& tracer() const { return tracer_; }
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   // Per-stage build state, indexed by stage index. Written only by the
   // stage's own executor; read by dependent stages (after the scheduler's
@@ -185,7 +204,7 @@ class ChImage {
   // scheduler. Serializes machine access via machine_mu_.
   int build_stage(const std::string& tag, const buildgraph::BuildGraph& g,
                   const buildgraph::Stage& s, std::vector<StageBuild>& sb,
-                  Transcript& t);
+                  Transcript& t, obs::SpanId stage_span);
 
   Machine& m_;
   kernel::Process invoker_;
@@ -199,6 +218,8 @@ class ChImage {
   fakeroot::FakeDbPtr embedded_db_;
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
+  std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on
+  obs::MetricsRegistry* metrics_ = nullptr;  // resolved in the constructor
 };
 
 // Renders ['a', 'b', 'c'] the way ch-image transcripts do.

@@ -6,6 +6,7 @@
 #include "buildfile/dockerfile.hpp"
 #include "core/chimage.hpp"  // format_argv
 #include "image/tar.hpp"
+#include "kernel/observe.hpp"
 #include "kernel/syscalls.hpp"
 #include "kernel/userdb.hpp"
 #include "support/path.hpp"
@@ -45,6 +46,20 @@ Podman::Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
     stats_ = options_.syscall_stats != nullptr
                  ? options_.syscall_stats
                  : std::make_shared<kernel::SyscallStats>();
+  }
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::global_metrics();
+  if (options_.tracer != nullptr) {
+    tracer_ = options_.tracer;
+    options_.trace = true;  // a supplied tracer implies tracing
+  } else if (options_.trace) {
+    tracer_ = std::make_shared<obs::Tracer>();
+  }
+  if (cache_ != nullptr) {
+    // Leave a shared cache's wiring alone unless we have something to add:
+    // another builder (or the caller) may already have pointed it somewhere.
+    if (options_.metrics != nullptr) cache_->set_metrics(options_.metrics);
+    if (tracer_ != nullptr) cache_->set_tracer(tracer_);
   }
   load_id_maps();
 }
@@ -101,8 +116,14 @@ Result<kernel::Process> Podman::enter(const Layer& layer,
       options_.driver == PodmanOptions::Driver::kOverlay;
   opts.env = cfg.env;
   MINICON_TRY_ASSIGN(c, enter_type2(m_, invoker_, rootfs, opts));
-  // Interposition stack, innermost first: caller-supplied layers (fault
-  // injection, ...), then tracing outermost so injected errnos are counted.
+  // Interposition stack, innermost first: metrics observation, then
+  // caller-supplied layers (fault injection, ...), then tracing outermost
+  // so injected errnos are counted. ObserveSyscalls sits below the caller
+  // layers so injected faults short-circuit above it and never skew the
+  // organic syscall.errno.* counters.
+  if (options_.trace || options_.observe_syscalls) {
+    c.sys = std::make_shared<kernel::ObserveSyscalls>(c.sys, metrics_);
+  }
   for (const auto& layer : options_.syscall_layers) {
     if (layer) c.sys = layer(c.sys);
   }
@@ -172,17 +193,24 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
   const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
   std::vector<StageBuild> sb(g.stages().size());
+  obs::Span build_span(tracer_.get(), "build");
+  build_span.annotate("builder", "podman");
+  build_span.annotate("tag", tag);
   buildgraph::StageScheduler::Options sopts;
   sopts.pool =
       options_.stage_pool != nullptr ? options_.stage_pool.get() : nullptr;
   sopts.parallel = options_.parallel_stages;
+  sopts.tracer = tracer_;
+  sopts.parent_span = build_span.id();
+  sopts.metrics = options_.metrics;
   buildgraph::StageScheduler sched(g, sopts);
   const int rc = sched.run(
       [&](const buildgraph::Stage& s, Transcript& st) {
-        return build_stage(g, s, sb, st);
+        return build_stage(g, s, sb, st, sched.stage_span(s.index));
       },
       t);
   sched_stats_ = sched.stats();
+  build_span.annotate("status", std::to_string(rc));
   if (rc != 0) return rc;
 
   StageBuild& fin = sb[static_cast<std::size_t>(g.target())];
@@ -198,7 +226,8 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
 
 int Podman::build_stage(const buildgraph::BuildGraph& g,
                         const buildgraph::Stage& s,
-                        std::vector<StageBuild>& sb, Transcript& t) {
+                        std::vector<StageBuild>& sb, Transcript& t,
+                        obs::SpanId stage_span) {
   std::unique_lock lock(machine_mu_);
   StageBuild& o = sb[static_cast<std::size_t>(s.index)];
   const std::string total = std::to_string(g.instruction_count());
@@ -292,6 +321,9 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
     const build::Instruction& ins = *si.ins;
     const std::string step_str = std::to_string(si.number);
     const std::string pfx = prefix(si.number);
+    obs::Span ins_span(tracer_.get(), "instruction", stage_span);
+    ins_span.annotate("number", step_str);
+    ins_span.annotate("kind", build::instr_name(ins.kind));
     switch (ins.kind) {
       case build::InstrKind::kFrom:
         break;  // unreachable: FROM opens a stage, never appears in a body
@@ -306,11 +338,12 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
                                               "RUN|" + join(argv, "\x1f"));
         if (cache_ != nullptr) {
           lock.unlock();  // lookup reassembles chunks; no machine involved
-          auto hit = cache_->lookup(o.key);
+          auto hit = cache_->lookup(o.key, ins_span.id());
           lock.lock();
           if (hit) {
             auto layer = driver_->create_layer(o.current);
             if (layer.ok() && restore_layer(*layer, *hit->blob)) {
+              ins_span.annotate("cached", "true");
               t.line("--> Using cache " +
                      Sha256::hex_digest(o.key).substr(0, 12));
               o.current = *layer;
@@ -342,7 +375,25 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
           const kernel::SyscallStats::Totals before =
               stats_ != nullptr ? stats_->totals()
                                 : kernel::SyscallStats::Totals{};
+          // One syscall-batch span per attempt: deltas of the shared
+          // syscall.* counters are exact because the machine mutex is held
+          // across the container run.
+          obs::Span batch(tracer_.get(), "syscall-batch", ins_span.id());
+          batch.annotate("attempt", std::to_string(attempt));
+          const std::uint64_t calls0 =
+              metrics_->counter("syscall.calls").value();
+          const std::uint64_t errors0 =
+              metrics_->counter("syscall.errors").value();
           status = m_.shell().run_argv(*container, argv, out, err);
+          batch.annotate(
+              "calls", std::to_string(
+                           metrics_->counter("syscall.calls").value() - calls0));
+          batch.annotate("errors",
+                         std::to_string(
+                             metrics_->counter("syscall.errors").value() -
+                             errors0));
+          batch.annotate("status", std::to_string(status));
+          batch.end();
           t.block(out);
           t.block(err);
           errno_sum.clear();

@@ -31,6 +31,8 @@
 #include "image/registry.hpp"
 #include "kernel/syscall_filter.hpp"
 #include "kernel/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/transcript.hpp"
 
 namespace minicon::support {
@@ -77,6 +79,18 @@ struct PodmanOptions {
   kernel::SyscallStatsPtr syscall_stats;  // shared sink; created if null
   // Extra layers (e.g. fault injection), innermost first; trace wraps them.
   std::vector<kernel::SyscallLayerFn> syscall_layers;
+
+  // Unified telemetry (`podman build --trace`): span tracing across the
+  // whole build — build → stage → instruction → syscall-batch — plus an
+  // ObserveSyscalls metrics layer stacked innermost in every container. A
+  // Tracer is created when `tracer` is null; read it back via tracer().
+  bool trace = false;
+  std::shared_ptr<obs::Tracer> tracer;
+  // ObserveSyscalls without full span tracing (implied by `trace`).
+  bool observe_syscalls = false;
+  // Registry the build reports into; null = obs::global_metrics(). Also
+  // re-points the build cache's mirrored counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Podman {
@@ -124,6 +138,11 @@ class Podman {
   const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
   int last_interposition_depth() const { return last_depth_; }
 
+  // The span tracer (null unless options.trace / options.tracer) and the
+  // metrics registry this builder reports into (never null).
+  const std::shared_ptr<obs::Tracer>& tracer() const { return tracer_; }
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   // The container-side view of a kernel ID under this Podman's map
   // (overflow ID when unmapped).
   vfs::Uid uid_to_container(vfs::Uid kuid) const;
@@ -159,7 +178,8 @@ class Podman {
   // Executes one build stage; called (possibly concurrently) by the
   // scheduler. Serializes machine access via machine_mu_.
   int build_stage(const buildgraph::BuildGraph& g, const buildgraph::Stage& s,
-                  std::vector<StageBuild>& sb, Transcript& t);
+                  std::vector<StageBuild>& sb, Transcript& t,
+                  obs::SpanId stage_span);
 
   Machine& m_;
   kernel::Process invoker_;
@@ -173,6 +193,8 @@ class Podman {
   std::mutex machine_mu_;
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
+  std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on
+  obs::MetricsRegistry* metrics_ = nullptr;  // resolved in the constructor
   kernel::IdMap uid_map_;
   kernel::IdMap gid_map_;
 };

@@ -9,7 +9,22 @@ namespace minicon::image {
 
 ChunkStore::ChunkStore(std::size_t chunk_size, std::size_t shards)
     : chunk_size_(chunk_size == 0 ? kDefaultChunkSize : chunk_size),
-      shards_(shards == 0 ? kDefaultShards : shards) {}
+      shards_(shards == 0 ? kDefaultShards : shards) {
+  set_metrics(nullptr);
+}
+
+void ChunkStore::set_metrics(obs::MetricsRegistry* metrics) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::global_metrics();
+  puts_ = &reg.counter("chunk.puts");
+  dedup_hits_ = &reg.counter("chunk.dedup_hits");
+  bytes_stored_ = &reg.counter("chunk.bytes_stored");
+  bytes_deduped_ = &reg.counter("chunk.bytes_deduped");
+}
+
+void ChunkStore::set_tracer(std::shared_ptr<obs::Tracer> tracer) {
+  tracer_ = std::move(tracer);
+}
 
 ChunkStore::Shard& ChunkStore::shard_for(const std::string& digest) const {
   // Digests are "sha256:<hex>"; the hex tail is uniformly distributed, so
@@ -25,23 +40,34 @@ ChunkStore::Shard& ChunkStore::shard_for(const std::string& digest) const {
 std::pair<std::string, std::uint64_t> ChunkStore::put_chunk(
     std::string_view data) {
   std::string digest = oci_digest(data);
+  puts_->add();
   Shard& shard = shard_for(digest);
   {
     std::lock_guard lock(shard.mu);
-    if (shard.chunks.contains(digest)) return {std::move(digest), 0};
+    if (shard.chunks.contains(digest)) {
+      dedup_hits_->add();
+      bytes_deduped_->add(data.size());
+      return {std::move(digest), 0};
+    }
   }
   // Miss: copy outside the lock, then re-check (another pusher may have won
   // the race; dedup makes the duplicate insert a harmless no-op).
   auto buf = std::make_shared<const std::string>(data);
   std::lock_guard lock(shard.mu);
   auto [it, inserted] = shard.chunks.try_emplace(digest, std::move(buf));
-  if (!inserted) return {std::move(digest), 0};
+  if (!inserted) {
+    dedup_hits_->add();
+    bytes_deduped_->add(data.size());
+    return {std::move(digest), 0};
+  }
   shard.bytes += data.size();
+  bytes_stored_->add(data.size());
   return {std::move(digest), data.size()};
 }
 
-ChunkedBlob ChunkStore::put(std::string_view data,
-                            support::ThreadPool* pool) {
+ChunkedBlob ChunkStore::put(std::string_view data, support::ThreadPool* pool,
+                            obs::SpanId parent) {
+  obs::Span span(tracer_.get(), "chunk.put", parent);
   ChunkedBlob out;
   out.size = data.size();
   const std::size_t n_chunks =
@@ -70,6 +96,11 @@ ChunkedBlob ChunkStore::put(std::string_view data,
     }
   }
   out.digest = blob_digest(out.chunks);
+  if (span.id() != obs::kNoSpan) {
+    span.annotate("chunks", std::to_string(out.chunks.size()));
+    span.annotate("size", std::to_string(out.size));
+    span.annotate("new_bytes", std::to_string(out.new_bytes));
+  }
   return out;
 }
 

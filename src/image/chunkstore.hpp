@@ -22,6 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace minicon::support {
 class ThreadPool;
 }
@@ -46,9 +49,11 @@ class ChunkStore {
   std::size_t chunk_size() const { return chunk_size_; }
 
   // Splits `data` into fixed-size chunks, digests them (in parallel when
-  // pool != nullptr), and stores only the chunks not already present.
-  ChunkedBlob put(std::string_view data,
-                  support::ThreadPool* pool = nullptr);
+  // pool != nullptr), and stores only the chunks not already present. When
+  // a tracer is attached the whole put runs inside a `chunk.put` span,
+  // childed under `parent` when the caller supplies one.
+  ChunkedBlob put(std::string_view data, support::ThreadPool* pool = nullptr,
+                  obs::SpanId parent = obs::kNoSpan);
 
   // Stores one chunk. Returns its digest and the bytes newly stored (0 when
   // the chunk deduplicated — in that case the data is never even copied).
@@ -69,6 +74,14 @@ class ChunkStore {
   std::uint64_t unique_bytes() const;
   std::uint64_t chunk_count() const;
 
+  // Re-point the dedup counters (`chunk.puts`, `chunk.dedup_hits`,
+  // `chunk.bytes_stored`, `chunk.bytes_deduped`) at a different registry
+  // (default: obs::global_metrics()), and attach a span tracer. Not
+  // thread-safe against in-flight puts — wire observability up before
+  // sharing the store.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_tracer(std::shared_ptr<obs::Tracer> tracer);
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -79,6 +92,11 @@ class ChunkStore {
 
   std::size_t chunk_size_;
   mutable std::vector<Shard> shards_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::Counter* puts_;
+  obs::Counter* dedup_hits_;
+  obs::Counter* bytes_stored_;
+  obs::Counter* bytes_deduped_;
 };
 
 }  // namespace minicon::image

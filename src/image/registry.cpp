@@ -25,7 +25,20 @@ std::string Manifest::digest() const { return oci_digest(serialize()); }
 
 Registry::Registry(std::string name, std::size_t shards)
     : name_(std::move(name)),
-      blob_shards_(shards == 0 ? kDefaultShards : shards) {}
+      blob_shards_(shards == 0 ? kDefaultShards : shards) {
+  set_observability(nullptr);
+}
+
+void Registry::set_observability(obs::MetricsRegistry* metrics,
+                                 std::shared_ptr<obs::Tracer> tracer) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::global_metrics();
+  pulls_metric_ = &reg.counter("registry.pulls");
+  pushes_metric_ = &reg.counter("registry.pushes");
+  bytes_pushed_metric_ = &reg.counter("registry.bytes_pushed");
+  chunks_.set_metrics(metrics);
+  chunks_.set_tracer(std::move(tracer));
+}
 
 Registry::BlobShard& Registry::shard_for(const std::string& digest) const {
   return blob_shards_[std::hash<std::string>{}(digest) %
@@ -45,9 +58,11 @@ std::string Registry::put_blob(std::string data) {
       it->second = std::make_shared<const std::string>(std::move(data));
       shard.bytes += size;
       bytes_pushed_ += size;
+      bytes_pushed_metric_->add(size);
     }
   }
   ++pushes_;
+  pushes_metric_->add();
   return digest;
 }
 
@@ -64,7 +79,9 @@ void Registry::commit_chunked(const ChunkedBlob& blob) {
     chunked_.try_emplace(blob.digest, blob);
   }
   bytes_pushed_ += blob.new_bytes;
+  bytes_pushed_metric_->add(blob.new_bytes);
   ++pushes_;
+  pushes_metric_->add();
 }
 
 void Registry::BlobWriter::flush_chunk() {
@@ -120,6 +137,7 @@ std::shared_ptr<const std::string> Registry::get_blob_ref(
     auto it = shard.blobs.find(digest);
     if (it != shard.blobs.end()) {
       ++pulls_;
+      pulls_metric_->add();
       return it->second;
     }
   }
@@ -129,6 +147,7 @@ std::shared_ptr<const std::string> Registry::get_blob_ref(
     std::lock_guard lock(chunked_mu_);
     if (auto it = assembled_.find(digest); it != assembled_.end()) {
       ++pulls_;
+      pulls_metric_->add();
       return it->second;
     }
     auto it = chunked_.find(digest);
@@ -140,6 +159,7 @@ std::shared_ptr<const std::string> Registry::get_blob_ref(
   std::lock_guard lock(chunked_mu_);
   auto [it, _] = assembled_.try_emplace(digest, std::move(buf));
   ++pulls_;
+  pulls_metric_->add();
   return it->second;
 }
 

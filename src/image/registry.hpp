@@ -140,6 +140,14 @@ class Registry {
   // without going through the push path or its traffic counters.
   ChunkStore& chunk_store() { return chunks_; }
 
+  // Re-point the registry's mirrored counters (`registry.pulls`,
+  // `registry.pushes`, `registry.bytes_pushed`) at a different
+  // MetricsRegistry (null = obs::global_metrics()) and attach a tracer;
+  // both forward to the chunk store (`chunk.*` metrics, `chunk.put` spans).
+  // Not thread-safe against in-flight traffic — wire up before sharing.
+  void set_observability(obs::MetricsRegistry* metrics,
+                         std::shared_ptr<obs::Tracer> tracer = nullptr);
+
   // Traffic counters for the workflow benches.
   // Unique bytes resident (whole blobs + deduplicated chunks).
   std::uint64_t blob_bytes() const;
@@ -173,6 +181,11 @@ class Registry {
   mutable std::atomic<std::uint64_t> pulls_{0};
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> bytes_pushed_{0};
+  // Registry-view mirrors of the atomics above, so the `metrics` builtin
+  // reports the same numbers pulls()/pushes()/bytes_pushed() do.
+  obs::Counter* pulls_metric_;
+  obs::Counter* pushes_metric_;
+  obs::Counter* bytes_pushed_metric_;
 };
 
 }  // namespace minicon::image

@@ -23,6 +23,11 @@ std::uint64_t FaultInjectSyscalls::calls_seen() const {
   return seq_;
 }
 
+void FaultInjectSyscalls::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
 std::uint64_t FaultInjectSyscalls::next_random() {
   // xorshift64*: deterministic, state advances only on a spec match so
   // unrelated traffic cannot shift the failure point.
@@ -49,6 +54,12 @@ Err FaultInjectSyscalls::should_fail(const char* op, const std::string& path) {
     }
     ++fired_[i];
     log_.push_back({seq_, op, path, s.error});
+    if (metrics_ != nullptr) {
+      metrics_->counter("syscall.fault_injected").add();
+      metrics_->counter("syscall.fault_injected." +
+                        std::string(err_name(s.error)))
+          .add();
+    }
     return s.error;
   }
   return Err::none;

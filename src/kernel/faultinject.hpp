@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kernel/syscall_filter.hpp"
+#include "obs/metrics.hpp"
 
 namespace minicon::kernel {
 
@@ -47,6 +48,13 @@ class FaultInjectSyscalls : public SyscallFilter {
   // Log of every fault fired, in order. Deterministic for a given seed.
   std::vector<InjectedFault> injected() const;
   std::uint64_t calls_seen() const;
+
+  // Mirror fired faults into a MetricsRegistry as `syscall.fault_injected`
+  // (plus `syscall.fault_injected.<ERRNAME>`). Injected faults never reach
+  // the ObserveSyscalls layer below, so these counters are the only place
+  // they appear — robustness experiments separate them from organic errnos
+  // by construction. Null detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   Result<vfs::Stat> stat(Process& p, const std::string& path) override;
   Result<vfs::Stat> lstat(Process& p, const std::string& path) override;
@@ -89,6 +97,7 @@ class FaultInjectSyscalls : public SyscallFilter {
   std::uint64_t next_random();  // xorshift64*, seeded
 
   mutable std::mutex mu_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // guarded by mu_
   std::vector<FaultSpec> specs_;
   std::vector<std::uint64_t> matched_;  // per-spec matching-call counts
   std::vector<std::uint64_t> fired_;    // per-spec injected-fault counts

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace minicon::obs {
+
+namespace {
+
+// Fixed-point-free double rendering that is stable across libc locales:
+// integral values print without a fraction, others with up to 3 decimals.
+std::string render_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << v;
+  return os.str();
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<double>& Histogram::default_latency_bounds_us() {
+  static const std::vector<double> bounds = {1,    2,    5,    10,   20,
+                                             50,   100,  200,  500,  1000,
+                                             2000, 5000, 10000};
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_latency_bounds_us()
+                             : std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Doubles have no wait-free fetch_add everywhere; CAS-accumulate the sum.
+  std::uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(old_bits) + v;
+    if (sum_bits_.compare_exchange_weak(old_bits, std::bit_cast<std::uint64_t>(next),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Shard& s = shard_for(name);
+  std::lock_guard lock(s.mu);
+  auto& slot = s.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Shard& s = shard_for(name);
+  std::lock_guard lock(s.mu);
+  auto& slot = s.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Shard& s = shard_for(name);
+  std::lock_guard lock(s.mu);
+  auto& slot = s.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    for (const auto& [name, c] : s.counters) snap.counters[name] = c->value();
+    for (const auto& [name, g] : s.gauges) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : s.histograms) {
+      MetricsSnapshot::HistogramValue v;
+      v.bounds = h->bounds();
+      v.buckets = h->bucket_counts();
+      v.count = h->count();
+      v.sum = h->sum();
+      snap.histograms[name] = std::move(v);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::text() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    out += "counter " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += "gauge " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const double avg = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+    out += "histogram " + name + " count=" + std::to_string(h.count) +
+           " sum=" + render_double(h.sum) + " avg=" + render_double(avg) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape(out, name);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape(out, name);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + render_double(h.sum) + ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += render_double(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    for (auto& [name, c] : s.counters) c->reset();
+    for (auto& [name, g] : s.gauges) g->reset();
+    for (auto& [name, h] : s.histograms) h->reset();
+  }
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace minicon::obs

@@ -1,0 +1,137 @@
+// MetricsRegistry: process-wide named counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// The paper's evidence is counted behavior — how many chown(2)s a distro
+// build issues, how many fail, how much the fakeroot layer adds (§2.3,
+// §6.1-1) — so the registry is built for the syscall hot path: instruments
+// are plain atomics, lookup is lock-sharded by name hash, and the pointer
+// returned by counter()/gauge()/histogram() is stable for the registry's
+// lifetime so callers resolve a name once and then update lock-free.
+// Snapshots render to a stable text format (sorted by kind, then name) and
+// to JSON, so the `metrics` shell builtin and BENCH_*.json rows show the
+// same numbers the subsystem stats structs do.
+//
+// Naming convention: `subsystem.metric` (e.g. `syscall.calls`,
+// `cache.hits`, `chunk.dedup_hits`, `pool.queue_depth`); per-key variants
+// append one more segment (`syscall.chown.errors`, `syscall.errno.EPERM`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace minicon::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Instantaneous signed level (queue depth, resident bytes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-bucket histogram: bounds are upper edges (value <= bound lands in
+// that bucket), with one implicit +inf overflow bucket. The default bounds
+// suit microsecond latencies. observe() is wait-free: a linear scan over a
+// dozen bounds plus three relaxed atomic adds.
+class Histogram {
+ public:
+  // {1, 2, 5, ...} µs decades up to 10 ms; values above land in +inf.
+  static const std::vector<double>& default_latency_bounds_us();
+
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  // size() == bounds().size() + 1; last element is the +inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double, CAS-accumulated
+};
+
+// Point-in-time copy of every instrument, for rendering and tests.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; the returned reference is stable for the registry's
+  // lifetime, so hot paths resolve once and update without the shard lock.
+  // A histogram's bounds are fixed by its first registration.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  // One instrument per line, sorted: `counter <name> <value>`,
+  // `gauge <name> <value>`, `histogram <name> count=<n> sum=<s> avg=<a>`.
+  std::string text() const;
+  std::string json() const;
+
+  // Zeroes every instrument (instruments stay registered; pointers remain
+  // valid). Mirrored stats structs are unaffected — reset is a view reset.
+  void reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(const std::string& name) const;
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+// The process-wide registry. Components take an optional MetricsRegistry*;
+// null means this one (mirroring support::shared_pool()).
+MetricsRegistry& global_metrics();
+
+}  // namespace minicon::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace minicon::obs {
+
+namespace {
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::tid_locked() {
+  const auto me = std::this_thread::get_id();
+  auto it = tids_.find(me);
+  if (it != tids_.end()) return it->second;
+  const int id = static_cast<int>(tids_.size()) + 1;
+  tids_.emplace(me, id);
+  return id;
+}
+
+SpanId Tracer::begin(const std::string& name, SpanId parent) {
+  const std::int64_t t = now_us();
+  std::lock_guard lock(mu_);
+  SpanRecord rec;
+  rec.id = spans_.size() + 1;
+  rec.parent = parent;
+  rec.name = name;
+  rec.tid = tid_locked();
+  rec.start_us = t;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+  const std::int64_t t = now_us();
+  std::lock_guard lock(mu_);
+  if (id == kNoSpan || id > spans_.size()) return;
+  SpanRecord& rec = spans_[id - 1];
+  if (rec.end_us < 0) {
+    // The ending thread is the one that ran the work; attribute it there
+    // (a stage span begins on the caller and ends on a pool worker).
+    rec.tid = tid_locked();
+    rec.end_us = std::max(t, rec.start_us);
+  }
+}
+
+void Tracer::annotate(SpanId id, const std::string& key,
+                      const std::string& value) {
+  std::lock_guard lock(mu_);
+  if (id == kNoSpan || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::int64_t now = now_us();
+  const auto snap = spans();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : snap) {
+    if (!first) out += ",";
+    first = false;
+    const std::int64_t end = s.end_us < 0 ? now : s.end_us;
+    out += "{\"name\":\"";
+    json_escape(out, s.name);
+    out += "\",\"cat\":\"minicon\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(s.start_us) +
+           ",\"dur\":" + std::to_string(std::max<std::int64_t>(end - s.start_us, 0)) +
+           ",\"pid\":1,\"tid\":" + std::to_string(s.tid) + ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(s.id) +
+           ",\"parent_id\":" + std::to_string(s.parent);
+    for (const auto& [k, v] : s.attrs) {
+      out += ",\"";
+      json_escape(out, k);
+      out += "\":\"";
+      json_escape(out, v);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::span_tree() const {
+  const std::int64_t now = now_us();
+  const auto snap = spans();
+  // children[parent] in (start_us, id) order; parent 0 collects the roots.
+  std::map<SpanId, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& s : snap) {
+    // A dangling parent id (span cleared, or foreign tracer) roots the span.
+    const SpanId parent = s.parent <= snap.size() ? s.parent : kNoSpan;
+    children[parent].push_back(&s);
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                if (a->start_us != b->start_us) return a->start_us < b->start_us;
+                return a->id < b->id;
+              });
+  }
+  std::string out;
+  // Depth-first from the roots, iterative to keep deep traces safe.
+  std::vector<std::pair<const SpanRecord*, int>> stack;
+  const auto push_children = [&](SpanId id, int depth) {
+    auto it = children.find(id);
+    if (it == children.end()) return;
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      stack.emplace_back(*rit, depth);
+    }
+  };
+  push_children(kNoSpan, 0);
+  while (!stack.empty()) {
+    const auto [s, depth] = stack.back();
+    stack.pop_back();
+    const std::int64_t end = s->end_us < 0 ? now : s->end_us;
+    out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+    out += s->name + " (" + std::to_string(std::max<std::int64_t>(end - s->start_us, 0)) +
+           " us)";
+    for (const auto& [k, v] : s->attrs) out += " " + k + "=" + v;
+    out += "\n";
+    push_children(s->id, depth + 1);
+  }
+  return out;
+}
+
+}  // namespace minicon::obs

@@ -1,0 +1,121 @@
+// Tracer: hierarchical spans over the build pipeline, exportable as Chrome
+// trace_event JSON (load in Perfetto / about:tracing) or a plain-text tree.
+//
+// A span is one timed region with a name, a parent, the thread that ran it,
+// and key/value attributes: `build → stage → instruction → syscall-batch`
+// for a builder run, plus `cache.lookup`, `chunk.put`, and `pool.task`
+// leaves from the subsystems underneath. Parents are threaded explicitly
+// (not via thread-local state) because the stage scheduler migrates work
+// across pool workers — a stage span begun on the caller's thread ends on
+// whichever worker ran the stage.
+//
+// Timestamps are microseconds on std::chrono::steady_clock, relative to the
+// tracer's construction, so exports are monotonic and diffable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace minicon::obs {
+
+// 0 means "no span"; real ids start at 1 and are dense.
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  int tid = 0;             // small dense id per observed thread, 1-based
+  std::int64_t start_us = 0;
+  std::int64_t end_us = -1;  // -1 while the span is open
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  SpanId begin(const std::string& name, SpanId parent = kNoSpan);
+  void end(SpanId id);
+  void annotate(SpanId id, const std::string& key, const std::string& value);
+
+  std::vector<SpanRecord> spans() const;  // snapshot, in id order
+  std::size_t span_count() const;
+  std::int64_t now_us() const;  // µs since tracer construction
+  void clear();
+
+  // {"traceEvents":[...]} with one complete ("ph":"X") event per span.
+  // Open spans are clamped to the export instant so the file always loads.
+  std::string chrome_trace_json() const;
+
+  // Indented tree, children ordered by (start_us, id):
+  //   build (1234 us) tag=hello builder=ch-image
+  //     stage (801 us) index=0 ...
+  std::string span_tree() const;
+
+ private:
+  int tid_locked();  // dense id for the calling thread; mu_ must be held
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // spans_[id - 1]
+  std::map<std::thread::id, int> tids_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+using TracerPtr = std::shared_ptr<Tracer>;
+
+// RAII span. Inert when the tracer is null, so instrumentation sites need
+// no branching: `obs::Span span(tracer_.get(), "chunk.put", parent);`.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, const std::string& name, SpanId parent = kNoSpan)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->begin(name, parent);
+  }
+  ~Span() { end(); }
+
+  Span(Span&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = kNoSpan;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = kNoSpan;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  SpanId id() const { return id_; }
+  void annotate(const std::string& key, const std::string& value) {
+    if (tracer_ != nullptr && id_ != kNoSpan) tracer_->annotate(id_, key, value);
+  }
+  void end() {
+    if (tracer_ != nullptr && id_ != kNoSpan) tracer_->end(id_);
+    tracer_ = nullptr;
+    id_ = kNoSpan;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace minicon::obs

@@ -1,0 +1,57 @@
+#include "shell/obscmd.hpp"
+
+#include "kernel/syscalls.hpp"
+#include "shell/registry.hpp"
+
+namespace minicon::shell {
+
+void register_obs_commands(CommandRegistry& reg, obs::MetricsRegistry* metrics,
+                           std::shared_ptr<obs::Tracer> tracer) {
+  obs::MetricsRegistry* m =
+      metrics != nullptr ? metrics : &obs::global_metrics();
+  reg.register_special("metrics", [m](Invocation& inv) {
+    if (inv.args.size() > 1 && inv.args[1] == "reset") {
+      m->reset();
+      return 0;
+    }
+    if (inv.args.size() > 1 && inv.args[1] == "json") {
+      inv.out += m->json() + "\n";
+      return 0;
+    }
+    if (inv.args.size() > 1) {
+      inv.err += "metrics: usage: metrics [reset|json]\n";
+      return 2;
+    }
+    inv.out += m->text();
+    return 0;
+  });
+  reg.register_special("trace", [tracer](Invocation& inv) {
+    if (inv.args.size() < 2 || (inv.args[1] != "tree" &&
+                                (inv.args[1] != "export" ||
+                                 inv.args.size() != 3))) {
+      inv.err += "trace: usage: trace tree | trace export <path>\n";
+      return 2;
+    }
+    if (tracer == nullptr) {
+      inv.err += "trace: tracing is not enabled (run with --trace)\n";
+      return 1;
+    }
+    if (inv.args[1] == "tree") {
+      inv.out += tracer->span_tree();
+      return 0;
+    }
+    const std::string json = tracer->chrome_trace_json();
+    if (auto rc = inv.proc.sys->write_file(inv.proc, inv.args[2], json, false,
+                                           0644);
+        !rc.ok()) {
+      inv.err += "trace: cannot write " + inv.args[2] + ": " +
+                 std::string(err_message(rc.error())) + "\n";
+      return 1;
+    }
+    inv.out += "trace: wrote " + std::to_string(tracer->span_count()) +
+               " spans to " + inv.args[2] + "\n";
+    return 0;
+  });
+}
+
+}  // namespace minicon::shell

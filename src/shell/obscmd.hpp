@@ -1,0 +1,29 @@
+// Shell builtins surfacing the unified build telemetry (src/obs/):
+//
+//   metrics [reset|json]   print (or reset) the metrics registry — every
+//                          subsystem's counters, gauges, and histograms in
+//                          one place, mirrored from the same update points
+//                          as the per-subsystem stats structs;
+//   trace tree             print the span tree (build → stage →
+//                          instruction → syscall-batch) as indented text;
+//   trace export <path>    write Chrome trace_event JSON (loadable in
+//                          Perfetto / chrome://tracing) to a file inside
+//                          the simulated filesystem.
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace minicon::shell {
+
+class CommandRegistry;
+
+// `metrics` null selects obs::global_metrics(); `tracer` may be null, in
+// which case the trace builtins report that tracing is off.
+void register_obs_commands(CommandRegistry& reg,
+                           obs::MetricsRegistry* metrics = nullptr,
+                           std::shared_ptr<obs::Tracer> tracer = nullptr);
+
+}  // namespace minicon::shell

@@ -2,11 +2,17 @@
 
 namespace minicon::support {
 
-ThreadPool::ThreadPool(std::size_t width) {
+ThreadPool::ThreadPool(std::size_t width, obs::MetricsRegistry* metrics) {
   if (width == 0) {
     width = std::thread::hardware_concurrency();
     if (width == 0) width = 1;
   }
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::global_metrics();
+  queue_depth_ = &reg.gauge("pool.queue_depth");
+  tasks_ = &reg.counter("pool.tasks");
+  wait_us_ = &reg.histogram("pool.task_wait_us");
+  run_us_ = &reg.histogram("pool.task_run_us");
   workers_.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
     workers_.emplace_back([this] { worker(); });
@@ -30,9 +36,15 @@ std::size_t ThreadPool::pending() const {
   return queue_.size();
 }
 
+void ThreadPool::set_tracer(std::shared_ptr<obs::Tracer> tracer) {
+  std::lock_guard lock(mu_);
+  tracer_ = std::move(tracer);
+}
+
 void ThreadPool::worker() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    std::shared_ptr<obs::Tracer> tracer;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -40,8 +52,25 @@ void ThreadPool::worker() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+      tracer = tracer_;
     }
-    task();  // exceptions land in the task's future, not here
+    const auto started = std::chrono::steady_clock::now();
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(started - task.enqueued)
+            .count();
+    wait_us_->observe(wait_us);
+    {
+      obs::Span span(tracer.get(), "pool.task");
+      if (span.id() != obs::kNoSpan) {
+        span.annotate("wait_us", std::to_string(static_cast<long long>(wait_us)));
+      }
+      task.fn();  // exceptions land in the task's future, not here
+    }
+    run_us_->observe(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - started)
+                         .count());
+    tasks_->add();
   }
 }
 

@@ -9,6 +9,7 @@
 // submitted before shutdown runs to completion.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -21,12 +22,19 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace minicon::support {
 
 class ThreadPool {
  public:
-  // width 0 = one worker per hardware thread (at least one).
-  explicit ThreadPool(std::size_t width = 0);
+  // width 0 = one worker per hardware thread (at least one). The pool
+  // always reports into a MetricsRegistry (null = obs::global_metrics()):
+  // `pool.queue_depth` gauge, `pool.tasks` counter, and
+  // `pool.task_wait_us` / `pool.task_run_us` histograms.
+  explicit ThreadPool(std::size_t width = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -51,20 +59,38 @@ class ThreadPool {
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(
+          {[task] { (*task)(); }, std::chrono::steady_clock::now()});
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return future;
   }
 
+  // When set, every task runs inside a root `pool.task` span annotated with
+  // its queue wait. Null detaches.
+  void set_tracer(std::shared_ptr<obs::Tracer> tracer);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  std::shared_ptr<obs::Tracer> tracer_;  // guarded by mu_
+
+  // Resolved once at construction; updates are lock-free relaxed atomics.
+  obs::Gauge* queue_depth_;
+  obs::Counter* tasks_;
+  obs::Histogram* wait_us_;
+  obs::Histogram* run_us_;
 };
 
 // Lazily-constructed process-wide pool for digest work. Components take an

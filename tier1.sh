@@ -10,15 +10,20 @@ cmake -B "$BUILD_DIR" -S . -DMINICON_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Trace-export smoke: a --force --trace multi-stage build must produce
+# well-formed Chrome trace JSON with build/stage/instruction/syscall-batch
+# nesting (trace_smoke validates and exits non-zero otherwise).
+"$BUILD_DIR"/examples/trace_smoke "$BUILD_DIR"/trace_smoke.json
+
 # TSAN pass: only the suites that exercise shared mutable state (the
-# registry/chunk-store stress tests, the thread pool itself, and the
-# parallel stage scheduler / shared build cache).
+# registry/chunk-store stress tests, the thread pool itself, the parallel
+# stage scheduler / shared build cache, and the metrics registry / tracer).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target test_concurrency test_threadpool test_buildgraph
+  --target test_concurrency test_threadpool test_buildgraph test_obs
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool|test_buildgraph'
+  -R 'test_concurrency|test_threadpool|test_buildgraph|test_obs'
 
 # ASAN pass: the builders move snapshot blobs across threads; make sure no
 # stage outlives what it borrows.
