@@ -4,6 +4,7 @@
 
 #include "shell/registry.hpp"
 #include "support/sha256.hpp"
+#include "vfs/snapshot.hpp"
 
 namespace minicon::buildgraph {
 
@@ -23,6 +24,7 @@ void BuildCache::set_metrics(obs::MetricsRegistry* metrics) {
   hits_metric_ = &reg.counter("cache.hits");
   misses_metric_ = &reg.counter("cache.misses");
   evictions_metric_ = &reg.counter("cache.evictions");
+  evicted_bytes_metric_ = &reg.counter("cache.evicted_bytes");
   bytes_metric_ = &reg.gauge("cache.bytes");
   entries_metric_ = &reg.gauge("cache.entries");
 }
@@ -34,7 +36,7 @@ void BuildCache::set_tracer(std::shared_ptr<obs::Tracer> tracer) {
 
 std::optional<BuildCache::Hit> BuildCache::lookup(const std::string& key,
                                                   obs::SpanId parent) {
-  std::unique_lock lock(mu_);
+  std::lock_guard lock(mu_);
   obs::Span span(tracer_.get(), "cache.lookup", parent);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -47,29 +49,57 @@ std::optional<BuildCache::Hit> BuildCache::lookup(const std::string& key,
   hits_metric_->add();
   span.annotate("outcome", "hit");
   it->second.stamp = ++clock_;
-  const image::ChunkedBlob blob = it->second.blob;
-  image::ImageConfig config = it->second.config;
-  lock.unlock();
-  // Reassembly reads the chunk store (its own sharded locks), not ours.
-  auto data = chunks_->assemble(blob);
-  if (data == nullptr) return std::nullopt;  // chunks dropped underneath us
-  return Hit{std::move(data), std::move(config)};
+  // The tree is immutable and shared; handing out the pointer is the whole
+  // hit — nothing to reassemble.
+  return Hit{it->second.snapshot, it->second.config};
 }
 
-void BuildCache::store(const std::string& key, std::string_view tar_blob,
-                       const image::ImageConfig& config) {
-  // Chunk + digest outside the lock: this is the expensive part, and it is
-  // exactly what independent stages overlap.
-  const image::ChunkedBlob blob = chunks_->put(tar_blob);
+void BuildCache::chunk_new_subtrees(const vfs::SnapNodePtr& node,
+                                    std::uint64_t* nodes,
+                                    std::uint64_t* new_bytes) {
+  {
+    std::lock_guard g(seen_mu_);
+    // A seen digest means this exact subtree was fully chunked before
+    // (possibly as part of another entry): skip it wholesale.
+    if (!seen_.insert(node->digest).second) return;
+  }
+  ++*nodes;
+  if (node->type == vfs::FileType::Regular && !node->content_view().empty()) {
+    chunks_->put(node->content_view());
+    *new_bytes += node->content_view().size();
+  }
+  for (const auto& [name, child] : node->children) {
+    chunk_new_subtrees(child, nodes, new_bytes);
+  }
+}
+
+void BuildCache::store(const std::string& key, vfs::SnapNodePtr snapshot,
+                       const image::ImageConfig& config, obs::SpanId parent) {
+  if (snapshot == nullptr) return;
+  std::shared_ptr<obs::Tracer> tracer;
+  {
+    std::lock_guard lock(mu_);
+    tracer = tracer_;
+  }
+  obs::Span span(tracer.get(), "cache.store", parent);
+  // Chunking new file contents is the expensive part and runs outside the
+  // entry lock; unchanged subtrees are skipped by digest.
+  std::uint64_t new_nodes = 0;
+  std::uint64_t new_bytes = 0;
+  chunk_new_subtrees(snapshot, &new_nodes, &new_bytes);
+  span.annotate("new_nodes", std::to_string(new_nodes));
+  span.annotate("new_bytes", std::to_string(new_bytes));
+
+  const std::uint64_t size = snapshot->tree_bytes;
   std::lock_guard lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    stats_.bytes -= it->second.blob.size;
-    it->second = Entry{blob, config, ++clock_};
-    stats_.bytes += blob.size;
+    stats_.bytes -= it->second.snapshot->tree_bytes;
+    it->second = Entry{std::move(snapshot), config, ++clock_};
+    stats_.bytes += size;
   } else {
-    entries_[key] = Entry{blob, config, ++clock_};
-    stats_.bytes += blob.size;
+    entries_[key] = Entry{std::move(snapshot), config, ++clock_};
+    stats_.bytes += size;
   }
   evict_locked();
 }
@@ -80,10 +110,15 @@ void BuildCache::evict_locked() {
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->second.stamp < oldest->second.stamp) oldest = it;
     }
-    stats_.bytes -= oldest->second.blob.size;
+    const std::uint64_t dropped = oldest->second.snapshot->tree_bytes;
+    stats_.bytes -= dropped;
     entries_.erase(oldest);
     ++stats_.evictions;
+    stats_.evicted_bytes += dropped;
+    // Mirrored at the same locked point so the `build-cache` builtin and the
+    // `metrics` registry can never disagree after eviction pressure.
     evictions_metric_->add();
+    evicted_bytes_metric_->add(dropped);
   }
   stats_.entries = entries_.size();
   // Levels, not deltas: a shared registry may also serve another cache, so
@@ -123,12 +158,14 @@ std::string pad_left(const std::string& s, std::size_t width) {
 void register_cache_command(shell::CommandRegistry& reg, BuildCachePtr cache) {
   reg.register_special("build-cache", [cache](shell::Invocation& inv) {
     const CacheStats s = cache->stats();
-    inv.out += "   hits  misses  evicts  entries       bytes\n";
+    inv.out +=
+        "   hits  misses  evicts  entries       bytes     evicted\n";
     inv.out += pad_left(std::to_string(s.hits), 7) +
                pad_left(std::to_string(s.misses), 8) +
                pad_left(std::to_string(s.evictions), 8) +
                pad_left(std::to_string(s.entries), 9) +
-               pad_left(std::to_string(s.bytes), 12) + "\n";
+               pad_left(std::to_string(s.bytes), 12) +
+               pad_left(std::to_string(s.evicted_bytes), 12) + "\n";
     return 0;
   });
 }

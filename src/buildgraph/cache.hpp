@@ -2,15 +2,19 @@
 //
 // A cache key is an incremental SHA-256 chain over (parent-state digest,
 // normalized instruction, digests of any copied context files) — the same
-// scheme ch-image's follow-on build cache uses. A cache value is a snapshot
-// tree serialized as a tar blob and stored as fixed-size chunks in an
-// image::ChunkStore. Pointing the cache at the registry's chunk store makes
-// cached layers deduplicate against registry blobs: a layer that was pushed
-// (or pulled) costs almost nothing to cache, and vice versa.
+// scheme ch-image's follow-on build cache uses. A cache value is a Merkle
+// tree reference: an immutable vfs::SnapNode tree whose directory objects
+// are shared structurally and whose file contents are chunked into an
+// image::ChunkStore. Storing an entry walks only subtrees the cache has not
+// seen before (by Merkle digest), so caching a build state that differs from
+// an earlier one by one directory costs O(changed), and a hit returns the
+// tree by pointer with no reassembly at all. Pointing the cache at the
+// registry's chunk store makes cached file contents deduplicate against
+// registry blobs.
 //
-// Entries are LRU-evicted once resident serialized bytes exceed the
-// capacity. Eviction drops only the cache's entry record; the chunks remain
-// in the (shared, deduplicated) chunk store until its owner drops them.
+// Entries are LRU-evicted once resident snapshot bytes exceed the capacity.
+// Eviction drops only the cache's entry record (and its tree reference);
+// chunks and shared subtrees remain until their last referent drops them.
 //
 // Thread-safe: the stage scheduler runs independent stages concurrently and
 // both builders may share one instance.
@@ -23,11 +27,13 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "image/chunkstore.hpp"
 #include "image/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "vfs/filesystem.hpp"
 
 namespace minicon::shell {
 class CommandRegistry;
@@ -39,8 +45,9 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
-  std::uint64_t bytes = 0;    // serialized bytes of resident entries
-  std::uint64_t entries = 0;  // resident entry count
+  std::uint64_t evicted_bytes = 0;  // cumulative bytes dropped by eviction
+  std::uint64_t bytes = 0;          // tree bytes of resident entries
+  std::uint64_t entries = 0;        // resident entry count
 };
 
 class BuildCache {
@@ -53,32 +60,36 @@ class BuildCache {
                       std::uint64_t capacity_bytes = kDefaultCapacity);
 
   struct Hit {
-    std::shared_ptr<const std::string> blob;  // serialized snapshot tar
+    vfs::SnapNodePtr snapshot;  // immutable Merkle snapshot tree
     image::ImageConfig config;
   };
 
-  // Counts a hit or miss; a hit reassembles the snapshot blob and marks the
-  // entry most-recently-used. With a tracer attached the lookup runs inside
-  // a `cache.lookup` span (childed under `parent` when given) annotated
-  // with the outcome.
+  // Counts a hit or miss; a hit returns the snapshot tree by pointer (O(1),
+  // nothing is reassembled) and marks the entry most-recently-used. With a
+  // tracer attached the lookup runs inside a `cache.lookup` span (childed
+  // under `parent` when given) annotated with the outcome.
   std::optional<Hit> lookup(const std::string& key,
                             obs::SpanId parent = obs::kNoSpan);
 
   // Stores (or refreshes) an entry and evicts least-recently-used entries
-  // until resident bytes fit the capacity again. Chunk digesting happens
-  // outside the lock, so concurrent stages overlap their serialization.
-  void store(const std::string& key, std::string_view tar_blob,
-             const image::ImageConfig& config);
+  // until resident bytes fit the capacity again. Only subtrees whose Merkle
+  // digest the cache has not chunked before are walked, outside the lock, so
+  // concurrent stages overlap their chunking and an incremental store is
+  // O(changed files).
+  void store(const std::string& key, vfs::SnapNodePtr snapshot,
+             const image::ImageConfig& config,
+             obs::SpanId parent = obs::kNoSpan);
 
   CacheStats stats() const;
   std::uint64_t capacity() const { return capacity_; }
 
   // The CacheStats counters are mirrored into a MetricsRegistry at the same
-  // locked update points (`cache.hits`/`cache.misses`/`cache.evictions`
-  // counters, `cache.bytes`/`cache.entries` gauges), so the `build-cache`
-  // and `metrics` builtins can never disagree. Default registry is
-  // obs::global_metrics(); re-point before sharing the cache. The tracer
-  // (if any) times lookups as `cache.lookup` spans.
+  // locked update points (`cache.hits`/`cache.misses`/`cache.evictions`/
+  // `cache.evicted_bytes` counters, `cache.bytes`/`cache.entries` gauges),
+  // so the `build-cache` and `metrics` builtins can never disagree — even
+  // after eviction pressure. Default registry is obs::global_metrics();
+  // re-point before sharing the cache. The tracer (if any) times lookups as
+  // `cache.lookup` spans and stores as `cache.store` spans.
   void set_metrics(obs::MetricsRegistry* metrics);
   void set_tracer(std::shared_ptr<obs::Tracer> tracer);
 
@@ -89,11 +100,13 @@ class BuildCache {
 
  private:
   struct Entry {
-    image::ChunkedBlob blob;
+    vfs::SnapNodePtr snapshot;
     image::ImageConfig config;
     std::uint64_t stamp = 0;  // LRU clock
   };
   void evict_locked();
+  void chunk_new_subtrees(const vfs::SnapNodePtr& node, std::uint64_t* nodes,
+                          std::uint64_t* new_bytes);
 
   mutable std::mutex mu_;
   image::ChunkStore* chunks_;
@@ -106,8 +119,14 @@ class BuildCache {
   obs::Counter* hits_metric_;
   obs::Counter* misses_metric_;
   obs::Counter* evictions_metric_;
+  obs::Counter* evicted_bytes_metric_;
   obs::Gauge* bytes_metric_;
   obs::Gauge* entries_metric_;
+
+  // Merkle digests whose subtrees have already been chunked; guarded by its
+  // own mutex so chunking never blocks lookups.
+  std::mutex seen_mu_;
+  std::unordered_set<std::string> seen_;
 };
 
 using BuildCachePtr = std::shared_ptr<BuildCache>;

@@ -12,6 +12,7 @@
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
+#include "vfs/snapshot.hpp"
 #include "vfs/treeops.hpp"
 
 namespace minicon::core {
@@ -222,27 +223,45 @@ int ChImage::run_in_container(const std::string& image_dir,
   return m_.shell().run_argv(*container, argv, out, err);
 }
 
-VoidResult ChImage::snapshot_tree(const std::string& dir,
-                                  std::string& out_blob) {
+Result<vfs::SnapNodePtr> ChImage::tree_snapshot(const std::string& dir,
+                                                obs::SpanId parent) {
   MINICON_TRY_ASSIGN(loc, invoker_.sys->resolve(invoker_, dir, true));
-  MINICON_TRY_ASSIGN(entries, image::tree_to_entries(*loc.mnt->fs, loc.ino));
-  out_blob = image::tar_create(entries);
-  return {};
+  obs::Span span(tracer_.get(), "snapshot", parent);
+  vfs::SnapshotStats stats;
+  MINICON_TRY_ASSIGN(snap, loc.mnt->fs->snapshot(loc.ino, &stats));
+  span.annotate("nodes_built", std::to_string(stats.nodes_built));
+  span.annotate("nodes_reused", std::to_string(stats.nodes_reused));
+  metrics_->counter("snapshot.nodes_built").add(stats.nodes_built);
+  metrics_->counter("snapshot.nodes_reused").add(stats.nodes_reused);
+  return snap;
 }
 
-bool ChImage::restore_tree(const std::string& dir, const std::string& blob) {
-  auto entries = image::tar_parse(blob);
-  if (!entries.ok()) return false;
+bool ChImage::restore_tree(const std::string& dir,
+                           const vfs::SnapNodePtr& target, obs::SpanId parent) {
+  if (target == nullptr) return false;
   auto loc = invoker_.sys->resolve(invoker_, dir, true);
   if (!loc.ok()) return false;
   vfs::OpCtx ctx;
   ctx.host_uid = invoker_.cred.euid;
   ctx.host_gid = invoker_.cred.egid;
   ctx.host_privileged = invoker_.cred.euid == 0;
-  if (!vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx).ok()) {
-    return false;
+  obs::Span span(tracer_.get(), "snapshot.sync", parent);
+  auto stats = vfs::sync_tree(*loc->mnt->fs, loc->ino, target, ctx);
+  if (!stats.ok()) return false;
+  span.annotate("created", std::to_string(stats->created));
+  span.annotate("removed", std::to_string(stats->removed));
+  span.annotate("reused", std::to_string(stats->reused));
+  return true;
+}
+
+std::string ChImage::context_digest(const std::string& path,
+                                    const std::string& data) {
+  if (auto loc = invoker_.sys->resolve(invoker_, path, true); loc.ok()) {
+    if (auto snap = loc->mnt->fs->snapshot(loc->ino); snap.ok()) {
+      return (*snap)->digest;
+    }
   }
-  return image::entries_to_tree(*entries, *loc->mnt->fs, loc->ino, ctx).ok();
+  return Sha256::hex_digest(data);
 }
 
 Result<image::ImageConfig> ChImage::pull_into(const std::string& ref,
@@ -262,18 +281,34 @@ Result<image::ImageConfig> ChImage::pull_into(const std::string& ref,
     t.line("error: cannot create storage directory " + dir);
     return rc.error();
   }
+  std::string base_key;
+  for (const auto& digest : manifest->layers) base_key += digest + "\n";
+  // Fast path: this directory held exactly this layer chain before; sync it
+  // back to the recorded post-extract state instead of re-extracting every
+  // layer — subtrees whose digests still match are skipped wholesale.
+  if (auto led = m_.snapshots().find(dir);
+      led.has_value() && led->key == base_key) {
+    if (restore_tree(dir, led->snap)) {
+      metrics_->counter("snapshot.base_reuses").add();
+      return manifest->config;
+    }
+  }
+  // Slow path: restore the pristine image state by clearing and extracting.
+  if (auto loc = invoker_.sys->resolve(invoker_, dir, true); loc.ok()) {
+    vfs::OpCtx ctx;
+    ctx.host_uid = invoker_.cred.euid;
+    ctx.host_gid = invoker_.cred.egid;
+    (void)vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx);
+  }
   std::size_t skipped_devices = 0;
   for (const auto& digest : manifest->layers) {
-    // Zero-copy pull: a shared reference to the registry's stored bytes.
-    auto blob = registry_->get_blob_ref(digest);
-    if (blob == nullptr) {
-      t.line("error: pull failed: missing blob " + digest);
-      return Err::enoent;
-    }
-    auto entries = image::tar_parse(*blob);
+    // Tree layers walk the shared snapshot; blob layers pull + parse tar.
+    auto entries = image::registry_layer_entries(*registry_, digest);
     if (!entries.ok()) {
-      t.line("error: pull failed: corrupt layer " + digest);
-      return Err::eio;
+      t.line(entries.error() == Err::enoent
+                 ? "error: pull failed: missing blob " + digest
+                 : "error: pull failed: corrupt layer " + digest);
+      return entries.error();
     }
     if (auto rc = extract_as_user(*entries, dir, &skipped_devices); !rc.ok()) {
       t.line("error: pull failed while extracting: " +
@@ -284,6 +319,11 @@ Result<image::ImageConfig> ChImage::pull_into(const std::string& ref,
   if (skipped_devices > 0) {
     t.line("warning: ignored " + std::to_string(skipped_devices) +
            " device file(s) in " + ref);
+  }
+  // Record what extraction actually produced (the invoker's umask and ID
+  // squash included) so the next pull of this chain is a pure sync.
+  if (auto snap = tree_snapshot(dir); snap.ok()) {
+    m_.snapshots().record(dir, base_key, *snap);
   }
   return manifest->config;
 }
@@ -375,22 +415,13 @@ int ChImage::build_stage(const std::string& tag,
     t.line("error: cannot create storage directory " + o.dir);
     return 1;
   }
-  // Start from a clean stage directory.
-  if (auto loc = invoker_.sys->resolve(invoker_, o.dir, true); loc.ok()) {
-    vfs::OpCtx ctx;
-    ctx.host_uid = invoker_.cred.euid;
-    ctx.host_gid = invoker_.cred.egid;
-    (void)vfs::remove_tree_contents(*loc->mnt->fs, loc->ino, ctx);
-  }
   if (s.base_stage >= 0) {
-    // Base is an earlier stage's tree: copy it store-side.
+    // Base is an earlier stage's tree: snapshot it and sync our directory to
+    // match — subtrees left over from a previous build that already agree by
+    // digest are reused instead of recopied.
     const StageBuild& dep = sb[static_cast<std::size_t>(s.base_stage)];
-    auto src = invoker_.sys->resolve(invoker_, dep.dir, true);
-    auto dst = invoker_.sys->resolve(invoker_, o.dir, true);
-    vfs::OpCtx ctx;
-    if (!src.ok() || !dst.ok() ||
-        !vfs::copy_tree(*src->mnt->fs, src->ino, *dst->mnt->fs, dst->ino, ctx)
-             .ok()) {
+    auto snap = tree_snapshot(dep.dir, stage_span);
+    if (!snap.ok() || !restore_tree(o.dir, *snap, stage_span)) {
       t.line("error: cannot materialize " + g.stage(s.base_stage).display());
       return 1;
     }
@@ -441,10 +472,8 @@ int ChImage::build_stage(const std::string& tag,
         o.key = buildgraph::BuildCache::chain(o.key,
                                               "RUN|" + join(argv, "\x1f"));
         if (cache_ != nullptr) {
-          lock.unlock();  // lookup reassembles chunks; no machine involved
           auto hit = cache_->lookup(o.key, ins_span.id());
-          lock.lock();
-          if (hit && restore_tree(o.dir, *hit->blob)) {
+          if (hit && restore_tree(o.dir, hit->snapshot, ins_span.id())) {
             o.cfg = hit->config;
             ins_span.annotate("cached", "true");
             t.line("cached: using existing layer for step " + idx_str);
@@ -579,12 +608,11 @@ int ChImage::build_stage(const std::string& tag,
           return status;
         }
         if (cache_ != nullptr) {
-          std::string blob;
-          if (snapshot_tree(o.dir, blob).ok()) {
-            // Chunking + digesting happens outside the machine lock; this
+          if (auto snap = tree_snapshot(o.dir, ins_span.id()); snap.ok()) {
+            // Chunking new subtrees happens outside the machine lock; this
             // is the work independent stages genuinely overlap.
             lock.unlock();
-            cache_->store(o.key, blob, o.cfg);
+            cache_->store(o.key, *snap, o.cfg, ins_span.id());
             lock.lock();
           }
         }
@@ -635,16 +663,14 @@ int ChImage::build_stage(const std::string& tag,
         }
         const std::string& src = fields[0];
         std::string dst = fields.back();
-        Result<std::string> data = Err::enoent;
+        std::string src_path = src;
         if (si.copy_from >= 0) {
           // Source is an earlier stage's tree (already built: the graph
           // recorded the dependency and the scheduler ordered it).
           const StageBuild& from = sb[static_cast<std::size_t>(si.copy_from)];
-          data = invoker_.sys->read_file(invoker_,
-                                         from.dir + path_normalize("/" + src));
-        } else {
-          data = invoker_.sys->read_file(invoker_, src);
+          src_path = from.dir + path_normalize("/" + src);
         }
+        Result<std::string> data = invoker_.sys->read_file(invoker_, src_path);
         if (!data.ok()) {
           t.line("error: COPY: cannot read " + src + ": " +
                  std::string(err_message(data.error())));
@@ -659,8 +685,11 @@ int ChImage::build_stage(const std::string& tag,
           t.line("error: COPY: cannot write " + dst);
           return 1;
         }
-        o.key = buildgraph::BuildCache::chain(o.key, "COPY|" + ins.text,
-                                              {Sha256::hex_digest(*data)});
+        // The context digest is the source's cached Merkle digest when its
+        // filesystem maintains one (O(1) for an unchanged file), falling
+        // back to hashing the bytes just read.
+        o.key = buildgraph::BuildCache::chain(
+            o.key, "COPY|" + ins.text, {context_digest(src_path, *data)});
         break;
       }
       case build::InstrKind::kCmd: {
@@ -702,11 +731,6 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
     t.line("error: no such image: " + tag);
     return 1;
   }
-  auto entries = image::tree_to_entries(*loc->mnt->fs, loc->ino);
-  if (!entries.ok()) {
-    t.line("error: cannot archive image " + tag);
-    return 1;
-  }
   auto cfg_it = configs_.find(tag);
   const image::ImageConfig push_cfg =
       cfg_it != configs_.end() ? cfg_it->second : image::ImageConfig{};
@@ -718,11 +742,19 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
            "=disallow; use an ownership-preserving push");
     return 1;
   }
-  std::vector<image::TarEntry> out_entries;
+  std::string layer_digest;
+  std::uint64_t layer_bytes = 0;
+  std::uint64_t transferred = 0;
+  std::string transfer_note = "chunk-deduplicated";
   if (preserve_ownership) {
     // §6.2.2-2: consult the fakeroot database instead of the filesystem so
     // the pushed archive reflects the *intended* (container) ownership.
-    out_entries = *entries;
+    auto entries = image::tree_to_entries(*loc->mnt->fs, loc->ino);
+    if (!entries.ok()) {
+      t.line("error: cannot archive image " + tag);
+      return 1;
+    }
+    std::vector<image::TarEntry> out_entries = *entries;
     // Re-walk the tree to map names to inodes for DB lookups.
     std::map<std::string, std::pair<const vfs::Filesystem*, vfs::InodeNum>>
         inodes;
@@ -749,21 +781,41 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
         }
       }
     }
+    // Pipelined push: stream the tar serialization into a chunked blob
+    // writer — chunks digest and upload on the pool while later entries are
+    // still serializing; a re-push of unchanged content transfers nothing.
+    support::ThreadPool* pool = options_.digest_pool != nullptr
+                                    ? options_.digest_pool.get()
+                                    : &support::shared_pool();
+    auto writer = registry_->blob_writer(pool);
+    image::tar_stream(out_entries, [&writer](std::string_view piece) {
+      writer.append(piece);
+    });
+    layer_digest = writer.finish();
+    layer_bytes = writer.size();
+    transferred = writer.new_bytes();
   } else {
-    // Standard Charliecloud push: flatten to root:root, clear setuid/setgid
-    // bits, "to avoid leaking site IDs" (§6.1).
-    out_entries = image::flatten_ownership(std::move(*entries));
+    // Standard Charliecloud push, Merkle-tree form: flatten ownership to
+    // root:root with setuid/setgid cleared (§6.1) as a structural rewrite of
+    // the snapshot (unchanged subtrees share nodes via the digest memo),
+    // then push the tree — the registry skips whole subtrees it already
+    // holds, so a re-push of a mostly-unchanged image is O(changed).
+    auto snap = tree_snapshot(storage_path(tag));
+    if (!snap.ok()) {
+      t.line("error: cannot archive image " + tag);
+      return 1;
+    }
+    support::ThreadPool* pool = options_.digest_pool != nullptr
+                                    ? options_.digest_pool.get()
+                                    : &support::shared_pool();
+    auto flat = vfs::flatten_snapshot(*snap, &flatten_memo_);
+    auto res = registry_->put_tree(flat, pool);
+    layer_digest = res.digest;
+    layer_bytes = res.total_bytes;
+    transferred = res.new_bytes;
+    transfer_note = std::to_string(res.nodes_skipped) + " of " +
+                    std::to_string(res.nodes) + " tree nodes deduplicated";
   }
-  // Pipelined push: stream the tar serialization into a chunked blob
-  // writer — chunks digest and upload on the pool while later entries are
-  // still serializing, and a re-push of unchanged content transfers nothing.
-  support::ThreadPool* pool = options_.digest_pool != nullptr
-                                  ? options_.digest_pool.get()
-                                  : &support::shared_pool();
-  auto writer = registry_->blob_writer(pool);
-  image::tar_stream(out_entries,
-                    [&writer](std::string_view piece) { writer.append(piece); });
-  const std::string digest = writer.finish();
   image::Manifest manifest;
   manifest.reference = dest_ref;
   manifest.config = push_cfg;
@@ -772,14 +824,14 @@ int ChImage::push(const std::string& tag, const std::string& dest_ref,
     // Mark what we produced, per the §6.2.5 proposal.
     manifest.config.labels[image::ImageConfig::kFlattenLabel] = "flattened";
   }
-  manifest.layers = {digest};  // single flattened layer
+  manifest.layers = {layer_digest};  // single flattened layer
   registry_->put_manifest(manifest);
   t.line("pushing image: " + tag);
   t.line("destination: " + registry_->name() + "/" + dest_ref);
-  t.line("layers: 1 (" + std::to_string(writer.size()) + " bytes, " + digest +
-         ")");
-  t.line("transferred: " + std::to_string(writer.new_bytes()) +
-         " bytes (chunk-deduplicated)");
+  t.line("layers: 1 (" + std::to_string(layer_bytes) + " bytes, " +
+         layer_digest + ")");
+  t.line("transferred: " + std::to_string(transferred) + " bytes (" +
+         transfer_note + ")");
   t.line("done");
   return 0;
 }

@@ -194,12 +194,23 @@ class ChImage {
                        const image::ImageConfig& cfg,
                        const std::vector<std::string>& argv, std::string& out,
                        std::string& err);
-  // Pulls `ref` into `dir` (transcript gets errors/warnings only).
+  // Pulls `ref` into `dir` (transcript gets errors/warnings only). Consults
+  // the machine's SnapshotLedger first: re-pulling a layer chain this
+  // directory already held syncs back to the recorded state in O(changed).
   Result<image::ImageConfig> pull_into(const std::string& ref,
                                        const std::string& dir, Transcript& t);
-  // Serializes / replays a stage directory as a tar blob (cache values).
-  VoidResult snapshot_tree(const std::string& dir, std::string& out_blob);
-  bool restore_tree(const std::string& dir, const std::string& blob);
+  // Merkle snapshot of a stage directory (cache values, push layers). Runs
+  // in a "snapshot" span and feeds the snapshot.nodes_built/nodes_reused
+  // counters; O(changed) when the backing filesystem caches per-inode snaps.
+  Result<vfs::SnapNodePtr> tree_snapshot(const std::string& dir,
+                                         obs::SpanId parent = obs::kNoSpan);
+  // Rewrites `dir` to match `target`, skipping subtrees whose digests
+  // already agree ("snapshot.sync" span).
+  bool restore_tree(const std::string& dir, const vfs::SnapNodePtr& target,
+                    obs::SpanId parent = obs::kNoSpan);
+  // Merkle digest of a COPY source if its filesystem caches snapshots
+  // (O(1) for unchanged files), else a content hash of `data`.
+  std::string context_digest(const std::string& path, const std::string& data);
   // Executes one build stage; called (possibly concurrently) by the
   // scheduler. Serializes machine access via machine_mu_.
   int build_stage(const std::string& tag, const buildgraph::BuildGraph& g,
@@ -220,6 +231,9 @@ class ChImage {
   int last_depth_ = 0;
   std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on
   obs::MetricsRegistry* metrics_ = nullptr;  // resolved in the constructor
+  // Digest-keyed memo for flatten_snapshot: repeated pushes of a mostly
+  // unchanged image re-transform only the changed paths.
+  std::map<std::string, vfs::SnapNodePtr> flatten_memo_;
 };
 
 // Renders ['a', 'b', 'c'] the way ch-image transcripts do.

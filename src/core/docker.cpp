@@ -58,14 +58,14 @@ int Docker::build(const std::string& tag, const std::string& dockerfile_text,
         img.config.arch = m_.arch();
         vfs::OpCtx ctx;
         for (const auto& digest : manifest->layers) {
-          auto blob = registry_->get_blob(digest);
-          if (!blob) {
-            t.line("Error: missing blob " + digest);
+          auto entries = image::registry_layer_entries(*registry_, digest);
+          if (!entries.ok()) {
+            t.line(entries.error() == Err::enoent
+                       ? "Error: missing blob " + digest
+                       : "Error: corrupt base layer");
             return 1;
           }
-          auto entries = image::tar_parse(*blob);
-          if (!entries.ok() ||
-              !image::entries_to_tree(*entries, *img.fs, img.fs->root(), ctx)
+          if (!image::entries_to_tree(*entries, *img.fs, img.fs->root(), ctx)
                    .ok()) {
             t.line("Error: corrupt base layer");
             return 1;

@@ -7,7 +7,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "kernel/kernel.hpp"
 #include "kernel/process.hpp"
@@ -15,6 +18,42 @@
 #include "vfs/memfs.hpp"
 
 namespace minicon::core {
+
+// Per-machine memo of materialized base-image states: maps an image
+// directory path to the layer-chain key it was extracted from and the Merkle
+// snapshot recorded right after extraction. Builders consult it to re-pull a
+// base in O(changed) — sync the directory back to the recorded snapshot
+// instead of clearing and re-extracting every layer. Lives on the Machine
+// (not the builder) so fresh builder instances and both build paths share
+// it, the way real per-node storage caches outlive individual CLI runs.
+class SnapshotLedger {
+ public:
+  struct Entry {
+    std::string key;  // join of the manifest's layer digests
+    vfs::SnapNodePtr snap;
+  };
+
+  std::optional<Entry> find(const std::string& dir) const {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(dir);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void record(const std::string& dir, std::string key, vfs::SnapNodePtr snap) {
+    std::lock_guard lock(mu_);
+    entries_[dir] = Entry{std::move(key), std::move(snap)};
+  }
+
+  void forget(const std::string& dir) {
+    std::lock_guard lock(mu_);
+    entries_.erase(dir);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
 
 struct MachineOptions {
   std::string hostname = "localhost";
@@ -56,6 +95,9 @@ class Machine {
   int run(kernel::Process& p, const std::string& script, std::string& out,
           std::string& err);
 
+  // Materialized-base memo shared by every builder on this machine.
+  SnapshotLedger& snapshots() { return snapshots_; }
+
  private:
   void populate_host_proc();
 
@@ -65,6 +107,7 @@ class Machine {
   vfs::FilesystemPtr proc_fs_;
   kernel::MountNsPtr host_mountns_;
   std::shared_ptr<shell::Shell> shell_;
+  SnapshotLedger snapshots_;
 };
 
 }  // namespace minicon::core

@@ -163,16 +163,17 @@ Result<std::string> Podman::read_from_layer(const Layer& layer,
   return layer.fs->read(cur);
 }
 
-bool Podman::restore_layer(const Layer& layer, const std::string& blob) {
-  auto entries = image::tar_parse(blob);
-  if (!entries.ok()) return false;
+bool Podman::restore_layer(const Layer& layer,
+                           const vfs::SnapNodePtr& snapshot) {
+  if (snapshot == nullptr) return false;
   // Diff entries carry host-side IDs (how the storage layer keeps them),
   // so they replay verbatim.
+  const auto entries = image::snapshot_to_entries(snapshot);
   vfs::OpCtx ctx;
   ctx.host_uid = invoker_.cred.euid;
   ctx.host_gid = invoker_.cred.egid;
   ctx.host_privileged = invoker_.cred.euid == 0;
-  return image::entries_to_tree(*entries, *layer.fs, layer.root, ctx).ok();
+  return image::entries_to_tree(entries, *layer.fs, layer.root, ctx).ok();
 }
 
 int Podman::build(const std::string& tag, const std::string& dockerfile_text,
@@ -258,15 +259,13 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
     }
     std::vector<std::vector<image::TarEntry>> layer_entries;
     for (const auto& digest : manifest->layers) {
-      // Zero-copy pull: parse straight out of the registry's buffer.
-      auto blob = registry_->get_blob_ref(digest);
-      if (blob == nullptr) {
-        t.line("Error: missing blob " + digest);
-        return 125;
-      }
-      auto entries = image::tar_parse(*blob);
+      // Tree layers walk the shared snapshot; blob layers parse straight
+      // out of the registry's buffer (zero-copy).
+      auto entries = image::registry_layer_entries(*registry_, digest);
       if (!entries.ok()) {
-        t.line("Error: corrupt layer " + digest);
+        t.line(entries.error() == Err::enoent
+                   ? "Error: missing blob " + digest
+                   : "Error: corrupt layer " + digest);
         return 125;
       }
       // Storage keeps *host-side* IDs: the archive's container IDs are
@@ -337,12 +336,10 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
         o.key = buildgraph::BuildCache::chain(o.key,
                                               "RUN|" + join(argv, "\x1f"));
         if (cache_ != nullptr) {
-          lock.unlock();  // lookup reassembles chunks; no machine involved
           auto hit = cache_->lookup(o.key, ins_span.id());
-          lock.lock();
           if (hit) {
             auto layer = driver_->create_layer(o.current);
-            if (layer.ok() && restore_layer(*layer, *hit->blob)) {
+            if (layer.ok() && restore_layer(*layer, hit->snapshot)) {
               ins_span.annotate("cached", "true");
               t.line("--> Using cache " +
                      Sha256::hex_digest(o.key).substr(0, 12));
@@ -441,11 +438,11 @@ int Podman::build_stage(const buildgraph::BuildGraph& g,
         if (cache_ != nullptr) {
           auto diff = driver_->diff(o.current);
           if (diff.ok()) {
-            const std::string blob = image::tar_create(*diff);
-            // Chunking + digesting happens outside the machine lock; this
+            auto snap = image::entries_to_snapshot(*diff);
+            // Chunking new subtrees happens outside the machine lock; this
             // is the work independent stages genuinely overlap.
             lock.unlock();
-            cache_->store(o.key, blob, o.cfg);
+            cache_->store(o.key, snap, o.cfg, ins_span.id());
             lock.lock();
           }
         }
@@ -574,16 +571,14 @@ int Podman::push(const std::string& tag, const std::string& dest_ref,
       e.gid = gid_to_container(e.gid);
     }
     if (must_flatten) *entries = image::flatten_ownership(std::move(*entries));
-    // Pipelined push: tar serialization feeds the registry's BlobWriter,
-    // which digests/uploads full chunks on the pool while we keep packing.
+    // Merkle-tree push: unchanged subtrees of a previously pushed layer are
+    // skipped wholesale (the registry already holds their nodes); file
+    // contents dedup at chunk granularity underneath.
     support::ThreadPool* pool = options_.digest_pool != nullptr
                                     ? options_.digest_pool.get()
                                     : &support::shared_pool();
-    auto writer = registry_->blob_writer(pool);
-    image::tar_stream(*entries, [&writer](std::string_view piece) {
-      writer.append(piece);
-    });
-    manifest.layers.push_back(writer.finish());
+    auto res = registry_->put_tree(image::entries_to_snapshot(*entries), pool);
+    manifest.layers.push_back(res.digest);
   }
   if (must_flatten) {
     t.line("Note: image marked " +

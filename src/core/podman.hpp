@@ -174,7 +174,9 @@ class Podman {
   Result<std::string> read_from_layer(const Layer& layer,
                                       const std::string& path) const;
   // Replays a cached diff tar on top of a fresh layer.
-  bool restore_layer(const Layer& layer, const std::string& blob);
+  // Replays a cached diff snapshot into a fresh layer (entries carry
+  // host-side IDs, how the storage layer keeps them).
+  bool restore_layer(const Layer& layer, const vfs::SnapNodePtr& snapshot);
   // Executes one build stage; called (possibly concurrently) by the
   // scheduler. Serializes machine access via machine_mu_.
   int build_stage(const buildgraph::BuildGraph& g, const buildgraph::Stage& s,

@@ -19,9 +19,7 @@ Result<vfs::FilesystemPtr> materialize(image::Registry& registry,
   auto fs = std::make_shared<vfs::MemFs>(0755);
   vfs::OpCtx ctx;
   for (const auto& digest : manifest.layers) {
-    auto blob = registry.get_blob(digest);
-    if (!blob) return Err::enoent;
-    auto entries = image::tar_parse(*blob);
+    auto entries = image::registry_layer_entries(registry, digest);
     if (!entries.ok()) return entries.error();
     for (auto& e : *entries) {
       e.uid = map_uid(e.uid);

@@ -2,6 +2,7 @@
 
 #include "support/sha256.hpp"
 #include "support/threadpool.hpp"
+#include "vfs/snapshot.hpp"
 
 namespace minicon::image {
 
@@ -36,6 +37,7 @@ void Registry::set_observability(obs::MetricsRegistry* metrics,
   pulls_metric_ = &reg.counter("registry.pulls");
   pushes_metric_ = &reg.counter("registry.pushes");
   bytes_pushed_metric_ = &reg.counter("registry.bytes_pushed");
+  tree_pushes_metric_ = &reg.counter("registry.tree_pushes");
   chunks_.set_metrics(metrics);
   chunks_.set_tracer(std::move(tracer));
 }
@@ -167,6 +169,59 @@ std::optional<std::string> Registry::get_blob(const std::string& digest) const {
   auto ref = get_blob_ref(digest);
   if (ref == nullptr) return std::nullopt;
   return *ref;
+}
+
+void Registry::push_tree_node(const vfs::SnapNodePtr& node,
+                              support::ThreadPool* pool, TreePushResult& res) {
+  {
+    std::lock_guard lock(trees_mu_);
+    auto [it, inserted] = trees_.try_emplace(node->digest, node);
+    if (!inserted) {
+      // This exact subtree (metadata, contents, children) is already held;
+      // the digest compare replaces transferring tree_nodes objects.
+      res.nodes_skipped += node->tree_nodes;
+      return;
+    }
+  }
+  if (node->type == vfs::FileType::Regular && !node->content_view().empty()) {
+    const ChunkedBlob blob = chunks_.put(node->content_view(), pool);
+    res.new_bytes += blob.new_bytes;
+  }
+  for (const auto& [name, child] : node->children) {
+    push_tree_node(child, pool, res);
+  }
+}
+
+Registry::TreePushResult Registry::put_tree(const vfs::SnapNodePtr& tree,
+                                            support::ThreadPool* pool) {
+  TreePushResult res;
+  if (tree == nullptr) return res;
+  res.total_bytes = tree->tree_bytes;
+  res.nodes = tree->tree_nodes;
+  push_tree_node(tree, pool, res);
+  res.digest = "tree:" + tree->digest;
+  ++pushes_;
+  pushes_metric_->add();
+  tree_pushes_metric_->add();
+  bytes_pushed_ += res.new_bytes;
+  bytes_pushed_metric_->add(res.new_bytes);
+  return res;
+}
+
+vfs::SnapNodePtr Registry::get_tree(const std::string& digest) const {
+  const std::string hex = is_tree_digest(digest) ? digest.substr(5) : digest;
+  std::lock_guard lock(trees_mu_);
+  auto it = trees_.find(hex);
+  if (it == trees_.end()) return nullptr;
+  ++pulls_;
+  pulls_metric_->add();
+  return it->second;
+}
+
+bool Registry::has_tree(const std::string& digest) const {
+  const std::string hex = is_tree_digest(digest) ? digest.substr(5) : digest;
+  std::lock_guard lock(trees_mu_);
+  return trees_.contains(hex);
 }
 
 bool Registry::has_blob(const std::string& digest) const {

@@ -25,6 +25,7 @@
 
 #include "image/chunkstore.hpp"
 #include "support/result.hpp"
+#include "vfs/filesystem.hpp"
 
 namespace minicon::support {
 class ThreadPool;
@@ -124,6 +125,30 @@ class Registry {
   std::optional<std::string> get_blob(const std::string& digest) const;
   bool has_blob(const std::string& digest) const;
 
+  // Merkle-tree layer storage. A layer can be pushed as an immutable
+  // snapshot tree instead of a serialized tar blob: put_tree walks the tree
+  // and transfers only subtrees the registry does not already hold — dedup
+  // at directory granularity, so re-pushing an unchanged image skips whole
+  // subtrees in O(1) digest compares — chunking new file contents into the
+  // shared ChunkStore. The returned digest has the form "tree:<hex Merkle
+  // digest>" and goes into Manifest::layers like a blob digest would.
+  struct TreePushResult {
+    std::string digest;
+    std::uint64_t total_bytes = 0;    // file bytes in the whole tree
+    std::uint64_t new_bytes = 0;      // file bytes actually transferred
+    std::uint64_t nodes = 0;          // nodes in the whole tree
+    std::uint64_t nodes_skipped = 0;  // nodes skipped as already present
+  };
+  TreePushResult put_tree(const vfs::SnapNodePtr& tree,
+                          support::ThreadPool* pool = nullptr);
+  // Accepts "tree:<hex>" or bare hex; nullptr if absent. O(1): the tree is
+  // shared by pointer, nothing is reassembled.
+  vfs::SnapNodePtr get_tree(const std::string& digest) const;
+  bool has_tree(const std::string& digest) const;
+  static bool is_tree_digest(const std::string& digest) {
+    return digest.rfind("tree:", 0) == 0;
+  }
+
   // Tags a manifest under reference (+ its architecture, supporting
   // multi-arch references like the Astra aarch64 images).
   void put_manifest(const Manifest& m);
@@ -166,6 +191,8 @@ class Registry {
   BlobShard& shard_for(const std::string& digest) const;
   // Registers a finished chunk list under its digest.
   void commit_chunked(const ChunkedBlob& blob);
+  void push_tree_node(const vfs::SnapNodePtr& node, support::ThreadPool* pool,
+                      TreePushResult& res);
 
   std::string name_;
   mutable std::vector<BlobShard> blob_shards_;
@@ -175,6 +202,12 @@ class Registry {
   std::unordered_map<std::string, ChunkedBlob> chunked_;
   mutable std::unordered_map<std::string, std::shared_ptr<const std::string>>
       assembled_;
+  // Merkle-tree object index: every pushed node (directories included) is
+  // addressable by its hex digest, which is what makes whole-subtree skips
+  // possible on later pushes. Nodes are shared pointers into the pushers'
+  // own snapshot trees — storage dedup falls out of structural sharing.
+  mutable std::mutex trees_mu_;
+  std::unordered_map<std::string, vfs::SnapNodePtr> trees_;
   // reference -> arch -> manifest
   mutable std::mutex tags_mu_;
   std::map<std::string, std::map<std::string, Manifest>> tags_;
@@ -186,6 +219,7 @@ class Registry {
   obs::Counter* pulls_metric_;
   obs::Counter* pushes_metric_;
   obs::Counter* bytes_pushed_metric_;
+  obs::Counter* tree_pushes_metric_;
 };
 
 }  // namespace minicon::image

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
+#include "image/registry.hpp"
 #include "support/path.hpp"
 #include "support/strings.hpp"
+#include "vfs/snapshot.hpp"
 
 namespace minicon::image {
 
@@ -113,7 +116,10 @@ void tar_stream(const std::vector<TarEntry>& entries, const TarSink& sink) {
     const std::uint64_t size =
         e.type == vfs::FileType::Regular ? e.content.size() : 0;
     put_octal(h.size, sizeof h.size, size);
-    put_octal(h.mtime, sizeof h.mtime, e.mtime);
+    // Deterministic serialization: mtime is a logical clock here, and equal
+    // trees must produce byte-equal archives (and thus equal blob digests)
+    // no matter when they were built, so it is pinned to zero on the wire.
+    put_octal(h.mtime, sizeof h.mtime, 0);
     h.typeflag = type_flag(e.type);
     std::memcpy(h.linkname, e.linkname.data(),
                 std::min<std::size_t>(e.linkname.size(), 100));
@@ -288,6 +294,110 @@ VoidResult entries_to_tree(const std::vector<TarEntry>& entries,
     }
   }
   return {};
+}
+
+namespace {
+
+void emit_snapshot(const std::string& prefix, const vfs::SnapNodePtr& node,
+                   std::vector<TarEntry>& out) {
+  for (const auto& [name, child] : node->children) {
+    TarEntry e;
+    e.name = prefix.empty() ? name : prefix + "/" + name;
+    e.type = child->type;
+    e.mode = child->mode;
+    e.uid = child->uid;
+    e.gid = child->gid;
+    e.dev_major = child->dev_major;
+    e.dev_minor = child->dev_minor;
+    e.xattrs = child->xattrs;
+    if (child->type == vfs::FileType::Regular) {
+      e.content = std::string(child->content_view());
+    } else if (child->type == vfs::FileType::Symlink) {
+      e.linkname = std::string(child->content_view());
+    }
+    const std::string child_prefix = e.name;
+    out.push_back(std::move(e));
+    if (child->type == vfs::FileType::Directory) {
+      emit_snapshot(child_prefix, child, out);
+    }
+  }
+}
+
+// Mutable tree-of-builders; frozen bottom-up once all entries are applied.
+struct SnapBuilder {
+  vfs::SnapNode node;
+  std::map<std::string, std::unique_ptr<SnapBuilder>> children;
+
+  vfs::SnapNodePtr freeze() {
+    for (auto& [name, child] : children) {
+      node.children.emplace(name, child->freeze());
+    }
+    children.clear();
+    return vfs::freeze_snap_node(std::move(node));
+  }
+};
+
+}  // namespace
+
+std::vector<TarEntry> snapshot_to_entries(const vfs::SnapNodePtr& tree) {
+  std::vector<TarEntry> out;
+  if (tree != nullptr) emit_snapshot("", tree, out);
+  return out;
+}
+
+vfs::SnapNodePtr entries_to_snapshot(const std::vector<TarEntry>& entries) {
+  SnapBuilder root;
+  root.node.type = vfs::FileType::Directory;
+  root.node.mode = 0755;
+  for (const auto& e : entries) {
+    const auto comps = path_components(e.name);
+    if (comps.empty()) continue;
+    SnapBuilder* dir = &root;
+    for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+      auto& child = dir->children[comps[i]];
+      if (child == nullptr) {
+        child = std::make_unique<SnapBuilder>();
+        child->node.type = vfs::FileType::Directory;
+        child->node.mode = 0755;
+      }
+      dir = child.get();
+    }
+    auto& leaf = dir->children[comps.back()];
+    const bool existed = leaf != nullptr;
+    if (!existed) leaf = std::make_unique<SnapBuilder>();
+    // Last entry wins (tar semantics); a directory entry over an existing
+    // directory merges metadata and keeps accumulated children.
+    if (!(existed && leaf->node.type == vfs::FileType::Directory &&
+          e.type == vfs::FileType::Directory)) {
+      leaf->node = vfs::SnapNode{};
+      leaf->children.clear();
+    }
+    leaf->node.type = e.type;
+    leaf->node.mode = e.mode;
+    leaf->node.uid = e.uid;
+    leaf->node.gid = e.gid;
+    leaf->node.dev_major = e.dev_major;
+    leaf->node.dev_minor = e.dev_minor;
+    leaf->node.xattrs = e.xattrs;
+    if (e.type == vfs::FileType::Regular) {
+      leaf->node.content = std::make_shared<const std::string>(e.content);
+    } else if (e.type == vfs::FileType::Symlink) {
+      leaf->node.content = std::make_shared<const std::string>(e.linkname);
+    }
+  }
+  return root.freeze();
+}
+
+Result<std::vector<TarEntry>> registry_layer_entries(const Registry& registry,
+                                                     const std::string& digest) {
+  if (Registry::is_tree_digest(digest)) {
+    auto tree = registry.get_tree(digest);
+    if (tree == nullptr) return Err::enoent;
+    return snapshot_to_entries(tree);
+  }
+  auto blob = registry.get_blob_ref(digest);
+  if (blob == nullptr) return Err::enoent;
+  return tar_parse(*blob);
 }
 
 std::vector<TarEntry> flatten_ownership(std::vector<TarEntry> entries) {

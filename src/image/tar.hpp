@@ -62,6 +62,23 @@ VoidResult entries_to_tree(const std::vector<TarEntry>& entries,
 // entries are dropped (a Type III image cannot contain them anyway).
 std::vector<TarEntry> flatten_ownership(std::vector<TarEntry> entries);
 
+class Registry;
+
+// Snapshot ⇄ entry-list conversions. snapshot_to_entries emits the same
+// deterministic order tree_to_entries does (preorder, sorted names) with
+// mtimes fixed at zero, so equal trees serialize to equal tar bytes;
+// entries_to_snapshot builds a frozen Merkle tree straight from a parsed
+// layer (the root directory defaults to 0755 root:root — tars do not carry
+// their root).
+std::vector<TarEntry> snapshot_to_entries(const vfs::SnapNodePtr& tree);
+vfs::SnapNodePtr entries_to_snapshot(const std::vector<TarEntry>& entries);
+
+// Resolves a manifest layer digest into entries, whichever representation
+// the registry holds: a "tree:" Merkle layer walks the shared snapshot tree
+// (no tar bytes exist to parse), a blob digest pulls and parses tar bytes.
+Result<std::vector<TarEntry>> registry_layer_entries(const Registry& registry,
+                                                     const std::string& digest);
+
 }  // namespace minicon::image
 
 namespace minicon::shell {

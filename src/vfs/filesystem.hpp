@@ -8,6 +8,7 @@
 // by which rootless Podman's ID maps break on shared filesystems (§4.2).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,17 @@
 #include "vfs/types.hpp"
 
 namespace minicon::vfs {
+
+// Immutable copy-on-write snapshot node (see vfs/snapshot.hpp).
+struct SnapNode;
+using SnapNodePtr = std::shared_ptr<const SnapNode>;
+
+// How much work a snapshot() call actually did: caching filesystems reuse
+// subtrees whose digests are still valid and rebuild only dirty paths.
+struct SnapshotStats {
+  std::uint64_t nodes_built = 0;   // nodes (and digests) computed fresh
+  std::uint64_t nodes_reused = 0;  // nodes reused from subtree caches
+};
 
 struct CreateArgs {
   FileType type = FileType::Regular;
@@ -78,6 +90,13 @@ class Filesystem {
   virtual Result<std::vector<std::string>> list_xattrs(InodeNum node) = 0;
   virtual VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
                                   const std::string& name) = 0;
+
+  // Copy-on-write snapshot of the subtree rooted at `node`, with per-node
+  // Merkle digests. The default walks the whole subtree through the public
+  // interface (O(subtree)); MemFs and OverlayFs override it with per-inode
+  // caches so only dirty paths are rebuilt (O(changed)).
+  virtual Result<SnapNodePtr> snapshot(InodeNum node,
+                                       SnapshotStats* stats = nullptr);
 };
 
 using FilesystemPtr = std::shared_ptr<Filesystem>;

@@ -1,6 +1,20 @@
 #include "vfs/memfs.hpp"
 
+#include <algorithm>
+
+#include "vfs/snapshot.hpp"
+
 namespace minicon::vfs {
+
+namespace {
+
+// Drops one recorded link occurrence (hardlinks record one entry per link).
+void erase_one_parent(std::vector<InodeNum>& parents, InodeNum dir) {
+  auto it = std::find(parents.begin(), parents.end(), dir);
+  if (it != parents.end()) parents.erase(it);
+}
+
+}  // namespace
 
 MemFs::MemFs(std::uint32_t root_mode) {
   OpCtx ctx;
@@ -51,6 +65,23 @@ void MemFs::unref(InodeNum n) {
   if (node->st.nlink == 0) inodes_.erase(n);
 }
 
+void MemFs::touch(InodeNum n) {
+  Inode* node = get(n);
+  if (node == nullptr) return;
+  node->snap.reset();
+  std::vector<InodeNum> stack(node->parents.begin(), node->parents.end());
+  while (!stack.empty()) {
+    const InodeNum p = stack.back();
+    stack.pop_back();
+    Inode* pn = get(p);
+    // An already-invalid ancestor implies its own ancestors are invalid too
+    // (caches are only filled bottom-up), so stop ascending there.
+    if (pn == nullptr || pn->snap == nullptr) continue;
+    pn->snap.reset();
+    stack.insert(stack.end(), pn->parents.begin(), pn->parents.end());
+  }
+}
+
 Result<InodeNum> MemFs::lookup(InodeNum dir, const std::string& name) {
   MINICON_TRY_ASSIGN(d, get_dir(dir));
   auto it = d->children.find(name);
@@ -97,8 +128,10 @@ Result<InodeNum> MemFs::create(const OpCtx& ctx, InodeNum dir,
   if (d->children.contains(name)) return Err::eexist;
   const InodeNum n = alloc(ctx, args);
   d->children.emplace(name, n);
+  inodes_[n].parents.push_back(dir);
   if (args.type == FileType::Directory) ++d->st.nlink;
   d->st.mtime = ctx.now;
+  touch(dir);
   return n;
 }
 
@@ -115,6 +148,7 @@ VoidResult MemFs::write(const OpCtx& ctx, InodeNum n, std::string data,
   }
   node->st.size = node->data.size();
   node->st.mtime = ctx.now;
+  touch(n);
   return {};
 }
 
@@ -124,6 +158,7 @@ VoidResult MemFs::set_owner(const OpCtx& ctx, InodeNum n, Uid uid, Gid gid) {
   if (uid != kNoChangeId) node->st.uid = uid;
   if (gid != kNoChangeId) node->st.gid = gid;
   node->st.mtime = ctx.now;
+  touch(n);
   return {};
 }
 
@@ -132,6 +167,7 @@ VoidResult MemFs::set_mode(const OpCtx& ctx, InodeNum n, std::uint32_t m) {
   if (node == nullptr) return Err::estale;
   node->st.mode = m & mode::kPermMask;
   node->st.mtime = ctx.now;
+  touch(n);
   return {};
 }
 
@@ -144,7 +180,11 @@ VoidResult MemFs::link(const OpCtx& ctx, InodeNum dir, const std::string& name,
   if (d->children.contains(name)) return Err::eexist;
   d->children.emplace(name, target);
   ++t->st.nlink;
+  t->parents.push_back(dir);
   d->st.mtime = ctx.now;
+  // nlink is not part of the digest, so the target's own snapshot stays
+  // valid; only the linking directory changed.
+  touch(dir);
   return {};
 }
 
@@ -160,7 +200,9 @@ VoidResult MemFs::unlink(const OpCtx& ctx, InodeNum dir,
   const InodeNum victim = it->second;
   d->children.erase(it);
   d->st.mtime = ctx.now;
+  if (Inode* v = get(victim); v != nullptr) erase_one_parent(v->parents, dir);
   unref(victim);
+  touch(dir);
   return {};
 }
 
@@ -178,6 +220,7 @@ VoidResult MemFs::rmdir(const OpCtx& ctx, InodeNum dir,
   --d->st.nlink;
   d->st.mtime = ctx.now;
   inodes_.erase(victim);
+  touch(dir);
   return {};
 }
 
@@ -207,18 +250,23 @@ VoidResult MemFs::rename(const OpCtx& ctx, InodeNum src_dir,
       if (moving_node->st.type == FileType::Directory) return Err::enotdir;
       const InodeNum victim = dit->second;
       dd->children.erase(dit);
+      if (existing != nullptr) erase_one_parent(existing->parents, dst_dir);
       unref(victim);
     }
   }
 
   sd->children.erase(src_name);
   dd->children.emplace(dst_name, moving);
+  erase_one_parent(moving_node->parents, src_dir);
+  moving_node->parents.push_back(dst_dir);
   if (moving_node->st.type == FileType::Directory && sd != dd) {
     --sd->st.nlink;
     ++dd->st.nlink;
   }
   sd->st.mtime = ctx.now;
   dd->st.mtime = ctx.now;
+  touch(src_dir);
+  touch(dst_dir);
   return {};
 }
 
@@ -228,6 +276,7 @@ VoidResult MemFs::set_xattr(const OpCtx& ctx, InodeNum n,
   if (node == nullptr) return Err::estale;
   node->xattrs[name] = value;
   node->st.mtime = ctx.now;
+  touch(n);
   return {};
 }
 
@@ -256,7 +305,39 @@ VoidResult MemFs::remove_xattr(const OpCtx& ctx, InodeNum n,
   if (it == node->xattrs.end()) return Err::enodata;
   node->xattrs.erase(it);
   node->st.mtime = ctx.now;
+  touch(n);
   return {};
+}
+
+Result<SnapNodePtr> MemFs::snapshot(InodeNum n, SnapshotStats* stats) {
+  Inode* node = get(n);
+  if (node == nullptr) return Err::estale;
+  if (node->snap != nullptr) {
+    if (stats != nullptr) stats->nodes_reused += node->snap->tree_nodes;
+    return node->snap;
+  }
+  SnapNode sn;
+  sn.type = node->st.type;
+  sn.mode = node->st.mode;
+  sn.uid = node->st.uid;
+  sn.gid = node->st.gid;
+  sn.dev_major = node->st.dev_major;
+  sn.dev_minor = node->st.dev_minor;
+  sn.xattrs = node->xattrs;
+  if (node->st.type == FileType::Directory) {
+    // Recursion may not mutate inodes_, and unordered_map never moves its
+    // elements, so `node` stays valid across the child calls.
+    for (const auto& [name, ino] : node->children) {
+      MINICON_TRY_ASSIGN(child, snapshot(ino, stats));
+      sn.children.emplace(name, std::move(child));
+    }
+  } else if (node->st.type == FileType::Regular ||
+             node->st.type == FileType::Symlink) {
+    sn.content = std::make_shared<const std::string>(node->data);
+  }
+  node->snap = freeze_snap_node(std::move(sn));
+  if (stats != nullptr) ++stats->nodes_built;
+  return node->snap;
 }
 
 std::uint64_t MemFs::total_bytes() const {

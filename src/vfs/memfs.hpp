@@ -58,6 +58,12 @@ class MemFs : public Filesystem {
   VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
                           const std::string& name) override;
 
+  // O(changed) snapshots: each inode caches its frozen subtree snapshot and
+  // mutations invalidate only the dirty path to the root, so re-snapshotting
+  // after touching one file rebuilds one path and reuses every sibling.
+  Result<SnapNodePtr> snapshot(InodeNum node,
+                               SnapshotStats* stats = nullptr) override;
+
   // Total bytes of file content; the storage-driver bench uses this to show
   // the VFS driver's "significant storage overhead" (§4.1).
   std::uint64_t total_bytes() const;
@@ -69,12 +75,18 @@ class MemFs : public Filesystem {
     std::string data;                           // regular / symlink target
     std::map<std::string, InodeNum> children;   // directory
     std::map<std::string, std::string> xattrs;
+    SnapNodePtr snap;                // cached frozen subtree, null when dirty
+    std::vector<InodeNum> parents;   // one entry per link (dirs: exactly one)
   };
 
   Inode* get(InodeNum n);
   Result<Inode*> get_dir(InodeNum n);
   InodeNum alloc(const OpCtx& ctx, const CreateArgs& args);
   void unref(InodeNum n);
+  // Invalidates n's cached snapshot and every cached ancestor along its link
+  // parents; stops at ancestors that are already invalid (their own
+  // ancestors must already be invalid too).
+  void touch(InodeNum n);
 
   std::unordered_map<InodeNum, Inode> inodes_;
   InodeNum next_ino_ = 1;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "vfs/snapshot.hpp"
+
 namespace minicon::vfs {
 
 OverlayFs::OverlayFs(FilesystemPtr lower) : lower_(std::move(lower)) {
@@ -48,6 +50,16 @@ void OverlayFs::forget(InodeNum dir, const std::string& name) {
   if (it == d->children.end()) return;
   nodes_.erase(it->second);
   d->children.erase(it);
+}
+
+void OverlayFs::touch(InodeNum n) {
+  while (true) {
+    Node* node = get(n);
+    if (node == nullptr) return;
+    node->snap.reset();
+    if (node->parent == n) return;  // root points to itself
+    n = node->parent;
+  }
 }
 
 Result<Stat> OverlayFs::backing_stat(const Node& node) {
@@ -198,6 +210,7 @@ Result<InodeNum> OverlayFs::create(const OpCtx& ctx, InodeNum dir,
   d = get(dir);
   MINICON_TRY_ASSIGN(up, upper_.create(ctx, *d->upper, name, args));
   whiteouts_.erase({dir, name});
+  touch(dir);
   return intern(dir, name, std::nullopt, up);
 }
 
@@ -205,20 +218,26 @@ VoidResult OverlayFs::write(const OpCtx& ctx, InodeNum n, std::string data,
                             bool append) {
   MINICON_TRY(ensure_upper(ctx, n));
   Node* node = get(n);
-  return upper_.write(ctx, *node->upper, std::move(data), append);
+  MINICON_TRY(upper_.write(ctx, *node->upper, std::move(data), append));
+  touch(n);
+  return {};
 }
 
 VoidResult OverlayFs::set_owner(const OpCtx& ctx, InodeNum n, Uid uid,
                                 Gid gid) {
   MINICON_TRY(ensure_upper(ctx, n));
   Node* node = get(n);
-  return upper_.set_owner(ctx, *node->upper, uid, gid);
+  MINICON_TRY(upper_.set_owner(ctx, *node->upper, uid, gid));
+  touch(n);
+  return {};
 }
 
 VoidResult OverlayFs::set_mode(const OpCtx& ctx, InodeNum n, std::uint32_t m) {
   MINICON_TRY(ensure_upper(ctx, n));
   Node* node = get(n);
-  return upper_.set_mode(ctx, *node->upper, m);
+  MINICON_TRY(upper_.set_mode(ctx, *node->upper, m));
+  touch(n);
+  return {};
 }
 
 VoidResult OverlayFs::link(const OpCtx& ctx, InodeNum dir,
@@ -233,6 +252,7 @@ VoidResult OverlayFs::link(const OpCtx& ctx, InodeNum dir,
   MINICON_TRY(upper_.link(ctx, *d->upper, name, *t->upper));
   whiteouts_.erase({dir, name});
   intern(dir, name, std::nullopt, *t->upper);
+  touch(dir);
   return {};
 }
 
@@ -241,16 +261,20 @@ VoidResult OverlayFs::unlink(const OpCtx& ctx, InodeNum dir,
   MINICON_TRY_ASSIGN(child, lookup(dir, name));
   MINICON_TRY_ASSIGN(st, getattr(child));
   if (st.is_dir()) return Err::eisdir;
+  // A whiteout makes `dir` differ from its lower copy, so the parent must be
+  // copied up even when the victim only exists in the lower layer — kernel
+  // overlayfs performs the same parent copy-up before writing a whiteout.
+  // This keeps "no upper ⇒ subtree identical to lower" true for snapshots.
+  MINICON_TRY(ensure_upper(ctx, dir));
   Node* node = get(child);
   const bool had_lower = node->lower.has_value();
   if (node->upper) {
     Node* d = get(dir);
-    MINICON_TRY(ensure_upper(ctx, dir));
-    d = get(dir);
     MINICON_TRY(upper_.unlink(ctx, *d->upper, name));
   }
   if (had_lower) whiteouts_.insert({dir, name});
   forget(dir, name);
+  touch(dir);
   return {};
 }
 
@@ -261,15 +285,17 @@ VoidResult OverlayFs::rmdir(const OpCtx& ctx, InodeNum dir,
   if (!st.is_dir()) return Err::enotdir;
   MINICON_TRY_ASSIGN(entries, readdir(child));
   if (!entries.empty()) return Err::enotempty;
+  // Parent copy-up before whiteout, as in unlink.
+  MINICON_TRY(ensure_upper(ctx, dir));
   Node* node = get(child);
   const bool had_lower = node->lower.has_value();
   if (node->upper) {
-    MINICON_TRY(ensure_upper(ctx, dir));
     Node* d = get(dir);
     MINICON_TRY(upper_.rmdir(ctx, *d->upper, name));
   }
   if (had_lower) whiteouts_.insert({dir, name});
   forget(dir, name);
+  touch(dir);
   return {};
 }
 
@@ -302,6 +328,8 @@ VoidResult OverlayFs::rename(const OpCtx& ctx, InodeNum src_dir,
   if (had_lower) whiteouts_.insert({src_dir, src_name});
   whiteouts_.erase({dst_dir, dst_name});
   intern(dst_dir, dst_name, std::nullopt, upper_ino);
+  touch(src_dir);
+  touch(dst_dir);
   return {};
 }
 
@@ -310,7 +338,9 @@ VoidResult OverlayFs::set_xattr(const OpCtx& ctx, InodeNum n,
                                 const std::string& value) {
   MINICON_TRY(ensure_upper(ctx, n));
   Node* node = get(n);
-  return upper_.set_xattr(ctx, *node->upper, name, value);
+  MINICON_TRY(upper_.set_xattr(ctx, *node->upper, name, value));
+  touch(n);
+  return {};
 }
 
 Result<std::string> OverlayFs::get_xattr(InodeNum n, const std::string& name) {
@@ -331,7 +361,56 @@ VoidResult OverlayFs::remove_xattr(const OpCtx& ctx, InodeNum n,
                                    const std::string& name) {
   MINICON_TRY(ensure_upper(ctx, n));
   Node* node = get(n);
-  return upper_.remove_xattr(ctx, *node->upper, name);
+  MINICON_TRY(upper_.remove_xattr(ctx, *node->upper, name));
+  touch(n);
+  return {};
+}
+
+Result<SnapNodePtr> OverlayFs::snapshot(InodeNum n, SnapshotStats* stats) {
+  Node* node = get(n);
+  if (node == nullptr) return Err::estale;
+  if (node->snap != nullptr) {
+    if (stats != nullptr) stats->nodes_reused += node->snap->tree_nodes;
+    return node->snap;
+  }
+  if (!node->upper && node->lower) {
+    // No upper backing means nothing below was ever mutated (whiteouts force
+    // parent copy-up), so the subtree is byte-identical to the lower one —
+    // delegate and share the lower filesystem's nodes outright.
+    MINICON_TRY_ASSIGN(snap, lower_->snapshot(*node->lower, stats));
+    node->snap = snap;
+    return snap;
+  }
+  MINICON_TRY_ASSIGN(st, backing_stat(*node));
+  SnapNode sn;
+  sn.type = st.type;
+  sn.mode = st.mode;
+  sn.uid = st.uid;
+  sn.gid = st.gid;
+  sn.dev_major = st.dev_major;
+  sn.dev_minor = st.dev_minor;
+  if (auto xattrs = list_xattrs(n); xattrs.ok()) {
+    for (const auto& name : *xattrs) {
+      if (auto v = get_xattr(n, name); v.ok()) sn.xattrs[name] = *v;
+    }
+  }
+  if (st.is_dir()) {
+    MINICON_TRY_ASSIGN(entries, readdir(n));
+    for (const auto& e : entries) {
+      MINICON_TRY_ASSIGN(child, snapshot(e.ino, stats));
+      sn.children.emplace(e.name, std::move(child));
+    }
+    node = get(n);  // readdir interns dentries; re-fetch to be safe
+  } else if (st.type == FileType::Regular) {
+    MINICON_TRY_ASSIGN(data, read(n));
+    sn.content = std::make_shared<const std::string>(std::move(data));
+  } else if (st.type == FileType::Symlink) {
+    MINICON_TRY_ASSIGN(target, readlink(n));
+    sn.content = std::make_shared<const std::string>(std::move(target));
+  }
+  node->snap = freeze_snap_node(std::move(sn));
+  if (stats != nullptr) ++stats->nodes_built;
+  return node->snap;
 }
 
 }  // namespace minicon::vfs

@@ -62,6 +62,13 @@ class OverlayFs : public Filesystem {
   VoidResult remove_xattr(const OpCtx& ctx, InodeNum node,
                           const std::string& name) override;
 
+  // O(changed) snapshots: overlay nodes cache frozen subtrees like MemFs
+  // inodes do, and a subtree with no upper backing delegates to the lower
+  // filesystem's snapshot — an untouched base-image subtree is shared (same
+  // SnapNode pointers) across every overlay stacked on it.
+  Result<SnapNodePtr> snapshot(InodeNum node,
+                               SnapshotStats* stats = nullptr) override;
+
   // Bytes stored in this layer's upper dir only — the marginal cost of the
   // layer, as opposed to the cumulative image size.
   std::uint64_t upper_bytes() const { return upper_.total_bytes(); }
@@ -81,6 +88,7 @@ class OverlayFs : public Filesystem {
     std::optional<InodeNum> lower;  // ino in lower fs
     std::optional<InodeNum> upper;  // ino in upper fs
     std::map<std::string, InodeNum> children;  // lazily-populated dentries
+    SnapNodePtr snap;  // cached frozen subtree, null when dirty
   };
 
   Node* get(InodeNum n);
@@ -96,6 +104,11 @@ class OverlayFs : public Filesystem {
   VoidResult ensure_upper_deep(const OpCtx& ctx, InodeNum node);
   // Drops a dentry (after unlink/rmdir/rename-away).
   void forget(InodeNum dir, const std::string& name);
+  // Invalidates cached snapshots from `node` all the way to the root. Unlike
+  // MemFs this cannot stop at an already-invalid ancestor: a delegated
+  // (lower-backed) cache can sit above an interned child that was never
+  // cached itself.
+  void touch(InodeNum node);
   // Stat from whichever layer backs the node, with the overlay ino patched in.
   Result<Stat> backing_stat(const Node& node);
 

@@ -1,0 +1,103 @@
+// Copy-on-write tree snapshots with incremental Merkle digests.
+//
+// A SnapNode is an immutable, structurally-shared snapshot of one filesystem
+// node: file content and metadata for leaves, child pointers for
+// directories. Because nodes are immutable and reference-counted, forking a
+// snapshot is O(1) and two snapshots that share unchanged subtrees share the
+// actual nodes — the cache value and registry layer representation the paper
+// motivated (§6.1/P5: distribution cost is dominated by serializing and
+// hashing bytes that did not change).
+//
+// Every node carries a Merkle digest: files hash their metadata + content,
+// directories hash their metadata + the ordered (name, child digest) list.
+// The digest deliberately excludes mtime (a logical clock; serialization
+// must be deterministic) and nlink (a derived count: creating a second hard
+// link to a file changes the *linking* directory, not the file's own
+// subtree). Filesystems that cache snapshots per inode (MemFs, OverlayFs)
+// recompute digests only along dirty paths: a build step that touches one
+// directory re-digests the path to the root and reuses every sibling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "support/result.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/types.hpp"
+
+namespace minicon::vfs {
+
+struct SnapNode {
+  FileType type = FileType::Regular;
+  std::uint32_t mode = 0644;
+  Uid uid = 0;
+  Gid gid = 0;
+  std::uint32_t dev_major = 0;
+  std::uint32_t dev_minor = 0;
+  // Regular file data or symlink target; shared so that forks and the
+  // chunk/registry stores never copy unchanged content.
+  std::shared_ptr<const std::string> content;
+  std::map<std::string, SnapNodePtr> children;  // directories only
+  std::map<std::string, std::string> xattrs;
+
+  // Computed at freeze time, immutable afterwards.
+  std::string digest;              // hex Merkle digest of this subtree
+  std::uint64_t tree_bytes = 0;    // regular-file bytes in the subtree
+  std::uint64_t tree_nodes = 1;    // nodes in the subtree (incl. self)
+
+  std::string_view content_view() const {
+    return content != nullptr ? std::string_view(*content)
+                              : std::string_view();
+  }
+};
+
+// Seals a node: computes its Merkle digest and subtree aggregates (children
+// must already be frozen) and returns it as an immutable shared node. This
+// is the single place digests are computed; each call increments the
+// process-wide counter below.
+SnapNodePtr freeze_snap_node(SnapNode node);
+
+// Total Merkle digests computed since process start (one per frozen node).
+// The O(changed)-resnapshot tests assert on deltas of this counter.
+std::uint64_t snapshot_digests_computed();
+
+// Generic O(subtree) snapshot via the public Filesystem interface; the
+// default implementation of Filesystem::snapshot. Caching filesystems
+// override snapshot() and only fall back to per-node rebuilds along dirty
+// paths.
+Result<SnapNodePtr> snapshot_tree(Filesystem& fs, InodeNum root,
+                                  SnapshotStats* stats = nullptr);
+
+struct SyncStats {
+  std::uint64_t created = 0;    // nodes created or rewritten
+  std::uint64_t removed = 0;    // nodes removed
+  std::uint64_t retouched = 0;  // nodes whose metadata alone was fixed up
+  std::uint64_t reused = 0;     // nodes skipped because digests matched
+};
+
+// Rewrites the contents (and metadata) of `dir` to exactly match `target`,
+// using the filesystem's own cached snapshot to skip subtrees whose digests
+// already match: restoring a cached build state onto a mostly-unchanged
+// directory costs O(changed), not O(tree). Hard links are expanded (same
+// semantics as a tar round-trip); mtimes are not restored.
+Result<SyncStats> sync_tree(Filesystem& fs, InodeNum dir,
+                            const SnapNodePtr& target, const OpCtx& ctx);
+
+// Materializes `node`'s children into the (existing) directory `dir`.
+// Unlike sync_tree this never deletes; it is the snapshot analogue of
+// entries_to_tree's merge semantics.
+VoidResult materialize_into(Filesystem& fs, InodeNum dir,
+                            const SnapNodePtr& node, const OpCtx& ctx);
+
+// Charliecloud push transform (§6.1) on a snapshot: ownership flattens to
+// root:root, setuid/setgid bits clear, device nodes drop. Pure and
+// structurally sharing: an already-flat subtree is returned as-is, and the
+// caller may pass a digest-keyed memo so repeated pushes of a mostly
+// unchanged image transform only the changed paths.
+SnapNodePtr flatten_snapshot(
+    const SnapNodePtr& node,
+    std::map<std::string, SnapNodePtr>* memo = nullptr);
+
+}  // namespace minicon::vfs

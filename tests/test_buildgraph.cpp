@@ -14,6 +14,7 @@
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
 #include "core/podman.hpp"
+#include "vfs/snapshot.hpp"
 #include "kernel/faultinject.hpp"
 #include "kernel/syscalls.hpp"
 #include "support/threadpool.hpp"
@@ -146,16 +147,38 @@ TEST(RetryPolicy, BackoffDoublesAndIsCapped) {
 
 // --- BuildCache -------------------------------------------------------------------
 
+namespace {
+
+// A one-file snapshot tree: the cache-value shape every builder stores.
+vfs::SnapNodePtr payload_snapshot(const std::string& content) {
+  vfs::SnapNode file;
+  file.type = vfs::FileType::Regular;
+  file.mode = 0644;
+  file.content = std::make_shared<const std::string>(content);
+  vfs::SnapNode root;
+  root.type = vfs::FileType::Directory;
+  root.mode = 0755;
+  root.children["payload"] = vfs::freeze_snap_node(std::move(file));
+  return vfs::freeze_snap_node(std::move(root));
+}
+
+}  // namespace
+
 TEST(BuildCacheTest, HitMissAndKeyChain) {
   BuildCache cache;
   image::ImageConfig cfg;
   cfg.workdir = "/srv";
   const std::string k1 = BuildCache::chain("root", "RUN|echo hi");
   EXPECT_FALSE(cache.lookup(k1).has_value());
-  cache.store(k1, "payload-bytes", cfg);
+  auto snap = payload_snapshot("payload-bytes");
+  cache.store(k1, snap, cfg);
   auto hit = cache.lookup(k1);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(*hit->blob, "payload-bytes");
+  // The hit is the stored Merkle tree itself (shared, not reassembled).
+  ASSERT_NE(hit->snapshot, nullptr);
+  EXPECT_EQ(hit->snapshot->digest, snap->digest);
+  EXPECT_EQ(hit->snapshot->children.at("payload")->content_view(),
+            "payload-bytes");
   EXPECT_EQ(hit->config.workdir, "/srv");
   const auto s = cache.stats();
   EXPECT_EQ(s.hits, 1u);
@@ -172,13 +195,13 @@ TEST(BuildCacheTest, HitMissAndKeyChain) {
 }
 
 TEST(BuildCacheTest, LruEvictionByByteCapacity) {
-  BuildCache cache(nullptr, 100);  // tiny: two 60-byte blobs cannot coexist
-  const std::string blob(60, 'x');
+  BuildCache cache(nullptr, 100);  // tiny: two 60-byte trees cannot coexist
   image::ImageConfig cfg;
-  cache.store("k1", blob, cfg);
-  cache.store("k2", blob, cfg);
+  cache.store("k1", payload_snapshot(std::string(60, 'x')), cfg);
+  cache.store("k2", payload_snapshot(std::string(60, 'y')), cfg);
   const auto s = cache.stats();
   EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.evicted_bytes, 60u);
   EXPECT_EQ(s.entries, 1u);
   EXPECT_LE(s.bytes, 100u);
   EXPECT_FALSE(cache.lookup("k1").has_value());  // k1 was least recent
@@ -394,6 +417,47 @@ TEST_F(BuildGraphTest, CacheInvalidatedByContextFileEdit) {
   Transcript rt;
   ASSERT_EQ(ch.run_in_image("img", {"cat", "/ctx"}, rt), 0);
   EXPECT_TRUE(rt.contains("v2"));
+}
+
+TEST_F(BuildGraphTest, Width8FanOutRebuildIsOChangedDigests) {
+  // Acceptance: a width-8 fan-out build with one changed file re-digests
+  // only the dirty paths, not the eight base trees. Digest work is counted
+  // via the process-wide freeze counter.
+  ASSERT_TRUE(
+      alice_.sys->write_file(alice_, "/tmp/fan-ctx.txt", "v1\n", false, 0644)
+          .ok());
+  std::string df;
+  for (int i = 0; i < 8; ++i) {
+    const std::string n = std::to_string(i);
+    df += "FROM centos:7 AS s" + n + "\n";
+    if (i == 0) df += "COPY /tmp/fan-ctx.txt /ctx\n";
+    df += "RUN echo arm" + n + " > /a" + n + ".txt\n";
+  }
+  df += "FROM centos:7\n";
+  for (int i = 0; i < 8; ++i) {
+    const std::string n = std::to_string(i);
+    df += "COPY --from=s" + n + " /a" + n + ".txt /a" + n + ".txt\n";
+  }
+  core::ChImageOptions opts;
+  opts.build_cache = true;
+  opts.parallel_stages = false;  // deterministic digest accounting
+  auto ch = make_ch(opts);
+  Transcript t1;
+  const std::uint64_t d0 = vfs::snapshot_digests_computed();
+  ASSERT_EQ(ch.build("fan8", df, t1), 0) << t1.text();
+  const std::uint64_t full = vfs::snapshot_digests_computed() - d0;
+  ASSERT_GT(full, 0u);
+  // Change the one context file: only stage s0's chain is invalidated.
+  ASSERT_TRUE(
+      alice_.sys->write_file(alice_, "/tmp/fan-ctx.txt", "v2\n", false, 0644)
+          .ok());
+  Transcript t2;
+  const std::uint64_t d1 = vfs::snapshot_digests_computed();
+  ASSERT_EQ(ch.build("fan8", df, t2), 0) << t2.text();
+  const std::uint64_t incr = vfs::snapshot_digests_computed() - d1;
+  EXPECT_EQ(ch.cache_hits(), 7u) << t2.text();  // the 7 untouched arms
+  EXPECT_LT(incr * 4, full) << "rebuild re-digested " << incr << " of "
+                            << full << " nodes";
 }
 
 TEST_F(BuildGraphTest, CacheInvalidatedByBaseImageChange) {

@@ -195,9 +195,9 @@ TEST_F(ChImageTest, PushFlattensOwnershipAndSingleLayer) {
   auto manifest = cluster_->registry().get_manifest("site/foo:latest");
   ASSERT_TRUE(manifest.has_value());
   ASSERT_EQ(manifest->layers.size(), 1u);  // single flattened layer
-  auto blob = cluster_->registry().get_blob(manifest->layers[0]);
-  ASSERT_TRUE(blob.has_value());
-  auto entries = image::tar_parse(*blob);
+  // Pushed as a Merkle tree layer: resolve it the way pull sites do.
+  auto entries = image::registry_layer_entries(cluster_->registry(),
+                                               manifest->layers[0]);
   ASSERT_TRUE(entries.ok());
   ASSERT_FALSE(entries->empty());
   for (const auto& e : *entries) {

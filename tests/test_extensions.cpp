@@ -172,9 +172,8 @@ TEST_F(ExtensionTest, RequireFlattenForcesPodmanToFlatten) {
   ASSERT_TRUE(manifest.has_value());
   // The openssh diff layer (last) must be fully flattened despite podman's
   // usual ownership-preserving push.
-  auto blob = cluster_->registry().get_blob(manifest->layers.back());
-  ASSERT_TRUE(blob.has_value());
-  auto entries = image::tar_parse(*blob);
+  auto entries = image::registry_layer_entries(cluster_->registry(),
+                                               manifest->layers.back());
   ASSERT_TRUE(entries.ok());
   for (const auto& e : *entries) {
     EXPECT_EQ(e.uid, 0u) << e.name;

@@ -243,9 +243,10 @@ TEST_F(PodmanTest, MultiLayerOwnershipPreservingPush) {
   EXPECT_EQ(manifest->layers.size(), 3u);
   // The openssh layer carries container-namespace ownership (root:ssh_keys),
   // because the archive is created "within the container" (§2.1.2 / §6.1).
-  auto blob = cluster_->registry().get_blob(manifest->layers.back());
-  ASSERT_TRUE(blob.has_value());
-  auto entries = image::tar_parse(*blob);
+  // RUN layers are pushed as Merkle tree layers: resolve them the way pull
+  // sites do (representation-agnostic).
+  auto entries = image::registry_layer_entries(cluster_->registry(),
+                                               manifest->layers.back());
   ASSERT_TRUE(entries.ok());
   bool found = false;
   for (const auto& e : *entries) {

@@ -1,0 +1,346 @@
+// Copy-on-write snapshot tests: structural sharing, incremental Merkle
+// digests (O(changed) re-snapshot), overlay edge cases (whiteouts, renames
+// across shared subtrees, hard links, empty directories), and sync_tree.
+#include <gtest/gtest.h>
+
+#include "vfs/memfs.hpp"
+#include "vfs/overlayfs.hpp"
+#include "vfs/snapshot.hpp"
+#include "vfs/treeops.hpp"
+
+namespace minicon::vfs {
+namespace {
+
+OpCtx ctx() {
+  OpCtx c;
+  c.now = 42;
+  return c;
+}
+
+InodeNum must_create(Filesystem& fs, InodeNum dir, const std::string& name,
+                     FileType type, std::uint32_t mode = 0644, Uid uid = 0,
+                     Gid gid = 0) {
+  CreateArgs args;
+  args.type = type;
+  args.mode = mode;
+  args.uid = uid;
+  args.gid = gid;
+  auto r = fs.create(ctx(), dir, name, args);
+  EXPECT_TRUE(r.ok()) << name;
+  return r.ok() ? *r : 0;
+}
+
+InodeNum must_write(Filesystem& fs, InodeNum dir, const std::string& name,
+                    const std::string& data) {
+  const InodeNum f = must_create(fs, dir, name, FileType::Regular);
+  EXPECT_TRUE(fs.write(ctx(), f, data, false).ok());
+  return f;
+}
+
+SnapNodePtr must_snap(Filesystem& fs, SnapshotStats* stats = nullptr) {
+  auto snap = fs.snapshot(fs.root(), stats);
+  EXPECT_TRUE(snap.ok());
+  return snap.ok() ? *snap : nullptr;
+}
+
+// --- digest basics ----------------------------------------------------------------
+
+TEST(SnapshotDigest, ContentAndMetadataSensitive) {
+  MemFs a, b;
+  must_write(a, a.root(), "f", "hello");
+  must_write(b, b.root(), "f", "hello");
+  EXPECT_EQ(must_snap(a)->digest, must_snap(b)->digest);
+
+  MemFs c;
+  must_write(c, c.root(), "f", "other");
+  EXPECT_NE(must_snap(a)->digest, must_snap(c)->digest);
+
+  MemFs d;
+  const InodeNum f = must_write(d, d.root(), "f", "hello");
+  ASSERT_TRUE(d.set_mode(ctx(), f, 0600).ok());
+  EXPECT_NE(must_snap(a)->digest, must_snap(d)->digest);
+}
+
+TEST(SnapshotDigest, EmptyDirsAreDistinctFromAbsentAndFromFiles) {
+  MemFs none;
+  MemFs withdir;
+  must_create(withdir, withdir.root(), "x", FileType::Directory, 0755);
+  MemFs withfile;
+  must_create(withfile, withfile.root(), "x", FileType::Regular, 0755);
+  // An empty directory changes the parent digest, and a dir named x is not
+  // a file named x — the digest folds the type tag.
+  EXPECT_NE(must_snap(none)->digest, must_snap(withdir)->digest);
+  EXPECT_NE(must_snap(withdir)->digest, must_snap(withfile)->digest);
+  // Two separately-built empty dirs digest identically.
+  MemFs withdir2;
+  must_create(withdir2, withdir2.root(), "x", FileType::Directory, 0755);
+  EXPECT_EQ(must_snap(withdir)->digest, must_snap(withdir2)->digest);
+}
+
+TEST(SnapshotDigest, HardLinkCountDoesNotChangeFileDigest) {
+  // nlink is a property of the linking directories, not the file subtree:
+  // adding a link under the same parent must change the *parent* digest
+  // (new name) but the file node's own digest stays put.
+  MemFs fs;
+  const InodeNum sub =
+      must_create(fs, fs.root(), "d", FileType::Directory, 0755);
+  must_write(fs, sub, "a", "data");
+  auto before = must_snap(fs);
+  const std::string file_digest = before->children.at("d")
+                                      ->children.at("a")
+                                      ->digest;
+  auto a = fs.lookup(sub, "a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fs.link(ctx(), sub, "b", *a).ok());
+  auto after = must_snap(fs);
+  EXPECT_NE(before->digest, after->digest);
+  EXPECT_EQ(after->children.at("d")->children.at("a")->digest, file_digest);
+  EXPECT_EQ(after->children.at("d")->children.at("b")->digest, file_digest);
+}
+
+// --- O(changed) re-snapshot -------------------------------------------------------
+
+TEST(SnapshotCoW, FanOutWidth8RedigestsOnlyDirtyPath) {
+  // Width-8 fan-out, 4 files per arm. After a full snapshot, touching one
+  // file must re-digest exactly the dirty path: file + its arm + root.
+  MemFs fs;
+  InodeNum arm0 = 0;
+  InodeNum victim = 0;
+  for (int i = 0; i < 8; ++i) {
+    const InodeNum arm = must_create(fs, fs.root(), "arm" + std::to_string(i),
+                                     FileType::Directory, 0755);
+    for (int j = 0; j < 4; ++j) {
+      const InodeNum f =
+          must_write(fs, arm, "f" + std::to_string(j), "payload");
+      if (i == 0 && j == 0) {
+        arm0 = arm;
+        victim = f;
+      }
+    }
+  }
+  auto first = must_snap(fs);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->tree_nodes, 1u + 8u + 8u * 4u);
+
+  // Clean re-snapshot computes nothing at all.
+  const std::uint64_t d0 = snapshot_digests_computed();
+  SnapshotStats clean;
+  auto again = must_snap(fs, &clean);
+  EXPECT_EQ(snapshot_digests_computed() - d0, 0u);
+  EXPECT_EQ(again, first);  // the very same root node, not a rebuild
+  EXPECT_EQ(clean.nodes_built, 0u);
+  EXPECT_EQ(clean.nodes_reused, first->tree_nodes);
+
+  ASSERT_TRUE(fs.write(ctx(), victim, "changed", false).ok());
+  const std::uint64_t d1 = snapshot_digests_computed();
+  SnapshotStats dirty;
+  auto second = must_snap(fs, &dirty);
+  // Exactly the dirty path re-digests: victim file, arm0, root.
+  EXPECT_EQ(snapshot_digests_computed() - d1, 3u);
+  EXPECT_EQ(dirty.nodes_built, 3u);
+  EXPECT_EQ(dirty.nodes_reused, first->tree_nodes - 3u);
+  EXPECT_NE(second->digest, first->digest);
+  // The 7 untouched arms are the same shared nodes, pointer-for-pointer.
+  for (int i = 1; i < 8; ++i) {
+    const std::string name = "arm" + std::to_string(i);
+    EXPECT_EQ(second->children.at(name), first->children.at(name)) << name;
+  }
+  EXPECT_NE(second->children.at("arm0"), first->children.at("arm0"));
+  (void)arm0;
+}
+
+TEST(SnapshotCoW, RenameAcrossSharedSubtreesInvalidatesBothParents) {
+  MemFs fs;
+  const InodeNum src =
+      must_create(fs, fs.root(), "src", FileType::Directory, 0755);
+  const InodeNum dst =
+      must_create(fs, fs.root(), "dst", FileType::Directory, 0755);
+  const InodeNum other =
+      must_create(fs, fs.root(), "other", FileType::Directory, 0755);
+  must_write(fs, src, "mv", "x");
+  must_write(fs, other, "keep", "y");
+  auto before = must_snap(fs);
+
+  ASSERT_TRUE(fs.rename(ctx(), src, "mv", dst, "mv").ok());
+  const std::uint64_t d = snapshot_digests_computed();
+  auto after = must_snap(fs);
+  // src, dst, and root re-digest; the moved file and `other` are reused.
+  EXPECT_EQ(snapshot_digests_computed() - d, 3u);
+  EXPECT_EQ(after->children.at("other"), before->children.at("other"));
+  EXPECT_EQ(after->children.at("dst")->children.at("mv"),
+            before->children.at("src")->children.at("mv"));
+  EXPECT_TRUE(after->children.at("src")->children.empty());
+}
+
+// --- overlay edge cases -----------------------------------------------------------
+
+class OverlaySnapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lower_ = std::make_shared<MemFs>();
+    const InodeNum d = must_create(*lower_, lower_->root(), "base",
+                                   FileType::Directory, 0755);
+    must_write(*lower_, d, "keep", "lower-keep");
+    must_write(*lower_, d, "gone", "lower-gone");
+    const InodeNum e = must_create(*lower_, lower_->root(), "quiet",
+                                   FileType::Directory, 0755);
+    must_write(*lower_, e, "still", "untouched");
+    ovl_ = std::make_shared<OverlayFs>(lower_);
+  }
+
+  std::shared_ptr<MemFs> lower_;
+  std::shared_ptr<OverlayFs> ovl_;
+};
+
+TEST_F(OverlaySnapTest, UntouchedOverlayEqualsLowerAndSharesNodes) {
+  auto lsnap = must_snap(*lower_);
+  auto osnap = must_snap(*ovl_);
+  EXPECT_EQ(osnap->digest, lsnap->digest);
+  // Delegation shares the lower filesystem's nodes outright.
+  EXPECT_EQ(osnap->children.at("base"), lsnap->children.at("base"));
+  EXPECT_EQ(osnap->children.at("quiet"), lsnap->children.at("quiet"));
+}
+
+TEST_F(OverlaySnapTest, WhiteoutRemovesEntryFromDigest) {
+  auto base = ovl_->lookup(ovl_->root(), "base");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(ovl_->unlink(ctx(), *base, "gone").ok());
+  auto osnap = must_snap(*ovl_);
+  // The whiteout is invisible in the snapshot: `gone` is simply absent,
+  // and an equivalent MemFs tree digests identically.
+  EXPECT_EQ(osnap->children.at("base")->children.count("gone"), 0u);
+  MemFs expect;
+  const InodeNum d =
+      must_create(expect, expect.root(), "base", FileType::Directory, 0755);
+  must_write(expect, d, "keep", "lower-keep");
+  const InodeNum e =
+      must_create(expect, expect.root(), "quiet", FileType::Directory, 0755);
+  must_write(expect, e, "still", "untouched");
+  EXPECT_EQ(osnap->digest, must_snap(expect)->digest);
+  // The untouched sibling subtree still delegates to lower's shared node.
+  EXPECT_EQ(osnap->children.at("quiet"),
+            must_snap(*lower_)->children.at("quiet"));
+}
+
+TEST_F(OverlaySnapTest, UpperWriteInvalidatesThroughDelegatedParents) {
+  auto first = must_snap(*ovl_);
+  auto base = ovl_->lookup(ovl_->root(), "base");
+  ASSERT_TRUE(base.ok());
+  auto keep = ovl_->lookup(*base, "keep");
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(ovl_->write(ctx(), *keep, "upper-version", false).ok());
+  auto second = must_snap(*ovl_);
+  EXPECT_NE(second->digest, first->digest);
+  EXPECT_EQ(second->children.at("base")->children.at("keep")->content_view(),
+            "upper-version");
+  // Lower is untouched, and the overlay still shares its other subtree.
+  EXPECT_EQ(must_snap(*lower_)
+                ->children.at("base")
+                ->children.at("keep")
+                ->content_view(),
+            "lower-keep");
+  EXPECT_EQ(second->children.at("quiet"), first->children.at("quiet"));
+}
+
+TEST_F(OverlaySnapTest, RenameAcrossSharedSubtreesMatchesMemFs) {
+  auto base = ovl_->lookup(ovl_->root(), "base");
+  auto quiet = ovl_->lookup(ovl_->root(), "quiet");
+  ASSERT_TRUE(base.ok() && quiet.ok());
+  ASSERT_TRUE(ovl_->rename(ctx(), *base, "keep", *quiet, "moved").ok());
+  auto osnap = must_snap(*ovl_);
+  MemFs expect;
+  const InodeNum d =
+      must_create(expect, expect.root(), "base", FileType::Directory, 0755);
+  must_write(expect, d, "gone", "lower-gone");
+  const InodeNum e =
+      must_create(expect, expect.root(), "quiet", FileType::Directory, 0755);
+  must_write(expect, e, "still", "untouched");
+  must_write(expect, e, "moved", "lower-keep");
+  EXPECT_EQ(osnap->digest, must_snap(expect)->digest);
+}
+
+TEST_F(OverlaySnapTest, RmdirWhiteoutAndEmptyDirDigests) {
+  // rmdir of a lower-only dir needs a whiteout; the result must digest the
+  // same as a tree that never had the dir.
+  auto quiet = ovl_->lookup(ovl_->root(), "quiet");
+  ASSERT_TRUE(quiet.ok());
+  ASSERT_TRUE(ovl_->unlink(ctx(), *quiet, "still").ok());
+  ASSERT_TRUE(ovl_->rmdir(ctx(), ovl_->root(), "quiet").ok());
+  auto osnap = must_snap(*ovl_);
+  MemFs expect;
+  const InodeNum d =
+      must_create(expect, expect.root(), "base", FileType::Directory, 0755);
+  must_write(expect, d, "keep", "lower-keep");
+  must_write(expect, d, "gone", "lower-gone");
+  EXPECT_EQ(osnap->digest, must_snap(expect)->digest);
+}
+
+// --- sync_tree --------------------------------------------------------------------
+
+TEST(SyncTree, RestoresAndRemovesInOChanged) {
+  MemFs fs;
+  const InodeNum shared =
+      must_create(fs, fs.root(), "shared", FileType::Directory, 0755);
+  for (int i = 0; i < 16; ++i) {
+    must_write(fs, shared, "f" + std::to_string(i), "stable");
+  }
+  const InodeNum work =
+      must_create(fs, fs.root(), "work", FileType::Directory, 0755);
+  must_write(fs, work, "a", "v1");
+  auto target = must_snap(fs);
+
+  // Drift: modify one file, add an extraneous one.
+  auto a = fs.lookup(work, "a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fs.write(ctx(), *a, "v2", false).ok());
+  must_write(fs, work, "junk", "extraneous");
+
+  auto stats = sync_tree(fs, fs.root(), target, ctx());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->removed, 1u);   // junk
+  EXPECT_GE(stats->reused, 17u);   // the shared arm skipped wholesale
+  EXPECT_EQ(must_snap(fs)->digest, target->digest);
+  EXPECT_EQ(*fs.read(*fs.lookup(work, "a")), "v1");
+  EXPECT_EQ(fs.lookup(work, "junk").error(), Err::enoent);
+}
+
+TEST(SyncTree, ReplacesOnTypeChange) {
+  MemFs fs;
+  must_write(fs, fs.root(), "x", "file");
+  auto target = must_snap(fs);
+  ASSERT_TRUE(fs.unlink(ctx(), fs.root(), "x").ok());
+  const InodeNum d =
+      must_create(fs, fs.root(), "x", FileType::Directory, 0755);
+  must_write(fs, d, "inner", "y");
+  ASSERT_TRUE(sync_tree(fs, fs.root(), target, ctx()).ok());
+  EXPECT_EQ(must_snap(fs)->digest, target->digest);
+  EXPECT_EQ(*fs.read(*fs.lookup(fs.root(), "x")), "file");
+}
+
+TEST(Flatten, SharesUnchangedSubtreesAndDropsDevices) {
+  MemFs fs;
+  const InodeNum clean =
+      must_create(fs, fs.root(), "clean", FileType::Directory, 0755);
+  must_write(fs, clean, "f", "data");
+  const InodeNum dirty =
+      must_create(fs, fs.root(), "dirty", FileType::Directory, 0755);
+  const InodeNum owned =
+      must_create(fs, dirty, "owned", FileType::Regular, 04755, 7, 8);
+  ASSERT_TRUE(fs.write(ctx(), owned, "secret", false).ok());
+  CreateArgs dev;
+  dev.type = FileType::CharDev;
+  dev.mode = 0666;
+  ASSERT_TRUE(fs.create(ctx(), dirty, "null", dev).ok());
+  auto snap = must_snap(fs);
+  auto flat = flatten_snapshot(snap);
+  // Already root:root subtree shares the original node.
+  EXPECT_EQ(flat->children.at("clean"), snap->children.at("clean"));
+  const auto& f = flat->children.at("dirty")->children.at("owned");
+  EXPECT_EQ(f->uid, 0u);
+  EXPECT_EQ(f->gid, 0u);
+  EXPECT_EQ(f->mode & (mode::kSetUid | mode::kSetGid), 0u);
+  EXPECT_EQ(flat->children.at("dirty")->children.count("null"), 0u);
+}
+
+}  // namespace
+}  // namespace minicon::vfs

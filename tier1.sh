@@ -17,13 +17,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # TSAN pass: only the suites that exercise shared mutable state (the
 # registry/chunk-store stress tests, the thread pool itself, the parallel
-# stage scheduler / shared build cache, and the metrics registry / tracer).
+# stage scheduler / shared build cache + CoW snapshots, and the metrics
+# registry / tracer).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target test_concurrency test_threadpool test_buildgraph test_obs
+  --target test_concurrency test_threadpool test_buildgraph test_vfs_cow \
+  test_obs
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool|test_buildgraph|test_obs'
+  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs'
 
 # ASAN pass: the builders move snapshot blobs across threads; make sure no
 # stage outlives what it borrows.
@@ -33,3 +35,13 @@ cmake --build "$ASAN_DIR" -j "$(nproc)" \
   --target test_buildgraph test_chimage test_podman
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
   -R 'test_buildgraph|test_chimage|test_podman'
+
+# UBSan pass: the Merkle digest layer folds lengths and type tags into byte
+# strings and the tar layer does octal/size arithmetic — the suites that
+# exercise both, plus the vfs CoW edge cases.
+UBSAN_DIR="${BUILD_DIR}-ubsan"
+cmake -B "$UBSAN_DIR" -S . -DMINICON_UBSAN=ON
+cmake --build "$UBSAN_DIR" -j "$(nproc)" \
+  --target test_vfs test_vfs_cow test_image test_buildgraph
+ctest --test-dir "$UBSAN_DIR" --output-on-failure \
+  -R 'test_vfs|test_vfs_cow|test_image|test_buildgraph'
