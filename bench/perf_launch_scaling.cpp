@@ -1,12 +1,16 @@
 // P4: distributed container launch across compute nodes (Fig 6 final stage)
-// — pull-per-node vs a single shared-filesystem image tree, pooled fan-out
-// width, and daemonless startup cost. Shape: shared-fs launch avoids the
-// per-node registry traffic; node jobs share a fixed-width worker pool, so
-// a 64-node launch never spawns 64 OS threads.
+// — pull-per-node vs shared-filesystem vs peer-to-peer chunk distribution,
+// pooled fan-out width, and daemonless startup cost. Shape: shared-fs
+// launch avoids the per-node registry traffic; P2P serves one image's worth
+// of unique chunks regardless of node count; node jobs share a fixed-width
+// worker pool, so a 64-node launch never spawns 64 OS threads.
 #include <benchmark/benchmark.h>
+
+#include <random>
 
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
+#include "image/swarm.hpp"
 
 namespace {
 
@@ -27,25 +31,119 @@ std::unique_ptr<core::Cluster> make_cluster(int nodes, int launch_width = 0) {
   return cluster;
 }
 
+core::Cluster::LaunchMode mode_of(int arg) {
+  switch (arg) {
+    case 1:
+      return core::Cluster::LaunchMode::kSharedFs;
+    case 2:
+      return core::Cluster::LaunchMode::kP2P;
+    default:
+      return core::Cluster::LaunchMode::kPullPerNode;
+  }
+}
+
+const char* mode_label(int arg) {
+  switch (arg) {
+    case 1:
+      return "shared-fs";
+    case 2:
+      return "p2p";
+    default:
+      return "pull-per-node";
+  }
+}
+
+// Full-machine launch, all three distribution modes. Mode 0 (pull-per-node)
+// is the node-local registry-only baseline, 1 the shared-FS ablation, 2 the
+// P2P swarm. cold_registry_bytes is the first (cold) launch's registry
+// traffic — later iterations reuse node-local state in every mode.
 void BM_ParallelLaunch(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
-  const bool shared = state.range(1) != 0;
+  const int mode = static_cast<int>(state.range(1));
   auto cluster = make_cluster(nodes);
+  core::Cluster::LaunchOptions opts;
+  opts.mode = mode_of(mode);
+  double cold_registry_bytes = -1;
+  double cold_peer_bytes = 0;
   for (auto _ : state) {
-    auto result =
-        cluster->parallel_launch("bench/job:1", {"hostname"}, shared);
+    auto result = cluster->parallel_launch("bench/job:1", {"hostname"}, opts);
     if (result.nodes_ok != nodes) {
       state.SkipWithError("launch failed");
       return;
+    }
+    if (cold_registry_bytes < 0) {
+      cold_registry_bytes = static_cast<double>(result.registry_bytes);
+      cold_peer_bytes = static_cast<double>(result.peer_bytes);
     }
   }
   state.counters["nodes"] = nodes;
   state.counters["registry_pulls"] =
       static_cast<double>(cluster->registry().pulls());
-  state.SetLabel(shared ? "shared-fs" : "pull-per-node");
+  state.counters["cold_registry_bytes"] = cold_registry_bytes;
+  state.counters["cold_peer_bytes"] = cold_peer_bytes;
+  state.SetLabel(mode_label(mode));
 }
 BENCHMARK(BM_ParallelLaunch)
-    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {0, 1}})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+// Distribution-stage sweep at cluster scale: registry-only vs P2P over the
+// same chunk set, nodes 64 → 10240. This isolates the byte-movement stage
+// (what the registry and the inter-node fabric carry) from per-node
+// filesystem materialization, which is what lets the sweep reach node
+// counts no full-machine simulation could. Every iteration is a cold
+// launch: fresh per-node caches, same registry.
+void BM_DistributionSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool p2p = state.range(1) != 0;
+  image::Registry registry("bench.distribution");
+  // A 2 MiB image → 32 unique 64 KiB chunks.
+  std::mt19937 rng(7);
+  std::string data(2 * 1024 * 1024, '\0');
+  for (auto& c : data) c = static_cast<char>(rng());
+  auto blob = registry.put_blob_chunked(data);
+  image::Manifest m;
+  m.reference = "bench/dist:1";
+  m.layers.push_back(blob.digest);
+  registry.put_manifest(m);
+
+  std::uint64_t served_before = registry.bytes_served();
+  std::uint64_t registry_bytes = 0;
+  std::uint64_t peer_bytes = 0;
+  for (auto _ : state) {
+    served_before = registry.bytes_served();
+    image::Swarm swarm(&registry, nodes);
+    if (!swarm.prepare(m).ok()) {
+      state.SkipWithError("chunk manifest failed");
+      return;
+    }
+    if (p2p) {
+      for (int n = 0; n < nodes; ++n) swarm.seed(n);
+      for (int n = 0; n < nodes; ++n) swarm.exchange(n);
+    } else {
+      // Registry-only: every node pulls every chunk straight from the
+      // registry into its cache — O(nodes × image size) served bytes.
+      for (int n = 0; n < nodes; ++n) {
+        auto& cache = swarm.cache(n);
+        for (const auto& ref : swarm.plan().manifest.chunks) {
+          cache.put(ref.digest, registry.serve_chunk(ref.digest));
+        }
+      }
+    }
+    peer_bytes = swarm.peer_bytes();
+    registry_bytes = registry.bytes_served() - served_before;
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["image_bytes"] = static_cast<double>(data.size());
+  state.counters["registry_bytes"] = static_cast<double>(registry_bytes);
+  state.counters["peer_bytes"] = static_cast<double>(peer_bytes);
+  state.counters["registry_frac_of_full"] =
+      static_cast<double>(registry_bytes) /
+      (static_cast<double>(nodes) * static_cast<double>(data.size()));
+  state.SetLabel(p2p ? "p2p" : "registry-only");
+}
+BENCHMARK(BM_DistributionSweep)
+    ->ArgsProduct({{64, 256, 1024, 4096, 10240}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 // Pool-width sweep at a fixed node count: how much fan-out concurrency the

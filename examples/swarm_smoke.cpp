@@ -1,0 +1,77 @@
+// P2P distribution smoke check (tier-1): build an image on the login node,
+// push it, launch it on 8 compute nodes in P2P mode, and assert the swarm's
+// headline property — the registry serves far less than one image copy per
+// node (`swarm.registry_bytes < nodes × image_bytes`). tier1.sh runs this
+// under TSAN: the seed/exchange phases hammer the shared chunk caches from
+// every pool worker, so a data race in the swarm or registry shows up here.
+//
+// Usage: swarm_smoke [nodes]. Exits non-zero on any failed node or if the
+// registry traffic is not sublinear.
+#include <iostream>
+#include <string>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+
+using namespace minicon;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::stoi(argv[1]) : 8;
+
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = nodes;
+  core::Cluster cluster(copts);
+
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) {
+    std::cerr << "swarm_smoke: login failed\n";
+    return 1;
+  }
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript bt;
+  if (ch.build("job", "FROM centos:7\nRUN echo swarm-ready\n", bt) != 0) {
+    std::cerr << "swarm_smoke: build failed\n" << bt.text();
+    return 1;
+  }
+  Transcript pt;
+  if (ch.push("job", "smoke/swarm:1", pt) != 0) {
+    std::cerr << "swarm_smoke: push failed\n" << pt.text();
+    return 1;
+  }
+
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kP2P;
+  auto result = cluster.parallel_launch("smoke/swarm:1", {"hostname"}, opts);
+
+  std::cout << "swarm_smoke: nodes_ok=" << result.nodes_ok
+            << " nodes_failed=" << result.nodes_failed
+            << " image_bytes=" << result.image_bytes
+            << " registry_bytes=" << result.registry_bytes
+            << " peer_bytes=" << result.peer_bytes << "\n";
+
+  if (result.nodes_ok != nodes || result.nodes_failed != 0) {
+    std::cerr << "swarm_smoke: launch failed on "
+              << result.nodes_failed << " node(s)\n";
+    for (const auto& out : result.outputs) std::cerr << out << "\n";
+    return 1;
+  }
+  if (result.image_bytes == 0) {
+    std::cerr << "swarm_smoke: empty chunk manifest\n";
+    return 1;
+  }
+  // The criterion from the distribution bench: registry traffic must be
+  // sublinear in node count — well under one full image per node.
+  const std::uint64_t per_node_total =
+      static_cast<std::uint64_t>(nodes) * result.image_bytes;
+  if (result.registry_bytes >= per_node_total) {
+    std::cerr << "swarm_smoke: registry served " << result.registry_bytes
+              << " bytes, not sublinear vs " << per_node_total << "\n";
+    return 1;
+  }
+  std::cout << "swarm_smoke: OK (registry served "
+            << 100.0 * static_cast<double>(result.registry_bytes) /
+                   static_cast<double>(per_node_total)
+            << "% of registry-only traffic)\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 
 #include "core/chimage.hpp"
@@ -13,6 +14,7 @@
 #include "kernel/syscalls.hpp"
 #include "pkg/managers.hpp"
 #include "support/path.hpp"
+#include "vfs/snapshot.hpp"
 
 namespace minicon::core {
 
@@ -50,6 +52,7 @@ Cluster::Cluster(ClusterOptions options)
   login_ = make_node(options_.name + "-login1");
   for (int i = 0; i < options_.compute_nodes; ++i) {
     compute_.push_back(make_node(options_.name + "-cn" + std::to_string(i)));
+    node_caches_.push_back(std::make_unique<image::ChunkCache>());
   }
 
   // Shared home on the parallel filesystem.
@@ -78,24 +81,119 @@ Result<kernel::Process> Cluster::user_on(Machine& node) {
   return node.login(options_.user);
 }
 
-support::ThreadPool& Cluster::launch_pool(std::size_t width) {
-  if (launch_pool_ == nullptr || launch_pool_width_ != width) {
-    launch_pool_ = std::make_unique<support::ThreadPool>(width);
-    launch_pool_width_ = width;
+image::ChunkCache& Cluster::node_cache(int i) {
+  if (i < 0 || static_cast<std::size_t>(i) >= node_caches_.size()) {
+    throw std::out_of_range(
+        "Cluster::node_cache: node index " + std::to_string(i) +
+        " out of range [0, " + std::to_string(node_caches_.size()) + ")");
   }
-  return *launch_pool_;
+  return *node_caches_[static_cast<std::size_t>(i)];
 }
+
+support::ThreadPool& Cluster::launch_pool(std::size_t width) {
+  auto& slot = launch_pools_[width];
+  if (slot == nullptr) {
+    slot = std::make_unique<support::ThreadPool>(width);
+  }
+  return *slot;
+}
+
+namespace {
+
+// Stacks a node's extra syscall layers (fault injection in tests) onto a
+// launch process, innermost first.
+void stack_node_layers(kernel::Process& p, int node,
+                       const Cluster::LaunchOptions& options) {
+  auto it = options.node_syscall_layers.find(node);
+  if (it == options.node_syscall_layers.end()) return;
+  for (const auto& layer : it->second) p.sys = layer(p.sys);
+}
+
+// mkdir -p through the process's syscall stack (so injected faults bite).
+bool make_dirs(kernel::Process& p, const std::string& path) {
+  std::string cur = "/";
+  for (const auto& comp : path_components(path)) {
+    cur = cur == "/" ? "/" + comp : cur + "/" + comp;
+    if (!p.sys->stat(p, cur).ok() && !p.sys->mkdir(p, cur, 0755).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Resolves every layer of `m` into one merged snapshot owned by the launch
+// user — the tree a Type III extraction on the node would produce. Metadata
+// access only: content bytes are accounted at chunk granularity by the
+// swarm, so this uses the registry's peek/meta accessors.
+vfs::SnapNodePtr resolve_launch_tree(image::Registry& registry,
+                                     const image::Manifest& m, vfs::Uid uid,
+                                     vfs::Gid gid) {
+  std::vector<image::TarEntry> all;
+  for (const auto& digest : m.layers) {
+    std::vector<image::TarEntry> entries;
+    if (image::Registry::is_tree_digest(digest)) {
+      auto tree = registry.get_tree_meta(digest);
+      if (tree == nullptr) return nullptr;
+      entries = image::snapshot_to_entries(tree);
+    } else {
+      auto blob = registry.peek_blob_ref(digest);
+      if (blob == nullptr) return nullptr;
+      auto parsed = image::tar_parse(*blob);
+      if (!parsed.ok()) return nullptr;
+      entries = std::move(*parsed);
+    }
+    all.insert(all.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+  // Extract-as-user semantics (§5.2): ownership squashes to the single
+  // available ID, setuid/setgid bits clear, device nodes drop.
+  all = image::flatten_ownership(std::move(all));
+  for (auto& e : all) {
+    e.uid = uid;
+    e.gid = gid;
+  }
+  auto tree = image::entries_to_snapshot(all);
+  if (tree == nullptr) return nullptr;
+  // entries_to_snapshot's root defaults to root:root; re-own it too so an
+  // unprivileged sync never has to chown toward root.
+  vfs::SnapNode root = *tree;
+  root.uid = uid;
+  root.gid = gid;
+  return vfs::freeze_snap_node(std::move(root));
+}
+
+}  // namespace
+
+struct Cluster::NodeLaunch {
+  std::optional<kernel::Process> user;
+  bool dead = false;
+};
 
 Cluster::LaunchResult Cluster::parallel_launch(
     const std::string& image_ref, const std::vector<std::string>& argv,
     bool via_shared_fs, int width) {
+  LaunchOptions options;
+  options.mode = via_shared_fs ? LaunchMode::kSharedFs : LaunchMode::kPullPerNode;
+  options.width = width;
+  return parallel_launch(image_ref, argv, options);
+}
+
+Cluster::LaunchResult Cluster::parallel_launch(
+    const std::string& image_ref, const std::vector<std::string>& argv,
+    const LaunchOptions& options) {
+  const std::uint64_t served_before = registry_.bytes_served();
   LaunchResult result;
+  if (options.mode == LaunchMode::kP2P) {
+    result = launch_p2p(image_ref, argv, options);
+    result.registry_bytes = registry_.bytes_served() - served_before;
+    return result;
+  }
   result.outputs.resize(compute_.size());
 
   // Shared-filesystem mode: extract the flat image once, every node enters
   // the same tree (the ch-run model the paper recommends for launch).
   std::string shared_image_dir;
-  if (via_shared_fs) {
+  if (options.mode == LaunchMode::kSharedFs) {
     auto manifest = registry_.get_manifest(image_ref, options_.arch);
     if (!manifest) manifest = registry_.get_manifest(image_ref);
     if (!manifest) {
@@ -131,8 +229,8 @@ Cluster::LaunchResult Cluster::parallel_launch(
   // Pooled fan-out: node jobs share a fixed-width worker pool instead of a
   // std::thread each, so a 64-node launch does not spawn 64 OS threads.
   const std::size_t pool_width =
-      width > 0 ? static_cast<std::size_t>(width)
-                : static_cast<std::size_t>(options_.launch_width);
+      options.width > 0 ? static_cast<std::size_t>(options.width)
+                        : static_cast<std::size_t>(options_.launch_width);
   support::ThreadPool& pool = launch_pool(pool_width);
   std::atomic<int> nodes_ok{0};
   std::atomic<int> nodes_failed{0};
@@ -147,9 +245,10 @@ Cluster::LaunchResult Cluster::parallel_launch(
         ++nodes_failed;
         return;
       }
+      stack_node_layers(*user, static_cast<int>(i), options);
       int status = 1;
       std::string output;
-      if (via_shared_fs) {
+      if (options.mode == LaunchMode::kSharedFs) {
         // Every node sees the same image directory through /lustre.
         auto loc = user->sys->resolve(*user, shared_image_dir, true);
         if (loc.ok()) {
@@ -183,6 +282,156 @@ Cluster::LaunchResult Cluster::parallel_launch(
   for (auto& j : jobs) j.get();
   result.nodes_ok = nodes_ok.load();
   result.nodes_failed = nodes_failed.load();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.registry_bytes = registry_.bytes_served() - served_before;
+  return result;
+}
+
+Cluster::LaunchResult Cluster::launch_p2p(
+    const std::string& image_ref, const std::vector<std::string>& argv,
+    const LaunchOptions& options) {
+  LaunchResult result;
+  result.outputs.resize(compute_.size());
+
+  auto manifest = registry_.get_manifest(image_ref, options_.arch);
+  if (!manifest) manifest = registry_.get_manifest(image_ref);
+  if (!manifest) {
+    result.nodes_failed = compute_count();
+    return result;
+  }
+  if (compute_.empty()) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // The swarm borrows the cluster's persistent node caches: a warm
+  // relaunch of the same image transfers only what is missing.
+  std::vector<image::ChunkCache*> caches;
+  caches.reserve(node_caches_.size());
+  for (const auto& c : node_caches_) caches.push_back(c.get());
+  image::Swarm swarm(&registry_, std::move(caches));
+  if (auto rc = swarm.prepare(*manifest); !rc.ok()) {
+    result.nodes_failed = compute_count();
+    return result;
+  }
+  result.image_bytes = swarm.plan().manifest.total_bytes;
+
+  auto target = resolve_launch_tree(registry_, *manifest, options_.user_uid,
+                                    options_.user_uid);
+  if (target == nullptr) {
+    result.nodes_failed = compute_count();
+    return result;
+  }
+
+  const std::size_t pool_width =
+      options.width > 0 ? static_cast<std::size_t>(options.width)
+                        : static_cast<std::size_t>(options_.launch_width);
+  support::ThreadPool& pool = launch_pool(pool_width);
+  std::vector<NodeLaunch> nodes(compute_.size());
+  const std::string spool_dir = "/home/" + options_.user + "/.swarm";
+
+  // A staging receipt committed through the node's (possibly faulted)
+  // syscall stack: a node that cannot write node-local storage is dead —
+  // it seeds nobody, and peers re-route its shard to the registry.
+  auto write_receipt = [&](kernel::Process& user, const std::string& name,
+                           const std::string& body) {
+    return user.sys
+        ->write_file(user, spool_dir + "/" + name, body, /*append=*/false,
+                     0644)
+        .ok();
+  };
+
+  auto fan_out = [&](auto&& body) {
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(compute_.size());
+    for (std::size_t i = 0; i < compute_.size(); ++i) {
+      jobs.push_back(pool.submit([&body, i] { body(i); }));
+    }
+    for (auto& j : jobs) j.get();
+  };
+
+  // Phase 1 — seed: every node logs in, stages its rendezvous-assigned
+  // shard from the registry, and commits a receipt to node-local storage.
+  fan_out([&](std::size_t i) {
+    const int node = static_cast<int>(i);
+    auto user = compute_[i]->login(options_.user);
+    if (!user.ok()) {
+      nodes[i].dead = true;
+      swarm.mark_failed(node);
+      return;
+    }
+    stack_node_layers(*user, node, options);
+    nodes[i].user = std::move(*user);
+    if (!make_dirs(*nodes[i].user, spool_dir)) {
+      nodes[i].dead = true;
+      swarm.mark_failed(node);
+      return;
+    }
+    auto stats = swarm.seed(node);
+    if (stats.chunks_missing > 0 ||
+        !write_receipt(*nodes[i].user, "seed",
+                       std::to_string(stats.chunks_from_registry))) {
+      nodes[i].dead = true;
+      swarm.mark_failed(node);
+    }
+  });
+
+  // Phase 2 — exchange: obtain every remaining chunk from its seeder's
+  // cache; seeders that died in phase 1 fall back to the registry.
+  fan_out([&](std::size_t i) {
+    const int node = static_cast<int>(i);
+    if (nodes[i].dead) return;
+    auto stats = swarm.exchange(node);
+    if (stats.chunks_missing > 0 || !swarm.complete(node) ||
+        !write_receipt(*nodes[i].user, "exchange",
+                       std::to_string(stats.chunks_from_peers))) {
+      nodes[i].dead = true;
+      swarm.mark_failed(node);
+    }
+  });
+
+  // Phase 3 — materialize the staged image into node-local storage and run.
+  std::atomic<int> nodes_ok{0};
+  std::atomic<int> nodes_failed{0};
+  fan_out([&](std::size_t i) {
+    if (nodes[i].dead) {
+      ++nodes_failed;
+      return;
+    }
+    Machine& node = *compute_[i];
+    kernel::Process& user = *nodes[i].user;
+    const std::string img_dir = spool_dir + "/img";
+    int status = 1;
+    std::string output;
+    if (make_dirs(user, img_dir)) {
+      if (auto loc = user.sys->resolve(user, img_dir, true); loc.ok()) {
+        vfs::OpCtx ctx;
+        ctx.host_uid = user.cred.euid;
+        ctx.host_gid = user.cred.egid;
+        ctx.host_privileged = user.cred.euid == 0;
+        if (vfs::sync_tree(*loc->mnt->fs, loc->ino, target, ctx).ok()) {
+          RootFs rootfs{loc->mnt->fs, loc->ino, loc->mnt->owner_ns};
+          auto container = enter_type3(node, user, rootfs, {});
+          if (container.ok()) {
+            std::string err;
+            status = node.shell().run_argv(*container, argv, output, err);
+            output += err;
+          }
+        }
+      }
+    }
+    if (status == 0) {
+      ++nodes_ok;
+    } else {
+      ++nodes_failed;
+    }
+    result.outputs[i] = std::move(output);
+  });
+
+  result.nodes_ok = nodes_ok.load();
+  result.nodes_failed = nodes_failed.load();
+  result.peer_bytes = swarm.peer_bytes();
   const auto end = std::chrono::steady_clock::now();
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -141,6 +141,20 @@ std::string ChunkStore::blob_digest(const std::vector<std::string>& chunks) {
   return "sha256:" + to_hex(d.data(), d.size());
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> ChunkStore::chunk_refs(
+    std::string_view data, std::size_t chunk_size) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (chunk_size == 0) chunk_size = kDefaultChunkSize;
+  const std::size_t n_chunks =
+      data.empty() ? 0 : (data.size() + chunk_size - 1) / chunk_size;
+  out.reserve(n_chunks);
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    const std::string_view piece = data.substr(i * chunk_size, chunk_size);
+    out.emplace_back(oci_digest(piece), piece.size());
+  }
+  return out;
+}
+
 std::uint64_t ChunkStore::unique_bytes() const {
   std::uint64_t total = 0;
   for (const auto& s : shards_) {

@@ -71,6 +71,13 @@ class ChunkStore {
   // Merkle root over an ordered chunk digest list.
   static std::string blob_digest(const std::vector<std::string>& chunks);
 
+  // The (digest, size) list `data` WOULD chunk into, without storing
+  // anything — the manifest query backing peer-to-peer distribution.
+  // Boundaries are the same fixed-size scheme put() uses, so every digest
+  // returned here names a chunk put() of the same data would create.
+  static std::vector<std::pair<std::string, std::uint64_t>> chunk_refs(
+      std::string_view data, std::size_t chunk_size);
+
   std::uint64_t unique_bytes() const;
   std::uint64_t chunk_count() const;
 

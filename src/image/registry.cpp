@@ -1,5 +1,9 @@
 #include "image/registry.hpp"
 
+#include <functional>
+#include <string_view>
+#include <unordered_set>
+
 #include "support/sha256.hpp"
 #include "support/threadpool.hpp"
 #include "vfs/snapshot.hpp"
@@ -38,6 +42,8 @@ void Registry::set_observability(obs::MetricsRegistry* metrics,
   pushes_metric_ = &reg.counter("registry.pushes");
   bytes_pushed_metric_ = &reg.counter("registry.bytes_pushed");
   tree_pushes_metric_ = &reg.counter("registry.tree_pushes");
+  bytes_served_metric_ = &reg.counter("registry.bytes_served");
+  chunk_serves_metric_ = &reg.counter("registry.chunk_serves");
   chunks_.set_metrics(metrics);
   chunks_.set_tracer(std::move(tracer));
 }
@@ -131,25 +137,19 @@ std::string Registry::BlobWriter::finish() {
   return blob.digest;
 }
 
-std::shared_ptr<const std::string> Registry::get_blob_ref(
+std::shared_ptr<const std::string> Registry::peek_blob_ref(
     const std::string& digest) const {
   {
     BlobShard& shard = shard_for(digest);
     std::lock_guard lock(shard.mu);
     auto it = shard.blobs.find(digest);
-    if (it != shard.blobs.end()) {
-      ++pulls_;
-      pulls_metric_->add();
-      return it->second;
-    }
+    if (it != shard.blobs.end()) return it->second;
   }
   // Chunked blob: reassemble once, memoize, and share thereafter.
   ChunkedBlob blob;
   {
     std::lock_guard lock(chunked_mu_);
     if (auto it = assembled_.find(digest); it != assembled_.end()) {
-      ++pulls_;
-      pulls_metric_->add();
       return it->second;
     }
     auto it = chunked_.find(digest);
@@ -160,9 +160,18 @@ std::shared_ptr<const std::string> Registry::get_blob_ref(
   if (buf == nullptr) return nullptr;
   std::lock_guard lock(chunked_mu_);
   auto [it, _] = assembled_.try_emplace(digest, std::move(buf));
+  return it->second;
+}
+
+std::shared_ptr<const std::string> Registry::get_blob_ref(
+    const std::string& digest) const {
+  auto ref = peek_blob_ref(digest);
+  if (ref == nullptr) return nullptr;
   ++pulls_;
   pulls_metric_->add();
-  return it->second;
+  bytes_served_ += ref->size();
+  bytes_served_metric_->add(ref->size());
+  return ref;
 }
 
 std::optional<std::string> Registry::get_blob(const std::string& digest) const {
@@ -209,13 +218,21 @@ Registry::TreePushResult Registry::put_tree(const vfs::SnapNodePtr& tree,
 }
 
 vfs::SnapNodePtr Registry::get_tree(const std::string& digest) const {
+  auto tree = get_tree_meta(digest);
+  if (tree == nullptr) return nullptr;
+  ++pulls_;
+  pulls_metric_->add();
+  // A pull through this API walks the whole layer, contents included.
+  bytes_served_ += tree->tree_bytes;
+  bytes_served_metric_->add(tree->tree_bytes);
+  return tree;
+}
+
+vfs::SnapNodePtr Registry::get_tree_meta(const std::string& digest) const {
   const std::string hex = is_tree_digest(digest) ? digest.substr(5) : digest;
   std::lock_guard lock(trees_mu_);
   auto it = trees_.find(hex);
-  if (it == trees_.end()) return nullptr;
-  ++pulls_;
-  pulls_metric_->add();
-  return it->second;
+  return it == trees_.end() ? nullptr : it->second;
 }
 
 bool Registry::has_tree(const std::string& digest) const {
@@ -262,6 +279,110 @@ std::vector<std::string> Registry::references() const {
   std::vector<std::string> out;
   out.reserve(tags_.size());
   for (const auto& [ref, _] : tags_) out.push_back(ref);
+  return out;
+}
+
+std::shared_ptr<const std::string> Registry::serve_chunk(
+    const std::string& digest) {
+  auto buf = chunks_.chunk(digest);
+  if (buf == nullptr) return nullptr;
+  bytes_served_ += buf->size();
+  bytes_served_metric_->add(buf->size());
+  chunk_serves_metric_->add();
+  return buf;
+}
+
+namespace {
+
+// Preorder walk collecting per-file chunk refs; children iterate in sorted
+// map order, so the list is deterministic for a given tree digest.
+void collect_tree_chunks(const vfs::SnapNodePtr& node, ChunkStore& store,
+                         std::vector<Registry::ChunkRef>& out) {
+  if (node->type == vfs::FileType::Regular && !node->content_view().empty()) {
+    auto refs = ChunkStore::chunk_refs(node->content_view(),
+                                       store.chunk_size());
+    // put_tree chunked this content when the node arrived; re-chunk only if
+    // the tree reached the index some other way.
+    if (!refs.empty() && !store.has_chunk(refs.front().first)) {
+      (void)store.put(node->content_view());
+    }
+    for (auto& [digest, size] : refs) {
+      out.push_back({std::move(digest), size});
+    }
+  }
+  for (const auto& [name, child] : node->children) {
+    collect_tree_chunks(child, store, out);
+  }
+}
+
+// Expands a chunk list into refs; every chunk is full-size except the last,
+// which takes whatever remains of the blob.
+void append_chunked_refs(const std::vector<std::string>& chunks,
+                         std::uint64_t blob_size, std::size_t chunk_size,
+                         std::vector<Registry::ChunkRef>& out) {
+  std::uint64_t remaining = blob_size;
+  out.reserve(out.size() + chunks.size());
+  for (const auto& digest : chunks) {
+    const std::uint64_t size =
+        std::min<std::uint64_t>(remaining, chunk_size);
+    out.push_back({digest, size});
+    remaining -= size;
+  }
+}
+
+}  // namespace
+
+Result<Registry::ChunkManifest> Registry::chunk_manifest(const Manifest& m) {
+  ChunkManifest out;
+  std::unordered_set<std::string> seen;
+  for (const auto& layer : m.layers) {
+    std::vector<ChunkRef> refs;
+    bool memoized = false;
+    {
+      std::lock_guard lock(layer_chunks_mu_);
+      if (auto it = layer_chunks_.find(layer); it != layer_chunks_.end()) {
+        refs = it->second;
+        memoized = true;
+      }
+    }
+    if (!memoized) {
+      if (is_tree_digest(layer)) {
+        auto tree = get_tree_meta(layer);
+        if (tree == nullptr) return Err::enoent;
+        collect_tree_chunks(tree, chunks_, refs);
+      } else {
+        ChunkedBlob blob;
+        bool have_chunked = false;
+        {
+          std::lock_guard lock(chunked_mu_);
+          if (auto it = chunked_.find(layer); it != chunked_.end()) {
+            blob = it->second;
+            have_chunked = true;
+          }
+        }
+        if (!have_chunked) {
+          auto data = peek_blob_ref(layer);
+          if (data == nullptr) return Err::enoent;
+          // Legacy whole blob: chunk it into the store on first query so
+          // chunk-granularity serving covers it from now on.
+          ChunkedBlob migrated = chunks_.put(*data);
+          blob = std::move(migrated);
+        }
+        append_chunked_refs(blob.chunks, blob.size, chunks_.chunk_size(),
+                            refs);
+      }
+      std::lock_guard lock(layer_chunks_mu_);
+      layer_chunks_.try_emplace(layer, refs);
+    }
+    for (auto& ref : refs) {
+      out.image_bytes += ref.size;
+      if (seen.insert(ref.digest).second) {
+        out.total_bytes += ref.size;
+        ref.key_hash = std::hash<std::string_view>{}(ref.digest);
+        out.chunks.push_back(std::move(ref));
+      }
+    }
+  }
   return out;
 }
 

@@ -118,12 +118,47 @@ class Registry {
   }
 
   // Zero-copy pull: a shared reference to the stored (or, for chunked
-  // blobs, memoized reassembled) bytes. nullptr if absent.
+  // blobs, memoized reassembled) bytes. nullptr if absent. Counts the blob's
+  // size toward bytes_served() — this is the registry handing image content
+  // over the wire.
   std::shared_ptr<const std::string> get_blob_ref(
       const std::string& digest) const;
   // Copying compatibility wrapper over get_blob_ref; nullopt if absent.
   std::optional<std::string> get_blob(const std::string& digest) const;
   bool has_blob(const std::string& digest) const;
+  // get_blob_ref without the served-bytes accounting: for callers whose
+  // transfer was already charged at chunk granularity (the P2P launch path
+  // resolving layer structure it obtained through the swarm).
+  std::shared_ptr<const std::string> peek_blob_ref(
+      const std::string& digest) const;
+
+  // --- Chunk-granularity serving (peer-to-peer distribution) -------------
+  //
+  // A launch swarm asks the registry what chunks an image decomposes into
+  // (chunk_manifest), then each node fetches only its assigned shard via
+  // serve_chunk and trades the rest with peers — total registry traffic is
+  // O(unique chunks), not O(nodes × image size).
+  struct ChunkRef {
+    std::string digest;
+    std::uint64_t size = 0;
+    // std::hash of `digest`, precomputed once when the manifest is built so
+    // the thousands of per-node cache probes during a swarm launch skip
+    // re-hashing the digest string (0 = not prehashed, hash on the fly).
+    std::size_t key_hash = 0;
+  };
+  struct ChunkManifest {
+    std::vector<ChunkRef> chunks;    // deduplicated, deterministic order
+    std::uint64_t total_bytes = 0;   // sum of unique chunk sizes
+    std::uint64_t image_bytes = 0;   // layer content bytes (duplicates kept)
+  };
+  // The deduplicated chunk set of every layer in `m`. Tree layers enumerate
+  // per-file chunk boundaries; chunked blob layers reuse their chunk list;
+  // legacy whole blobs are chunked into the store on first query. Memoized
+  // per layer digest. Fails with enoent when a layer is absent.
+  Result<ChunkManifest> chunk_manifest(const Manifest& m);
+  // Serves one chunk's bytes (counts toward bytes_served() and the
+  // `registry.chunk_serves` counter). nullptr when absent.
+  std::shared_ptr<const std::string> serve_chunk(const std::string& digest);
 
   // Merkle-tree layer storage. A layer can be pushed as an immutable
   // snapshot tree instead of a serialized tar blob: put_tree walks the tree
@@ -142,8 +177,12 @@ class Registry {
   TreePushResult put_tree(const vfs::SnapNodePtr& tree,
                           support::ThreadPool* pool = nullptr);
   // Accepts "tree:<hex>" or bare hex; nullptr if absent. O(1): the tree is
-  // shared by pointer, nothing is reassembled.
+  // shared by pointer, nothing is reassembled. Counts the tree's file bytes
+  // toward bytes_served() — a pull through this API takes the whole layer.
   vfs::SnapNodePtr get_tree(const std::string& digest) const;
+  // get_tree without the served-bytes accounting: structure/metadata access
+  // for callers that moved (or will move) the content at chunk granularity.
+  vfs::SnapNodePtr get_tree_meta(const std::string& digest) const;
   bool has_tree(const std::string& digest) const;
   static bool is_tree_digest(const std::string& digest) {
     return digest.rfind("tree:", 0) == 0;
@@ -179,6 +218,11 @@ class Registry {
   // Bytes pushes actually transferred: deduplicated whole blobs and already
   // -present chunks cost nothing (the digest-check handshake skips them).
   std::uint64_t bytes_pushed() const { return bytes_pushed_.load(); }
+  // Content bytes the registry handed out: whole blobs (get_blob_ref), tree
+  // layers (get_tree), and individual chunks (serve_chunk). The launch
+  // benches compare this across distribution modes — sublinear growth in
+  // node count is the P2P headline criterion.
+  std::uint64_t bytes_served() const { return bytes_served_.load(); }
   std::uint64_t pulls() const { return pulls_.load(); }
   std::uint64_t pushes() const { return pushes_.load(); }
 
@@ -202,6 +246,10 @@ class Registry {
   std::unordered_map<std::string, ChunkedBlob> chunked_;
   mutable std::unordered_map<std::string, std::shared_ptr<const std::string>>
       assembled_;
+  // Memoized per-layer chunk lists for chunk_manifest (keyed by layer
+  // digest; layers are immutable, so entries never invalidate).
+  mutable std::mutex layer_chunks_mu_;
+  std::unordered_map<std::string, std::vector<ChunkRef>> layer_chunks_;
   // Merkle-tree object index: every pushed node (directories included) is
   // addressable by its hex digest, which is what makes whole-subtree skips
   // possible on later pushes. Nodes are shared pointers into the pushers'
@@ -214,12 +262,15 @@ class Registry {
   mutable std::atomic<std::uint64_t> pulls_{0};
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> bytes_pushed_{0};
+  mutable std::atomic<std::uint64_t> bytes_served_{0};
   // Registry-view mirrors of the atomics above, so the `metrics` builtin
   // reports the same numbers pulls()/pushes()/bytes_pushed() do.
   obs::Counter* pulls_metric_;
   obs::Counter* pushes_metric_;
   obs::Counter* bytes_pushed_metric_;
   obs::Counter* tree_pushes_metric_;
+  mutable obs::Counter* bytes_served_metric_;
+  obs::Counter* chunk_serves_metric_;
 };
 
 }  // namespace minicon::image

@@ -1,0 +1,385 @@
+#include "image/swarm.hpp"
+
+#include <algorithm>
+
+namespace minicon::image {
+
+std::shared_ptr<const std::string> ChunkCache::get(
+    const std::string& digest) const {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(digest);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::uint64_t ChunkCache::put(const std::string& digest,
+                              std::shared_ptr<const std::string> data) {
+  if (data == nullptr) return 0;
+  const std::uint64_t size = data->size();
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = map_.try_emplace(digest, std::move(data));
+  if (!inserted) return 0;
+  bytes_ += size;
+  return size;
+}
+
+bool ChunkCache::has(const std::string& digest) const {
+  std::lock_guard lock(mu_);
+  return map_.contains(digest);
+}
+
+std::uint64_t ChunkCache::bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::size_t ChunkCache::count() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+void ChunkCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  bytes_ = 0;
+}
+
+namespace {
+
+// Uses the manifest's precomputed digest hash when present; refs built by
+// hand (tests, ad-hoc callers) fall back to hashing on the fly.
+PrehashedChunkKey chunk_key(const Registry::ChunkRef& ref) {
+  return {ref.digest, ref.key_hash != 0
+                          ? ref.key_hash
+                          : std::hash<std::string_view>{}(ref.digest)};
+}
+
+}  // namespace
+
+void ChunkCache::missing_of(const std::vector<Registry::ChunkRef>& refs,
+                            std::vector<std::size_t>& out) const {
+  std::lock_guard lock(mu_);
+  if (map_.empty()) {
+    // Cold cache (most nodes of a fresh swarm): everything is missing.
+    for (std::size_t i = 0; i < refs.size(); ++i) out.push_back(i);
+    return;
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (!map_.contains(chunk_key(refs[i]))) out.push_back(i);
+  }
+}
+
+void ChunkCache::get_many(
+    const std::vector<Registry::ChunkRef>& refs,
+    const std::vector<std::size_t>& idx,
+    std::vector<std::shared_ptr<const std::string>>& out) const {
+  out.assign(idx.size(), nullptr);
+  std::lock_guard lock(mu_);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    auto it = map_.find(chunk_key(refs[idx[k]]));
+    if (it != map_.end()) out[k] = it->second;
+  }
+}
+
+std::uint64_t ChunkCache::put_many(
+    const std::vector<Registry::ChunkRef>& refs,
+    const std::vector<std::size_t>& idx,
+    const std::vector<std::shared_ptr<const std::string>>& bufs) {
+  if (idx.empty()) return 0;
+  std::uint64_t added = 0;
+  std::lock_guard lock(mu_);
+  // The whole batch lands in one table: grow the buckets once up front
+  // instead of rehashing several times mid-insert.
+  map_.reserve(map_.size() + idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    if (bufs[k] == nullptr) continue;
+    auto [it, inserted] = map_.try_emplace(refs[idx[k]].digest, bufs[k]);
+    if (inserted) added += bufs[k]->size();
+  }
+  bytes_ += added;
+  return added;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: one multiply-xor cascade per (chunk, node) score,
+// so rendezvous selection over N nodes costs N mixes, not N digest hashes.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int best_node(std::uint64_t digest_hash, int nodes) {
+  int best = 0;
+  std::uint64_t best_score = 0;
+  for (int n = 0; n < nodes; ++n) {
+    const std::uint64_t score = mix(digest_hash ^ static_cast<std::uint64_t>(n));
+    if (n == 0 || score > best_score) {
+      best = n;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int DistributionPlan::seeder_of(const std::string& chunk_digest) const {
+  if (nodes <= 0) return -1;
+  return best_node(fnv1a(chunk_digest), nodes);
+}
+
+std::vector<std::vector<std::size_t>> DistributionPlan::shards() const {
+  std::vector<std::vector<std::size_t>> out(
+      static_cast<std::size_t>(nodes > 0 ? nodes : 0));
+  for (std::size_t i = 0; i < seeders.size(); ++i) {
+    if (seeders[i] >= 0) {
+      out[static_cast<std::size_t>(seeders[i])].push_back(i);
+    }
+  }
+  return out;
+}
+
+DistributionPlan make_plan(Registry::ChunkManifest manifest, int nodes) {
+  DistributionPlan plan;
+  plan.manifest = std::move(manifest);
+  plan.nodes = nodes;
+  plan.seeders.reserve(plan.manifest.chunks.size());
+  for (const auto& ref : plan.manifest.chunks) {
+    plan.seeders.push_back(nodes > 0 ? best_node(fnv1a(ref.digest), nodes)
+                                     : -1);
+  }
+  return plan;
+}
+
+Swarm::Swarm(Registry* registry, int nodes, SwarmOptions options)
+    : registry_(registry), tracer_(std::move(options.tracer)) {
+  owned_caches_.reserve(static_cast<std::size_t>(nodes > 0 ? nodes : 0));
+  for (int i = 0; i < nodes; ++i) {
+    owned_caches_.push_back(std::make_unique<ChunkCache>());
+    caches_.push_back(owned_caches_.back().get());
+  }
+  plan_.nodes = nodes;
+  failed_ = std::make_unique<std::atomic<char>[]>(caches_.size());
+  failed_size_ = caches_.size();
+  obs::MetricsRegistry& reg = options.metrics != nullptr
+                                  ? *options.metrics
+                                  : obs::global_metrics();
+  peer_bytes_metric_ = &reg.counter("swarm.peer_bytes");
+  registry_bytes_metric_ = &reg.counter("swarm.registry_bytes");
+  fallbacks_metric_ = &reg.counter("swarm.registry_fallbacks");
+  chunks_exchanged_metric_ = &reg.counter("swarm.chunks_exchanged");
+}
+
+Swarm::Swarm(Registry* registry, std::vector<ChunkCache*> caches,
+             SwarmOptions options)
+    : Swarm(registry, 0, std::move(options)) {
+  caches_ = std::move(caches);
+  plan_.nodes = static_cast<int>(caches_.size());
+  failed_ = std::make_unique<std::atomic<char>[]>(caches_.size());
+  failed_size_ = caches_.size();
+}
+
+VoidResult Swarm::prepare(const Manifest& manifest) {
+  obs::Span span(tracer_.get(), "swarm.plan");
+  const int nodes = static_cast<int>(caches_.size());
+  auto chunks = registry_->chunk_manifest(manifest);
+  if (!chunks.ok()) return chunks.error();
+  plan_ = make_plan(std::move(*chunks), nodes);
+  // Counting sort of chunk indices by seeder, straight into CSR form: two
+  // flat arrays regardless of node count (per-seeder vectors would mean one
+  // allocation per node, and most nodes of a big swarm seed nothing).
+  const std::size_t n = caches_.size();
+  shard_offsets_.assign(n + 1, 0);
+  for (int s : plan_.seeders) {
+    if (s >= 0) ++shard_offsets_[static_cast<std::size_t>(s) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    shard_offsets_[i] += shard_offsets_[i - 1];
+  }
+  seeder_order_.assign(shard_offsets_[n], 0);
+  std::vector<std::size_t> cursor(shard_offsets_.begin(),
+                                  shard_offsets_.end() - 1);
+  for (std::size_t i = 0; i < plan_.seeders.size(); ++i) {
+    const int s = plan_.seeders[i];
+    if (s >= 0) seeder_order_[cursor[static_cast<std::size_t>(s)]++] = i;
+  }
+  span.annotate("chunks", std::to_string(plan_.manifest.chunks.size()));
+  span.annotate("bytes", std::to_string(plan_.manifest.total_bytes));
+  span.annotate("nodes", std::to_string(nodes));
+  return VoidResult::success();
+}
+
+// Flushes a phase's accumulated stats into the swarm aggregates and the
+// metrics registry: a handful of atomic adds per phase call, not per chunk.
+void Swarm::flush_stats(const FetchStats& stats) {
+  if (stats.registry_bytes > 0 || stats.chunks_from_registry > 0) {
+    registry_bytes_ += stats.registry_bytes;
+    registry_bytes_metric_->add(stats.registry_bytes);
+  }
+  if (stats.peer_bytes > 0 || stats.chunks_from_peers > 0) {
+    peer_bytes_ += stats.peer_bytes;
+    peer_bytes_metric_->add(stats.peer_bytes);
+  }
+  if (stats.registry_fallbacks > 0) {
+    fallbacks_metric_->add(stats.registry_fallbacks);
+  }
+  const std::uint64_t moved =
+      stats.chunks_from_registry + stats.chunks_from_peers;
+  if (moved > 0) chunks_exchanged_metric_->add(moved);
+}
+
+Swarm::FetchStats Swarm::seed(int node) {
+  FetchStats stats;
+  if (node < 0 || node >= plan_.nodes ||
+      static_cast<std::size_t>(node) + 1 >= shard_offsets_.size() ||
+      failed(node)) {
+    return stats;
+  }
+  // Most nodes of a large swarm seed few or no chunks: bail before any
+  // lock or span when the shard is empty.
+  const std::size_t shard_lo = shard_offsets_[static_cast<std::size_t>(node)];
+  const std::size_t shard_hi =
+      shard_offsets_[static_cast<std::size_t>(node) + 1];
+  if (shard_lo == shard_hi) return stats;
+  const std::vector<std::size_t> shard(seeder_order_.begin() + shard_lo,
+                                       seeder_order_.begin() + shard_hi);
+  obs::Span span(tracer_.get(), "swarm.seed");
+  const auto& refs = plan_.manifest.chunks;
+  ChunkCache& own = cache(node);
+  // One lock: which of this node's shard is not already staged (warm
+  // relaunches skip everything here).
+  std::vector<std::shared_ptr<const std::string>> staged;
+  own.get_many(refs, shard, staged);
+  std::vector<std::size_t> wanted;
+  for (std::size_t k = 0; k < shard.size(); ++k) {
+    if (staged[k] == nullptr) wanted.push_back(shard[k]);
+  }
+  // Per-chunk registry requests (each one is a serve on the wire), one
+  // batched local commit.
+  std::vector<std::shared_ptr<const std::string>> bufs(wanted.size());
+  for (std::size_t k = 0; k < wanted.size(); ++k) {
+    const Registry::ChunkRef& ref = refs[wanted[k]];
+    bufs[k] = registry_->serve_chunk(ref.digest);
+    if (bufs[k] == nullptr) {
+      ++stats.chunks_missing;
+      continue;
+    }
+    stats.registry_bytes += ref.size;
+    ++stats.chunks_from_registry;
+  }
+  own.put_many(refs, wanted, bufs);
+  flush_stats(stats);
+  if (tracer_ != nullptr) {
+    span.annotate("node", std::to_string(node));
+    span.annotate("registry_bytes", std::to_string(stats.registry_bytes));
+  }
+  return stats;
+}
+
+Swarm::FetchStats Swarm::exchange(int node) {
+  FetchStats stats;
+  if (node < 0 || node >= plan_.nodes || failed(node)) return stats;
+  obs::Span span(tracer_.get(), "swarm.exchange");
+  const auto& refs = plan_.manifest.chunks;
+  ChunkCache& own = cache(node);
+  // One lock: everything this node still needs, marked on a bitmap so the
+  // precomputed seeder-grouped order can be filtered without a per-node
+  // sort.
+  std::vector<std::size_t> missing;
+  missing.reserve(refs.size());
+  own.missing_of(refs, missing);
+  if (missing.empty()) return stats;
+  std::vector<char> need(refs.size(), 0);
+  for (std::size_t i : missing) need[i] = 1;
+  // Visit each peer once (one bulk read per seeder run, the protocol's
+  // node-to-node transfer), then commit locally in one go.
+  std::vector<std::size_t> got;
+  got.reserve(missing.size());
+  std::vector<std::shared_ptr<const std::string>> acquired;
+  acquired.reserve(missing.size());
+  std::vector<std::size_t> run;
+  std::vector<std::shared_ptr<const std::string>> run_bufs;
+  for (std::size_t lo = 0; lo < seeder_order_.size();) {
+    const int seeder = plan_.seeders[seeder_order_[lo]];
+    std::size_t hi = lo;
+    run.clear();
+    while (hi < seeder_order_.size() &&
+           plan_.seeders[seeder_order_[hi]] == seeder) {
+      if (need[seeder_order_[hi]]) run.push_back(seeder_order_[hi]);
+      ++hi;
+    }
+    if (run.empty()) {
+      lo = hi;
+      continue;
+    }
+    if (seeder >= 0 && seeder != node && !failed(seeder)) {
+      cache(seeder).get_many(refs, run, run_bufs);
+    } else {
+      run_bufs.assign(run.size(), nullptr);
+    }
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      const Registry::ChunkRef& ref = refs[run[k]];
+      if (run_bufs[k] != nullptr) {
+        stats.peer_bytes += ref.size;
+        ++stats.chunks_from_peers;
+      } else {
+        // Seeder down, or it never obtained the chunk: the registry is the
+        // seeder of last resort.
+        run_bufs[k] = registry_->serve_chunk(ref.digest);
+        if (run_bufs[k] == nullptr) {
+          ++stats.chunks_missing;
+          continue;
+        }
+        ++stats.registry_fallbacks;
+        stats.registry_bytes += ref.size;
+        ++stats.chunks_from_registry;
+      }
+      got.push_back(run[k]);
+      acquired.push_back(std::move(run_bufs[k]));
+    }
+    lo = hi;
+  }
+  own.put_many(refs, got, acquired);
+  flush_stats(stats);
+  if (tracer_ != nullptr) {
+    span.annotate("node", std::to_string(node));
+    span.annotate("peer_bytes", std::to_string(stats.peer_bytes));
+    span.annotate("fallbacks", std::to_string(stats.registry_fallbacks));
+  }
+  return stats;
+}
+
+void Swarm::mark_failed(int node) {
+  if (node < 0 || node >= static_cast<int>(failed_size_)) return;
+  failed_[static_cast<std::size_t>(node)].store(1, std::memory_order_release);
+  // A dead node serves nobody; dropping its cache keeps the model honest
+  // (peers re-route to the registry rather than reading a ghost).
+  cache(node).clear();
+}
+
+bool Swarm::failed(int node) const {
+  if (node < 0 || node >= static_cast<int>(failed_size_)) return true;
+  return failed_[static_cast<std::size_t>(node)].load(
+             std::memory_order_acquire) != 0;
+}
+
+bool Swarm::complete(int node) const {
+  if (node < 0 || node >= plan_.nodes) return false;
+  ChunkCache& own = *caches_[static_cast<std::size_t>(node)];
+  std::vector<std::size_t> missing;
+  own.missing_of(plan_.manifest.chunks, missing);
+  return missing.empty();
+}
+
+}  // namespace minicon::image

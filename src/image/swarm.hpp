@@ -1,0 +1,205 @@
+// Peer-to-peer chunk distribution for cluster-scale image launch.
+//
+// The Astra workflow's final stage (Fig 6) pulls the image on every compute
+// node. Registry-only distribution makes the registry serve
+// O(nodes × image size) bytes — the launch-time scaling wall the HPC
+// container literature keeps rediscovering. This layer makes registry
+// traffic O(unique chunks) instead: the image's chunk set is resolved once
+// (Registry::chunk_manifest), every chunk gets exactly one *seeder* node by
+// rendezvous hashing over its digest, each node fetches only its own shard
+// from the registry (seed phase), and then obtains every remaining chunk
+// from its seeder's node-local cache (exchange phase), falling back to the
+// registry only when a seeder is down or missing the chunk.
+//
+// Phases are driven externally (Cluster::parallel_launch fans each phase
+// out on its worker pool and joins between them) because pool width is
+// usually far below node count — an in-band barrier would deadlock. All
+// per-node operations are thread-safe against each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "image/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace minicon::image {
+
+// Lookup key carrying the digest hash precomputed by
+// Registry::chunk_manifest: a swarm probes every node's cache with the same
+// few dozen digests, so hashing each 71-byte digest string once per
+// manifest instead of once per probe removes the dominant per-node cost.
+struct PrehashedChunkKey {
+  std::string_view digest;
+  std::size_t hash = 0;
+  operator std::string_view() const noexcept { return digest; }
+};
+
+struct ChunkKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  std::size_t operator()(const PrehashedChunkKey& k) const noexcept {
+    return k.hash;
+  }
+};
+
+struct ChunkKeyEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+// A node-local content-addressed chunk cache (the model of per-node NVMe
+// staging storage). Peers read it concurrently during the exchange phase.
+class ChunkCache {
+ public:
+  std::shared_ptr<const std::string> get(const std::string& digest) const;
+  // Returns the bytes newly added (0 when the chunk was already cached).
+  std::uint64_t put(const std::string& digest,
+                    std::shared_ptr<const std::string> data);
+  bool has(const std::string& digest) const;
+
+  // Batch operations over a chunk-manifest slice: one lock acquisition per
+  // call instead of one per chunk — the exchange phase's peer reads and
+  // local commits are bulk transfers, not per-chunk round-trips.
+  //
+  // Appends to `out` the indices i in [0, refs.size()) whose digest is not
+  // cached.
+  void missing_of(const std::vector<Registry::ChunkRef>& refs,
+                  std::vector<std::size_t>& out) const;
+  // out[k] = cached buffer for refs[idx[k]] (nullptr when absent); `out` is
+  // resized to idx.size().
+  void get_many(const std::vector<Registry::ChunkRef>& refs,
+                const std::vector<std::size_t>& idx,
+                std::vector<std::shared_ptr<const std::string>>& out) const;
+  // Inserts bufs[k] (skipping nullptrs) under refs[idx[k]].digest; returns
+  // the bytes newly added.
+  std::uint64_t put_many(
+      const std::vector<Registry::ChunkRef>& refs,
+      const std::vector<std::size_t>& idx,
+      const std::vector<std::shared_ptr<const std::string>>& bufs);
+  std::uint64_t bytes() const;
+  std::size_t count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const std::string>,
+                     ChunkKeyHash, ChunkKeyEqual>
+      map_;
+  std::uint64_t bytes_ = 0;
+};
+
+// Deterministic chunk → seeder assignment over a fixed node count.
+// Rendezvous (highest-random-weight) hashing: every (chunk, node) pair gets
+// a pseudo-random score from the chunk digest and the node index; the node
+// with the top score seeds the chunk. Assignments are stable per digest,
+// spread evenly, and — unlike plain modulo — move only O(chunks/nodes)
+// chunks when a node joins or leaves.
+struct DistributionPlan {
+  Registry::ChunkManifest manifest;
+  int nodes = 0;
+  // seeders[i] is the seeder of manifest.chunks[i]; filled by make_plan.
+  std::vector<int> seeders;
+
+  // Recomputes the assignment for one digest (-1 when nodes == 0).
+  int seeder_of(const std::string& chunk_digest) const;
+  // Indices into manifest.chunks per seeder node.
+  std::vector<std::vector<std::size_t>> shards() const;
+};
+
+DistributionPlan make_plan(Registry::ChunkManifest manifest, int nodes);
+
+struct SwarmOptions {
+  obs::MetricsRegistry* metrics = nullptr;  // null = obs::global_metrics()
+  std::shared_ptr<obs::Tracer> tracer;
+};
+
+class Swarm {
+ public:
+  // Owns one fresh ChunkCache per node.
+  Swarm(Registry* registry, int nodes, SwarmOptions options = {});
+  // Borrows caller-owned caches (per-node caches that persist across
+  // launches — warm relaunches transfer only what is missing).
+  Swarm(Registry* registry, std::vector<ChunkCache*> caches,
+        SwarmOptions options = {});
+
+  // Resolves the image's chunk manifest (one metadata round-trip to the
+  // registry) and fixes the chunk → seeder assignment.
+  VoidResult prepare(const Manifest& manifest);
+  const DistributionPlan& plan() const { return plan_; }
+
+  struct FetchStats {
+    std::uint64_t registry_bytes = 0;     // bytes pulled from the registry
+    std::uint64_t peer_bytes = 0;         // bytes copied from peer caches
+    std::uint64_t chunks_from_registry = 0;
+    std::uint64_t chunks_from_peers = 0;
+    std::uint64_t registry_fallbacks = 0;  // exchange chunks rerouted to
+                                           // the registry (seeder down)
+    std::uint64_t chunks_missing = 0;      // unobtainable anywhere
+  };
+
+  // Phase 1: fetch `node`'s assigned shard from the registry into its
+  // cache. Runs inside a `swarm.seed` span.
+  FetchStats seed(int node);
+  // Phase 2 (after every live node seeded): obtain each remaining chunk
+  // from its seeder's cache, falling back to the registry when the seeder
+  // is failed or missing it. Runs inside a `swarm.exchange` span.
+  FetchStats exchange(int node);
+
+  // Marks a node down (login failure, staging fault): its cache is cleared
+  // so it no longer serves peers, and exchange() reroutes its shard to the
+  // registry.
+  void mark_failed(int node);
+  bool failed(int node) const;
+
+  // True when `node` holds every chunk of the plan.
+  bool complete(int node) const;
+
+  ChunkCache& cache(int node) { return *caches_[static_cast<std::size_t>(node)]; }
+  int nodes() const { return plan_.nodes; }
+
+  // Aggregates across all nodes (also mirrored into the metrics registry as
+  // `swarm.peer_bytes` / `swarm.registry_bytes` / `swarm.registry_fallbacks`).
+  std::uint64_t peer_bytes() const { return peer_bytes_.load(); }
+  std::uint64_t registry_bytes() const { return registry_bytes_.load(); }
+
+ private:
+  void flush_stats(const FetchStats& stats);
+
+  Registry* registry_;
+  std::vector<std::unique_ptr<ChunkCache>> owned_caches_;
+  std::vector<ChunkCache*> caches_;
+  DistributionPlan plan_;
+  // Derived from the plan once in prepare() and shared read-only by every
+  // node's phases, in CSR form: all chunk indices grouped by seeder
+  // ascending, with node n's shard at
+  // seeder_order_[shard_offsets_[n] .. shard_offsets_[n+1]) — so seed()
+  // touches only its own slice and exchange() never re-sorts per node.
+  std::vector<std::size_t> seeder_order_;
+  std::vector<std::size_t> shard_offsets_;
+  // One flag per node, atomic so liveness checks on the exchange hot path
+  // are plain loads rather than a shared mutex every peer contends on.
+  std::unique_ptr<std::atomic<char>[]> failed_;
+  std::size_t failed_size_ = 0;
+  std::atomic<std::uint64_t> peer_bytes_{0};
+  std::atomic<std::uint64_t> registry_bytes_{0};
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::Counter* peer_bytes_metric_;
+  obs::Counter* registry_bytes_metric_;
+  obs::Counter* fallbacks_metric_;
+  obs::Counter* chunks_exchanged_metric_;
+};
+
+}  // namespace minicon::image

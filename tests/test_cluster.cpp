@@ -5,9 +5,34 @@
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
 #include "core/podman.hpp"
+#include "kernel/faultinject.hpp"
 
 namespace minicon {
 namespace {
+
+// Builds FROM centos:7 with one RUN, pushes as `ref`, returns success.
+bool build_and_push(core::Cluster& cluster, const std::string& ref) {
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return false;
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript t;
+  if (ch.build("job", "FROM centos:7\nRUN echo ready\n", t) != 0) return false;
+  Transcript pt;
+  return ch.push("job", ref, pt) == 0;
+}
+
+// A layer factory injecting `error` on every syscall touching `path_substr`.
+kernel::SyscallLayerFn fault_layer(std::string path_substr,
+                                   Err error = Err::eio) {
+  return [path_substr = std::move(path_substr),
+          error](std::shared_ptr<kernel::Syscalls> inner) {
+    kernel::FaultSpec spec;
+    spec.path_substr = path_substr;
+    spec.error = error;
+    return std::make_shared<kernel::FaultInjectSyscalls>(std::move(inner),
+                                                         /*seed=*/42, spec);
+  };
+}
 
 TEST(Cluster, ArchitectureMattersForBuild) {
   // An aarch64 cluster cannot run x86_64 images — the original Astra
@@ -145,6 +170,139 @@ TEST(Cluster, PooledLaunchWidthNarrowerThanNodes) {
                                       /*via_shared_fs=*/true, /*width=*/4);
   EXPECT_EQ(wide.nodes_ok, 8);
   EXPECT_EQ(wide.nodes_failed, 0);
+}
+
+TEST(Cluster, ComputeIndexOutOfRangeThrows) {
+  core::ClusterOptions copts;
+  copts.compute_nodes = 2;
+  core::Cluster cluster(copts);
+  EXPECT_NO_THROW(cluster.compute(0));
+  EXPECT_NO_THROW(cluster.compute(1));
+  EXPECT_THROW(cluster.compute(2), std::out_of_range);
+  EXPECT_THROW(cluster.compute(-1), std::out_of_range);
+  EXPECT_THROW(cluster.node_cache(2), std::out_of_range);
+}
+
+TEST(Cluster, ZeroComputeNodesLaunchIsEmptySuccess) {
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 0;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/empty:1"));
+  for (auto mode :
+       {core::Cluster::LaunchMode::kPullPerNode,
+        core::Cluster::LaunchMode::kSharedFs, core::Cluster::LaunchMode::kP2P}) {
+    core::Cluster::LaunchOptions opts;
+    opts.mode = mode;
+    auto result = cluster.parallel_launch("jobs/empty:1", {"hostname"}, opts);
+    EXPECT_EQ(result.nodes_ok, 0);
+    EXPECT_EQ(result.nodes_failed, 0);
+    EXPECT_TRUE(result.outputs.empty());
+  }
+}
+
+TEST(Cluster, LaunchPoolCachedPerWidthAcrossAlternatingCalls) {
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 2;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/pool:1"));
+  EXPECT_EQ(cluster.cached_launch_pools(), 0u);
+  // Alternating widths must not rebuild a pool per call: each width gets
+  // one pool, reused thereafter.
+  for (int round = 0; round < 3; ++round) {
+    auto a = cluster.parallel_launch("jobs/pool:1", {"hostname"},
+                                     /*via_shared_fs=*/true, /*width=*/2);
+    EXPECT_EQ(a.nodes_ok, 2);
+    auto b = cluster.parallel_launch("jobs/pool:1", {"hostname"},
+                                     /*via_shared_fs=*/true, /*width=*/4);
+    EXPECT_EQ(b.nodes_ok, 2);
+  }
+  EXPECT_EQ(cluster.cached_launch_pools(), 2u);
+}
+
+TEST(Cluster, NodePullFaultFailsOnlyThatNode) {
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 4;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/faulty:1"));
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kPullPerNode;
+  // Node 2's local image storage returns EIO on every touch: its pull
+  // fails; the other nodes are unaffected.
+  opts.node_syscall_layers[2].push_back(fault_layer("ch-image"));
+  auto result = cluster.parallel_launch("jobs/faulty:1", {"hostname"}, opts);
+  EXPECT_EQ(result.nodes_ok, 3);
+  EXPECT_EQ(result.nodes_failed, 1);
+  ASSERT_EQ(result.outputs.size(), 4u);
+  // Outputs stay index-ordered: every healthy node's slot holds its own
+  // hostname; the faulted node's slot is empty.
+  for (int i = 0; i < 4; ++i) {
+    const auto& out = result.outputs[static_cast<std::size_t>(i)];
+    if (i == 2) {
+      EXPECT_TRUE(out.empty()) << out;
+    } else {
+      EXPECT_NE(out.find("astra-cn" + std::to_string(i)), std::string::npos)
+          << out;
+    }
+  }
+}
+
+TEST(Cluster, P2PLaunchRunsEverywhereWithSublinearRegistryTraffic) {
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 8;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/p2p:1"));
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kP2P;
+  auto result = cluster.parallel_launch("jobs/p2p:1", {"hostname"}, opts);
+  EXPECT_EQ(result.nodes_ok, 8);
+  EXPECT_EQ(result.nodes_failed, 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(result.outputs[static_cast<std::size_t>(i)].find(
+                  "astra-cn" + std::to_string(i)),
+              std::string::npos);
+  }
+  // The registry served ~one copy of the image, not one per node.
+  ASSERT_GT(result.image_bytes, 0u);
+  EXPECT_GT(result.registry_bytes, 0u);
+  EXPECT_LT(result.registry_bytes, 8 * result.image_bytes / 4);
+  EXPECT_GT(result.peer_bytes, 0u);
+
+  // Warm relaunch: node caches persist, so the registry serves ~nothing.
+  auto warm = cluster.parallel_launch("jobs/p2p:1", {"hostname"}, opts);
+  EXPECT_EQ(warm.nodes_ok, 8);
+  EXPECT_EQ(warm.registry_bytes, 0u);
+  EXPECT_EQ(warm.peer_bytes, 0u);
+}
+
+TEST(Cluster, P2PFaultedSeederFallsBackToRegistry) {
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 4;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/p2pfault:1"));
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kP2P;
+  // Node 1 cannot write its staging spool: it dies in the seed phase and
+  // its shard reroutes to the registry for everyone else.
+  opts.node_syscall_layers[1].push_back(fault_layer(".swarm"));
+  auto result = cluster.parallel_launch("jobs/p2pfault:1", {"hostname"}, opts);
+  EXPECT_EQ(result.nodes_ok, 3);
+  EXPECT_EQ(result.nodes_failed, 1);
+  ASSERT_EQ(result.outputs.size(), 4u);
+  EXPECT_TRUE(result.outputs[1].empty());
+  for (int i : {0, 2, 3}) {
+    EXPECT_NE(result.outputs[static_cast<std::size_t>(i)].find(
+                  "astra-cn" + std::to_string(i)),
+              std::string::npos);
+  }
+  // Survivors completed despite the dead seeder — via registry fallback,
+  // still far below per-node full pulls.
+  ASSERT_GT(result.image_bytes, 0u);
+  EXPECT_LT(result.registry_bytes, 4 * result.image_bytes);
 }
 
 TEST(Cluster, UsersAreIsolatedOnSharedFs) {

@@ -1,0 +1,269 @@
+// Peer-to-peer chunk distribution: chunk manifests, rendezvous assignment,
+// seed/exchange accounting, and failure fallback.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "image/chunkstore.hpp"
+#include "image/registry.hpp"
+#include "image/swarm.hpp"
+
+namespace minicon::image {
+namespace {
+
+std::string random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng());
+  return s;
+}
+
+// A registry holding one image whose single layer is a chunked blob of
+// `bytes` random bytes.
+Manifest publish_chunked(Registry& reg, std::size_t bytes,
+                         std::uint32_t seed = 1) {
+  auto blob = reg.put_blob_chunked(random_bytes(bytes, seed));
+  Manifest m;
+  m.reference = "swarm/test:1";
+  m.layers.push_back(blob.digest);
+  reg.put_manifest(m);
+  return m;
+}
+
+TEST(ChunkCache, PutGetDedup) {
+  ChunkCache cache;
+  auto data = std::make_shared<const std::string>("hello chunk");
+  EXPECT_EQ(cache.put("sha256:aa", data), data->size());
+  // Second insert of the same digest adds nothing.
+  EXPECT_EQ(cache.put("sha256:aa", data), 0u);
+  EXPECT_TRUE(cache.has("sha256:aa"));
+  EXPECT_FALSE(cache.has("sha256:bb"));
+  ASSERT_NE(cache.get("sha256:aa"), nullptr);
+  EXPECT_EQ(*cache.get("sha256:aa"), "hello chunk");
+  EXPECT_EQ(cache.bytes(), data->size());
+  EXPECT_EQ(cache.count(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.count(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ChunkManifest, ChunkedBlobLayerRoundTrips) {
+  Registry reg;
+  // 5 full chunks plus a 1000-byte tail.
+  const std::size_t bytes = 5 * ChunkStore::kDefaultChunkSize + 1000;
+  auto m = publish_chunked(reg, bytes);
+  auto cm = reg.chunk_manifest(m);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->chunks.size(), 6u);
+  EXPECT_EQ(cm->total_bytes, bytes);
+  EXPECT_EQ(cm->image_bytes, bytes);
+  // Every listed chunk is individually servable and sized as listed.
+  std::uint64_t sum = 0;
+  for (const auto& ref : cm->chunks) {
+    auto buf = reg.serve_chunk(ref.digest);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->size(), ref.size);
+    sum += ref.size;
+  }
+  EXPECT_EQ(sum, bytes);
+}
+
+TEST(ChunkManifest, LegacyWholeBlobLayerIsChunkedOnDemand) {
+  Registry reg;
+  const std::string data = random_bytes(3 * ChunkStore::kDefaultChunkSize, 7);
+  Manifest m;
+  m.layers.push_back(reg.put_blob(data));  // whole blob, never chunked
+  auto cm = reg.chunk_manifest(m);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->chunks.size(), 3u);
+  EXPECT_EQ(cm->total_bytes, data.size());
+  for (const auto& ref : cm->chunks) {
+    EXPECT_NE(reg.serve_chunk(ref.digest), nullptr);
+  }
+}
+
+TEST(ChunkManifest, SharedChunksAcrossLayersDeduplicate) {
+  Registry reg;
+  const std::string base = random_bytes(4 * ChunkStore::kDefaultChunkSize, 3);
+  auto b1 = reg.put_blob_chunked(base);
+  // Second layer = same content (every chunk shared).
+  auto b2 = reg.put_blob_chunked(base);
+  Manifest m;
+  m.layers = {b1.digest, b2.digest};
+  auto cm = reg.chunk_manifest(m);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->chunks.size(), 4u);            // deduplicated
+  EXPECT_EQ(cm->total_bytes, base.size());     // unique bytes
+  EXPECT_EQ(cm->image_bytes, 2 * base.size()); // with duplicates
+}
+
+TEST(ChunkManifest, MissingLayerFails) {
+  Registry reg;
+  Manifest m;
+  m.layers.push_back("sha256:" + std::string(64, '0'));
+  EXPECT_FALSE(reg.chunk_manifest(m).ok());
+}
+
+TEST(DistributionPlan, DeterministicAndCoversAllChunks) {
+  Registry reg;
+  auto m = publish_chunked(reg, 64 * ChunkStore::kDefaultChunkSize);
+  auto cm = reg.chunk_manifest(m);
+  ASSERT_TRUE(cm.ok());
+  auto plan_a = make_plan(*cm, 8);
+  auto plan_b = make_plan(*cm, 8);
+  EXPECT_EQ(plan_a.seeders, plan_b.seeders);  // same digests, same plan
+  ASSERT_EQ(plan_a.seeders.size(), cm->chunks.size());
+  for (std::size_t i = 0; i < plan_a.seeders.size(); ++i) {
+    EXPECT_GE(plan_a.seeders[i], 0);
+    EXPECT_LT(plan_a.seeders[i], 8);
+    EXPECT_EQ(plan_a.seeders[i], plan_a.seeder_of(cm->chunks[i].digest));
+  }
+  // Shards partition the chunk set.
+  auto shards = plan_a.shards();
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t assigned = 0;
+  for (const auto& s : shards) assigned += s.size();
+  EXPECT_EQ(assigned, cm->chunks.size());
+}
+
+TEST(DistributionPlan, RendezvousSpreadsAndIsStableUnderGrowth) {
+  Registry reg;
+  auto m = publish_chunked(reg, 256 * ChunkStore::kDefaultChunkSize);
+  auto cm = reg.chunk_manifest(m);
+  ASSERT_TRUE(cm.ok());
+  auto plan = make_plan(*cm, 16);
+  auto shards = plan.shards();
+  // Every node seeds something; no node hoards (256 chunks over 16 nodes
+  // averages 16 — allow generous spread but forbid degenerate skew).
+  for (const auto& s : shards) {
+    EXPECT_GT(s.size(), 0u);
+    EXPECT_LT(s.size(), 64u);
+  }
+  // HRW property: adding a node only moves chunks *to* the new node; no
+  // chunk is shuffled between surviving nodes.
+  auto grown = make_plan(*cm, 17);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < plan.seeders.size(); ++i) {
+    if (grown.seeders[i] != plan.seeders[i]) {
+      EXPECT_EQ(grown.seeders[i], 16);
+      ++moved;
+    }
+  }
+  // Expected churn is chunks/nodes, not O(chunks).
+  EXPECT_LT(moved, cm->chunks.size() / 4);
+}
+
+TEST(Swarm, SeedThenExchangeServesEachChunkOnce) {
+  Registry reg;
+  const std::size_t bytes = 32 * ChunkStore::kDefaultChunkSize;
+  auto m = publish_chunked(reg, bytes);
+  const std::uint64_t served_before = reg.bytes_served();
+
+  Swarm swarm(&reg, /*nodes=*/4);
+  ASSERT_TRUE(swarm.prepare(m).ok());
+  for (int n = 0; n < 4; ++n) {
+    auto s = swarm.seed(n);
+    EXPECT_EQ(s.chunks_missing, 0u);
+    EXPECT_EQ(s.peer_bytes, 0u);
+  }
+  // After seeding, the registry has served exactly one copy of the image.
+  EXPECT_EQ(reg.bytes_served() - served_before, bytes);
+
+  for (int n = 0; n < 4; ++n) {
+    auto s = swarm.exchange(n);
+    EXPECT_EQ(s.chunks_missing, 0u);
+    EXPECT_EQ(s.registry_fallbacks, 0u);
+    EXPECT_TRUE(swarm.complete(n));
+  }
+  // The exchange phase added no registry traffic at all.
+  EXPECT_EQ(reg.bytes_served() - served_before, bytes);
+  EXPECT_EQ(swarm.registry_bytes(), bytes);
+  // Peers moved the other nodes' copies: 3 of every chunk's 4 replicas.
+  EXPECT_EQ(swarm.peer_bytes(), 3 * bytes);
+}
+
+TEST(Swarm, FailedSeederFallsBackToRegistry) {
+  Registry reg;
+  const std::size_t bytes = 32 * ChunkStore::kDefaultChunkSize;
+  auto m = publish_chunked(reg, bytes);
+  Swarm swarm(&reg, /*nodes=*/4);
+  ASSERT_TRUE(swarm.prepare(m).ok());
+  // Node 2 dies before seeding anything.
+  swarm.mark_failed(2);
+  EXPECT_TRUE(swarm.failed(2));
+  const auto shards = swarm.plan().shards();
+  ASSERT_GT(shards[2].size(), 0u);  // it had a shard to seed
+
+  for (int n = 0; n < 4; ++n) swarm.seed(n);
+  EXPECT_EQ(swarm.cache(2).count(), 0u);  // dead node stages nothing
+
+  std::uint64_t fallbacks = 0;
+  for (int n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    auto s = swarm.exchange(n);
+    EXPECT_EQ(s.chunks_missing, 0u);
+    fallbacks += s.registry_fallbacks;
+    EXPECT_TRUE(swarm.complete(n));
+  }
+  // Every survivor rerouted the dead node's shard to the registry.
+  EXPECT_EQ(fallbacks, 3 * shards[2].size());
+  // A failed node's seed/exchange are no-ops.
+  EXPECT_EQ(swarm.seed(2).chunks_from_registry, 0u);
+  EXPECT_EQ(swarm.exchange(2).chunks_from_peers, 0u);
+  EXPECT_FALSE(swarm.complete(2));
+}
+
+TEST(Swarm, BorrowedCachesMakeWarmRelaunchFree) {
+  Registry reg;
+  const std::size_t bytes = 16 * ChunkStore::kDefaultChunkSize;
+  auto m = publish_chunked(reg, bytes);
+  std::vector<std::unique_ptr<ChunkCache>> owned;
+  std::vector<ChunkCache*> caches;
+  for (int i = 0; i < 3; ++i) {
+    owned.push_back(std::make_unique<ChunkCache>());
+    caches.push_back(owned.back().get());
+  }
+  {
+    Swarm swarm(&reg, caches);
+    ASSERT_TRUE(swarm.prepare(m).ok());
+    for (int n = 0; n < 3; ++n) swarm.seed(n);
+    for (int n = 0; n < 3; ++n) swarm.exchange(n);
+  }
+  const std::uint64_t served_after_cold = reg.bytes_served();
+  {
+    // Same caches, fresh swarm: everything is already staged.
+    Swarm swarm(&reg, caches);
+    ASSERT_TRUE(swarm.prepare(m).ok());
+    for (int n = 0; n < 3; ++n) {
+      EXPECT_EQ(swarm.seed(n).chunks_from_registry, 0u);
+      auto s = swarm.exchange(n);
+      EXPECT_EQ(s.chunks_from_peers, 0u);
+      EXPECT_EQ(s.chunks_from_registry, 0u);
+      EXPECT_TRUE(swarm.complete(n));
+    }
+  }
+  EXPECT_EQ(reg.bytes_served(), served_after_cold);
+}
+
+TEST(Swarm, RegistryTrafficIsSublinearInNodeCount) {
+  Registry reg;
+  const std::size_t bytes = 16 * ChunkStore::kDefaultChunkSize;
+  auto m = publish_chunked(reg, bytes);
+  const int nodes = 32;
+  const std::uint64_t before = reg.bytes_served();
+  Swarm swarm(&reg, nodes);
+  ASSERT_TRUE(swarm.prepare(m).ok());
+  for (int n = 0; n < nodes; ++n) swarm.seed(n);
+  for (int n = 0; n < nodes; ++n) swarm.exchange(n);
+  const std::uint64_t registry = reg.bytes_served() - before;
+  // Registry-only distribution would serve nodes × image bytes; the swarm
+  // serves exactly one image's worth regardless of node count.
+  EXPECT_EQ(registry, bytes);
+  EXPECT_LT(registry, static_cast<std::uint64_t>(nodes) * bytes / 4);
+  EXPECT_EQ(swarm.peer_bytes(),
+            static_cast<std::uint64_t>(nodes - 1) * bytes);
+}
+
+}  // namespace
+}  // namespace minicon::image

@@ -17,15 +17,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # TSAN pass: only the suites that exercise shared mutable state (the
 # registry/chunk-store stress tests, the thread pool itself, the parallel
-# stage scheduler / shared build cache + CoW snapshots, and the metrics
-# registry / tracer).
+# stage scheduler / shared build cache + CoW snapshots, the metrics
+# registry / tracer, and the P2P chunk swarm).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target test_concurrency test_threadpool test_buildgraph test_vfs_cow \
-  test_obs
+  test_obs test_swarm swarm_smoke
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs'
+  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs|test_swarm'
+
+# P2P launch smoke under TSAN: an 8-node peer-to-peer launch where every
+# pool worker reads peer caches concurrently; asserts the registry served
+# sublinear bytes (swarm.registry_bytes < nodes × image_bytes).
+"$TSAN_DIR"/examples/swarm_smoke 8
 
 # ASAN pass: the builders move snapshot blobs across threads; make sure no
 # stage outlives what it borrows.
