@@ -1,0 +1,216 @@
+// Registry-service load harness: 64 -> 10k+ concurrent simulated clients
+// issuing a mixed push / pull / tag-move workload against a multi-tenant
+// service while a garbage collector cycles concurrently. Each client is a
+// task on a bounded ThreadPool (the service's own sizing argument: bounded
+// workers + backpressure, never a thread per client). Reported per sweep
+// point, via the service's own latency histograms:
+//
+//   push_p50_us / push_p99_us / pull_p50_us / pull_p99_us
+//   quota_rejections, throttled (fairness + admission actually firing)
+//   gc_cycles, gc_reclaimed_mb, gc_pause_p99_us (concurrent sweep cost)
+//
+// The workload is deterministic per client index: 20% pushes (rotating over
+// 64 distinct contents so dedup bounds memory while quota charges grow
+// until rejections fire), 10% tag moves (CAS, contended), 70% pulls of
+// pre-tagged images. Baselines live in BENCH_registry_service.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "image/registry.hpp"
+#include "obs/metrics.hpp"
+#include "service/service.hpp"
+#include "support/threadpool.hpp"
+
+namespace {
+
+using namespace minicon;
+
+constexpr int kTenants = 8;
+constexpr int kImagesPerTenant = 4;
+constexpr std::size_t kPushBytes = 16 * 1024;
+constexpr std::size_t kImageBytes = 64 * 1024;
+
+std::string tenant_name(int i) { return "tenant" + std::to_string(i); }
+
+// Distinct-per-chunk content; `seed` selects one of a bounded rotation so
+// repeated pushes deduplicate instead of growing the store without limit.
+std::string varied_blob(unsigned seed, std::size_t n) {
+  std::string s(n, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>((seed * 7 + i * 131 + (i >> 16) * 17) & 0xff);
+  }
+  return s;
+}
+
+struct Harness {
+  image::Registry registry;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<service::RegistryService> svc;
+  // digests[t][i]: manifest digest of tenant t's i-th pre-tagged image.
+  std::vector<std::vector<std::string>> digests;
+
+  Harness() {
+    registry.set_observability(&metrics);
+    svc = std::make_unique<service::RegistryService>(registry, nullptr,
+                                                     &metrics);
+    digests.resize(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      service::Quota q;
+      q.max_bytes = 48ull << 20;
+      // A quarter of the tenants run tight byte quotas and half are
+      // rate-limited, sized so admission rejections and fairness
+      // backpressure actually fire at the larger sweep points while small
+      // sweeps stay clean.
+      if (t % 4 == 2) q.max_bytes = 1ull << 20;
+      if (t % 2 == 1) {
+        q.pull_rate_bytes_per_sec = 16.0 * 1024 * 1024;
+        q.pull_burst_bytes = 4.0 * 1024 * 1024;
+      }
+      if (!svc->create_tenant(tenant_name(t), q).ok()) std::abort();
+      for (int i = 0; i < kImagesPerTenant; ++i) {
+        auto blob = svc->push_blob(
+            tenant_name(t),
+            varied_blob(static_cast<unsigned>(t * 100 + i), kImageBytes));
+        if (!blob.ok()) std::abort();
+        image::Manifest m;
+        m.reference = "img" + std::to_string(i);
+        m.layers.push_back(blob->digest);
+        auto digest = svc->put_manifest(tenant_name(t), m);
+        if (!digest.ok()) std::abort();
+        digests[t].push_back(*digest);
+        if (!svc->tag(tenant_name(t), "img" + std::to_string(i) + ":latest",
+                      *digest)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+  }
+
+  // One simulated client, deterministic by index. Returns true if the op
+  // was admitted (throttles/rejections/CAS races are expected outcomes, not
+  // errors).
+  void client(int idx) {
+    const int t = idx % kTenants;
+    const std::string& tenant = tenant_name(t);
+    const int op = idx % 10;
+    if (op < 2) {
+      // Push: rotating content; quota rejections accumulate by design.
+      (void)svc->push_blob(
+          tenant, varied_blob(static_cast<unsigned>(idx % 64), kPushBytes));
+    } else if (op == 2) {
+      // Tag move: CAS from whatever the tag holds now; ESTALE = a
+      // concurrent mover won, which is the semantics under test.
+      const std::string name = "img0:latest";
+      auto cur = svc->resolve(tenant, name);
+      if (cur.ok()) {
+        (void)svc->retarget(tenant, name,
+                            digests[t][static_cast<std::size_t>(idx) %
+                                       digests[t].size()],
+                            *cur);
+      }
+    } else {
+      const std::string name =
+          "img" + std::to_string(idx % kImagesPerTenant) + ":latest";
+      (void)svc->pull(tenant, name);
+    }
+  }
+};
+
+void BM_ServiceMixedLoad(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Harness h;
+
+  for (auto _ : state) {
+    // Concurrent GC: cycles continuously while the client storm runs.
+    std::atomic<bool> stop{false};
+    std::thread gc([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.svc->run_gc();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    {
+      support::ThreadPool pool(8, &h.metrics);
+      std::vector<std::future<void>> done;
+      done.reserve(static_cast<std::size_t>(clients));
+      for (int i = 0; i < clients; ++i) {
+        done.push_back(pool.submit([&h, i] { h.client(i); }));
+      }
+      for (auto& f : done) f.get();
+    }
+    stop.store(true);
+    gc.join();
+  }
+
+  const auto snap = h.metrics.snapshot();
+  const auto& push = snap.histograms.at("service.push_latency_us");
+  const auto& pull = snap.histograms.at("service.pull_latency_us");
+  const auto& pause = snap.histograms.at("service.gc.pause_us");
+  state.counters["push_p50_us"] = push.percentile(0.50);
+  state.counters["push_p99_us"] = push.percentile(0.99);
+  state.counters["pull_p50_us"] = pull.percentile(0.50);
+  state.counters["pull_p99_us"] = pull.percentile(0.99);
+  state.counters["gc_pause_p99_us"] = pause.percentile(0.99);
+  state.counters["gc_cycles"] =
+      static_cast<double>(snap.counters.at("service.gc.cycles"));
+  state.counters["gc_reclaimed_mb"] =
+      static_cast<double>(snap.counters.at("service.gc.reclaimed_bytes")) /
+      (1 << 20);
+  state.counters["quota_rejections"] =
+      static_cast<double>(snap.counters.at("service.admission_rejected"));
+  state.counters["throttled"] =
+      static_cast<double>(snap.counters.at("service.throttled"));
+  state.counters["pulls_ok"] =
+      static_cast<double>(snap.counters.at("service.pulls"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(clients) *
+                          state.iterations());
+}
+BENCHMARK(BM_ServiceMixedLoad)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(10240)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// GC cost in isolation: reclaim N untagged uploads in one sweep (the second
+// cycle after the pushes — the first is the grace cycle). Reports the
+// manifest-sweep pause alongside the whole cycle.
+void BM_ServiceGcReclaim(benchmark::State& state) {
+  const int uploads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Harness h;
+    for (int i = 0; i < uploads; ++i) {
+      (void)h.svc->push_blob(
+          tenant_name(i % kTenants),
+          varied_blob(static_cast<unsigned>(1000 + i), kPushBytes));
+    }
+    h.svc->run_gc();  // grace cycle
+    state.ResumeTiming();
+    service::GcStats sweep = h.svc->run_gc();
+    state.PauseTiming();
+    state.counters["reclaimed_mb"] =
+        static_cast<double>(sweep.reclaimed_bytes) / (1 << 20);
+    state.counters["pause_us"] = sweep.pause_us;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ServiceGcReclaim)
+    ->Arg(256)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);  // setup (N pushes + grace cycle) dwarfs the timed sweep
+
+}  // namespace
+
+BENCHMARK_MAIN();

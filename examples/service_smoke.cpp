@@ -1,0 +1,135 @@
+// Registry-service smoke check (tier-1): two tenants over one cluster
+// registry. Walks the whole service surface end to end —
+//
+//   * alice adopts a built image, tags it, and a P2P parallel launch pulls
+//     the service tag (its registry mirror) on every compute node;
+//   * bob's tiny quota rejects his push deterministically (ENOSPC) without
+//     storing a byte;
+//   * a second build moves alice's tag with compare-and-swap;
+//   * an untagged scratch upload survives the first GC cycle (grace) and is
+//     reclaimed by the second, while the tagged image keeps serving.
+//
+// Exits non-zero if any property fails.
+#include <iostream>
+#include <string>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "service/service.hpp"
+
+using namespace minicon;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::cerr << "service_smoke: " << why << "\n";
+  return 1;
+}
+
+std::string scratch_blob(std::size_t n) {
+  std::string s(n, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>((i * 131 + (i >> 16) * 17) & 0xff);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::stoi(argv[1]) : 8;
+
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = nodes;
+  core::Cluster cluster(copts);
+
+  auto alice = cluster.user_on(cluster.login());
+  if (!alice.ok()) return fail("login failed");
+  core::ChImage ch(cluster.login(), *alice, &cluster.registry());
+  Transcript bt;
+  if (ch.build("app", "FROM centos:7\nRUN echo v1 > /version\n", bt) != 0) {
+    return fail("build failed:\n" + bt.text());
+  }
+  Transcript pt;
+  if (ch.push("app", "builder/app:1", pt) != 0) {
+    return fail("push failed:\n" + pt.text());
+  }
+
+  service::RegistryService svc(cluster.registry());
+
+  service::Quota roomy;
+  roomy.max_bytes = 1ull << 30;
+  if (!svc.create_tenant("alice", roomy).ok()) return fail("create alice");
+  service::Quota tiny;
+  tiny.max_bytes = 1000;
+  if (!svc.create_tenant("bob", tiny).ok()) return fail("create bob");
+
+  // --- alice adopts + tags the built image ------------------------------
+  auto v1 = svc.adopt_image("alice", "builder/app:1");
+  if (!v1.ok()) return fail("adopt v1");
+  if (!svc.tag("alice", "app:latest", *v1).ok()) return fail("tag v1");
+  auto pulled = svc.pull("alice", "app:latest");
+  if (!pulled.ok() || pulled->bytes == 0) return fail("service pull v1");
+
+  // --- bob's quota rejects before storing anything ----------------------
+  auto rejected = svc.push_blob("bob", scratch_blob(4096));
+  if (rejected.ok() || rejected.error() != Err::enospc) {
+    return fail("bob's over-quota push was not rejected with ENOSPC");
+  }
+  auto bob = svc.tenant_stats("bob");
+  if (!bob.ok() || bob->bytes_used != 0 || bob->quota_rejections != 1) {
+    return fail("quota rejection charged bob anyway");
+  }
+
+  // --- tag move (CAS) to a second build ---------------------------------
+  Transcript bt2;
+  if (ch.build("app2", "FROM centos:7\nRUN echo v2 > /version\n", bt2) != 0) {
+    return fail("build v2 failed");
+  }
+  Transcript pt2;
+  if (ch.push("app2", "builder/app:2", pt2) != 0) return fail("push v2");
+  auto v2 = svc.adopt_image("alice", "builder/app:2");
+  if (!v2.ok()) return fail("adopt v2");
+  if (!svc.retarget("alice", "app:latest", *v2, *v1).ok()) {
+    return fail("CAS tag move");
+  }
+  if (*svc.resolve("alice", "app:latest") != *v2) return fail("resolve v2");
+
+  // --- GC: grace, then reclaim; tagged content untouched ----------------
+  auto scratch = svc.push_blob("alice", scratch_blob(300000));
+  if (!scratch.ok()) return fail("scratch push");
+  service::GcStats first = svc.run_gc();
+  if (first.reclaimed_bytes != 0) {
+    return fail("first GC cycle broke the upload grace window");
+  }
+  service::GcStats second = svc.run_gc();
+  if (second.reclaimed_bytes == 0) {
+    return fail("second GC cycle reclaimed nothing");
+  }
+  if (!svc.pull("alice", "app:latest").ok()) {
+    return fail("tagged image died under GC");
+  }
+
+  // --- P2P parallel launch through the service tag's mirror -------------
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kP2P;
+  const std::string mirror =
+      service::RegistryService::mirror_reference("alice", "app:latest");
+  auto result = cluster.parallel_launch(mirror, {"hostname"}, opts);
+  if (result.nodes_ok != nodes || result.nodes_failed != 0) {
+    return fail("P2P launch of " + mirror + " failed on " +
+                std::to_string(result.nodes_failed) + " node(s)");
+  }
+  const std::uint64_t per_node_total =
+      static_cast<std::uint64_t>(nodes) * result.image_bytes;
+  if (result.image_bytes == 0 || result.registry_bytes >= per_node_total) {
+    return fail("P2P registry traffic not sublinear");
+  }
+
+  std::cout << "service_smoke: OK (pull=" << pulled->bytes
+            << "B, gc reclaimed=" << second.reclaimed_bytes
+            << "B, p2p registry=" << result.registry_bytes << "/"
+            << per_node_total << "B)\n";
+  return 0;
+}

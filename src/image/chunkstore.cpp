@@ -20,6 +20,8 @@ void ChunkStore::set_metrics(obs::MetricsRegistry* metrics) {
   dedup_hits_ = &reg.counter("chunk.dedup_hits");
   bytes_stored_ = &reg.counter("chunk.bytes_stored");
   bytes_deduped_ = &reg.counter("chunk.bytes_deduped");
+  removed_ = &reg.counter("chunk.removed");
+  bytes_reclaimed_ = &reg.counter("chunk.bytes_reclaimed");
 }
 
 void ChunkStore::set_tracer(std::shared_ptr<obs::Tracer> tracer) {
@@ -116,6 +118,22 @@ bool ChunkStore::has_chunk(const std::string& digest) const {
   Shard& shard = shard_for(digest);
   std::lock_guard lock(shard.mu);
   return shard.chunks.contains(digest);
+}
+
+std::uint64_t ChunkStore::remove_chunk(const std::string& digest) {
+  Shard& shard = shard_for(digest);
+  std::uint64_t freed = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.chunks.find(digest);
+    if (it == shard.chunks.end()) return 0;
+    freed = it->second->size();
+    shard.bytes -= freed;
+    shard.chunks.erase(it);
+  }
+  removed_->add();
+  bytes_reclaimed_->add(freed);
+  return freed;
 }
 
 std::shared_ptr<const std::string> ChunkStore::assemble(

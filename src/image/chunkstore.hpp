@@ -64,6 +64,15 @@ class ChunkStore {
   std::shared_ptr<const std::string> chunk(const std::string& digest) const;
   bool has_chunk(const std::string& digest) const;
 
+  // Removes one chunk, returning the bytes reclaimed (0 when absent). The
+  // registry-service garbage collector is the only intended caller: it owns
+  // the liveness question (refcounts + mark), the store just forgets the
+  // buffer. In-flight pulls holding the shared_ptr keep their bytes; a
+  // re-put of the same content after removal stores it afresh (resurrection
+  // is refcount-driven, there are no tombstones). Counted by the
+  // `chunk.removed` / `chunk.bytes_reclaimed` metrics.
+  std::uint64_t remove_chunk(const std::string& digest);
+
   // Reassembles a chunk list into one contiguous buffer (pull
   // materialization). nullptr if any chunk is missing.
   std::shared_ptr<const std::string> assemble(const ChunkedBlob& blob) const;
@@ -104,6 +113,8 @@ class ChunkStore {
   obs::Counter* dedup_hits_;
   obs::Counter* bytes_stored_;
   obs::Counter* bytes_deduped_;
+  obs::Counter* removed_;
+  obs::Counter* bytes_reclaimed_;
 };
 
 }  // namespace minicon::image

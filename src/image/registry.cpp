@@ -274,12 +274,36 @@ std::optional<Manifest> Registry::get_manifest(
   return it->second.begin()->second;
 }
 
+bool Registry::delete_manifest(const std::string& reference) {
+  std::lock_guard lock(tags_mu_);
+  return tags_.erase(reference) > 0;
+}
+
 std::vector<std::string> Registry::references() const {
   std::lock_guard lock(tags_mu_);
   std::vector<std::string> out;
   out.reserve(tags_.size());
   for (const auto& [ref, _] : tags_) out.push_back(ref);
   return out;
+}
+
+std::vector<Manifest> Registry::all_manifests() const {
+  std::lock_guard lock(tags_mu_);
+  std::vector<Manifest> out;
+  for (const auto& [ref, arches] : tags_) {
+    for (const auto& [arch, m] : arches) out.push_back(m);
+  }
+  return out;
+}
+
+void Registry::drop_chunked(const std::string& digest) {
+  {
+    std::lock_guard lock(chunked_mu_);
+    chunked_.erase(digest);
+    assembled_.erase(digest);
+  }
+  std::lock_guard lock(layer_chunks_mu_);
+  layer_chunks_.erase(digest);
 }
 
 std::shared_ptr<const std::string> Registry::serve_chunk(
@@ -294,24 +318,33 @@ std::shared_ptr<const std::string> Registry::serve_chunk(
 
 namespace {
 
-// Preorder walk collecting per-file chunk refs; children iterate in sorted
-// map order, so the list is deterministic for a given tree digest.
-void collect_tree_chunks(const vfs::SnapNodePtr& node, ChunkStore& store,
-                         std::vector<Registry::ChunkRef>& out) {
+// Pure preorder walk collecting per-file chunk refs; children iterate in
+// sorted map order, so the list is deterministic for a given tree digest.
+// Nothing is stored — boundaries and digests come straight from the
+// content, so a GC mark phase can enumerate without touching the store.
+void collect_tree_chunk_refs(const vfs::SnapNodePtr& node,
+                             std::size_t chunk_size,
+                             std::vector<Registry::ChunkRef>& out) {
   if (node->type == vfs::FileType::Regular && !node->content_view().empty()) {
-    auto refs = ChunkStore::chunk_refs(node->content_view(),
-                                       store.chunk_size());
-    // put_tree chunked this content when the node arrived; re-chunk only if
-    // the tree reached the index some other way.
-    if (!refs.empty() && !store.has_chunk(refs.front().first)) {
-      (void)store.put(node->content_view());
-    }
-    for (auto& [digest, size] : refs) {
+    for (auto& [digest, size] :
+         ChunkStore::chunk_refs(node->content_view(), chunk_size)) {
       out.push_back({std::move(digest), size});
     }
   }
   for (const auto& [name, child] : node->children) {
-    collect_tree_chunks(child, store, out);
+    collect_tree_chunk_refs(child, chunk_size, out);
+  }
+}
+
+// Re-stores every file whose chunks went missing (a GC sweep reclaimed
+// them while the tree stayed resident). put() dedups, so files whose
+// chunks survived cost one digest pass and no storage.
+void materialize_tree_chunks(const vfs::SnapNodePtr& node, ChunkStore& store) {
+  if (node->type == vfs::FileType::Regular && !node->content_view().empty()) {
+    (void)store.put(node->content_view());
+  }
+  for (const auto& [name, child] : node->children) {
+    materialize_tree_chunks(child, store);
   }
 }
 
@@ -332,49 +365,83 @@ void append_chunked_refs(const std::vector<std::string>& chunks,
 
 }  // namespace
 
+Result<std::vector<Registry::ChunkRef>> Registry::layer_chunk_refs(
+    const std::string& layer, bool materialize) {
+  std::vector<ChunkRef> refs;
+  bool memoized = false;
+  {
+    std::lock_guard lock(layer_chunks_mu_);
+    if (auto it = layer_chunks_.find(layer); it != layer_chunks_.end()) {
+      refs = it->second;
+      memoized = true;
+    }
+  }
+  if (!memoized) {
+    if (is_tree_digest(layer)) {
+      auto tree = get_tree_meta(layer);
+      if (tree == nullptr) return Err::enoent;
+      collect_tree_chunk_refs(tree, chunks_.chunk_size(), refs);
+    } else {
+      ChunkedBlob blob;
+      bool have_chunked = false;
+      {
+        std::lock_guard lock(chunked_mu_);
+        if (auto it = chunked_.find(layer); it != chunked_.end()) {
+          blob = it->second;
+          have_chunked = true;
+        }
+      }
+      if (have_chunked) {
+        append_chunked_refs(blob.chunks, blob.size, chunks_.chunk_size(),
+                            refs);
+      } else {
+        auto data = peek_blob_ref(layer);
+        if (data == nullptr) return Err::enoent;
+        // Legacy whole blob: the boundaries are computable without storing
+        // anything; the chunks themselves migrate into the store only on a
+        // materialize (serving) query below.
+        for (auto& [digest, size] :
+             ChunkStore::chunk_refs(*data, chunks_.chunk_size())) {
+          refs.push_back({std::move(digest), size});
+        }
+      }
+    }
+    std::lock_guard lock(layer_chunks_mu_);
+    layer_chunks_.try_emplace(layer, refs);
+  }
+  if (materialize) {
+    bool all_present = true;
+    for (const auto& ref : refs) {
+      if (!chunks_.has_chunk(ref.digest)) {
+        all_present = false;
+        break;
+      }
+    }
+    if (!all_present) {
+      if (is_tree_digest(layer)) {
+        auto tree = get_tree_meta(layer);
+        if (tree == nullptr) return Err::enoent;
+        materialize_tree_chunks(tree, chunks_);
+      } else {
+        // Chunked blobs re-materialize only while the reassembled bytes are
+        // still reachable (the memoized pull buffer or the original whole
+        // blob); once both are gone the content is genuinely reclaimed.
+        auto data = peek_blob_ref(layer);
+        if (data == nullptr) return Err::enoent;
+        (void)chunks_.put(*data);
+      }
+    }
+  }
+  return refs;
+}
+
 Result<Registry::ChunkManifest> Registry::chunk_manifest(const Manifest& m) {
   ChunkManifest out;
   std::unordered_set<std::string> seen;
   for (const auto& layer : m.layers) {
-    std::vector<ChunkRef> refs;
-    bool memoized = false;
-    {
-      std::lock_guard lock(layer_chunks_mu_);
-      if (auto it = layer_chunks_.find(layer); it != layer_chunks_.end()) {
-        refs = it->second;
-        memoized = true;
-      }
-    }
-    if (!memoized) {
-      if (is_tree_digest(layer)) {
-        auto tree = get_tree_meta(layer);
-        if (tree == nullptr) return Err::enoent;
-        collect_tree_chunks(tree, chunks_, refs);
-      } else {
-        ChunkedBlob blob;
-        bool have_chunked = false;
-        {
-          std::lock_guard lock(chunked_mu_);
-          if (auto it = chunked_.find(layer); it != chunked_.end()) {
-            blob = it->second;
-            have_chunked = true;
-          }
-        }
-        if (!have_chunked) {
-          auto data = peek_blob_ref(layer);
-          if (data == nullptr) return Err::enoent;
-          // Legacy whole blob: chunk it into the store on first query so
-          // chunk-granularity serving covers it from now on.
-          ChunkedBlob migrated = chunks_.put(*data);
-          blob = std::move(migrated);
-        }
-        append_chunked_refs(blob.chunks, blob.size, chunks_.chunk_size(),
-                            refs);
-      }
-      std::lock_guard lock(layer_chunks_mu_);
-      layer_chunks_.try_emplace(layer, refs);
-    }
-    for (auto& ref : refs) {
+    auto refs = layer_chunk_refs(layer, /*materialize=*/true);
+    if (!refs.ok()) return refs.error();
+    for (auto& ref : *refs) {
       out.image_bytes += ref.size;
       if (seen.insert(ref.digest).second) {
         out.total_bytes += ref.size;

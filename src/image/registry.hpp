@@ -156,6 +156,16 @@ class Registry {
   // legacy whole blobs are chunked into the store on first query. Memoized
   // per layer digest. Fails with enoent when a layer is absent.
   Result<ChunkManifest> chunk_manifest(const Manifest& m);
+  // One layer's ordered chunk refs (duplicates kept, no key_hash). With
+  // materialize = true the chunks are guaranteed resident in the store
+  // afterwards (absent ones are re-chunked from the layer's bytes — the
+  // serving path). With materialize = false the call is a pure metadata
+  // walk: nothing is stored, nothing counts toward bytes_served() or the
+  // push counters — this is what the registry-service GC mark phase uses,
+  // so a GC cycle can never inflate tenant-billed traffic. Fails with
+  // enoent when the layer is absent.
+  Result<std::vector<ChunkRef>> layer_chunk_refs(const std::string& layer,
+                                                 bool materialize);
   // Serves one chunk's bytes (counts toward bytes_served() and the
   // `registry.chunk_serves` counter). nullptr when absent.
   std::shared_ptr<const std::string> serve_chunk(const std::string& digest);
@@ -195,8 +205,22 @@ class Registry {
                                        const std::string& arch) const;
   // Any-arch lookup (single-arch references).
   std::optional<Manifest> get_manifest(const std::string& reference) const;
+  // Removes a reference (every arch). Blobs are untouched — content
+  // lifetime belongs to the registry-service GC. Returns false if absent.
+  bool delete_manifest(const std::string& reference);
 
   std::vector<std::string> references() const;
+  // Every tagged manifest, all references and arches. The registry-service
+  // GC marks from these so content tagged directly in the registry (base
+  // images, builder pushes) is never swept out from under a tag.
+  std::vector<Manifest> all_manifests() const;
+
+  // Forgets a chunked-blob record: the chunk-list index entry, any memoized
+  // reassembled pull buffer, and the layer_chunk_refs memo. Chunk data is
+  // NOT removed (that is ChunkStore::remove_chunk, driven by the service
+  // GC's refcounts). A later put of the same content recreates the record
+  // bit-for-bit — content addressing makes resurrection exact.
+  void drop_chunked(const std::string& digest);
 
   const ChunkStore& chunks() const { return chunks_; }
   // Mutable chunk-store handle for components (e.g. the build cache) that

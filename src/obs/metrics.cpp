@@ -40,6 +40,32 @@ void json_escape(std::string& out, const std::string& s) {
   }
 }
 
+// Shared fixed-bucket quantile estimate: find the bucket holding the p-th
+// observation, interpolate linearly between its bounds. The +inf bucket has
+// no upper edge, so it reports the last finite bound (an underestimate the
+// caller should read as "off the scale").
+double bucket_percentile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& buckets,
+                         std::uint64_t count, double p) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket >= target && in_bucket > 0) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (target - cumulative) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 }  // namespace
 
 const std::vector<double>& Histogram::default_latency_bounds_us() {
@@ -82,6 +108,15 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::percentile(double p) const {
+  return bucket_percentile(bounds_, bucket_counts(),
+                           count_.load(std::memory_order_relaxed), p);
+}
+
+double MetricsSnapshot::HistogramValue::percentile(double p) const {
+  return bucket_percentile(bounds, buckets, count, p);
 }
 
 void Histogram::reset() {

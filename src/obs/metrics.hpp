@@ -69,6 +69,11 @@ class Histogram {
   double sum() const;
   // size() == bounds().size() + 1; last element is the +inf bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+  // Estimated p-quantile (p in [0,1], e.g. 0.5 / 0.99) by linear
+  // interpolation within the covering bucket — the standard fixed-bucket
+  // estimate (what the service bench records as p50/p99). Values landing in
+  // the +inf bucket report the last finite bound. 0 when empty.
+  double percentile(double p) const;
   void reset();
 
  private:
@@ -85,6 +90,8 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;
     std::uint64_t count = 0;
     double sum = 0.0;
+    // Same estimate as Histogram::percentile, over the captured buckets.
+    double percentile(double p) const;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;

@@ -1,0 +1,322 @@
+// RegistryService: a multi-tenant front end over image::Registry.
+//
+// The paper's workflow (Fig 6) ends at a shared registry service — GitLab's,
+// in Astra's case — that many users push to and whole clusters pull from.
+// This models the service half of that story, the part the base registry
+// deliberately leaves out:
+//
+//   * Tenancy + quotas. Every blob is admitted against a per-tenant byte and
+//     blob budget, checked under the tenant lock BEFORE any data is stored,
+//     so rejection (ENOSPC) is deterministic and free. Quota charges logical
+//     bytes, not deduplicated bytes: what a tenant pays never depends on
+//     what other tenants happen to have pushed.
+//   * Real tag semantics. Tags are an atomic tag -> manifest-digest index
+//     per tenant: mutable tags move atomically (optionally compare-and-swap
+//     against an expected digest, ESTALE on mismatch), immutable pins can
+//     never be retargeted (EPERM), and "name@sha256:..." digest references
+//     resolve pinned content directly. Every tag mirrors into the underlying
+//     Registry as "<tenant>/<tag>" so cluster launch paths (including P2P)
+//     pull service-tagged images unmodified.
+//   * Garbage collection. Chunks, chunked-blob records, and manifests the
+//     service admitted are reference-counted; a concurrent mark-sweep cycle
+//     reclaims what nothing references while pushes/pulls/tag-moves proceed.
+//     See "GC protocol" below.
+//   * Pull fairness. Each tenant spends bytes from a TokenBucket; an empty
+//     bucket rejects with EAGAIN (+ retry hint) rather than queuing, and an
+//     inflight-pull bound caps the service's concurrent work — backpressure
+//     lives at the client, there is no unbounded waiter line.
+//
+// GC protocol (epoch + refcount + external mark):
+//   Every admitted object (chunk / blob record / manifest) carries a
+//   refcount and the service epoch at its last admission. run_gc() takes
+//   cutoff = epoch++ and sweeps only objects with refs == 0 AND
+//   epoch < cutoff, so anything admitted since the previous cycle began —
+//   including a push racing the sweep — survives at least one full cycle
+//   even before a manifest references it (the upload-grace window real
+//   registries implement with upload expiry). Reachability is eager:
+//   tagging a manifest holds a manifest ref, a manifest holds refs on its
+//   chunks and blob records; delete-then-repush therefore resurrects
+//   cleanly — a re-push re-stamps the epoch and re-inserts whatever a prior
+//   sweep removed (content addressing makes resurrection exact; there are
+//   no tombstones). Before sweeping chunks, a mark phase walks every
+//   manifest tagged directly in the Registry (base images, builder pushes)
+//   through the non-billing layer_chunk_refs(materialize=false) walk, so
+//   shared chunks the service did not admit alone are never reclaimed out
+//   from under registry tags — and the mark never inflates any tenant's
+//   bytes_served. Whole blobs and Merkle tree nodes are never swept.
+//
+// Locking: tenant state, the manifest table, the blob table, and each chunk
+// shard have independent mutexes, never held together; the chunk sweep
+// nests the ChunkStore shard lock under the service shard lock (one
+// direction only). run_gc() serializes cycles on gc_mu_.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "image/registry.hpp"
+#include "obs/metrics.hpp"
+#include "support/result.hpp"
+#include "support/tokenbucket.hpp"
+
+namespace minicon::support {
+class ThreadPool;
+}
+namespace minicon::shell {
+class CommandRegistry;
+}
+
+namespace minicon::service {
+
+struct Quota {
+  // Logical bytes a tenant may hold (pushed blobs + adopted images).
+  std::uint64_t max_bytes = UINT64_MAX;
+  // Blob/layer count budget.
+  std::uint64_t max_blobs = UINT64_MAX;
+  // Pull fairness: bytes/second refill and bucket capacity. rate <= 0
+  // disables throttling; burst <= 0 defaults to one second of rate.
+  double pull_rate_bytes_per_sec = 0;
+  double pull_burst_bytes = 0;
+  // Concurrent pulls in flight before EAGAIN (bounded work, no queue).
+  std::uint32_t max_inflight_pulls = 4096;
+};
+
+struct TenantStats {
+  std::uint64_t bytes_used = 0;   // logical bytes admitted against quota
+  std::uint64_t blobs = 0;        // blobs/layers admitted against quota
+  std::uint64_t tags = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t pulls = 0;
+  std::uint64_t bytes_pushed = 0;  // logical bytes of accepted pushes
+  std::uint64_t bytes_served = 0;  // content bytes handed to this tenant
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t throttled = 0;     // pulls rejected by bucket or inflight cap
+};
+
+// One cycle's outcome (and, via RegistryService::gc_stats, running totals).
+struct GcStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t reclaimed_chunks = 0;
+  std::uint64_t reclaimed_bytes = 0;
+  std::uint64_t reclaimed_manifests = 0;
+  std::uint64_t reclaimed_blobs = 0;  // chunked-blob records dropped
+  std::uint64_t marked_chunks = 0;    // externally-referenced chunks spared
+  double pause_us = 0;   // longest mutator-blocking critical section
+  double cycle_us = 0;   // whole cycle wall time
+};
+
+enum class TagMode {
+  kMutable,    // create or atomically retarget
+  kImmutable,  // create-only pin; retarget and re-create both fail
+};
+
+struct PushReceipt {
+  std::string digest;        // chunked-blob digest, usable in manifest layers
+  std::uint64_t size = 0;     // logical bytes (what quota charged)
+  std::uint64_t new_bytes = 0;  // bytes that actually transferred (dedup)
+};
+
+struct PullResult {
+  image::Manifest manifest;
+  std::uint64_t bytes = 0;  // content bytes served (billed to the tenant)
+};
+
+class RegistryService {
+ public:
+  // `registry` is borrowed and must outlive the service. `pool` parallelizes
+  // chunk digesting on pushes (null = serial). `metrics` defaults to
+  // obs::global_metrics(). `bucket_clock` drives token-bucket refill
+  // (injectable for deterministic throttle tests; null = steady_clock).
+  explicit RegistryService(image::Registry& registry,
+                           support::ThreadPool* pool = nullptr,
+                           obs::MetricsRegistry* metrics = nullptr,
+                           support::TokenBucket::Clock bucket_clock = {});
+
+  // --- Tenancy ----------------------------------------------------------
+  // EEXIST if the tenant exists; EINVAL for empty names or names with '/'.
+  VoidResult create_tenant(const std::string& tenant, Quota quota);
+  std::vector<std::string> tenants() const;
+  Result<Quota> tenant_quota(const std::string& tenant) const;
+  Result<TenantStats> tenant_stats(const std::string& tenant) const;
+
+  // --- Push -------------------------------------------------------------
+  // Admission (quota) happens before any byte is stored; rejection is
+  // ENOSPC and deterministic. Accepted data is chunk-deduplicated into the
+  // registry and enters the GC refcount table with refs == 0 — it survives
+  // at least one full GC cycle awaiting its manifest.
+  Result<PushReceipt> push_blob(const std::string& tenant,
+                                std::string_view data);
+  // Registers a manifest whose layers are already resident (service pushes,
+  // registry trees, or whole blobs); returns its digest for tagging.
+  // ENOENT when a layer — or a chunk a prior sweep reclaimed whose source is
+  // gone — cannot be materialized; the caller re-pushes. Idempotent.
+  Result<std::string> put_manifest(const std::string& tenant,
+                                   const image::Manifest& m);
+  // Admits an image already tagged in the underlying registry (a base image
+  // or builder push) into the tenant: charges quota for its content, then
+  // put_manifest. Returns the manifest digest; the caller tags it.
+  Result<std::string> adopt_image(const std::string& tenant,
+                                  const std::string& reference);
+
+  // --- Tags -------------------------------------------------------------
+  // Tag names are free-form ("app:latest"). ENOENT if the digest names no
+  // registered manifest. Conflicts: retargeting an immutable pin -> EPERM;
+  // creating kImmutable over an existing tag -> EEXIST.
+  VoidResult tag(const std::string& tenant, const std::string& name,
+                 const std::string& digest, TagMode mode = TagMode::kMutable);
+  // Compare-and-swap retarget: fails ESTALE when the tag no longer points
+  // at `expected_digest` (a concurrent writer won), EPERM on pins.
+  VoidResult retarget(const std::string& tenant, const std::string& name,
+                      const std::string& new_digest,
+                      const std::string& expected_digest);
+  // Deleting is allowed even for pins — immutability constrains where a
+  // name points, not whether the name exists. The content becomes
+  // GC-reclaimable once nothing else references it.
+  VoidResult delete_tag(const std::string& tenant, const std::string& name);
+  // `reference` is a tag name or "<anything>@<digest>" for pinned pulls.
+  Result<std::string> resolve(const std::string& tenant,
+                              const std::string& reference) const;
+
+  // --- Pull -------------------------------------------------------------
+  // Resolves, spends (size) tokens from the tenant's bucket, then serves
+  // every layer through the billing read path. EAGAIN = throttled (consult
+  // pull_retry_after), ENOENT = no such tag/manifest.
+  Result<PullResult> pull(const std::string& tenant,
+                          const std::string& reference);
+  // Retry hint after an EAGAIN: how long until the bucket could cover the
+  // referenced image, assuming no other spender. Zero if unknown reference.
+  std::chrono::microseconds pull_retry_after(const std::string& tenant,
+                                             const std::string& reference);
+
+  // --- GC ---------------------------------------------------------------
+  // One concurrent mark-sweep cycle; safe alongside pushes/pulls/tag moves.
+  // Returns that cycle's stats. Note the grace rule: objects admitted since
+  // the previous cycle began are never reclaimed by this one, so a
+  // delete-then-gc test observes reclamation on the SECOND cycle after the
+  // last admission.
+  GcStats run_gc();
+  // Running totals across cycles (cycles, reclaimed_*) with the last
+  // cycle's pause/cycle times and mark count.
+  GcStats gc_stats() const;
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // The underlying-registry reference a tenant tag mirrors to
+  // ("<tenant>/<tag>"): what cluster launches pull.
+  static std::string mirror_reference(const std::string& tenant,
+                                      const std::string& tag);
+
+  image::Registry& registry() { return reg_; }
+
+ private:
+  struct TagEntry {
+    std::string digest;
+    bool immutable = false;
+  };
+  struct Tenant {
+    std::string name;
+    Quota quota;
+    mutable std::mutex mu;  // guards stats + tags
+    TenantStats stats;
+    std::map<std::string, TagEntry> tags;
+    std::unique_ptr<support::TokenBucket> bucket;
+    std::atomic<std::uint32_t> inflight{0};
+    // Metric mirrors, resolved once at create_tenant (service.<name>.*).
+    obs::Counter* pushes_m = nullptr;
+    obs::Counter* pulls_m = nullptr;
+    obs::Counter* bytes_pushed_m = nullptr;
+    obs::Counter* bytes_served_m = nullptr;
+    obs::Counter* rejected_m = nullptr;
+    obs::Counter* throttled_m = nullptr;
+    obs::Gauge* bytes_used_m = nullptr;
+    obs::Gauge* tags_m = nullptr;
+  };
+  struct ChunkEntry {
+    std::uint64_t refs = 0;   // manifests referencing this chunk
+    std::uint64_t epoch = 0;  // service epoch at last admission
+    std::uint64_t size = 0;
+  };
+  struct ChunkShard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, ChunkEntry> chunks;
+  };
+  struct BlobEntry {
+    std::uint64_t refs = 0;  // manifests with this blob as a layer
+    std::uint64_t epoch = 0;
+    std::uint64_t size = 0;
+  };
+  struct ManifestEntry {
+    image::Manifest manifest;
+    std::vector<std::string> chunks;        // unique chunk digests
+    std::vector<std::uint64_t> chunk_sizes;  // parallel to `chunks`
+    std::uint64_t bytes = 0;  // content bytes (duplicates kept)
+    std::uint64_t refs = 0;   // tags pointing here
+    std::uint64_t epoch = 0;
+  };
+  static constexpr std::size_t kChunkShards = 16;
+
+  Tenant* find_tenant(const std::string& tenant) const;
+  ChunkShard& shard_for(const std::string& digest) const;
+  // Collect per-layer chunk refs (materializing) + manifest byte size.
+  Result<ManifestEntry> build_manifest_entry(const image::Manifest& m);
+  // refs-- on `entry`'s chunks and blob layers (manifest sweep / rollback).
+  void release_manifest_refs(const ManifestEntry& entry);
+  void mirror_tag(const Tenant& t, const std::string& name,
+                  const std::string& digest);
+
+  image::Registry& reg_;
+  support::ThreadPool* pool_;
+  obs::MetricsRegistry* metrics_;
+  support::TokenBucket::Clock bucket_clock_;
+
+  mutable std::mutex tenants_mu_;
+  // unique_ptr keeps Tenant* stable; tenants are never erased.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  mutable std::vector<ChunkShard> chunk_shards_;
+
+  mutable std::mutex blobs_mu_;
+  std::unordered_map<std::string, BlobEntry> blobs_;
+
+  mutable std::mutex manifests_mu_;
+  std::unordered_map<std::string, ManifestEntry> manifests_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex gc_mu_;  // serializes GC cycles
+  mutable std::mutex gc_stats_mu_;
+  GcStats gc_totals_;
+
+  std::atomic<std::uint64_t> bytes_served_{0};
+
+  // Global metric mirrors (service.*), resolved once in the constructor.
+  obs::Counter* pushes_m_;
+  obs::Counter* pulls_m_;
+  obs::Counter* bytes_served_m_;
+  obs::Counter* rejected_m_;
+  obs::Counter* throttled_m_;
+  obs::Gauge* queue_depth_m_;
+  obs::Gauge* tenants_m_;
+  obs::Counter* gc_cycles_m_;
+  obs::Counter* gc_reclaimed_bytes_m_;
+  obs::Counter* gc_reclaimed_chunks_m_;
+  obs::Counter* gc_reclaimed_manifests_m_;
+  obs::Histogram* gc_pause_us_m_;
+  obs::Histogram* push_latency_us_m_;
+  obs::Histogram* pull_latency_us_m_;
+};
+
+using RegistryServicePtr = std::shared_ptr<RegistryService>;
+
+// Registers the `service` shell builtin: per-tenant usage, quota headroom,
+// tag count, and last-GC stats (the build-cache reporting idiom).
+void register_service_command(shell::CommandRegistry& reg,
+                              RegistryServicePtr service);
+
+}  // namespace minicon::service

@@ -1,0 +1,77 @@
+// The `service` shell builtin: operator's view of the registry service.
+//
+//   service        per-tenant usage, quota headroom, tag counts, GC totals
+//   service gc     run one GC cycle and print what it reclaimed
+
+#include <string>
+
+#include "service/service.hpp"
+#include "shell/registry.hpp"
+#include "support/strings.hpp"
+
+namespace minicon::service {
+
+namespace {
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string quota_cell(std::uint64_t v) {
+  return v == UINT64_MAX ? "-" : human_size(v);
+}
+
+}  // namespace
+
+void register_service_command(shell::CommandRegistry& reg,
+                              RegistryServicePtr service) {
+  reg.register_special("service", [service](shell::Invocation& inv) {
+    if (inv.args.size() > 1 && inv.args[1] == "gc") {
+      const GcStats c = service->run_gc();
+      inv.out += "gc: reclaimed " + human_size(c.reclaimed_bytes) + " (" +
+                 std::to_string(c.reclaimed_chunks) + " chunks, " +
+                 std::to_string(c.reclaimed_manifests) + " manifests, " +
+                 std::to_string(c.reclaimed_blobs) + " blob records), pause " +
+                 std::to_string(static_cast<std::uint64_t>(c.pause_us)) +
+                 "us\n";
+      return 0;
+    }
+    inv.out +=
+        "tenant         used    quota headroom  blobs  tags  pulls pushes"
+        "  rejected throttled\n";
+    for (const std::string& name : service->tenants()) {
+      auto stats = service->tenant_stats(name);
+      auto quota = service->tenant_quota(name);
+      if (!stats.ok() || !quota.ok()) continue;
+      const std::uint64_t headroom =
+          quota->max_bytes == UINT64_MAX ? UINT64_MAX
+          : quota->max_bytes > stats->bytes_used
+              ? quota->max_bytes - stats->bytes_used
+              : 0;
+      inv.out += pad_right(name, 12) +
+                 pad_left(human_size(stats->bytes_used), 7) +
+                 pad_left(quota_cell(quota->max_bytes), 9) +
+                 pad_left(quota_cell(headroom), 9) +
+                 pad_left(std::to_string(stats->blobs), 7) +
+                 pad_left(std::to_string(stats->tags), 6) +
+                 pad_left(std::to_string(stats->pulls), 7) +
+                 pad_left(std::to_string(stats->pushes), 7) +
+                 pad_left(std::to_string(stats->quota_rejections), 10) +
+                 pad_left(std::to_string(stats->throttled), 10) + "\n";
+    }
+    const GcStats g = service->gc_stats();
+    inv.out += "gc: " + std::to_string(g.cycles) + " cycles, reclaimed " +
+               human_size(g.reclaimed_bytes) + " (" +
+               std::to_string(g.reclaimed_chunks) + " chunks, " +
+               std::to_string(g.reclaimed_manifests) +
+               " manifests), last pause " +
+               std::to_string(static_cast<std::uint64_t>(g.pause_us)) + "us\n";
+    return 0;
+  });
+}
+
+}  // namespace minicon::service

@@ -77,24 +77,6 @@ bool parse_owner_spec(Invocation& inv, const std::string& spec, vfs::Uid& uid,
   return true;
 }
 
-std::string human_size(std::uint64_t n) {
-  if (n < 1024) return std::to_string(n);
-  const char* units = "KMGTP";
-  double v = static_cast<double>(n);
-  int u = -1;
-  while (v >= 1024 && u < 4) {
-    v /= 1024;
-    ++u;
-  }
-  char buf[32];
-  if (v < 10) {
-    std::snprintf(buf, sizeof buf, "%.1f%c", v, units[u]);
-  } else {
-    std::snprintf(buf, sizeof buf, "%.0f%c", v, units[u]);
-  }
-  return buf;
-}
-
 // Options shared by recursive commands: expands a path list depth-first.
 VoidResult for_each_recursive(Invocation& inv, const std::string& path,
                               const std::function<VoidResult(

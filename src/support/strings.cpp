@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 
 namespace minicon {
 
@@ -99,6 +100,24 @@ std::string format_octal(std::uint64_t value, int width) {
     value >>= 3;
   }
   return out;
+}
+
+std::string human_size(std::uint64_t n) {
+  if (n < 1024) return std::to_string(n);
+  const char* units = "KMGTP";
+  double v = static_cast<double>(n);
+  int u = -1;
+  while (v >= 1024 && u < 4) {
+    v /= 1024;
+    ++u;
+  }
+  char buf[32];
+  if (v < 10) {
+    std::snprintf(buf, sizeof buf, "%.1f%c", v, units[u]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f%c", v, units[u]);
+  }
+  return buf;
 }
 
 }  // namespace minicon

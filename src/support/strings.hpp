@@ -35,4 +35,8 @@ bool parse_u64(std::string_view s, std::uint64_t& out);
 // printf-like octal / decimal formatting used by ls(1) and tar headers.
 std::string format_octal(std::uint64_t value, int width);
 
+// ls -h / du -h style size rendering: "512", "1.5K", "24M", "3.2G". Shared
+// by the shell's ls and the `service` / `build-cache` usage builtins.
+std::string human_size(std::uint64_t n);
+
 }  // namespace minicon

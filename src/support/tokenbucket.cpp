@@ -1,0 +1,50 @@
+#include "support/tokenbucket.hpp"
+
+#include <algorithm>
+
+namespace minicon::support {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst, Clock clock)
+    : rate_(rate_per_sec),
+      burst_(burst < 0 ? 0 : burst),
+      clock_(clock ? std::move(clock)
+                   : [] { return std::chrono::steady_clock::now(); }),
+      tokens_(burst_),
+      last_(clock_()) {}
+
+void TokenBucket::refill_locked(TimePoint now) {
+  if (now <= last_) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - last_).count();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(double tokens) {
+  if (rate_ <= 0) return true;
+  std::lock_guard lock(mu_);
+  refill_locked(clock_());
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available() {
+  if (rate_ <= 0) return burst_;
+  std::lock_guard lock(mu_);
+  refill_locked(clock_());
+  return tokens_;
+}
+
+std::chrono::microseconds TokenBucket::retry_after(double tokens) {
+  if (rate_ <= 0) return std::chrono::microseconds{0};
+  std::lock_guard lock(mu_);
+  refill_locked(clock_());
+  if (tokens_ >= tokens) return std::chrono::microseconds{0};
+  if (tokens > burst_) return std::chrono::microseconds::max();
+  const double deficit = tokens - tokens_;
+  return std::chrono::microseconds{
+      static_cast<std::int64_t>(deficit / rate_ * 1e6) + 1};
+}
+
+}  // namespace minicon::support

@@ -1,0 +1,54 @@
+// Thread-safe token bucket for per-tenant pull-rate fairness.
+//
+// The registry service admits pulls by spending tokens (bytes) from the
+// pulling tenant's bucket: `rate` tokens refill per second up to `burst`
+// capacity. When the bucket runs dry the service rejects with EAGAIN and a
+// retry hint instead of queuing — backpressure stays at the client, the
+// service never accumulates an unbounded line of waiters (the 10k-client
+// load bench is the sizing argument). The clock is injectable so tests and
+// benches drive refill deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace minicon::support {
+
+class TokenBucket {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Clock = std::function<TimePoint()>;
+
+  // rate_per_sec <= 0 disables limiting (every acquire succeeds). burst is
+  // the bucket capacity; the bucket starts full. `clock` null selects
+  // std::chrono::steady_clock.
+  TokenBucket(double rate_per_sec, double burst, Clock clock = {});
+
+  // Refill to now, then take `tokens` if available. Never blocks.
+  bool try_acquire(double tokens);
+
+  // Tokens available right now (after refill).
+  double available();
+
+  // How long until `tokens` could be acquired, assuming no other spender.
+  // Zero when they are available already; a large value when tokens exceed
+  // burst (the request can never succeed in one acquire).
+  std::chrono::microseconds retry_after(double tokens);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill_locked(TimePoint now);
+
+  const double rate_;
+  const double burst_;
+  Clock clock_;
+  std::mutex mu_;
+  double tokens_;
+  TimePoint last_;
+};
+
+}  // namespace minicon::support

@@ -15,17 +15,23 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # nesting (trace_smoke validates and exits non-zero otherwise).
 "$BUILD_DIR"/examples/trace_smoke "$BUILD_DIR"/trace_smoke.json
 
+# Registry-service smoke: two tenants over one cluster registry — adopt +
+# tag + P2P launch through the service mirror, deterministic quota
+# rejection, CAS tag move, and the GC grace-then-reclaim cycle pair.
+"$BUILD_DIR"/examples/service_smoke 8
+
 # TSAN pass: only the suites that exercise shared mutable state (the
 # registry/chunk-store stress tests, the thread pool itself, the parallel
 # stage scheduler / shared build cache + CoW snapshots, the metrics
-# registry / tracer, and the P2P chunk swarm).
+# registry / tracer, the P2P chunk swarm, and the registry service's
+# concurrent push/tag-move/GC protocol).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target test_concurrency test_threadpool test_buildgraph test_vfs_cow \
-  test_obs test_swarm swarm_smoke
+  test_obs test_swarm test_service swarm_smoke
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs|test_swarm'
+  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs|test_swarm|test_service'
 
 # P2P launch smoke under TSAN: an 8-node peer-to-peer launch where every
 # pool worker reads peer caches concurrently; asserts the registry served
