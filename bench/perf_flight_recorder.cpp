@@ -1,0 +1,117 @@
+// Flight-recorder microbenches: what one recorded event costs, what the
+// disabled check costs, and whether dump() interferes with live writers.
+//
+// The recorder's contract is "cheap enough to leave on": a disabled record
+// is one relaxed load, an enabled one is a detail copy plus a seqlock ring
+// write, and a concurrent dump never blocks a writer. These benches pin
+// those costs so a regression shows up as a number, not as a slow build.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "obs/context.hpp"
+#include "obs/flightrec.hpp"
+
+namespace {
+
+using namespace minicon;
+
+// The no-op path: recorder disabled, every call bails on one relaxed load.
+void BM_RecordDisabled(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  rec.set_enabled(false);
+  for (auto _ : state) {
+    rec.record(obs::FlightKind::kMark, "stat ENOENT /no/such", 2, 1);
+  }
+  benchmark::DoNotOptimize(rec.events_recorded());
+}
+BENCHMARK(BM_RecordDisabled);
+
+// One enabled record with a pre-formatted detail: the seqlock write itself.
+void BM_RecordEnabled(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  for (auto _ : state) {
+    rec.record(obs::FlightKind::kSyscallError, "stat ENOENT /no/such", 2, 1);
+  }
+  state.counters["events"] = static_cast<double>(rec.events_recorded());
+}
+BENCHMARK(BM_RecordEnabled);
+
+// The full record-site shape: flight_detail formatting (op + errno name +
+// path-tail truncation) plus the ring write, under an active trace context.
+void BM_RecordWithDetailFormat(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  obs::TraceScope scope(obs::TraceContext::fresh());
+  for (auto _ : state) {
+    rec.record(obs::FlightKind::kSyscallError,
+               obs::flight_detail("stat", "ENOENT",
+                                  "/home/alice/.local/share/ch-image/no"),
+               2, 1);
+  }
+  state.counters["events"] = static_cast<double>(rec.events_recorded());
+}
+BENCHMARK(BM_RecordWithDetailFormat);
+
+// The same shape through record_error(): detail composed on the stack, no
+// std::string allocation — what ObserveSyscalls actually pays per errno.
+void BM_RecordErrorZeroAlloc(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  obs::TraceScope scope(obs::TraceContext::fresh());
+  for (auto _ : state) {
+    rec.record_error(obs::FlightKind::kSyscallError, "stat", "ENOENT",
+                     "/home/alice/.local/share/ch-image/no", 2, 1);
+  }
+  state.counters["events"] = static_cast<double>(rec.events_recorded());
+}
+BENCHMARK(BM_RecordErrorZeroAlloc);
+
+// Contended writers: every thread owns its ring, so throughput should scale
+// instead of serializing on a shared tail.
+void BM_RecordMultithreaded(benchmark::State& state) {
+  static obs::FlightRecorder* rec = nullptr;
+  if (state.thread_index() == 0) rec = new obs::FlightRecorder(256);
+  for (auto _ : state) {
+    rec->record(obs::FlightKind::kMark, "w", 0, 1);
+  }
+  if (state.thread_index() == 0) {
+    state.counters["events"] = static_cast<double>(rec->events_recorded());
+    delete rec;
+    rec = nullptr;
+  }
+}
+BENCHMARK(BM_RecordMultithreaded)->Threads(4)->UseRealTime();
+
+// Writer latency while a reader dumps in a tight loop: the seqlock must
+// keep the record path wait-free (the reader discards, never blocks).
+void BM_RecordWhileDumping(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  std::atomic<bool> stop{false};
+  std::thread reader([&rec, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      benchmark::DoNotOptimize(rec.dump());
+    }
+  });
+  for (auto _ : state) {
+    rec.record(obs::FlightKind::kMark, "contended", 0, 1);
+  }
+  stop.store(true);
+  reader.join();
+}
+BENCHMARK(BM_RecordWhileDumping);
+
+// dump() cost over full rings: the post-mortem path (failure-time only).
+void BM_DumpFullRings(benchmark::State& state) {
+  obs::FlightRecorder rec(256);
+  for (int i = 0; i < 256; ++i) {
+    rec.record(obs::FlightKind::kMark, "event " + std::to_string(i), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.dump());
+  }
+}
+BENCHMARK(BM_DumpFullRings);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,6 +3,11 @@
 // validate it — well-formed JSON, and spans nesting
 // build → stage → instruction → syscall-batch.
 //
+// Then the flight-recorder forensics smoke: a second build with a fault
+// layer injecting EIO and the recorder on must fail AND leave a
+// post-mortem — a well-formed dump whose fault-injected event carries the
+// build's trace id and precedes the build-failed anchor.
+//
 // Usage: trace_smoke [output.json]. Exits non-zero if the build fails or
 // the exported trace does not validate; tier1.sh runs it as a stage.
 #include <fstream>
@@ -13,6 +18,8 @@
 
 #include "core/chimage.hpp"
 #include "core/cluster.hpp"
+#include "kernel/faultinject.hpp"
+#include "obs/flightrec.hpp"
 #include "shell/obscmd.hpp"
 #include "shell/registry.hpp"
 
@@ -152,8 +159,89 @@ int main(int argc, char** argv) {
     return fail("cache.misses disagrees with CacheStats");
   }
 
+  // --- flight-recorder forensics ------------------------------------------
+  // A doomed build: a fault layer injects EIO on every syscall touching the
+  // file its RUN writes. The build must fail and the always-on recorder
+  // must be able to explain why, filtered to just this build's trace id.
+  obs::FlightRecorder rec(256);
+  core::ChImageOptions fopts;
+  fopts.force = true;
+  fopts.observe_syscalls = true;
+  fopts.metrics = &metrics;
+  fopts.flight_recorder = &rec;
+  fopts.syscall_layers.push_back(
+      [&rec](std::shared_ptr<kernel::Syscalls> inner) {
+        kernel::FaultSpec spec;
+        spec.path_substr = "doomed.txt";
+        spec.error = Err::eio;
+        auto layer = std::make_shared<kernel::FaultInjectSyscalls>(
+            std::move(inner), /*seed=*/42, spec);
+        layer->set_flight_recorder(&rec);
+        return layer;
+      });
+  core::ChImage doomed(cluster.login(), *user, &cluster.registry(), fopts);
+  std::cout << "\n$ ch-image build -t doomed -f Dockerfile .   "
+               "# EIO injected on doomed.txt\n";
+  Transcript dt;
+  if (doomed.build("doomed", "FROM centos:7\nRUN echo x > /doomed.txt\n",
+                   dt) == 0) {
+    return fail("fault-injected build unexpectedly succeeded");
+  }
+
+  const auto events = rec.dump();
+  if (events.empty()) return fail("flight recorder captured nothing");
+  std::uint64_t fault_trace = 0;
+  std::size_t fault_at = events.size();
+  std::size_t failed_at = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == obs::FlightKind::kFaultInjected &&
+        fault_at == events.size()) {
+      fault_at = i;
+      fault_trace = events[i].trace_id;
+    }
+    if (events[i].kind == obs::FlightKind::kBuildFailed) failed_at = i;
+  }
+  if (fault_at == events.size()) return fail("no fault-injected event");
+  if (failed_at == events.size()) return fail("no build-failed anchor event");
+  if (fault_trace == 0) return fail("fault event missing a trace id");
+  if (events[failed_at].trace_id != fault_trace) {
+    return fail("fault and build-failed carry different trace ids");
+  }
+  if (fault_at >= failed_at) {
+    return fail("dump is not causally ordered: fault after build-failed");
+  }
+
+  // The rendered post-mortem, filtered to the doomed build: a summary
+  // header, one indented "+<t>us" line per event, the injected EIO visible.
+  const std::string dump = rec.dump_text(fault_trace);
+  if (dump.rfind("flight recorder: ", 0) != 0) {
+    return fail("dump_text missing summary header");
+  }
+  std::size_t lines = 0;
+  for (std::size_t pos = dump.find('\n');
+       pos != std::string::npos && pos + 1 < dump.size();
+       pos = dump.find('\n', pos + 1)) {
+    ++lines;
+    if (dump.compare(pos + 1, 3, "  +") != 0) {
+      return fail("malformed dump line after offset " + std::to_string(pos));
+    }
+  }
+  if (lines == 0) return fail("dump_text has no event lines");
+  for (const char* needle : {"fault-injected", "EIO", "build-failed"}) {
+    if (dump.find(needle) == std::string::npos) {
+      return fail(std::string("post-mortem missing ") + needle);
+    }
+  }
+  if (dump.find("fault-injected") > dump.find("build-failed")) {
+    return fail("post-mortem text out of causal order");
+  }
+
+  std::cout << "\n$ flight dump " << std::hex << fault_trace << std::dec
+            << "\n"
+            << dump;
   std::cout << "\n$ trace tree\n" << ch.tracer()->span_tree();
   std::cout << "\ntrace_smoke: OK: " << spans.size() << " spans -> "
-            << out_path << "\n";
+            << out_path << ", " << events.size()
+            << " flight events for the doomed build\n";
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flightrec.hpp"
 #include "shell/registry.hpp"
 #include "support/sha256.hpp"
 #include "vfs/snapshot.hpp"
@@ -111,6 +112,7 @@ void BuildCache::evict_locked() {
       if (it->second.stamp < oldest->second.stamp) oldest = it;
     }
     const std::uint64_t dropped = oldest->second.snapshot->tree_bytes;
+    const std::string key = oldest->first;
     stats_.bytes -= dropped;
     entries_.erase(oldest);
     ++stats_.evictions;
@@ -119,6 +121,12 @@ void BuildCache::evict_locked() {
     // `metrics` registry can never disagree after eviction pressure.
     evictions_metric_->add();
     evicted_bytes_metric_->add(dropped);
+    // Evictions are a classic "why did my warm build miss" forensic: leave
+    // the key prefix and the freed bytes in the flight recorder.
+    obs::FlightRecorder& rec = obs::global_flight_recorder();
+    if (rec.enabled()) {
+      rec.record(obs::FlightKind::kCacheEvict, key.substr(0, 16), 0, dropped);
+    }
   }
   stats_.entries = entries_.size();
   // Levels, not deltas: a shared registry may also serve another cache, so

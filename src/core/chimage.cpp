@@ -8,6 +8,7 @@
 #include "image/tar.hpp"
 #include "kernel/observe.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/flightrec.hpp"
 #include "support/path.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
@@ -90,6 +91,9 @@ ChImage::ChImage(Machine& m, kernel::Process invoker,
   }
   metrics_ = options_.metrics != nullptr ? options_.metrics
                                          : &obs::global_metrics();
+  recorder_ = options_.flight_recorder != nullptr
+                  ? options_.flight_recorder
+                  : &obs::global_flight_recorder();
   if (options_.tracer != nullptr) {
     tracer_ = options_.tracer;
     options_.trace = true;  // a supplied tracer implies tracing
@@ -190,8 +194,8 @@ Result<kernel::Process> ChImage::enter(const std::string& image_dir,
   // syscall.errno.* counters (it is counted as syscall.fault_injected by
   // the fault layer instead).
   if (options_.trace || options_.observe_syscalls) {
-    container.sys =
-        std::make_shared<kernel::ObserveSyscalls>(container.sys, metrics_);
+    container.sys = std::make_shared<kernel::ObserveSyscalls>(
+        container.sys, metrics_, recorder_);
   }
   for (const auto& layer : options_.syscall_layers) {
     if (layer) container.sys = layer(container.sys);
@@ -355,9 +359,15 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
   const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
   std::vector<StageBuild> sb(g.stages().size());
+  // Adopt the caller's trace context (a cluster launch, a test harness) or
+  // mint one: either way every span and flight event below carries it.
+  trace_ctx_ = obs::current_trace().active() ? obs::current_trace()
+                                             : obs::TraceContext::fresh();
+  obs::TraceScope trace_scope(trace_ctx_);
   obs::Span build_span(tracer_.get(), "build");
   build_span.annotate("builder", "ch-image");
   build_span.annotate("tag", tag);
+  build_span.annotate("trace_id", trace_ctx_.hex());
   buildgraph::StageScheduler::Options sopts;
   sopts.pool =
       options_.stage_pool != nullptr ? options_.stage_pool.get() : nullptr;
@@ -373,7 +383,16 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
       t);
   sched_stats_ = sched.stats();
   build_span.annotate("status", std::to_string(rc));
-  if (rc != 0) return rc;
+  if (rc != 0) {
+    // Failure forensics: the post-mortem anchor event. Whatever syscall
+    // errors / injected faults led here share this trace id — dump the
+    // recorder filtered by it to read the causal chain.
+    if (recorder_->enabled()) {
+      recorder_->record(obs::FlightKind::kBuildFailed,
+                        obs::flight_detail("ch-image", "", tag), rc);
+    }
+    return rc;
+  }
 
   const StageBuild& target = sb[static_cast<std::size_t>(g.target())];
   configs_[tag] = target.cfg;
@@ -404,6 +423,9 @@ int ChImage::build_stage(const std::string& tag,
                          const buildgraph::Stage& s,
                          std::vector<StageBuild>& sb, Transcript& t,
                          obs::SpanId stage_span) {
+  // Stages migrate across pool workers; re-establish the build's context on
+  // whichever thread actually runs this stage.
+  obs::TraceScope trace_scope(trace_ctx_);
   std::unique_lock lock(machine_mu_);
   StageBuild& o = sb[static_cast<std::size_t>(s.index)];
   // The final stage *is* the image; intermediates get side directories.

@@ -31,6 +31,8 @@
 #include "kernel/syscall_filter.hpp"
 #include "kernel/trace.hpp"
 #include "image/registry.hpp"
+#include "obs/context.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "image/tar.hpp"
@@ -109,6 +111,10 @@ struct ChImageOptions {
   // Registry the build reports into; null = obs::global_metrics(). Also
   // re-points the build cache's mirrored counters.
   obs::MetricsRegistry* metrics = nullptr;
+  // Flight recorder the build's notable events (syscall errors, build
+  // failures) land in; null = obs::global_flight_recorder(). Benches and
+  // tests pass a private ring for isolation / a true recorder-off column.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 class ChImage {
@@ -230,7 +236,13 @@ class ChImage {
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
   std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on
+  // The running build's trace context: established in build() (inherited
+  // from the caller when one is active), re-installed in build_stage() on
+  // whichever pool worker runs the stage, so syscall errors and injected
+  // faults inside any stage carry the build's trace id.
+  obs::TraceContext trace_ctx_;
   obs::MetricsRegistry* metrics_ = nullptr;  // resolved in the constructor
+  obs::FlightRecorder* recorder_ = nullptr;  // resolved in the constructor
   // Digest-keyed memo for flatten_snapshot: repeated pushes of a mostly
   // unchanged image re-transform only the changed paths.
   std::map<std::string, vfs::SnapNodePtr> flatten_memo_;

@@ -12,6 +12,7 @@
 #include "fakeroot/fakeroot.hpp"
 #include "image/tar.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/flightrec.hpp"
 #include "pkg/managers.hpp"
 #include "support/path.hpp"
 #include "vfs/snapshot.hpp"
@@ -181,13 +182,35 @@ Cluster::LaunchResult Cluster::parallel_launch(
 Cluster::LaunchResult Cluster::parallel_launch(
     const std::string& image_ref, const std::vector<std::string>& argv,
     const LaunchOptions& options) {
+  // One trace id for the whole launch: explicit > inherited > fresh. The
+  // scope installs it on this thread; fan-out bodies re-install a per-node
+  // copy on whichever pool worker runs them.
+  obs::TraceContext ctx =
+      options.trace.active() ? options.trace : obs::current_trace();
+  if (!ctx.active()) ctx = obs::TraceContext::fresh();
+  obs::TraceScope trace_scope(ctx);
+  obs::Span launch_span(options.tracer.get(), "cluster.launch");
+  launch_span.annotate("trace_id", ctx.hex());
+  launch_span.annotate("nodes", std::to_string(compute_.size()));
+  // Every exit path stamps the trace id and, on any node failure, snapshots
+  // the launch's flight-recorder post-mortem while the evidence is fresh.
+  auto finish = [&](LaunchResult& r) -> LaunchResult {
+    r.trace_id = ctx.trace_id;
+    if (r.nodes_failed > 0) {
+      r.post_mortem = obs::global_flight_recorder().dump_text(r.trace_id);
+    }
+    return std::move(r);
+  };
   const std::uint64_t served_before = registry_.bytes_served();
   LaunchResult result;
   if (options.mode == LaunchMode::kP2P) {
+    launch_span.annotate("mode", "p2p");
     result = launch_p2p(image_ref, argv, options);
     result.registry_bytes = registry_.bytes_served() - served_before;
-    return result;
+    return finish(result);
   }
+  launch_span.annotate(
+      "mode", options.mode == LaunchMode::kSharedFs ? "sharedfs" : "pull");
   result.outputs.resize(compute_.size());
 
   // Shared-filesystem mode: extract the flat image once, every node enters
@@ -198,12 +221,12 @@ Cluster::LaunchResult Cluster::parallel_launch(
     if (!manifest) manifest = registry_.get_manifest(image_ref);
     if (!manifest) {
       result.nodes_failed = compute_count();
-      return result;
+      return finish(result);
     }
     auto user = user_on(login());
     if (!user.ok()) {
       result.nodes_failed = compute_count();
-      return result;
+      return finish(result);
     }
     shared_image_dir = "/lustre/home/" + options_.user + "/images/" +
                        std::to_string(manifest->layers.size());
@@ -220,7 +243,7 @@ Cluster::LaunchResult Cluster::parallel_launch(
     Transcript t;
     if (ch.pull(image_ref, "launch", t) != 0) {
       result.nodes_failed = compute_count();
-      return result;
+      return finish(result);
     }
     shared_image_dir =
         "/lustre/home/" + options_.user + "/.chimage/img/launch";
@@ -234,11 +257,21 @@ Cluster::LaunchResult Cluster::parallel_launch(
   support::ThreadPool& pool = launch_pool(pool_width);
   std::atomic<int> nodes_ok{0};
   std::atomic<int> nodes_failed{0};
+  if (obs::FlightRecorder& rec = obs::global_flight_recorder();
+      rec.enabled()) {
+    rec.record(obs::FlightKind::kLaunchPhase,
+               options.mode == LaunchMode::kSharedFs ? "launch sharedfs"
+                                                     : "launch pull-per-node",
+               0, compute_.size());
+  }
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<void>> jobs;
   jobs.reserve(compute_.size());
   for (std::size_t i = 0; i < compute_.size(); ++i) {
     jobs.push_back(pool.submit([&, i] {
+      obs::TraceContext node_ctx = ctx;
+      node_ctx.node = static_cast<int>(i);
+      obs::TraceScope node_scope(node_ctx);
       Machine& node = *compute_[i];
       auto user = node.login(options_.user);
       if (!user.ok()) {
@@ -286,12 +319,21 @@ Cluster::LaunchResult Cluster::parallel_launch(
   result.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   result.registry_bytes = registry_.bytes_served() - served_before;
-  return result;
+  return finish(result);
 }
 
 Cluster::LaunchResult Cluster::launch_p2p(
     const std::string& image_ref, const std::vector<std::string>& argv,
     const LaunchOptions& options) {
+  // parallel_launch installed the launch's context on this thread; phases
+  // below re-install a node-stamped copy on every pool worker.
+  const obs::TraceContext ctx = obs::current_trace();
+  auto phase_mark = [&](const char* name) {
+    obs::FlightRecorder& rec = obs::global_flight_recorder();
+    if (rec.enabled()) {
+      rec.record(obs::FlightKind::kLaunchPhase, name, 0, compute_.size());
+    }
+  };
   LaunchResult result;
   result.outputs.resize(compute_.size());
 
@@ -310,7 +352,8 @@ Cluster::LaunchResult Cluster::launch_p2p(
   std::vector<image::ChunkCache*> caches;
   caches.reserve(node_caches_.size());
   for (const auto& c : node_caches_) caches.push_back(c.get());
-  image::Swarm swarm(&registry_, std::move(caches));
+  image::Swarm swarm(&registry_, std::move(caches),
+                     image::SwarmOptions{nullptr, options.tracer});
   if (auto rc = swarm.prepare(*manifest); !rc.ok()) {
     result.nodes_failed = compute_count();
     return result;
@@ -346,13 +389,19 @@ Cluster::LaunchResult Cluster::launch_p2p(
     std::vector<std::future<void>> jobs;
     jobs.reserve(compute_.size());
     for (std::size_t i = 0; i < compute_.size(); ++i) {
-      jobs.push_back(pool.submit([&body, i] { body(i); }));
+      jobs.push_back(pool.submit([&body, &ctx, i] {
+        obs::TraceContext node_ctx = ctx;
+        node_ctx.node = static_cast<int>(i);
+        obs::TraceScope node_scope(node_ctx);
+        body(i);
+      }));
     }
     for (auto& j : jobs) j.get();
   };
 
   // Phase 1 — seed: every node logs in, stages its rendezvous-assigned
   // shard from the registry, and commits a receipt to node-local storage.
+  phase_mark("p2p seed");
   fan_out([&](std::size_t i) {
     const int node = static_cast<int>(i);
     auto user = compute_[i]->login(options_.user);
@@ -379,6 +428,7 @@ Cluster::LaunchResult Cluster::launch_p2p(
 
   // Phase 2 — exchange: obtain every remaining chunk from its seeder's
   // cache; seeders that died in phase 1 fall back to the registry.
+  phase_mark("p2p exchange");
   fan_out([&](std::size_t i) {
     const int node = static_cast<int>(i);
     if (nodes[i].dead) return;
@@ -392,6 +442,7 @@ Cluster::LaunchResult Cluster::launch_p2p(
   });
 
   // Phase 3 — materialize the staged image into node-local storage and run.
+  phase_mark("p2p materialize");
   std::atomic<int> nodes_ok{0};
   std::atomic<int> nodes_failed{0};
   fan_out([&](std::size_t i) {

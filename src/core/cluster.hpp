@@ -12,6 +12,8 @@
 #include "image/registry.hpp"
 #include "image/swarm.hpp"
 #include "kernel/syscall_filter.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 #include "pkg/package.hpp"
 #include "support/threadpool.hpp"
 #include "vfs/sharedfs.hpp"
@@ -83,6 +85,13 @@ class Cluster {
     // processes, keyed by node index — fault injection for robustness
     // tests: a faulted node's pull or staging fails, the rest proceed.
     std::map<int, std::vector<kernel::SyscallLayerFn>> node_syscall_layers;
+    // Trace context for the launch. When inactive, the ambient
+    // obs::current_trace() is inherited; when that is inactive too, a fresh
+    // id is minted. Every flight-recorder event the launch produces — on
+    // every node, on every pool worker — carries this id.
+    obs::TraceContext trace;
+    // Span tracer for cluster.launch / swarm.* spans (null = no spans).
+    std::shared_ptr<obs::Tracer> tracer;
   };
 
   struct LaunchResult {
@@ -97,6 +106,12 @@ class Cluster {
     std::uint64_t registry_bytes = 0;
     std::uint64_t peer_bytes = 0;
     std::uint64_t image_bytes = 0;
+    // The launch's trace id (never 0) — dump the flight recorder filtered
+    // by it to see only this launch's events.
+    std::uint64_t trace_id = 0;
+    // When any node failed: the recorder's causally-ordered post-mortem for
+    // this launch (FlightRecorder::dump_text filtered by trace_id).
+    std::string post_mortem;
   };
 
   // Fig 6 final stage: run argv in a Type III container on every compute

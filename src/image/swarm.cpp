@@ -192,6 +192,9 @@ Swarm::Swarm(Registry* registry, std::vector<ChunkCache*> caches,
 
 VoidResult Swarm::prepare(const Manifest& manifest) {
   obs::Span span(tracer_.get(), "swarm.plan");
+  if (const obs::TraceContext ctx = obs::current_trace(); ctx.active()) {
+    span.annotate("trace_id", ctx.hex());
+  }
   const int nodes = static_cast<int>(caches_.size());
   auto chunks = registry_->chunk_manifest(manifest);
   if (!chunks.ok()) return chunks.error();
@@ -222,7 +225,7 @@ VoidResult Swarm::prepare(const Manifest& manifest) {
 
 // Flushes a phase's accumulated stats into the swarm aggregates and the
 // metrics registry: a handful of atomic adds per phase call, not per chunk.
-void Swarm::flush_stats(const FetchStats& stats) {
+void Swarm::flush_stats(const FetchStats& stats, const char* phase, int node) {
   if (stats.registry_bytes > 0 || stats.chunks_from_registry > 0) {
     registry_bytes_ += stats.registry_bytes;
     registry_bytes_metric_->add(stats.registry_bytes);
@@ -237,6 +240,17 @@ void Swarm::flush_stats(const FetchStats& stats) {
   const std::uint64_t moved =
       stats.chunks_from_registry + stats.chunks_from_peers;
   if (moved > 0) chunks_exchanged_metric_->add(moved);
+  obs::FlightRecorder& rec = obs::global_flight_recorder();
+  if (!rec.enabled()) return;
+  // One event per phase call, not per chunk: code = chunks left missing,
+  // arg = chunks moved. Fallbacks get their own event so a post-mortem
+  // shows the reroute after the seeder's death without grepping details.
+  rec.record(obs::FlightKind::kChunkTransfer, phase,
+             static_cast<int>(stats.chunks_missing), moved, node);
+  if (stats.registry_fallbacks > 0) {
+    rec.record(obs::FlightKind::kRegistryFallback, phase, 0,
+               stats.registry_fallbacks, node);
+  }
 }
 
 Swarm::FetchStats Swarm::seed(int node) {
@@ -279,10 +293,13 @@ Swarm::FetchStats Swarm::seed(int node) {
     ++stats.chunks_from_registry;
   }
   own.put_many(refs, wanted, bufs);
-  flush_stats(stats);
+  flush_stats(stats, "seed", node);
   if (tracer_ != nullptr) {
     span.annotate("node", std::to_string(node));
     span.annotate("registry_bytes", std::to_string(stats.registry_bytes));
+    if (const obs::TraceContext ctx = obs::current_trace(); ctx.active()) {
+      span.annotate("trace_id", ctx.hex());
+    }
   }
   return stats;
 }
@@ -351,11 +368,14 @@ Swarm::FetchStats Swarm::exchange(int node) {
     lo = hi;
   }
   own.put_many(refs, got, acquired);
-  flush_stats(stats);
+  flush_stats(stats, "exchange", node);
   if (tracer_ != nullptr) {
     span.annotate("node", std::to_string(node));
     span.annotate("peer_bytes", std::to_string(stats.peer_bytes));
     span.annotate("fallbacks", std::to_string(stats.registry_fallbacks));
+    if (const obs::TraceContext ctx = obs::current_trace(); ctx.active()) {
+      span.annotate("trace_id", ctx.hex());
+    }
   }
   return stats;
 }
@@ -366,6 +386,10 @@ void Swarm::mark_failed(int node) {
   // A dead node serves nobody; dropping its cache keeps the model honest
   // (peers re-route to the registry rather than reading a ghost).
   cache(node).clear();
+  obs::FlightRecorder& rec = obs::global_flight_recorder();
+  if (rec.enabled()) {
+    rec.record(obs::FlightKind::kNodeDead, "swarm seeder down", 0, 0, node);
+  }
 }
 
 bool Swarm::failed(int node) const {

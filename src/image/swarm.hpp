@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "image/registry.hpp"
+#include "obs/context.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -176,7 +178,10 @@ class Swarm {
   std::uint64_t registry_bytes() const { return registry_bytes_.load(); }
 
  private:
-  void flush_stats(const FetchStats& stats);
+  // Flushes a phase's stats into the aggregates, the metrics registry, and
+  // the flight recorder (`chunk-transfer` per phase call, plus a
+  // `registry-fallback` event when a dead seeder's shard was rerouted).
+  void flush_stats(const FetchStats& stats, const char* phase, int node);
 
   Registry* registry_;
   std::vector<std::unique_ptr<ChunkCache>> owned_caches_;

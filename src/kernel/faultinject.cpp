@@ -28,6 +28,11 @@ void FaultInjectSyscalls::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
 }
 
+void FaultInjectSyscalls::set_flight_recorder(obs::FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+}
+
 std::uint64_t FaultInjectSyscalls::next_random() {
   // xorshift64*: deterministic, state advances only on a spec match so
   // unrelated traffic cannot shift the failure point.
@@ -59,6 +64,13 @@ Err FaultInjectSyscalls::should_fail(const char* op, const std::string& path) {
       metrics_->counter("syscall.fault_injected." +
                         std::string(err_name(s.error)))
           .add();
+    }
+    obs::FlightRecorder* rec =
+        recorder_ != nullptr ? recorder_ : &obs::global_flight_recorder();
+    if (rec->enabled()) {
+      rec->record(obs::FlightKind::kFaultInjected,
+                  obs::flight_detail(op, err_name(s.error), path),
+                  err_value(s.error));
     }
     return s.error;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kernel/syscall_filter.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
 namespace minicon::kernel {
@@ -56,6 +57,13 @@ class FaultInjectSyscalls : public SyscallFilter {
   // by construction. Null detaches.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  // Every fired fault is also recorded to the flight recorder as a
+  // `fault-injected` event ("op ERRNAME path", stamped with the current
+  // trace context) — the forensic trail a post-mortem orders against the
+  // downstream damage. Defaults to obs::global_flight_recorder(); this
+  // redirects it (tests use a private recorder). Null restores the global.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   Result<vfs::Stat> stat(Process& p, const std::string& path) override;
   Result<vfs::Stat> lstat(Process& p, const std::string& path) override;
   Result<std::string> read_file(Process& p, const std::string& path) override;
@@ -97,7 +105,8 @@ class FaultInjectSyscalls : public SyscallFilter {
   std::uint64_t next_random();  // xorshift64*, seeded
 
   mutable std::mutex mu_;
-  obs::MetricsRegistry* metrics_ = nullptr;  // guarded by mu_
+  obs::MetricsRegistry* metrics_ = nullptr;   // guarded by mu_
+  obs::FlightRecorder* recorder_ = nullptr;   // guarded by mu_; null = global
   std::vector<FaultSpec> specs_;
   std::vector<std::uint64_t> matched_;  // per-spec matching-call counts
   std::vector<std::uint64_t> fired_;    // per-spec injected-fault counts

@@ -25,9 +25,12 @@ Err error_of(const R& r) {
 }  // namespace
 
 ObserveSyscalls::ObserveSyscalls(std::shared_ptr<Syscalls> inner,
-                                 obs::MetricsRegistry* metrics)
+                                 obs::MetricsRegistry* metrics,
+                                 obs::FlightRecorder* recorder)
     : SyscallFilter(std::move(inner)),
       metrics_(metrics != nullptr ? metrics : &obs::global_metrics()),
+      recorder_(recorder != nullptr ? recorder
+                                    : &obs::global_flight_recorder()),
       calls_(&metrics_->counter("syscall.calls")),
       errors_(&metrics_->counter("syscall.errors")),
       latency_(&metrics_->histogram("syscall.latency_us")) {
@@ -40,8 +43,14 @@ ObserveSyscalls::ObserveSyscalls(std::shared_ptr<Syscalls> inner,
   }
 }
 
+namespace {
+// Placeholder for operations with no path argument (identity calls).
+const std::string kNoPath;
+}  // namespace
+
 void ObserveSyscalls::note(const char* op, Err e,
-                           std::chrono::steady_clock::time_point start) {
+                           std::chrono::steady_clock::time_point start,
+                           const std::string& path) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   calls_->add();
   latency_->observe(
@@ -53,189 +62,195 @@ void ObserveSyscalls::note(const char* op, Err e,
     if (it != ops_.end()) it->second.errors->add();
     // Error paths are cold; the shard-locked lookup is fine here.
     metrics_->counter("syscall.errno." + std::string(err_name(e))).add();
+    if (recorder_->enabled()) {
+      recorder_->record_error(obs::FlightKind::kSyscallError, op, err_name(e),
+                              path, err_value(e));
+    }
   }
 }
 
 // Forward through the filter base, timing the inner call and recording the
 // observed outcome.
-#define MINICON_OBSERVE(op, call)                      \
+#define MINICON_OBSERVE(op, path, call)                \
   const auto t0 = std::chrono::steady_clock::now();    \
   auto r = SyscallFilter::call;                        \
-  note(op, error_of(r), t0);                           \
+  note(op, error_of(r), t0, path);                     \
   return r
 
 Result<vfs::Stat> ObserveSyscalls::stat(Process& p, const std::string& path) {
-  MINICON_OBSERVE("stat", stat(p, path));
+  MINICON_OBSERVE("stat", path, stat(p, path));
 }
 Result<vfs::Stat> ObserveSyscalls::lstat(Process& p, const std::string& path) {
-  MINICON_OBSERVE("lstat", lstat(p, path));
+  MINICON_OBSERVE("lstat", path, lstat(p, path));
 }
 Result<std::string> ObserveSyscalls::read_file(Process& p,
                                                const std::string& path) {
-  MINICON_OBSERVE("read", read_file(p, path));
+  MINICON_OBSERVE("read", path, read_file(p, path));
 }
 VoidResult ObserveSyscalls::write_file(Process& p, const std::string& path,
                                        std::string data, bool append,
                                        std::uint32_t create_mode) {
-  MINICON_OBSERVE("write",
+  MINICON_OBSERVE("write", path,
                   write_file(p, path, std::move(data), append, create_mode));
 }
 Result<std::vector<vfs::DirEntry>> ObserveSyscalls::readdir(
     Process& p, const std::string& path) {
-  MINICON_OBSERVE("readdir", readdir(p, path));
+  MINICON_OBSERVE("readdir", path, readdir(p, path));
 }
 Result<std::string> ObserveSyscalls::readlink(Process& p,
                                               const std::string& path) {
-  MINICON_OBSERVE("readlink", readlink(p, path));
+  MINICON_OBSERVE("readlink", path, readlink(p, path));
 }
 VoidResult ObserveSyscalls::mkdir(Process& p, const std::string& path,
                                   std::uint32_t mode) {
-  MINICON_OBSERVE("mkdir", mkdir(p, path, mode));
+  MINICON_OBSERVE("mkdir", path, mkdir(p, path, mode));
 }
 VoidResult ObserveSyscalls::mknod(Process& p, const std::string& path,
                                   vfs::FileType type, std::uint32_t mode,
                                   std::uint32_t dev_major,
                                   std::uint32_t dev_minor) {
-  MINICON_OBSERVE("mknod", mknod(p, path, type, mode, dev_major, dev_minor));
+  MINICON_OBSERVE("mknod", path, mknod(p, path, type, mode, dev_major, dev_minor));
 }
 VoidResult ObserveSyscalls::symlink(Process& p, const std::string& target,
                                     const std::string& linkpath) {
-  MINICON_OBSERVE("symlink", symlink(p, target, linkpath));
+  MINICON_OBSERVE("symlink", linkpath, symlink(p, target, linkpath));
 }
 VoidResult ObserveSyscalls::link(Process& p, const std::string& oldpath,
                                  const std::string& newpath) {
-  MINICON_OBSERVE("link", link(p, oldpath, newpath));
+  MINICON_OBSERVE("link", newpath, link(p, oldpath, newpath));
 }
 VoidResult ObserveSyscalls::unlink(Process& p, const std::string& path) {
-  MINICON_OBSERVE("unlink", unlink(p, path));
+  MINICON_OBSERVE("unlink", path, unlink(p, path));
 }
 VoidResult ObserveSyscalls::rmdir(Process& p, const std::string& path) {
-  MINICON_OBSERVE("rmdir", rmdir(p, path));
+  MINICON_OBSERVE("rmdir", path, rmdir(p, path));
 }
 VoidResult ObserveSyscalls::rename(Process& p, const std::string& oldpath,
                                    const std::string& newpath) {
-  MINICON_OBSERVE("rename", rename(p, oldpath, newpath));
+  MINICON_OBSERVE("rename", oldpath, rename(p, oldpath, newpath));
 }
 VoidResult ObserveSyscalls::chown(Process& p, const std::string& path, Uid uid,
                                   Gid gid, bool follow) {
-  MINICON_OBSERVE("chown", chown(p, path, uid, gid, follow));
+  MINICON_OBSERVE("chown", path, chown(p, path, uid, gid, follow));
 }
 VoidResult ObserveSyscalls::chmod(Process& p, const std::string& path,
                                   std::uint32_t mode) {
-  MINICON_OBSERVE("chmod", chmod(p, path, mode));
+  MINICON_OBSERVE("chmod", path, chmod(p, path, mode));
 }
 VoidResult ObserveSyscalls::access(Process& p, const std::string& path,
                                    int mask) {
-  MINICON_OBSERVE("access", access(p, path, mask));
+  MINICON_OBSERVE("access", path, access(p, path, mask));
 }
 VoidResult ObserveSyscalls::chdir(Process& p, const std::string& path) {
-  MINICON_OBSERVE("chdir", chdir(p, path));
+  MINICON_OBSERVE("chdir", path, chdir(p, path));
 }
 
 VoidResult ObserveSyscalls::set_xattr(Process& p, const std::string& path,
                                       const std::string& name,
                                       const std::string& value) {
-  MINICON_OBSERVE("setxattr", set_xattr(p, path, name, value));
+  MINICON_OBSERVE("setxattr", path, set_xattr(p, path, name, value));
 }
 Result<std::string> ObserveSyscalls::get_xattr(Process& p,
                                                const std::string& path,
                                                const std::string& name) {
-  MINICON_OBSERVE("getxattr", get_xattr(p, path, name));
+  MINICON_OBSERVE("getxattr", path, get_xattr(p, path, name));
 }
 Result<std::vector<std::string>> ObserveSyscalls::list_xattrs(
     Process& p, const std::string& path) {
-  MINICON_OBSERVE("listxattr", list_xattrs(p, path));
+  MINICON_OBSERVE("listxattr", path, list_xattrs(p, path));
 }
 VoidResult ObserveSyscalls::remove_xattr(Process& p, const std::string& path,
                                          const std::string& name) {
-  MINICON_OBSERVE("removexattr", remove_xattr(p, path, name));
+  MINICON_OBSERVE("removexattr", path, remove_xattr(p, path, name));
 }
 
 Uid ObserveSyscalls::getuid(Process& p) {
   const auto t0 = std::chrono::steady_clock::now();
   const Uid r = SyscallFilter::getuid(p);
-  note("getuid", Err::none, t0);
+  note("getuid", Err::none, t0, kNoPath);
   return r;
 }
 Uid ObserveSyscalls::geteuid(Process& p) {
   const auto t0 = std::chrono::steady_clock::now();
   const Uid r = SyscallFilter::geteuid(p);
-  note("geteuid", Err::none, t0);
+  note("geteuid", Err::none, t0, kNoPath);
   return r;
 }
 Gid ObserveSyscalls::getgid(Process& p) {
   const auto t0 = std::chrono::steady_clock::now();
   const Gid r = SyscallFilter::getgid(p);
-  note("getgid", Err::none, t0);
+  note("getgid", Err::none, t0, kNoPath);
   return r;
 }
 Gid ObserveSyscalls::getegid(Process& p) {
   const auto t0 = std::chrono::steady_clock::now();
   const Gid r = SyscallFilter::getegid(p);
-  note("getegid", Err::none, t0);
+  note("getegid", Err::none, t0, kNoPath);
   return r;
 }
 std::vector<Gid> ObserveSyscalls::getgroups(Process& p) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<Gid> r = SyscallFilter::getgroups(p);
-  note("getgroups", Err::none, t0);
+  note("getgroups", Err::none, t0, kNoPath);
   return r;
 }
 VoidResult ObserveSyscalls::setuid(Process& p, Uid uid) {
-  MINICON_OBSERVE("setuid", setuid(p, uid));
+  MINICON_OBSERVE("setuid", kNoPath, setuid(p, uid));
 }
 VoidResult ObserveSyscalls::setgid(Process& p, Gid gid) {
-  MINICON_OBSERVE("setgid", setgid(p, gid));
+  MINICON_OBSERVE("setgid", kNoPath, setgid(p, gid));
 }
 VoidResult ObserveSyscalls::setresuid(Process& p, Uid ru, Uid eu, Uid su) {
-  MINICON_OBSERVE("setresuid", setresuid(p, ru, eu, su));
+  MINICON_OBSERVE("setresuid", kNoPath, setresuid(p, ru, eu, su));
 }
 VoidResult ObserveSyscalls::setresgid(Process& p, Gid rg, Gid eg, Gid sg) {
-  MINICON_OBSERVE("setresgid", setresgid(p, rg, eg, sg));
+  MINICON_OBSERVE("setresgid", kNoPath, setresgid(p, rg, eg, sg));
 }
 VoidResult ObserveSyscalls::seteuid(Process& p, Uid e) {
-  MINICON_OBSERVE("seteuid", seteuid(p, e));
+  MINICON_OBSERVE("seteuid", kNoPath, seteuid(p, e));
 }
 VoidResult ObserveSyscalls::setegid(Process& p, Gid e) {
-  MINICON_OBSERVE("setegid", setegid(p, e));
+  MINICON_OBSERVE("setegid", kNoPath, setegid(p, e));
 }
 VoidResult ObserveSyscalls::setgroups(Process& p,
                                       const std::vector<Gid>& groups) {
-  MINICON_OBSERVE("setgroups", setgroups(p, groups));
+  MINICON_OBSERVE("setgroups", kNoPath, setgroups(p, groups));
 }
 
 VoidResult ObserveSyscalls::unshare_userns(Process& p) {
-  MINICON_OBSERVE("unshare", unshare_userns(p));
+  MINICON_OBSERVE("unshare", kNoPath, unshare_userns(p));
 }
 VoidResult ObserveSyscalls::unshare_mountns(Process& p) {
-  MINICON_OBSERVE("unshare", unshare_mountns(p));
+  MINICON_OBSERVE("unshare", kNoPath, unshare_mountns(p));
 }
 VoidResult ObserveSyscalls::write_uid_map(Process& writer,
                                           const UserNsPtr& target, IdMap map) {
-  MINICON_OBSERVE("write", write_uid_map(writer, target, std::move(map)));
+  MINICON_OBSERVE("write", kNoPath, write_uid_map(writer, target, std::move(map)));
 }
 VoidResult ObserveSyscalls::write_gid_map(Process& writer,
                                           const UserNsPtr& target, IdMap map) {
-  MINICON_OBSERVE("write", write_gid_map(writer, target, std::move(map)));
+  MINICON_OBSERVE("write", kNoPath, write_gid_map(writer, target, std::move(map)));
 }
 VoidResult ObserveSyscalls::write_setgroups(
     Process& writer, const UserNsPtr& target,
     UserNamespace::SetgroupsPolicy policy) {
-  MINICON_OBSERVE("write", write_setgroups(writer, target, policy));
+  MINICON_OBSERVE("write", kNoPath, write_setgroups(writer, target, policy));
 }
 VoidResult ObserveSyscalls::userns_auto_map(Process& p) {
-  MINICON_OBSERVE("userns_auto_map", userns_auto_map(p));
+  MINICON_OBSERVE("userns_auto_map", kNoPath, userns_auto_map(p));
 }
 VoidResult ObserveSyscalls::mount(Process& p, Mount m) {
-  MINICON_OBSERVE("mount", mount(p, std::move(m)));
+  // Copy before the macro body moves `m` into the inner call.
+  const std::string where = m.mountpoint;
+  MINICON_OBSERVE("mount", where, mount(p, std::move(m)));
 }
 VoidResult ObserveSyscalls::umount(Process& p, const std::string& mountpoint) {
-  MINICON_OBSERVE("umount", umount(p, mountpoint));
+  MINICON_OBSERVE("umount", mountpoint, umount(p, mountpoint));
 }
 VoidResult ObserveSyscalls::bind_mount(Process& p, const std::string& src,
                                        const std::string& dst,
                                        bool read_only) {
-  MINICON_OBSERVE("mount", bind_mount(p, src, dst, read_only));
+  MINICON_OBSERVE("mount", dst, bind_mount(p, src, dst, read_only));
 }
 
 Result<Loc> ObserveSyscalls::resolve(Process& p, const std::string& path,

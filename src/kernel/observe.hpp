@@ -21,15 +21,21 @@
 #include <unordered_map>
 
 #include "kernel/syscall_filter.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
 namespace minicon::kernel {
 
 class ObserveSyscalls : public SyscallFilter {
  public:
-  // null metrics = obs::global_metrics().
+  // null metrics = obs::global_metrics(); null recorder =
+  // obs::global_flight_recorder(). Organic errors additionally land in the
+  // flight recorder as `syscall-error` events ("op ERRNAME path", stamped
+  // with the current trace context) — the error path is already cold, so
+  // forensics ride along for free.
   explicit ObserveSyscalls(std::shared_ptr<Syscalls> inner,
-                           obs::MetricsRegistry* metrics = nullptr);
+                           obs::MetricsRegistry* metrics = nullptr,
+                           obs::FlightRecorder* recorder = nullptr);
 
   obs::MetricsRegistry& metrics() const { return *metrics_; }
 
@@ -107,10 +113,11 @@ class ObserveSyscalls : public SyscallFilter {
     obs::Counter* errors = nullptr;
   };
 
-  void note(const char* op, Err e,
-            std::chrono::steady_clock::time_point start);
+  void note(const char* op, Err e, std::chrono::steady_clock::time_point start,
+            const std::string& path);
 
   obs::MetricsRegistry* metrics_;
+  obs::FlightRecorder* recorder_;
   obs::Counter* calls_;
   obs::Counter* errors_;
   obs::Histogram* latency_;

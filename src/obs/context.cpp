@@ -1,0 +1,51 @@
+#include "obs/context.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace minicon::obs {
+
+namespace {
+
+thread_local TraceContext tl_current;
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer — the same mixer the swarm's rendezvous hashing
+  // uses; full-period over the counter, so ids never collide in-process.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceContext TraceContext::fresh() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t boot = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  TraceContext ctx;
+  do {
+    ctx.trace_id =
+        mix64(boot ^ counter.fetch_add(1, std::memory_order_relaxed));
+  } while (ctx.trace_id == 0);
+  return ctx;
+}
+
+std::string TraceContext::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
+
+TraceScope::TraceScope(const TraceContext& ctx) : prev_(tl_current) {
+  tl_current = ctx;
+}
+
+TraceScope::~TraceScope() { tl_current = prev_; }
+
+TraceContext current_trace() { return tl_current; }
+
+}  // namespace minicon::obs

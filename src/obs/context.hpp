@@ -1,0 +1,55 @@
+// TraceContext: the cluster-wide identity of one logical operation (a
+// parallel launch, a build, a service request), carried across thread and
+// node boundaries so every span and flight-recorder event it touches can be
+// stitched back into one timeline.
+//
+// PR 4's Tracer deliberately threads span parents explicitly because pooled
+// stages migrate across workers. The context here is different: it is set
+// *inside* each pool-task body (Cluster's fan-outs install a TraceScope as
+// the first thing a node job does), so a thread-local is safe — the value
+// never has to survive a migration, it is re-established on whichever
+// worker picked the job up. That keeps deep instrumentation points
+// (ObserveSyscalls, FaultInjectSyscalls, cache eviction) free to stamp
+// events with the current trace id without widening every syscall
+// signature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace minicon::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = no context
+  SpanId parent_span = kNoSpan;
+  int node = -1;  // cluster node lane; -1 = login node / unscoped
+
+  bool active() const { return trace_id != 0; }
+  // A new process-unique nonzero id (mixed counter, not a clock, so two
+  // launches in the same microsecond still differ).
+  static TraceContext fresh();
+  // 16 lowercase hex digits of trace_id — the form spans and dumps print.
+  std::string hex() const;
+};
+
+// RAII: installs `ctx` as the calling thread's current context, restoring
+// the previous one on destruction (scopes nest; a service request inside a
+// launch keeps the launch's id unless given its own).
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// The calling thread's current context ({0, kNoSpan, -1} when none is in
+// scope).
+TraceContext current_trace();
+
+}  // namespace minicon::obs

@@ -1,0 +1,296 @@
+#include "obs/flightrec.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace minicon::obs {
+
+namespace {
+
+// Epoch shared by every recorder in the process so events from the global
+// recorder and a test-local one still sort into one timeline.
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Thread-local single-entry ring cache. Keyed by the recorder's
+// process-unique id (never an address, which could be reused after a test
+// recorder dies), so a stale entry can never match a new recorder.
+thread_local std::uint64_t tl_owner_id = 0;
+thread_local void* tl_ring = nullptr;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string_view flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kSyscallError: return "syscall-error";
+    case FlightKind::kFaultInjected: return "fault-injected";
+    case FlightKind::kLaunchPhase: return "launch-phase";
+    case FlightKind::kNodeDead: return "node-dead";
+    case FlightKind::kChunkTransfer: return "chunk-transfer";
+    case FlightKind::kRegistryFallback: return "registry-fallback";
+    case FlightKind::kGcCycle: return "gc-cycle";
+    case FlightKind::kQuotaRejected: return "quota-rejected";
+    case FlightKind::kThrottled: return "throttled";
+    case FlightKind::kCacheEvict: return "cache-evict";
+    case FlightKind::kBuildFailed: return "build-failed";
+    case FlightKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+// One ring slot. Every field is a word-sized atomic: the seqlock generation
+// makes cross-field reads consistent, the atomics make each individual read
+// well-defined (and TSAN-visible) even when the generation check fails.
+struct FlightRecorder::Slot {
+  static constexpr std::size_t kDetailWords = kDetailMax / sizeof(std::uint64_t);
+  std::atomic<std::uint64_t> gen{0};  // odd while a write is in flight
+  std::atomic<std::int64_t> t_us{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> kind_len{0};  // kind << 8 | detail length
+  std::atomic<std::int64_t> code{0};
+  std::atomic<std::int64_t> node{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint64_t> detail[kDetailWords] = {};
+};
+
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t cap) : slots(new Slot[cap]) {}
+  int id = 0;  // dense, 1-based; reported as FlightEvent::thread
+  std::atomic<std::uint64_t> head{0};
+  std::unique_ptr<Slot[]> slots;
+};
+
+FlightRecorder::FlightRecorder(std::size_t per_thread_capacity)
+    : capacity_(per_thread_capacity == 0 ? 1 : per_thread_capacity),
+      id_(next_recorder_id()) {
+  (void)process_epoch();  // pin the timeline origin at first construction
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::Ring* FlightRecorder::ring_for_thread() {
+  if (tl_owner_id == id_) return static_cast<Ring*>(tl_ring);
+  std::lock_guard lock(mu_);
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  rings_.back()->id = static_cast<int>(rings_.size());
+  tl_owner_id = id_;
+  tl_ring = rings_.back().get();
+  return rings_.back().get();
+}
+
+void FlightRecorder::write_slot(FlightKind kind, const char* detail,
+                                std::size_t len, std::int32_t code,
+                                std::uint64_t arg, std::int32_t node) {
+  const TraceContext ctx = current_trace();
+  if (node < 0) node = ctx.node;
+  Ring* r = ring_for_thread();
+  const std::uint64_t head = r->head.load(std::memory_order_relaxed);
+  Slot& s = r->slots[head % capacity_];
+  const std::uint64_t g = s.gen.load(std::memory_order_relaxed);
+  // Seqlock write: mark the slot in flight, publish the fields, mark it
+  // stable. The release fence keeps the odd generation visible before any
+  // field store; the final release store publishes the fields before the
+  // even generation.
+  s.gen.store(g + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.t_us.store(now_us(), std::memory_order_relaxed);
+  s.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  s.kind_len.store((static_cast<std::uint64_t>(kind) << 8) | len,
+                   std::memory_order_relaxed);
+  s.code.store(code, std::memory_order_relaxed);
+  s.node.store(node, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  for (std::size_t w = 0; w < Slot::kDetailWords; ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, detail + w * sizeof(word), sizeof(word));
+    s.detail[w].store(word, std::memory_order_relaxed);
+  }
+  s.gen.store(g + 2, std::memory_order_release);
+  r->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::record(FlightKind kind, std::string_view detail,
+                            std::int32_t code, std::uint64_t arg,
+                            std::int32_t node) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  char buf[kDetailMax] = {};
+  const std::size_t len = std::min(detail.size(), kDetailMax);
+  std::memcpy(buf, detail.data(), len);
+  write_slot(kind, buf, len, code, arg, node);
+}
+
+void FlightRecorder::record_error(FlightKind kind, std::string_view op,
+                                  std::string_view err, std::string_view path,
+                                  std::int32_t code, std::uint64_t arg,
+                                  std::int32_t node) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  // flight_detail()'s layout ("op ERR path-tail", op and errno name whole,
+  // path truncated to its suffix) composed straight into the staging buffer
+  // the slot copy reads from: the hot error paths pay no allocation.
+  char buf[kDetailMax] = {};
+  std::size_t len = std::min(op.size(), kDetailMax);
+  std::memcpy(buf, op.data(), len);
+  if (!err.empty() && len + 1 + err.size() <= kDetailMax) {
+    buf[len++] = ' ';
+    std::memcpy(buf + len, err.data(), err.size());
+    len += err.size();
+  }
+  if (!path.empty() && len + 2 <= kDetailMax) {
+    const std::size_t room = kDetailMax - len - 1;
+    buf[len++] = ' ';
+    const std::string_view tail =
+        path.size() > room ? path.substr(path.size() - room) : path;
+    std::memcpy(buf + len, tail.data(), tail.size());
+    len += tail.size();
+  }
+  write_slot(kind, buf, len, code, arg, node);
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::threads_seen() const {
+  std::lock_guard lock(mu_);
+  return rings_.size();
+}
+
+std::uint64_t FlightRecorder::events_recorded() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->head.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t FlightRecorder::events_dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    if (head > capacity_) dropped += head - capacity_;
+  }
+  return dropped;
+}
+
+std::vector<FlightEvent> FlightRecorder::dump(std::uint64_t trace_filter) const {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<FlightEvent> out;
+  for (Ring* r : rings) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+    for (std::uint64_t seq = lo; seq < head; ++seq) {
+      const Slot& s = r->slots[seq % capacity_];
+      const std::uint64_t g1 = s.gen.load(std::memory_order_acquire);
+      if (g1 & 1) continue;  // write in flight
+      FlightEvent ev;
+      ev.t_us = s.t_us.load(std::memory_order_relaxed);
+      ev.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      const std::uint64_t kl = s.kind_len.load(std::memory_order_relaxed);
+      ev.kind = static_cast<FlightKind>(kl >> 8);
+      const std::size_t len = std::min<std::size_t>(kl & 0xff, kDetailMax);
+      ev.code = static_cast<std::int32_t>(
+          s.code.load(std::memory_order_relaxed));
+      ev.node = static_cast<std::int32_t>(
+          s.node.load(std::memory_order_relaxed));
+      ev.arg = s.arg.load(std::memory_order_relaxed);
+      char buf[kDetailMax];
+      for (std::size_t w = 0; w < Slot::kDetailWords; ++w) {
+        const std::uint64_t word = s.detail[w].load(std::memory_order_relaxed);
+        std::memcpy(buf + w * sizeof(word), &word, sizeof(word));
+      }
+      // The acquire fence keeps the field loads above from drifting past the
+      // generation re-check; a mismatch means a writer lapped us mid-read —
+      // the torn slot is discarded, never blocked on.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.gen.load(std::memory_order_relaxed) != g1) continue;
+      ev.detail.assign(buf, len);
+      ev.thread = r->id;
+      ev.seq = seq;
+      if (trace_filter != 0 && ev.trace_id != trace_filter) continue;
+      out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              if (a.t_us != b.t_us) return a.t_us < b.t_us;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::dump_text(std::uint64_t trace_filter) const {
+  const auto events = dump(trace_filter);
+  std::string out = "flight recorder: " + std::to_string(events.size()) +
+                    " events (" + std::to_string(events_dropped()) +
+                    " dropped) across " + std::to_string(threads_seen()) +
+                    " threads\n";
+  for (const FlightEvent& ev : events) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  +%08lldus thr%d trace=%s node=%s ",
+                  static_cast<long long>(ev.t_us), ev.thread,
+                  ev.trace_id != 0 ? hex16(ev.trace_id).c_str() : "-",
+                  ev.node >= 0 ? std::to_string(ev.node).c_str() : "-");
+    out += line;
+    out += flight_kind_name(ev.kind);
+    if (ev.code != 0) out += " code=" + std::to_string(ev.code);
+    if (ev.arg != 0) out += " arg=" + std::to_string(ev.arg);
+    if (!ev.detail.empty()) out += " \"" + ev.detail + "\"";
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& r : rings_) r->head.store(0, std::memory_order_release);
+}
+
+FlightRecorder& global_flight_recorder() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+std::string flight_detail(std::string_view op, std::string_view err,
+                          std::string_view path) {
+  std::string d(op);
+  if (!err.empty()) {
+    d += ' ';
+    d += err;
+  }
+  if (!path.empty() && d.size() + 2 <= FlightRecorder::kDetailMax) {
+    const std::size_t room = FlightRecorder::kDetailMax - d.size() - 1;
+    d += ' ';
+    d += path.size() > room ? path.substr(path.size() - room) : path;
+  }
+  return d;
+}
+
+}  // namespace minicon::obs

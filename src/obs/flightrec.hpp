@@ -1,0 +1,153 @@
+// FlightRecorder: always-on forensic ring buffers.
+//
+// When a distributed launch fails, the interesting evidence — the injected
+// ENOSPC on node 1's seed receipt, the registry fallback it forced on its
+// peers, the GC cycle that raced the push — is scattered across threads and
+// long gone from any log. The recorder keeps the last N *notable* events
+// per thread (syscall errors, injected faults, quota rejections, chunk
+// rerouting, cache evictions, GC marks) in fixed-size rings so a failure
+// can always be explained after the fact, at a steady-state cost of one
+// relaxed load on the no-event path and a handful of relaxed stores per
+// recorded event.
+//
+// Concurrency model: each thread owns one single-writer ring (acquired once
+// through a thread-local cache; a mutex is taken only on first contact).
+// Slots are composed entirely of word-sized atomics bracketed by a per-slot
+// generation counter (odd while a write is in flight, even when stable), and
+// the ring head publishes with release order — dump() runs concurrently
+// with writers, discarding any slot whose generation changed mid-read
+// rather than blocking anyone. No locks on the record path, no torn reads,
+// nothing for TSAN to object to.
+//
+// Events carry the recording thread's obs::current_trace() id, so a dump
+// filtered by one launch's trace id is exactly that launch's post-mortem,
+// merged across threads in time order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/context.hpp"
+
+namespace minicon::obs {
+
+enum class FlightKind : std::uint8_t {
+  kSyscallError = 0,   // organic errno from ObserveSyscalls
+  kFaultInjected,      // FaultInjectSyscalls fired
+  kLaunchPhase,        // cluster launch phase boundary
+  kNodeDead,           // swarm marked a node failed
+  kChunkTransfer,      // swarm seed/exchange phase summary for one node
+  kRegistryFallback,   // exchange rerouted a dead seeder's shard
+  kGcCycle,            // service GC cycle completed
+  kQuotaRejected,      // service push rejected at admission (ENOSPC)
+  kThrottled,          // service pull rejected by token bucket / inflight cap
+  kCacheEvict,         // build cache evicted an entry
+  kBuildFailed,        // builder run ended with nonzero status
+  kMark,               // free-form caller annotation
+};
+
+// Stable lowercase name ("syscall-error", "fault-injected", ...).
+std::string_view flight_kind_name(FlightKind k);
+
+// One decoded event, as returned by dump().
+struct FlightEvent {
+  std::int64_t t_us = 0;        // µs since recorder construction
+  std::uint64_t trace_id = 0;   // obs::current_trace() at record time
+  FlightKind kind = FlightKind::kMark;
+  std::int32_t code = 0;        // errno value / kind-specific code
+  std::int32_t node = -1;       // cluster node, -1 when not node-scoped
+  std::uint64_t arg = 0;        // kind-specific magnitude (bytes, count)
+  int thread = 0;               // dense per-ring id, 1-based
+  std::uint64_t seq = 0;        // per-thread sequence number
+  std::string detail;           // short text, e.g. "write ENOSPC ~/.swarm/seed"
+};
+
+class FlightRecorder {
+ public:
+  // Longest detail text a slot stores; longer strings are truncated (record
+  // sites shorten long paths to their tail before formatting).
+  static constexpr std::size_t kDetailMax = 48;
+
+  explicit FlightRecorder(std::size_t per_thread_capacity = 256);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  // Record one event on the calling thread's ring, stamped with
+  // obs::current_trace(). `node` < 0 takes the current context's node.
+  // No-op when disabled.
+  void record(FlightKind kind, std::string_view detail, std::int32_t code = 0,
+              std::uint64_t arg = 0, std::int32_t node = -1);
+
+  // record() with the detail formatted as flight_detail(op, err, path)
+  // directly into the slot's stack staging buffer — no std::string, no
+  // allocation. For hot error paths (ObserveSyscalls notes every organic
+  // errno through here).
+  void record_error(FlightKind kind, std::string_view op, std::string_view err,
+                    std::string_view path, std::int32_t code = 0,
+                    std::uint64_t arg = 0, std::int32_t node = -1);
+
+  // The cheap global off-switch (recorder-off benchmark column, tests that
+  // want a quiet global ring). Enabled by default: the recorder's whole
+  // point is to already be on when the failure happens.
+  void set_enabled(bool on);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+  std::size_t threads_seen() const;
+  // Total events ever recorded / overwritten by ring wrap-around.
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;
+
+  // Merged snapshot of every ring's surviving events in time order
+  // (ties broken by thread then sequence). trace_filter != 0 keeps only
+  // that trace's events. Safe concurrently with writers.
+  std::vector<FlightEvent> dump(std::uint64_t trace_filter = 0) const;
+
+  // Human-readable post-mortem: a summary line followed by one line per
+  // event, causally ordered:
+  //   flight recorder: 5 events (0 dropped) across 3 threads
+  //     +001234us thr2 trace=9f3c... node=1 fault-injected code=28
+  //         "write ENOSPC /home/alice/.swarm/seed"
+  std::string dump_text(std::uint64_t trace_filter = 0) const;
+
+  // Empties every ring (drop counters reset too). Not meant to race
+  // writers; tests call it between scenarios.
+  void clear();
+
+ private:
+  struct Slot;
+  struct Ring;
+
+  Ring* ring_for_thread();
+  // The seqlock slot write itself. `detail` must point at a kDetailMax-byte
+  // buffer, zero-padded past `len` (both public record paths stage into one
+  // on the stack, so the slot copy happens exactly once).
+  void write_slot(FlightKind kind, const char* detail, std::size_t len,
+                  std::int32_t code, std::uint64_t arg, std::int32_t node);
+
+  const std::size_t capacity_;
+  const std::uint64_t id_;  // process-unique, for the thread-local cache
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;  // guards rings_ growth only
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// The process-wide recorder (per-thread capacity 256). Components take an
+// optional FlightRecorder*; null means this one.
+FlightRecorder& global_flight_recorder();
+
+// "op ERR path" squeezed into kDetailMax bytes. The op and errno name are
+// kept whole and the *tail* of the path survives truncation — a path
+// identifies by suffix ("...alice/.swarm/seed"), not prefix.
+std::string flight_detail(std::string_view op, std::string_view err,
+                          std::string_view path);
+
+}  // namespace minicon::obs

@@ -41,13 +41,17 @@ void json_escape(std::string& out, const std::string& s) {
 }
 
 // Shared fixed-bucket quantile estimate: find the bucket holding the p-th
-// observation, interpolate linearly between its bounds. The +inf bucket has
-// no upper edge, so it reports the last finite bound (an underestimate the
-// caller should read as "off the scale").
+// observation, interpolate linearly between its bounds. Edge cases return
+// defined sentinels, never interpolation garbage: no samples (or no
+// buckets) -> Histogram::kNoSamples; a quantile landing in the +inf
+// overflow bucket clamps to the last finite bound ("at least this — off
+// the scale").
 double bucket_percentile(const std::vector<double>& bounds,
                          const std::vector<std::uint64_t>& buckets,
                          std::uint64_t count, double p) {
-  if (count == 0 || buckets.empty()) return 0.0;
+  if (count == 0 || buckets.empty() || bounds.empty()) {
+    return Histogram::kNoSamples;
+  }
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
   const double target = p * static_cast<double>(count);
@@ -55,7 +59,7 @@ double bucket_percentile(const std::vector<double>& bounds,
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     const double in_bucket = static_cast<double>(buckets[i]);
     if (cumulative + in_bucket >= target && in_bucket > 0) {
-      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      if (i >= bounds.size()) return bounds.back();  // overflow clamp
       const double lo = i == 0 ? 0.0 : bounds[i - 1];
       const double hi = bounds[i];
       const double frac = (target - cumulative) / in_bucket;
@@ -63,7 +67,7 @@ double bucket_percentile(const std::vector<double>& bounds,
     }
     cumulative += in_bucket;
   }
-  return bounds.empty() ? 0.0 : bounds.back();
+  return bounds.back();
 }
 
 }  // namespace

@@ -69,10 +69,17 @@ class Histogram {
   double sum() const;
   // size() == bounds().size() + 1; last element is the +inf bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+  // An empty histogram has no quantiles; percentile() returns this sentinel
+  // (negative, so it can never be confused with a latency) instead of a
+  // made-up 0.
+  static constexpr double kNoSamples = -1.0;
+
   // Estimated p-quantile (p in [0,1], e.g. 0.5 / 0.99) by linear
   // interpolation within the covering bucket — the standard fixed-bucket
-  // estimate (what the service bench records as p50/p99). Values landing in
-  // the +inf bucket report the last finite bound. 0 when empty.
+  // estimate (what the service bench records as p50/p99). Edge cases are
+  // pinned: an empty histogram returns kNoSamples, and a quantile landing
+  // in the +inf overflow bucket clamps to the last finite bound (read it as
+  // "at least this — off the scale").
   double percentile(double p) const;
   void reset();
 
@@ -90,7 +97,8 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;
     std::uint64_t count = 0;
     double sum = 0.0;
-    // Same estimate as Histogram::percentile, over the captured buckets.
+    // Same estimate (and same edge-case sentinels) as
+    // Histogram::percentile, over the captured buckets.
     double percentile(double p) const;
   };
   std::map<std::string, std::uint64_t> counters;

@@ -1,0 +1,98 @@
+#include "obs/slo.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace minicon::obs {
+
+SloWindow::SloWindow(Options options) : options_(std::move(options)) {
+  if (options_.slices < 1) options_.slices = 1;
+  if (options_.slice_width.count() <= 0) {
+    options_.slice_width = std::chrono::milliseconds(1);
+  }
+  if (options_.bounds.empty()) {
+    options_.bounds = Histogram::default_latency_bounds_us();
+  }
+  if (options_.objective >= 1.0) options_.objective = 0.999999;
+  if (options_.objective < 0.0) options_.objective = 0.0;
+  epoch_ = options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+  slices_.resize(static_cast<std::size_t>(options_.slices));
+  for (Slice& s : slices_) s.buckets.assign(options_.bounds.size() + 1, 0);
+}
+
+std::int64_t SloWindow::slice_index_now() const {
+  const auto now =
+      options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_);
+  return elapsed.count() / options_.slice_width.count();
+}
+
+SloWindow::Slice& SloWindow::slice_at(std::int64_t index) {
+  Slice& s = slices_[static_cast<std::size_t>(
+      index % static_cast<std::int64_t>(slices_.size()))];
+  if (s.index != index) {
+    // This slot last held a slice a full window ago; recycle it.
+    s.index = index;
+    s.count = 0;
+    s.breaches = 0;
+    std::fill(s.buckets.begin(), s.buckets.end(), 0);
+  }
+  return s;
+}
+
+void SloWindow::observe(double v_us) {
+  std::lock_guard lock(mu_);
+  Slice& s = slice_at(slice_index_now());
+  std::size_t i = 0;
+  while (i < options_.bounds.size() && v_us > options_.bounds[i]) ++i;
+  ++s.buckets[i];
+  ++s.count;
+  if (options_.threshold_us > 0 && v_us > options_.threshold_us) ++s.breaches;
+}
+
+SloWindow::Report SloWindow::report() const {
+  Report rep;
+  rep.threshold_us = options_.threshold_us;
+  rep.window_s = static_cast<double>(options_.slice_width.count()) *
+                 static_cast<double>(options_.slices) / 1000.0;
+  MetricsSnapshot::HistogramValue agg;
+  agg.bounds = options_.bounds;
+  agg.buckets.assign(options_.bounds.size() + 1, 0);
+  {
+    std::lock_guard lock(mu_);
+    const std::int64_t now_index = slice_index_now();
+    const std::int64_t oldest =
+        now_index - static_cast<std::int64_t>(slices_.size()) + 1;
+    for (const Slice& s : slices_) {
+      if (s.index < oldest || s.index > now_index) continue;  // aged out
+      rep.count += s.count;
+      rep.breaches += s.breaches;
+      for (std::size_t i = 0; i < agg.buckets.size(); ++i) {
+        agg.buckets[i] += s.buckets[i];
+      }
+    }
+  }
+  agg.count = rep.count;
+  if (rep.count > 0) {
+    rep.p50 = agg.percentile(0.50);
+    rep.p90 = agg.percentile(0.90);
+    rep.p99 = agg.percentile(0.99);
+    rep.breach_fraction =
+        static_cast<double>(rep.breaches) / static_cast<double>(rep.count);
+    const double budget = 1.0 - options_.objective;
+    rep.burn_rate = budget > 0 ? rep.breach_fraction / budget : 0.0;
+  }
+  return rep;
+}
+
+void SloWindow::reset() {
+  std::lock_guard lock(mu_);
+  for (Slice& s : slices_) {
+    s.index = -1;
+    s.count = 0;
+    s.breaches = 0;
+    std::fill(s.buckets.begin(), s.buckets.end(), 0);
+  }
+}
+
+}  // namespace minicon::obs

@@ -1,0 +1,84 @@
+// SloWindow: rolling-window latency quantiles and burn rate.
+//
+// The cumulative histograms in MetricsRegistry answer "what has this
+// process ever seen"; an operator watching the registry service needs
+// "what is the pull p99 *right now*, and how fast am I spending my error
+// budget". SloWindow keeps a ring of fixed-duration time slices, each a
+// fixed-bucket histogram plus a count of threshold breaches; report()
+// aggregates the slices still inside the window, so quantiles and breach
+// fractions decay as traffic ages out instead of being diluted forever by
+// history.
+//
+// Burn rate is the standard SRE reading: breach_fraction / error_budget,
+// where error_budget = 1 - objective. burn_rate 1.0 means the service is
+// consuming its budget exactly as fast as the objective allows; above 1.0
+// it is on course to miss the SLO.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minicon::obs {
+
+class SloWindow {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  struct Options {
+    // Window = slices × slice_width; defaults to 12 × 5 s = one minute.
+    std::chrono::milliseconds slice_width{5000};
+    int slices = 12;
+    // Histogram bucket upper edges (µs); empty = the registry's default
+    // latency decades.
+    std::vector<double> bounds;
+    // SLO: `objective` of observations must land at or under
+    // `threshold_us`. threshold_us <= 0 disables breach accounting.
+    double threshold_us = 0;
+    double objective = 0.99;
+    // Injectable time source for deterministic tests; null = steady_clock.
+    Clock clock;
+  };
+
+  SloWindow() : SloWindow(Options{}) {}
+  explicit SloWindow(Options options);
+
+  void observe(double v_us);
+
+  struct Report {
+    std::uint64_t count = 0;
+    std::uint64_t breaches = 0;
+    double p50 = -1.0;  // -1 when the window holds no samples
+    double p90 = -1.0;
+    double p99 = -1.0;
+    double breach_fraction = 0.0;
+    double burn_rate = 0.0;
+    double threshold_us = 0.0;
+    double window_s = 0.0;
+  };
+  Report report() const;
+
+  // Forgets everything (the slices stay allocated).
+  void reset();
+
+ private:
+  struct Slice {
+    std::int64_t index = -1;  // absolute slice number; -1 = empty
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t breaches = 0;
+  };
+
+  std::int64_t slice_index_now() const;
+  Slice& slice_at(std::int64_t index);  // mu_ held; rotates stale slots
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace minicon::obs

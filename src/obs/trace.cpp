@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace minicon::obs {
 
@@ -108,6 +109,70 @@ std::string Tracer::chrome_trace_json() const {
            std::to_string(s.start_us) +
            ",\"dur\":" + std::to_string(std::max<std::int64_t>(end - s.start_us, 0)) +
            ",\"pid\":1,\"tid\":" + std::to_string(s.tid) + ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(s.id) +
+           ",\"parent_id\":" + std::to_string(s.parent);
+    for (const auto& [k, v] : s.attrs) {
+      out += ",\"";
+      json_escape(out, k);
+      out += "\":\"";
+      json_escape(out, v);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::cluster_trace_json() const {
+  const std::int64_t now = now_us();
+  const auto snap = spans();
+  // Lane per span: its own "node" attr, else the nearest ancestor's. Spans
+  // are id-ordered and parents always precede children, so one forward pass
+  // resolves the whole forest. Lane -1 = login; node n = lane n.
+  std::vector<int> lane(snap.size() + 1, -1);
+  for (const SpanRecord& s : snap) {
+    int l = s.parent != kNoSpan && s.parent <= snap.size()
+                ? lane[s.parent]
+                : -1;
+    for (const auto& [k, v] : s.attrs) {
+      if (k == "node") {
+        l = std::atoi(v.c_str());
+        break;
+      }
+    }
+    lane[s.id] = l;
+  }
+  // Chrome pids must be positive: login = 1, node n = n + 2.
+  const auto pid_of = [](int l) { return l < 0 ? 1 : l + 2; };
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::vector<char> named;
+  for (const SpanRecord& s : snap) {
+    const int pid = pid_of(lane[s.id]);
+    if (static_cast<std::size_t>(pid) >= named.size()) {
+      named.resize(static_cast<std::size_t>(pid) + 1, 0);
+    }
+    if (!named[static_cast<std::size_t>(pid)]) {
+      named[static_cast<std::size_t>(pid)] = 1;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+             (lane[s.id] < 0 ? std::string("login")
+                             : "node " + std::to_string(lane[s.id])) +
+             "\"}}";
+    }
+    if (!first) out += ",";
+    first = false;
+    const std::int64_t end = s.end_us < 0 ? now : s.end_us;
+    out += "{\"name\":\"";
+    json_escape(out, s.name);
+    out += "\",\"cat\":\"minicon\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(s.start_us) +
+           ",\"dur\":" + std::to_string(std::max<std::int64_t>(end - s.start_us, 0)) +
+           ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(s.tid) + ",\"args\":{";
     out += "\"span_id\":" + std::to_string(s.id) +
            ",\"parent_id\":" + std::to_string(s.parent);
     for (const auto& [k, v] : s.attrs) {

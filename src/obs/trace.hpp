@@ -58,6 +58,14 @@ class Tracer {
   // Open spans are clamped to the export instant so the file always loads.
   std::string chrome_trace_json() const;
 
+  // The merged multi-node view of a cluster launch: same events as
+  // chrome_trace_json, but each span is assigned a *process lane* from its
+  // "node" attribute (inherited down the span tree when a child lacks one),
+  // with process_name metadata so Perfetto shows "login" and "node N" rows
+  // side by side instead of one interleaved thread soup. Spans with no node
+  // anywhere up their chain land in the "login" lane.
+  std::string cluster_trace_json() const;
+
   // Indented tree, children ordered by (start_us, id):
   //   build (1234 us) tag=hello builder=ch-image
   //     stage (801 us) index=0 ...

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/flightrec.hpp"
 #include "support/threadpool.hpp"
 #include "vfs/snapshot.hpp"
 
@@ -17,6 +18,15 @@ std::vector<double> wide_latency_bounds_us() {
   return {1,    2,     5,     10,    20,    50,     100,    200,
           500,  1000,  2000,  5000,  10000, 20000,  50000,  100000,
           200000, 500000, 1000000};
+}
+
+// One-minute rolling SLO: 99% of operations at or under 10 ms.
+obs::SloWindow::Options slo_options() {
+  obs::SloWindow::Options o;
+  o.bounds = wide_latency_bounds_us();
+  o.threshold_us = 10000;
+  o.objective = 0.99;
+  return o;
 }
 
 double elapsed_us(std::chrono::steady_clock::time_point since) {
@@ -42,7 +52,9 @@ RegistryService::RegistryService(image::Registry& registry,
       pool_(pool),
       metrics_(metrics != nullptr ? metrics : &obs::global_metrics()),
       bucket_clock_(std::move(bucket_clock)),
-      chunk_shards_(kChunkShards) {
+      chunk_shards_(kChunkShards),
+      push_slo_(slo_options()),
+      pull_slo_(slo_options()) {
   pushes_m_ = &metrics_->counter("service.pushes");
   pulls_m_ = &metrics_->counter("service.pulls");
   bytes_served_m_ = &metrics_->counter("service.bytes_served");
@@ -152,6 +164,11 @@ Result<PushReceipt> RegistryService::push_blob(const std::string& tenant,
       ++t->stats.quota_rejections;
       t->rejected_m->add();
       rejected_m_->add();
+      if (obs::FlightRecorder& rec = obs::global_flight_recorder();
+          rec.enabled()) {
+        rec.record(obs::FlightKind::kQuotaRejected, tenant,
+                   err_value(Err::enospc), size);
+      }
       return Err::enospc;
     }
     t->stats.bytes_used += size;
@@ -188,7 +205,9 @@ Result<PushReceipt> RegistryService::push_blob(const std::string& tenant,
     e.size = blob.size;
   }
 
-  push_latency_us_m_->observe(elapsed_us(t0));
+  const double took = elapsed_us(t0);
+  push_latency_us_m_->observe(took);
+  push_slo_.observe(took);
   return PushReceipt{blob.digest, blob.size, blob.new_bytes};
 }
 
@@ -330,6 +349,11 @@ Result<std::string> RegistryService::adopt_image(const std::string& tenant,
       ++t->stats.quota_rejections;
       t->rejected_m->add();
       rejected_m_->add();
+      if (obs::FlightRecorder& rec = obs::global_flight_recorder();
+          rec.enabled()) {
+        rec.record(obs::FlightKind::kQuotaRejected, tenant,
+                   err_value(Err::enospc), bytes);
+      }
       return Err::enospc;
     }
     t->stats.bytes_used += bytes;
@@ -528,6 +552,11 @@ Result<PullResult> RegistryService::pull(const std::string& tenant,
     ++t->stats.throttled;
     t->throttled_m->add();
     throttled_m_->add();
+    if (obs::FlightRecorder& rec = obs::global_flight_recorder();
+        rec.enabled()) {
+      rec.record(obs::FlightKind::kThrottled, tenant, err_value(Err::eagain),
+                 bytes);
+    }
     return Err::eagain;
   };
   if (t->inflight.load(std::memory_order_relaxed) >
@@ -565,7 +594,9 @@ Result<PullResult> RegistryService::pull(const std::string& tenant,
   pulls_m_->add();
   bytes_served_m_->add(served);
   bytes_served_.fetch_add(served, std::memory_order_relaxed);
-  pull_latency_us_m_->observe(elapsed_us(t0));
+  const double took = elapsed_us(t0);
+  pull_latency_us_m_->observe(took);
+  pull_slo_.observe(took);
   return PullResult{std::move(mf), served};
 }
 
@@ -674,6 +705,14 @@ GcStats RegistryService::run_gc() {
   gc_reclaimed_chunks_m_->add(cycle.reclaimed_chunks);
   gc_reclaimed_manifests_m_->add(cycle.reclaimed_manifests);
   gc_pause_us_m_->observe(cycle.pause_us);
+  // "Did a GC cycle land between the push and the failed pull" is exactly
+  // the question a post-mortem answers: leave the cycle mark in the ring.
+  if (obs::FlightRecorder& rec = obs::global_flight_recorder();
+      rec.enabled()) {
+    rec.record(obs::FlightKind::kGcCycle, "gc cycle",
+               static_cast<std::int32_t>(cycle.reclaimed_chunks),
+               cycle.reclaimed_bytes);
+  }
 
   {
     std::lock_guard lock(gc_stats_mu_);

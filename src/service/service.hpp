@@ -64,6 +64,7 @@
 
 #include "image/registry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "support/result.hpp"
 #include "support/tokenbucket.hpp"
 
@@ -208,6 +209,14 @@ class RegistryService {
   GcStats gc_stats() const;
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+  // --- SLO windows ------------------------------------------------------
+  // Rolling one-minute latency windows over push/pull (threshold 10 ms,
+  // objective 99%): windowed quantiles decay as traffic ages out, and
+  // burn_rate > 1 means the service is overspending its error budget. The
+  // cumulative service.*_latency_us histograms keep the all-time view.
+  obs::SloWindow::Report push_slo() const { return push_slo_.report(); }
+  obs::SloWindow::Report pull_slo() const { return pull_slo_.report(); }
+
   // The underlying-registry reference a tenant tag mirrors to
   // ("<tenant>/<tag>"): what cluster launches pull.
   static std::string mirror_reference(const std::string& tenant,
@@ -310,6 +319,8 @@ class RegistryService {
   obs::Histogram* gc_pause_us_m_;
   obs::Histogram* push_latency_us_m_;
   obs::Histogram* pull_latency_us_m_;
+  obs::SloWindow push_slo_;
+  obs::SloWindow pull_slo_;
 };
 
 using RegistryServicePtr = std::shared_ptr<RegistryService>;

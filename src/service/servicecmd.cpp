@@ -1,8 +1,10 @@
 // The `service` shell builtin: operator's view of the registry service.
 //
-//   service        per-tenant usage, quota headroom, tag counts, GC totals
+//   service        per-tenant usage, quota headroom, tag counts, GC totals,
+//                  and the rolling-window pull/push SLO (p50/p99, burn rate)
 //   service gc     run one GC cycle and print what it reclaimed
 
+#include <cstdio>
 #include <string>
 
 #include "service/service.hpp"
@@ -23,6 +25,26 @@ std::string pad_right(const std::string& s, std::size_t width) {
 
 std::string quota_cell(std::uint64_t v) {
   return v == UINT64_MAX ? "-" : human_size(v);
+}
+
+std::string us_cell(double v) {
+  // -1 is the no-samples sentinel from the windowed quantiles.
+  if (v < 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fus", v);
+  return buf;
+}
+
+std::string slo_line(const char* op, const obs::SloWindow::Report& r) {
+  std::string out = std::string("slo ") + op + " (last " +
+                    std::to_string(static_cast<int>(r.window_s)) + "s): ";
+  if (r.count == 0) return out + "no traffic\n";
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%.2f", r.burn_rate);
+  out += std::to_string(r.count) + " ops, p50 " + us_cell(r.p50) + ", p99 " +
+         us_cell(r.p99) + ", breaches " + std::to_string(r.breaches) +
+         ", burn " + rate + "\n";
+  return out;
 }
 
 }  // namespace
@@ -70,6 +92,8 @@ void register_service_command(shell::CommandRegistry& reg,
                std::to_string(g.reclaimed_manifests) +
                " manifests), last pause " +
                std::to_string(static_cast<std::uint64_t>(g.pause_us)) + "us\n";
+    inv.out += slo_line("pull", service->pull_slo());
+    inv.out += slo_line("push", service->push_slo());
     return 0;
   });
 }

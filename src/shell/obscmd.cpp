@@ -1,14 +1,19 @@
 #include "shell/obscmd.hpp"
 
+#include <cstdlib>
+
 #include "kernel/syscalls.hpp"
 #include "shell/registry.hpp"
 
 namespace minicon::shell {
 
 void register_obs_commands(CommandRegistry& reg, obs::MetricsRegistry* metrics,
-                           std::shared_ptr<obs::Tracer> tracer) {
+                           std::shared_ptr<obs::Tracer> tracer,
+                           obs::FlightRecorder* recorder) {
   obs::MetricsRegistry* m =
       metrics != nullptr ? metrics : &obs::global_metrics();
+  obs::FlightRecorder* rec =
+      recorder != nullptr ? recorder : &obs::global_flight_recorder();
   reg.register_special("metrics", [m](Invocation& inv) {
     if (inv.args.size() > 1 && inv.args[1] == "reset") {
       m->reset();
@@ -26,10 +31,27 @@ void register_obs_commands(CommandRegistry& reg, obs::MetricsRegistry* metrics,
     return 0;
   });
   reg.register_special("trace", [tracer](Invocation& inv) {
-    if (inv.args.size() < 2 || (inv.args[1] != "tree" &&
-                                (inv.args[1] != "export" ||
-                                 inv.args.size() != 3))) {
-      inv.err += "trace: usage: trace tree | trace export <path>\n";
+    // trace tree | trace export [--cluster] <path>
+    bool cluster = false;
+    std::string path;
+    bool ok = inv.args.size() >= 2;
+    if (ok && inv.args[1] == "tree") {
+      ok = inv.args.size() == 2;
+    } else if (ok && inv.args[1] == "export") {
+      if (inv.args.size() == 3) {
+        path = inv.args[2];
+      } else if (inv.args.size() == 4 && inv.args[2] == "--cluster") {
+        cluster = true;
+        path = inv.args[3];
+      } else {
+        ok = false;
+      }
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      inv.err +=
+          "trace: usage: trace tree | trace export [--cluster] <path>\n";
       return 2;
     }
     if (tracer == nullptr) {
@@ -40,17 +62,49 @@ void register_obs_commands(CommandRegistry& reg, obs::MetricsRegistry* metrics,
       inv.out += tracer->span_tree();
       return 0;
     }
-    const std::string json = tracer->chrome_trace_json();
-    if (auto rc = inv.proc.sys->write_file(inv.proc, inv.args[2], json, false,
-                                           0644);
+    const std::string json =
+        cluster ? tracer->cluster_trace_json() : tracer->chrome_trace_json();
+    if (auto rc = inv.proc.sys->write_file(inv.proc, path, json, false, 0644);
         !rc.ok()) {
-      inv.err += "trace: cannot write " + inv.args[2] + ": " +
+      inv.err += "trace: cannot write " + path + ": " +
                  std::string(err_message(rc.error())) + "\n";
       return 1;
     }
     inv.out += "trace: wrote " + std::to_string(tracer->span_count()) +
-               " spans to " + inv.args[2] + "\n";
+               " spans to " + path + "\n";
     return 0;
+  });
+  reg.register_special("flight", [rec](Invocation& inv) {
+    if (inv.args.size() == 1) {
+      inv.out += "flight recorder: " +
+                 std::string(rec->enabled() ? "on" : "off") + ", " +
+                 std::to_string(rec->events_recorded()) + " events recorded (" +
+                 std::to_string(rec->events_dropped()) + " dropped) across " +
+                 std::to_string(rec->threads_seen()) + " threads, " +
+                 std::to_string(rec->capacity_per_thread()) +
+                 " slots/thread\n";
+      return 0;
+    }
+    if (inv.args[1] == "clear" && inv.args.size() == 2) {
+      rec->clear();
+      return 0;
+    }
+    if (inv.args[1] == "dump" && inv.args.size() <= 3) {
+      std::uint64_t filter = 0;
+      if (inv.args.size() == 3) {
+        char* end = nullptr;
+        filter = std::strtoull(inv.args[2].c_str(), &end, 16);
+        if (filter == 0 || end == nullptr || *end != '\0') {
+          inv.err += "flight: bad trace id '" + inv.args[2] +
+                     "' (expected nonzero hex)\n";
+          return 2;
+        }
+      }
+      inv.out += rec->dump_text(filter);
+      return 0;
+    }
+    inv.err += "flight: usage: flight [dump [<trace-id>]|clear]\n";
+    return 2;
   });
 }
 

@@ -8,11 +8,21 @@
 //                          instruction → syscall-batch) as indented text;
 //   trace export <path>    write Chrome trace_event JSON (loadable in
 //                          Perfetto / chrome://tracing) to a file inside
-//                          the simulated filesystem.
+//                          the simulated filesystem;
+//   trace export --cluster <path>
+//                          same, but spans annotated with a "node" attr
+//                          (cluster launches, swarm phases) land in per-node
+//                          lanes — one pid row per compute node plus a
+//                          login-node row;
+//   flight [dump [<trace-id>]|clear]
+//                          flight-recorder summary / post-mortem dump
+//                          (optionally filtered to one launch's trace id) /
+//                          ring reset.
 #pragma once
 
 #include <memory>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,9 +31,11 @@ namespace minicon::shell {
 class CommandRegistry;
 
 // `metrics` null selects obs::global_metrics(); `tracer` may be null, in
-// which case the trace builtins report that tracing is off.
+// which case the trace builtins report that tracing is off; `recorder` null
+// selects obs::global_flight_recorder().
 void register_obs_commands(CommandRegistry& reg,
                            obs::MetricsRegistry* metrics = nullptr,
-                           std::shared_ptr<obs::Tracer> tracer = nullptr);
+                           std::shared_ptr<obs::Tracer> tracer = nullptr,
+                           obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace minicon::shell

@@ -6,6 +6,8 @@
 #include "core/cluster.hpp"
 #include "core/podman.hpp"
 #include "kernel/faultinject.hpp"
+#include "obs/context.hpp"
+#include "obs/flightrec.hpp"
 
 namespace minicon {
 namespace {
@@ -303,6 +305,64 @@ TEST(Cluster, P2PFaultedSeederFallsBackToRegistry) {
   // still far below per-node full pulls.
   ASSERT_GT(result.image_bytes, 0u);
   EXPECT_LT(result.registry_bytes, 4 * result.image_bytes);
+}
+
+TEST(Cluster, P2PFaultPostMortemIsCausallyOrderedAndTraceStamped) {
+  // The forensics acceptance path: an injected seeder fault during a P2P
+  // launch must leave a flight-recorder trail, filtered by the launch's
+  // trace id, in which the fault causally precedes the registry fallback
+  // it forced on the surviving peers.
+  core::ClusterOptions copts;
+  copts.arch = "x86_64";
+  copts.compute_nodes = 4;
+  core::Cluster cluster(copts);
+  ASSERT_TRUE(build_and_push(cluster, "jobs/forensic:1"));
+  core::Cluster::LaunchOptions opts;
+  opts.mode = core::Cluster::LaunchMode::kP2P;
+  opts.node_syscall_layers[1].push_back(fault_layer(".swarm", Err::enospc));
+  auto result = cluster.parallel_launch("jobs/forensic:1", {"hostname"}, opts);
+  EXPECT_EQ(result.nodes_ok, 3);
+  EXPECT_EQ(result.nodes_failed, 1);
+  ASSERT_NE(result.trace_id, 0u);
+
+  const auto events = obs::global_flight_recorder().dump(result.trace_id);
+  ASSERT_FALSE(events.empty());
+  std::size_t first_fault = events.size();
+  std::size_t first_fallback = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].trace_id, result.trace_id);
+    if (events[i].kind == obs::FlightKind::kFaultInjected &&
+        first_fault == events.size()) {
+      first_fault = i;
+      // The fault fired on node 1's worker: the context stamped its lane.
+      EXPECT_EQ(events[i].node, 1);
+      EXPECT_NE(events[i].detail.find("ENOSPC"), std::string::npos)
+          << events[i].detail;
+    }
+    if (events[i].kind == obs::FlightKind::kRegistryFallback &&
+        first_fallback == events.size()) {
+      first_fallback = i;
+    }
+  }
+  ASSERT_LT(first_fault, events.size());
+  ASSERT_LT(first_fallback, events.size());
+  // Seed-phase fault before exchange-phase reroute: causal order survives
+  // the merge across worker threads.
+  EXPECT_LT(first_fault, first_fallback);
+
+  // A failed launch carries its own post-mortem, already filtered and
+  // rendered: the same story in human-readable form.
+  ASSERT_FALSE(result.post_mortem.empty());
+  EXPECT_NE(result.post_mortem.find(
+                obs::TraceContext{result.trace_id}.hex()),
+            std::string::npos);
+  EXPECT_NE(result.post_mortem.find("ENOSPC"), std::string::npos);
+  EXPECT_NE(result.post_mortem.find("node-dead"), std::string::npos);
+  const std::size_t fault_pos = result.post_mortem.find("fault-injected");
+  const std::size_t fallback_pos = result.post_mortem.find("registry-fallback");
+  ASSERT_NE(fault_pos, std::string::npos);
+  ASSERT_NE(fallback_pos, std::string::npos);
+  EXPECT_LT(fault_pos, fallback_pos);
 }
 
 TEST(Cluster, UsersAreIsolatedOnSharedFs) {

@@ -5,6 +5,8 @@
 // per-subsystem stats structs (which must never disagree with the registry).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -17,7 +19,10 @@
 #include "kernel/faultinject.hpp"
 #include "kernel/observe.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/context.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "shell/obscmd.hpp"
 #include "shell/registry.hpp"
@@ -140,6 +145,31 @@ TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   EXPECT_DOUBLE_EQ(h.sum(), 16.0);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  // Empty histogram: no quantiles, not a crash and not 0.0 (which would
+  // read as "instant") — the explicit kNoSamples sentinel.
+  obs::Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), obs::Histogram::kNoSamples);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.99), obs::Histogram::kNoSamples);
+
+  // All mass in the +inf overflow bucket: the quantile clamps to the last
+  // finite bound instead of reporting infinity.
+  obs::Histogram over({1.0, 2.0});
+  over.observe(100.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.99), 2.0);
+
+  // Same contract through a registry snapshot's captured buckets.
+  obs::MetricsRegistry reg;
+  reg.histogram("lat", {1.0, 2.0});
+  auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms.at("lat").percentile(0.9),
+                   obs::Histogram::kNoSamples);
+  reg.histogram("lat").observe(50.0);
+  snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms.at("lat").percentile(0.9), 2.0);
+}
+
 TEST(Histogram, RegistryFixesBoundsOnFirstRegistration) {
   obs::MetricsRegistry reg;
   obs::Histogram& h = reg.histogram("x", {10.0});
@@ -198,6 +228,227 @@ TEST(Tracer, RaiiSpanIsInertWithoutTracer) {
   span.annotate("k", "v");  // must not crash
 }
 
+TEST(Tracer, ClusterExportAssignsNodeLanes) {
+  obs::Tracer tr;
+  const obs::SpanId launch = tr.begin("cluster.launch");
+  const obs::SpanId seed = tr.begin("swarm.seed", launch);
+  tr.annotate(seed, "node", "2");
+  // No "node" attr of its own: inherits its parent's lane.
+  const obs::SpanId fetch = tr.begin("swarm.fetch", seed);
+  tr.end(fetch);
+  tr.end(seed);
+  tr.end(launch);
+
+  const std::string json = tr.cluster_trace_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  // One process_name metadata row per lane: the login node plus node 2.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("login"), std::string::npos);
+  EXPECT_NE(json.find("node 2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);  // login lane
+  EXPECT_NE(json.find("\"pid\":4"), std::string::npos);  // node 2 -> lane 2+2
+}
+
+// --- trace context ----------------------------------------------------------------
+
+TEST(TraceContext, FreshIdsAreUniqueAndScopesNest) {
+  const obs::TraceContext a = obs::TraceContext::fresh();
+  const obs::TraceContext b = obs::TraceContext::fresh();
+  EXPECT_TRUE(a.active());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.hex().size(), 16u);
+
+  EXPECT_FALSE(obs::current_trace().active());
+  {
+    obs::TraceScope outer(a);
+    EXPECT_EQ(obs::current_trace().trace_id, a.trace_id);
+    {
+      obs::TraceScope inner(b);
+      EXPECT_EQ(obs::current_trace().trace_id, b.trace_id);
+    }
+    EXPECT_EQ(obs::current_trace().trace_id, a.trace_id);
+  }
+  EXPECT_FALSE(obs::current_trace().active());
+}
+
+// --- flight recorder --------------------------------------------------------------
+
+TEST(FlightRecorder, RecordsDumpsAndFiltersByTrace) {
+  obs::FlightRecorder rec(32);
+  const obs::TraceContext ctx = obs::TraceContext::fresh();
+  {
+    obs::TraceScope scope(ctx);
+    rec.record(obs::FlightKind::kFaultInjected, "write ENOSPC /x", 7, 99, 3);
+  }
+  rec.record(obs::FlightKind::kMark, "outside");
+
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::FlightKind::kFaultInjected);
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(events[0].code, 7);
+  EXPECT_EQ(events[0].arg, 99u);
+  EXPECT_EQ(events[0].node, 3);
+  EXPECT_EQ(events[0].detail, "write ENOSPC /x");
+  EXPECT_EQ(events[1].trace_id, 0u);
+
+  EXPECT_EQ(rec.dump(ctx.trace_id).size(), 1u);
+
+  const std::string text = rec.dump_text(ctx.trace_id);
+  EXPECT_NE(text.find("1 events"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault-injected"), std::string::npos);
+  EXPECT_NE(text.find(ctx.hex()), std::string::npos);
+  EXPECT_NE(text.find("node=3"), std::string::npos);
+  EXPECT_NE(text.find("code=7"), std::string::npos);
+  EXPECT_NE(text.find("\"write ENOSPC /x\""), std::string::npos);
+}
+
+TEST(FlightRecorder, NodeDefaultsToContextAndDetailTruncates) {
+  obs::FlightRecorder rec(8);
+  obs::TraceContext ctx = obs::TraceContext::fresh();
+  ctx.node = 5;
+  obs::TraceScope scope(ctx);
+  rec.record(obs::FlightKind::kMark, std::string(100, 'x'));
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node, 5);
+  EXPECT_EQ(events[0].detail.size(), obs::FlightRecorder::kDetailMax);
+}
+
+TEST(FlightRecorder, WrapAroundKeepsNewestAndCountsDropped) {
+  obs::FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(obs::FlightKind::kMark, std::to_string(i));
+  }
+  EXPECT_EQ(rec.events_recorded(), 10u);
+  EXPECT_EQ(rec.events_dropped(), 6u);
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.back().detail, "9");  // newest survives the wrap
+
+  rec.clear();
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  EXPECT_EQ(rec.events_dropped(), 0u);
+  EXPECT_TRUE(rec.dump().empty());
+}
+
+TEST(FlightRecorder, DisabledRecorderIsSilent) {
+  obs::FlightRecorder rec(8);
+  rec.set_enabled(false);
+  EXPECT_FALSE(rec.enabled());
+  rec.record(obs::FlightKind::kMark, "dropped");
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  EXPECT_TRUE(rec.dump().empty());
+  rec.set_enabled(true);
+  rec.record(obs::FlightKind::kMark, "kept");
+  EXPECT_EQ(rec.dump().size(), 1u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndDumpAreClean) {
+  // Part of the tier-1 TSAN pass: the seqlock slots must let dump()/
+  // dump_text() run against live writers without locks or torn reads.
+  obs::FlightRecorder rec(64);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&rec, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)rec.dump();
+      (void)rec.dump_text();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kIters; ++i) {
+        rec.record(obs::FlightKind::kMark, "w" + std::to_string(t),
+                   static_cast<std::int32_t>(i),
+                   static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(rec.events_recorded(),
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(rec.threads_seen(), static_cast<std::size_t>(kThreads));
+  // Quiescent now: every surviving slot is stable and visible.
+  EXPECT_EQ(rec.dump().size(), static_cast<std::size_t>(kThreads) * 64);
+}
+
+TEST(FlightRecorder, FlightDetailKeepsOpErrAndPathTail) {
+  const std::string d = obs::flight_detail(
+      "write", "ENOSPC",
+      "/very/long/prefix/that/will/not/fit/home/alice/.swarm/seed");
+  EXPECT_LE(d.size(), obs::FlightRecorder::kDetailMax);
+  // Op and errno name stay whole; the path keeps its identifying tail.
+  EXPECT_EQ(d.rfind("write ENOSPC ", 0), 0u) << d;
+  EXPECT_NE(d.find("seed"), std::string::npos) << d;
+  EXPECT_EQ(obs::flight_detail("stat", "ENOENT", "/x"), "stat ENOENT /x");
+}
+
+TEST(FlightRecorder, RecordErrorMatchesFlightDetailFormat) {
+  // The zero-allocation record_error() path must land byte-identical
+  // details to flight_detail() + record(), truncation included.
+  const std::string long_path =
+      "/very/long/prefix/that/will/not/fit/home/alice/.swarm/seed";
+  obs::FlightRecorder rec(8);
+  rec.record_error(obs::FlightKind::kSyscallError, "write", "ENOSPC",
+                   long_path, 28, 7);
+  rec.record_error(obs::FlightKind::kSyscallError, "stat", "ENOENT", "/x", 2);
+  const auto events = rec.dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail,
+            obs::flight_detail("write", "ENOSPC", long_path));
+  EXPECT_EQ(events[0].code, 28);
+  EXPECT_EQ(events[0].arg, 7u);
+  EXPECT_EQ(events[1].detail, "stat ENOENT /x");
+}
+
+// --- SLO windows ------------------------------------------------------------------
+
+TEST(SloWindow, WindowedQuantilesBreachesAndDecay) {
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::time_point{});
+  obs::SloWindow::Options o;
+  o.slice_width = std::chrono::milliseconds(1000);
+  o.slices = 4;
+  o.bounds = {10.0, 100.0, 1000.0, 10000.0};
+  o.threshold_us = 1000.0;
+  o.objective = 0.99;
+  o.clock = [now] { return *now; };
+  obs::SloWindow w(o);
+
+  const auto empty = w.report();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50, -1.0);
+  EXPECT_DOUBLE_EQ(empty.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(empty.window_s, 4.0);
+
+  // 5% of traffic breaches a 99% objective: burning budget 5x too fast.
+  for (int i = 0; i < 95; ++i) w.observe(50.0);
+  for (int i = 0; i < 5; ++i) w.observe(5000.0);
+  const auto r = w.report();
+  EXPECT_EQ(r.count, 100u);
+  EXPECT_EQ(r.breaches, 5u);
+  EXPECT_NEAR(r.breach_fraction, 0.05, 1e-9);
+  EXPECT_NEAR(r.burn_rate, 5.0, 1e-6);
+  EXPECT_GT(r.p50, 10.0);
+  EXPECT_LE(r.p50, 100.0);
+  EXPECT_GT(r.p99, 1000.0);
+  EXPECT_DOUBLE_EQ(r.threshold_us, 1000.0);
+
+  // Advance past the whole window: everything ages out, the report decays
+  // to empty instead of being diluted forever by history.
+  *now += std::chrono::seconds(5);
+  const auto aged = w.report();
+  EXPECT_EQ(aged.count, 0u);
+  EXPECT_DOUBLE_EQ(aged.p99, -1.0);
+  EXPECT_DOUBLE_EQ(aged.burn_rate, 0.0);
+}
+
 // --- syscall observation ----------------------------------------------------------
 
 TEST(ObserveSyscalls, CountsCallsErrorsAndLatency) {
@@ -228,27 +479,49 @@ TEST(ObserveSyscalls, InjectedFaultsStayOutOfOrganicCounters) {
   auto user = cluster.user_on(cluster.login());
   ASSERT_TRUE(user.ok());
   obs::MetricsRegistry reg;
+  obs::FlightRecorder rec(32);
   kernel::Process p = *user;
   // The builder stacking order: observation innermost, fault layer above
   // it — an injected fault short-circuits before reaching ObserveSyscalls.
-  p.sys = std::make_shared<kernel::ObserveSyscalls>(p.sys, &reg);
+  p.sys = std::make_shared<kernel::ObserveSyscalls>(p.sys, &reg, &rec);
   kernel::FaultSpec spec;
   spec.op = "stat";
   spec.error = Err::eio;
   auto faults = std::make_shared<kernel::FaultInjectSyscalls>(p.sys, 42, spec);
   faults->set_metrics(&reg);
+  faults->set_flight_recorder(&rec);
   p.sys = faults;
 
   EXPECT_EQ(p.sys->stat(p, "/").error(), Err::eio);
   EXPECT_TRUE(p.sys->readdir(p, "/").ok());
+  EXPECT_FALSE(p.sys->readdir(p, "/no-such").ok());  // organic ENOENT
 
   EXPECT_EQ(reg.counter("syscall.fault_injected").value(), 1u);
   EXPECT_EQ(reg.counter("syscall.fault_injected.EIO").value(), 1u);
   // The faulted stat never reached the observation layer: organic counters
-  // saw only the readdir.
-  EXPECT_EQ(reg.counter("syscall.calls").value(), 1u);
-  EXPECT_EQ(reg.counter("syscall.errors").value(), 0u);
+  // saw only the two readdirs, one of which failed for real.
+  EXPECT_EQ(reg.counter("syscall.calls").value(), 2u);
+  EXPECT_EQ(reg.counter("syscall.errors").value(), 1u);
   EXPECT_EQ(reg.counter("syscall.errno.EIO").value(), 0u);
+  EXPECT_EQ(reg.counter("syscall.errno.ENOENT").value(), 1u);
+
+  // The flight recorder mirrors the same split: the injected fault lands
+  // exactly once as fault-injected, never as an organic syscall-error.
+  std::size_t injected = 0;
+  std::size_t organic = 0;
+  for (const auto& e : rec.dump()) {
+    if (e.kind == obs::FlightKind::kFaultInjected) {
+      ++injected;
+      EXPECT_NE(e.detail.find("stat EIO"), std::string::npos) << e.detail;
+    }
+    if (e.kind == obs::FlightKind::kSyscallError) {
+      ++organic;
+      EXPECT_NE(e.detail.find("readdir ENOENT"), std::string::npos)
+          << e.detail;
+    }
+  }
+  EXPECT_EQ(injected, 1u);
+  EXPECT_EQ(organic, 1u);
 }
 
 // --- thread pool ------------------------------------------------------------------
@@ -442,6 +715,19 @@ TEST(ObsBuiltins, MetricsAndTraceExport) {
   EXPECT_TRUE(json_well_formed(*json));
   EXPECT_NE(json->find("\"name\":\"syscall-batch\""), std::string::npos);
 
+  // The cluster view of the same spans: per-node lanes with named rows.
+  Transcript ct;
+  EXPECT_EQ(b.ch->run_in_image(
+                "tr", {"trace", "export", "--cluster", "/cluster.json"}, ct),
+            0);
+  auto cjson = user->sys->read_file(
+      *user,
+      user->env_get("HOME") + "/.local/share/ch-image/img/tr/cluster.json");
+  ASSERT_TRUE(cjson.ok());
+  EXPECT_TRUE(json_well_formed(*cjson));
+  EXPECT_NE(cjson->find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(cjson->find("login"), std::string::npos);
+
   Transcript tt;
   EXPECT_EQ(b.ch->run_in_image("tr", {"trace", "tree"}, tt), 0);
   EXPECT_NE(tt.text().find("build"), std::string::npos);
@@ -455,6 +741,74 @@ TEST(ObsBuiltins, MetricsAndTraceExport) {
   // Entering the container for the reset itself observes fresh syscalls, so
   // assert on a counter nothing touches after the builtin: cache.misses.
   EXPECT_EQ(b.reg->counter("cache.misses").value(), 0u);
+}
+
+TEST(ObsBuiltins, TraceExportUnwritablePathFailsCleanly) {
+  auto b = traced_build(false);
+  ASSERT_EQ(b.status, 0);
+  shell::register_obs_commands(*b.cluster->command_registry(), b.reg.get(),
+                               b.ch->tracer());
+  Transcript t;
+  EXPECT_EQ(b.ch->run_in_image(
+                "tr", {"trace", "export", "/no/such/dir/trace.json"}, t),
+            1);
+  EXPECT_NE(t.text().find("trace: cannot write"), std::string::npos)
+      << t.text();
+  Transcript ut;
+  EXPECT_EQ(b.ch->run_in_image("tr", {"trace", "export"}, ut), 2);
+  EXPECT_NE(ut.text().find("usage"), std::string::npos);
+}
+
+TEST(ObsBuiltins, FlightSummaryDumpFilterAndClear) {
+  core::ClusterOptions copts;
+  core::Cluster cluster(copts);
+  auto user = cluster.user_on(cluster.login());
+  ASSERT_TRUE(user.ok());
+  obs::MetricsRegistry reg;
+  // A private recorder keeps the global ring's build noise out of the
+  // assertions below.
+  obs::FlightRecorder rec(16);
+  shell::register_obs_commands(*cluster.command_registry(), &reg, nullptr,
+                               &rec);
+  core::ChImage ch(cluster.login(), *user, &cluster.registry());
+  Transcript bt;
+  ASSERT_EQ(ch.build("fl", "FROM centos:7\nRUN echo hi\n", bt), 0);
+
+  const obs::TraceContext ctx = obs::TraceContext::fresh();
+  {
+    obs::TraceScope scope(ctx);
+    rec.record(obs::FlightKind::kMark, "hello");
+  }
+  rec.record(obs::FlightKind::kMark, "world");
+
+  Transcript st;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight"}, st), 0);
+  EXPECT_NE(st.text().find("flight recorder: on"), std::string::npos);
+  EXPECT_NE(st.text().find("2 events recorded"), std::string::npos)
+      << st.text();
+
+  Transcript dt;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight", "dump"}, dt), 0);
+  EXPECT_NE(dt.text().find("mark"), std::string::npos);
+  EXPECT_NE(dt.text().find("\"hello\""), std::string::npos);
+  EXPECT_NE(dt.text().find("\"world\""), std::string::npos);
+
+  // Filtered to one trace id: only the event recorded under that scope.
+  Transcript ft;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight", "dump", ctx.hex()}, ft), 0);
+  EXPECT_NE(ft.text().find("\"hello\""), std::string::npos);
+  EXPECT_EQ(ft.text().find("\"world\""), std::string::npos);
+
+  Transcript bad;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight", "dump", "zzz"}, bad), 2);
+  EXPECT_NE(bad.text().find("bad trace id"), std::string::npos);
+  EXPECT_EQ(ch.run_in_image("fl", {"flight", "bogus"}, bad), 2);
+
+  Transcript cl;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight", "clear"}, cl), 0);
+  Transcript after;
+  EXPECT_EQ(ch.run_in_image("fl", {"flight"}, after), 0);
+  EXPECT_NE(after.text().find("0 events recorded"), std::string::npos);
 }
 
 TEST(ObsBuiltins, TraceReportsWhenTracingIsOff) {

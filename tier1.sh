@@ -10,9 +10,12 @@ cmake -B "$BUILD_DIR" -S . -DMINICON_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Trace-export smoke: a --force --trace multi-stage build must produce
-# well-formed Chrome trace JSON with build/stage/instruction/syscall-batch
-# nesting (trace_smoke validates and exits non-zero otherwise).
+# Trace-export + flight-recorder smoke: a --force --trace multi-stage build
+# must produce well-formed Chrome trace JSON with build/stage/instruction/
+# syscall-batch nesting, and a fault-injected build with the recorder on
+# must fail leaving a well-formed, causally-ordered post-mortem dump whose
+# events carry the build's trace id (trace_smoke validates both and exits
+# non-zero otherwise).
 "$BUILD_DIR"/examples/trace_smoke "$BUILD_DIR"/trace_smoke.json
 
 # Registry-service smoke: two tenants over one cluster registry — adopt +
@@ -23,8 +26,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # TSAN pass: only the suites that exercise shared mutable state (the
 # registry/chunk-store stress tests, the thread pool itself, the parallel
 # stage scheduler / shared build cache + CoW snapshots, the metrics
-# registry / tracer, the P2P chunk swarm, and the registry service's
-# concurrent push/tag-move/GC protocol).
+# registry / tracer / flight-recorder seqlock rings, the P2P chunk swarm,
+# and the registry service's concurrent push/tag-move/GC protocol).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
