@@ -1,0 +1,208 @@
+// P9: zero-consistency root emulation ablation. Shape: the per-op cost of
+// the three root-emulation answers — none (raw), consistent lies (fakeroot's
+// FakeDb), zero consistency (the seccomp-style stateless filter) — plus the
+// end-to-end --force=fakeroot vs --force=seccomp distro-build comparison.
+//
+// The claim under test (Priedhorsky et al. 2024): because the stateless
+// filter keeps no database, its faked privileged ops AND its passthrough
+// reads are both cheaper than fakeroot's, whose every stat pays the lie
+// lookup. The acceptance bar is the traced-fakeroot stat baseline
+// (BM_StatTraceFakeroot, ~1.2 us in BENCH_syscall_overhead.json): every
+// seccomp per-op number must land strictly below it.
+#include <benchmark/benchmark.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "fakeroot/fakeroot.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/zeroconsistency.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace minicon;
+
+struct World {
+  World() : cluster(make_opts()), alice(*cluster.user_on(cluster.login())) {
+    std::string out, err;
+    cluster.login().run(alice, "touch /home/alice/probe", out, err);
+  }
+  static core::ClusterOptions make_opts() {
+    core::ClusterOptions o;
+    o.arch = "x86_64";
+    o.compute_nodes = 0;
+    return o;
+  }
+  core::Cluster cluster;
+  kernel::Process alice;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+// Wraps alice's syscalls in the zero-consistency filter with a private
+// stats sink / metrics registry / flight ring, the way builders stack it
+// (so the faked path's full accounting cost is measured, not elided).
+kernel::Process seccomp_proc(obs::MetricsRegistry& reg,
+                             obs::FlightRecorder& flight) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<kernel::ZeroConsistencySyscalls>(
+      p.sys, std::make_shared<kernel::ZeroConsistencyStats>(), &reg, &flight);
+  return p;
+}
+
+// --- faked privileged ops: fakeroot (record the lie) vs seccomp (drop it) ---
+
+void BM_ChownRaw(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  // Organic no-op chown to the caller's own IDs: the permission-checked
+  // kernel path without any emulation layer.
+  for (auto _ : state) {
+    auto rc = p.sys->chown(p, "/home/alice/probe", p.cred.euid, p.cred.egid,
+                           true);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_ChownRaw);
+
+void BM_ChownFakerootFaked(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto rc = p.sys->chown(p, "/home/alice/probe", 0, 0, true);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_ChownFakerootFaked);
+
+void BM_ChownSeccompFaked(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto rc = p.sys->chown(p, "/home/alice/probe", 0, 0, true);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_ChownSeccompFaked);
+
+void BM_SetidChmodSeccompFaked(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto rc = p.sys->chmod(p, "/home/alice/probe", 04755);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_SetidChmodSeccompFaked);
+
+void BM_MknodDevSeccompFaked(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto rc = p.sys->mknod(p, "/home/alice/null", vfs::FileType::CharDev,
+                           0666, 1, 3);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_MknodDevSeccompFaked);
+
+void BM_SetuidSeccompFaked(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto rc = p.sys->setuid(p, 0);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_SetuidSeccompFaked);
+
+void BM_XattrSeccompFaked(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto rc = p.sys->set_xattr(p, "/home/alice/probe", "security.selinux",
+                               "ctx");
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_XattrSeccompFaked);
+
+// --- the hot readback path: stat under each emulator -------------------------
+
+void BM_StatRaw(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatRaw);
+
+// fakeroot pays the lie lookup on *every* stat, faked or not.
+void BM_StatFakeroot(benchmark::State& state) {
+  kernel::Process p = world().alice;
+  p.sys = std::make_shared<fakeroot::FakerootSyscalls>(
+      p.sys, nullptr, fakeroot::FakerootOptions{});
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatFakeroot);
+
+// The zero-consistency filter does not intercept stat at all: readback is
+// one virtual hop over raw.
+void BM_StatSeccomp(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::FlightRecorder flight{256};
+  kernel::Process p = seccomp_proc(reg, flight);
+  for (auto _ : state) {
+    auto st = p.sys->stat(p, "/home/alice/probe");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_StatSeccomp);
+
+// --- end-to-end: the same distro build under each --force mode ---------------
+
+void force_build(benchmark::State& state, const char* dockerfile) {
+  const bool seccomp = state.range(0) != 0;
+  for (auto _ : state) {
+    core::ChImageOptions opts;
+    opts.force_mode =
+        seccomp ? core::ForceMode::kSeccomp : core::ForceMode::kFakeroot;
+    core::ChImage ch(world().cluster.login(), world().alice,
+                     &world().cluster.registry(), opts);
+    Transcript t;
+    if (ch.build("zc-bench", dockerfile, t) != 0) {
+      state.SkipWithError("build failed");
+      return;
+    }
+  }
+  state.SetLabel(seccomp ? "--force=seccomp" : "--force=fakeroot");
+}
+
+void BM_ForceBuildCentos(benchmark::State& state) {
+  force_build(state, "FROM centos:7\nRUN yum install -y openssh\n");
+}
+BENCHMARK(BM_ForceBuildCentos)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ForceBuildDebian(benchmark::State& state) {
+  force_build(state,
+              "FROM debian:buster\nRUN apt-get update\n"
+              "RUN apt-get install -y openssh-client\n");
+}
+BENCHMARK(BM_ForceBuildDebian)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -76,6 +76,16 @@ ChImage::ChImage(Machine& m, kernel::Process invoker,
   if (options_.storage_dir.empty()) {
     options_.storage_dir = invoker_.env_get("HOME") + "/.local/share/ch-image";
   }
+  // Normalize the two --force spellings: the boolean alone is the historical
+  // fakeroot request; an explicit mode implies the flag.
+  if (options_.force && options_.force_mode == ForceMode::kNone) {
+    options_.force_mode = ForceMode::kFakeroot;
+  } else if (options_.force_mode != ForceMode::kNone) {
+    options_.force = true;
+  }
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    zc_stats_ = std::make_shared<kernel::ZeroConsistencyStats>();
+  }
   if (options_.shared_cache != nullptr) {
     cache_ = options_.shared_cache;
     options_.build_cache = true;
@@ -186,16 +196,25 @@ Result<kernel::Process> ChImage::enter(const std::string& image_dir,
   opts.env = cfg.env;
   opts.kernel_auto_maps = options_.kernel_assisted_maps;
   MINICON_TRY_ASSIGN(container, enter_type3(m_, invoker_, rootfs, opts));
-  // Interposition stack, innermost first: metrics observation, then
-  // caller-supplied layers (fault injection, ...), then tracing, then
-  // fakeroot outermost so the lies database sees the build's view of every
-  // faked operation. ObserveSyscalls sits below the caller layers so an
-  // injected fault short-circuits above it and never skews the organic
-  // syscall.errno.* counters (it is counted as syscall.fault_injected by
-  // the fault layer instead).
+  // Interposition stack, innermost first: metrics observation, then the
+  // zero-consistency filter, then caller-supplied layers (fault injection,
+  // ...), then tracing, then fakeroot outermost so the lies database sees
+  // the build's view of every faked operation. ObserveSyscalls sits below
+  // the caller layers so an injected fault short-circuits above it and
+  // never skews the organic syscall.errno.* counters (it is counted as
+  // syscall.fault_injected by the fault layer instead). The same reasoning
+  // places ZeroConsistencySyscalls directly above Observe: faked ops never
+  // reach the organic counters (they are syscall.zeroconsistency.* instead),
+  // while an injected EPERM fires in the fault layer *before* the filter
+  // could fake it and so still propagates — a seccomp filter models the
+  // kernel's edge, not the C library's.
   if (options_.trace || options_.observe_syscalls) {
     container.sys = std::make_shared<kernel::ObserveSyscalls>(
         container.sys, metrics_, recorder_);
+  }
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    container.sys = std::make_shared<kernel::ZeroConsistencySyscalls>(
+        container.sys, zc_stats_, metrics_, recorder_);
   }
   for (const auto& layer : options_.syscall_layers) {
     if (layer) container.sys = layer(container.sys);
@@ -358,6 +377,12 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
   }
   const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
+  // Baseline for the per-build faked-op delta (the sink is builder-lifetime
+  // and a builder can run many builds).
+  const kernel::ZeroConsistencyStats::Totals zc0 =
+      zc_stats_ != nullptr ? zc_stats_->totals()
+                           : kernel::ZeroConsistencyStats::Totals{};
+
   std::vector<StageBuild> sb(g.stages().size());
   // Adopt the caller's trace context (a cluster launch, a test harness) or
   // mint one: either way every span and flight event below carries it.
@@ -391,6 +416,18 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
       recorder_->record(obs::FlightKind::kBuildFailed,
                         obs::flight_detail("ch-image", "", tag), rc);
     }
+    if (zc_stats_ != nullptr) {
+      // Readback-divergence report: with zero state kept, a faked result a
+      // later step checked is the prime suspect for the failure.
+      const auto zc = zc_stats_->totals();
+      const std::uint64_t faked = zc.total() - zc0.total();
+      if (faked > 0) {
+        t.line("hint: build failed under --force=seccomp after " +
+               std::to_string(faked) +
+               " faked privileged syscalls; faked results do not survive "
+               "readback (--force=fakeroot keeps them consistent)");
+      }
+    }
     return rc;
   }
 
@@ -406,7 +443,23 @@ int ChImage::build(const std::string& tag, const std::string& dockerfile_text,
       if (s.force_cfg != nullptr) hint_cfg = s.force_cfg;
     }
   }
-  if (options_.force) {
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    const auto zc = zc_stats_->totals();
+    t.line("--force: seccomp: faked " +
+           std::to_string(zc.total() - zc0.total()) +
+           " privileged syscalls (chown " +
+           std::to_string(zc.chown - zc0.chown) + ", chmod-setid " +
+           std::to_string(zc.chmod_setid - zc0.chmod_setid) + ", mknod-dev " +
+           std::to_string(zc.mknod_dev - zc0.mknod_dev) + ", setid " +
+           std::to_string(zc.setid - zc0.setid) + ", xattr " +
+           std::to_string(zc.xattr - zc0.xattr) + ")");
+    if (zc.readback_divergent() > zc0.readback_divergent()) {
+      t.line("note: zero-consistency mode kept no state for these; "
+             "ownership, setuid bits, device nodes, and security xattrs "
+             "will not survive readback (use --force=fakeroot for "
+             "consistent lies)");
+    }
+  } else if (options_.force) {
     t.line("--force: init OK & modified " + std::to_string(modified_runs) +
            " RUN instructions");
   } else if (any_keyword_match && hint_cfg != nullptr) {
@@ -461,7 +514,12 @@ int ChImage::build_stage(const std::string& tag,
                                           {o.cfg.arch});
   }
   o.force_cfg = detect_config(o.dir);
-  if (options_.force) {
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    // No distro sniffing required: the filter works on the syscall number
+    // alone, so there is nothing to match, install, or rewrite.
+    t.line("will use --force: seccomp: zero-consistency root emulation "
+           "(no image modification)");
+  } else if (options_.force) {
     if (o.force_cfg != nullptr) {
       t.line("will use --force: " + o.force_cfg->name + ": " +
              o.force_cfg->description);
@@ -513,8 +571,8 @@ int ChImage::build_stage(const std::string& tag,
         }();
         o.any_keyword_match = o.any_keyword_match || keyword_hit;
 
-        if (keyword_hit && options_.force && !options_.embedded_fakeroot &&
-            !options_.kernel_assisted_maps) {
+        if (keyword_hit && options_.force_mode == ForceMode::kFakeroot &&
+            !options_.embedded_fakeroot && !options_.kernel_assisted_maps) {
           if (!fakeroot_inited) {
             int step_no = 0;
             for (const auto& step : o.force_cfg->init_steps) {
@@ -565,6 +623,9 @@ int ChImage::build_stage(const std::string& tag,
           const kernel::SyscallStats::Totals before =
               stats_ != nullptr ? stats_->totals()
                                 : kernel::SyscallStats::Totals{};
+          const kernel::ZeroConsistencyStats::Totals zc_before =
+              zc_stats_ != nullptr ? zc_stats_->totals()
+                                   : kernel::ZeroConsistencyStats::Totals{};
           // One syscall-batch span per attempt: deltas of the shared
           // syscall.* counters are exact because the machine mutex is held
           // across the container run.
@@ -598,6 +659,14 @@ int ChImage::build_stage(const std::string& tag,
             if (!errno_sum.empty()) line += " (" + errno_sum + ")";
             line += ", depth " + std::to_string(last_depth_);
             t.line(line);
+          }
+          if (zc_stats_ != nullptr) {
+            const auto zc_after = zc_stats_->totals();
+            if (zc_after.total() > zc_before.total()) {
+              t.line("seccomp: instruction " + idx_str + ": faked " +
+                     std::to_string(zc_after.total() - zc_before.total()) +
+                     " privileged syscalls");
+            }
           }
           if (status == 0 || attempt >= options_.run_retry.max_attempts) {
             break;

@@ -25,11 +25,13 @@
 #include "buildgraph/cache.hpp"
 #include "buildgraph/graph.hpp"
 #include "buildgraph/scheduler.hpp"
+#include "core/force.hpp"
 #include "core/machine.hpp"
 #include "core/runtime.hpp"
 #include "fakeroot/fakedb.hpp"
 #include "kernel/syscall_filter.hpp"
 #include "kernel/trace.hpp"
+#include "kernel/zeroconsistency.hpp"
 #include "image/registry.hpp"
 #include "obs/context.hpp"
 #include "obs/flightrec.hpp"
@@ -64,6 +66,11 @@ const std::vector<ForceConfig>& builtin_force_configs();
 
 struct ChImageOptions {
   bool force = false;
+  // Which root emulator --force selects. Setting `force` alone keeps the
+  // historical meaning (fakeroot injection); setting a mode implies
+  // `force`. kSeccomp needs no distro config, no init steps, and no RUN
+  // rewriting: the filter stacks under every container unconditionally.
+  ForceMode force_mode = ForceMode::kNone;
   // §6.2.2 extensions (all off by default, matching the paper's ch-image):
   bool build_cache = false;
   bool embedded_fakeroot = false;
@@ -164,6 +171,11 @@ class ChImage {
 
   const fakeroot::FakeDbPtr& embedded_db() const { return embedded_db_; }
 
+  // Faked-op counts for --force=seccomp (null in the other modes).
+  const kernel::ZeroConsistencyStatsPtr& zeroconsistency_stats() const {
+    return zc_stats_;
+  }
+
   // Aggregate syscall counters across every container entered (null unless
   // tracing is enabled) and the interposition depth of the last container.
   const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
@@ -233,6 +245,7 @@ class ChImage {
   // One simulated machine, one kernel: stage bodies serialize behind this.
   std::mutex machine_mu_;
   fakeroot::FakeDbPtr embedded_db_;
+  kernel::ZeroConsistencyStatsPtr zc_stats_;  // null unless force_mode seccomp
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
   int last_depth_ = 0;
   std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on

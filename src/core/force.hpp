@@ -1,0 +1,47 @@
+// The --force privilege-emulation mode shared by both builders.
+//
+// Historically --force was a boolean meaning "inject fakeroot(1)". The
+// zero-consistency work adds a second emulator, so the flag grows a value:
+//
+//   --force            -> kFakeroot   (compatibility spelling)
+//   --force=fakeroot   -> kFakeroot   (consistent lies, FakeDb)
+//   --force=seccomp    -> kSeccomp    (stateless fakes, no readback rewrite)
+//   --force=none       -> kNone       (explicit off)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace minicon::core {
+
+enum class ForceMode {
+  kNone = 0,   // no root emulation; privileged ops fail organically
+  kFakeroot,   // consistent lies via fakeroot(1)/FakeDb (SC'21 §5.3)
+  kSeccomp,    // zero-consistency seccomp filter (Priedhorsky et al. 2024)
+};
+
+inline std::string_view force_mode_name(ForceMode m) {
+  switch (m) {
+    case ForceMode::kNone: return "none";
+    case ForceMode::kFakeroot: return "fakeroot";
+    case ForceMode::kSeccomp: return "seccomp";
+  }
+  return "none";
+}
+
+// Parses the command-line spelling ("--force", "--force=seccomp", ...).
+// Returns nullopt for an unrecognized mode so callers can report the
+// offending text themselves.
+inline std::optional<ForceMode> parse_force_mode(std::string_view arg) {
+  if (arg == "--force") return ForceMode::kFakeroot;
+  if (arg.starts_with("--force=")) {
+    const std::string_view mode = arg.substr(std::string_view("--force=").size());
+    if (mode == "fakeroot") return ForceMode::kFakeroot;
+    if (mode == "seccomp") return ForceMode::kSeccomp;
+    if (mode == "none") return ForceMode::kNone;
+  }
+  return std::nullopt;
+}
+
+}  // namespace minicon::core

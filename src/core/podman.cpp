@@ -47,6 +47,12 @@ Podman::Podman(Machine& m, kernel::Process invoker, image::Registry* registry,
                  ? options_.syscall_stats
                  : std::make_shared<kernel::SyscallStats>();
   }
+  if (options_.force_mode == ForceMode::kFakeroot) {
+    options_.force_mode = ForceMode::kNone;  // not a podman mode
+  }
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    zc_stats_ = std::make_shared<kernel::ZeroConsistencyStats>();
+  }
   metrics_ = options_.metrics != nullptr ? options_.metrics
                                          : &obs::global_metrics();
   if (options_.tracer != nullptr) {
@@ -124,6 +130,12 @@ Result<kernel::Process> Podman::enter(const Layer& layer,
   if (options_.trace || options_.observe_syscalls) {
     c.sys = std::make_shared<kernel::ObserveSyscalls>(c.sys, metrics_);
   }
+  // Zero-consistency filter directly above Observe, below caller layers:
+  // same placement rationale as ch-image (see ChImage::enter).
+  if (options_.force_mode == ForceMode::kSeccomp) {
+    c.sys = std::make_shared<kernel::ZeroConsistencySyscalls>(c.sys, zc_stats_,
+                                                              metrics_);
+  }
   for (const auto& layer : options_.syscall_layers) {
     if (layer) c.sys = layer(c.sys);
   }
@@ -193,6 +205,9 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
   }
   const auto& g = std::get<buildgraph::BuildGraph>(lowered);
 
+  const kernel::ZeroConsistencyStats::Totals zc0 =
+      zc_stats_ != nullptr ? zc_stats_->totals()
+                           : kernel::ZeroConsistencyStats::Totals{};
   std::vector<StageBuild> sb(g.stages().size());
   obs::Span build_span(tracer_.get(), "build");
   build_span.annotate("builder", "podman");
@@ -221,6 +236,13 @@ int Podman::build(const std::string& tag, const std::string& dockerfile_text,
   img.top = fin.current;
   img.config = std::move(fin.cfg);
   images_[tag] = std::move(img);
+  if (zc_stats_ != nullptr) {
+    const auto zc = zc_stats_->totals();
+    if (zc.total() > zc0.total()) {
+      t.line("seccomp: faked " + std::to_string(zc.total() - zc0.total()) +
+             " privileged syscalls (zero-consistency mode)");
+    }
+  }
   t.line("COMMIT " + tag);
   return 0;
 }

@@ -25,9 +25,11 @@
 #include "buildgraph/cache.hpp"
 #include "buildgraph/graph.hpp"
 #include "buildgraph/scheduler.hpp"
+#include "core/force.hpp"
 #include "core/machine.hpp"
 #include "core/runtime.hpp"
 #include "core/storage.hpp"
+#include "kernel/zeroconsistency.hpp"
 #include "image/registry.hpp"
 #include "kernel/syscall_filter.hpp"
 #include "kernel/trace.hpp"
@@ -48,6 +50,13 @@ struct PodmanOptions {
   // the experimental unprivileged mode (§4.1.1 / Fig 5).
   bool rootless_helpers = true;
   bool ignore_chown_errors = false;
+  // kSeccomp stacks the zero-consistency filter under every container —
+  // the interesting pairing is the unprivileged single-map mode
+  // (rootless_helpers=false), where it fakes the chowns Fig 5 dies on
+  // instead of merely ignoring their errors. kFakeroot is not a podman
+  // thing (rootless helpers already give real consistency) and is treated
+  // as kNone.
+  ForceMode force_mode = ForceMode::kNone;
   bool build_cache = true;
   // Build cache shared with other builders (implies build_cache). When null
   // and build_cache is set, the builder creates a private cache backed by
@@ -138,6 +147,11 @@ class Podman {
   const kernel::SyscallStatsPtr& syscall_stats() const { return stats_; }
   int last_interposition_depth() const { return last_depth_; }
 
+  // Faked-op counts for force_mode == kSeccomp (null otherwise).
+  const kernel::ZeroConsistencyStatsPtr& zeroconsistency_stats() const {
+    return zc_stats_;
+  }
+
   // The span tracer (null unless options.trace / options.tracer) and the
   // metrics registry this builder reports into (never null).
   const std::shared_ptr<obs::Tracer>& tracer() const { return tracer_; }
@@ -194,6 +208,7 @@ class Podman {
   // One simulated machine, one storage driver: stage bodies serialize here.
   std::mutex machine_mu_;
   kernel::SyscallStatsPtr stats_;  // null unless tracing is enabled
+  kernel::ZeroConsistencyStatsPtr zc_stats_;  // null unless force_mode seccomp
   int last_depth_ = 0;
   std::shared_ptr<obs::Tracer> tracer_;  // null unless span tracing is on
   obs::MetricsRegistry* metrics_ = nullptr;  // resolved in the constructor

@@ -218,6 +218,39 @@ void populate_centos_repos(pkg::RepoUniverse& universe) {
     p.files = {ping};
     base.add(std::move(p));
   }
+  {
+    // Breakage-matrix pass case: the %post scriptlet *requests* privilege
+    // (chown + setuid chmod on pkexec) but never reads the result back —
+    // exactly the pattern the zero-consistency emulator bets on.
+    pkg::Package p;
+    p.name = "polkit";
+    p.version = "0.112-26.el7";
+    p.arch = "x86_64";
+    p.post_install =
+        "chown root:root /usr/bin/pkexec && chmod 4755 /usr/bin/pkexec";
+    p.files = {
+        {"/usr/bin/pkexec", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo pkexec must be setuid root")},
+    };
+    base.add(std::move(p));
+  }
+  {
+    // Breakage-matrix divergence case (rpm flavour): the %post creates
+    // /dev/fuse MAKEDEV-style and then *checks* it exists. Zero-consistency
+    // mode fakes the mknod and keeps nothing, so the readback fails — rpm
+    // reports the scriptlet failure as a warning and carries on.
+    pkg::Package p;
+    p.name = "fuse";
+    p.version = "2.9.2-11.el7";
+    p.arch = "x86_64";
+    p.post_install =
+        "test -e /dev/fuse || mknod /dev/fuse c 10 229; test -e /dev/fuse";
+    p.files = {
+        {"/usr/bin/fusermount", vfs::FileType::Regular, 0755, "root", "root",
+         script("echo fusermount version: 2.9.2")},
+    };
+    base.add(std::move(p));
+  }
 
   pkg::Repository& epel = universe.create("epel");
   {
@@ -404,6 +437,39 @@ void populate_debian_repos(pkg::RepoUniverse& universe) {
     p.arch = "amd64";
     p.files = {{"/usr/bin/hello", vfs::FileType::Regular, 0755, "root", "root",
                 script("echo Hello, world!")}};
+    main.add(std::move(p));
+  }
+  {
+    // Breakage-matrix divergence case (hard failure): like the real makedev
+    // package, the postinst creates device nodes — and then verifies them,
+    // as MAKEDEV scripts do. Under --force=fakeroot the faked node is a
+    // recorded plain file, so the check passes; under --force=seccomp
+    // nothing was created and dpkg fails the configure step (apt exits 100).
+    pkg::Package p;
+    p.name = "makedev";
+    p.version = "2.3.1-93";
+    p.arch = "all";
+    p.post_install = "mknod /dev/sda b 8 0 && test -e /dev/sda";
+    p.files = {{"/sbin/MAKEDEV", vfs::FileType::Regular, 0755, "root", "root",
+                script("echo MAKEDEV")}};
+    main.add(std::move(p));
+  }
+  {
+    // Breakage-matrix divergence case (ownership readback): models the
+    // scriptlet class that chowns a path and then *verifies* the result
+    // (postfix's "postfix check", dpkg-statoverride --update). fakeroot's
+    // consistent lies satisfy the stat; zero-consistency mode leaves the
+    // file invoker-owned (Uid: 0 inside the map), so the grep fails and
+    // dpkg reports the broken postinst.
+    pkg::Package p;
+    p.name = "ownership-audit";
+    p.version = "1.2-3";
+    p.arch = "amd64";
+    p.post_install =
+        "chown bin:bin /usr/lib/ownership-audit/canary && "
+        "stat /usr/lib/ownership-audit/canary | grep -q 'Uid: 2 '";
+    p.files = {{"/usr/lib/ownership-audit/canary", vfs::FileType::Regular,
+                0644, "bin", "bin", "audited\n"}};
     main.add(std::move(p));
   }
 }

@@ -1,5 +1,7 @@
 #include "fakeroot/fakeroot.hpp"
 
+#include "kernel/privilege.hpp"
+
 namespace minicon::fakeroot {
 
 FakerootSyscalls::FakerootSyscalls(std::shared_ptr<kernel::Syscalls> inner,
@@ -68,7 +70,7 @@ VoidResult FakerootSyscalls::mknod(kernel::Process& p, const std::string& path,
                                    vfs::FileType type, std::uint32_t mode,
                                    std::uint32_t dev_major,
                                    std::uint32_t dev_minor) {
-  if (type != vfs::FileType::CharDev && type != vfs::FileType::BlockDev) {
+  if (!kernel::privileged_node_type(type)) {
     return inner()->mknod(p, path, type, mode, dev_major, dev_minor);
   }
   // Fake a device node: create a plain file, remember what it pretends to be.
@@ -106,9 +108,9 @@ VoidResult FakerootSyscalls::set_xattr(kernel::Process& p,
                                        const std::string& path,
                                        const std::string& name,
                                        const std::string& value) {
-  const bool privileged_ns =
-      name.starts_with("security.") || name.starts_with("trusted.");
-  if (!privileged_ns) return inner()->set_xattr(p, path, name, value);
+  if (!kernel::privileged_xattr_name(name)) {
+    return inner()->set_xattr(p, path, name, value);
+  }
   auto rc = inner()->set_xattr(p, path, name, value);
   if (rc.ok()) return rc;
   if (!options_.fake_security_xattrs) return rc;  // classic fakeroot: fail

@@ -1,0 +1,48 @@
+// Privileged-operation classification, shared by every root-emulation layer.
+//
+// Both the consistent emulator (fakeroot's FakerootSyscalls, which records
+// lies in a FakeDb) and the zero-consistency emulator (ZeroConsistencySyscalls,
+// which records nothing) must agree on *which* operations an unprivileged
+// build cannot perform; only their answers differ. The predicates live here,
+// in the kernel library, because fakeroot depends on kernel and not the
+// other way around.
+//
+// The privileged-op set, per Priedhorsky et al. 2024 §3:
+//   * chown(2)/lchown(2) — any ownership change;
+//   * chmod(2) with setuid/setgid bits — the kernel silently strips or
+//     rejects these for non-owners and unmapped ids;
+//   * mknod(2) of character/block devices — requires CAP_MKNOD over the
+//     *initial* namespace, never available in a Type III container;
+//   * set*id(2)/setgroups(2) — credential changes to ids the single-entry
+//     map cannot represent;
+//   * xattrs in the security.* and trusted.* namespaces — setcap(8),
+//     SELinux labels, and friends.
+#pragma once
+
+#include <string_view>
+
+#include "vfs/types.hpp"
+
+namespace minicon::kernel {
+
+// security.* / trusted.* — namespaces an unprivileged process cannot
+// generally write (security.capability needs CAP_SETFCAP, trusted.* needs
+// init-namespace CAP_SYS_ADMIN). user.* and system.posix_acl_* pass.
+inline bool privileged_xattr_name(std::string_view name) {
+  return name.starts_with("security.") || name.starts_with("trusted.");
+}
+
+// True when `mode` carries setuid/setgid bits, the part of chmod(2) that an
+// ID-squashed build cannot reproduce (the kernel drops setgid for
+// non-members and refuses setuid on files the caller does not own).
+inline bool privileged_mode_bits(std::uint32_t mode) {
+  return (mode & (vfs::mode::kSetUid | vfs::mode::kSetGid)) != 0;
+}
+
+// Device nodes are the only mknod(2) flavour gated on CAP_MKNOD over the
+// initial user namespace; fifos/sockets/regular files are unprivileged.
+inline bool privileged_node_type(vfs::FileType type) {
+  return type == vfs::FileType::CharDev || type == vfs::FileType::BlockDev;
+}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,127 @@
+#include "kernel/zeroconsistency.hpp"
+
+#include "kernel/privilege.hpp"
+
+namespace minicon::kernel {
+
+ZeroConsistencySyscalls::ZeroConsistencySyscalls(
+    std::shared_ptr<Syscalls> inner, ZeroConsistencyStatsPtr stats,
+    obs::MetricsRegistry* metrics, obs::FlightRecorder* recorder)
+    : SyscallFilter(std::move(inner)),
+      stats_(stats != nullptr ? std::move(stats)
+                              : std::make_shared<ZeroConsistencyStats>()),
+      metrics_(metrics != nullptr ? metrics : &obs::global_metrics()),
+      recorder_(recorder != nullptr ? recorder
+                                    : &obs::global_flight_recorder()),
+      faked_total_(&metrics_->counter("syscall.zeroconsistency.faked")),
+      faked_chown_(&metrics_->counter("syscall.zeroconsistency.chown.faked")),
+      faked_chmod_(&metrics_->counter("syscall.zeroconsistency.chmod.faked")),
+      faked_mknod_(&metrics_->counter("syscall.zeroconsistency.mknod.faked")),
+      faked_setid_(&metrics_->counter("syscall.zeroconsistency.setid.faked")),
+      faked_xattr_(&metrics_->counter("syscall.zeroconsistency.xattr.faked")) {}
+
+void ZeroConsistencySyscalls::faked(const char* op, const std::string& path,
+                                    std::atomic<std::uint64_t>& category,
+                                    obs::Counter* op_counter) {
+  category.fetch_add(1, std::memory_order_relaxed);
+  faked_total_->add();
+  op_counter->add();
+  if (recorder_->enabled()) {
+    recorder_->record_error(obs::FlightKind::kPrivilegeFaked, op, "FAKED",
+                            path);
+  }
+}
+
+VoidResult ZeroConsistencySyscalls::chown(Process&, const std::string& path,
+                                          Uid, Gid, bool) {
+  // Fired on the syscall number alone, like seccomp-BPF: the path is never
+  // resolved, so chown of a nonexistent file "succeeds" too.
+  faked("chown", path, stats_->chown, faked_chown_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::chmod(Process& p, const std::string& path,
+                                          std::uint32_t mode) {
+  if (!privileged_mode_bits(mode)) return inner()->chmod(p, path, mode);
+  // Setuid/setgid request: fake success without executing — even the
+  // unprivileged permission bits stay whatever they were.
+  faked("chmod", path, stats_->chmod_setid, faked_chmod_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::mknod(Process& p, const std::string& path,
+                                          vfs::FileType type,
+                                          std::uint32_t mode,
+                                          std::uint32_t dev_major,
+                                          std::uint32_t dev_minor) {
+  if (!privileged_node_type(type)) {
+    return inner()->mknod(p, path, type, mode, dev_major, dev_minor);
+  }
+  // No node of any kind is created (contrast fakeroot, which creates a
+  // regular file and remembers what it pretends to be).
+  faked("mknod", path, stats_->mknod_dev, faked_mknod_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::set_xattr(Process& p,
+                                              const std::string& path,
+                                              const std::string& name,
+                                              const std::string& value) {
+  if (!privileged_xattr_name(name)) {
+    return inner()->set_xattr(p, path, name, value);
+  }
+  faked("setxattr", path, stats_->xattr, faked_xattr_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::remove_xattr(Process& p,
+                                                 const std::string& path,
+                                                 const std::string& name) {
+  if (!privileged_xattr_name(name)) {
+    return inner()->remove_xattr(p, path, name);
+  }
+  faked("removexattr", path, stats_->xattr, faked_xattr_);
+  return {};
+}
+
+// Credential writes: all faked, none executed. Reads stay organic — in the
+// Type III containers builders run this under, the single-entry map already
+// presents uid 0, so there is no identity state to keep consistent.
+
+VoidResult ZeroConsistencySyscalls::setuid(Process&, Uid) {
+  faked("setuid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::setgid(Process&, Gid) {
+  faked("setgid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::setresuid(Process&, Uid, Uid, Uid) {
+  faked("setresuid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::setresgid(Process&, Gid, Gid, Gid) {
+  faked("setresgid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::seteuid(Process&, Uid) {
+  faked("seteuid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::setegid(Process&, Gid) {
+  faked("setegid", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+VoidResult ZeroConsistencySyscalls::setgroups(Process&,
+                                              const std::vector<Gid>&) {
+  faked("setgroups", "", stats_->setid, faked_setid_);
+  return {};
+}
+
+}  // namespace minicon::kernel

@@ -1,0 +1,145 @@
+// ZeroConsistencySyscalls: stateless root emulation (Priedhorsky et al.
+// 2024, "Zero-consistency root emulation for unprivileged container image
+// build").
+//
+// Where fakeroot tells *consistent* lies — every faked chown lands in a
+// FakeDb and is replayed on stat readback, at a per-syscall cost on the hot
+// stat path — this layer models the sequel paper's seccomp filter: privileged
+// operations are intercepted and reported successful *without executing and
+// without recording anything*. There is no database, no uid/gid rewrite on
+// readback, no identity faking; the emulator keeps zero state. The bet,
+// validated by the paper's corpus study, is that distro package builds
+// almost never read back the results of privileged syscalls, so the lies
+// never need to be consistent.
+//
+// Consequences (all deliberate, all observable):
+//   * chown(2) "succeeds" on any path — even one that does not exist. The
+//     filter fires on the syscall number alone, like a seccomp-BPF program
+//     that never sees user memory.
+//   * chmod(2) with setuid/setgid bits "succeeds" but changes *nothing*,
+//     not even the unprivileged permission bits; a later stat sees the old
+//     mode. (Plain chmod passes through untouched.)
+//   * mknod(2) of a device "succeeds" and creates nothing; a later stat
+//     gets ENOENT. (Fifos and regular files pass through.)
+//   * set*id(2)/setgroups(2) "succeed" and change no credentials; a later
+//     geteuid() is organic. (Builders run this layer inside a Type III
+//     container whose single map already shows uid 0, so identity *reads*
+//     need no faking at all.)
+//   * security.*/trusted.* xattr writes "succeed" and store nothing; a
+//     later getxattr is ENODATA.
+//
+// Because the interception is kernel-attached rather than LD_PRELOAD, it
+// wraps statically-linked binaries too (wraps_statically_linked() == true) —
+// the one structural advantage over classic fakeroot, shared with ptrace.
+//
+// Accounting: every faked op bumps `syscall.zeroconsistency.faked` plus the
+// per-category `syscall.zeroconsistency.<op>.faked` counter, lands in the
+// flight recorder as a `privilege-faked` event, and increments the shared
+// ZeroConsistencyStats sink so builders can report per-build deltas and
+// warn about the readback-divergent categories.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "kernel/syscall_filter.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/metrics.hpp"
+
+namespace minicon::kernel {
+
+// Shared sink for faked-op counts, one atomic per category (the same idiom
+// as SyscallStats: builders keep the pointer and diff totals() snapshots
+// around each RUN).
+struct ZeroConsistencyStats {
+  std::atomic<std::uint64_t> chown{0};
+  std::atomic<std::uint64_t> chmod_setid{0};
+  std::atomic<std::uint64_t> mknod_dev{0};
+  std::atomic<std::uint64_t> setid{0};
+  std::atomic<std::uint64_t> xattr{0};
+
+  struct Totals {
+    std::uint64_t chown = 0;
+    std::uint64_t chmod_setid = 0;
+    std::uint64_t mknod_dev = 0;
+    std::uint64_t setid = 0;
+    std::uint64_t xattr = 0;
+    std::uint64_t total() const {
+      return chown + chmod_setid + mknod_dev + setid + xattr;
+    }
+    // Categories whose faked success a later organic read can contradict
+    // (stat sees real ownership/mode, a device node is missing, getxattr is
+    // ENODATA). setid is excluded: inside the Type III map identity reads
+    // are already root, so there is nothing to diverge.
+    std::uint64_t readback_divergent() const {
+      return chown + chmod_setid + mknod_dev + xattr;
+    }
+  };
+  Totals totals() const {
+    Totals t;
+    t.chown = chown.load(std::memory_order_relaxed);
+    t.chmod_setid = chmod_setid.load(std::memory_order_relaxed);
+    t.mknod_dev = mknod_dev.load(std::memory_order_relaxed);
+    t.setid = setid.load(std::memory_order_relaxed);
+    t.xattr = xattr.load(std::memory_order_relaxed);
+    return t;
+  }
+};
+using ZeroConsistencyStatsPtr = std::shared_ptr<ZeroConsistencyStats>;
+
+class ZeroConsistencySyscalls : public SyscallFilter {
+ public:
+  // null stats = private sink; null metrics = obs::global_metrics(); null
+  // recorder = obs::global_flight_recorder(). Counters are pre-registered
+  // so the fake path touches only relaxed atomics plus one ring write.
+  explicit ZeroConsistencySyscalls(std::shared_ptr<Syscalls> inner,
+                                   ZeroConsistencyStatsPtr stats = nullptr,
+                                   obs::MetricsRegistry* metrics = nullptr,
+                                   obs::FlightRecorder* recorder = nullptr);
+
+  const ZeroConsistencyStatsPtr& stats() const { return stats_; }
+
+  // --- interposition introspection ---
+  // Kernel-attached (seccomp), not LD_PRELOAD: statics are covered and the
+  // dispatcher must not unwrap this layer for them.
+  bool is_interposer() const override { return true; }
+  bool wraps_statically_linked() const override { return true; }
+
+  // --- the privileged-op set, faked statelessly ---
+  VoidResult chown(Process& p, const std::string& path, Uid uid, Gid gid,
+                   bool follow) override;
+  VoidResult chmod(Process& p, const std::string& path,
+                   std::uint32_t mode) override;
+  VoidResult mknod(Process& p, const std::string& path, vfs::FileType type,
+                   std::uint32_t mode, std::uint32_t dev_major,
+                   std::uint32_t dev_minor) override;
+  VoidResult set_xattr(Process& p, const std::string& path,
+                       const std::string& name,
+                       const std::string& value) override;
+  VoidResult remove_xattr(Process& p, const std::string& path,
+                          const std::string& name) override;
+  VoidResult setuid(Process& p, Uid uid) override;
+  VoidResult setgid(Process& p, Gid gid) override;
+  VoidResult setresuid(Process& p, Uid r, Uid e, Uid s) override;
+  VoidResult setresgid(Process& p, Gid r, Gid e, Gid s) override;
+  VoidResult seteuid(Process& p, Uid e) override;
+  VoidResult setegid(Process& p, Gid e) override;
+  VoidResult setgroups(Process& p, const std::vector<Gid>& groups) override;
+
+ private:
+  // Bump category + global counters, leave a privilege-faked flight event.
+  void faked(const char* op, const std::string& path,
+             std::atomic<std::uint64_t>& category, obs::Counter* op_counter);
+
+  ZeroConsistencyStatsPtr stats_;
+  obs::MetricsRegistry* metrics_;
+  obs::FlightRecorder* recorder_;
+  obs::Counter* faked_total_;
+  obs::Counter* faked_chown_;
+  obs::Counter* faked_chmod_;
+  obs::Counter* faked_mknod_;
+  obs::Counter* faked_setid_;
+  obs::Counter* faked_xattr_;
+};
+
+}  // namespace minicon::kernel

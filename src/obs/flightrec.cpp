@@ -55,6 +55,7 @@ std::string_view flight_kind_name(FlightKind k) {
     case FlightKind::kThrottled: return "throttled";
     case FlightKind::kCacheEvict: return "cache-evict";
     case FlightKind::kBuildFailed: return "build-failed";
+    case FlightKind::kPrivilegeFaked: return "privilege-faked";
     case FlightKind::kMark: return "mark";
   }
   return "unknown";

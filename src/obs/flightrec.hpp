@@ -48,6 +48,7 @@ enum class FlightKind : std::uint8_t {
   kThrottled,          // service pull rejected by token bucket / inflight cap
   kCacheEvict,         // build cache evicted an entry
   kBuildFailed,        // builder run ended with nonzero status
+  kPrivilegeFaked,     // ZeroConsistencySyscalls faked a privileged op
   kMark,               // free-form caller annotation
 };
 

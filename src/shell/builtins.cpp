@@ -5,6 +5,7 @@
 #include "kernel/syscalls.hpp"
 #include "kernel/trace.hpp"
 #include "kernel/userdb.hpp"
+#include "kernel/zeroconsistency.hpp"
 #include "shell/shell.hpp"
 #include "support/path.hpp"
 #include "support/strings.hpp"
@@ -282,6 +283,35 @@ int cmd_strace(Invocation& inv) {
   }
   inv.err += pad_left(std::to_string(calls), 7) +
              pad_left(errors ? std::to_string(errors) : "", 10) + " total\n";
+  return status;
+}
+
+// seccomp [--] PROG [ARGS...]: run a command under a zero-consistency
+// seccomp filter — privileged operations (chown, setuid-chmod, device
+// mknod, set*id, security xattrs) report success without executing and
+// without recording anything. A *special* builtin on purpose: the filter is
+// kernel-attached, so unlike the fakeroot wrapper it needs no binary
+// installed in the image and it covers statically-linked executables.
+int cmd_seccomp(Invocation& inv) {
+  std::size_t first = 1;
+  if (first < inv.args.size() && inv.args[first] == "--") ++first;
+  if (first >= inv.args.size()) {
+    inv.err += "seccomp: must have PROG [ARGS]\n";
+    return 1;
+  }
+  auto stats = std::make_shared<kernel::ZeroConsistencyStats>();
+  auto saved = inv.proc.sys;
+  inv.proc.sys = std::make_shared<kernel::ZeroConsistencySyscalls>(
+      saved, stats);
+  std::vector<std::string> rest(inv.args.begin() + first, inv.args.end());
+  const int status = inv.state.shell->dispatch_argv(
+      inv.proc, rest, inv.out, inv.err, inv.stdin_data, inv.state);
+  inv.proc.sys = saved;
+  const auto t = stats->totals();
+  if (t.total() > 0) {
+    inv.err += "seccomp: faked " + std::to_string(t.total()) +
+               " privileged syscall(s); results not kept\n";
+  }
   return status;
 }
 
@@ -1209,6 +1239,7 @@ void register_standard_commands(CommandRegistry& reg) {
   reg.register_special("[", cmd_test);
   reg.register_special("command", cmd_command);
   reg.register_special("strace", cmd_strace);
+  reg.register_special("seccomp", cmd_seccomp);
 
   // External commands (need a file on PATH with a "#!minicon <impl>" header).
   reg.register_external("sh", cmd_sh);

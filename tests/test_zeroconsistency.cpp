@@ -1,0 +1,423 @@
+// Zero-consistency root emulation (--force=seccomp) tests: the stateless
+// ZeroConsistencySyscalls filter in isolation, its interaction with the
+// Observe / fault-injection layers, and the builder-level breakage matrix —
+// scriptlets that merely *request* privilege pass, workloads that read the
+// results back diverge and the divergence is detected and reported.
+#include <gtest/gtest.h>
+
+#include "core/chimage.hpp"
+#include "core/cluster.hpp"
+#include "core/podman.hpp"
+#include "kernel/faultinject.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/observe.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/zeroconsistency.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/metrics.hpp"
+#include "vfs/memfs.hpp"
+
+namespace minicon {
+namespace {
+
+using core::ForceMode;
+using kernel::FaultInjectSyscalls;
+using kernel::FaultSpec;
+using kernel::ObserveSyscalls;
+using kernel::Process;
+using kernel::ZeroConsistencyStats;
+using kernel::ZeroConsistencySyscalls;
+
+class ZeroConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_shared<vfs::MemFs>(0755);
+    kernel::Mount root;
+    root.mountpoint = "/";
+    root.fs = fs_;
+    root.root = fs_->root();
+    root.owner_ns = kernel_.init_userns();
+    mountns_ = kernel::MountNamespace::make(std::move(root));
+    stats_ = std::make_shared<ZeroConsistencyStats>();
+  }
+
+  Process proc(std::shared_ptr<kernel::Syscalls> sys, vfs::Uid uid = 0,
+               vfs::Gid gid = 0) {
+    Process p;
+    p.cred = uid == 0 ? kernel::Credentials::root()
+                      : kernel::Credentials::user(uid, gid, {});
+    p.userns = kernel_.init_userns();
+    p.mountns = mountns_;
+    p.sys = std::move(sys);
+    return p;
+  }
+
+  std::shared_ptr<ZeroConsistencySyscalls> zc(obs::MetricsRegistry* reg) {
+    return std::make_shared<ZeroConsistencySyscalls>(kernel_.syscalls(),
+                                                     stats_, reg, &flight_);
+  }
+
+  kernel::Kernel kernel_;
+  std::shared_ptr<vfs::MemFs> fs_;
+  kernel::MountNsPtr mountns_;
+  kernel::ZeroConsistencyStatsPtr stats_;
+  obs::MetricsRegistry reg_;
+  obs::FlightRecorder flight_{64};
+};
+
+// --- the stateless fakes, one category at a time -----------------------------
+
+// chown "succeeds" but nothing is recorded: a later organic stat sees the
+// real owner. This is the defining difference from fakeroot's FakeDb.
+TEST_F(ZeroConsistencyTest, ChownFakedAndStatReadbackDiverges) {
+  Process p = proc(zc(&reg_));
+  ASSERT_TRUE(p.sys->write_file(p, "/f", "x", false, 0644).ok());
+  ASSERT_TRUE(p.sys->chown(p, "/f", 1234, 1234, true).ok());
+  const auto st = p.sys->stat(p, "/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->uid, 0u);  // the lie was not kept
+  EXPECT_EQ(st->gid, 0u);
+  EXPECT_EQ(stats_->totals().chown, 1u);
+  EXPECT_EQ(stats_->totals().readback_divergent(), 1u);
+}
+
+// A seccomp-BPF filter fires on the syscall number alone — it never resolves
+// the path. chown of a nonexistent file therefore "succeeds" too.
+TEST_F(ZeroConsistencyTest, ChownOnMissingPathStillSucceeds) {
+  Process p = proc(zc(&reg_));
+  EXPECT_TRUE(p.sys->chown(p, "/does/not/exist", 0, 0, true).ok());
+  EXPECT_EQ(p.sys->stat(p, "/does/not/exist").error(), Err::enoent);
+  EXPECT_EQ(stats_->totals().chown, 1u);
+}
+
+// chmod with setuid/setgid bits is swallowed whole — not even the rwx bits
+// land. A plain chmod passes through untouched.
+TEST_F(ZeroConsistencyTest, SetidChmodFakedPlainChmodPassesThrough) {
+  Process p = proc(zc(&reg_));
+  ASSERT_TRUE(p.sys->write_file(p, "/f", "x", false, 0644).ok());
+  ASSERT_TRUE(p.sys->chmod(p, "/f", 04755).ok());
+  EXPECT_EQ((*p.sys->stat(p, "/f")).mode, 0644u);  // wholly unchanged
+  ASSERT_TRUE(p.sys->chmod(p, "/f", 0755).ok());
+  EXPECT_EQ((*p.sys->stat(p, "/f")).mode, 0755u);  // organic
+  EXPECT_EQ(stats_->totals().chmod_setid, 1u);
+}
+
+// Device mknod "succeeds" and creates nothing; fifos are not privileged and
+// pass through.
+TEST_F(ZeroConsistencyTest, DeviceMknodFakedFifoPassesThrough) {
+  Process p = proc(zc(&reg_));
+  ASSERT_TRUE(p.sys->mknod(p, "/null", vfs::FileType::CharDev, 0666, 1, 3)
+                  .ok());
+  EXPECT_EQ(p.sys->stat(p, "/null").error(), Err::enoent);
+  ASSERT_TRUE(p.sys->mknod(p, "/pipe", vfs::FileType::Fifo, 0644, 0, 0).ok());
+  EXPECT_EQ((*p.sys->stat(p, "/pipe")).type, vfs::FileType::Fifo);
+  EXPECT_EQ(stats_->totals().mknod_dev, 1u);
+}
+
+// security.*/trusted.* xattr writes are faked (set and remove); user.* goes
+// through to the filesystem.
+TEST_F(ZeroConsistencyTest, SecurityXattrFakedUserXattrPassesThrough) {
+  Process p = proc(zc(&reg_));
+  ASSERT_TRUE(p.sys->write_file(p, "/f", "x", false, 0644).ok());
+  ASSERT_TRUE(p.sys->set_xattr(p, "/f", "security.selinux", "ctx").ok());
+  EXPECT_FALSE(p.sys->get_xattr(p, "/f", "security.selinux").ok());
+  ASSERT_TRUE(p.sys->remove_xattr(p, "/f", "trusted.overlay").ok());
+  ASSERT_TRUE(p.sys->set_xattr(p, "/f", "user.k", "v").ok());
+  EXPECT_EQ(*p.sys->get_xattr(p, "/f", "user.k"), "v");
+  EXPECT_EQ(stats_->totals().xattr, 2u);
+}
+
+// set*id/setgroups "succeed" without touching credentials: identity reads
+// stay organic (inside a Type III map they already show root).
+TEST_F(ZeroConsistencyTest, SetidFakedCredentialsUntouched) {
+  Process p = proc(zc(&reg_));
+  ASSERT_TRUE(p.sys->setuid(p, 1000).ok());
+  ASSERT_TRUE(p.sys->setgid(p, 1000).ok());
+  ASSERT_TRUE(p.sys->setgroups(p, {5, 6}).ok());
+  EXPECT_EQ(p.sys->geteuid(p), 0u);
+  EXPECT_EQ(p.sys->getuid(p), 0u);
+  EXPECT_EQ(stats_->totals().setid, 3u);
+  EXPECT_EQ(stats_->totals().readback_divergent(), 0u);  // setid excluded
+}
+
+// Kernel-attached interception covers statically-linked binaries; the
+// dispatcher must never unwrap this layer.
+TEST_F(ZeroConsistencyTest, ReportsKernelAttachedInterposition) {
+  auto layer = zc(&reg_);
+  EXPECT_TRUE(layer->is_interposer());
+  EXPECT_TRUE(layer->wraps_statically_linked());
+}
+
+// --- stacking edges ----------------------------------------------------------
+
+// With ObserveSyscalls stacked *below* the filter (the builder order), faked
+// ops are counted distinctly: zeroconsistency.* counters tick, the organic
+// syscall.<op>.calls counters do not — a faked chown never reaches Observe.
+TEST_F(ZeroConsistencyTest, FakedOpsCountedDistinctlyFromOrganic) {
+  auto observe = std::make_shared<ObserveSyscalls>(kernel_.syscalls(), &reg_,
+                                                   &flight_);
+  auto filter = std::make_shared<ZeroConsistencySyscalls>(observe, stats_,
+                                                          &reg_, &flight_);
+  Process p = proc(filter);
+  ASSERT_TRUE(p.sys->write_file(p, "/f", "x", false, 0644).ok());
+  ASSERT_TRUE(p.sys->chown(p, "/f", 7, 7, true).ok());   // faked
+  ASSERT_TRUE(p.sys->stat(p, "/f").ok());                // organic
+  EXPECT_EQ(reg_.counter("syscall.zeroconsistency.faked").value(), 1u);
+  EXPECT_EQ(reg_.counter("syscall.zeroconsistency.chown.faked").value(), 1u);
+  EXPECT_EQ(reg_.counter("syscall.chown.calls").value(), 0u);
+  EXPECT_EQ(reg_.counter("syscall.stat.calls").value(), 1u);
+  // The faked op leaves a forensic trace: a privilege-faked flight event.
+  bool saw = false;
+  for (const auto& e : flight_.dump()) {
+    saw = saw || e.kind == obs::FlightKind::kPrivilegeFaked;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// Fault injection stacks *outside* the zero-consistency filter (caller
+// layers wrap it, exactly as in the builders): an injected EPERM fires
+// before the filter could fake it, and must propagate — "no privileged-op
+// emulator may turn an injected failure into success".
+TEST_F(ZeroConsistencyTest, InjectedEpermIsNotFakedIntoSuccess) {
+  auto filter = std::make_shared<ZeroConsistencySyscalls>(kernel_.syscalls(),
+                                                          stats_, &reg_,
+                                                          &flight_);
+  auto faulty = std::make_shared<FaultInjectSyscalls>(
+      filter, 42, FaultSpec{"chown", "", Err::eperm});
+  Process p = proc(faulty);
+  ASSERT_TRUE(p.sys->write_file(p, "/f", "x", false, 0644).ok());
+  EXPECT_EQ(p.sys->chown(p, "/f", 7, 7, true).error(), Err::eperm);
+  EXPECT_EQ(stats_->totals().total(), 0u);  // the filter never saw it
+  EXPECT_EQ(faulty->injected().size(), 1u);
+}
+
+// --- builders: the breakage matrix -------------------------------------------
+
+constexpr const char* kCentosDockerfile =
+    "FROM centos:7\n"
+    "RUN echo hello\n"
+    "RUN yum install -y openssh\n";
+
+constexpr const char* kDebianDockerfile =
+    "FROM debian:buster\n"
+    "RUN apt-get update\n"
+    "RUN apt-get install -y openssh-client\n";
+
+class ZeroConsistencyBuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions copts;
+    copts.arch = "x86_64";
+    copts.compute_nodes = 0;
+    cluster_ = std::make_unique<core::Cluster>(copts);
+    auto alice = cluster_->user_on(cluster_->login());
+    ASSERT_TRUE(alice.ok());
+    alice_ = *alice;
+  }
+
+  core::ChImageOptions seccomp_opts() {
+    core::ChImageOptions opts;
+    opts.force_mode = ForceMode::kSeccomp;
+    return opts;
+  }
+
+  int build(const core::ChImageOptions& opts, const char* tag,
+            const std::string& dockerfile, Transcript& t) {
+    core::ChImage ch(cluster_->login(), alice_, &cluster_->registry(), opts);
+    last_zc_ = nullptr;
+    const int status = ch.build(tag, dockerfile, t);
+    last_zc_ = ch.zeroconsistency_stats();
+    return status;
+  }
+
+  std::unique_ptr<core::Cluster> cluster_;
+  kernel::Process alice_;
+  kernel::ZeroConsistencyStatsPtr last_zc_;
+};
+
+// Matrix pass case 1: the rpm cpio chown storm (openssh's ssh_keys
+// ownership) merely *requests* privilege — nothing reads it back, so the
+// zero-consistency build succeeds with no distro config and no RUN rewrite.
+TEST_F(ZeroConsistencyBuildTest, CentosOpensshPassesUnderSeccomp) {
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-centos", kCentosDockerfile, t), 0)
+      << t.text();
+  EXPECT_TRUE(t.contains("will use --force: seccomp")) << t.text();
+  EXPECT_TRUE(t.contains("--force: seccomp: faked")) << t.text();
+  // No fakeroot machinery: no config detection chatter, no injected init
+  // steps or command rewriting.
+  EXPECT_FALSE(t.contains("will use --force: rhel7")) << t.text();
+  EXPECT_FALSE(t.contains("RUN.F")) << t.text();
+  ASSERT_NE(last_zc_, nullptr);
+  EXPECT_GT(last_zc_->totals().chown, 0u);
+}
+
+// Matrix pass case 2: Debian's apt path (sandbox user chown + setgid
+// directories) under seccomp, no debderiv config.
+TEST_F(ZeroConsistencyBuildTest, DebianOpensshClientPassesUnderSeccomp) {
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-debian", kDebianDockerfile, t), 0)
+      << t.text();
+  EXPECT_TRUE(t.contains("--force: seccomp: faked")) << t.text();
+  EXPECT_FALSE(t.contains("debderiv")) << t.text();
+}
+
+// Matrix pass case 3: a setuid-install scriptlet (polkit's pkexec does
+// chown root:root + chmod 4755 and never stats the result). Both faked
+// categories are readback-divergent, so the builder appends the
+// zero-consistency caveat note.
+TEST_F(ZeroConsistencyBuildTest, PolkitSetuidScriptletPassesWithCaveat) {
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-polkit",
+                  "FROM centos:7\nRUN yum install -y polkit\n", t),
+            0)
+      << t.text();
+  EXPECT_TRUE(t.contains("--force: seccomp: faked")) << t.text();
+  EXPECT_TRUE(t.contains("note: zero-consistency mode kept no state"))
+      << t.text();
+  ASSERT_NE(last_zc_, nullptr);
+  EXPECT_GT(last_zc_->totals().chmod_setid, 0u);
+}
+
+// Divergence case 1 (hard failure, detected and reported): makedev's
+// postinst creates a device node and immediately checks it exists. Under
+// seccomp the mknod is faked, the node is missing, the scriptlet fails, apt
+// returns 100 and the build aborts with the seccomp-specific hint. The same
+// Dockerfile succeeds under --force=fakeroot, whose mknod leaves a stand-in.
+TEST_F(ZeroConsistencyBuildTest, MakedevReadbackDivergesUnderSeccompOnly) {
+  const std::string df =
+      "FROM debian:buster\n"
+      "RUN apt-get update\n"
+      "RUN apt-get install -y makedev\n";
+  Transcript seccomp_t;
+  EXPECT_NE(build(seccomp_opts(), "zc-makedev", df, seccomp_t), 0)
+      << seccomp_t.text();
+  EXPECT_TRUE(seccomp_t.contains("hint: build failed under --force=seccomp"))
+      << seccomp_t.text();
+  EXPECT_TRUE(seccomp_t.contains("postinst")) << seccomp_t.text();
+
+  core::ChImageOptions fakeroot_opts;
+  fakeroot_opts.force = true;  // historical spelling: fakeroot injection
+  Transcript fakeroot_t;
+  EXPECT_EQ(build(fakeroot_opts, "fr-makedev", df, fakeroot_t), 0)
+      << fakeroot_t.text();
+}
+
+// Divergence case 2 (ownership readback): ownership-audit chowns a canary
+// and then audits it with stat | grep, the dpkg-statoverride pattern. The
+// zero-consistency stat sees the real (root) owner and the postinst fails;
+// fakeroot's consistent lies satisfy the audit.
+TEST_F(ZeroConsistencyBuildTest, OwnershipAuditDivergesUnderSeccompOnly) {
+  const std::string df =
+      "FROM debian:buster\n"
+      "RUN apt-get update\n"
+      "RUN apt-get install -y ownership-audit\n";
+  Transcript seccomp_t;
+  EXPECT_NE(build(seccomp_opts(), "zc-audit", df, seccomp_t), 0)
+      << seccomp_t.text();
+  EXPECT_TRUE(seccomp_t.contains("hint: build failed under --force=seccomp"))
+      << seccomp_t.text();
+
+  core::ChImageOptions fakeroot_opts;
+  fakeroot_opts.force_mode = ForceMode::kFakeroot;
+  Transcript fakeroot_t;
+  EXPECT_EQ(build(fakeroot_opts, "fr-audit", df, fakeroot_t), 0)
+      << fakeroot_t.text();
+}
+
+// Divergence case 3 (soft failure): fuse's %post creates /dev/fuse and
+// checks it, but rpm %post failures are warnings — the build *passes* under
+// seccomp while the transcript carries both the rpm warning and the
+// builder's divergence note. Detection without breakage.
+TEST_F(ZeroConsistencyBuildTest, FuseRpmScriptletWarnsButBuildPasses) {
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-fuse",
+                  "FROM centos:7\nRUN yum install -y fuse\n", t),
+            0)
+      << t.text();
+  EXPECT_TRUE(t.contains("warning: %post(fuse")) << t.text();
+  EXPECT_TRUE(t.contains("note: zero-consistency mode kept no state"))
+      << t.text();
+  ASSERT_NE(last_zc_, nullptr);
+  EXPECT_GT(last_zc_->totals().mknod_dev, 0u);
+}
+
+// The minimal chown-then-stat divergence, visible in the build output
+// itself: the faked chown reports success, the organic stat still prints
+// the container-root owner, and the builder flags the divergent build.
+TEST_F(ZeroConsistencyBuildTest, ChownThenStatShowsDivergentReadback) {
+  const std::string df =
+      "FROM centos:7\n"
+      "RUN touch /x && chown daemon:daemon /x\n"
+      "RUN stat /x\n";
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-readback", df, t), 0) << t.text();
+  EXPECT_TRUE(t.contains("Uid: 0 ")) << t.text();  // the lie did not survive
+  EXPECT_TRUE(t.contains("note: zero-consistency mode kept no state"))
+      << t.text();
+  ASSERT_NE(last_zc_, nullptr);
+  EXPECT_EQ(last_zc_->totals().chown, 1u);
+}
+
+// Per-instruction attribution: each RUN that faked anything gets its own
+// transcript line, so a failing scriptlet can be localized.
+TEST_F(ZeroConsistencyBuildTest, PerInstructionFakeCountsReported) {
+  Transcript t;
+  ASSERT_EQ(build(seccomp_opts(), "zc-attr", kCentosDockerfile, t), 0)
+      << t.text();
+  EXPECT_TRUE(t.contains("seccomp: instruction 3: faked")) << t.text();
+}
+
+// Podman's experimental single-map mode (Fig 5) dies on unmapped-ID chowns.
+// --ignore-chown-errors squashes them; force_mode=kSeccomp instead fakes
+// them, which also rescues the build — same outcome, different mechanism,
+// and the transcript says which ran.
+TEST_F(ZeroConsistencyBuildTest, PodmanUnprivilegedSeccompRescuesOpenssh) {
+  core::PodmanOptions plain;
+  plain.rootless_helpers = false;
+  plain.ignore_chown_errors = false;
+  {
+    core::Podman podman(cluster_->login(), alice_, &cluster_->registry(),
+                        plain);
+    Transcript t;
+    EXPECT_NE(podman.build("p-plain", kCentosDockerfile, t), 0) << t.text();
+  }
+  core::PodmanOptions seccomp = plain;
+  seccomp.force_mode = ForceMode::kSeccomp;
+  core::Podman podman(cluster_->login(), alice_, &cluster_->registry(),
+                      seccomp);
+  Transcript t;
+  EXPECT_EQ(podman.build("p-seccomp", kCentosDockerfile, t), 0) << t.text();
+  EXPECT_TRUE(t.contains("seccomp: faked")) << t.text();
+  ASSERT_NE(podman.zeroconsistency_stats(), nullptr);
+  EXPECT_GT(podman.zeroconsistency_stats()->totals().chown, 0u);
+}
+
+// The interactive spelling: `seccomp PROG` wraps one command the way
+// --force=seccomp wraps a whole build. An unprivileged chown that would
+// fail organically "succeeds", with the faked count on stderr.
+TEST_F(ZeroConsistencyBuildTest, SeccompShellBuiltinFakesOneCommand) {
+  std::string out, err;
+  int status = cluster_->login().run(
+      alice_, "echo hi > zcf && chown 1234:1234 zcf", out, err);
+  EXPECT_NE(status, 0);  // organic: alice cannot give files away
+
+  out.clear();
+  err.clear();
+  status = cluster_->login().run(alice_, "seccomp chown 1234:1234 zcf", out,
+                                 err);
+  EXPECT_EQ(status, 0) << err;
+  EXPECT_NE(err.find("seccomp: faked 1 privileged syscall"),
+            std::string::npos)
+      << err;
+
+  // Readback through the organic stack: ownership is unchanged.
+  out.clear();
+  err.clear();
+  status = cluster_->login().run(alice_, "stat zcf", out, err);
+  EXPECT_EQ(status, 0) << err;
+  EXPECT_EQ(out.find("Uid: 1234"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace minicon

@@ -18,6 +18,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # non-zero otherwise).
 "$BUILD_DIR"/examples/trace_smoke "$BUILD_DIR"/trace_smoke.json
 
+# Zero-consistency smoke: both distro scriptlet paths (rpm chown storm +
+# %post device warning, apt sandbox chowns) must build under
+# --force=seccomp, and the makedev device-readback build must fail under
+# seccomp with the mode hint while passing under --force=fakeroot.
+"$BUILD_DIR"/examples/seccomp_smoke
+
 # Registry-service smoke: two tenants over one cluster registry — adopt +
 # tag + P2P launch through the service mirror, deterministic quota
 # rejection, CAS tag move, and the GC grace-then-reclaim cycle pair.
@@ -27,14 +33,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # registry/chunk-store stress tests, the thread pool itself, the parallel
 # stage scheduler / shared build cache + CoW snapshots, the metrics
 # registry / tracer / flight-recorder seqlock rings, the P2P chunk swarm,
-# and the registry service's concurrent push/tag-move/GC protocol).
+# the registry service's concurrent push/tag-move/GC protocol, and the
+# zero-consistency filter's shared atomic stats sink under parallel stages).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DMINICON_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target test_concurrency test_threadpool test_buildgraph test_vfs_cow \
-  test_obs test_swarm test_service swarm_smoke
+  test_obs test_swarm test_service test_zeroconsistency swarm_smoke
 ctest --test-dir "$TSAN_DIR" --output-on-failure \
-  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs|test_swarm|test_service'
+  -R 'test_concurrency|test_threadpool|test_buildgraph|test_vfs_cow|test_obs|test_swarm|test_service|test_zeroconsistency'
 
 # P2P launch smoke under TSAN: an 8-node peer-to-peer launch where every
 # pool worker reads peer caches concurrently; asserts the registry served
